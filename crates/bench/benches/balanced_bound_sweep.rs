@@ -1,0 +1,45 @@
+//! Ablation: the Balanced variant's per-step operation bound `b`
+//! (synchronization frequency vs load balance, §3.2/§4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tcf_bench::{small_config, workloads};
+use tcf_core::Variant;
+
+fn bench_bounds(c: &mut Criterion) {
+    let config = small_config();
+    let size = 4 * config.total_threads();
+
+    println!("== Balanced bound sweep (simulated cycles, vector add size {size}) ==");
+    for bound in [1usize, 2, 4, 8, 16, 64] {
+        let mut m = workloads::tcf_machine(
+            &config,
+            Variant::Balanced { bound },
+            workloads::tcf_vector_add(size),
+        );
+        workloads::init_arrays_tcf(&mut m, size);
+        let s = m.run(5_000_000).unwrap();
+        println!("  b = {bound:>3}: steps {:>5}, cycles {:>7}", s.steps, s.cycles);
+    }
+
+    let mut g = c.benchmark_group("balanced_bound");
+    g.sample_size(10);
+    for bound in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::new("vector_add", bound), &bound, |b, &bd| {
+            b.iter(|| {
+                let mut m = workloads::tcf_machine(
+                    &config,
+                    Variant::Balanced { bound: bd },
+                    workloads::tcf_vector_add(size),
+                );
+                workloads::init_arrays_tcf(&mut m, size);
+                black_box(m.run(5_000_000).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 6 bench: latency hiding in the issue pipeline. Prints the
+//! simulated utilization across issue-window lengths (the crossover where
+//! the window covers the memory round trip), then benchmarks the pipeline
+//! engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tcf_machine::{GroupPipeline, IssueUnit, MachineStats, Trace};
+use tcf_net::{Network, Topology};
+
+fn utilization_for(units: usize, hop_latency: u64) -> f64 {
+    let mut net = Network::new(Topology::Crossbar { nodes: 4 }, hop_latency);
+    let pipe = GroupPipeline::new(0, 2, 1);
+    let work: Vec<IssueUnit> = (0..units)
+        .map(|i| IssueUnit::shared_mem(1, i, 1 + (i % 3)))
+        .collect();
+    let mut trace = Trace::disabled();
+    let mut stats = MachineStats::default();
+    let out = pipe.run_step(0, &work, false, &mut net, &mut trace, &mut stats);
+    units as f64 / out.cycles() as f64
+}
+
+fn bench_latency_hiding(c: &mut Criterion) {
+    println!("== Figure 6 sweep: issue-window length vs utilization (roundtrip ~6 cycles) ==");
+    println!("{:>8}  {:>12}", "units", "utilization");
+    for units in [1usize, 2, 4, 8, 16, 32, 64] {
+        println!("{units:>8}  {:>12.2}", utilization_for(units, 2));
+    }
+    println!("(utilization saturates once the window covers the memory round trip)");
+
+    let mut g = c.benchmark_group("latency_hiding");
+    for units in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("pipeline_step", units), &units, |b, &u| {
+            b.iter(|| black_box(utilization_for(u, 2)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency_hiding);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! P8 bench: multitasking (tasks as TCFs vs ESM context switching) and
+//! horizontal vs vertical allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tcf_bench::{progs, small_config, workloads};
+use tcf_core::{Allocation, TcfMachine, Variant};
+use tcf_pram::PramMachine;
+
+fn bench_multitasking(c: &mut Criterion) {
+    let config = small_config();
+    println!("== P8: multitasking and flow allocation ==");
+    println!("{}", progs::p8(&config).render());
+
+    let mut g = c.benchmark_group("multitasking");
+    g.sample_size(10);
+
+    let program = workloads::task_program(100);
+    let entry = program.label("task").unwrap();
+    g.bench_function("tasks_as_tcfs", |b| {
+        b.iter(|| {
+            let mut m =
+                TcfMachine::new(config.clone(), Variant::SingleInstruction, program.clone());
+            for _ in 0..8 {
+                m.spawn_task(entry, 1).unwrap();
+            }
+            black_box(m.run(1_000_000).unwrap());
+        })
+    });
+    g.bench_function("esm_context_switch", |b| {
+        b.iter(|| {
+            let mut m = PramMachine::new(
+                config.clone(),
+                workloads::context_switch_program(config.regs_per_thread, config.shared_size / 2),
+            );
+            black_box(m.run(1_000_000).unwrap());
+        })
+    });
+
+    let size = 4 * config.total_threads();
+    for (name, alloc) in [
+        ("horizontal_allocation", Allocation::Horizontal),
+        ("vertical_allocation", Allocation::Vertical),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = workloads::tcf_machine_alloc(
+                    &config,
+                    Variant::SingleInstruction,
+                    workloads::tcf_vector_add(size),
+                    alloc,
+                );
+                workloads::init_arrays_tcf(&mut m, size);
+                black_box(m.run(1_000_000).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multitasking);
+criterion_main!(benches);

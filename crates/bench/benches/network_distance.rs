@@ -1,0 +1,69 @@
+//! Ablation: distance-aware network behaviour — topology, latency
+//! proportionality, congestion, and shared-memory placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tcf_net::{Network, Topology};
+
+fn all_to_one(topology: Topology, hop_latency: u64) -> u64 {
+    let mut net = Network::new(topology, hop_latency);
+    let n = topology.nodes();
+    let msgs: Vec<(usize, usize)> = (0..n).filter(|&s| s != 0).map(|s| (s, 0)).collect();
+    let (_, done) = net.send_batch(&msgs, 0);
+    done
+}
+
+fn uniform_random(topology: Topology, hop_latency: u64, rounds: usize) -> u64 {
+    let mut net = Network::new(topology, hop_latency);
+    let n = topology.nodes();
+    let mut done = 0;
+    // Deterministic pseudo-random pairs (LCG).
+    let mut x = 12345u64;
+    for r in 0..rounds {
+        let msgs: Vec<(usize, usize)> = (0..n)
+            .map(|s| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s, (x >> 33) as usize % n)
+            })
+            .collect();
+        let (_, d) = net.send_batch(&msgs, r as u64 * 64);
+        done = d;
+    }
+    done
+}
+
+fn bench_network(c: &mut Criterion) {
+    println!("== Network ablation: completion cycle of all-to-one vs uniform traffic ==");
+    let topologies = [
+        ("ring16", Topology::Ring { nodes: 16 }),
+        (
+            "mesh4x4",
+            Topology::Mesh2D {
+                width: 4,
+                height: 4,
+            },
+        ),
+        ("crossbar16", Topology::Crossbar { nodes: 16 }),
+    ];
+    println!("{:>12} {:>14} {:>18}", "topology", "all-to-one", "uniform (8 rounds)");
+    for (name, t) in topologies {
+        println!(
+            "{name:>12} {:>14} {:>18}",
+            all_to_one(t, 1),
+            uniform_random(t, 1, 8)
+        );
+    }
+    println!("(all-to-one exposes the destination bottleneck; distance shows in the ring)");
+
+    let mut g = c.benchmark_group("network");
+    for (name, t) in topologies {
+        g.bench_with_input(BenchmarkId::new("uniform", name), &t, |b, &topo| {
+            b.iter(|| black_box(uniform_random(topo, 1, 8)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

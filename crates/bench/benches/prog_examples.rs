@@ -1,0 +1,82 @@
+//! §4 programming-example bench (P1–P7): prints the paired comparison
+//! tables once, then benchmarks the headline pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tcf_bench::{progs, small_config, workloads};
+use tcf_core::Variant;
+
+fn bench_progs(c: &mut Criterion) {
+    let config = small_config();
+    println!("{}", progs::report(&config));
+
+    let mut g = c.benchmark_group("prog_examples");
+    g.sample_size(10);
+    let size = 4 * config.total_threads();
+
+    g.bench_function("p1_tcf_thick_add", |b| {
+        b.iter(|| {
+            let mut m = workloads::tcf_machine(
+                &config,
+                Variant::SingleInstruction,
+                workloads::tcf_vector_add(size),
+            );
+            workloads::init_arrays_tcf(&mut m, size);
+            black_box(m.run(1_000_000).unwrap());
+        })
+    });
+    g.bench_function("p1_loop_add_baseline", |b| {
+        b.iter(|| {
+            let mut m = workloads::tcf_machine(
+                &config,
+                Variant::SingleOperation,
+                workloads::loop_vector_add(size),
+            );
+            workloads::init_arrays_tcf(&mut m, size);
+            black_box(m.run(1_000_000).unwrap());
+        })
+    });
+
+    let scan_size = config.total_threads();
+    g.bench_function("p7_tcf_scan", |b| {
+        b.iter(|| {
+            let mut m = workloads::tcf_machine(
+                &config,
+                Variant::SingleInstruction,
+                workloads::tcf_scan(scan_size),
+            );
+            for j in 0..scan_size {
+                m.poke(workloads::A_BASE + j, 1).unwrap();
+            }
+            black_box(m.run(1_000_000).unwrap());
+        })
+    });
+    g.bench_function("p7_fork_scan_xmt", |b| {
+        b.iter(|| {
+            let mut m = workloads::tcf_machine(
+                &config,
+                Variant::MultiInstruction,
+                workloads::fork_scan(scan_size),
+            );
+            for j in 0..scan_size {
+                m.poke(workloads::A_BASE + j, 1).unwrap();
+            }
+            black_box(m.run(1_000_000).unwrap());
+        })
+    });
+    g.bench_function("p6_thick_prefix", |b| {
+        b.iter(|| {
+            let mut m = workloads::tcf_machine(
+                &config,
+                Variant::SingleInstruction,
+                workloads::tcf_prefix(size),
+            );
+            black_box(m.run(1_000_000).unwrap());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_progs);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 1 bench: regenerates the property/cost table and benchmarks the
+//! cost probes (fetch pressure, task switch, flow branch) per variant.
+//!
+//! Simulated-cycle results are printed once up front; Criterion then
+//! measures host-side simulation throughput of each probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tcf_bench::{small_config, table1, workloads};
+use tcf_core::Variant;
+
+fn bench_table1(c: &mut Criterion) {
+    let config = small_config();
+    println!("{}", table1::report(&config));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    let size = 4 * config.total_threads();
+    for (name, variant) in [
+        ("fetch_probe_single_instruction", Variant::SingleInstruction),
+        ("fetch_probe_balanced_b8", Variant::Balanced { bound: 8 }),
+        ("fetch_probe_single_operation", Variant::SingleOperation),
+    ] {
+        let program = match variant {
+            Variant::SingleOperation => workloads::loop_vector_add(size),
+            _ => workloads::tcf_vector_add(size),
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = workloads::tcf_machine(&config, variant, program.clone());
+                workloads::init_arrays_tcf(&mut m, size);
+                black_box(m.run(1_000_000).unwrap());
+            })
+        });
+    }
+
+    g.bench_function("task_switch_probe", |b| {
+        b.iter(|| black_box(table1::measured_task_switch(&config)))
+    });
+    g.bench_function("flow_branch_probe", |b| {
+        b.iter(|| black_box(table1::measured_flow_branch(&config)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

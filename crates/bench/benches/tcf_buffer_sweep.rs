@@ -1,0 +1,39 @@
+//! Figure 13 bench: the TCF storage buffer capacity sweep (the
+//! multitasking knee). Prints the simulated sweep once, then benchmarks
+//! the under- and over-capacity cases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tcf_bench::{figures, workloads};
+use tcf_core::{TcfMachine, Variant};
+
+fn run_with_buffer(slots: usize, ntasks: usize) -> u64 {
+    let mut config = figures::single_group_config();
+    config.tcf_buffer_slots = slots;
+    let program = workloads::task_program(40);
+    let entry = program.label("task").unwrap();
+    let mut m = TcfMachine::new(config, Variant::SingleInstruction, program);
+    for _ in 0..ntasks {
+        m.spawn_task(entry, 1).unwrap();
+    }
+    m.run(1_000_000).unwrap().cycles
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    println!("{}", figures::fig13());
+
+    let mut g = c.benchmark_group("tcf_buffer");
+    g.sample_size(20);
+    for slots in [2usize, 16, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("sixteen_tasks", slots),
+            &slots,
+            |b, &s| b.iter(|| black_box(run_with_buffer(s, 16))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figures 7–12 bench: the mixed-thickness workload scheduled under each
+//! variant. Prints the schedule strips once, then benchmarks the
+//! per-variant simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tcf_bench::figures;
+use tcf_core::{TcfMachine, Variant};
+use tcf_isa::asm::assemble;
+
+const MIXED: &str = "main:
+        halt
+    task:
+        mfs r1, tid
+        add r2, r1, 1
+        add r2, r2, r2
+        add r2, r2, r1
+        halt
+    ";
+
+fn bench_variants(c: &mut Criterion) {
+    for n in 7..=12 {
+        println!(
+            "{}",
+            figures::figure(n, &tcf_bench::small_config()).unwrap()
+        );
+    }
+
+    let mut g = c.benchmark_group("variants_schedule");
+    g.sample_size(20);
+    let program = assemble(MIXED).unwrap();
+    let entry = program.label("task").unwrap();
+    for (name, variant) in [
+        ("single_instruction", Variant::SingleInstruction),
+        ("balanced_b4", Variant::Balanced { bound: 4 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = TcfMachine::new(
+                    figures::single_group_config(),
+                    variant,
+                    program.clone(),
+                );
+                for t in [12usize, 3, 1, 8] {
+                    m.spawn_task(entry, t).unwrap();
+                }
+                black_box(m.run(10_000).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

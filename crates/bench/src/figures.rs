@@ -1,0 +1,504 @@
+//! Figure reproductions.
+//!
+//! Figures 1, 2 and 5 are machine-organisation schematics — reproduced as
+//! structural inventories of the configured machine. Figures 3 and 4 show
+//! TCF thickness evolving over a block-structured program — reproduced as
+//! thickness-per-step profiles. Figure 6 shows latency hiding in the
+//! multithreaded PRAM mode vs a NUMA bunch; Figures 7–12 show one mixed
+//! workload scheduled under each variant; Figure 13 shows the CESM
+//! pipeline fed from the TCF storage buffer — all reproduced as
+//! single-processor-view Gantt strips plus summary numbers.
+
+use tcf_core::{TcfMachine, Variant};
+use tcf_isa::asm::assemble;
+use tcf_machine::MachineConfig;
+use tcf_mem::ModuleMap;
+use tcf_net::Topology;
+use tcf_pram::PramMachine;
+
+use crate::report::TextTable;
+use crate::workloads;
+
+/// A one-group machine for the single-processor-view figures.
+pub fn single_group_config() -> MachineConfig {
+    let mut c = MachineConfig::small();
+    c.groups = 1;
+    c.topology = Topology::Crossbar { nodes: 1 };
+    c.module_map = ModuleMap::Interleaved;
+    c
+}
+
+/// Figure 1: the ESM architecture (P multithreaded processors, shared
+/// memory over a high-bandwidth network).
+pub fn fig1(config: &MachineConfig) -> String {
+    let mut out = String::from(
+        "== Figure 1: emulated shared memory (ESM) architecture ==\n\
+         (the PRAM-NUMA organisation below, minus the NUMA machinery:\n\
+          no local memory blocks are used and no bunching is configured)\n\n",
+    );
+    out.push_str(&config.inventory(false));
+    out
+}
+
+/// Figure 2: the PRAM-NUMA machine organisation.
+pub fn fig2(config: &MachineConfig) -> String {
+    let mut out =
+        String::from("== Figure 2: PRAM-NUMA machine (baseline, tcf-pram) ==\n\n");
+    out.push_str(&config.inventory(false));
+    out
+}
+
+/// Figure 5: the extended PRAM-NUMA (TCF) machine organisation.
+pub fn fig5(config: &MachineConfig) -> String {
+    let mut out = String::from(
+        "== Figure 5: extended PRAM-NUMA machine (TCF processors, tcf-core) ==\n\n",
+    );
+    out.push_str(&config.inventory(true));
+    out
+}
+
+/// Renders a thickness-per-step profile by stepping `m` to completion.
+fn thickness_profile(mut m: TcfMachine, max_steps: usize) -> String {
+    let mut out = String::new();
+    out.push_str("step  thickness profile (sum over running flows)\n");
+    for step in 0..max_steps {
+        let t = m.running_thickness();
+        out.push_str(&format!("{step:>4}  {:<3} |{}|\n", t, "#".repeat(t.min(72))));
+        match m.step() {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => {
+                out.push_str(&format!("fault: {e}\n"));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Figure 3: executing a block-structured functionality with TCFs —
+/// thickness 23 block, thickness 15 block with a branching statement,
+/// parallel branches of thickness 12 and 3, then a block of thickness 8.
+pub fn fig3() -> String {
+    let src = "shared int sink[64] @ 9000;
+        void main() {
+            #23;
+            sink[.] = . + 1;          // block of thickness 23
+            sink[.] = sink[.] * 2;
+            #15;
+            sink[.] = sink[.] + 3;    // block of thickness 15
+            parallel {
+                #12: { sink[.] = 1; sink[. + 12] = 2; }
+                #3:  { sink[. + 40] = 3; }
+            }
+            #8;
+            sink[.] = 4;              // block of thickness 8
+        }";
+    let program = tcf_lang::compile(src).expect("fig3 program compiles");
+    let m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
+    let mut out = String::from(
+        "== Figure 3: executing functionality with TCFs (thickness 23 -> 15 -> 12||3 -> 8) ==\n\n",
+    );
+    out.push_str(&thickness_profile(m, 64));
+    out
+}
+
+/// Figure 4: execution of a single TCF that changes thickness.
+pub fn fig4() -> String {
+    let src = "shared int sink[64] @ 9000;
+        void main() {
+            #4;
+            sink[.] = 1;
+            #12;
+            sink[.] = 2;
+            #6;
+            sink[.] = 3;
+            #1;
+            sink[0] = 4;
+        }";
+    let program = tcf_lang::compile(src).expect("fig4 program compiles");
+    let m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
+    let mut out = String::from("== Figure 4: a TCF changing thickness (4 -> 12 -> 6 -> 1) ==\n\n");
+    out.push_str(&thickness_profile(m, 32));
+    out
+}
+
+/// Figure 6: latency hiding — interleaved multithreaded PRAM mode vs a
+/// NUMA bunch, single-processor view.
+pub fn fig6() -> String {
+    let config = single_group_config();
+    let mut out = String::from(
+        "== Figure 6: latency hiding (PRAM mode slot rotation vs NUMA bunch) ==\n\n\
+         legend: # compute, M shared memory, L local memory, + flow mgmt, . bubble\n\n",
+    );
+
+    // (a) PRAM mode: every thread slot issues a shared-memory reference;
+    // the rotation hides the round trip.
+    let spmd = assemble(
+        "main:
+            mfs r1, gid
+            ldi r2, 512
+            add r2, r2, r1
+            ld r3, [r2+0]
+            add r3, r3, 1
+            st r3, [r2+0]
+            halt
+        ",
+    )
+    .unwrap();
+    let mut m = PramMachine::new(config.clone(), spmd);
+    m.set_tracing(true);
+    m.run(100).unwrap();
+    out.push_str("(a) PRAM mode, 16 threads, shared-memory traffic:\n");
+    out.push_str(&m.trace().gantt(0));
+    out.push_str(&format!(
+        "    utilization {:.2}\n\n",
+        m.stats().utilization()
+    ));
+
+    // (b) NUMA bunch: 4 threads execute one sequential stream against the
+    // local memory.
+    let numa = assemble(
+        "main:
+            numa 16
+            ldi r2, 8
+            stl r2, [r0+0]
+            ldl r3, [r0+0]
+            add r3, r3, 1
+            stl r3, [r0+0]
+            ldl r4, [r0+0]
+            add r4, r4, r3
+            endnuma
+            halt
+        ",
+    )
+    .unwrap();
+    let mut m = PramMachine::new(config, numa);
+    m.set_tracing(true);
+    m.run(100).unwrap();
+    out.push_str("(b) NUMA bunch of 16, sequential stream on local memory:\n");
+    out.push_str(&m.trace().gantt(0));
+    out.push_str(&format!("    utilization {:.2}\n", m.stats().utilization()));
+    out
+}
+
+/// The mixed workload of the variant figures: four tasks of thickness
+/// 12, 3, 1 and 8 executing a few thick instructions each.
+fn mixed_tasks(m: &mut TcfMachine, entry: usize) {
+    for t in [12usize, 3, 1, 8] {
+        m.spawn_task(entry, t).expect("variant supports tasks");
+    }
+}
+
+const MIXED_SRC: &str = "main:
+        halt
+    task:
+        mfs r1, tid
+        add r2, r1, 1
+        add r2, r2, r2
+        add r2, r2, r1
+        halt
+    ";
+
+fn variant_figure(title: &str, variant: Variant, balanced_note: &str) -> String {
+    let program = assemble(MIXED_SRC).unwrap();
+    let entry = program.label("task").unwrap();
+    let mut m = TcfMachine::new(single_group_config(), variant, program);
+    m.set_tracing(true);
+    mixed_tasks(&mut m, entry);
+    let s = m.run(10_000).unwrap();
+    let mut out = format!("== {title} ==\n{balanced_note}\n");
+    out.push_str(&m.trace().gantt(0));
+    out.push_str(&format!(
+        "steps {}, cycles {}, issued {}, utilization {:.2}\n",
+        s.steps,
+        s.cycles,
+        s.machine.issued(),
+        s.machine.utilization()
+    ));
+    out
+}
+
+/// Figure 7: the Single-instruction variant — every flow executes one
+/// whole TCF instruction per step; thick flows stretch the step for thin
+/// co-resident flows.
+pub fn fig7() -> String {
+    variant_figure(
+        "Figure 7: Single instruction variant (flows of thickness 12, 3, 1, 8 on one group)",
+        Variant::SingleInstruction,
+        "(one TCF instruction per flow per step; the 12-thick flow dominates step length)\n",
+    )
+}
+
+/// Figure 8: the Balanced variant — at most `b` operations per step, with
+/// the next-operation resume pointer.
+pub fn fig8() -> String {
+    variant_figure(
+        "Figure 8: Balanced variant (same flows, bound b = 4)",
+        Variant::Balanced { bound: 4 },
+        "(at most 4 operations of a TCF instruction per step; thick instructions span steps)\n",
+    )
+}
+
+/// Figure 9: the Multi-instruction (XMT-like) variant.
+pub fn fig9() -> String {
+    let program = assemble(
+        "main:
+            spawn 8, body
+            halt
+        body:
+            mfs r1, tid
+            add r2, r1, 1
+            add r2, r2, r2
+            add r2, r2, r1
+            sjoin
+        ",
+    )
+    .unwrap();
+    let mut m = TcfMachine::new(single_group_config(), Variant::MultiInstruction, program);
+    m.set_tracing(true);
+    let s = m.run(10_000).unwrap();
+    let mut out = String::from(
+        "== Figure 9: Multi-instruction variant (XMT): spawn 8 asynchronous threads ==\n\
+         (threads run from creation to termination; no lockstep; sync only at sjoin)\n",
+    );
+    out.push_str(&m.trace().gantt(0));
+    out.push_str(&format!(
+        "steps {}, cycles {}, issued {}\n",
+        s.steps,
+        s.cycles,
+        s.machine.issued()
+    ));
+    out
+}
+
+/// Figure 10: the Single-operation (interleaved ESM) variant with low
+/// TLP: dead thread slots burn issue cycles.
+pub fn fig10() -> String {
+    let program = assemble(
+        "main:
+            mfs r1, gid
+            slt r2, r1, 4
+            bnez r2, work
+            halt
+        work:
+            add r3, r1, 1
+            add r3, r3, r3
+            add r3, r3, r1
+            add r3, r3, 7
+            halt
+        ",
+    )
+    .unwrap();
+    let mut m = TcfMachine::new(single_group_config(), Variant::SingleOperation, program);
+    m.set_tracing(true);
+    let s = m.run(10_000).unwrap();
+    let mut out = String::from(
+        "== Figure 10: Single-operation variant (ESM): 4 of 16 threads live ==\n\
+         (the fixed thread rotation spends slots on halted threads: the low-TLP problem)\n",
+    );
+    out.push_str(&m.trace().gantt(0));
+    out.push_str(&format!(
+        "steps {}, cycles {}, utilization {:.2}\n",
+        s.steps,
+        s.cycles,
+        s.machine.utilization()
+    ));
+    out
+}
+
+/// Figure 11: the Configurable single operation (original PRAM-NUMA)
+/// variant: the same low-TLP section recovered by a NUMA bunch.
+pub fn fig11() -> String {
+    let program = assemble(
+        "main:
+            numa 16
+            ldi r3, 0
+            add r3, r3, 1
+            add r3, r3, r3
+            add r3, r3, 7
+            add r3, r3, 1
+            add r3, r3, r3
+            add r3, r3, 7
+            endnuma
+            halt
+        ",
+    )
+    .unwrap();
+    let mut m = TcfMachine::new(
+        single_group_config(),
+        Variant::ConfigurableSingleOperation,
+        program,
+    );
+    m.set_tracing(true);
+    let s = m.run(10_000).unwrap();
+    let mut out = String::from(
+        "== Figure 11: Configurable single operation (PRAM-NUMA): 16-thread NUMA bunch ==\n\
+         (the bunch executes 16 consecutive instructions per step like one fast processor)\n",
+    );
+    out.push_str(&m.trace().gantt(0));
+    out.push_str(&format!(
+        "steps {}, cycles {}, utilization {:.2}\n",
+        s.steps,
+        s.cycles,
+        s.machine.utilization()
+    ));
+    out
+}
+
+/// Figure 12: the Fixed-thickness (vector/SIMD) variant: masked two-way
+/// conditional executed as two sequential passes.
+pub fn fig12() -> String {
+    let program = workloads::masked_two_way(16);
+    let mut m = TcfMachine::new(
+        single_group_config(),
+        Variant::FixedThickness { width: 16 },
+        program,
+    );
+    workloads::init_arrays_tcf(&mut m, 16);
+    m.set_tracing(true);
+    let s = m.run(10_000).unwrap();
+    let mut out = String::from(
+        "== Figure 12: Fixed thickness variant (SIMD width 16): masked two-way conditional ==\n\
+         (no control parallelism: both paths execute sequentially under masks)\n",
+    );
+    out.push_str(&m.trace().gantt(0));
+    out.push_str(&format!("steps {}, cycles {}\n", s.steps, s.cycles));
+    out
+}
+
+/// Figure 13: the CESM pipeline fed from the TCF storage buffer —
+/// resident flows switch for free; over-capacity working sets pay the
+/// reload, shown as a buffer-size sweep.
+pub fn fig13() -> String {
+    let mut out = String::from(
+        "== Figure 13: CESM processor with TCF storage buffer ==\n\n\
+         (a) 4 resident tasks cycling through the pipeline (buffer 16, no overhead):\n",
+    );
+    let program = workloads::task_program(6);
+    let entry = program.label("task").unwrap();
+    let mut m = TcfMachine::new(
+        single_group_config(),
+        Variant::SingleInstruction,
+        program.clone(),
+    );
+    m.set_tracing(true);
+    for _ in 0..4 {
+        m.spawn_task(entry, 1).unwrap();
+    }
+    m.run(10_000).unwrap();
+    out.push_str(&m.trace().gantt(0));
+
+    out.push_str("\n(b) TCF buffer capacity sweep, 16 tasks of 40 iterations each:\n");
+    let mut t = TextTable::new(vec![
+        "buffer slots",
+        "switches",
+        "misses",
+        "overhead cycles",
+        "total cycles",
+    ]);
+    for slots in [1usize, 2, 4, 8, 16, 32] {
+        let mut config = single_group_config();
+        config.tcf_buffer_slots = slots;
+        let mut m = TcfMachine::new(config, Variant::SingleInstruction, program.clone());
+        for _ in 0..16 {
+            m.spawn_task(entry, 1).unwrap();
+        }
+        let s = m.run(100_000).unwrap();
+        let switches: u64 = m.buffers().iter().map(|b| b.switches).sum();
+        let misses: u64 = m.buffers().iter().map(|b| b.misses).sum();
+        t.row(vec![
+            slots.to_string(),
+            switches.to_string(),
+            misses.to_string(),
+            s.machine.overhead_cycles.to_string(),
+            s.cycles.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "(the knee: once the 16-task working set fits the buffer, every switch\n \
+         after the cold loads is free -- the extended model's cheap multitasking)\n",
+    );
+    out
+}
+
+/// Renders one figure by number (1..=13), or all of them.
+pub fn figure(n: usize, config: &MachineConfig) -> Option<String> {
+    Some(match n {
+        1 => fig1(config),
+        2 => fig2(config),
+        3 => fig3(),
+        4 => fig4(),
+        5 => fig5(config),
+        6 => fig6(),
+        7 => fig7(),
+        8 => fig8(),
+        9 => fig9(),
+        10 => fig10(),
+        11 => fig11(),
+        12 => fig12(),
+        13 => fig13(),
+        _ => return None,
+    })
+}
+
+/// All figures concatenated.
+pub fn all(config: &MachineConfig) -> String {
+    (1..=13)
+        .map(|n| figure(n, config).unwrap())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventories_render() {
+        let c = MachineConfig::small();
+        assert!(fig1(&c).contains("ESM"));
+        assert!(fig2(&c).contains("PRAM-NUMA machine"));
+        assert!(fig5(&c).contains("TCF buffer"));
+    }
+
+    #[test]
+    fn thickness_profiles_show_blocks() {
+        let f3 = fig3();
+        assert!(f3.contains("23"), "{f3}");
+        assert!(f3.contains("15"), "{f3}");
+        assert!(f3.contains("8"), "{f3}");
+        let f4 = fig4();
+        assert!(f4.contains("12"), "{f4}");
+    }
+
+    #[test]
+    fn fig6_shows_both_modes() {
+        let f = fig6();
+        assert!(f.contains("(a) PRAM mode"));
+        assert!(f.contains("(b) NUMA bunch"));
+        assert!(f.contains('M'), "shared traffic missing:\n{f}");
+        assert!(f.contains('L'), "local traffic missing:\n{f}");
+    }
+
+    #[test]
+    fn variant_figures_render() {
+        for n in 7..=12 {
+            let f = figure(n, &MachineConfig::small()).unwrap();
+            assert!(f.contains("cycles"), "figure {n} incomplete:\n{f}");
+        }
+    }
+
+    #[test]
+    fn fig13_sweep_has_knee() {
+        let f = fig13();
+        assert!(f.contains("buffer slots"));
+        // The 1-slot row must show far more overhead than the 32-slot row.
+        let rows: Vec<&str> = f
+            .lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .collect();
+        assert!(rows.len() >= 6, "{f}");
+    }
+}

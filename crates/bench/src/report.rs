@@ -1,0 +1,129 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// One cell's text (empty string when out of range).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        let measure = |row: &[String], width: &mut Vec<usize>| {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        };
+        measure(&self.header, &mut width);
+        for r in &self.rows {
+            measure(r, &mut width);
+        }
+        let fmt_row = |row: &[String]| {
+            let mut line = String::new();
+            for (i, w) in width.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn ratio(new: f64, base: f64) -> String {
+    if base == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", new / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a-much-longer-name", "23456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("short"));
+        // Columns aligned: "1" and "23456" start at the same offset.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find('2').unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(10.0, 4.0), "2.50x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,346 @@
+//! Table 1 reproduction: key properties and measured costs of primitive
+//! operations across the six variants.
+//!
+//! The paper states the property matrix analytically; this module prints
+//! that matrix (derived from the model definitions in
+//! `tcf_core::Variant::properties`) and then *measures* the three cost
+//! rows on the simulator:
+//!
+//! * **fetches per element operation** — instruction-memory pressure of
+//!   the thick vector add (`#N; c.=a.+b.;` vs its loop/fork forms),
+//! * **task switch cost** — cycles of switching between resident tasks
+//!   (TCF variants: the TCF buffer; thread machines: the software
+//!   save/restore of all `T_p × R` registers),
+//! * **flow branch cost** — cycles charged for creating parallel flows
+//!   (`split`: `O(R)` register copies) vs a plain branch.
+
+use tcf_core::{TcfMachine, Variant};
+use tcf_isa::asm::assemble;
+use tcf_machine::MachineConfig;
+use tcf_pram::PramMachine;
+
+use crate::report::TextTable;
+use crate::workloads;
+
+/// Renders the analytic property matrix (the static half of Table 1).
+pub fn analytic(config: &MachineConfig) -> String {
+    let mut t = TextTable::new(vec![
+        "property",
+        "Single instr",
+        "Balanced",
+        "Multi-instr",
+        "Single-op",
+        "Config single-op",
+        "Fixed thickness",
+    ]);
+    let props: Vec<_> = Variant::all(config.threads_per_group)
+        .iter()
+        .map(|v| v.properties(config))
+        .collect();
+    let row = |t: &mut TextTable, name: &str, f: &dyn Fn(&tcf_core::variant::VariantProperties) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(props.iter().map(f));
+        t.row(cells);
+    };
+    row(&mut t, "Number of TCFs", &|p| p.num_tcfs.clone());
+    row(&mut t, "Number of threads", &|p| p.num_threads.clone());
+    row(&mut t, "Registers per thread", &|p| p.regs_per_thread.clone());
+    row(&mut t, "Fetches per TCF", &|p| p.fetches_per_tcf.clone());
+    row(&mut t, "Cost of task switch", &|p| p.task_switch.to_string());
+    row(&mut t, "Cost of flow branch", &|p| p.flow_branch.to_string());
+    row(&mut t, "PRAM operation", &|p| yn(p.pram_op));
+    row(&mut t, "NUMA operation", &|p| yn(p.numa_op));
+    row(&mut t, "Sequential operation", &|p| p.sequential.to_string());
+    row(&mut t, "MIMD", &|p| yn(p.mimd));
+    t.render()
+}
+
+fn yn(b: bool) -> String {
+    if b { "yes" } else { "no" }.to_string()
+}
+
+/// Measured fetches per element operation of the vector add on each
+/// variant (Table 1's fetch row, made quantitative).
+pub fn measured_fetches(config: &MachineConfig) -> TextTable {
+    let size = 4 * config.total_threads();
+    let mut t = TextTable::new(vec!["variant", "fetches", "element ops", "fetches/element"]);
+
+    let mut record = |name: &str, fetches: u64, elems: usize| {
+        t.row(vec![
+            name.to_string(),
+            fetches.to_string(),
+            elems.to_string(),
+            format!("{:.4}", fetches as f64 / elems as f64),
+        ]);
+    };
+
+    // Single instruction: one fetch per TCF instruction.
+    let mut m = workloads::tcf_machine(
+        config,
+        Variant::SingleInstruction,
+        workloads::tcf_vector_add(size),
+    );
+    workloads::init_arrays_tcf(&mut m, size);
+    let s = m.run(1_000_000).unwrap();
+    workloads::check_vector_add(|a| m.peek(a).unwrap(), size);
+    record("Single instruction", s.machine.fetches, size);
+
+    // Balanced: refetch per slice -> u/b fetches per thick instruction.
+    let bound = 8;
+    let mut m = workloads::tcf_machine(
+        config,
+        Variant::Balanced { bound },
+        workloads::tcf_vector_add(size),
+    );
+    workloads::init_arrays_tcf(&mut m, size);
+    let s = m.run(1_000_000).unwrap();
+    record(&format!("Balanced (b = {bound})"), s.machine.fetches, size);
+
+    // Multi-instruction: every spawned thread fetches its own stream.
+    let mut m = workloads::tcf_machine(
+        config,
+        Variant::MultiInstruction,
+        fork_vector_add(size),
+    );
+    workloads::init_arrays_tcf(&mut m, size);
+    let s = m.run(1_000_000).unwrap();
+    workloads::check_vector_add(|a| m.peek(a).unwrap(), size);
+    record("Multi-instruction", s.machine.fetches, size);
+
+    // Single-operation: the loop version, one fetch per thread per
+    // instruction.
+    let mut m = workloads::tcf_machine(
+        config,
+        Variant::SingleOperation,
+        workloads::loop_vector_add(size),
+    );
+    workloads::init_arrays_tcf(&mut m, size);
+    let s = m.run(1_000_000).unwrap();
+    workloads::check_vector_add(|a| m.peek(a).unwrap(), size);
+    record("Single-operation", s.machine.fetches, size);
+
+    // Configurable single operation: same fetch behaviour as
+    // Single-operation for data-parallel code.
+    let mut m = workloads::tcf_machine(
+        config,
+        Variant::ConfigurableSingleOperation,
+        workloads::loop_vector_add(size),
+    );
+    workloads::init_arrays_tcf(&mut m, size);
+    let s = m.run(1_000_000).unwrap();
+    record("Config single-op", s.machine.fetches, size);
+
+    // Fixed thickness: chunked vector loop at the fixed width.
+    let width = config.threads_per_group;
+    let mut m = workloads::tcf_machine(
+        config,
+        Variant::FixedThickness { width },
+        chunked_vector_add(size, width),
+    );
+    workloads::init_arrays_tcf(&mut m, size);
+    let s = m.run(1_000_000).unwrap();
+    workloads::check_vector_add(|a| m.peek(a).unwrap(), size);
+    record("Fixed thickness", s.machine.fetches, size);
+
+    t
+}
+
+/// Vector add for the Multi-instruction variant: `fork` one thread per
+/// element.
+fn fork_vector_add(size: usize) -> tcf_isa::program::Program {
+    let (a, b, c) = (workloads::A_BASE, workloads::B_BASE, workloads::C_BASE);
+    tcf_lang::compile(&format!(
+        "shared int a[{size}] @ {a};
+         shared int b[{size}] @ {b};
+         shared int c[{size}] @ {c};
+         void main() {{
+             fork (i = 0; i < {size}) {{
+                 c[i] = a[i] + b[i];
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// Vector add for the Fixed-thickness variant: the width-`w` vector flow
+/// loops over size/w chunks.
+fn chunked_vector_add(size: usize, width: usize) -> tcf_isa::program::Program {
+    let (a, b, c) = (workloads::A_BASE, workloads::B_BASE, workloads::C_BASE);
+    tcf_lang::compile(&format!(
+        "shared int a[{size}] @ {a};
+         shared int b[{size}] @ {b};
+         shared int c[{size}] @ {c};
+         void main() {{
+             int chunk = 0;
+             while (chunk < {size}) {{
+                 c[. + chunk] = a[. + chunk] + b[. + chunk];
+                 chunk = chunk + {width};
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// Measured task-switch cost (cycles per switch).
+pub fn measured_task_switch(config: &MachineConfig) -> TextTable {
+    let mut t = TextTable::new(vec!["model", "scenario", "cycles/switch"]);
+
+    // Extended model, tasks resident in the TCF buffer: free.
+    let ntasks = (config.tcf_buffer_slots / 2).max(2);
+    let program = workloads::task_program(50);
+    let entry = program.label("task").unwrap();
+    let mut m = TcfMachine::new(config.clone(), Variant::SingleInstruction, program.clone());
+    for _ in 0..ntasks {
+        m.spawn_task(entry, 1).unwrap();
+    }
+    let s = m.run(1_000_000).unwrap();
+    let switches: u64 = m.buffers().iter().map(|b| b.switches).sum();
+    let overhead: u64 = m.buffers().iter().map(|b| b.overhead_cycles).sum();
+    t.row(vec![
+        "Extended (SI)".to_string(),
+        format!("{ntasks} tasks resident"),
+        format!("{:.3} (cold loads only)", overhead as f64 / switches.max(1) as f64),
+    ]);
+    drop(s);
+
+    // Extended model beyond buffer capacity: pays the reload.
+    let mut over = config.clone();
+    over.tcf_buffer_slots = 2;
+    let mut m = TcfMachine::new(over, Variant::SingleInstruction, program);
+    for _ in 0..8 {
+        m.spawn_task(entry, 1).unwrap();
+    }
+    m.run(1_000_000).unwrap();
+    let switches: u64 = m.buffers().iter().map(|b| b.switches).sum();
+    let overhead: u64 = m.buffers().iter().map(|b| b.overhead_cycles).sum();
+    t.row(vec![
+        "Extended (SI)".to_string(),
+        "8 tasks, 2-slot buffer (thrashing)".to_string(),
+        format!("{:.3}", overhead as f64 / switches.max(1) as f64),
+    ]);
+
+    // ESM / thread machines: software save+restore of every thread's R
+    // registers.
+    let regs = config.regs_per_thread;
+    let mut m = PramMachine::new(
+        config.clone(),
+        workloads::context_switch_program(regs, config.shared_size / 2),
+    );
+    let s = m.run(1_000_000).unwrap();
+    t.row(vec![
+        "ESM (Single-op/Config/Fixed)".to_string(),
+        format!("save+restore {} regs x {} threads", regs, config.threads_per_group),
+        format!("{}", s.cycles),
+    ]);
+
+    t
+}
+
+/// Measured flow-branch cost: creating control parallelism.
+pub fn measured_flow_branch(config: &MachineConfig) -> TextTable {
+    let mut t = TextTable::new(vec!["model", "operation", "overhead cycles"]);
+
+    // Extended model: split to one child + join (O(R) register copy).
+    let program = assemble(
+        "main:
+            split (1 -> child)
+            halt
+        child:
+            join
+        ",
+    )
+    .unwrap();
+    let mut m = TcfMachine::new(config.clone(), Variant::SingleInstruction, program);
+    let s = m.run(100).unwrap();
+    t.row(vec![
+        "Extended (SI)".to_string(),
+        "split 1 child".to_string(),
+        format!("{} (R = {})", s.machine.overhead_cycles, config.regs_per_thread),
+    ]);
+
+    // Thread machine: a conditional branch costs one instruction slot.
+    let program = assemble(
+        "main:
+            mfs r1, gid
+            bnez r1, skip
+        skip:
+            halt
+        ",
+    )
+    .unwrap();
+    let mut m = PramMachine::new(config.clone(), program);
+    let s = m.run(100).unwrap();
+    t.row(vec![
+        "ESM baseline".to_string(),
+        "conditional branch".to_string(),
+        format!("0 (branch is 1 of {} issued ops)", s.machine.issued()),
+    ]);
+
+    t
+}
+
+/// The full Table 1 report.
+pub fn report(config: &MachineConfig) -> String {
+    let mut out = String::new();
+    out.push_str("== Table 1: key properties of the extended PRAM-NUMA variants ==\n\n");
+    out.push_str(&analytic(config));
+    out.push_str("\n-- measured: instruction fetches (vector add, size = 4*P*Tp) --\n");
+    out.push_str(&measured_fetches(config).render());
+    out.push_str("\n-- measured: task switch --\n");
+    out.push_str(&measured_task_switch(config).render());
+    out.push_str("\n-- measured: flow branch --\n");
+    out.push_str(&measured_flow_branch(config).render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_table_covers_all_variants() {
+        let s = analytic(&MachineConfig::small());
+        assert!(s.contains("Single instr"));
+        assert!(s.contains("Fixed thickness"));
+        assert!(s.contains("Fetches per TCF"));
+    }
+
+    #[test]
+    fn measured_fetches_shape() {
+        // The extended model must need far fewer fetches per element than
+        // the thread machines (Table 1: 1 vs T_p per TCF instruction).
+        let t = measured_fetches(&MachineConfig::small());
+        let rendered = t.render();
+        let get = |name: &str| -> f64 {
+            rendered
+                .lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("row {name} missing:\n{rendered}"))
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let si = get("Single instruction");
+        let so = get("Single-operation");
+        let mi = get("Multi-instruction");
+        assert!(si * 10.0 < so, "SI {si} vs SO {so}");
+        assert!(si * 10.0 < mi, "SI {si} vs MI {mi}");
+    }
+
+    #[test]
+    fn task_switch_free_when_resident() {
+        let t = measured_task_switch(&MachineConfig::small());
+        let r = t.render();
+        assert!(r.contains("cold loads only"));
+        assert!(r.contains("thrashing"));
+    }
+
+    #[test]
+    fn flow_branch_is_order_r() {
+        let t = measured_flow_branch(&MachineConfig::small()).render();
+        // Split overhead should be R = 32 cycles on the small config.
+        assert!(t.contains("32"), "{t}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Workload generators: the tce sources and assembly programs used by the
+//! experiments, parameterized by problem size.
+
+use tcf_core::{Allocation, TcfMachine, Variant};
+use tcf_isa::asm::assemble;
+use tcf_isa::program::Program;
+use tcf_isa::word::Word;
+use tcf_lang::{compile, compile_with, CompileOptions};
+use tcf_machine::MachineConfig;
+use tcf_pram::PramMachine;
+
+/// Memory map shared by the array workloads.
+pub const A_BASE: usize = 1 << 14;
+/// Second input vector base.
+pub const B_BASE: usize = 2 << 14;
+/// Output vector base.
+pub const C_BASE: usize = 3 << 14;
+
+/// The TCF version of the §4 array add: `#size; c. = a. + b.;`.
+pub fn tcf_vector_add(size: usize) -> Program {
+    compile(&format!(
+        "shared int a[{size}] @ {A_BASE};
+         shared int b[{size}] @ {B_BASE};
+         shared int c[{size}] @ {C_BASE};
+         void main() {{
+             #{size};
+             c[.] = a[.] + b[.];
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// The thread-model version with the loop (`size` may exceed the thread
+/// count) — §4's `for (i = thread_id; i < size; i += number_of_threads)`.
+pub fn loop_vector_add(size: usize) -> Program {
+    compile(&format!(
+        "shared int a[{size}] @ {A_BASE};
+         shared int b[{size}] @ {B_BASE};
+         shared int c[{size}] @ {C_BASE};
+         void main() {{
+             int total = nprocs * nthreads;
+             int i = gid;
+             while (i < {size}) {{
+                 c[i] = a[i] + b[i];
+                 i = i + total;
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// The thread-model version with the guard (`size` below the thread
+/// count) — §4's `if (thread_id < size) ...`.
+pub fn guard_vector_add(size: usize) -> Program {
+    compile(&format!(
+        "shared int a[{size}] @ {A_BASE};
+         shared int b[{size}] @ {B_BASE};
+         shared int c[{size}] @ {C_BASE};
+         void main() {{
+             if (gid < {size}) {{
+                 c[gid] = a[gid] + b[gid];
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// TCF multiprefix reduction: `prefix(sum, MPADD, value)` at thickness
+/// `size`.
+pub fn tcf_prefix(size: usize) -> Program {
+    compile(&format!(
+        "shared int sum @ 64;
+         shared int out[{size}] @ {C_BASE};
+         void main() {{
+             #{size};
+             out[.] = prefix(sum, MPADD, . + 1);
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// Thread-model multiprefix with the §4 loop.
+pub fn loop_prefix(size: usize) -> Program {
+    compile(&format!(
+        "shared int sum @ 64;
+         shared int out[{size}] @ {C_BASE};
+         void main() {{
+             int total = nprocs * nthreads;
+             int i = gid;
+             while (i < {size}) {{
+                 out[i] = prefix(sum, MPADD, i + 1);
+                 i = i + total;
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// The §4 dependent loop (Hillis–Steele scan) in TCF form.
+pub fn tcf_scan(size: usize) -> Program {
+    compile(&format!(
+        "shared int src[{size}] @ {A_BASE};
+         void main() {{
+             int i = 1;
+             while (i < {size}) {{
+                 #{size} - i: src[. + i] = src[. + i] + src[.];
+                 i = i << 1;
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// The §4 dependent loop in thread form with the guard.
+///
+/// Only valid for `size <= P*T_p` (one element per thread, no outer
+/// loop), matching the paper's presentation. Compiled with masked conditionals so every thread executes the same
+/// instruction sequence: a per-thread *branch* would let unguarded
+/// threads race ahead to the next `i` iteration before the guarded
+/// threads' stores land, breaking the dependence the paper's lockstep
+/// argument relies on.
+pub fn loop_scan(size: usize) -> Program {
+    compile_with(
+        &format!(
+            "shared int src[{size}] @ {A_BASE};
+             void main() {{
+                 int i = 1;
+                 while (i < {size}) {{
+                     int sel = (gid >= i) && (gid < {size});
+                     if (sel) {{ src[gid] = src[gid] + src[gid - i]; }}
+                     i = i << 1;
+                 }}
+             }}"
+        ),
+        CompileOptions {
+            masked_conditionals: true,
+            ..Default::default()
+        },
+    )
+    .expect("workload compiles")
+}
+
+/// The §4 dependent loop as Multi-instruction `fork`s.
+///
+/// The paper notes the fork construct synchronizes only at join and that
+/// asynchronous threads "do not work if there are dependencies between
+/// the threads": the naive `src[t] += src[t-i]` races within one level.
+/// The standard remedy — and the "remarkable overhead" the paper
+/// predicts — is double buffering through a scratch array, doubling the
+/// per-level work.
+pub fn fork_scan(size: usize) -> Program {
+    compile(&format!(
+        "shared int src[{size}] @ {A_BASE};
+         shared int tmp[{size}] @ {B_BASE};
+         void main() {{
+             int i = 1;
+             while (i < {size}) {{
+                 fork (t = 0; t < {size}) {{
+                     int v = src[t];
+                     if (t >= i) {{
+                         v = v + src[t - i];
+                     }}
+                     tmp[t] = v;
+                 }}
+                 fork (t = 0; t < {size}) {{
+                     src[t] = tmp[t];
+                 }}
+                 i = i << 1;
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// Two-way conditional: TCF `parallel` version (P5).
+pub fn tcf_two_way(size: usize) -> Program {
+    let half = size / 2;
+    compile(&format!(
+        "shared int a[{size}] @ {A_BASE};
+         shared int b[{size}] @ {B_BASE};
+         shared int c[{size}] @ {C_BASE};
+         void main() {{
+             parallel {{
+                 #{half}: c[.] = a[.] + b[.];
+                 #{half}: c[. + {half}] = 0;
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// Two-way conditional: Fixed-thickness masked version (sequential
+/// passes, P5's SIMD case).
+pub fn masked_two_way(size: usize) -> Program {
+    let half = size / 2;
+    compile_with(
+        &format!(
+            "shared int a[{size}] @ {A_BASE};
+             shared int b[{size}] @ {B_BASE};
+             shared int c[{size}] @ {C_BASE};
+             void main() {{
+                 int lo = . < {half};
+                 if (lo) {{ c[.] = a[.] + b[.]; }} else {{ c[.] = 0; }}
+             }}"
+        ),
+        CompileOptions {
+            masked_conditionals: true,
+            ..Default::default()
+        },
+    )
+    .expect("workload compiles")
+}
+
+/// Low-parallelism sequential section: TCF NUMA form (`#1/T`).
+pub fn tcf_numa_seq(iters: usize, bunch: usize) -> Program {
+    compile(&format!(
+        "shared int acc @ 70;
+         void main() {{
+             numa ({bunch}) {{
+                 int i = 0;
+                 while (i < {iters}) {{
+                     i = i + 1;
+                 }}
+                 acc = i;
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// Low-parallelism sequential section: plain single-thread form.
+pub fn plain_seq(iters: usize) -> Program {
+    compile(&format!(
+        "shared int acc @ 70;
+         void main() {{
+             if (gid == 0) {{
+                 int i = 0;
+                 while (i < {iters}) {{
+                     i = i + 1;
+                 }}
+                 acc = i;
+             }}
+         }}"
+    ))
+    .expect("workload compiles")
+}
+
+/// A task body for multitasking experiments: `iters` loop iterations at
+/// thickness 1, then halt. Root program only halts.
+pub fn task_program(iters: usize) -> Program {
+    assemble(&format!(
+        "main:
+            halt
+        task:
+            ldi r1, {iters}
+        loop:
+            sub r1, r1, 1
+            bnez r1, loop
+            halt
+        "
+    ))
+    .expect("workload assembles")
+}
+
+/// The ESM software context-switch cost probe: every thread saves and
+/// restores its `R`-register context to shared memory — what a
+/// time-shared ESM must do per task switch (Table 1's `O(T_p)` row,
+/// measured).
+pub fn context_switch_program(regs: usize, save_base: usize) -> Program {
+    let mut src = String::from("main:\n    mfs r1, gid\n");
+    // Context area: R words per thread.
+    src.push_str(&format!("    ldi r2, {regs}\n    mul r2, r2, r1\n"));
+    src.push_str(&format!("    ldi r3, {save_base}\n    add r2, r2, r3\n"));
+    for k in 0..regs {
+        src.push_str(&format!("    st r4, [r2+{k}]\n"));
+    }
+    for k in 0..regs {
+        src.push_str(&format!("    ld r4, [r2+{k}]\n"));
+    }
+    src.push_str("    halt\n");
+    assemble(&src).expect("workload assembles")
+}
+
+/// Initializes the array workload inputs in a TCF machine.
+pub fn init_arrays_tcf(m: &mut TcfMachine, size: usize) {
+    for i in 0..size {
+        m.poke(A_BASE + i, i as Word).unwrap();
+        m.poke(B_BASE + i, 2 * i as Word).unwrap();
+    }
+}
+
+/// Initializes the array workload inputs in a baseline machine.
+pub fn init_arrays_pram(m: &mut PramMachine, size: usize) {
+    for i in 0..size {
+        m.poke(A_BASE + i, i as Word).unwrap();
+        m.poke(B_BASE + i, 2 * i as Word).unwrap();
+    }
+}
+
+/// Checks the vector-add output.
+pub fn check_vector_add(peek: impl Fn(usize) -> Word, size: usize) {
+    for i in 0..size {
+        assert_eq!(peek(C_BASE + i), 3 * i as Word, "c[{i}] wrong");
+    }
+}
+
+/// Builds a TCF machine for `variant` on `config` running `program`.
+pub fn tcf_machine(config: &MachineConfig, variant: Variant, program: Program) -> TcfMachine {
+    TcfMachine::new(config.clone(), variant, program)
+}
+
+/// Builds a TCF machine with an explicit allocation policy.
+pub fn tcf_machine_alloc(
+    config: &MachineConfig,
+    variant: Variant,
+    program: Program,
+    alloc: Allocation,
+) -> TcfMachine {
+    TcfMachine::with_allocation(config.clone(), variant, program, alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_compile() {
+        tcf_vector_add(64);
+        loop_vector_add(64);
+        guard_vector_add(8);
+        tcf_prefix(64);
+        loop_prefix(64);
+        tcf_scan(64);
+        loop_scan(64);
+        fork_scan(32);
+        tcf_two_way(64);
+        masked_two_way(64);
+        tcf_numa_seq(10, 4);
+        plain_seq(10);
+        task_program(10);
+        context_switch_program(8, 4096);
+    }
+
+    #[test]
+    fn tcf_vector_add_runs_correctly() {
+        let cfg = MachineConfig::small();
+        let mut m = tcf_machine(&cfg, Variant::SingleInstruction, tcf_vector_add(128));
+        init_arrays_tcf(&mut m, 128);
+        m.run(10_000).unwrap();
+        check_vector_add(|a| m.peek(a).unwrap(), 128);
+    }
+
+    #[test]
+    fn loop_vector_add_runs_correctly_on_baseline() {
+        let cfg = MachineConfig::small();
+        let mut m = PramMachine::new(cfg, loop_vector_add(128));
+        init_arrays_pram(&mut m, 128);
+        m.run(10_000).unwrap();
+        check_vector_add(|a| m.peek(a).unwrap(), 128);
+    }
+
+    #[test]
+    fn scan_versions_agree() {
+        let cfg = MachineConfig::small();
+        let size = 64;
+        let run_tcf = |variant, program| {
+            let mut m = tcf_machine(&cfg, variant, program);
+            for j in 0..size {
+                m.poke(A_BASE + j, 1).unwrap();
+            }
+            m.run(100_000).unwrap();
+            (0..size).map(|j| m.peek(A_BASE + j).unwrap()).collect::<Vec<_>>()
+        };
+        let tcf = run_tcf(Variant::SingleInstruction, tcf_scan(size));
+        let fork = run_tcf(Variant::MultiInstruction, fork_scan(size));
+        let expected: Vec<Word> = (1..=size as Word).collect();
+        assert_eq!(tcf, expected);
+        assert_eq!(fork, expected);
+
+        let mut m = PramMachine::new(cfg, loop_scan(size));
+        for j in 0..size {
+            m.poke(A_BASE + j, 1).unwrap();
+        }
+        m.run(100_000).unwrap();
+        let baseline: Vec<Word> = (0..size).map(|j| m.peek(A_BASE + j).unwrap()).collect();
+        assert_eq!(baseline, expected);
+    }
+}

@@ -1,0 +1,154 @@
+//! Faults of the extended-model runtime.
+
+use core::fmt;
+
+use tcf_mem::MemError;
+
+/// What went wrong inside a flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcfFault {
+    /// A memory access faulted.
+    Mem(MemError),
+    /// The program counter left the program without halting.
+    PcOutOfRange {
+        /// The bad pc.
+        pc: usize,
+    },
+    /// `ret` with an empty call stack.
+    EmptyCallStack,
+    /// A branch condition differed between implicit threads. The model
+    /// requires the whole flow to select exactly one path through a
+    /// control statement (§2.2); diverging programs must use `split`.
+    DivergentBranch {
+        /// Program counter of the branch.
+        pc: usize,
+    },
+    /// An operand that must be flow-wise uniform (thickness, NUMA bunch
+    /// length, split arm thickness) was not.
+    NonUniformOperand {
+        /// What the operand configures.
+        what: &'static str,
+    },
+    /// The instruction is not available under the active variant (e.g.
+    /// `setthick` on the Fixed-thickness variant).
+    UnsupportedByVariant {
+        /// Rendered instruction.
+        instr: String,
+        /// Active variant name.
+        variant: &'static str,
+    },
+    /// A thickness or bunch length was invalid (zero where disallowed,
+    /// negative, or absurdly large).
+    BadThickness {
+        /// The requested value.
+        requested: i64,
+    },
+    /// NUMA bunch formation failed (Configurable single operation
+    /// variant): sibling flows missing, diverged, or in another group.
+    BunchFormation {
+        /// Description.
+        why: String,
+    },
+    /// `endnuma` executed by a flow that is not in NUMA mode.
+    NotInNuma,
+    /// `join`/`sjoin` executed by a flow with no parent to notify.
+    StrayJoin,
+    /// Every remaining flow is blocked on a join that can never complete.
+    Deadlock,
+    /// The run exceeded the step budget without halting.
+    StepBudgetExhausted {
+        /// The exhausted budget.
+        budget: u64,
+    },
+    /// Internal invariant violation (a bug in the runtime, not the guest).
+    Internal {
+        /// Description.
+        what: String,
+    },
+}
+
+impl From<MemError> for TcfFault {
+    fn from(e: MemError) -> TcfFault {
+        TcfFault::Mem(e)
+    }
+}
+
+impl fmt::Display for TcfFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcfFault::Mem(e) => write!(f, "memory fault: {e}"),
+            TcfFault::PcOutOfRange { pc } => write!(f, "pc {pc} outside program"),
+            TcfFault::EmptyCallStack => f.write_str("ret with empty call stack"),
+            TcfFault::DivergentBranch { pc } => write!(
+                f,
+                "branch at pc {pc} diverged between implicit threads (use split)"
+            ),
+            TcfFault::NonUniformOperand { what } => {
+                write!(f, "{what} operand must be uniform across the flow")
+            }
+            TcfFault::UnsupportedByVariant { instr, variant } => {
+                write!(f, "`{instr}` is not supported by the {variant} variant")
+            }
+            TcfFault::BadThickness { requested } => write!(f, "bad thickness {requested}"),
+            TcfFault::BunchFormation { why } => write!(f, "bunch formation failed: {why}"),
+            TcfFault::NotInNuma => f.write_str("endnuma outside NUMA mode"),
+            TcfFault::StrayJoin => f.write_str("join without a parent flow"),
+            TcfFault::Deadlock => f.write_str("all runnable flows blocked on unjoinable children"),
+            TcfFault::StepBudgetExhausted { budget } => {
+                write!(f, "program did not halt within {budget} steps")
+            }
+            TcfFault::Internal { what } => write!(f, "internal runtime error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TcfFault {}
+
+/// A fault with machine context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcfError {
+    /// The fault.
+    pub fault: TcfFault,
+    /// Machine step at which it occurred.
+    pub step: u64,
+    /// Flow involved, when known.
+    pub flow: Option<u32>,
+}
+
+impl fmt::Display for TcfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {}", self.step)?;
+        if let Some(id) = self.flow {
+            write!(f, ", flow {id}")?;
+        }
+        write!(f, ": {}", self.fault)
+    }
+}
+
+impl std::error::Error for TcfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = TcfError {
+            fault: TcfFault::DivergentBranch { pc: 9 },
+            step: 4,
+            flow: Some(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 4"));
+        assert!(s.contains("flow 2"));
+        assert!(s.contains("pc 9"));
+    }
+
+    #[test]
+    fn variants_render() {
+        assert!(TcfFault::Deadlock.to_string().contains("blocked"));
+        assert!(TcfFault::BadThickness { requested: -1 }
+            .to_string()
+            .contains("-1"));
+    }
+}

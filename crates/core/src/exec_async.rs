@@ -1,0 +1,279 @@
+//! The Multi-instruction (XMT-like) asynchronous engine (§3.2, Figure 9).
+//!
+//! Threads are spawned asynchronously and run from creation to
+//! termination; a step is only a scheduling quantum — each group executes
+//! up to `T_p` instructions distributed round-robin over its runnable
+//! virtual threads, with **no** machine-instruction-level lockstep and no
+//! PRAM read-before-write step semantics: memory applies per instruction
+//! in execution order. Synchronization happens exclusively at
+//! `spawn`/`sjoin` boundaries, which is the variant's coarser granularity
+//! the paper points out. A multiprefix degenerates to the XMT `ps`
+//! (atomic fetch-and-op) primitive.
+
+use tcf_isa::instr::{Instr, MemSpace, Operand};
+use tcf_isa::word::to_addr;
+use tcf_machine::IssueUnit;
+
+use crate::error::{TcfError, TcfFault};
+use crate::flow::{Flow, FlowStatus};
+use crate::machine::TcfMachine;
+
+impl TcfMachine {
+    /// One asynchronous scheduling quantum.
+    pub(crate) fn step_async(&mut self) -> Result<(), TcfError> {
+        let ngroups = self.config.groups;
+        let quantum = self.config.threads_per_group;
+        let mut units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
+        let numa_units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
+
+        // Threads runnable at the start of the quantum; spawns become
+        // runnable next quantum.
+        let mut per_group: Vec<Vec<u32>> = vec![Vec::new(); ngroups];
+        for (id, f) in &self.flows {
+            if f.is_running() {
+                per_group[f.home_group()].push(*id);
+            }
+        }
+
+        for (g, group_threads) in per_group.iter().enumerate() {
+            let mut budget = quantum;
+            let mut runnable = group_threads.clone();
+            while budget > 0 && !runnable.is_empty() {
+                let mut still = Vec::with_capacity(runnable.len());
+                for id in runnable {
+                    if budget == 0 {
+                        still.push(id);
+                        continue;
+                    }
+                    if !self.flows[&id].is_running() {
+                        continue;
+                    }
+                    self.exec_async_instr(id, g, &mut units)?;
+                    budget -= 1;
+                    if self.flows[&id].is_running() {
+                        still.push(id);
+                    }
+                }
+                runnable = still;
+            }
+        }
+
+        self.apply_timing(units, numa_units);
+        Ok(())
+    }
+
+    /// Executes exactly one instruction of virtual thread `id` on group
+    /// `g`, with direct (asynchronous) memory access.
+    fn exec_async_instr(
+        &mut self,
+        id: u32,
+        g: usize,
+        units: &mut [Vec<IssueUnit>],
+    ) -> Result<(), TcfError> {
+        let mut flow = self.flows.remove(&id).expect("flow exists");
+        let result = self.async_instr_inner(&mut flow, g, units);
+        self.flows.insert(id, flow);
+        result
+    }
+
+    fn async_instr_inner(
+        &mut self,
+        flow: &mut Flow,
+        g: usize,
+        units: &mut [Vec<IssueUnit>],
+    ) -> Result<(), TcfError> {
+        let pc = flow.pc;
+        let instr = match self.program.fetch(pc) {
+            Some(i) => i.clone(),
+            None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
+        };
+        self.stats.fetches += 1;
+        let mut next_pc = pc + 1;
+        let mut unit = IssueUnit::compute(flow.id, 0);
+
+        match instr {
+            Instr::Alu { op, rd, ra, rb } => {
+                let a = flow.regs.read(ra, 0);
+                let b = match rb {
+                    Operand::Reg(r) => flow.regs.read(r, 0),
+                    Operand::Imm(w) => w,
+                };
+                flow.regs.write_uniform(rd, op.eval(a, b));
+            }
+            Instr::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
+            Instr::Mfs { rd, sr } => {
+                let v = self.special(flow, 0, sr);
+                flow.regs.write_uniform(rd, v);
+            }
+            Instr::Sel { rd, cond, rt, rf } => {
+                let v = if flow.regs.read(cond, 0) != 0 {
+                    flow.regs.read(rt, 0)
+                } else {
+                    match rf {
+                        Operand::Reg(r) => flow.regs.read(r, 0),
+                        Operand::Imm(w) => w,
+                    }
+                };
+                flow.regs.write_uniform(rd, v);
+            }
+            Instr::Ld {
+                rd,
+                base,
+                off,
+                space,
+            } => {
+                let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                let v = match space {
+                    MemSpace::Shared => {
+                        unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                        self.shared
+                            .peek(addr)
+                            .map_err(|e| self.flow_err(flow.id, e.into()))?
+                    }
+                    MemSpace::Local => {
+                        unit = IssueUnit::local_mem(flow.id, 0);
+                        self.locals[g]
+                            .read(addr)
+                            .map_err(|e| self.flow_err(flow.id, e.into()))?
+                    }
+                };
+                flow.regs.write_uniform(rd, v);
+            }
+            Instr::St {
+                rs,
+                base,
+                off,
+                space,
+            }
+            | Instr::StMasked {
+                rs,
+                base,
+                off,
+                space,
+                ..
+            } => {
+                let masked_out = matches!(instr, Instr::StMasked { cond, .. }
+                    if flow.regs.read(cond, 0) == 0);
+                let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                let v = flow.regs.read(rs, 0);
+                if !masked_out {
+                    match space {
+                        MemSpace::Shared => {
+                            unit =
+                                IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                            self.shared
+                                .poke(addr, v)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                        }
+                        MemSpace::Local => {
+                            unit = IssueUnit::local_mem(flow.id, 0);
+                            self.locals[g]
+                                .write(addr, v)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                        }
+                    }
+                }
+            }
+            Instr::MultiOp { kind, base, off, rs }
+            | Instr::MultiPrefix {
+                kind, base, off, rs, ..
+            } => {
+                // XMT `ps`: atomic fetch-and-op.
+                let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                let v = flow.regs.read(rs, 0);
+                unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                let old = self
+                    .shared
+                    .peek(addr)
+                    .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                self.shared
+                    .poke(addr, kind.combine(old, v))
+                    .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                if let Instr::MultiPrefix { rd, .. } = instr {
+                    flow.regs.write_uniform(rd, old);
+                }
+            }
+            Instr::Jmp { ref target } => next_pc = self.abs(flow.id, target)?,
+            Instr::Br {
+                cond,
+                rs,
+                ref target,
+            } => {
+                if cond.holds(flow.regs.read(rs, 0)) {
+                    next_pc = self.abs(flow.id, target)?;
+                }
+            }
+            Instr::Call { ref target } => {
+                let dst = self.abs(flow.id, target)?;
+                flow.call_stack.push(pc + 1);
+                next_pc = dst;
+            }
+            Instr::Ret => match flow.call_stack.pop() {
+                Some(ra) => next_pc = ra,
+                None => return Err(self.flow_err(flow.id, TcfFault::EmptyCallStack)),
+            },
+            Instr::Spawn {
+                ref count,
+                ref target,
+            } => {
+                let n = match count {
+                    Operand::Reg(r) => flow.regs.read(*r, 0),
+                    Operand::Imm(w) => *w,
+                };
+                if n < 0 {
+                    return Err(self.flow_err(flow.id, TcfFault::BadThickness { requested: n }));
+                }
+                let entry = self.abs(flow.id, target)?;
+                let n = n as usize;
+                if n == 0 {
+                    // Nothing to wait for; fall through.
+                } else {
+                    for i in 0..n {
+                        let cid = self.alloc_id();
+                        let mut child = Flow::new(cid, 1, entry, flow.regs.len());
+                        child.regs = flow.regs.clone();
+                        child.regs.collapse_to_flowwise();
+                        child.parent = Some(flow.id);
+                        child.tid_offset = i;
+                        // Spawned threads are distributed round-robin over
+                        // the groups (XMT dynamic scheduling).
+                        child.fragments = vec![crate::flow::Fragment::new(
+                            i % self.config.groups,
+                            0,
+                            1,
+                        )];
+                        self.flows.insert(cid, child);
+                    }
+                    flow.status = FlowStatus::WaitingSpawn { pending: n };
+                }
+                unit = IssueUnit::overhead(flow.id);
+            }
+            Instr::SJoin => {
+                let parent = flow
+                    .parent
+                    .ok_or_else(|| self.flow_err(flow.id, TcfFault::StrayJoin))?;
+                flow.status = FlowStatus::Halted;
+                self.notify_join(parent)?;
+            }
+            Instr::Sync | Instr::Nop => {}
+            Instr::Halt => flow.status = FlowStatus::Halted,
+            ref other @ (Instr::SetThick { .. }
+            | Instr::Numa { .. }
+            | Instr::EndNuma
+            | Instr::Split { .. }
+            | Instr::Join) => {
+                return Err(self.flow_err(
+                    flow.id,
+                    TcfFault::UnsupportedByVariant {
+                        instr: other.to_string(),
+                        variant: self.variant.name(),
+                    },
+                ))
+            }
+        }
+
+        flow.pc = next_pc;
+        units[g].push(unit);
+        Ok(())
+    }
+}

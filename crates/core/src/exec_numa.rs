@@ -1,0 +1,254 @@
+//! NUMA-mode slice execution.
+//!
+//! A flow with thickness `1/T` executes `T` consecutive instructions of a
+//! single sequential stream per synchronous step (§3.1). Memory accesses
+//! are direct and sequentially consistent: a sequential stream cannot
+//! reorder around its own references, and the timing layer serializes them
+//! ([`GroupPipeline::run_step`] with `serialize_mem`), which is exactly why
+//! NUMA code should target the group's local block rather than the shared
+//! memory.
+//!
+//! [`GroupPipeline::run_step`]: tcf_machine::GroupPipeline::run_step
+
+use tcf_isa::instr::{Instr, MemSpace, Operand};
+use tcf_isa::word::to_addr;
+use tcf_machine::IssueUnit;
+
+use crate::error::{TcfError, TcfFault};
+use crate::flow::{ExecMode, Flow, FlowStatus};
+use crate::machine::TcfMachine;
+use crate::variant::Variant;
+
+impl TcfMachine {
+    /// Executes one step's slice (up to `slots` instructions) of NUMA-mode
+    /// flow `id`.
+    pub(crate) fn run_numa_slice(
+        &mut self,
+        id: u32,
+        units: &mut [Vec<IssueUnit>],
+    ) -> Result<(), TcfError> {
+        let mut flow = self.flows.remove(&id).expect("flow exists");
+        let result = self.numa_slice_inner(&mut flow, units);
+        self.flows.insert(id, flow);
+        result
+    }
+
+    fn numa_slice_inner(
+        &mut self,
+        flow: &mut Flow,
+        units: &mut [Vec<IssueUnit>],
+    ) -> Result<(), TcfError> {
+        let slots = match flow.mode {
+            ExecMode::Numa { slots } => slots,
+            ExecMode::Pram => {
+                return Err(self.flow_err(
+                    flow.id,
+                    TcfFault::Internal {
+                        what: "numa slice on PRAM-mode flow".into(),
+                    },
+                ))
+            }
+        };
+        let home = flow.home_group();
+
+        for _ in 0..slots {
+            let pc = flow.pc;
+            let instr = match self.program.fetch(pc) {
+                Some(i) => i.clone(),
+                None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
+            };
+            self.stats.fetches += 1;
+            let mut next_pc = pc + 1;
+            let mut unit = IssueUnit::compute(flow.id, 0);
+
+            match instr {
+                Instr::Alu { op, rd, ra, rb } => {
+                    let a = flow.regs.read(ra, 0);
+                    let b = match rb {
+                        Operand::Reg(r) => flow.regs.read(r, 0),
+                        Operand::Imm(w) => w,
+                    };
+                    flow.regs.write_uniform(rd, op.eval(a, b));
+                }
+                Instr::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
+                Instr::Mfs { rd, sr } => {
+                    let v = self.special(flow, 0, sr);
+                    flow.regs.write_uniform(rd, v);
+                }
+                Instr::Sel { rd, cond, rt, rf } => {
+                    let v = if flow.regs.read(cond, 0) != 0 {
+                        flow.regs.read(rt, 0)
+                    } else {
+                        match rf {
+                            Operand::Reg(r) => flow.regs.read(r, 0),
+                            Operand::Imm(w) => w,
+                        }
+                    };
+                    flow.regs.write_uniform(rd, v);
+                }
+                Instr::Ld {
+                    rd,
+                    base,
+                    off,
+                    space,
+                } => {
+                    let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                    let v = match space {
+                        MemSpace::Shared => {
+                            unit =
+                                IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                            self.shared
+                                .peek(addr)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?
+                        }
+                        MemSpace::Local => {
+                            unit = IssueUnit::local_mem(flow.id, 0);
+                            self.locals[home]
+                                .read(addr)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?
+                        }
+                    };
+                    flow.regs.write_uniform(rd, v);
+                }
+                Instr::St {
+                    rs,
+                    base,
+                    off,
+                    space,
+                }
+                | Instr::StMasked {
+                    rs,
+                    base,
+                    off,
+                    space,
+                    ..
+                } => {
+                    let masked_out = matches!(instr, Instr::StMasked { cond, .. }
+                        if flow.regs.read(cond, 0) == 0);
+                    let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                    let v = flow.regs.read(rs, 0);
+                    if !masked_out {
+                        match space {
+                            MemSpace::Shared => {
+                                unit = IssueUnit::shared_mem(
+                                    flow.id,
+                                    0,
+                                    self.shared.module_of(addr),
+                                );
+                                self.shared
+                                    .poke(addr, v)
+                                    .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                            }
+                            MemSpace::Local => {
+                                unit = IssueUnit::local_mem(flow.id, 0);
+                                self.locals[home]
+                                    .write(addr, v)
+                                    .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                            }
+                        }
+                    }
+                }
+                Instr::MultiOp { kind, base, off, rs }
+                | Instr::MultiPrefix {
+                    kind, base, off, rs, ..
+                } => {
+                    // Sequential stream: read-modify-write; a multiprefix
+                    // returns the old value.
+                    let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                    let v = flow.regs.read(rs, 0);
+                    unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                    let old = self
+                        .shared
+                        .peek(addr)
+                        .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                    self.shared
+                        .poke(addr, kind.combine(old, v))
+                        .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                    if let Instr::MultiPrefix { rd, .. } = instr {
+                        flow.regs.write_uniform(rd, old);
+                    }
+                }
+                Instr::Jmp { ref target } => next_pc = self.abs(flow.id, target)?,
+                Instr::Br {
+                    cond,
+                    rs,
+                    ref target,
+                } => {
+                    if cond.holds(flow.regs.read(rs, 0)) {
+                        next_pc = self.abs(flow.id, target)?;
+                    }
+                }
+                Instr::Call { ref target } => {
+                    let dst = self.abs(flow.id, target)?;
+                    flow.call_stack.push(pc + 1);
+                    next_pc = dst;
+                }
+                Instr::Ret => match flow.call_stack.pop() {
+                    Some(ra) => next_pc = ra,
+                    None => return Err(self.flow_err(flow.id, TcfFault::EmptyCallStack)),
+                },
+                Instr::EndNuma => {
+                    flow.pc = pc + 1;
+                    self.exit_numa(flow);
+                    units[home].push(IssueUnit::overhead(flow.id));
+                    return Ok(());
+                }
+                Instr::Halt => {
+                    flow.status = FlowStatus::Halted;
+                    self.halt_absorbed(flow.id);
+                    units[home].push(unit);
+                    return Ok(());
+                }
+                Instr::Sync | Instr::Nop => {}
+                ref other => {
+                    return Err(self.flow_err(
+                        flow.id,
+                        TcfFault::UnsupportedByVariant {
+                            instr: other.to_string(),
+                            variant: "NUMA mode",
+                        },
+                    ))
+                }
+            }
+
+            flow.pc = next_pc;
+            units[home].push(unit);
+        }
+        Ok(())
+    }
+
+    /// Leaves NUMA mode: the flow resumes PRAM execution with thickness 1;
+    /// under the Configurable single operation variant absorbed siblings
+    /// resume with a copy of the bunch's final state.
+    fn exit_numa(&mut self, flow: &mut Flow) {
+        flow.mode = ExecMode::Pram;
+        flow.thickness = 1;
+        flow.fragments = self
+            .allocation
+            .fragments(flow.id, 1, self.config.groups);
+        if matches!(self.variant, Variant::ConfigurableSingleOperation) {
+            let ids: Vec<u32> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| matches!(f.status, FlowStatus::Absorbed { leader } if leader == flow.id))
+                .map(|(id, _)| *id)
+                .collect();
+            for sid in ids {
+                let sibling = self.flows.get_mut(&sid).expect("absorbed sibling exists");
+                sibling.regs = flow.regs.clone();
+                sibling.call_stack = flow.call_stack.clone();
+                sibling.pc = flow.pc;
+                sibling.status = FlowStatus::Running;
+            }
+        }
+    }
+
+    /// Halts every flow absorbed into a bunch led by `leader`.
+    fn halt_absorbed(&mut self, leader: u32) {
+        for f in self.flows.values_mut() {
+            if matches!(f.status, FlowStatus::Absorbed { leader: l } if l == leader) {
+                f.status = FlowStatus::Halted;
+            }
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! The synchronous step engine: Single instruction, Balanced,
+//! Single-operation, Configurable single operation and Fixed thickness.
+//!
+//! All five lockstep variants share this engine; they differ only in the
+//! per-step operation bound (`Balanced`), in their capability checks
+//! (which instructions fault), and in how their initial flows were created
+//! (see [`crate::machine`]). Instructions are classified *flow-wise* —
+//! control flow, thickness control, and any data instruction whose
+//! operands are uniform across the flow (executed once on common
+//! operands) — or *thick* — one operation per implicit thread, executed
+//! over the flow's fragments and bounded per step under Balanced.
+
+use tcf_isa::instr::{Instr, MemSpace, Operand, Target};
+use tcf_isa::reg::{Reg, SpecialReg};
+use tcf_isa::word::{to_addr, Word};
+use tcf_machine::IssueUnit;
+use tcf_mem::{MemOp, MemRef, RefOrigin};
+
+use crate::error::{TcfError, TcfFault};
+use crate::flow::{ExecMode, Flow, FlowStatus, Fragment};
+use crate::machine::{TcfMachine, MAX_THICKNESS};
+use crate::variant::Variant;
+
+/// Pending register write-back from the shared-memory step.
+pub(crate) struct Writeback {
+    pub flow: u32,
+    pub rd: Reg,
+    /// `Some(e)`: thread `e`'s lane; `None`: uniform (flow-wise load).
+    pub thread: Option<usize>,
+    pub ref_idx: usize,
+}
+
+impl TcfMachine {
+    /// One synchronous step (phases 1–5 of the machine docs).
+    pub(crate) fn step_sync(&mut self) -> Result<(), TcfError> {
+        let ngroups = self.config.groups;
+        let mut pram_units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
+        let mut numa_units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
+        let mut refs: Vec<MemRef> = Vec::new();
+        let mut wbs: Vec<Writeback> = Vec::new();
+        let mut numa_flows: Vec<u32> = Vec::new();
+
+        // Fixed thread-slot accounting of the thread-based variants: an
+        // interleaved ESM processor always rotates through its T_p slots,
+        // so dead or absorbed slots burn issue cycles (the low-TLP
+        // utilization problem of §1/§2.1). The TCF variants schedule
+        // flows, not slots, and are exempt.
+        let fixed_rotation = matches!(
+            self.variant,
+            Variant::SingleOperation | Variant::ConfigurableSingleOperation
+        );
+        let mut slots_used = vec![0usize; ngroups];
+
+        let ids: Vec<u32> = self.flows.keys().copied().collect();
+        for id in ids {
+            // Status can change mid-step (bunch absorption), so re-check.
+            if !self.flows[&id].is_running() {
+                continue;
+            }
+            match self.flows[&id].mode {
+                ExecMode::Numa { slots } => {
+                    if slots > 0 {
+                        self.activate_in_buffers(id, &mut numa_units);
+                        slots_used[self.flows[&id].home_group()] += slots;
+                        numa_flows.push(id);
+                    }
+                }
+                ExecMode::Pram => {
+                    if self.flows[&id].thickness == 0 {
+                        continue; // dormant flow: executes nothing (§3.1)
+                    }
+                    self.activate_in_buffers(id, &mut pram_units);
+                    slots_used[self.flows[&id].home_group()] += 1;
+                    self.exec_pram_instruction(id, &mut pram_units, &mut refs, &mut wbs)?;
+                }
+            }
+        }
+
+        if fixed_rotation {
+            let tp = self.config.threads_per_group;
+            for g in 0..ngroups {
+                for _ in slots_used[g]..tp {
+                    pram_units[g].push(IssueUnit::idle());
+                }
+            }
+        }
+
+        // Phase 2: one PRAM memory step for all flows' references.
+        let (replies, mstats) = self
+            .shared
+            .step(&refs)
+            .map_err(|e| self.host_err(e.into()))?;
+        self.mem_stats.absorb(&mstats);
+
+        // Phase 3: write-backs.
+        for wb in wbs {
+            if let Some(v) = replies[wb.ref_idx] {
+                let flow = self.flows.get_mut(&wb.flow).expect("flow exists");
+                match wb.thread {
+                    Some(e) => {
+                        let t = flow.thickness;
+                        flow.regs.write(wb.rd, e, v, t);
+                    }
+                    None => flow.regs.write_uniform(wb.rd, v),
+                }
+            }
+        }
+
+        // Phase 4: NUMA slices.
+        for id in numa_flows {
+            if self.flows[&id].is_running() {
+                self.run_numa_slice(id, &mut numa_units)?;
+            }
+        }
+
+        // Phase 5: timing.
+        self.apply_timing(pram_units, numa_units);
+        Ok(())
+    }
+
+    fn operand_uniform(&self, flow: &Flow, o: &Operand) -> bool {
+        match o {
+            Operand::Imm(_) => true,
+            Operand::Reg(r) => flow.regs.value(*r).is_uniform(),
+        }
+    }
+
+    /// Whether `instr` needs one operation per implicit thread.
+    fn is_thick(&self, flow: &Flow, instr: &Instr) -> bool {
+        if flow.thickness <= 1 {
+            // One implicit thread: flow-wise and thick coincide; treat as
+            // flow-wise so unit flows cost one operation.
+            return matches!(instr, Instr::MultiOp { .. } | Instr::MultiPrefix { .. });
+        }
+        let u = |r: &Reg| flow.regs.value(*r).is_uniform();
+        match instr {
+            Instr::Alu { ra, rb, .. } => !u(ra) || !self.operand_uniform(flow, rb),
+            Instr::Ldi { .. } => false,
+            Instr::Mfs { sr, .. } => matches!(sr, SpecialReg::Tid | SpecialReg::Gid),
+            Instr::Sel { cond, rt, rf, .. } => {
+                !u(cond) || !u(rt) || !self.operand_uniform(flow, rf)
+            }
+            Instr::Ld { base, .. } => !u(base),
+            Instr::St { rs, base, .. } => !u(rs) || !u(base),
+            Instr::StMasked { cond, rs, base, .. } => !u(cond) || !u(rs) || !u(base),
+            // Every implicit thread contributes, whatever the operands.
+            Instr::MultiOp { .. } | Instr::MultiPrefix { .. } => true,
+            _ => false,
+        }
+    }
+
+    fn uniform_value(
+        &self,
+        flow: &Flow,
+        o: &Operand,
+        what: &'static str,
+    ) -> Result<Word, TcfError> {
+        match o {
+            Operand::Imm(w) => Ok(*w),
+            Operand::Reg(r) => {
+                let mut v = flow.regs.value(*r).clone();
+                v.normalize(flow.thickness.max(1));
+                v.as_uniform()
+                    .ok_or_else(|| self.flow_err(flow.id, TcfFault::NonUniformOperand { what }))
+            }
+        }
+    }
+
+    /// Executes (a slice of) one PRAM-mode instruction of flow `id`.
+    fn exec_pram_instruction(
+        &mut self,
+        id: u32,
+        units: &mut [Vec<IssueUnit>],
+        refs: &mut Vec<MemRef>,
+        wbs: &mut Vec<Writeback>,
+    ) -> Result<(), TcfError> {
+        let mut flow = self.flows.remove(&id).expect("flow exists");
+        let result = self.exec_pram_inner(&mut flow, units, refs, wbs);
+        self.flows.insert(id, flow);
+        result
+    }
+
+    fn exec_pram_inner(
+        &mut self,
+        flow: &mut Flow,
+        units: &mut [Vec<IssueUnit>],
+        refs: &mut Vec<MemRef>,
+        wbs: &mut Vec<Writeback>,
+    ) -> Result<(), TcfError> {
+        let pc = flow.pc;
+        let instr = match self.program.fetch(pc) {
+            Some(i) => i.clone(),
+            None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
+        };
+        self.stats.fetches += 1;
+
+        if self.is_thick(flow, &instr) {
+            // Rank-contiguous slicing: the flow has ONE next-operation
+            // pointer (§3.3's TCF-buffer resume pointer). Each fragment's
+            // group contributes up to `bound` (Balanced) or its share
+            // (Single instruction) of operations per step, taken in rank
+            // order, which preserves multiprefix rank ordering across
+            // sliced instructions.
+            let bound = self.variant.bound().unwrap_or(usize::MAX);
+            let mut cursor = flow.next_op;
+            for fi in 0..flow.fragments.len() {
+                if cursor >= flow.thickness {
+                    break;
+                }
+                let frag = flow.fragments[fi];
+                let n = bound.min(frag.len).min(flow.thickness - cursor);
+                if n == 0 {
+                    continue;
+                }
+                self.exec_thick_ops(flow, &instr, frag.group, cursor..cursor + n, units, refs, wbs)?;
+                // §3.3 operand storage: if this fragment's per-thread
+                // register footprint exceeds the cached register file,
+                // the operands live in the local memory — every thick
+                // operation pays one extra local access (spill traffic).
+                let cap = self.config.reg_cache_words;
+                if cap > 0 && flow.regs.per_thread_count() * frag.len > cap {
+                    for e in cursor..cursor + n {
+                        units[frag.group].push(IssueUnit::local_mem(flow.id, e));
+                        self.stats.spill_refs += 1;
+                    }
+                }
+                cursor += n;
+            }
+            flow.next_op = cursor;
+            if flow.instruction_complete() {
+                flow.pc = pc + 1;
+                flow.reset_progress();
+            }
+            Ok(())
+        } else {
+            self.exec_flowwise(flow, &instr, units, refs, wbs)
+        }
+    }
+
+    /// One operation per implicit thread in `range`, attributed to
+    /// `group`.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_thick_ops(
+        &mut self,
+        flow: &mut Flow,
+        instr: &Instr,
+        group: usize,
+        range: std::ops::Range<usize>,
+        units: &mut [Vec<IssueUnit>],
+        refs: &mut Vec<MemRef>,
+        wbs: &mut Vec<Writeback>,
+    ) -> Result<(), TcfError> {
+        let t = flow.thickness;
+        for e in range {
+            let origin = RefOrigin::new(group, flow.rank_base + e);
+            match *instr {
+                Instr::Alu { op, rd, ra, ref rb } => {
+                    let a = flow.regs.read(ra, e);
+                    let b = match rb {
+                        Operand::Reg(r) => flow.regs.read(*r, e),
+                        Operand::Imm(w) => *w,
+                    };
+                    flow.regs.write(rd, e, op.eval(a, b), t);
+                    units[group].push(IssueUnit::compute(flow.id, e));
+                }
+                Instr::Mfs { rd, sr } => {
+                    let v = self.special(flow, e, sr);
+                    flow.regs.write(rd, e, v, t);
+                    units[group].push(IssueUnit::compute(flow.id, e));
+                }
+                Instr::Sel { rd, cond, rt, ref rf } => {
+                    let v = if flow.regs.read(cond, e) != 0 {
+                        flow.regs.read(rt, e)
+                    } else {
+                        match rf {
+                            Operand::Reg(r) => flow.regs.read(*r, e),
+                            Operand::Imm(w) => *w,
+                        }
+                    };
+                    flow.regs.write(rd, e, v, t);
+                    units[group].push(IssueUnit::compute(flow.id, e));
+                }
+                Instr::Ld {
+                    rd,
+                    base,
+                    off,
+                    space,
+                } => {
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    match space {
+                        MemSpace::Shared => {
+                            units[group].push(IssueUnit::shared_mem(
+                                flow.id,
+                                e,
+                                self.shared.module_of(addr),
+                            ));
+                            wbs.push(Writeback {
+                                flow: flow.id,
+                                rd,
+                                thread: Some(e),
+                                ref_idx: refs.len(),
+                            });
+                            refs.push(MemRef::new(origin, MemOp::Read(addr)));
+                        }
+                        MemSpace::Local => {
+                            units[group].push(IssueUnit::local_mem(flow.id, e));
+                            let v = self.locals[group]
+                                .read(addr)
+                                .map_err(|err| self.flow_err(flow.id, err.into()))?;
+                            flow.regs.write(rd, e, v, t);
+                        }
+                    }
+                }
+                Instr::St {
+                    rs,
+                    base,
+                    off,
+                    space,
+                } => {
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    let v = flow.regs.read(rs, e);
+                    match space {
+                        MemSpace::Shared => {
+                            units[group].push(IssueUnit::shared_mem(
+                                flow.id,
+                                e,
+                                self.shared.module_of(addr),
+                            ));
+                            refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
+                        }
+                        MemSpace::Local => {
+                            units[group].push(IssueUnit::local_mem(flow.id, e));
+                            self.locals[group]
+                                .write(addr, v)
+                                .map_err(|err| self.flow_err(flow.id, err.into()))?;
+                        }
+                    }
+                }
+                Instr::StMasked {
+                    cond,
+                    rs,
+                    base,
+                    off,
+                    space,
+                } => {
+                    let selected = flow.regs.read(cond, e) != 0;
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    let v = flow.regs.read(rs, e);
+                    if selected {
+                        match space {
+                            MemSpace::Shared => {
+                                units[group].push(IssueUnit::shared_mem(
+                                    flow.id,
+                                    e,
+                                    self.shared.module_of(addr),
+                                ));
+                                refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
+                            }
+                            MemSpace::Local => {
+                                units[group].push(IssueUnit::local_mem(flow.id, e));
+                                self.locals[group]
+                                    .write(addr, v)
+                                    .map_err(|err| self.flow_err(flow.id, err.into()))?;
+                            }
+                        }
+                    } else {
+                        // The lane still occupies its slot (vector-style
+                        // masked execution).
+                        units[group].push(IssueUnit::compute(flow.id, e));
+                    }
+                }
+                Instr::MultiOp { kind, base, off, rs } => {
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    let v = flow.regs.read(rs, e);
+                    units[group].push(IssueUnit::shared_mem(
+                        flow.id,
+                        e,
+                        self.shared.module_of(addr),
+                    ));
+                    refs.push(MemRef::new(origin, MemOp::Multi(kind, addr, v)));
+                }
+                Instr::MultiPrefix {
+                    kind,
+                    rd,
+                    base,
+                    off,
+                    rs,
+                } => {
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    let v = flow.regs.read(rs, e);
+                    units[group].push(IssueUnit::shared_mem(
+                        flow.id,
+                        e,
+                        self.shared.module_of(addr),
+                    ));
+                    wbs.push(Writeback {
+                        flow: flow.id,
+                        rd,
+                        thread: Some(e),
+                        ref_idx: refs.len(),
+                    });
+                    refs.push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
+                }
+                ref other => {
+                    return Err(self.flow_err(
+                        flow.id,
+                        TcfFault::Internal {
+                            what: format!("`{other}` classified as thick"),
+                        },
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a flow-wise instruction: one operation on the home group's
+    /// common operands.
+    fn exec_flowwise(
+        &mut self,
+        flow: &mut Flow,
+        instr: &Instr,
+        units: &mut [Vec<IssueUnit>],
+        refs: &mut Vec<MemRef>,
+        wbs: &mut Vec<Writeback>,
+    ) -> Result<(), TcfError> {
+        let home = flow.home_group();
+        let pc = flow.pc;
+        let mut next_pc = pc + 1;
+        let mut unit = IssueUnit::compute(flow.id, 0);
+        // Flow-wise origin: rank of implicit thread 0.
+        let origin = RefOrigin::new(home, flow.rank_base);
+
+        let fid = flow.id;
+        let unsupported = move |m: &TcfMachine, i: &Instr| {
+            m.flow_err(
+                fid,
+                TcfFault::UnsupportedByVariant {
+                    instr: i.to_string(),
+                    variant: m.variant.name(),
+                },
+            )
+        };
+
+        match *instr {
+            Instr::Alu { op, rd, ra, ref rb } => {
+                let a = flow.regs.read(ra, 0);
+                let b = match rb {
+                    Operand::Reg(r) => flow.regs.read(*r, 0),
+                    Operand::Imm(w) => *w,
+                };
+                flow.regs.write_uniform(rd, op.eval(a, b));
+            }
+            Instr::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
+            Instr::Mfs { rd, sr } => {
+                let v = self.special(flow, 0, sr);
+                flow.regs.write_uniform(rd, v);
+            }
+            Instr::Sel { rd, cond, rt, ref rf } => {
+                let v = if flow.regs.read(cond, 0) != 0 {
+                    flow.regs.read(rt, 0)
+                } else {
+                    match rf {
+                        Operand::Reg(r) => flow.regs.read(*r, 0),
+                        Operand::Imm(w) => *w,
+                    }
+                };
+                flow.regs.write_uniform(rd, v);
+            }
+            Instr::Ld {
+                rd,
+                base,
+                off,
+                space,
+            } => {
+                let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                match space {
+                    MemSpace::Shared => {
+                        unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                        wbs.push(Writeback {
+                            flow: flow.id,
+                            rd,
+                            thread: None,
+                            ref_idx: refs.len(),
+                        });
+                        refs.push(MemRef::new(origin, MemOp::Read(addr)));
+                    }
+                    MemSpace::Local => {
+                        unit = IssueUnit::local_mem(flow.id, 0);
+                        let v = self.locals[home]
+                            .read(addr)
+                            .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                        flow.regs.write_uniform(rd, v);
+                    }
+                }
+            }
+            Instr::St {
+                rs,
+                base,
+                off,
+                space,
+            }
+            | Instr::StMasked {
+                rs,
+                base,
+                off,
+                space,
+                ..
+            } => {
+                let masked_out = matches!(*instr, Instr::StMasked { cond, .. }
+                    if flow.regs.read(cond, 0) == 0);
+                let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                let v = flow.regs.read(rs, 0);
+                if !masked_out {
+                    match space {
+                        MemSpace::Shared => {
+                            unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                            refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
+                        }
+                        MemSpace::Local => {
+                            unit = IssueUnit::local_mem(flow.id, 0);
+                            self.locals[home]
+                                .write(addr, v)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                        }
+                    }
+                }
+            }
+            Instr::MultiOp { kind, base, off, rs } => {
+                // Thickness 1 (classification guarantees it): one
+                // contribution.
+                let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                let v = flow.regs.read(rs, 0);
+                unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                refs.push(MemRef::new(origin, MemOp::Multi(kind, addr, v)));
+            }
+            Instr::MultiPrefix {
+                kind,
+                rd,
+                base,
+                off,
+                rs,
+            } => {
+                let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
+                let v = flow.regs.read(rs, 0);
+                unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                wbs.push(Writeback {
+                    flow: flow.id,
+                    rd,
+                    thread: None,
+                    ref_idx: refs.len(),
+                });
+                refs.push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
+            }
+            Instr::Jmp { ref target } => next_pc = self.abs(flow.id, target)?,
+            Instr::Br {
+                cond,
+                rs,
+                ref target,
+            } => {
+                let mut v = flow.regs.value(rs).clone();
+                if !v.normalize(flow.thickness.max(1)) {
+                    return Err(self.flow_err(flow.id, TcfFault::DivergentBranch { pc }));
+                }
+                if cond.holds(v.as_uniform().expect("normalized")) {
+                    next_pc = self.abs(flow.id, target)?;
+                }
+            }
+            Instr::Call { ref target } => {
+                let dst = self.abs(flow.id, target)?;
+                flow.call_stack.push(pc + 1);
+                next_pc = dst;
+            }
+            Instr::Ret => match flow.call_stack.pop() {
+                Some(ra) => next_pc = ra,
+                None => return Err(self.flow_err(flow.id, TcfFault::EmptyCallStack)),
+            },
+            Instr::SetThick { ref src } => {
+                if !self.variant.supports_setthick() {
+                    return Err(unsupported(self, instr));
+                }
+                let v = self.uniform_value(flow, src, "setthick")?;
+                if v < 0 || v as usize > MAX_THICKNESS {
+                    return Err(self.flow_err(flow.id, TcfFault::BadThickness { requested: v }));
+                }
+                flow.thickness = v as usize;
+                flow.fragments =
+                    self.allocation
+                        .fragments(flow.id, flow.thickness, self.config.groups);
+                flow.reset_progress();
+                unit = IssueUnit::overhead(flow.id);
+            }
+            Instr::Numa { ref slots } => {
+                if !self.variant.supports_numa() {
+                    return Err(unsupported(self, instr));
+                }
+                let v = self.uniform_value(flow, slots, "numa bunch length")?;
+                if v < 1 || v as usize > MAX_THICKNESS {
+                    return Err(self.flow_err(flow.id, TcfFault::BadThickness { requested: v }));
+                }
+                let slots = v as usize;
+                if matches!(self.variant, Variant::ConfigurableSingleOperation) {
+                    self.absorb_bunch(flow, slots, pc)?;
+                }
+                flow.mode = ExecMode::Numa { slots };
+                flow.regs.collapse_to_flowwise();
+                flow.fragments = vec![Fragment::new(home, 0, 1)];
+                unit = IssueUnit::overhead(flow.id);
+            }
+            Instr::EndNuma => return Err(self.flow_err(flow.id, TcfFault::NotInNuma)),
+            Instr::Split { ref arms } => {
+                if !self.variant.supports_split() {
+                    return Err(unsupported(self, instr));
+                }
+                let mut pending = 0;
+                for arm in arms {
+                    let t = self.uniform_value(flow, &arm.thickness, "split arm thickness")?;
+                    if t < 1 || t as usize > MAX_THICKNESS {
+                        return Err(
+                            self.flow_err(flow.id, TcfFault::BadThickness { requested: t })
+                        );
+                    }
+                    let target = self.abs(flow.id, &arm.target)?;
+                    let child_id = self.alloc_id();
+                    let mut child = Flow::new(child_id, t as usize, target, flow.regs.len());
+                    child.regs = flow.regs.clone();
+                    child.regs.collapse_to_flowwise();
+                    child.parent = Some(flow.id);
+                    child.fragments =
+                        self.allocation
+                            .fragments(child_id, t as usize, self.config.groups);
+                    self.flows.insert(child_id, child);
+                    pending += 1;
+                    // Flow creation copies the R common registers: the
+                    // O(R) flow-branch cost of Table 1.
+                    for _ in 0..self.config.regs_per_thread {
+                        units[home].push(IssueUnit::overhead(flow.id));
+                    }
+                }
+                if pending > 0 {
+                    flow.status = FlowStatus::WaitingJoin { pending };
+                }
+            }
+            Instr::Join => {
+                let parent = flow
+                    .parent
+                    .ok_or_else(|| self.flow_err(flow.id, TcfFault::StrayJoin))?;
+                flow.status = FlowStatus::Halted;
+                self.notify_join(parent)?;
+            }
+            Instr::Spawn { .. } | Instr::SJoin => return Err(unsupported(self, instr)),
+            Instr::Sync | Instr::Nop => {}
+            Instr::Halt => flow.status = FlowStatus::Halted,
+        }
+
+        flow.pc = next_pc;
+        units[home].push(unit);
+        Ok(())
+    }
+
+    pub(crate) fn abs(&self, flow: u32, t: &Target) -> Result<usize, TcfError> {
+        t.abs().ok_or_else(|| {
+            self.flow_err(
+                flow,
+                TcfFault::Internal {
+                    what: "unresolved target".into(),
+                },
+            )
+        })
+    }
+
+    /// Decrements a parent's pending-join count, waking it at zero.
+    pub(crate) fn notify_join(&mut self, parent: u32) -> Result<(), TcfError> {
+        let step = self.steps;
+        let missing = move |what: String| TcfError {
+            fault: TcfFault::Internal { what },
+            step,
+            flow: None,
+        };
+        let p = self
+            .flows
+            .get_mut(&parent)
+            .ok_or_else(|| missing(format!("join to missing parent {parent}")))?;
+        match p.status {
+            FlowStatus::WaitingJoin { pending } if pending > 1 => {
+                p.status = FlowStatus::WaitingJoin {
+                    pending: pending - 1,
+                };
+            }
+            FlowStatus::WaitingJoin { .. } => p.status = FlowStatus::Running,
+            FlowStatus::WaitingSpawn { pending } if pending > 1 => {
+                p.status = FlowStatus::WaitingSpawn {
+                    pending: pending - 1,
+                };
+            }
+            FlowStatus::WaitingSpawn { .. } => p.status = FlowStatus::Running,
+            _ => {
+                return Err(self.host_err(TcfFault::Internal {
+                    what: format!("join to non-waiting parent {parent}"),
+                }))
+            }
+        }
+        Ok(())
+    }
+
+    /// Configurable single operation: `numa T` executed by a unit flow
+    /// absorbs its `T - 1` same-group sibling flows (which must be at the
+    /// same `numa` instruction) into a bunch.
+    fn absorb_bunch(&mut self, leader: &mut Flow, slots: usize, pc: usize) -> Result<(), TcfError> {
+        let group = leader.home_group();
+        let leader_id = leader.id;
+        let step = self.steps;
+        let fail = move |why: &str| TcfError {
+            fault: TcfFault::BunchFormation {
+                why: why.to_string(),
+            },
+            step,
+            flow: Some(leader_id),
+        };
+        for k in 1..slots as u32 {
+            let sid = leader_id + k;
+            let sibling = self
+                .flows
+                .get_mut(&sid)
+                .ok_or_else(|| fail("sibling flow missing"))?;
+            if sibling.home_group() != group {
+                return Err(fail("sibling in another group"));
+            }
+            if !sibling.is_running() {
+                return Err(fail("sibling not running"));
+            }
+            if sibling.pc != pc {
+                return Err(fail("siblings not at a common pc"));
+            }
+            sibling.status = FlowStatus::Absorbed { leader: leader_id };
+        }
+        Ok(())
+    }
+}

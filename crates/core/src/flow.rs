@@ -1,0 +1,188 @@
+//! Thick control flows and their fragments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::thick::ThickRegs;
+
+/// Execution mode of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Data-parallel: one instruction = `thickness` identical operations.
+    Pram,
+    /// Thickness `1/slots`: one step executes `slots` consecutive
+    /// instructions of a single sequential stream against local memory.
+    Numa {
+        /// The bunch length `T` of `#1/T`.
+        slots: usize,
+    },
+}
+
+/// Scheduling status of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowStatus {
+    /// Has work.
+    Running,
+    /// A `split` parent waiting for its children's `join`s.
+    WaitingJoin {
+        /// Children still outstanding.
+        pending: usize,
+    },
+    /// A `spawn`ing flow waiting at `sjoin` (Multi-instruction variant).
+    WaitingSpawn {
+        /// Spawned threads still outstanding.
+        pending: usize,
+    },
+    /// Absorbed into a NUMA bunch led by another unit flow (Configurable
+    /// single operation variant); resumes with the leader's state at
+    /// `endnuma`.
+    Absorbed {
+        /// The bunch leader's flow id.
+        leader: u32,
+    },
+    /// Finished.
+    Halted,
+}
+
+/// One slice of a flow's thickness allocated to one processor group
+/// (horizontal allocation, §3.3/§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Executing processor group.
+    pub group: usize,
+    /// First implicit-thread index covered.
+    pub offset: usize,
+    /// Number of implicit threads covered.
+    pub len: usize,
+}
+
+impl Fragment {
+    /// A fragment covering `[offset, offset + len)` on `group`.
+    pub fn new(group: usize, offset: usize, len: usize) -> Fragment {
+        Fragment { group, offset, len }
+    }
+}
+
+/// One thick control flow.
+///
+/// A flow owns exactly one program counter and one call stack regardless
+/// of thickness — calls are flow-wise (§2.2). Its registers are
+/// [`ThickRegs`]: per-implicit-thread values with uniform compression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Flow identifier (unique within a machine run).
+    pub id: u32,
+    /// Current thickness (implicit threads) in PRAM mode.
+    pub thickness: usize,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// The flow's single program counter.
+    pub pc: usize,
+    /// The flow's registers.
+    pub regs: ThickRegs,
+    /// The flow's single call stack.
+    pub call_stack: Vec<usize>,
+    /// Scheduling status.
+    pub status: FlowStatus,
+    /// Parent flow to notify at `join` (split children only).
+    pub parent: Option<u32>,
+    /// Thickness slices per processor group (capacity and work
+    /// attribution; execution order is rank-contiguous via `next_op`).
+    pub fragments: Vec<Fragment>,
+    /// First not-yet-executed operation of the *current* instruction —
+    /// the Balanced variant's resume pointer held in the TCF buffer
+    /// (§3.3: "a pointer to the next yet not executed operation").
+    /// Operations always execute in rank-contiguous order, which keeps
+    /// multiprefix rank ordering intact across slices.
+    pub next_op: usize,
+    /// Base rank for deterministic cross-flow ordering of memory
+    /// references: implicit thread `i` has global rank `rank_base + i`.
+    pub rank_base: usize,
+    /// Offset added to the `tid` special register. 0 for ordinary flows;
+    /// the global thread rank for the SPMD unit flows of the
+    /// thread-based variants; the spawn index for Multi-instruction
+    /// spawned threads.
+    pub tid_offset: usize,
+}
+
+impl Flow {
+    /// A fresh PRAM-mode flow.
+    pub fn new(id: u32, thickness: usize, pc: usize, nregs: usize) -> Flow {
+        Flow {
+            id,
+            thickness,
+            mode: ExecMode::Pram,
+            pc,
+            regs: ThickRegs::new(nregs),
+            call_stack: Vec::new(),
+            status: FlowStatus::Running,
+            parent: None,
+            fragments: Vec::new(),
+            next_op: 0,
+            rank_base: (id as usize) << 32,
+            tid_offset: 0,
+        }
+    }
+
+    /// Whether the flow can execute this step.
+    #[inline]
+    pub fn is_running(&self) -> bool {
+        self.status == FlowStatus::Running
+    }
+
+    /// The group owning the flow's first fragment (where flow-wise
+    /// instructions execute).
+    pub fn home_group(&self) -> usize {
+        self.fragments.first().map(|f| f.group).unwrap_or(0)
+    }
+
+    /// Whether the current instruction has executed for every implicit
+    /// thread.
+    pub fn instruction_complete(&self) -> bool {
+        self.next_op >= self.thickness
+    }
+
+    /// Resets instruction progress (for the next instruction or after a
+    /// thickness change).
+    pub fn reset_progress(&mut self) {
+        self.next_op = 0;
+    }
+
+    /// Total implicit threads covered by fragments (must equal
+    /// `thickness` in PRAM mode; checked by the scheduler's debug
+    /// assertions).
+    pub fn fragmented_threads(&self) -> usize {
+        self.fragments.iter().map(|f| f.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_flow_is_running() {
+        let f = Flow::new(3, 8, 2, 32);
+        assert!(f.is_running());
+        assert_eq!(f.rank_base, 3usize << 32);
+        assert_eq!(f.home_group(), 0);
+    }
+
+    #[test]
+    fn fragment_progress() {
+        let mut f = Flow::new(0, 10, 0, 4);
+        f.fragments = vec![Fragment::new(0, 0, 6), Fragment::new(1, 6, 4)];
+        assert_eq!(f.fragmented_threads(), 10);
+        assert!(!f.instruction_complete());
+        f.next_op = 10;
+        assert!(f.instruction_complete());
+        f.reset_progress();
+        assert_eq!(f.next_op, 0);
+    }
+
+    #[test]
+    fn home_group_is_first_fragment() {
+        let mut f = Flow::new(0, 4, 0, 4);
+        f.fragments = vec![Fragment::new(2, 0, 2), Fragment::new(3, 2, 2)];
+        assert_eq!(f.home_group(), 2);
+    }
+}

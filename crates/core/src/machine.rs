@@ -1,0 +1,500 @@
+//! The extended PRAM-NUMA machine: flow scheduling, memory phases, timing.
+//!
+//! One synchronous step of the lockstep variants:
+//!
+//! 1. **Plan & issue** — every runnable PRAM-mode flow is activated in the
+//!    TCF buffers of its fragments' groups (a non-resident activation
+//!    costs `tcf_load_cost` overhead cycles — the multitasking knee), its
+//!    current instruction is fetched once per flow (Table 1's
+//!    fetches-per-TCF advantage), classified as *flow-wise* (control,
+//!    uniform-operand scalar work: one operation on the home group) or
+//!    *thick* (one operation per implicit thread, spread over the flow's
+//!    fragments, bounded per step under the Balanced variant), and
+//!    executed. Shared-memory operations become collected references.
+//! 2. **Shared-memory step** — all collected references execute with PRAM
+//!    semantics in one [`SharedMemory::step`].
+//! 3. **Write-back** — replies land in thick registers.
+//! 4. **NUMA slices** — flows with thickness `1/T` execute `T` consecutive
+//!    instructions of their sequential stream with direct memory access.
+//! 5. **Timing** — per group, issued units run through the
+//!    [`GroupPipeline`]; the machine clock advances to the slowest group.
+//!
+//! The Multi-instruction variant replaces 1–4 with asynchronous
+//! round-robin execution (see [`crate::exec_async`]).
+//!
+//! [`SharedMemory::step`]: tcf_mem::SharedMemory::step
+//! [`GroupPipeline`]: tcf_machine::GroupPipeline
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tcf_isa::program::Program;
+use tcf_isa::reg::SpecialReg;
+use tcf_isa::word::Word;
+use tcf_machine::{
+    FlowDesc, GroupPipeline, IssueUnit, MachineConfig, MachineStats, TcfBuffer, Trace,
+};
+use tcf_mem::{LocalMemory, SharedMemory, StepStats};
+use tcf_net::Network;
+use tcf_pram::RunSummary;
+
+use crate::error::{TcfError, TcfFault};
+use crate::flow::{ExecMode, Flow, FlowStatus};
+use crate::sched::Allocation;
+use crate::variant::Variant;
+
+/// Default step budget for [`TcfMachine::run`].
+pub const DEFAULT_STEP_BUDGET: u64 = 1_000_000;
+
+/// Hard ceiling on a flow's thickness, protecting the host simulator from
+/// runaway `setthick` values. Far above anything the experiments need.
+pub const MAX_THICKNESS: usize = 1 << 24;
+
+/// A machine executing the extended PRAM-NUMA model under a chosen
+/// [`Variant`].
+pub struct TcfMachine {
+    pub(crate) config: MachineConfig,
+    pub(crate) variant: Variant,
+    pub(crate) allocation: Allocation,
+    pub(crate) program: Arc<Program>,
+    pub(crate) shared: SharedMemory,
+    pub(crate) locals: Vec<LocalMemory>,
+    pub(crate) net: Network,
+    pub(crate) pipes: Vec<GroupPipeline>,
+    pub(crate) buffers: Vec<TcfBuffer>,
+    pub(crate) flows: BTreeMap<u32, Flow>,
+    pub(crate) next_flow_id: u32,
+    pub(crate) trace: Trace,
+    pub(crate) stats: MachineStats,
+    pub(crate) mem_stats: StepStats,
+    pub(crate) clock: u64,
+    pub(crate) steps: u64,
+}
+
+impl TcfMachine {
+    /// Builds a machine under `variant` and loads `program`.
+    ///
+    /// Initial flows depend on the variant: the thread-based variants
+    /// (`SingleOperation`, `ConfigurableSingleOperation`) start `P × T_p`
+    /// unit flows SPMD-style (their `tid` is the global thread rank, as in
+    /// the baseline machine); `FixedThickness` starts one flow of the
+    /// fixed width on group 0; the TCF variants start a single flow of
+    /// thickness 1 — programs grow it with `setthick`.
+    pub fn new(config: MachineConfig, variant: Variant, program: Program) -> TcfMachine {
+        let allocation = match variant {
+            Variant::SingleInstruction | Variant::Balanced { .. } => Allocation::Horizontal,
+            _ => Allocation::Vertical,
+        };
+        TcfMachine::with_allocation(config, variant, program, allocation)
+    }
+
+    /// Like [`new`](TcfMachine::new) with an explicit fragment-allocation
+    /// policy (the §5 horizontal-vs-vertical experiment).
+    pub fn with_allocation(
+        config: MachineConfig,
+        variant: Variant,
+        program: Program,
+        allocation: Allocation,
+    ) -> TcfMachine {
+        config.validate();
+        let mut shared = SharedMemory::new(
+            config.shared_size,
+            config.groups,
+            config.module_map,
+            config.crcw,
+        );
+        shared
+            .load_data(&program.data)
+            .expect("program data outside configured shared memory");
+        let pipes = (0..config.groups)
+            .map(|g| GroupPipeline::with_ilp(g, config.module_latency, config.local_latency, config.ilp_width))
+            .collect();
+        let locals = (0..config.groups)
+            .map(|g| LocalMemory::new(g, config.local_size))
+            .collect();
+        let buffers = (0..config.groups)
+            .map(|_| TcfBuffer::new(config.tcf_buffer_slots, config.tcf_load_cost))
+            .collect();
+        let net = Network::new(config.topology, config.hop_latency);
+        let mut m = TcfMachine {
+            variant,
+            allocation,
+            program: Arc::new(program),
+            shared,
+            locals,
+            net,
+            pipes,
+            buffers,
+            flows: BTreeMap::new(),
+            next_flow_id: 0,
+            trace: Trace::disabled(),
+            stats: MachineStats::default(),
+            mem_stats: StepStats::default(),
+            clock: 0,
+            steps: 0,
+            config,
+        };
+        m.create_initial_flows();
+        m
+    }
+
+    fn create_initial_flows(&mut self) {
+        let entry = self.program.entry;
+        let nregs = self.config.regs_per_thread;
+        match self.variant {
+            Variant::SingleInstruction | Variant::Balanced { .. } | Variant::MultiInstruction => {
+                let mut f = Flow::new(self.alloc_id(), 1, entry, nregs);
+                f.rank_base = 0;
+                f.fragments = self.allocation.fragments(f.id, 1, self.config.groups);
+                self.flows.insert(f.id, f);
+            }
+            Variant::SingleOperation | Variant::ConfigurableSingleOperation => {
+                let tp = self.config.threads_per_group;
+                for rank in 0..self.config.total_threads() {
+                    let id = self.alloc_id();
+                    let mut f = Flow::new(id, 1, entry, nregs);
+                    f.rank_base = rank;
+                    f.tid_offset = rank;
+                    f.fragments =
+                        vec![crate::flow::Fragment::new(rank / tp, 0, 1)];
+                    self.flows.insert(id, f);
+                }
+            }
+            Variant::FixedThickness { width } => {
+                let mut f = Flow::new(self.alloc_id(), width, entry, nregs);
+                f.rank_base = 0;
+                // A vector machine is a single processor: everything on
+                // group 0.
+                f.fragments = vec![crate::flow::Fragment::new(0, 0, width)];
+                self.flows.insert(f.id, f);
+            }
+        }
+    }
+
+    pub(crate) fn alloc_id(&mut self) -> u32 {
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        id
+    }
+
+    /// Enables or disables execution tracing (disabled by default).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Trace::recording() } else { Trace::disabled() };
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Shared-memory host read.
+    pub fn peek(&self, addr: usize) -> Result<Word, TcfError> {
+        self.shared.peek(addr).map_err(|e| self.host_err(e.into()))
+    }
+
+    /// Shared-memory host read of a range.
+    pub fn peek_range(&self, base: usize, len: usize) -> Result<Vec<Word>, TcfError> {
+        self.shared
+            .peek_range(base, len)
+            .map_err(|e| self.host_err(e.into()))
+    }
+
+    /// Shared-memory host write.
+    pub fn poke(&mut self, addr: usize, v: Word) -> Result<(), TcfError> {
+        let step = self.steps;
+        self.shared.poke(addr, v).map_err(|e| TcfError {
+            fault: e.into(),
+            step,
+            flow: None,
+        })
+    }
+
+    /// Local-memory host read.
+    pub fn peek_local(&self, group: usize, addr: usize) -> Result<Word, TcfError> {
+        self.locals[group]
+            .read(addr)
+            .map_err(|e| self.host_err(e.into()))
+    }
+
+    /// A flow by id.
+    pub fn flow(&self, id: u32) -> Option<&Flow> {
+        self.flows.get(&id)
+    }
+
+    /// Sum of the thicknesses of all currently running flows (NUMA-mode
+    /// flows count their fractional thickness as 0) — the machine-wide
+    /// thickness profile used by the Figure 3/4 reproductions.
+    pub fn running_thickness(&self) -> usize {
+        self.flows
+            .values()
+            .filter(|f| f.is_running())
+            .map(|f| match f.mode {
+                crate::flow::ExecMode::Pram => f.thickness,
+                crate::flow::ExecMode::Numa { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Ids of all flows ever created (including halted ones).
+    pub fn flow_ids(&self) -> Vec<u32> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// Number of flows that still have work or are waiting.
+    pub fn live_flows(&self) -> usize {
+        self.flows
+            .values()
+            .filter(|f| f.status != FlowStatus::Halted)
+            .count()
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Pipeline statistics so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Per-group TCF buffers (multitasking statistics).
+    pub fn buffers(&self) -> &[TcfBuffer] {
+        &self.buffers
+    }
+
+    /// Steps executed so far.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps
+    }
+
+    /// Cycles elapsed so far.
+    pub fn cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Adds an independent task as a new root flow at `entry` with the
+    /// given thickness — multitasking in the extended model treats tasks
+    /// as TCFs (§5). Only meaningful for the TCF variants (and, with
+    /// thickness 1, Multi-instruction).
+    pub fn spawn_task(&mut self, entry: usize, thickness: usize) -> Result<u32, TcfError> {
+        if thickness != 1 && !self.variant.supports_setthick() {
+            return Err(self.host_err(TcfFault::UnsupportedByVariant {
+                instr: format!("spawn_task(thickness = {thickness})"),
+                variant: self.variant.name(),
+            }));
+        }
+        if matches!(
+            self.variant,
+            Variant::SingleOperation
+                | Variant::ConfigurableSingleOperation
+                | Variant::FixedThickness { .. }
+        ) {
+            return Err(self.host_err(TcfFault::UnsupportedByVariant {
+                instr: "spawn_task".into(),
+                variant: self.variant.name(),
+            }));
+        }
+        let id = self.alloc_id();
+        let mut f = Flow::new(id, thickness, entry, self.config.regs_per_thread);
+        f.fragments = self
+            .allocation
+            .fragments(id, thickness, self.config.groups);
+        self.flows.insert(id, f);
+        Ok(id)
+    }
+
+    pub(crate) fn host_err(&self, fault: TcfFault) -> TcfError {
+        TcfError {
+            fault,
+            step: self.steps,
+            flow: None,
+        }
+    }
+
+    pub(crate) fn flow_err(&self, flow: u32, fault: TcfFault) -> TcfError {
+        TcfError {
+            fault,
+            step: self.steps,
+            flow: Some(flow),
+        }
+    }
+
+    /// Special-register value for implicit thread `e` of `flow`.
+    pub(crate) fn special(&self, flow: &Flow, e: usize, sr: SpecialReg) -> Word {
+        match sr {
+            SpecialReg::Tid => (flow.tid_offset + e) as Word,
+            SpecialReg::Gid => (flow.rank_base + e) as Word,
+            SpecialReg::Thickness => match flow.mode {
+                ExecMode::Pram => flow.thickness as Word,
+                ExecMode::Numa { .. } => 1,
+            },
+            SpecialReg::Fid => flow.id as Word,
+            SpecialReg::Pid => flow.home_group() as Word,
+            SpecialReg::NProcs => self.config.groups as Word,
+            SpecialReg::NThreads => self.config.threads_per_group as Word,
+        }
+    }
+
+    /// Whether any flow can make progress this step.
+    pub(crate) fn has_workable_flow(&self) -> bool {
+        self.flows.values().any(|f| {
+            f.is_running()
+                && match f.mode {
+                    ExecMode::Pram => f.thickness > 0,
+                    ExecMode::Numa { slots } => slots > 0,
+                }
+        })
+    }
+
+    /// Executes one machine step. Returns `false` when no flow had work.
+    pub fn step(&mut self) -> Result<bool, TcfError> {
+        if !self.has_workable_flow() {
+            let waiting = self.flows.values().any(|f| {
+                matches!(
+                    f.status,
+                    FlowStatus::WaitingJoin { .. } | FlowStatus::WaitingSpawn { .. }
+                )
+            });
+            if waiting {
+                return Err(self.host_err(TcfFault::Deadlock));
+            }
+            return Ok(false);
+        }
+        match self.variant {
+            Variant::MultiInstruction => self.step_async()?,
+            _ => self.step_sync()?,
+        }
+        self.steps += 1;
+        Ok(true)
+    }
+
+    /// Runs until every flow halts (or sleeps at thickness 0) or the step
+    /// budget is exhausted.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunSummary, TcfError> {
+        loop {
+            if self.steps >= max_steps {
+                return Err(self.host_err(TcfFault::StepBudgetExhausted { budget: max_steps }));
+            }
+            if !self.step()? {
+                break;
+            }
+        }
+        Ok(RunSummary {
+            steps: self.steps,
+            cycles: self.clock,
+            halted: true,
+            machine: self.stats,
+            memory: self.mem_stats.clone(),
+            network: self.net.stats().clone(),
+        })
+    }
+
+    /// Phase 5 timing: runs each group's unit lists through its pipeline
+    /// and advances the machine clock to the slowest group.
+    pub(crate) fn apply_timing(
+        &mut self,
+        pram_units: Vec<Vec<IssueUnit>>,
+        numa_units: Vec<Vec<IssueUnit>>,
+    ) {
+        let start = self.clock;
+        let mut end = start;
+        for g in 0..self.config.groups {
+            let out = self.pipes[g].run_step(
+                start,
+                &pram_units[g],
+                false,
+                &mut self.net,
+                &mut self.trace,
+                &mut self.stats,
+            );
+            let mut gend = out.end_cycle;
+            if !numa_units[g].is_empty() {
+                let out2 = self.pipes[g].run_step(
+                    gend,
+                    &numa_units[g],
+                    true,
+                    &mut self.net,
+                    &mut self.trace,
+                    &mut self.stats,
+                );
+                gend = out2.end_cycle;
+                // Both pipeline calls model one machine step.
+                self.stats.steps -= 1;
+            }
+            end = end.max(gend);
+        }
+        self.clock = end;
+        self.stats.cycles = end;
+    }
+
+    /// Activates `flow`'s descriptor in the TCF buffer of every fragment
+    /// group, pushing reload-overhead units where it missed. Free when
+    /// resident — the extended model's zero-cost task switch.
+    pub(crate) fn activate_in_buffers(
+        &mut self,
+        flow_id: u32,
+        units: &mut [Vec<IssueUnit>],
+    ) {
+        let flow = &self.flows[&flow_id];
+        let desc = match flow.mode {
+            ExecMode::Pram => FlowDesc::pram(flow.id, flow.thickness, flow.pc),
+            ExecMode::Numa { slots } => FlowDesc::numa(flow.id, slots, flow.pc),
+        };
+        let groups: Vec<usize> = flow.fragments.iter().map(|f| f.group).collect();
+        for g in groups {
+            let cost = self.buffers[g].activate(desc);
+            for _ in 0..cost {
+                units[g].push(IssueUnit::overhead(flow_id));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcf_isa::asm::assemble;
+
+    fn small() -> MachineConfig {
+        MachineConfig::small()
+    }
+
+    #[test]
+    fn initial_flow_count_per_variant() {
+        let p = || assemble("main:\n halt\n").unwrap();
+        let m = TcfMachine::new(small(), Variant::SingleInstruction, p());
+        assert_eq!(m.flows.len(), 1);
+        let m = TcfMachine::new(small(), Variant::SingleOperation, p());
+        assert_eq!(m.flows.len(), 64);
+        let m = TcfMachine::new(small(), Variant::FixedThickness { width: 16 }, p());
+        assert_eq!(m.flows.len(), 1);
+        assert_eq!(m.flows[&0].thickness, 16);
+    }
+
+    #[test]
+    fn spawn_task_rejected_on_thread_variants() {
+        let p = assemble("main:\n halt\n").unwrap();
+        let mut m = TcfMachine::new(small(), Variant::SingleOperation, p);
+        assert!(m.spawn_task(0, 1).is_err());
+    }
+
+    #[test]
+    fn trivial_program_halts() {
+        let p = assemble("main:\n halt\n").unwrap();
+        let mut m = TcfMachine::new(small(), Variant::SingleInstruction, p);
+        let s = m.run(10).unwrap();
+        assert_eq!(s.steps, 1);
+        assert_eq!(m.live_flows(), 0);
+    }
+}

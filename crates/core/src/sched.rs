@@ -1,0 +1,106 @@
+//! Flow-to-processor allocation.
+//!
+//! §3.3/§5: when flows are allocated to TCF processors, the sum of
+//! thickness per processor should stay balanced; TCF computing offers two
+//! levers — running an arbitrary subset of flows, and splitting a flow's
+//! execution into fragments on different processors. §5 concludes that
+//! *horizontal* allocation (each flow spread as `T/P`-wide fragments over
+//! all processors) beats *vertical* allocation (whole flows pinned to
+//! single processors) for load balance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::Fragment;
+
+/// Fragment-allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Allocation {
+    /// Pin each flow to one group, chosen round-robin by flow id
+    /// (vertical allocation).
+    Vertical,
+    /// Split each flow's thickness evenly over all `P` groups
+    /// (horizontal allocation, the paper's recommendation).
+    Horizontal,
+}
+
+impl Allocation {
+    /// Computes the fragments of a flow of `thickness` implicit threads on
+    /// a machine of `groups` groups. `flow_id` seeds the round-robin of
+    /// vertical allocation.
+    ///
+    /// A zero-thickness flow still gets one empty fragment so it has a
+    /// home group for flow-wise instructions.
+    pub fn fragments(&self, flow_id: u32, thickness: usize, groups: usize) -> Vec<Fragment> {
+        assert!(groups > 0);
+        match self {
+            Allocation::Vertical => {
+                vec![Fragment::new(flow_id as usize % groups, 0, thickness)]
+            }
+            Allocation::Horizontal => {
+                if thickness == 0 {
+                    return vec![Fragment::new(flow_id as usize % groups, 0, 0)];
+                }
+                let per = thickness.div_ceil(groups);
+                let mut frags = Vec::new();
+                let mut offset = 0;
+                for g in 0..groups {
+                    if offset >= thickness {
+                        break;
+                    }
+                    let len = per.min(thickness - offset);
+                    frags.push(Fragment::new(g, offset, len));
+                    offset += len;
+                }
+                frags
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertical_pins_whole_flow() {
+        let f = Allocation::Vertical.fragments(5, 100, 4);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].group, 1); // 5 % 4
+        assert_eq!(f[0].len, 100);
+    }
+
+    #[test]
+    fn horizontal_splits_evenly() {
+        let f = Allocation::Horizontal.fragments(0, 100, 4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.iter().map(|x| x.len).sum::<usize>(), 100);
+        assert!(f.iter().all(|x| x.len == 25));
+        // Offsets are contiguous.
+        assert_eq!(f[1].offset, 25);
+        assert_eq!(f[3].offset, 75);
+    }
+
+    #[test]
+    fn horizontal_handles_remainders() {
+        let f = Allocation::Horizontal.fragments(0, 10, 4);
+        // ceil(10/4) = 3 → 3,3,3,1
+        assert_eq!(f.iter().map(|x| x.len).collect::<Vec<_>>(), vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn horizontal_thin_flow_uses_fewer_groups() {
+        let f = Allocation::Horizontal.fragments(0, 2, 4);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.iter().map(|x| x.len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn zero_thickness_keeps_home_group() {
+        for alloc in [Allocation::Vertical, Allocation::Horizontal] {
+            let f = alloc.fragments(7, 0, 4);
+            assert_eq!(f.len(), 1);
+            assert_eq!(f[0].len, 0);
+            assert_eq!(f[0].group, 3); // 7 % 4
+        }
+    }
+}

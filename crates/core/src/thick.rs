@@ -1,0 +1,275 @@
+//! Thick values: per-implicit-thread data with uniform-value compression.
+//!
+//! A register of a flow of thickness `T` conceptually holds `T` words. Most
+//! registers hold the *same* word for every implicit thread (base
+//! addresses, loop bounds, flow-wise temporaries); the extended model's
+//! architecture proposal explicitly calls out that such registers need not
+//! be replicated (§3.3). [`ThickValue`] keeps that distinction: a
+//! `Uniform` value is stored once and instructions whose operands are all
+//! uniform execute *once* on the flow's common operands instead of `T`
+//! times — the scalarization the TCF processor's operand-select stage
+//! performs.
+
+use serde::{Deserialize, Serialize};
+
+use tcf_isa::word::Word;
+
+/// A value with one word per implicit thread, compressed when uniform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThickValue {
+    /// Every implicit thread sees this word.
+    Uniform(Word),
+    /// Thread `i` sees `values[i]`; the vector's length is the thickness
+    /// at materialization time. Reads beyond the vector (after a thickness
+    /// increase) see 0.
+    PerThread(Vec<Word>),
+}
+
+impl ThickValue {
+    /// The zero value.
+    pub fn zero() -> ThickValue {
+        ThickValue::Uniform(0)
+    }
+
+    /// Whether the value is stored uniformly.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, ThickValue::Uniform(_))
+    }
+
+    /// The value thread `i` sees.
+    #[inline]
+    pub fn get(&self, i: usize) -> Word {
+        match self {
+            ThickValue::Uniform(v) => *v,
+            ThickValue::PerThread(vs) => vs.get(i).copied().unwrap_or(0),
+        }
+    }
+
+    /// The uniform value, if uniform.
+    #[inline]
+    pub fn as_uniform(&self) -> Option<Word> {
+        match self {
+            ThickValue::Uniform(v) => Some(*v),
+            ThickValue::PerThread(_) => None,
+        }
+    }
+
+    /// Materializes the value as a per-thread vector of length `thickness`.
+    pub fn materialize(&self, thickness: usize) -> Vec<Word> {
+        match self {
+            ThickValue::Uniform(v) => vec![*v; thickness],
+            ThickValue::PerThread(vs) => (0..thickness)
+                .map(|i| vs.get(i).copied().unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    /// Sets thread `i`'s value, promoting to per-thread storage if it
+    /// breaks uniformity. `thickness` is the flow's current thickness
+    /// (needed for promotion).
+    pub fn set(&mut self, i: usize, v: Word, thickness: usize) {
+        match self {
+            ThickValue::Uniform(u) if *u == v => {}
+            ThickValue::Uniform(u) => {
+                let mut vs = vec![*u; thickness.max(i + 1)];
+                vs[i] = v;
+                *self = ThickValue::PerThread(vs);
+            }
+            ThickValue::PerThread(vs) => {
+                if vs.len() <= i {
+                    vs.resize(i + 1, 0);
+                }
+                vs[i] = v;
+            }
+        }
+    }
+
+    /// Re-compresses to uniform storage when all of the first `thickness`
+    /// entries agree. Returns whether the value is now uniform.
+    pub fn normalize(&mut self, thickness: usize) -> bool {
+        if let ThickValue::PerThread(vs) = self {
+            let first = vs.first().copied().unwrap_or(0);
+            let all_same = (0..thickness).all(|i| vs.get(i).copied().unwrap_or(0) == first);
+            if all_same {
+                *self = ThickValue::Uniform(first);
+            }
+        }
+        self.is_uniform()
+    }
+}
+
+impl Default for ThickValue {
+    fn default() -> ThickValue {
+        ThickValue::zero()
+    }
+}
+
+/// The register file of one flow: `R` thick values. Index 0 is the
+/// hardwired zero register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThickRegs {
+    regs: Vec<ThickValue>,
+}
+
+impl ThickRegs {
+    /// `nregs` zeroed registers.
+    pub fn new(nregs: usize) -> ThickRegs {
+        ThickRegs {
+            regs: vec![ThickValue::zero(); nregs],
+        }
+    }
+
+    /// Number of registers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the file is empty (never true in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// The thick value of register `r`.
+    #[inline]
+    pub fn value(&self, r: tcf_isa::reg::Reg) -> &ThickValue {
+        &self.regs[r.index()]
+    }
+
+    /// Thread `i`'s view of register `r`.
+    #[inline]
+    pub fn read(&self, r: tcf_isa::reg::Reg, i: usize) -> Word {
+        self.regs[r.index()].get(i)
+    }
+
+    /// Writes thread `i`'s view of register `r` (r0 writes discarded).
+    #[inline]
+    pub fn write(&mut self, r: tcf_isa::reg::Reg, i: usize, v: Word, thickness: usize) {
+        if !r.is_zero() {
+            self.regs[r.index()].set(i, v, thickness);
+        }
+    }
+
+    /// Writes a uniform value to register `r`.
+    #[inline]
+    pub fn write_uniform(&mut self, r: tcf_isa::reg::Reg, v: Word) {
+        if !r.is_zero() {
+            self.regs[r.index()] = ThickValue::Uniform(v);
+        }
+    }
+
+    /// Replaces register `r` wholesale.
+    #[inline]
+    pub fn write_value(&mut self, r: tcf_isa::reg::Reg, v: ThickValue) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Collapses every register to the flow-wise (thread 0) view — the
+    /// state a child flow inherits across a `split`, and the state a flow
+    /// keeps when its thickness changes (per-thread data is meaningless
+    /// under a new thickness).
+    pub fn collapse_to_flowwise(&mut self) {
+        for r in &mut self.regs {
+            if let ThickValue::PerThread(vs) = r {
+                *r = ThickValue::Uniform(vs.first().copied().unwrap_or(0));
+            }
+        }
+    }
+
+    /// Number of registers currently needing per-thread storage (used by
+    /// the Table 1 registers-per-thread measurement).
+    pub fn per_thread_count(&self) -> usize {
+        self.regs.iter().filter(|r| !r.is_uniform()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcf_isa::reg::r;
+
+    #[test]
+    fn uniform_reads_everywhere() {
+        let v = ThickValue::Uniform(7);
+        assert_eq!(v.get(0), 7);
+        assert_eq!(v.get(1_000_000), 7);
+        assert_eq!(v.as_uniform(), Some(7));
+    }
+
+    #[test]
+    fn set_same_value_stays_uniform() {
+        let mut v = ThickValue::Uniform(7);
+        v.set(3, 7, 8);
+        assert!(v.is_uniform());
+    }
+
+    #[test]
+    fn set_different_value_promotes() {
+        let mut v = ThickValue::Uniform(7);
+        v.set(2, 9, 4);
+        assert!(!v.is_uniform());
+        assert_eq!(v.get(0), 7);
+        assert_eq!(v.get(2), 9);
+        assert_eq!(v.get(3), 7);
+    }
+
+    #[test]
+    fn per_thread_reads_beyond_length_are_zero() {
+        let v = ThickValue::PerThread(vec![1, 2]);
+        assert_eq!(v.get(5), 0);
+    }
+
+    #[test]
+    fn normalize_recompresses() {
+        let mut v = ThickValue::PerThread(vec![4, 4, 4]);
+        assert!(v.normalize(3));
+        assert_eq!(v, ThickValue::Uniform(4));
+        let mut v = ThickValue::PerThread(vec![4, 5, 4]);
+        assert!(!v.normalize(3));
+    }
+
+    #[test]
+    fn materialize_pads_with_zero() {
+        let v = ThickValue::PerThread(vec![1, 2]);
+        assert_eq!(v.materialize(4), vec![1, 2, 0, 0]);
+        let u = ThickValue::Uniform(9);
+        assert_eq!(u.materialize(3), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn regs_r0_hardwired() {
+        let mut f = ThickRegs::new(8);
+        f.write(r(0), 0, 42, 4);
+        assert_eq!(f.read(r(0), 0), 0);
+        f.write_uniform(r(0), 42);
+        assert_eq!(f.read(r(0), 0), 0);
+    }
+
+    #[test]
+    fn regs_collapse_to_flowwise() {
+        let mut f = ThickRegs::new(4);
+        f.write(r(1), 0, 10, 3);
+        f.write(r(1), 1, 20, 3);
+        f.write_uniform(r(2), 5);
+        assert_eq!(f.per_thread_count(), 1);
+        f.collapse_to_flowwise();
+        assert_eq!(f.per_thread_count(), 0);
+        assert_eq!(f.read(r(1), 2), 10); // thread 0's view everywhere
+        assert_eq!(f.read(r(2), 0), 5);
+    }
+
+    #[test]
+    fn write_tracks_thickness_for_promotion() {
+        let mut f = ThickRegs::new(4);
+        f.write_uniform(r(3), 1);
+        f.write(r(3), 2, 9, 6);
+        // Threads 0..6 except 2 should still see 1.
+        assert_eq!(f.read(r(3), 0), 1);
+        assert_eq!(f.read(r(3), 2), 9);
+        assert_eq!(f.read(r(3), 5), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! The six execution variants of the extended PRAM-NUMA model (§3.2) and
+//! their capability/cost matrix (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use tcf_machine::MachineConfig;
+
+/// Execution variant of the extended PRAM-NUMA machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// Every flow executes exactly one TCF instruction per step, however
+    /// thick. The most general variant; thick instructions of one flow can
+    /// slow down thin instructions of co-resident flows (Figure 7).
+    SingleInstruction,
+    /// Every processor executes at most `bound` operations of a TCF
+    /// instruction per step; incomplete instructions resume at the stored
+    /// next-operation pointer (Figure 8).
+    Balanced {
+        /// Maximum operations per processor per step.
+        bound: usize,
+    },
+    /// Multiple instructions per logical step, threads spawned
+    /// asynchronously and run to completion — the XMT execution model
+    /// (Figure 9). Loses PRAM lockstep; gains flexible parallel spawns.
+    MultiInstruction,
+    /// Thickness fixed at one, no NUMA: the standard interleaved ESM of
+    /// SB-PRAM / ECLIPSE (Figure 10).
+    SingleOperation,
+    /// Thickness one plus NUMA bunching of processors: the original
+    /// PRAM-NUMA model of TOTAL ECLIPSE (Figure 11).
+    ConfigurableSingleOperation,
+    /// One flow of fixed thickness `width` plus a scalar unit, no control
+    /// parallelism: the traditional vector/SIMD machine (Figure 12).
+    FixedThickness {
+        /// The fixed vector width.
+        width: usize,
+    },
+}
+
+/// One row set of Table 1 for a variant, partly analytic (from the model
+/// definition and machine config) and partly measured by the benches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantProperties {
+    /// Variant name as used in the paper.
+    pub name: &'static str,
+    /// Maximum concurrently schedulable TCFs.
+    pub num_tcfs: String,
+    /// Number of implicit threads expressible.
+    pub num_threads: String,
+    /// Registers available per thread.
+    pub regs_per_thread: String,
+    /// Instruction fetches needed per TCF instruction.
+    pub fetches_per_tcf: String,
+    /// Asymptotic task-switch cost.
+    pub task_switch: &'static str,
+    /// Asymptotic flow-branch (flow creation) cost.
+    pub flow_branch: &'static str,
+    /// Supports synchronous PRAM-style operation.
+    pub pram_op: bool,
+    /// Supports NUMA-mode operation.
+    pub numa_op: bool,
+    /// How sequential code runs.
+    pub sequential: &'static str,
+    /// Supports multiple instruction streams.
+    pub mimd: bool,
+}
+
+impl Variant {
+    /// All variants at representative parameters, for enumeration.
+    pub fn all(t_p: usize) -> [Variant; 6] {
+        [
+            Variant::SingleInstruction,
+            Variant::Balanced { bound: t_p },
+            Variant::MultiInstruction,
+            Variant::SingleOperation,
+            Variant::ConfigurableSingleOperation,
+            Variant::FixedThickness { width: t_p },
+        ]
+    }
+
+    /// The paper's name for the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::SingleInstruction => "Single instruction",
+            Variant::Balanced { .. } => "Balanced",
+            Variant::MultiInstruction => "Multi-instruction",
+            Variant::SingleOperation => "Single-operation",
+            Variant::ConfigurableSingleOperation => "Configurable single operation",
+            Variant::FixedThickness { .. } => "Fixed thickness",
+        }
+    }
+
+    /// Whether `setthick` (dynamic thickness) is available.
+    pub fn supports_setthick(&self) -> bool {
+        matches!(self, Variant::SingleInstruction | Variant::Balanced { .. })
+    }
+
+    /// Whether NUMA-mode execution (`numa`/`endnuma`) is available.
+    pub fn supports_numa(&self) -> bool {
+        matches!(
+            self,
+            Variant::SingleInstruction
+                | Variant::Balanced { .. }
+                | Variant::ConfigurableSingleOperation
+        )
+    }
+
+    /// Whether `split`/`join` control parallelism is available.
+    pub fn supports_split(&self) -> bool {
+        matches!(self, Variant::SingleInstruction | Variant::Balanced { .. })
+    }
+
+    /// Whether asynchronous `spawn`/`sjoin` is available.
+    pub fn supports_spawn(&self) -> bool {
+        matches!(self, Variant::MultiInstruction)
+    }
+
+    /// Whether execution keeps the PRAM's machine-instruction-level
+    /// lockstep.
+    pub fn pram_lockstep(&self) -> bool {
+        !matches!(self, Variant::MultiInstruction)
+    }
+
+    /// Whether the machine runs multiple instruction streams.
+    pub fn mimd(&self) -> bool {
+        !matches!(self, Variant::FixedThickness { .. })
+    }
+
+    /// The per-step operation bound of the Balanced variant.
+    pub fn bound(&self) -> Option<usize> {
+        match self {
+            Variant::Balanced { bound } => Some(*bound),
+            _ => None,
+        }
+    }
+
+    /// The Table 1 row set for this variant on machine `config`.
+    pub fn properties(&self, config: &MachineConfig) -> VariantProperties {
+        let p = config.groups;
+        let tp = config.threads_per_group;
+        let r = config.regs_per_thread;
+        let ptp = p * tp;
+        match self {
+            Variant::SingleInstruction => VariantProperties {
+                name: self.name(),
+                num_tcfs: format!("P*Tp = {ptp}"),
+                num_threads: "u (unbounded)".into(),
+                regs_per_thread: format!("R/u + m (R = {r})"),
+                fetches_per_tcf: "1".into(),
+                task_switch: "0 (buffer-resident)",
+                flow_branch: "O(R)",
+                pram_op: true,
+                numa_op: true,
+                sequential: "NUMA",
+                mimd: true,
+            },
+            Variant::Balanced { bound } => VariantProperties {
+                name: self.name(),
+                num_tcfs: format!("P*Tp = {ptp}"),
+                num_threads: "u (unbounded)".into(),
+                regs_per_thread: format!("R/u + m (R = {r})"),
+                fetches_per_tcf: format!("u/b (b = {bound})"),
+                task_switch: "0 (buffer-resident)",
+                flow_branch: "O(R)",
+                pram_op: true,
+                numa_op: true,
+                sequential: "NUMA",
+                mimd: true,
+            },
+            Variant::MultiInstruction => VariantProperties {
+                name: self.name(),
+                num_tcfs: format!("P*Tp = {ptp}"),
+                num_threads: "u (spawned)".into(),
+                regs_per_thread: format!("R = {r}"),
+                fetches_per_tcf: format!("Tp = {tp}"),
+                task_switch: "O(1)",
+                flow_branch: "O(1)",
+                pram_op: false,
+                numa_op: false,
+                sequential: "single thread",
+                mimd: true,
+            },
+            Variant::SingleOperation => VariantProperties {
+                name: self.name(),
+                num_tcfs: format!("P*Tp = {ptp}"),
+                num_threads: format!("P*Tp = {ptp}"),
+                regs_per_thread: format!("R = {r}"),
+                fetches_per_tcf: format!("Tp = {tp}"),
+                task_switch: "O(Tp)",
+                flow_branch: "O(1)",
+                pram_op: true,
+                numa_op: false,
+                sequential: "single thread (1/Tp utilization)",
+                mimd: true,
+            },
+            Variant::ConfigurableSingleOperation => VariantProperties {
+                name: self.name(),
+                num_tcfs: format!("P*Tp = {ptp}"),
+                num_threads: format!("P*Tp = {ptp}"),
+                regs_per_thread: format!("R = {r}"),
+                fetches_per_tcf: format!("Tp = {tp}"),
+                task_switch: "O(Tp)",
+                flow_branch: "O(1)",
+                pram_op: true,
+                numa_op: true,
+                sequential: "NUMA",
+                mimd: true,
+            },
+            Variant::FixedThickness { width } => VariantProperties {
+                name: self.name(),
+                num_tcfs: "1".into(),
+                num_threads: format!("fixed width = {width}"),
+                regs_per_thread: format!("R = {r}"),
+                fetches_per_tcf: "1".into(),
+                task_switch: "O(Tp)",
+                flow_branch: "n/a (no control parallelism)",
+                pram_op: false,
+                numa_op: false,
+                sequential: "scalar unit",
+                mimd: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_paper() {
+        let si = Variant::SingleInstruction;
+        assert!(si.supports_setthick() && si.supports_numa() && si.supports_split());
+        assert!(!si.supports_spawn() && si.pram_lockstep() && si.mimd());
+
+        let bal = Variant::Balanced { bound: 4 };
+        assert!(bal.supports_setthick() && bal.supports_split());
+        assert_eq!(bal.bound(), Some(4));
+
+        let mi = Variant::MultiInstruction;
+        assert!(mi.supports_spawn() && !mi.pram_lockstep());
+        assert!(!mi.supports_setthick() && !mi.supports_numa() && !mi.supports_split());
+
+        let so = Variant::SingleOperation;
+        assert!(!so.supports_setthick() && !so.supports_numa() && !so.supports_split());
+        assert!(so.pram_lockstep());
+
+        let cso = Variant::ConfigurableSingleOperation;
+        assert!(cso.supports_numa() && !cso.supports_setthick());
+
+        let ft = Variant::FixedThickness { width: 16 };
+        assert!(!ft.mimd() && !ft.supports_split() && !ft.supports_spawn());
+    }
+
+    #[test]
+    fn properties_reflect_config() {
+        let c = MachineConfig::small(); // P=4, Tp=16, R=32
+        let p = Variant::SingleInstruction.properties(&c);
+        assert!(p.num_tcfs.contains("64"));
+        assert_eq!(p.fetches_per_tcf, "1");
+        assert!(p.pram_op && p.numa_op && p.mimd);
+
+        let p = Variant::SingleOperation.properties(&c);
+        assert!(p.fetches_per_tcf.contains("16"));
+        assert_eq!(p.task_switch, "O(Tp)");
+
+        let p = Variant::FixedThickness { width: 16 }.properties(&c);
+        assert!(!p.mimd);
+        assert_eq!(p.num_tcfs, "1");
+    }
+
+    #[test]
+    fn all_variants_enumerated() {
+        let vs = Variant::all(8);
+        let names: Vec<&str> = vs.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"Single instruction"));
+        assert!(names.contains(&"Fixed thickness"));
+    }
+}

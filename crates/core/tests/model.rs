@@ -1,0 +1,600 @@
+//! Integration tests of the extended PRAM-NUMA model across its six
+//! variants.
+
+use tcf_core::{TcfFault, TcfMachine, Variant};
+use tcf_isa::asm::assemble;
+use tcf_isa::word::Word;
+use tcf_machine::MachineConfig;
+
+fn small() -> MachineConfig {
+    MachineConfig::small() // P = 4, T_p = 16, R = 32
+}
+
+fn machine(variant: Variant, src: &str) -> TcfMachine {
+    TcfMachine::new(small(), variant, assemble(src).unwrap())
+}
+
+/// The paper's flagship example: `#size; c. = a. + b.;` — a thick vector
+/// add with no loop and no thread arithmetic.
+const VEC_ADD: &str = "main:
+    ldi r1, 256          ; size
+    setthick r1
+    mfs r2, tid
+    ldi r3, 1000
+    add r4, r3, r2       ; &a[tid]
+    ld r5, [r4+0]
+    add r6, r4, 1000     ; &b[tid]
+    ld r7, [r6+0]
+    add r8, r5, r7
+    add r9, r4, 2000     ; &c[tid]
+    st r8, [r9+0]
+    halt
+";
+
+fn init_vectors(m: &mut TcfMachine, n: usize) {
+    for i in 0..n {
+        m.poke(1000 + i, i as Word).unwrap();
+        m.poke(2000 + i, 2 * i as Word).unwrap();
+    }
+}
+
+#[test]
+fn single_instruction_thick_vector_add() {
+    let mut m = machine(Variant::SingleInstruction, VEC_ADD);
+    init_vectors(&mut m, 256);
+    let s = m.run(100).unwrap();
+    for i in 0..256 {
+        assert_eq!(m.peek(3000 + i).unwrap(), 3 * i as Word, "c[{i}]");
+    }
+    // One instruction per step, 12 instructions: the step count does not
+    // depend on the data size (no looping).
+    assert_eq!(s.steps, 12);
+}
+
+#[test]
+fn step_count_is_size_independent_in_single_instruction() {
+    let src_small = VEC_ADD.replace("ldi r1, 256", "ldi r1, 16");
+    let mut m1 = machine(Variant::SingleInstruction, &src_small);
+    init_vectors(&mut m1, 16);
+    let s1 = m1.run(100).unwrap();
+    let mut m2 = machine(Variant::SingleInstruction, VEC_ADD);
+    init_vectors(&mut m2, 256);
+    let s2 = m2.run(100).unwrap();
+    assert_eq!(s1.steps, s2.steps);
+    // Cycles DO grow with size (more operations), just not steps.
+    assert!(s2.cycles > s1.cycles);
+}
+
+#[test]
+fn balanced_variant_same_result_more_steps() {
+    let mut si = machine(Variant::SingleInstruction, VEC_ADD);
+    let mut bal = machine(Variant::Balanced { bound: 8 }, VEC_ADD);
+    init_vectors(&mut si, 256);
+    init_vectors(&mut bal, 256);
+    let s_si = si.run(1000).unwrap();
+    let s_bal = bal.run(1000).unwrap();
+    for i in 0..256 {
+        assert_eq!(bal.peek(3000 + i).unwrap(), 3 * i as Word);
+    }
+    // 256 thickness over 4 groups = 64 ops per fragment; bound 8 means 8
+    // steps per thick instruction instead of 1.
+    assert!(s_bal.steps > s_si.steps);
+    assert_eq!(s_bal.steps, 4 + 8 * 8); // 4 flow-wise + 8 thick x 8 slices
+}
+
+#[test]
+fn uniform_operands_execute_flow_wise() {
+    // Thickness 1024, but every instruction has uniform operands: the
+    // machine must scalarize them (1 operation each), so the total issued
+    // compute work stays tiny.
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            setthick 1024
+            ldi r1, 5
+            add r2, r1, 1
+            mul r3, r2, r2
+            st r3, [r0+50]
+            halt
+        ",
+    );
+    let s = m.run(100).unwrap();
+    assert_eq!(m.peek(50).unwrap(), 36);
+    assert!(
+        s.machine.compute_ops < 20,
+        "uniform ops were replicated: {} compute ops",
+        s.machine.compute_ops
+    );
+    assert_eq!(s.machine.shared_refs, 1, "uniform store must be one reference");
+}
+
+#[test]
+fn split_join_parallel_statement() {
+    // parallel { #4: left; #4: right } — two child flows, implicit join.
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            split (4 -> left), (4 -> right)
+            ldi r1, 1
+            st r1, [r0+99]       ; parent resumes only after both joins
+            halt
+        left:
+            mfs r2, tid
+            ldi r3, 1000
+            add r3, r3, r2
+            st r2, [r3+0]
+            join
+        right:
+            mfs r2, tid
+            ldi r3, 2000
+            add r3, r3, r2
+            ldi r4, 10
+            add r4, r4, r2
+            st r4, [r3+0]
+            join
+        ",
+    );
+    m.run(100).unwrap();
+    for i in 0..4 {
+        assert_eq!(m.peek(1000 + i).unwrap(), i as Word);
+        assert_eq!(m.peek(2000 + i).unwrap(), 10 + i as Word);
+    }
+    assert_eq!(m.peek(99).unwrap(), 1);
+}
+
+#[test]
+fn nested_split_flows() {
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            split (2 -> outer)
+            halt
+        outer:
+            split (3 -> inner)
+            join
+        inner:
+            madd [r0+40], r2     ; r2 = 0: count participants via thickness
+            ldi r5, 1
+            madd [r0+41], r5     ; every inner thread adds 1
+            join
+        ",
+    );
+    m.run(100).unwrap();
+    // One outer flow of thickness 2 spawns one inner flow of thickness 3
+    // (flow-wise: the *flow* calls split once, not each thread — the
+    // paper's nested-thick-block semantics: T_inner, not T_outer*T_inner).
+    assert_eq!(m.peek(41).unwrap(), 3);
+}
+
+#[test]
+fn numa_mode_in_single_instruction() {
+    let with_numa = "main:
+            numa 4
+            ldi r1, 0
+        loop:
+            add r1, r1, 1
+            slt r2, r1, 20
+            bnez r2, loop
+            endnuma
+            st r1, [r0+100]
+            halt
+        ";
+    let without = with_numa
+        .replace("numa 4", "nop")
+        .replace("endnuma", "nop");
+    let mut m1 = machine(Variant::SingleInstruction, with_numa);
+    let s1 = m1.run(1000).unwrap();
+    assert_eq!(m1.peek(100).unwrap(), 20);
+    let mut m2 = machine(Variant::SingleInstruction, &without);
+    let s2 = m2.run(1000).unwrap();
+    assert_eq!(m2.peek(100).unwrap(), 20);
+    // NUMA mode runs 4 consecutive instructions per step.
+    assert!(
+        s1.steps * 2 < s2.steps,
+        "numa {} vs plain {} steps",
+        s1.steps,
+        s2.steps
+    );
+}
+
+#[test]
+fn multiprefix_thick_flow() {
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            setthick 64
+            mfs r1, tid
+            mpadd r2, [r0+10], r1
+            ldi r3, 600
+            add r3, r3, r1
+            st r2, [r3+0]
+            halt
+        ",
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.peek(10).unwrap(), (0..64).sum::<i64>());
+    // Prefixes in tid order: prefix of thread t = sum 0..t.
+    let mut expected = 0;
+    for t in 0..64 {
+        assert_eq!(m.peek(600 + t).unwrap(), expected, "prefix {t}");
+        expected += t as Word;
+    }
+}
+
+#[test]
+fn divergent_branch_faults() {
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            setthick 4
+            mfs r1, tid
+            bnez r1, elsewhere
+            halt
+        elsewhere:
+            halt
+        ",
+    );
+    let e = m.run(10).unwrap_err();
+    assert!(matches!(e.fault, TcfFault::DivergentBranch { .. }));
+}
+
+#[test]
+fn setthick_zero_makes_flow_dormant() {
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            ldi r1, 1
+            st r1, [r0+5]
+            setthick 0
+            st r1, [r0+6]        ; never executed
+            halt
+        ",
+    );
+    let s = m.run(100).unwrap();
+    assert_eq!(m.peek(5).unwrap(), 1);
+    assert_eq!(m.peek(6).unwrap(), 0);
+    assert!(s.steps < 100);
+}
+
+#[test]
+fn multi_instruction_spawn_join() {
+    let mut m = machine(
+        Variant::MultiInstruction,
+        "main:
+            spawn 16, body
+            ld r2, [r0+99]
+            st r2, [r0+98]       ; copy after all joined
+            halt
+        body:
+            mfs r3, tid
+            ldi r4, 100
+            add r4, r4, r3
+            st r3, [r4+0]
+            madd [r0+99], r3
+            sjoin
+        ",
+    );
+    m.run(1000).unwrap();
+    for i in 0..16 {
+        assert_eq!(m.peek(100 + i).unwrap(), i as Word);
+    }
+    assert_eq!(m.peek(99).unwrap(), 120);
+    assert_eq!(m.peek(98).unwrap(), 120, "parent resumed before joins");
+}
+
+#[test]
+fn multi_instruction_rejects_tcf_control() {
+    let mut m = machine(Variant::MultiInstruction, "main:\n setthick 4\n halt\n");
+    let e = m.run(10).unwrap_err();
+    assert!(matches!(e.fault, TcfFault::UnsupportedByVariant { .. }));
+}
+
+#[test]
+fn single_operation_is_spmd_esm() {
+    // tid is the global thread rank for unit flows, as in the baseline.
+    let mut m = machine(
+        Variant::SingleOperation,
+        "main:
+            mfs r1, tid
+            ldi r2, 3000
+            add r2, r2, r1
+            st r1, [r2+0]
+            halt
+        ",
+    );
+    let s = m.run(100).unwrap();
+    for rank in 0..small().total_threads() {
+        assert_eq!(m.peek(3000 + rank).unwrap(), rank as Word);
+    }
+    assert_eq!(s.steps, 5);
+}
+
+#[test]
+fn single_operation_rejects_numa_and_setthick() {
+    let mut m = machine(Variant::SingleOperation, "main:\n numa 4\n halt\n");
+    assert!(matches!(
+        m.run(10).unwrap_err().fault,
+        TcfFault::UnsupportedByVariant { .. }
+    ));
+    let mut m = machine(Variant::SingleOperation, "main:\n setthick 2\n halt\n");
+    assert!(matches!(
+        m.run(10).unwrap_err().fault,
+        TcfFault::UnsupportedByVariant { .. }
+    ));
+}
+
+#[test]
+fn configurable_single_operation_bunches() {
+    // All 64 unit flows execute `numa 4`: flows 4k lead bunches absorbing
+    // 4k+1..4k+3; each bunch runs the sequential loop 4 instructions per
+    // step, then dissolves with shared state.
+    let mut m = machine(
+        Variant::ConfigurableSingleOperation,
+        "main:
+            numa 4
+            mfs r1, fid          ; leader's flow id, captured in the bunch
+            endnuma
+            mfs r2, tid          ; diverges again after endnuma
+            ldi r3, 2000
+            add r3, r3, r2
+            st r1, [r3+0]
+            halt
+        ",
+    );
+    m.run(1000).unwrap();
+    for rank in 0..small().total_threads() {
+        let leader = (rank / 4) * 4;
+        assert_eq!(m.peek(2000 + rank).unwrap(), leader as Word, "rank {rank}");
+    }
+}
+
+#[test]
+fn fixed_thickness_masked_conditional() {
+    // The Fixed-thickness variant has no control parallelism: a two-way
+    // conditional compiles to two sequential masked passes (paper §4).
+    let mut m = machine(
+        Variant::FixedThickness { width: 16 },
+        "main:
+            mfs r1, tid
+            slt r2, r1, 8
+            ldi r3, 500
+            add r3, r3, r1
+            ldi r4, 7
+            stm r2, r4, [r3+0]
+            xor r5, r2, 1
+            ldi r6, 9
+            stm r5, r6, [r3+0]
+            halt
+        ",
+    );
+    m.run(100).unwrap();
+    for i in 0..8 {
+        assert_eq!(m.peek(500 + i).unwrap(), 7);
+        assert_eq!(m.peek(508 + i).unwrap(), 9);
+    }
+}
+
+#[test]
+fn fixed_thickness_rejects_thickness_control() {
+    for bad in ["setthick 8", "numa 2", "split (2 -> main)"] {
+        let src = format!("main:\n {bad}\n halt\n");
+        let mut m = machine(Variant::FixedThickness { width: 8 }, &src);
+        let e = m.run(10).unwrap_err();
+        assert!(
+            matches!(e.fault, TcfFault::UnsupportedByVariant { .. }),
+            "{bad} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn multitasking_tasks_as_flows() {
+    let src = "main:
+            halt                 ; root does nothing
+        task:
+            mfs r1, fid
+            ldi r2, 700
+            add r2, r2, r1
+            st r1, [r2+0]
+            halt
+        ";
+    let program = assemble(src).unwrap();
+    let entry = program.label("task").unwrap();
+    let mut m = TcfMachine::new(small(), Variant::SingleInstruction, program);
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        ids.push(m.spawn_task(entry, 1).unwrap());
+    }
+    m.run(100).unwrap();
+    for id in ids {
+        assert_eq!(m.peek(700 + id as usize).unwrap(), id as Word);
+    }
+    // 8 tasks + root fit the 16-slot buffer: after the cold loads, no
+    // further misses (free task switching).
+    let b = &m.buffers()[0];
+    assert!(b.misses as usize <= 9, "unexpected thrashing: {} misses", b.misses);
+}
+
+#[test]
+fn buffer_overflow_costs_overhead() {
+    // More tasks than buffer slots: activations thrash and overhead
+    // cycles appear.
+    let src = "main:
+            halt
+        task:
+            ldi r1, 40
+        loop:
+            sub r1, r1, 1
+            bnez r1, loop
+            halt
+        ";
+    let program = assemble(src).unwrap();
+    let entry = program.label("task").unwrap();
+    let mut config = small();
+    config.tcf_buffer_slots = 2;
+    let mut m = TcfMachine::new(config.clone(), Variant::SingleInstruction, program.clone());
+    for _ in 0..12 {
+        m.spawn_task(entry, 1).unwrap();
+    }
+    let s_small_buf = m.run(10_000).unwrap();
+
+    let mut config2 = small();
+    config2.tcf_buffer_slots = 64;
+    let mut m2 = TcfMachine::with_allocation(
+        config2,
+        Variant::SingleInstruction,
+        program,
+        tcf_core::Allocation::Horizontal,
+    );
+    for _ in 0..12 {
+        m2.spawn_task(entry, 1).unwrap();
+    }
+    let s_big_buf = m2.run(10_000).unwrap();
+
+    assert!(
+        s_small_buf.machine.overhead_cycles > 10 * s_big_buf.machine.overhead_cycles.max(1),
+        "no thrashing knee: {} vs {}",
+        s_small_buf.machine.overhead_cycles,
+        s_big_buf.machine.overhead_cycles
+    );
+}
+
+#[test]
+fn horizontal_allocation_beats_vertical_on_thick_flows() {
+    let src = VEC_ADD;
+    let mut h = TcfMachine::with_allocation(
+        small(),
+        Variant::SingleInstruction,
+        assemble(src).unwrap(),
+        tcf_core::Allocation::Horizontal,
+    );
+    let mut v = TcfMachine::with_allocation(
+        small(),
+        Variant::SingleInstruction,
+        assemble(src).unwrap(),
+        tcf_core::Allocation::Vertical,
+    );
+    init_vectors(&mut h, 256);
+    init_vectors(&mut v, 256);
+    let sh = h.run(1000).unwrap();
+    let sv = v.run(1000).unwrap();
+    for i in 0..256 {
+        assert_eq!(h.peek(3000 + i).unwrap(), 3 * i as Word);
+        assert_eq!(v.peek(3000 + i).unwrap(), 3 * i as Word);
+    }
+    assert!(
+        sh.cycles * 2 < sv.cycles,
+        "horizontal {} vs vertical {} cycles",
+        sh.cycles,
+        sv.cycles
+    );
+}
+
+#[test]
+fn flow_wise_call_semantics() {
+    // A flow of thickness 8 calls a method ONCE (not 8 times): the callee
+    // runs with the caller's thickness, and one ret returns the whole
+    // flow.
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            setthick 8
+            call work
+            ldi r1, 1
+            st r1, [r0+90]
+            halt
+        work:
+            mfs r2, tid
+            ldi r3, 800
+            add r3, r3, r2
+            st r2, [r3+0]
+            ldi r4, 1
+            madd [r0+91], r4     ; counts CALLS x thickness contributions
+            ret
+        ",
+    );
+    let s = m.run(100).unwrap();
+    for i in 0..8 {
+        assert_eq!(m.peek(800 + i).unwrap(), i as Word);
+    }
+    // 8 contributions because the *flow* called once with 8 threads; a
+    // thread-wise call model would have been 8 calls x 8 threads.
+    assert_eq!(m.peek(91).unwrap(), 8);
+    assert_eq!(m.peek(90).unwrap(), 1);
+    // call + ret are flow-wise: 2 steps, not 2 x thickness.
+    assert!(s.steps < 15);
+}
+
+#[test]
+fn register_cache_overflow_charges_spill_traffic() {
+    // A flow materializing several per-thread registers at thickness 256
+    // overflows a small cached register file; the same program under an
+    // unlimited file spills nothing, and results are identical either way.
+    let src = "main:
+            setthick 256
+            mfs r1, tid
+            add r2, r1, r1
+            add r3, r2, r1
+            mul r4, r3, r2
+            ldi r5, 5000
+            add r5, r5, r1
+            st r4, [r5+0]
+            halt
+        ";
+    let run = |cache: usize| {
+        let mut config = small();
+        config.reg_cache_words = cache;
+        let mut m = TcfMachine::new(
+            config,
+            Variant::SingleInstruction,
+            assemble(src).unwrap(),
+        );
+        let s = m.run(1000).unwrap();
+        let out = m.peek_range(5000, 256).unwrap();
+        (s, out)
+    };
+    let (unlimited, out_a) = run(0);
+    let (tiny, out_b) = run(16);
+    assert_eq!(out_a, out_b, "spill model must be timing-only");
+    assert_eq!(unlimited.machine.spill_refs, 0);
+    assert!(tiny.machine.spill_refs > 500, "expected spill traffic: {tiny:?}");
+    assert!(tiny.cycles > unlimited.cycles);
+}
+
+#[test]
+fn deadlock_detected() {
+    // A split child halts without joining: the parent waits forever.
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            split (2 -> child)
+            halt
+        child:
+            halt                 ; no join!
+        ",
+    );
+    let e = m.run(100).unwrap_err();
+    assert!(matches!(e.fault, TcfFault::Deadlock));
+}
+
+#[test]
+fn tid_and_thickness_specials() {
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            setthick 5
+            mfs r1, thick
+            st r1, [r0+20]       ; uniform: single write of 5
+            mfs r2, tid
+            ldi r3, 30
+            add r3, r3, r2
+            st r2, [r3+0]
+            halt
+        ",
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.peek(20).unwrap(), 5);
+    for i in 0..5 {
+        assert_eq!(m.peek(30 + i).unwrap(), i as Word);
+    }
+}

@@ -1,0 +1,531 @@
+//! Line-oriented text assembler.
+//!
+//! The accepted syntax is exactly what the `Display` impls of
+//! [`crate::instr`] print, plus labels (`name:`), comments (`;` or `#` to end
+//! of line) and `.data` directives:
+//!
+//! ```text
+//! .data 100: 1 2 3        ; words 1,2,3 at shared address 100
+//! main:
+//!     ldi r1, 100
+//!     mfs r2, tid
+//!     add r3, r1, r2
+//!     ld r4, [r3+0]
+//!     mpadd r5, [r1+64], r4
+//!     split (12 -> left), (3 -> right)
+//!     halt
+//! left:
+//!     join
+//! right:
+//!     join
+//! ```
+//!
+//! `assemble(&program.listing())` reproduces `program` exactly; this round
+//! trip is property-tested in `tests/roundtrip.rs` of this crate.
+
+use std::collections::BTreeMap;
+
+use crate::error::IsaError;
+use crate::instr::{BrCond, Instr, MemSpace, MultiKind, Operand, SplitArm, Target};
+use crate::op::AluOp;
+use crate::program::{DataBlock, Program};
+use crate::reg::{Reg, SpecialReg};
+use crate::word::Word;
+
+/// Assembles source text into a resolved [`Program`].
+pub fn assemble(src: &str) -> Result<Program, IsaError> {
+    let mut instrs = Vec::new();
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut data = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // Leading labels (possibly several on one line).
+        while let Some((label, tail)) = take_label(rest) {
+            if labels.insert(label.to_string(), instrs.len()).is_some() {
+                return Err(IsaError::DuplicateLabel {
+                    label: label.to_string(),
+                });
+            }
+            rest = tail.trim_start();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(dir) = rest.strip_prefix(".data") {
+            data.push(parse_data(dir, line)?);
+            continue;
+        }
+        instrs.push(parse_instr(rest, line)?);
+    }
+    Program::new(instrs, labels, data)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Splits a leading `ident:` label off `text`.
+fn take_label(text: &str) -> Option<(&str, &str)> {
+    let colon = text.find(':')?;
+    let (head, tail) = text.split_at(colon);
+    let head = head.trim();
+    if !head.is_empty()
+        && head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@' || c == '.')
+        && !head.starts_with(".data")
+        && head.parse::<i64>().is_err()
+    {
+        Some((head, &tail[1..]))
+    } else {
+        None
+    }
+}
+
+fn parse_data(dir: &str, line: usize) -> Result<DataBlock, IsaError> {
+    let err = |msg: &str| IsaError::Parse {
+        line,
+        msg: msg.to_string(),
+    };
+    let (base, words) = dir
+        .split_once(':')
+        .ok_or_else(|| err("expected `.data <base>: w0 w1 ...`"))?;
+    let base: usize = base
+        .trim()
+        .parse()
+        .map_err(|_| err("bad base address in .data"))?;
+    let words = words
+        .split_whitespace()
+        .map(|w| w.parse::<Word>())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| err("bad word in .data"))?;
+    Ok(DataBlock { base, words })
+}
+
+/// Token scanner for one instruction line.
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: usize) -> Cursor<'a> {
+        Cursor { text, pos: 0, line }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IsaError {
+        IsaError::Parse {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.text[self.pos..].starts_with([' ', '\t']) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.text[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), IsaError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, IsaError> {
+        self.skip_ws();
+        let start = self.pos;
+        for (i, c) in self.text[start..].char_indices() {
+            if !(c.is_ascii_alphanumeric() || c == '_' || c == '@' || c == '.') {
+                if i == 0 {
+                    return Err(self.err("expected identifier"));
+                }
+                self.pos = start + i;
+                return Ok(&self.text[start..self.pos]);
+            }
+        }
+        if start == self.text.len() {
+            return Err(self.err("expected identifier, found end of line"));
+        }
+        self.pos = self.text.len();
+        Ok(&self.text[start..])
+    }
+
+    fn int(&mut self) -> Result<Word, IsaError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.text.as_bytes();
+        let mut i = self.pos;
+        if i < bytes.len() && (bytes[i] == b'-' || bytes[i] == b'+') {
+            i += 1;
+        }
+        let digits_start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == digits_start {
+            return Err(self.err("expected integer"));
+        }
+        self.pos = i;
+        self.text[start..i]
+            .parse::<Word>()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn reg(&mut self) -> Result<Reg, IsaError> {
+        let id = self.ident()?;
+        parse_reg(id).ok_or_else(|| self.err(format!("expected register, found `{id}`")))
+    }
+
+    /// Register or immediate.
+    fn operand(&mut self) -> Result<Operand, IsaError> {
+        match self.peek() {
+            Some(c) if c == '-' || c.is_ascii_digit() => Ok(Operand::Imm(self.int()?)),
+            _ => Ok(Operand::Reg(self.reg()?)),
+        }
+    }
+
+    /// A `[base+off]` address.
+    fn address(&mut self) -> Result<(Reg, Word), IsaError> {
+        self.expect('[')?;
+        let base = self.reg()?;
+        let off = if self.eat('+') || self.peek() == Some('-') {
+            self.int()?
+        } else {
+            0
+        };
+        self.expect(']')?;
+        Ok((base, off))
+    }
+
+    /// A jump/branch target: label name or `@<abs>`.
+    fn target(&mut self) -> Result<Target, IsaError> {
+        let id = self.ident()?;
+        if let Some(abs) = id.strip_prefix('@') {
+            if let Ok(i) = abs.parse::<usize>() {
+                return Ok(Target::Abs(i));
+            }
+        }
+        Ok(Target::Label(id.to_string()))
+    }
+
+    fn comma(&mut self) -> Result<(), IsaError> {
+        self.expect(',')
+    }
+
+    fn end(&mut self) -> Result<(), IsaError> {
+        self.skip_ws();
+        if self.pos == self.text.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input `{}`", &self.text[self.pos..])))
+        }
+    }
+}
+
+fn parse_reg(id: &str) -> Option<Reg> {
+    let num = id.strip_prefix('r')?;
+    let i: u8 = num.parse().ok()?;
+    Reg::try_new(i)
+}
+
+fn parse_instr(text: &str, line: usize) -> Result<Instr, IsaError> {
+    let mut c = Cursor::new(text, line);
+    let mn = c.ident()?.to_string();
+    let instr = parse_after_mnemonic(&mn, &mut c)?;
+    c.end()?;
+    Ok(instr)
+}
+
+fn parse_after_mnemonic(mn: &str, c: &mut Cursor<'_>) -> Result<Instr, IsaError> {
+    // ALU operations.
+    if let Some(op) = AluOp::from_mnemonic(mn) {
+        let rd = c.reg()?;
+        c.comma()?;
+        let ra = c.reg()?;
+        let rb = if op.is_unary() {
+            Operand::Reg(Reg::ZERO)
+        } else {
+            c.comma()?;
+            c.operand()?
+        };
+        return Ok(Instr::Alu { op, rd, ra, rb });
+    }
+    // Branches.
+    if let Some(cond) = BrCond::from_mnemonic(mn) {
+        let rs = c.reg()?;
+        c.comma()?;
+        let target = c.target()?;
+        return Ok(Instr::Br { cond, rs, target });
+    }
+    // Multioperations / multiprefixes.
+    if let Some(kind) = mn.strip_prefix("mp").and_then(MultiKind::from_suffix) {
+        let rd = c.reg()?;
+        c.comma()?;
+        let (base, off) = c.address()?;
+        c.comma()?;
+        let rs = c.reg()?;
+        return Ok(Instr::MultiPrefix {
+            kind,
+            rd,
+            base,
+            off,
+            rs,
+        });
+    }
+    if mn != "mov" && mn != "min" && mn != "max" && mn != "mod" {
+        if let Some(kind) = mn.strip_prefix('m').and_then(MultiKind::from_suffix) {
+            let (base, off) = c.address()?;
+            c.comma()?;
+            let rs = c.reg()?;
+            return Ok(Instr::MultiOp { kind, base, off, rs });
+        }
+    }
+    match mn {
+        "ldi" => {
+            let rd = c.reg()?;
+            c.comma()?;
+            let imm = c.int()?;
+            Ok(Instr::Ldi { rd, imm })
+        }
+        "mfs" => {
+            let rd = c.reg()?;
+            c.comma()?;
+            let id = c.ident()?;
+            let sr = SpecialReg::from_mnemonic(id)
+                .ok_or_else(|| c.err(format!("unknown special register `{id}`")))?;
+            Ok(Instr::Mfs { rd, sr })
+        }
+        "sel" => {
+            let rd = c.reg()?;
+            c.comma()?;
+            let cond = c.reg()?;
+            c.comma()?;
+            let rt = c.reg()?;
+            c.comma()?;
+            let rf = c.operand()?;
+            Ok(Instr::Sel { rd, cond, rt, rf })
+        }
+        "ld" | "ldl" => {
+            let space = if mn == "ld" {
+                MemSpace::Shared
+            } else {
+                MemSpace::Local
+            };
+            let rd = c.reg()?;
+            c.comma()?;
+            let (base, off) = c.address()?;
+            Ok(Instr::Ld {
+                rd,
+                base,
+                off,
+                space,
+            })
+        }
+        "st" | "stl" => {
+            let space = if mn == "st" {
+                MemSpace::Shared
+            } else {
+                MemSpace::Local
+            };
+            let rs = c.reg()?;
+            c.comma()?;
+            let (base, off) = c.address()?;
+            Ok(Instr::St {
+                rs,
+                base,
+                off,
+                space,
+            })
+        }
+        "stm" | "stml" => {
+            let space = if mn == "stm" {
+                MemSpace::Shared
+            } else {
+                MemSpace::Local
+            };
+            let cond = c.reg()?;
+            c.comma()?;
+            let rs = c.reg()?;
+            c.comma()?;
+            let (base, off) = c.address()?;
+            Ok(Instr::StMasked {
+                cond,
+                rs,
+                base,
+                off,
+                space,
+            })
+        }
+        "jmp" => Ok(Instr::Jmp { target: c.target()? }),
+        "call" => Ok(Instr::Call { target: c.target()? }),
+        "ret" => Ok(Instr::Ret),
+        "setthick" => Ok(Instr::SetThick { src: c.operand()? }),
+        "numa" => Ok(Instr::Numa { slots: c.operand()? }),
+        "endnuma" => Ok(Instr::EndNuma),
+        "split" => {
+            let mut arms = Vec::new();
+            loop {
+                c.expect('(')?;
+                let thickness = c.operand()?;
+                c.expect('-')?;
+                c.expect('>')?;
+                let target = c.target()?;
+                c.expect(')')?;
+                arms.push(SplitArm { thickness, target });
+                if !c.eat(',') {
+                    break;
+                }
+            }
+            Ok(Instr::Split { arms })
+        }
+        "join" => Ok(Instr::Join),
+        "spawn" => {
+            let count = c.operand()?;
+            c.comma()?;
+            let target = c.target()?;
+            Ok(Instr::Spawn { count, target })
+        }
+        "sjoin" => Ok(Instr::SJoin),
+        "sync" => Ok(Instr::Sync),
+        "halt" => Ok(Instr::Halt),
+        "nop" => Ok(Instr::Nop),
+        other => Err(c.err(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "main:\n    ldi r1, 100\n    mfs r2, tid\n    add r3, r1, r2\n    ld r4, [r3+0]\n    halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.entry, 0);
+        assert_eq!(
+            p.instrs[2],
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                ra: r(1),
+                rb: Operand::Reg(r(2)),
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("; nothing\n\n   # also nothing\nhalt ; stop\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn data_directive() {
+        let p = assemble(".data 64: 1 2 3\nhalt\n").unwrap();
+        assert_eq!(p.data[0].base, 64);
+        assert_eq!(p.data[0].words, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_with_multiple_arms() {
+        let p = assemble(
+            "    split (12 -> a), (r2 -> b)\n    halt\na:  join\nb:  join\n",
+        )
+        .unwrap();
+        match &p.instrs[0] {
+            Instr::Split { arms } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].thickness, Operand::Imm(12));
+                assert_eq!(arms[0].target.abs(), Some(2));
+                assert_eq!(arms[1].thickness, Operand::Reg(r(2)));
+                assert_eq!(arms[1].target.abs(), Some(3));
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiop_vs_alu_min_not_confused() {
+        // `min` is an ALU op, `mmin` a multioperation.
+        let p = assemble("min r1, r2, r3\nmmin [r1+0], r2\nhalt\n").unwrap();
+        assert!(matches!(p.instrs[0], Instr::Alu { op: AluOp::Min, .. }));
+        assert!(matches!(
+            p.instrs[1],
+            Instr::MultiOp {
+                kind: MultiKind::Min,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn negative_offsets_and_immediates() {
+        let p = assemble("ld r1, [r2+-4]\naddi_is_not_real r0, r0\n");
+        assert!(p.is_err());
+        let p = assemble("ld r1, [r2+-4]\nldi r3, -77\nhalt\n").unwrap();
+        assert!(matches!(p.instrs[0], Instr::Ld { off: -4, .. }));
+        assert!(matches!(p.instrs[1], Instr::Ldi { imm: -77, .. }));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("nop\nfrobnicate r1\n").unwrap_err();
+        match e {
+            IsaError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("x: nop\nx: halt\n").unwrap_err();
+        assert!(matches!(e, IsaError::DuplicateLabel { .. }));
+    }
+
+    #[test]
+    fn label_and_instruction_on_one_line() {
+        let p = assemble("start: ldi r1, 1\n jmp start\n").unwrap();
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.instrs[1].targets()[0].abs(), Some(0));
+    }
+
+    #[test]
+    fn listing_roundtrip_smoke() {
+        let src = "main:\n    setthick 16\n    mfs r1, tid\n    mpadd r2, [r0+100], r1\n    numa 4\n    endnuma\n    split (8 -> w), (8 -> w)\n    halt\nw:  join\n";
+        let p1 = assemble(src).unwrap();
+        let p2 = assemble(&p1.listing()).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+        assert_eq!(p1.entry, p2.entry);
+    }
+}

@@ -1,0 +1,357 @@
+//! Programmatic program construction.
+//!
+//! [`ProgramBuilder`] is the API the `tcf-lang` compiler and most tests use
+//! to emit code without going through assembler text. Methods are thin,
+//! chainable wrappers that append one instruction each; labels may be
+//! referenced before they are bound.
+//!
+//! ```
+//! use tcf_isa::{ProgramBuilder, AluOp, reg::r};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.ldi(r(1), 0);
+//! b.label("loop");
+//! b.alu(AluOp::Add, r(1), r(1), 1);
+//! b.alu(AluOp::Slt, r(2), r(1), 10);
+//! b.bnez(r(2), "loop");
+//! b.halt();
+//! let program = b.build().unwrap();
+//! assert_eq!(program.len(), 5);
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::IsaError;
+use crate::instr::{BrCond, Instr, MemSpace, MultiKind, Operand, SplitArm, Target};
+use crate::op::AluOp;
+use crate::program::{DataBlock, Program};
+use crate::reg::{Reg, SpecialReg};
+use crate::word::{Addr, Word};
+
+/// Incremental builder of [`Program`]s.
+#[derive(Debug, Default, Clone)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, usize>,
+    data: Vec<DataBlock>,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction index (where the next instruction will land).
+    #[inline]
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Binds `name` to the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.instrs.len()).is_some() {
+            self.duplicate.get_or_insert(name);
+        }
+        self
+    }
+
+    /// Generates a fresh label name guaranteed not to collide with
+    /// user-supplied names (which the assembler forbids to start with `@`).
+    pub fn fresh_label(&mut self, hint: &str) -> String {
+        let mut n = self.labels.len();
+        loop {
+            let name = format!("@{hint}_{n}");
+            if !self.labels.contains_key(&name) {
+                return name;
+            }
+            n += 1;
+        }
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Adds a static shared-memory data block.
+    pub fn data(&mut self, base: Addr, words: Vec<Word>) -> &mut Self {
+        self.data.push(DataBlock { base, words });
+        self
+    }
+
+    /// `op rd, ra, rb|imm`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Alu {
+            op,
+            rd,
+            ra,
+            rb: rb.into(),
+        })
+    }
+
+    /// `ldi rd, imm`
+    pub fn ldi(&mut self, rd: Reg, imm: Word) -> &mut Self {
+        self.push(Instr::Ldi { rd, imm })
+    }
+
+    /// `mfs rd, sr`
+    pub fn mfs(&mut self, rd: Reg, sr: SpecialReg) -> &mut Self {
+        self.push(Instr::Mfs { rd, sr })
+    }
+
+    /// `sel rd, cond, rt, rf`
+    pub fn sel(&mut self, rd: Reg, cond: Reg, rt: Reg, rf: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Sel {
+            rd,
+            cond,
+            rt,
+            rf: rf.into(),
+        })
+    }
+
+    /// `ld rd, [base+off]` from shared memory.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: Word) -> &mut Self {
+        self.push(Instr::Ld {
+            rd,
+            base,
+            off,
+            space: MemSpace::Shared,
+        })
+    }
+
+    /// `ldl rd, [base+off]` from local memory.
+    pub fn ldl(&mut self, rd: Reg, base: Reg, off: Word) -> &mut Self {
+        self.push(Instr::Ld {
+            rd,
+            base,
+            off,
+            space: MemSpace::Local,
+        })
+    }
+
+    /// `st rs, [base+off]` to shared memory.
+    pub fn st(&mut self, rs: Reg, base: Reg, off: Word) -> &mut Self {
+        self.push(Instr::St {
+            rs,
+            base,
+            off,
+            space: MemSpace::Shared,
+        })
+    }
+
+    /// `stl rs, [base+off]` to local memory.
+    pub fn stl(&mut self, rs: Reg, base: Reg, off: Word) -> &mut Self {
+        self.push(Instr::St {
+            rs,
+            base,
+            off,
+            space: MemSpace::Local,
+        })
+    }
+
+    /// Masked store to shared memory.
+    pub fn stm(&mut self, cond: Reg, rs: Reg, base: Reg, off: Word) -> &mut Self {
+        self.push(Instr::StMasked {
+            cond,
+            rs,
+            base,
+            off,
+            space: MemSpace::Shared,
+        })
+    }
+
+    /// Multioperation against shared memory.
+    pub fn multiop(&mut self, kind: MultiKind, base: Reg, off: Word, rs: Reg) -> &mut Self {
+        self.push(Instr::MultiOp { kind, base, off, rs })
+    }
+
+    /// Multiprefix against shared memory.
+    pub fn multiprefix(
+        &mut self,
+        kind: MultiKind,
+        rd: Reg,
+        base: Reg,
+        off: Word,
+        rs: Reg,
+    ) -> &mut Self {
+        self.push(Instr::MultiPrefix {
+            kind,
+            rd,
+            base,
+            off,
+            rs,
+        })
+    }
+
+    /// `jmp label`
+    pub fn jmp(&mut self, label: impl Into<String>) -> &mut Self {
+        self.push(Instr::Jmp {
+            target: Target::Label(label.into()),
+        })
+    }
+
+    /// Conditional branch.
+    pub fn br(&mut self, cond: BrCond, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.push(Instr::Br {
+            cond,
+            rs,
+            target: Target::Label(label.into()),
+        })
+    }
+
+    /// `beqz rs, label`
+    pub fn beqz(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.br(BrCond::Eqz, rs, label)
+    }
+
+    /// `bnez rs, label`
+    pub fn bnez(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.br(BrCond::Nez, rs, label)
+    }
+
+    /// `call label`
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.push(Instr::Call {
+            target: Target::Label(label.into()),
+        })
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instr::Ret)
+    }
+
+    /// `setthick src`
+    pub fn setthick(&mut self, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::SetThick { src: src.into() })
+    }
+
+    /// `numa slots`
+    pub fn numa(&mut self, slots: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Numa {
+            slots: slots.into(),
+        })
+    }
+
+    /// `endnuma`
+    pub fn endnuma(&mut self) -> &mut Self {
+        self.push(Instr::EndNuma)
+    }
+
+    /// `split (thickness -> label), ...`
+    pub fn split(&mut self, arms: Vec<(Operand, String)>) -> &mut Self {
+        self.push(Instr::Split {
+            arms: arms
+                .into_iter()
+                .map(|(thickness, label)| SplitArm {
+                    thickness,
+                    target: Target::Label(label),
+                })
+                .collect(),
+        })
+    }
+
+    /// `join`
+    pub fn join(&mut self) -> &mut Self {
+        self.push(Instr::Join)
+    }
+
+    /// `spawn count, label`
+    pub fn spawn(&mut self, count: impl Into<Operand>, label: impl Into<String>) -> &mut Self {
+        self.push(Instr::Spawn {
+            count: count.into(),
+            target: Target::Label(label.into()),
+        })
+    }
+
+    /// `sjoin`
+    pub fn sjoin(&mut self) -> &mut Self {
+        self.push(Instr::SJoin)
+    }
+
+    /// `sync`
+    pub fn sync(&mut self) -> &mut Self {
+        self.push(Instr::Sync)
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Finalizes the program, resolving labels.
+    pub fn build(self) -> Result<Program, IsaError> {
+        if let Some(label) = self.duplicate {
+            return Err(IsaError::DuplicateLabel { label });
+        }
+        Program::new(self.instrs, self.labels, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn builds_and_resolves() {
+        let mut b = ProgramBuilder::new();
+        b.ldi(r(1), 3);
+        b.label("l");
+        b.alu(AluOp::Sub, r(1), r(1), 1);
+        b.bnez(r(1), "l");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.instrs[2].targets()[0].abs(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").nop();
+        b.label("x").halt();
+        assert!(matches!(
+            b.build(),
+            Err(IsaError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let mut b = ProgramBuilder::new();
+        b.jmp("end");
+        b.nop();
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.instrs[0].targets()[0].abs(), Some(2));
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut b = ProgramBuilder::new();
+        let l1 = b.fresh_label("if");
+        b.label(l1.clone());
+        let l2 = b.fresh_label("if");
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn data_blocks_carried_through() {
+        let mut b = ProgramBuilder::new();
+        b.data(10, vec![7, 8]).halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.data[0].base, 10);
+    }
+}

@@ -1,0 +1,537 @@
+//! Binary encoding of programs into instruction-memory words.
+//!
+//! The CESM-style machines of this workspace fetch instructions from a
+//! word-addressed instruction memory; this module defines the (simple,
+//! deliberately non-compact) encoding used to place a [`Program`] there and
+//! read it back. Every instruction encodes as a tag word followed by one
+//! word per field; operands encode as a flag word plus a value word.
+//!
+//! Only *resolved* programs can be encoded — a symbolic [`Target::Label`]
+//! is an [`IsaError::UnresolvedTarget`]. Labels are source-level artifacts
+//! and are not preserved by the binary form; `decode(&encode(p))` therefore
+//! reproduces `p`'s instructions, entry point and data, not its label map.
+
+use crate::error::IsaError;
+use crate::instr::{BrCond, Instr, MemSpace, MultiKind, Operand, SplitArm, Target};
+use crate::op::AluOp;
+use crate::program::{DataBlock, Program};
+use crate::reg::Reg;
+use crate::word::Word;
+
+/// Magic number leading every encoded program (`"TCF1"` in ASCII).
+pub const MAGIC: u64 = 0x5443_4631;
+
+const TAG_ALU: u64 = 1;
+const TAG_LDI: u64 = 2;
+const TAG_MFS: u64 = 3;
+const TAG_SEL: u64 = 4;
+const TAG_LD: u64 = 5;
+const TAG_ST: u64 = 6;
+const TAG_STM: u64 = 7;
+const TAG_MOP: u64 = 8;
+const TAG_MPREFIX: u64 = 9;
+const TAG_JMP: u64 = 10;
+const TAG_BR: u64 = 11;
+const TAG_CALL: u64 = 12;
+const TAG_RET: u64 = 13;
+const TAG_SETTHICK: u64 = 14;
+const TAG_NUMA: u64 = 15;
+const TAG_ENDNUMA: u64 = 16;
+const TAG_SPLIT: u64 = 17;
+const TAG_JOIN: u64 = 18;
+const TAG_SPAWN: u64 = 19;
+const TAG_SJOIN: u64 = 20;
+const TAG_SYNC: u64 = 21;
+const TAG_HALT: u64 = 22;
+const TAG_NOP: u64 = 23;
+
+struct Enc {
+    words: Vec<u64>,
+}
+
+impl Enc {
+    fn word(&mut self, w: u64) {
+        self.words.push(w);
+    }
+
+    fn signed(&mut self, w: Word) {
+        self.words.push(w as u64);
+    }
+
+    fn reg(&mut self, r: Reg) {
+        self.words.push(r.index() as u64);
+    }
+
+    fn operand(&mut self, o: &Operand) {
+        match o {
+            Operand::Reg(r) => {
+                self.word(0);
+                self.reg(*r);
+            }
+            Operand::Imm(w) => {
+                self.word(1);
+                self.signed(*w);
+            }
+        }
+    }
+
+    fn target(&mut self, t: &Target, at: usize) -> Result<(), IsaError> {
+        match t.abs() {
+            Some(abs) => {
+                self.word(abs as u64);
+                Ok(())
+            }
+            None => Err(IsaError::UnresolvedTarget { at }),
+        }
+    }
+
+    fn space(&mut self, s: MemSpace) {
+        self.word(match s {
+            MemSpace::Shared => 0,
+            MemSpace::Local => 1,
+        });
+    }
+}
+
+struct Dec<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn err(&self, msg: impl Into<String>) -> IsaError {
+        IsaError::Decode {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn word(&mut self) -> Result<u64, IsaError> {
+        let w = *self
+            .words
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn signed(&mut self) -> Result<Word, IsaError> {
+        Ok(self.word()? as Word)
+    }
+
+    fn reg(&mut self) -> Result<Reg, IsaError> {
+        let i = self.word()?;
+        u8::try_from(i)
+            .ok()
+            .and_then(Reg::try_new)
+            .ok_or_else(|| self.err(format!("bad register index {i}")))
+    }
+
+    fn operand(&mut self) -> Result<Operand, IsaError> {
+        match self.word()? {
+            0 => Ok(Operand::Reg(self.reg()?)),
+            1 => Ok(Operand::Imm(self.signed()?)),
+            k => Err(self.err(format!("bad operand kind {k}"))),
+        }
+    }
+
+    fn target(&mut self) -> Result<Target, IsaError> {
+        Ok(Target::Abs(self.word()? as usize))
+    }
+
+    fn space(&mut self) -> Result<MemSpace, IsaError> {
+        match self.word()? {
+            0 => Ok(MemSpace::Shared),
+            1 => Ok(MemSpace::Local),
+            k => Err(self.err(format!("bad memory space {k}"))),
+        }
+    }
+
+    fn index<T: Copy>(&mut self, table: &[T], what: &str) -> Result<T, IsaError> {
+        let i = self.word()? as usize;
+        table
+            .get(i)
+            .copied()
+            .ok_or_else(|| self.err(format!("bad {what} index {i}")))
+    }
+}
+
+fn alu_index(op: AluOp) -> u64 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u64
+}
+
+fn multi_index(k: MultiKind) -> u64 {
+    MultiKind::ALL
+        .iter()
+        .position(|&o| o == k)
+        .expect("kind in ALL") as u64
+}
+
+fn br_index(c: BrCond) -> u64 {
+    BrCond::ALL
+        .iter()
+        .position(|&o| o == c)
+        .expect("cond in ALL") as u64
+}
+
+fn encode_instr(e: &mut Enc, instr: &Instr, at: usize) -> Result<(), IsaError> {
+    match instr {
+        Instr::Alu { op, rd, ra, rb } => {
+            e.word(TAG_ALU);
+            e.word(alu_index(*op));
+            e.reg(*rd);
+            e.reg(*ra);
+            e.operand(rb);
+        }
+        Instr::Ldi { rd, imm } => {
+            e.word(TAG_LDI);
+            e.reg(*rd);
+            e.signed(*imm);
+        }
+        Instr::Mfs { rd, sr } => {
+            e.word(TAG_MFS);
+            e.reg(*rd);
+            e.word(
+                crate::reg::SpecialReg::ALL
+                    .iter()
+                    .position(|s| s == sr)
+                    .expect("sr in ALL") as u64,
+            );
+        }
+        Instr::Sel { rd, cond, rt, rf } => {
+            e.word(TAG_SEL);
+            e.reg(*rd);
+            e.reg(*cond);
+            e.reg(*rt);
+            e.operand(rf);
+        }
+        Instr::Ld {
+            rd,
+            base,
+            off,
+            space,
+        } => {
+            e.word(TAG_LD);
+            e.reg(*rd);
+            e.reg(*base);
+            e.signed(*off);
+            e.space(*space);
+        }
+        Instr::St {
+            rs,
+            base,
+            off,
+            space,
+        } => {
+            e.word(TAG_ST);
+            e.reg(*rs);
+            e.reg(*base);
+            e.signed(*off);
+            e.space(*space);
+        }
+        Instr::StMasked {
+            cond,
+            rs,
+            base,
+            off,
+            space,
+        } => {
+            e.word(TAG_STM);
+            e.reg(*cond);
+            e.reg(*rs);
+            e.reg(*base);
+            e.signed(*off);
+            e.space(*space);
+        }
+        Instr::MultiOp { kind, base, off, rs } => {
+            e.word(TAG_MOP);
+            e.word(multi_index(*kind));
+            e.reg(*base);
+            e.signed(*off);
+            e.reg(*rs);
+        }
+        Instr::MultiPrefix {
+            kind,
+            rd,
+            base,
+            off,
+            rs,
+        } => {
+            e.word(TAG_MPREFIX);
+            e.word(multi_index(*kind));
+            e.reg(*rd);
+            e.reg(*base);
+            e.signed(*off);
+            e.reg(*rs);
+        }
+        Instr::Jmp { target } => {
+            e.word(TAG_JMP);
+            e.target(target, at)?;
+        }
+        Instr::Br { cond, rs, target } => {
+            e.word(TAG_BR);
+            e.word(br_index(*cond));
+            e.reg(*rs);
+            e.target(target, at)?;
+        }
+        Instr::Call { target } => {
+            e.word(TAG_CALL);
+            e.target(target, at)?;
+        }
+        Instr::Ret => e.word(TAG_RET),
+        Instr::SetThick { src } => {
+            e.word(TAG_SETTHICK);
+            e.operand(src);
+        }
+        Instr::Numa { slots } => {
+            e.word(TAG_NUMA);
+            e.operand(slots);
+        }
+        Instr::EndNuma => e.word(TAG_ENDNUMA),
+        Instr::Split { arms } => {
+            e.word(TAG_SPLIT);
+            e.word(arms.len() as u64);
+            for arm in arms {
+                e.operand(&arm.thickness);
+                e.target(&arm.target, at)?;
+            }
+        }
+        Instr::Join => e.word(TAG_JOIN),
+        Instr::Spawn { count, target } => {
+            e.word(TAG_SPAWN);
+            e.operand(count);
+            e.target(target, at)?;
+        }
+        Instr::SJoin => e.word(TAG_SJOIN),
+        Instr::Sync => e.word(TAG_SYNC),
+        Instr::Halt => e.word(TAG_HALT),
+        Instr::Nop => e.word(TAG_NOP),
+    }
+    Ok(())
+}
+
+fn decode_instr(d: &mut Dec<'_>) -> Result<Instr, IsaError> {
+    let tag = d.word()?;
+    Ok(match tag {
+        TAG_ALU => Instr::Alu {
+            op: d.index(&AluOp::ALL, "alu op")?,
+            rd: d.reg()?,
+            ra: d.reg()?,
+            rb: d.operand()?,
+        },
+        TAG_LDI => Instr::Ldi {
+            rd: d.reg()?,
+            imm: d.signed()?,
+        },
+        TAG_MFS => Instr::Mfs {
+            rd: d.reg()?,
+            sr: d.index(&crate::reg::SpecialReg::ALL, "special register")?,
+        },
+        TAG_SEL => Instr::Sel {
+            rd: d.reg()?,
+            cond: d.reg()?,
+            rt: d.reg()?,
+            rf: d.operand()?,
+        },
+        TAG_LD => Instr::Ld {
+            rd: d.reg()?,
+            base: d.reg()?,
+            off: d.signed()?,
+            space: d.space()?,
+        },
+        TAG_ST => Instr::St {
+            rs: d.reg()?,
+            base: d.reg()?,
+            off: d.signed()?,
+            space: d.space()?,
+        },
+        TAG_STM => Instr::StMasked {
+            cond: d.reg()?,
+            rs: d.reg()?,
+            base: d.reg()?,
+            off: d.signed()?,
+            space: d.space()?,
+        },
+        TAG_MOP => Instr::MultiOp {
+            kind: d.index(&MultiKind::ALL, "multiop kind")?,
+            base: d.reg()?,
+            off: d.signed()?,
+            rs: d.reg()?,
+        },
+        TAG_MPREFIX => Instr::MultiPrefix {
+            kind: d.index(&MultiKind::ALL, "multiop kind")?,
+            rd: d.reg()?,
+            base: d.reg()?,
+            off: d.signed()?,
+            rs: d.reg()?,
+        },
+        TAG_JMP => Instr::Jmp { target: d.target()? },
+        TAG_BR => Instr::Br {
+            cond: d.index(&BrCond::ALL, "branch condition")?,
+            rs: d.reg()?,
+            target: d.target()?,
+        },
+        TAG_CALL => Instr::Call { target: d.target()? },
+        TAG_RET => Instr::Ret,
+        TAG_SETTHICK => Instr::SetThick { src: d.operand()? },
+        TAG_NUMA => Instr::Numa { slots: d.operand()? },
+        TAG_ENDNUMA => Instr::EndNuma,
+        TAG_SPLIT => {
+            let n = d.word()? as usize;
+            if n > 1 << 20 {
+                return Err(d.err(format!("implausible split arm count {n}")));
+            }
+            let mut arms = Vec::with_capacity(n);
+            for _ in 0..n {
+                arms.push(SplitArm {
+                    thickness: d.operand()?,
+                    target: d.target()?,
+                });
+            }
+            Instr::Split { arms }
+        }
+        TAG_JOIN => Instr::Join,
+        TAG_SPAWN => Instr::Spawn {
+            count: d.operand()?,
+            target: d.target()?,
+        },
+        TAG_SJOIN => Instr::SJoin,
+        TAG_SYNC => Instr::Sync,
+        TAG_HALT => Instr::Halt,
+        TAG_NOP => Instr::Nop,
+        other => return Err(d.err(format!("unknown instruction tag {other}"))),
+    })
+}
+
+/// Encodes a resolved program into instruction-memory words.
+pub fn encode(p: &Program) -> Result<Vec<u64>, IsaError> {
+    let mut e = Enc { words: Vec::new() };
+    e.word(MAGIC);
+    e.word(p.entry as u64);
+    e.word(p.instrs.len() as u64);
+    for (at, instr) in p.instrs.iter().enumerate() {
+        encode_instr(&mut e, instr, at)?;
+    }
+    e.word(p.data.len() as u64);
+    for block in &p.data {
+        e.word(block.base as u64);
+        e.word(block.words.len() as u64);
+        for &w in &block.words {
+            e.signed(w);
+        }
+    }
+    Ok(e.words)
+}
+
+/// Decodes instruction-memory words back into a program (without labels).
+pub fn decode(words: &[u64]) -> Result<Program, IsaError> {
+    let mut d = Dec { words, pos: 0 };
+    if d.word()? != MAGIC {
+        return Err(d.err("bad magic"));
+    }
+    let entry = d.word()? as usize;
+    let n = d.word()? as usize;
+    if n > words.len() {
+        return Err(d.err(format!("implausible instruction count {n}")));
+    }
+    let mut instrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        instrs.push(decode_instr(&mut d)?);
+    }
+    let nblocks = d.word()? as usize;
+    if nblocks > words.len() {
+        return Err(d.err(format!("implausible data block count {nblocks}")));
+    }
+    let mut data = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let base = d.word()? as usize;
+        let len = d.word()? as usize;
+        if len > words.len() {
+            return Err(d.err(format!("implausible data length {len}")));
+        }
+        let mut block = Vec::with_capacity(len);
+        for _ in 0..len {
+            block.push(d.signed()?);
+        }
+        data.push(DataBlock { base, words: block });
+    }
+    if d.pos != words.len() {
+        return Err(d.err("trailing words after program"));
+    }
+    let mut p = Program {
+        instrs,
+        labels: Default::default(),
+        data,
+        entry,
+    };
+    // Re-validate target ranges through the public constructor path.
+    let labels = std::mem::take(&mut p.labels);
+    let validated = Program::new(p.instrs, labels, p.data)?;
+    if entry > validated.instrs.len() {
+        return Err(IsaError::TargetOutOfRange {
+            at: 0,
+            target: entry,
+            len: validated.instrs.len(),
+        });
+    }
+    Ok(Program {
+        entry,
+        ..validated
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn roundtrip_representative_program() {
+        let p = assemble(
+            "main:\n    setthick 16\n    mfs r1, tid\n    ldi r2, 100\n    add r3, r2, r1\n    ld r4, [r3+0]\n    mpadd r5, [r2+64], r4\n    madd [r2+65], r4\n    sel r6, r4, r5, 0\n    stm r4, r6, [r3+1]\n    split (8 -> w), (r1 -> w)\n    numa 4\n    endnuma\n    spawn 4, w\n    sjoin\n    sync\n    halt\nw:  join\n",
+        )
+        .unwrap();
+        let bin = encode(&p).unwrap();
+        let q = decode(&bin).unwrap();
+        assert_eq!(p.instrs, q.instrs);
+        assert_eq!(p.entry, q.entry);
+        assert_eq!(p.data, q.data);
+    }
+
+    #[test]
+    fn unresolved_target_cannot_encode() {
+        use crate::instr::{Instr, Target};
+        let p = Program {
+            instrs: vec![Instr::Jmp {
+                target: Target::Label("x".into()),
+            }],
+            labels: Default::default(),
+            data: vec![],
+            entry: 0,
+        };
+        assert!(matches!(
+            encode(&p),
+            Err(IsaError::UnresolvedTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(decode(&[0, 0, 0]), Err(IsaError::Decode { .. })));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let p = assemble("ldi r1, 5\nhalt\n").unwrap();
+        let bin = encode(&p).unwrap();
+        assert!(decode(&bin[..bin.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let p = assemble("halt\n").unwrap();
+        let mut bin = encode(&p).unwrap();
+        bin.push(99);
+        assert!(decode(&bin).is_err());
+    }
+}

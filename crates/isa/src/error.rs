@@ -1,0 +1,90 @@
+//! Error types of the ISA layer.
+
+use core::fmt;
+
+/// Errors produced while building, assembling, encoding or decoding
+/// programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A control transfer references a label that was never defined.
+    UnknownLabel {
+        /// The missing label.
+        label: String,
+        /// Instruction index of the reference.
+        at: usize,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The label.
+        label: String,
+    },
+    /// A resolved target points past the end of the program.
+    TargetOutOfRange {
+        /// Instruction index of the reference.
+        at: usize,
+        /// The bad target.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// An instruction still carries a symbolic target after resolution.
+    UnresolvedTarget {
+        /// Instruction index.
+        at: usize,
+    },
+    /// Syntax error in assembler input.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Malformed binary encoding.
+    Decode {
+        /// Word offset of the problem.
+        at: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnknownLabel { label, at } => {
+                write!(f, "unknown label `{label}` referenced at instruction {at}")
+            }
+            IsaError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            IsaError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "target {target} at instruction {at} is outside program of length {len}"
+            ),
+            IsaError::UnresolvedTarget { at } => {
+                write!(f, "unresolved symbolic target at instruction {at}")
+            }
+            IsaError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IsaError::Decode { at, msg } => write!(f, "decode error at word {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IsaError::UnknownLabel {
+            label: "x".into(),
+            at: 3,
+        };
+        assert!(e.to_string().contains("unknown label `x`"));
+        let e = IsaError::Parse {
+            line: 7,
+            msg: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

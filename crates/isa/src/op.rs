@@ -1,0 +1,243 @@
+//! Pure ALU operation semantics.
+//!
+//! Every execution model in the workspace evaluates ALU instructions through
+//! [`AluOp::eval`], so the baseline PRAM-NUMA runtime, the six extended-model
+//! variants and the cycle-level pipeline cannot diverge in arithmetic
+//! behaviour. All arithmetic is wrapping (see [`crate::word`]).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::word::{div_w, rem_w, shamt, Word};
+
+/// Three-address ALU operations (`op rd, ra, rb|imm`).
+///
+/// Unary operations (`Not`, `Neg`, `Mov`) ignore the second source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// `rd = ra + rb`
+    Add,
+    /// `rd = ra - rb`
+    Sub,
+    /// `rd = ra * rb`
+    Mul,
+    /// `rd = ra / rb` (0 when `rb == 0`)
+    Div,
+    /// `rd = ra % rb` (0 when `rb == 0`)
+    Mod,
+    /// `rd = ra & rb`
+    And,
+    /// `rd = ra | rb`
+    Or,
+    /// `rd = ra ^ rb`
+    Xor,
+    /// `rd = ra << (rb & 63)`
+    Shl,
+    /// `rd = (ra as u64) >> (rb & 63)` (logical)
+    Shr,
+    /// `rd = ra >> (rb & 63)` (arithmetic)
+    Sar,
+    /// `rd = (ra < rb) as Word`
+    Slt,
+    /// `rd = (ra <= rb) as Word`
+    Sle,
+    /// `rd = (ra == rb) as Word`
+    Seq,
+    /// `rd = (ra != rb) as Word`
+    Sne,
+    /// `rd = (ra > rb) as Word`
+    Sgt,
+    /// `rd = (ra >= rb) as Word`
+    Sge,
+    /// `rd = min(ra, rb)`
+    Min,
+    /// `rd = max(ra, rb)`
+    Max,
+    /// `rd = ra` (unary)
+    Mov,
+    /// `rd = !ra` (bitwise, unary)
+    Not,
+    /// `rd = -ra` (unary)
+    Neg,
+}
+
+impl AluOp {
+    /// All ALU operations, for exhaustive testing and assembler tables.
+    pub const ALL: [AluOp; 22] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Mod,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Slt,
+        AluOp::Sle,
+        AluOp::Seq,
+        AluOp::Sne,
+        AluOp::Sgt,
+        AluOp::Sge,
+        AluOp::Min,
+        AluOp::Max,
+        AluOp::Mov,
+        AluOp::Not,
+        AluOp::Neg,
+    ];
+
+    /// Evaluates the operation on two source words.
+    #[inline]
+    pub fn eval(self, a: Word, b: Word) -> Word {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => div_w(a, b),
+            AluOp::Mod => rem_w(a, b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(shamt(b)),
+            AluOp::Shr => ((a as u64).wrapping_shr(shamt(b))) as Word,
+            AluOp::Sar => a.wrapping_shr(shamt(b)),
+            AluOp::Slt => (a < b) as Word,
+            AluOp::Sle => (a <= b) as Word,
+            AluOp::Seq => (a == b) as Word,
+            AluOp::Sne => (a != b) as Word,
+            AluOp::Sgt => (a > b) as Word,
+            AluOp::Sge => (a >= b) as Word,
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+            AluOp::Mov => a,
+            AluOp::Not => !a,
+            AluOp::Neg => a.wrapping_neg(),
+        }
+    }
+
+    /// Whether the operation uses only the first source operand.
+    #[inline]
+    pub fn is_unary(self) -> bool {
+        matches!(self, AluOp::Mov | AluOp::Not | AluOp::Neg)
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Mod => "mod",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Slt => "slt",
+            AluOp::Sle => "sle",
+            AluOp::Seq => "seq",
+            AluOp::Sne => "sne",
+            AluOp::Sgt => "sgt",
+            AluOp::Sge => "sge",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+            AluOp::Mov => "mov",
+            AluOp::Not => "not",
+            AluOp::Neg => "neg",
+        }
+    }
+
+    /// Parses an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<AluOp> {
+        AluOp::ALL.into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::Mul.eval(-4, 3), -12);
+        assert_eq!(AluOp::Div.eval(7, 2), 3);
+        assert_eq!(AluOp::Mod.eval(7, 2), 1);
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        assert_eq!(AluOp::Slt.eval(1, 2), 1);
+        assert_eq!(AluOp::Slt.eval(2, 1), 0);
+        assert_eq!(AluOp::Seq.eval(5, 5), 1);
+        assert_eq!(AluOp::Sne.eval(5, 5), 0);
+        assert_eq!(AluOp::Sge.eval(5, 5), 1);
+        assert_eq!(AluOp::Sgt.eval(5, 5), 0);
+        assert_eq!(AluOp::Sle.eval(4, 5), 1);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(AluOp::Shl.eval(1, 4), 16);
+        assert_eq!(AluOp::Shr.eval(-1, 60), 15);
+        assert_eq!(AluOp::Sar.eval(-16, 2), -4);
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(AluOp::Mov.eval(9, 123), 9);
+        assert_eq!(AluOp::Not.eval(0, 0), -1);
+        assert_eq!(AluOp::Neg.eval(5, 0), -5);
+        assert!(AluOp::Mov.is_unary());
+        assert!(!AluOp::Add.is_unary());
+    }
+
+    #[test]
+    fn mnemonics_roundtrip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(AluOp::from_mnemonic("frob"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_never_panics(op in prop::sample::select(&AluOp::ALL[..]), a: i64, b: i64) {
+            let _ = op.eval(a, b);
+        }
+
+        #[test]
+        fn add_commutes(a: i64, b: i64) {
+            prop_assert_eq!(AluOp::Add.eval(a, b), AluOp::Add.eval(b, a));
+        }
+
+        #[test]
+        fn min_max_bracket(a: i64, b: i64) {
+            let lo = AluOp::Min.eval(a, b);
+            let hi = AluOp::Max.eval(a, b);
+            prop_assert!(lo <= hi);
+            prop_assert!(lo == a || lo == b);
+            prop_assert!(hi == a || hi == b);
+        }
+
+        #[test]
+        fn comparisons_are_boolean(a: i64, b: i64) {
+            for op in [AluOp::Slt, AluOp::Sle, AluOp::Seq, AluOp::Sne, AluOp::Sgt, AluOp::Sge] {
+                let v = op.eval(a, b);
+                prop_assert!(v == 0 || v == 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! General and special registers.
+//!
+//! Each implicit thread of a TCF sees `NUM_REGS` general registers `r0..r31`
+//! (with `r0` hardwired to zero, RISC style) plus read-only *special*
+//! registers exposing its position in the machine: its index within the flow
+//! (`tid`), the flow's thickness, the flow id, and the processor/group ids.
+//!
+//! In the extended model registers holding the same value for every thread of
+//! a flow need not be replicated — the runtime stores them as a single
+//! *uniform* value (see `tcf_core::thick::ThickValue`). The register *names*
+//! here are shared by all execution models.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Number of general registers per thread (the paper's parameter `R`).
+pub const NUM_REGS: usize = 32;
+
+/// A general register `r0..r31`. `r0` always reads as zero; writes to it are
+/// discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register, panicking on out-of-range indices.
+    ///
+    /// Out-of-range indices are programming errors in the assembler /
+    /// compiler, never runtime data, so a panic is the right failure mode.
+    #[inline]
+    pub fn new(i: u8) -> Reg {
+        assert!(
+            (i as usize) < NUM_REGS,
+            "register index {i} out of range (0..{NUM_REGS})"
+        );
+        Reg(i)
+    }
+
+    /// Fallible constructor for the assembler front end.
+    #[inline]
+    pub fn try_new(i: u8) -> Option<Reg> {
+        if (i as usize) < NUM_REGS {
+            Some(Reg(i))
+        } else {
+            None
+        }
+    }
+
+    /// The register index in `0..NUM_REGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and the compiler.
+#[inline]
+pub fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Read-only special registers (`mfs rd, <special>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialReg {
+    /// Index of the implicit thread within its flow, `0..thickness`.
+    Tid,
+    /// Current thickness of the executing flow.
+    Thickness,
+    /// Identifier of the executing flow (TCF id / thread id in baseline
+    /// models).
+    Fid,
+    /// Index of the executing processor (group) the flow is allocated to.
+    Pid,
+    /// Number of processor groups `P` in the machine.
+    NProcs,
+    /// Hardware threads per processor `T_p` (baseline models) / TCF buffer
+    /// slots (extended model).
+    NThreads,
+    /// Global thread rank across the whole machine (baseline models):
+    /// `pid * T_p + local_tid`. For a TCF it equals `Tid`.
+    Gid,
+}
+
+impl SpecialReg {
+    /// All special registers, for enumeration in tests and the assembler.
+    pub const ALL: [SpecialReg; 7] = [
+        SpecialReg::Tid,
+        SpecialReg::Thickness,
+        SpecialReg::Fid,
+        SpecialReg::Pid,
+        SpecialReg::NProcs,
+        SpecialReg::NThreads,
+        SpecialReg::Gid,
+    ];
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SpecialReg::Tid => "tid",
+            SpecialReg::Thickness => "thick",
+            SpecialReg::Fid => "fid",
+            SpecialReg::Pid => "pid",
+            SpecialReg::NProcs => "nprocs",
+            SpecialReg::NThreads => "nthreads",
+            SpecialReg::Gid => "gid",
+        }
+    }
+
+    /// Parses an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<SpecialReg> {
+        SpecialReg::ALL
+            .into_iter()
+            .find(|sr| sr.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_zero() {
+        for i in 0..NUM_REGS as u8 {
+            let reg = Reg::new(i);
+            assert_eq!(reg.index(), i as usize);
+            assert_eq!(reg.is_zero(), i == 0);
+        }
+    }
+
+    #[test]
+    fn reg_try_new_bounds() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn special_mnemonics_roundtrip() {
+        for sr in SpecialReg::ALL {
+            assert_eq!(SpecialReg::from_mnemonic(sr.mnemonic()), Some(sr));
+        }
+        assert_eq!(SpecialReg::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(r(7).to_string(), "r7");
+        assert_eq!(Reg::ZERO.to_string(), "r0");
+    }
+}

@@ -1,0 +1,72 @@
+//! Robustness properties: the assembler and the binary decoder must never
+//! panic on arbitrary input — they return structured errors instead.
+
+use proptest::prelude::*;
+
+use tcf_isa::asm::assemble;
+use tcf_isa::encode::{decode, encode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text never panics the assembler.
+    #[test]
+    fn assembler_total_on_arbitrary_text(src in "\\PC{0,200}") {
+        let _ = assemble(&src);
+    }
+
+    /// Arbitrary near-assembly (mnemonic-ish tokens) never panics either.
+    #[test]
+    fn assembler_total_on_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("add".to_string()),
+                Just("ld".to_string()),
+                Just("split".to_string()),
+                Just("r1".to_string()),
+                Just("r99".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("->".to_string()),
+                Just(":".to_string()),
+                Just("-12".to_string()),
+                Just("main".to_string()),
+                Just(".data".to_string()),
+            ],
+            0..24
+        )
+    ) {
+        let _ = assemble(&tokens.join(" "));
+    }
+
+    /// Arbitrary word streams never panic the decoder.
+    #[test]
+    fn decoder_total_on_arbitrary_words(words in prop::collection::vec(any::<u64>(), 0..64)) {
+        let _ = decode(&words);
+    }
+
+    /// Bit-flipping a valid image never panics the decoder.
+    #[test]
+    fn decoder_total_on_corrupted_image(flip_at in 0usize..64, xor in any::<u64>()) {
+        let p = assemble(
+            "main:\n setthick 16\n mfs r1, tid\n mpadd r2, [r0+100], r1\n split (4 -> w), (4 -> w)\n halt\nw: join\n",
+        )
+        .unwrap();
+        let mut words = encode(&p).unwrap();
+        let idx = flip_at % words.len();
+        words[idx] ^= xor;
+        let _ = decode(&words);
+    }
+
+    /// Truncating a valid image anywhere never panics the decoder.
+    #[test]
+    fn decoder_total_on_truncation(cut in 0usize..100) {
+        let p = assemble("main:\n ldi r1, 5\n st r1, [r0+3]\n halt\n").unwrap();
+        let words = encode(&p).unwrap();
+        let cut = cut.min(words.len());
+        let _ = decode(&words[..cut]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Abstract syntax of tce.
+
+use tcf_isa::instr::MultiKind;
+
+/// A whole program: global declarations plus functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramAst {
+    /// `shared` scalars and arrays.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions (`main` required).
+    pub funcs: Vec<FuncDecl>,
+}
+
+/// A `shared int name[len]? (@ addr)?;` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Element count (1 for scalars).
+    pub len: usize,
+    /// Explicit placement, if any.
+    pub addr: Option<usize>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A `void name() { ... }` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&&` (eager, boolean-normalized)
+    LAnd,
+    /// `||` (eager, boolean-normalized)
+    LOr,
+}
+
+/// Built-in flow/thread identity values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// Implicit thread index within the flow (`tid` or `.`).
+    Tid,
+    /// Current thickness.
+    Thickness,
+    /// Flow id.
+    Fid,
+    /// Home processor group.
+    Pid,
+    /// Number of groups.
+    NProcs,
+    /// Thread slots per group.
+    NThreads,
+    /// Global thread rank.
+    Gid,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Local variable read.
+    Var(String),
+    /// Built-in read.
+    Builtin(Builtin),
+    /// Shared scalar read / array element read.
+    Load {
+        /// Global name.
+        name: String,
+        /// Element index (`None` for scalars).
+        index: Option<Box<Expr>>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Logical not (`!e`): 1 when `e == 0`.
+    Not(Box<Expr>),
+    /// `prefix(global[, index], OP, contribution)` — multiprefix returning
+    /// this thread's prefix.
+    Prefix {
+        /// Target global.
+        name: String,
+        /// Element index (`None` for scalars).
+        index: Option<Box<Expr>>,
+        /// Combining operator.
+        kind: MultiKind,
+        /// Contribution.
+        value: Box<Expr>,
+    },
+}
+
+/// One arm of a `parallel` statement: `#thickness: stmt`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelArm {
+    /// Child-flow thickness.
+    pub thickness: Expr,
+    /// Arm body.
+    pub body: Stmt,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int name (= init)?;` — register-allocated local.
+    Local {
+        /// Name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `name = e;`
+    Assign {
+        /// Local name.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `g = e;` or `g[i] = e;` — shared store.
+    Store {
+        /// Global name.
+        name: String,
+        /// Element index (`None` for scalars).
+        index: Option<Expr>,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `#e;` — set thickness.
+    SetThickness {
+        /// New thickness.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `#1/e;` — enter NUMA mode.
+    SetNuma {
+        /// Bunch length.
+        slots: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `#e: stmt` — thickness-scoped statement (save/set/restore).
+    ScopedThickness {
+        /// Scoped thickness.
+        value: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `numa (e) stmt` — NUMA-scoped statement.
+    NumaBlock {
+        /// Bunch length.
+        slots: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `parallel { arms }` — split/join.
+    Parallel {
+        /// The arms.
+        arms: Vec<ParallelArm>,
+        /// Source line.
+        line: usize,
+    },
+    /// `fork (i = e0; i < e1) stmt` — asynchronous spawn.
+    Fork {
+        /// Loop variable bound to the spawned thread index.
+        var: String,
+        /// Start index.
+        start: Expr,
+        /// End bound (exclusive).
+        bound: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (e) s (else s)?` — flow-wise (condition must be uniform).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_s: Box<Stmt>,
+        /// Else branch.
+        else_s: Option<Box<Stmt>>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while (e) s`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `for (init; cond; step) s`
+    For {
+        /// Initializer.
+        init: Option<Box<Stmt>>,
+        /// Condition (empty = true).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `multi(global[, index], OP, e);` — combining-only multioperation.
+    Multi {
+        /// Target global.
+        name: String,
+        /// Element index.
+        index: Option<Expr>,
+        /// Combining operator.
+        kind: MultiKind,
+        /// Contribution.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `f();` — flow-wise call.
+    Call {
+        /// Callee.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// `sync;`
+    Sync {
+        /// Source line.
+        line: usize,
+    },
+    /// `return;`
+    Return {
+        /// Source line.
+        line: usize,
+    },
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+impl Stmt {
+    /// Source line of the statement (blocks/empties report 0).
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Local { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::Store { line, .. }
+            | Stmt::SetThickness { line, .. }
+            | Stmt::SetNuma { line, .. }
+            | Stmt::ScopedThickness { line, .. }
+            | Stmt::NumaBlock { line, .. }
+            | Stmt::Parallel { line, .. }
+            | Stmt::Fork { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Multi { line, .. }
+            | Stmt::Call { line, .. }
+            | Stmt::Sync { line }
+            | Stmt::Return { line } => *line,
+            Stmt::Block(_) | Stmt::Empty => 0,
+        }
+    }
+}

@@ -1,0 +1,925 @@
+//! Code generation: tce AST → `tcf-isa` programs.
+//!
+//! Locals live in registers `r1` upward; expression temporaries are drawn
+//! from `r31` downward, so deeply nested expressions and many locals can
+//! collide — reported as [`LangError::TooComplex`] rather than silently
+//! spilling (the experiments never get close). Shared globals are placed
+//! at explicit `@` addresses or allocated sequentially from
+//! [`CompileOptions::globals_base`].
+
+use std::collections::BTreeMap;
+
+use tcf_isa::instr::Operand;
+use tcf_isa::op::AluOp;
+use tcf_isa::program::Program;
+use tcf_isa::reg::{r, Reg, SpecialReg, NUM_REGS};
+use tcf_isa::word::Word;
+use tcf_isa::ProgramBuilder;
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::parser::parse;
+
+/// Compiler knobs.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// First address used for auto-placed globals.
+    pub globals_base: usize,
+    /// Compile `if` statements whose branches contain only shared stores
+    /// into masked stores (`stm`) instead of branches — the Fixed
+    /// thickness (SIMD) variant's conditional execution (paper §4).
+    pub masked_conditionals: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            globals_base: 4096,
+            masked_conditionals: false,
+        }
+    }
+}
+
+/// Compiles tce source with default options.
+pub fn compile(src: &str) -> Result<Program, LangError> {
+    compile_with(src, CompileOptions::default())
+}
+
+/// Compiles tce source.
+pub fn compile_with(src: &str, opts: CompileOptions) -> Result<Program, LangError> {
+    let ast = parse(src)?;
+    Codegen::new(opts).generate(&ast)
+}
+
+struct GlobalInfo {
+    addr: usize,
+    len: usize,
+}
+
+struct Codegen {
+    opts: CompileOptions,
+    globals: BTreeMap<String, GlobalInfo>,
+    funcs: Vec<String>,
+    /// Current function's locals.
+    locals: BTreeMap<String, Reg>,
+    next_local: u8,
+    /// Temp stack pointer (grows downward from NUM_REGS - 1).
+    next_temp: u8,
+    /// Static approximation of NUMA mode for `#e;`-after-`#1/T;`.
+    in_numa: bool,
+    label_seq: usize,
+    in_main: bool,
+}
+
+impl Codegen {
+    fn new(opts: CompileOptions) -> Codegen {
+        Codegen {
+            opts,
+            globals: BTreeMap::new(),
+            funcs: Vec::new(),
+            locals: BTreeMap::new(),
+            next_local: 1,
+            next_temp: (NUM_REGS - 1) as u8,
+            in_numa: false,
+            label_seq: 0,
+            in_main: false,
+        }
+    }
+
+    fn sema(&self, line: usize, msg: impl Into<String>) -> LangError {
+        LangError::Sema {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    fn fresh(&mut self, hint: &str) -> String {
+        self.label_seq += 1;
+        format!("@{hint}_{}", self.label_seq)
+    }
+
+    fn generate(&mut self, ast: &ProgramAst) -> Result<Program, LangError> {
+        // Place globals.
+        let mut cursor = self.opts.globals_base;
+        for g in &ast.globals {
+            if self.globals.contains_key(&g.name) {
+                return Err(self.sema(g.line, format!("duplicate global `{}`", g.name)));
+            }
+            let addr = match g.addr {
+                Some(a) => a,
+                None => {
+                    let a = cursor;
+                    cursor += g.len;
+                    a
+                }
+            };
+            self.globals.insert(
+                g.name.clone(),
+                GlobalInfo { addr, len: g.len },
+            );
+        }
+        // Collect function names.
+        for f in &ast.funcs {
+            if self.funcs.contains(&f.name) {
+                return Err(self.sema(f.line, format!("duplicate function `{}`", f.name)));
+            }
+            self.funcs.push(f.name.clone());
+        }
+        let main_idx = ast
+            .funcs
+            .iter()
+            .position(|f| f.name == "main")
+            .ok_or_else(|| self.sema(1, "program has no `main` function"))?;
+
+        let mut b = ProgramBuilder::new();
+        // main first so entry resolution picks it up.
+        self.gen_func(&ast.funcs[main_idx], &mut b)?;
+        for (i, f) in ast.funcs.iter().enumerate() {
+            if i != main_idx {
+                self.gen_func(f, &mut b)?;
+            }
+        }
+        b.build().map_err(|e| LangError::Sema {
+            line: 0,
+            msg: format!("assembly failed: {e}"),
+        })
+    }
+
+    fn gen_func(&mut self, f: &FuncDecl, b: &mut ProgramBuilder) -> Result<(), LangError> {
+        self.locals.clear();
+        self.next_local = 1;
+        self.next_temp = (NUM_REGS - 1) as u8;
+        self.in_numa = false;
+        self.in_main = f.name == "main";
+
+        b.label(f.name.clone());
+        let end_label = self.fresh(&format!("{}_end", f.name));
+        for s in &f.body {
+            self.gen_stmt(s, b, &end_label)?;
+        }
+        b.label(end_label);
+        if self.in_main {
+            b.halt();
+        } else {
+            b.ret();
+        }
+        Ok(())
+    }
+
+    // ---- register management ----
+
+    fn alloc_local(&mut self, name: &str, line: usize) -> Result<Reg, LangError> {
+        if let Some(&reg) = self.locals.get(name) {
+            return Ok(reg); // redeclaration reuses the slot (flat scope)
+        }
+        if self.next_local >= self.next_temp {
+            return Err(LangError::TooComplex {
+                line,
+                msg: format!("too many locals (register budget {})", NUM_REGS - 1),
+            });
+        }
+        let reg = r(self.next_local);
+        self.next_local += 1;
+        self.locals.insert(name.to_string(), reg);
+        Ok(reg)
+    }
+
+    fn alloc_temp(&mut self, line: usize) -> Result<Reg, LangError> {
+        if self.next_temp < self.next_local {
+            return Err(LangError::TooComplex {
+                line,
+                msg: "expression too deep for the register file".into(),
+            });
+        }
+        let reg = r(self.next_temp);
+        self.next_temp -= 1;
+        Ok(reg)
+    }
+
+    fn free_temp(&mut self, reg: Reg) {
+        // Temps are freed strictly LIFO; locals are never freed.
+        if reg.index() as u8 == self.next_temp + 1 {
+            self.next_temp += 1;
+        }
+    }
+
+    fn is_temp(&self, reg: Reg) -> bool {
+        reg.index() as u8 > self.next_temp
+            && reg.index() < NUM_REGS
+            && !self.locals.values().any(|&l| l == reg)
+    }
+
+    // ---- expressions ----
+
+    /// Generates `e`, returning the register holding the result. Local
+    /// variables are returned in place (callers must not clobber them);
+    /// everything else lands in a temp the caller should `free_value`.
+    fn gen_expr(
+        &mut self,
+        e: &Expr,
+        b: &mut ProgramBuilder,
+        line: usize,
+    ) -> Result<Reg, LangError> {
+        match e {
+            Expr::Int(v) => {
+                let t = self.alloc_temp(line)?;
+                b.ldi(t, *v);
+                Ok(t)
+            }
+            Expr::Var(name) => {
+                if let Some(&reg) = self.locals.get(name) {
+                    return Ok(reg);
+                }
+                if let Some(g) = self.globals.get(name) {
+                    if g.len != 1 {
+                        return Err(
+                            self.sema(line, format!("array `{name}` used without an index"))
+                        );
+                    }
+                    let addr = g.addr;
+                    let t = self.alloc_temp(line)?;
+                    b.ld(t, Reg::ZERO, addr as Word);
+                    return Ok(t);
+                }
+                Err(self.sema(line, format!("unknown variable `{name}`")))
+            }
+            Expr::Builtin(bi) => {
+                let t = self.alloc_temp(line)?;
+                b.mfs(t, builtin_special(*bi));
+                Ok(t)
+            }
+            Expr::Load { name, index } => {
+                let g = self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| self.sema(line, format!("unknown shared `{name}`")))?;
+                let addr = g.addr;
+                match index {
+                    None => {
+                        let t = self.alloc_temp(line)?;
+                        b.ld(t, Reg::ZERO, addr as Word);
+                        Ok(t)
+                    }
+                    Some(idx) => {
+                        let ti = self.gen_expr(idx, b, line)?;
+                        let t = self.result_reg(ti, line)?;
+                        b.ld(t, ti, addr as Word);
+                        if t != ti {
+                            self.free_if_temp(ti);
+                        }
+                        Ok(t)
+                    }
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => self.gen_bin(*op, lhs, rhs, b, line),
+            Expr::Neg(inner) => {
+                let ti = self.gen_expr(inner, b, line)?;
+                let t = self.result_reg(ti, line)?;
+                b.alu(AluOp::Neg, t, ti, Reg::ZERO);
+                if t != ti {
+                    self.free_if_temp(ti);
+                }
+                Ok(t)
+            }
+            Expr::Not(inner) => {
+                let ti = self.gen_expr(inner, b, line)?;
+                let t = self.result_reg(ti, line)?;
+                b.alu(AluOp::Seq, t, ti, 0_i64);
+                if t != ti {
+                    self.free_if_temp(ti);
+                }
+                Ok(t)
+            }
+            Expr::Prefix {
+                name,
+                index,
+                kind,
+                value,
+            } => {
+                let g = self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| self.sema(line, format!("unknown shared `{name}`")))?;
+                let addr = g.addr;
+                let tv = self.gen_expr(value, b, line)?;
+                match index {
+                    None => {
+                        let t = self.result_reg(tv, line)?;
+                        b.multiprefix(*kind, t, Reg::ZERO, addr as Word, tv);
+                        if t != tv {
+                            self.free_if_temp(tv);
+                        }
+                        Ok(t)
+                    }
+                    Some(idx) => {
+                        let ti = self.gen_expr(idx, b, line)?;
+                        let t = self.result_reg(tv, line)?;
+                        b.multiprefix(*kind, t, ti, addr as Word, tv);
+                        self.free_if_temp(ti);
+                        if t != tv {
+                            self.free_if_temp(tv);
+                        }
+                        Ok(t)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks the destination for an operation consuming `src`: reuse the
+    /// temp, or allocate one when `src` is a local.
+    fn result_reg(&mut self, src: Reg, line: usize) -> Result<Reg, LangError> {
+        if self.is_temp(src) {
+            Ok(src)
+        } else {
+            self.alloc_temp(line)
+        }
+    }
+
+    fn free_if_temp(&mut self, reg: Reg) {
+        if self.is_temp(reg) {
+            self.free_temp(reg);
+        }
+    }
+
+    fn gen_bin(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        b: &mut ProgramBuilder,
+        line: usize,
+    ) -> Result<Reg, LangError> {
+        let tl = self.gen_expr(lhs, b, line)?;
+        let tr = self.gen_expr(rhs, b, line)?;
+        let dst = if self.is_temp(tl) {
+            tl
+        } else if self.is_temp(tr) {
+            tr
+        } else {
+            self.alloc_temp(line)?
+        };
+        match op {
+            BinOp::LAnd => {
+                // Booleanize both then AND: eager, branch-free.
+                let tb = self.alloc_temp(line)?;
+                b.alu(AluOp::Sne, tb, tl, 0_i64);
+                b.alu(AluOp::Sne, dst, tr, 0_i64);
+                b.alu(AluOp::And, dst, dst, tb);
+                self.free_temp(tb);
+            }
+            BinOp::LOr => {
+                b.alu(AluOp::Or, dst, tl, tr);
+                b.alu(AluOp::Sne, dst, dst, 0_i64);
+            }
+            _ => {
+                b.alu(bin_alu(op), dst, tl, tr);
+            }
+        }
+        // Free the consumed temps (LIFO: tr first).
+        if tr != dst {
+            self.free_if_temp(tr);
+        }
+        if tl != dst {
+            self.free_if_temp(tl);
+        }
+        Ok(dst)
+    }
+
+    // ---- statements ----
+
+    fn gen_stmt(
+        &mut self,
+        s: &Stmt,
+        b: &mut ProgramBuilder,
+        end_label: &str,
+    ) -> Result<(), LangError> {
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(body) => {
+                for s in body {
+                    self.gen_stmt(s, b, end_label)?;
+                }
+                Ok(())
+            }
+            Stmt::Local { name, init, line } => {
+                let reg = self.alloc_local(name, *line)?;
+                if let Some(e) = init {
+                    let t = self.gen_expr(e, b, *line)?;
+                    b.alu(AluOp::Mov, reg, t, Reg::ZERO);
+                    self.free_if_temp(t);
+                }
+                Ok(())
+            }
+            Stmt::Assign { name, value, line } => {
+                if let Some(&reg) = self.locals.get(name) {
+                    let t = self.gen_expr(value, b, *line)?;
+                    b.alu(AluOp::Mov, reg, t, Reg::ZERO);
+                    self.free_if_temp(t);
+                    return Ok(());
+                }
+                if let Some(g) = self.globals.get(name) {
+                    if g.len != 1 {
+                        return Err(
+                            self.sema(*line, format!("array `{name}` assigned without an index"))
+                        );
+                    }
+                    let addr = g.addr;
+                    let t = self.gen_expr(value, b, *line)?;
+                    b.st(t, Reg::ZERO, addr as Word);
+                    self.free_if_temp(t);
+                    return Ok(());
+                }
+                Err(self.sema(*line, format!("unknown variable `{name}`")))
+            }
+            Stmt::Store {
+                name,
+                index,
+                value,
+                line,
+            } => {
+                let addr = self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| self.sema(*line, format!("unknown shared `{name}`")))?
+                    .addr;
+                let tv = self.gen_expr(value, b, *line)?;
+                match index {
+                    None => {
+                        b.st(tv, Reg::ZERO, addr as Word);
+                    }
+                    Some(idx) => {
+                        let ti = self.gen_expr(idx, b, *line)?;
+                        b.st(tv, ti, addr as Word);
+                        self.free_if_temp(ti);
+                    }
+                }
+                self.free_if_temp(tv);
+                Ok(())
+            }
+            Stmt::SetThickness { value, line } => {
+                if self.in_numa {
+                    b.endnuma();
+                    self.in_numa = false;
+                }
+                let t = self.gen_expr(value, b, *line)?;
+                b.setthick(t);
+                self.free_if_temp(t);
+                Ok(())
+            }
+            Stmt::SetNuma { slots, line } => {
+                let t = self.gen_expr(slots, b, *line)?;
+                b.numa(t);
+                self.free_if_temp(t);
+                self.in_numa = true;
+                Ok(())
+            }
+            Stmt::ScopedThickness { value, body, line } => {
+                let saved = self.alloc_temp(*line)?;
+                b.mfs(saved, SpecialReg::Thickness);
+                let t = self.gen_expr(value, b, *line)?;
+                b.setthick(t);
+                self.free_if_temp(t);
+                self.gen_stmt(body, b, end_label)?;
+                b.setthick(saved);
+                self.free_temp(saved);
+                Ok(())
+            }
+            Stmt::NumaBlock { slots, body, line } => {
+                let t = self.gen_expr(slots, b, *line)?;
+                b.numa(t);
+                self.free_if_temp(t);
+                self.gen_stmt(body, b, end_label)?;
+                b.endnuma();
+                Ok(())
+            }
+            Stmt::Parallel { arms, line } => {
+                let after = self.fresh("par_after");
+                let mut thicks = Vec::new();
+                for arm in arms {
+                    let t = self.gen_expr(&arm.thickness, b, *line)?;
+                    thicks.push(t);
+                }
+                let labels: Vec<String> =
+                    (0..arms.len()).map(|_| self.fresh("par_arm")).collect();
+                b.split(
+                    thicks
+                        .iter()
+                        .zip(&labels)
+                        .map(|(&t, l)| (Operand::Reg(t), l.clone()))
+                        .collect(),
+                );
+                for &t in thicks.iter().rev() {
+                    self.free_if_temp(t);
+                }
+                b.jmp(after.clone());
+                for (arm, label) in arms.iter().zip(&labels) {
+                    b.label(label.clone());
+                    self.gen_stmt(&arm.body, b, end_label)?;
+                    b.join();
+                }
+                b.label(after);
+                Ok(())
+            }
+            Stmt::Fork {
+                var,
+                start,
+                bound,
+                body,
+                line,
+            } => {
+                let after = self.fresh("fork_after");
+                let body_label = self.fresh("fork_body");
+                let t_start = self.gen_expr(start, b, *line)?;
+                // Keep the start value in a stable register the children
+                // inherit; a local-like temp is fine since children copy
+                // registers at spawn.
+                let t_bound = self.gen_expr(bound, b, *line)?;
+                let t_count = self.result_reg(t_bound, *line)?;
+                b.alu(AluOp::Sub, t_count, t_bound, t_start);
+                b.spawn(t_count, body_label.clone());
+                if t_count != t_bound {
+                    self.free_if_temp(t_bound);
+                }
+                self.free_if_temp(t_count);
+                b.jmp(after.clone());
+                b.label(body_label);
+                let var_reg = self.alloc_local(var, *line)?;
+                b.mfs(var_reg, SpecialReg::Tid);
+                b.alu(AluOp::Add, var_reg, var_reg, t_start);
+                self.gen_stmt(body, b, end_label)?;
+                b.sjoin();
+                self.free_if_temp(t_start);
+                b.label(after);
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+                line,
+            } => {
+                if self.opts.masked_conditionals {
+                    if let Some(()) =
+                        self.try_masked_if(cond, then_s, else_s.as_deref(), b, *line)?
+                    {
+                        return Ok(());
+                    }
+                }
+                let t = self.gen_expr(cond, b, *line)?;
+                let else_l = self.fresh("else");
+                let end_l = self.fresh("endif");
+                b.beqz(t, else_l.clone());
+                self.free_if_temp(t);
+                self.gen_stmt(then_s, b, end_label)?;
+                b.jmp(end_l.clone());
+                b.label(else_l);
+                if let Some(e) = else_s {
+                    self.gen_stmt(e, b, end_label)?;
+                }
+                b.label(end_l);
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let loop_l = self.fresh("while");
+                let end_l = self.fresh("endwhile");
+                b.label(loop_l.clone());
+                let t = self.gen_expr(cond, b, *line)?;
+                b.beqz(t, end_l.clone());
+                self.free_if_temp(t);
+                self.gen_stmt(body, b, end_label)?;
+                b.jmp(loop_l);
+                b.label(end_l);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                if let Some(i) = init {
+                    self.gen_stmt(i, b, end_label)?;
+                }
+                let loop_l = self.fresh("for");
+                let end_l = self.fresh("endfor");
+                b.label(loop_l.clone());
+                if let Some(c) = cond {
+                    let t = self.gen_expr(c, b, *line)?;
+                    b.beqz(t, end_l.clone());
+                    self.free_if_temp(t);
+                }
+                self.gen_stmt(body, b, end_label)?;
+                if let Some(s) = step {
+                    self.gen_stmt(s, b, end_label)?;
+                }
+                b.jmp(loop_l);
+                b.label(end_l);
+                Ok(())
+            }
+            Stmt::Multi {
+                name,
+                index,
+                kind,
+                value,
+                line,
+            } => {
+                let addr = self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| self.sema(*line, format!("unknown shared `{name}`")))?
+                    .addr;
+                let tv = self.gen_expr(value, b, *line)?;
+                match index {
+                    None => {
+                        b.multiop(*kind, Reg::ZERO, addr as Word, tv);
+                    }
+                    Some(idx) => {
+                        let ti = self.gen_expr(idx, b, *line)?;
+                        b.multiop(*kind, ti, addr as Word, tv);
+                        self.free_if_temp(ti);
+                    }
+                }
+                self.free_if_temp(tv);
+                Ok(())
+            }
+            Stmt::Call { name, line } => {
+                if !self.funcs.contains(name) {
+                    return Err(self.sema(*line, format!("unknown function `{name}`")));
+                }
+                if name == "main" {
+                    return Err(self.sema(*line, "calling `main` is not allowed"));
+                }
+                b.call(name.clone());
+                Ok(())
+            }
+            Stmt::Sync { .. } => {
+                b.sync();
+                Ok(())
+            }
+            Stmt::Return { .. } => {
+                b.jmp(end_label.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// Masked-conditional codegen: succeeds (Some) when both branches
+    /// contain only shared stores, emitting `stm` per store with the
+    /// condition / inverted condition.
+    fn try_masked_if(
+        &mut self,
+        cond: &Expr,
+        then_s: &Stmt,
+        else_s: Option<&Stmt>,
+        b: &mut ProgramBuilder,
+        line: usize,
+    ) -> Result<Option<()>, LangError> {
+        fn stores_only<'a>(s: &'a Stmt, out: &mut Vec<&'a Stmt>) -> bool {
+            match s {
+                Stmt::Store { .. } => {
+                    out.push(s);
+                    true
+                }
+                Stmt::Block(body) => body.iter().all(|s| stores_only(s, out)),
+                Stmt::Empty => true,
+                _ => false,
+            }
+        }
+        let mut then_stores = Vec::new();
+        let mut else_stores = Vec::new();
+        if !stores_only(then_s, &mut then_stores) {
+            return Ok(None);
+        }
+        if let Some(e) = else_s {
+            if !stores_only(e, &mut else_stores) {
+                return Ok(None);
+            }
+        }
+
+        let t_cond = self.gen_expr(cond, b, line)?;
+        let emit = |cg: &mut Codegen,
+                    b: &mut ProgramBuilder,
+                    mask: Reg,
+                    stores: &[&Stmt]|
+         -> Result<(), LangError> {
+            for s in stores {
+                if let Stmt::Store {
+                    name,
+                    index,
+                    value,
+                    line,
+                } = s
+                {
+                    let addr = cg
+                        .globals
+                        .get(name)
+                        .ok_or_else(|| cg.sema(*line, format!("unknown shared `{name}`")))?
+                        .addr;
+                    let tv = cg.gen_expr(value, b, *line)?;
+                    match index {
+                        None => {
+                            b.stm(mask, tv, Reg::ZERO, addr as Word);
+                        }
+                        Some(idx) => {
+                            let ti = cg.gen_expr(idx, b, *line)?;
+                            b.stm(mask, tv, ti, addr as Word);
+                            cg.free_if_temp(ti);
+                        }
+                    }
+                    cg.free_if_temp(tv);
+                }
+            }
+            Ok(())
+        };
+        emit(self, b, t_cond, &then_stores)?;
+        if !else_stores.is_empty() {
+            let t_inv = self.alloc_temp(line)?;
+            b.alu(AluOp::Seq, t_inv, t_cond, 0_i64);
+            emit(self, b, t_inv, &else_stores)?;
+            self.free_temp(t_inv);
+        }
+        self.free_if_temp(t_cond);
+        Ok(Some(()))
+    }
+}
+
+fn builtin_special(b: Builtin) -> SpecialReg {
+    match b {
+        Builtin::Tid => SpecialReg::Tid,
+        Builtin::Thickness => SpecialReg::Thickness,
+        Builtin::Fid => SpecialReg::Fid,
+        Builtin::Pid => SpecialReg::Pid,
+        Builtin::NProcs => SpecialReg::NProcs,
+        Builtin::NThreads => SpecialReg::NThreads,
+        Builtin::Gid => SpecialReg::Gid,
+    }
+}
+
+fn bin_alu(op: BinOp) -> AluOp {
+    match op {
+        BinOp::Add => AluOp::Add,
+        BinOp::Sub => AluOp::Sub,
+        BinOp::Mul => AluOp::Mul,
+        BinOp::Div => AluOp::Div,
+        BinOp::Mod => AluOp::Mod,
+        BinOp::Shl => AluOp::Shl,
+        BinOp::Shr => AluOp::Shr,
+        BinOp::Lt => AluOp::Slt,
+        BinOp::Le => AluOp::Sle,
+        BinOp::Gt => AluOp::Sgt,
+        BinOp::Ge => AluOp::Sge,
+        BinOp::Eq => AluOp::Seq,
+        BinOp::Ne => AluOp::Sne,
+        BinOp::And => AluOp::And,
+        BinOp::Or => AluOp::Or,
+        BinOp::Xor => AluOp::Xor,
+        BinOp::LAnd | BinOp::LOr => unreachable!("handled in gen_bin"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_flagship_example() {
+        let p = compile(
+            "shared int a[256] @ 1000;
+             shared int b[256] @ 2000;
+             shared int c[256] @ 3000;
+             void main() {
+                 #256;
+                 c[.] = a[.] + b[.];
+             }",
+        )
+        .unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("setthick"));
+        assert!(listing.contains("mfs"));
+        assert!(!listing.contains("jmp @for"), "no loop should be emitted");
+    }
+
+    #[test]
+    fn auto_placement_is_sequential() {
+        let p = compile(
+            "shared int x;
+             shared int y[10];
+             shared int z;
+             void main() { x = 1; y[0] = 2; z = 3; }",
+        )
+        .unwrap();
+        let l = p.listing();
+        // x at 4096, y at 4097..4106, z at 4107.
+        assert!(l.contains("+4096]"));
+        assert!(l.contains("+4097]"));
+        assert!(l.contains("+4107]"));
+    }
+
+    #[test]
+    fn unknown_variable_reports_sema() {
+        let e = compile("void main() { x = 1; }").unwrap_err();
+        assert!(matches!(e, LangError::Sema { .. }));
+        assert!(e.to_string().contains("unknown variable"));
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let e = compile("void helper() { }").unwrap_err();
+        assert!(e.to_string().contains("no `main`"));
+    }
+
+    #[test]
+    fn functions_get_ret_main_gets_halt() {
+        let p = compile(
+            "void helper() { int x = 1; }
+             void main() { helper(); }",
+        )
+        .unwrap();
+        let l = p.listing();
+        assert!(l.contains("call helper"));
+        assert!(l.contains("ret"));
+        assert!(l.contains("halt"));
+        assert_eq!(p.entry, p.label("main").unwrap());
+    }
+
+    #[test]
+    fn masked_conditionals_emit_stm() {
+        let src = "shared int c[16] @ 500;
+             void main() {
+                 int sel = . < 8;
+                 if (sel) c[.] = 7; else c[.] = 9;
+             }";
+        let plain = compile(src).unwrap();
+        assert!(plain.listing().contains("beqz"));
+        let masked = compile_with(
+            src,
+            CompileOptions {
+                masked_conditionals: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let l = masked.listing();
+        assert!(l.contains("stm"), "{l}");
+        assert!(!l.contains("beqz"), "{l}");
+    }
+
+    #[test]
+    fn parallel_compiles_to_split() {
+        let p = compile(
+            "shared int c[8] @ 100;
+             void main() {
+                 parallel {
+                     #4: c[.] = 1;
+                     #4: c[. + 4] = 2;
+                 }
+             }",
+        )
+        .unwrap();
+        let l = p.listing();
+        assert!(l.contains("split"));
+        assert_eq!(l.matches("join").count(), 2);
+    }
+
+    #[test]
+    fn fork_compiles_to_spawn() {
+        let p = compile(
+            "shared int c[8] @ 100;
+             void main() {
+                 fork (i = 2; i < 8) c[i] = i;
+             }",
+        )
+        .unwrap();
+        let l = p.listing();
+        assert!(l.contains("spawn"));
+        assert!(l.contains("sjoin"));
+    }
+
+    #[test]
+    fn numa_block_wraps_body() {
+        let p = compile("void main() { numa (4) { int x = 1; } }").unwrap();
+        let l = p.listing();
+        assert!(l.contains("numa"));
+        assert!(l.contains("endnuma"));
+    }
+
+    #[test]
+    fn thickness_after_numa_statement_exits_numa() {
+        let p = compile(
+            "void main() {
+                 #1/4;
+                 int x = 1;
+                 #16;
+             }",
+        )
+        .unwrap();
+        let l = p.listing();
+        let numa_pos = l.find("numa").unwrap();
+        let endnuma_pos = l.find("endnuma").unwrap();
+        let setthick_pos = l.find("setthick").unwrap();
+        assert!(numa_pos < endnuma_pos);
+        assert!(endnuma_pos < setthick_pos);
+    }
+}

@@ -1,0 +1,79 @@
+//! Compilation errors with source positions.
+
+use core::fmt;
+
+/// An error raised while compiling tce source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Semantic error (unknown names, duplicate definitions, misuse).
+    Sema {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Resource exhaustion in the compiler (too many locals or too deep
+    /// an expression for the register file).
+    TooComplex {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+}
+
+impl LangError {
+    /// The 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        match self {
+            LangError::Lex { line, .. }
+            | LangError::Parse { line, .. }
+            | LangError::Sema { line, .. }
+            | LangError::TooComplex { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            LangError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            LangError::Sema { line, msg } => write!(f, "semantic error at line {line}: {msg}"),
+            LangError::TooComplex { line, msg } => {
+                write!(f, "program too complex at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_display() {
+        let e = LangError::Parse {
+            line: 3,
+            msg: "expected `;`".into(),
+        };
+        assert_eq!(e.line(), 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Tokenizer for tce source.
+
+use crate::error::LangError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `.` (the tid builtin in expression position).
+    Dot,
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// Punctuation and operators, by their exact spelling.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{",
+    "}", "[", "]", ";", ",", ":",
+];
+
+/// Tokenizes tce source.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: // to end of line, /* ... */ nested-free.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        continue 'outer;
+                    }
+                    i += 1;
+                }
+                return Err(LangError::Lex {
+                    line,
+                    msg: "unterminated block comment".into(),
+                });
+            }
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let v = text.parse::<i64>().map_err(|_| LangError::Lex {
+                line,
+                msg: format!("integer literal `{text}` out of range"),
+            })?;
+            out.push(SpannedTok {
+                tok: Tok::Int(v),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        match c {
+            '.' => {
+                out.push(SpannedTok { tok: Tok::Dot, line });
+                i += 1;
+                continue;
+            }
+            '#' => {
+                out.push(SpannedTok { tok: Tok::Hash, line });
+                i += 1;
+                continue;
+            }
+            '@' => {
+                out.push(SpannedTok { tok: Tok::At, line });
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LangError::Lex {
+            line,
+            msg: format!("unexpected character `{c}`"),
+        });
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("x = 42;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_win() {
+        assert_eq!(
+            toks("a <= b << 2 != c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Int(2),
+                Tok::Punct("!="),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn thickness_and_dot() {
+        assert_eq!(
+            toks("#256; c[.] = 0;"),
+            vec![
+                Tok::Hash,
+                Tok::Int(256),
+                Tok::Punct(";"),
+                Tok::Ident("c".into()),
+                Tok::Punct("["),
+                Tok::Dot,
+                Tok::Punct("]"),
+                Tok::Punct("="),
+                Tok::Int(0),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_tracked() {
+        let ts = lex("// line one\nx /* multi\nline */ = 1;\n").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("x".into()));
+        assert_eq!(ts[0].line, 2);
+        assert_eq!(ts[1].tok, Tok::Punct("="));
+        assert_eq!(ts[1].line, 3);
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let e = lex("x\n$\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        let e = lex("/* oops").unwrap_err();
+        assert!(e.to_string().contains("unterminated"));
+    }
+}

@@ -1,0 +1,684 @@
+//! Recursive-descent parser for tce.
+
+use tcf_isa::instr::MultiKind;
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parses tce source into an AST.
+pub fn parse(src: &str) -> Result<ProgramAst, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), LangError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, LangError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<ProgramAst, LangError> {
+        let mut globals = Vec::new();
+        let mut funcs = Vec::new();
+        while *self.peek() != Tok::Eof {
+            if self.eat_kw("shared") {
+                globals.push(self.global_decl()?);
+            } else if self.eat_kw("void") {
+                funcs.push(self.func_decl()?);
+            } else {
+                return Err(self.err(format!(
+                    "expected `shared` or `void` at top level, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(ProgramAst { globals, funcs })
+    }
+
+    fn global_decl(&mut self) -> Result<GlobalDecl, LangError> {
+        let line = self.line();
+        if !self.eat_kw("int") {
+            return Err(self.err("expected `int` after `shared`"));
+        }
+        let name = self.expect_ident()?;
+        let mut len = 1;
+        if self.eat_punct("[") {
+            let v = self.expect_int()?;
+            if v < 1 {
+                return Err(self.err("array length must be positive"));
+            }
+            len = v as usize;
+            self.expect_punct("]")?;
+        }
+        let mut addr = None;
+        if *self.peek() == Tok::At {
+            self.bump();
+            let v = self.expect_int()?;
+            if v < 0 {
+                return Err(self.err("placement address must be non-negative"));
+            }
+            addr = Some(v as usize);
+        }
+        self.expect_punct(";")?;
+        Ok(GlobalDecl {
+            name,
+            len,
+            addr,
+            line,
+        })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, LangError> {
+        let line = self.line();
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unterminated function body"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(FuncDecl { name, body, line })
+    }
+
+    fn block(&mut self) -> Result<Stmt, LangError> {
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(Stmt::Block(body))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Punct("{") => self.block(),
+            Tok::Punct(";") => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Tok::Hash => {
+                self.bump();
+                // `#1/e` = NUMA; otherwise thickness.
+                if *self.peek() == Tok::Int(1) && self.toks[self.pos + 1].tok == Tok::Punct("/") {
+                    self.bump();
+                    self.bump();
+                    let slots = self.expr()?;
+                    self.expect_punct(";")?;
+                    return Ok(Stmt::SetNuma { slots, line });
+                }
+                let value = self.expr()?;
+                if self.eat_punct(":") {
+                    let body = Box::new(self.stmt()?);
+                    Ok(Stmt::ScopedThickness { value, body, line })
+                } else {
+                    self.expect_punct(";")?;
+                    Ok(Stmt::SetThickness { value, line })
+                }
+            }
+            Tok::Ident(kw) => match kw.as_str() {
+                "int" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let init = if self.eat_punct("=") {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Local { name, init, line })
+                }
+                "if" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let cond = self.expr()?;
+                    self.expect_punct(")")?;
+                    let then_s = Box::new(self.stmt()?);
+                    let else_s = if self.eat_kw("else") {
+                        Some(Box::new(self.stmt()?))
+                    } else {
+                        None
+                    };
+                    Ok(Stmt::If {
+                        cond,
+                        then_s,
+                        else_s,
+                        line,
+                    })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let cond = self.expr()?;
+                    self.expect_punct(")")?;
+                    let body = Box::new(self.stmt()?);
+                    Ok(Stmt::While { cond, body, line })
+                }
+                "for" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let init = if *self.peek() == Tok::Punct(";") {
+                        self.bump();
+                        None
+                    } else {
+                        Some(Box::new(self.simple_stmt()?))
+                    };
+                    let cond = if *self.peek() == Tok::Punct(";") {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_punct(";")?;
+                    let step = if *self.peek() == Tok::Punct(")") {
+                        None
+                    } else {
+                        Some(Box::new(self.simple_stmt_no_semi()?))
+                    };
+                    self.expect_punct(")")?;
+                    let body = Box::new(self.stmt()?);
+                    Ok(Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                        line,
+                    })
+                }
+                "fork" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let var = self.expect_ident()?;
+                    self.expect_punct("=")?;
+                    let start = self.expr()?;
+                    self.expect_punct(";")?;
+                    let v2 = self.expect_ident()?;
+                    if v2 != var {
+                        return Err(self.err("fork bound must test the loop variable"));
+                    }
+                    self.expect_punct("<")?;
+                    let bound = self.expr()?;
+                    self.expect_punct(")")?;
+                    let body = Box::new(self.stmt()?);
+                    Ok(Stmt::Fork {
+                        var,
+                        start,
+                        bound,
+                        body,
+                        line,
+                    })
+                }
+                "numa" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let slots = self.expr()?;
+                    self.expect_punct(")")?;
+                    let body = Box::new(self.stmt()?);
+                    Ok(Stmt::NumaBlock { slots, body, line })
+                }
+                "parallel" => {
+                    self.bump();
+                    self.expect_punct("{")?;
+                    let mut arms = Vec::new();
+                    while !self.eat_punct("}") {
+                        let aline = self.line();
+                        if *self.peek() != Tok::Hash {
+                            return Err(
+                                self.err("parallel arms must start with `#thickness:`")
+                            );
+                        }
+                        self.bump();
+                        let thickness = self.expr()?;
+                        self.expect_punct(":")?;
+                        let body = self.stmt()?;
+                        arms.push(ParallelArm {
+                            thickness,
+                            body,
+                            line: aline,
+                        });
+                    }
+                    Ok(Stmt::Parallel { arms, line })
+                }
+                "multi" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let name = self.expect_ident()?;
+                    let index = if self.eat_punct("[") {
+                        let e = self.expr()?;
+                        self.expect_punct("]")?;
+                        Some(e)
+                    } else {
+                        None
+                    };
+                    self.expect_punct(",")?;
+                    let kind = self.multikind()?;
+                    self.expect_punct(",")?;
+                    let value = self.expr()?;
+                    self.expect_punct(")")?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Multi {
+                        name,
+                        index,
+                        kind,
+                        value,
+                        line,
+                    })
+                }
+                "sync" => {
+                    self.bump();
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Sync { line })
+                }
+                "return" => {
+                    self.bump();
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Return { line })
+                }
+                _ => {
+                    let s = self.simple_stmt()?;
+                    Ok(s)
+                }
+            },
+            other => Err(self.err(format!("unexpected token {other:?} starting statement"))),
+        }
+    }
+
+    /// Assignment / store / call, terminated by `;`.
+    fn simple_stmt(&mut self) -> Result<Stmt, LangError> {
+        let s = self.simple_stmt_no_semi()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        let name = self.expect_ident()?;
+        if self.eat_punct("(") {
+            self.expect_punct(")")?;
+            return Ok(Stmt::Call { name, line });
+        }
+        if self.eat_punct("[") {
+            let index = self.expr()?;
+            self.expect_punct("]")?;
+            let op = self.assign_op()?;
+            let rhs = self.expr()?;
+            let value = match op {
+                None => rhs,
+                Some(binop) => {
+                    // Desugar `a[i] op= e` into `a[i] = a[i] op e`. The
+                    // index is evaluated twice, so side-effecting indices
+                    // (containing prefix()) are rejected.
+                    if expr_has_prefix(&index) {
+                        return Err(LangError::Parse {
+                            line,
+                            msg: "compound assignment index may not contain prefix()".into(),
+                        });
+                    }
+                    Expr::Bin {
+                        op: binop,
+                        lhs: Box::new(Expr::Load {
+                            name: name.clone(),
+                            index: Some(Box::new(index.clone())),
+                        }),
+                        rhs: Box::new(rhs),
+                    }
+                }
+            };
+            return Ok(Stmt::Store {
+                name,
+                index: Some(index),
+                value,
+                line,
+            });
+        }
+        let op = self.assign_op()?;
+        let rhs = self.expr()?;
+        // Whether `name` is a local or a shared scalar is resolved by the
+        // code generator (`Assign` covers both; `Var` likewise).
+        let value = match op {
+            None => rhs,
+            Some(binop) => Expr::Bin {
+                op: binop,
+                lhs: Box::new(Expr::Var(name.clone())),
+                rhs: Box::new(rhs),
+            },
+        };
+        Ok(Stmt::Assign { name, value, line })
+    }
+
+    /// Consumes `=` (returning `None`) or a compound-assignment operator
+    /// (returning the underlying binary operator).
+    fn assign_op(&mut self) -> Result<Option<BinOp>, LangError> {
+        for (spelling, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Mod),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+            ("&=", BinOp::And),
+            ("|=", BinOp::Or),
+            ("^=", BinOp::Xor),
+        ] {
+            if self.eat_punct(spelling) {
+                return Ok(Some(op));
+            }
+        }
+        self.expect_punct("=")?;
+        Ok(None)
+    }
+
+    fn multikind(&mut self) -> Result<MultiKind, LangError> {
+        let id = self.expect_ident()?;
+        let kind = match id.as_str() {
+            "MPADD" => MultiKind::Add,
+            "MPAND" => MultiKind::And,
+            "MPOR" => MultiKind::Or,
+            "MPXOR" => MultiKind::Xor,
+            "MPMAX" => MultiKind::Max,
+            "MPMIN" => MultiKind::Min,
+            other => {
+                return Err(self.err(format!(
+                    "unknown combining operator `{other}` (expected MPADD/MPAND/MPOR/MPXOR/MPMAX/MPMIN)"
+                )))
+            }
+        };
+        Ok(kind)
+    }
+
+    // ---- expressions, precedence climbing ----
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_lvl: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, lvl) = match self.peek() {
+                Tok::Punct("||") => (BinOp::LOr, 1),
+                Tok::Punct("&&") => (BinOp::LAnd, 2),
+                Tok::Punct("|") => (BinOp::Or, 3),
+                Tok::Punct("^") => (BinOp::Xor, 4),
+                Tok::Punct("&") => (BinOp::And, 5),
+                Tok::Punct("==") => (BinOp::Eq, 6),
+                Tok::Punct("!=") => (BinOp::Ne, 6),
+                Tok::Punct("<") => (BinOp::Lt, 7),
+                Tok::Punct("<=") => (BinOp::Le, 7),
+                Tok::Punct(">") => (BinOp::Gt, 7),
+                Tok::Punct(">=") => (BinOp::Ge, 7),
+                Tok::Punct("<<") => (BinOp::Shl, 8),
+                Tok::Punct(">>") => (BinOp::Shr, 8),
+                Tok::Punct("+") => (BinOp::Add, 9),
+                Tok::Punct("-") => (BinOp::Sub, 9),
+                Tok::Punct("*") => (BinOp::Mul, 10),
+                Tok::Punct("/") => (BinOp::Div, 10),
+                Tok::Punct("%") => (BinOp::Mod, 10),
+                _ => break,
+            };
+            if lvl < min_lvl {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(lvl + 1)?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Dot => Ok(Expr::Builtin(Builtin::Tid)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "tid" => Ok(Expr::Builtin(Builtin::Tid)),
+                "thickness" => Ok(Expr::Builtin(Builtin::Thickness)),
+                "fid" => Ok(Expr::Builtin(Builtin::Fid)),
+                "pid" => Ok(Expr::Builtin(Builtin::Pid)),
+                "nprocs" => Ok(Expr::Builtin(Builtin::NProcs)),
+                "nthreads" => Ok(Expr::Builtin(Builtin::NThreads)),
+                "gid" => Ok(Expr::Builtin(Builtin::Gid)),
+                "prefix" => {
+                    self.expect_punct("(")?;
+                    let gname = self.expect_ident()?;
+                    let index = if self.eat_punct("[") {
+                        let e = self.expr()?;
+                        self.expect_punct("]")?;
+                        Some(Box::new(e))
+                    } else {
+                        None
+                    };
+                    self.expect_punct(",")?;
+                    let kind = self.multikind()?;
+                    self.expect_punct(",")?;
+                    let value = Box::new(self.expr()?);
+                    self.expect_punct(")")?;
+                    Ok(Expr::Prefix {
+                        name: gname,
+                        index,
+                        kind,
+                        value,
+                    })
+                }
+                _ => {
+                    if self.eat_punct("[") {
+                        let index = self.expr()?;
+                        self.expect_punct("]")?;
+                        Ok(Expr::Load {
+                            name,
+                            index: Some(Box::new(index)),
+                        })
+                    } else {
+                        // Local variable or shared scalar: resolved by the
+                        // code generator.
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            other => Err(LangError::Parse {
+                line,
+                msg: format!("unexpected token {other:?} in expression"),
+            }),
+        }
+    }
+}
+
+
+/// Whether an expression contains a `prefix()` call (side-effecting).
+fn expr_has_prefix(e: &Expr) -> bool {
+    match e {
+        Expr::Prefix { .. } => true,
+        Expr::Bin { lhs, rhs, .. } => expr_has_prefix(lhs) || expr_has_prefix(rhs),
+        Expr::Neg(inner) | Expr::Not(inner) => expr_has_prefix(inner),
+        Expr::Load { index, .. } => index.as_deref().map(expr_has_prefix).unwrap_or(false),
+        Expr::Int(_) | Expr::Var(_) | Expr::Builtin(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_main() {
+        let p = parse(
+            "shared int a[4] @ 100;
+             shared int s;
+             void main() { s = a[1] + 2; }",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].len, 4);
+        assert_eq!(p.globals[0].addr, Some(100));
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parses_thickness_forms() {
+        let p = parse(
+            "void main() {
+                #256;
+                #1/4;
+                #128: x = 1;
+                int x;
+             }",
+        )
+        .unwrap();
+        let body = &p.funcs[0].body;
+        assert!(matches!(body[0], Stmt::SetThickness { .. }));
+        assert!(matches!(body[1], Stmt::SetNuma { .. }));
+        assert!(matches!(body[2], Stmt::ScopedThickness { .. }));
+    }
+
+    #[test]
+    fn parses_parallel() {
+        let p = parse(
+            "void main() {
+                parallel {
+                    #4: x = 1;
+                    #8: { y = 2; }
+                }
+                int x; int y;
+             }",
+        )
+        .unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Parallel { arms, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("expected parallel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fork_and_prefix() {
+        let p = parse(
+            "shared int sum;
+             void main() {
+                fork (i = 0; i < 16) {
+                    int v = prefix(sum, MPADD, i);
+                }
+             }",
+        )
+        .unwrap();
+        assert!(matches!(p.funcs[0].body[0], Stmt::Fork { .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("void main() { int x = 1 + 2 * 3 < 10 && 4; }").unwrap();
+        // (((1 + (2*3)) < 10) && 4)
+        match &p.funcs[0].body[0] {
+            Stmt::Local {
+                init: Some(Expr::Bin { op: BinOp::LAnd, .. }),
+                ..
+            } => {}
+            other => panic!("precedence wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_is_tid() {
+        let p = parse("shared int c[4]; void main() { c[.] = . + 1; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Store { index: Some(Expr::Builtin(Builtin::Tid)), .. } => {}
+            other => panic!("expected store with tid index: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_line() {
+        let e = parse("void main() {\n x = ;\n}").unwrap_err();
+        assert_eq!(e.line(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property test: random constant expressions compiled and executed on
+//! the machine must match a host-side reference evaluator implementing
+//! the documented semantics (wrapping arithmetic, `x/0 = 0`, masked
+//! shifts, 0/1 comparisons, eager booleanized `&&`/`||`).
+
+use proptest::prelude::*;
+
+use tcf_core::{TcfMachine, Variant};
+use tcf_lang::compile;
+use tcf_machine::MachineConfig;
+
+#[derive(Debug, Clone)]
+enum E {
+    Int(i64),
+    Bin(&'static str, Box<E>, Box<E>),
+    Neg(Box<E>),
+    Not(Box<E>),
+}
+
+const OPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "<<", ">>", "<", "<=", ">", ">=", "==", "!=", "&", "|", "^", "&&",
+    "||",
+];
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-1000i64..1000).prop_map(E::Int);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(OPS),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.prop_map(|a| E::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Int(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        E::Bin(op, a, b) => format!("({} {} {})", render(a), op, render(b)),
+        E::Neg(a) => format!("(-{})", render(a)),
+        E::Not(a) => format!("(!{})", render(a)),
+    }
+}
+
+fn eval(e: &E) -> i64 {
+    match e {
+        E::Int(v) => *v,
+        E::Neg(a) => eval(a).wrapping_neg(),
+        E::Not(a) => (eval(a) == 0) as i64,
+        E::Bin(op, a, b) => {
+            let (x, y) = (eval(a), eval(b));
+            match *op {
+                "+" => x.wrapping_add(y),
+                "-" => x.wrapping_sub(y),
+                "*" => x.wrapping_mul(y),
+                "/" => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                "%" => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+                "<<" => x.wrapping_shl((y as u64 & 63) as u32),
+                ">>" => ((x as u64).wrapping_shr((y as u64 & 63) as u32)) as i64,
+                "<" => (x < y) as i64,
+                "<=" => (x <= y) as i64,
+                ">" => (x > y) as i64,
+                ">=" => (x >= y) as i64,
+                "==" => (x == y) as i64,
+                "!=" => (x != y) as i64,
+                "&" => x & y,
+                "|" => x | y,
+                "^" => x ^ y,
+                "&&" => ((x != 0) && (y != 0)) as i64,
+                "||" => ((x | y) != 0) as i64,
+                other => unreachable!("op {other}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compiled_expressions_match_reference(e in arb_expr()) {
+        let src = format!(
+            "shared int out @ 10;
+             void main() {{ out = {}; }}",
+            render(&e)
+        );
+        let program = compile(&src).unwrap_or_else(|err| panic!("compile failed: {err}\n{src}"));
+        let mut m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
+        m.run(10_000).unwrap();
+        prop_assert_eq!(m.peek(10).unwrap(), eval(&e), "source: {}", src);
+    }
+
+    /// The same expression assigned through a thick store must agree per
+    /// thread with the reference evaluated with `.` substituted.
+    #[test]
+    fn thick_expressions_match_reference(base in -50i64..50, scale in -8i64..8) {
+        let src = format!(
+            "shared int out[16] @ 100;
+             void main() {{
+                 #16;
+                 out[.] = (. * {scale}) + {b};
+             }}",
+            b = if base < 0 { format!("(0 - {})", -base) } else { base.to_string() },
+            scale = if scale < 0 { format!("(0 - {})", -scale) } else { scale.to_string() },
+        );
+        let program = compile(&src).unwrap();
+        let mut m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
+        m.run(10_000).unwrap();
+        for t in 0..16i64 {
+            prop_assert_eq!(m.peek(100 + t as usize).unwrap(), t * scale + base);
+        }
+    }
+}

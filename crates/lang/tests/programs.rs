@@ -1,0 +1,437 @@
+//! End-to-end tests: tce source → compiled program → executed on the
+//! extended PRAM-NUMA machine, reproducing the §4 programming examples.
+
+use tcf_core::{TcfMachine, Variant};
+use tcf_isa::word::Word;
+use tcf_lang::{compile, compile_with, CompileOptions};
+use tcf_machine::MachineConfig;
+
+fn run(variant: Variant, src: &str) -> TcfMachine {
+    run_with(variant, src, |_| {})
+}
+
+fn run_with(variant: Variant, src: &str, init: impl FnOnce(&mut TcfMachine)) -> TcfMachine {
+    let program = compile(src).unwrap();
+    let mut m = TcfMachine::new(MachineConfig::small(), variant, program);
+    init(&mut m);
+    m.run(50_000).unwrap();
+    m
+}
+
+#[test]
+fn flagship_thick_vector_add() {
+    // Paper §4: `#size;  c = a + b;` with no loop, no guard, no thread
+    // arithmetic.
+    let m = run_with(
+        Variant::SingleInstruction,
+        "shared int a[256] @ 1000;
+         shared int b[256] @ 2000;
+         shared int c[256] @ 3000;
+         void main() {
+             #256;
+             c[.] = a[.] + b[.];
+         }",
+        |m| {
+            for i in 0..256 {
+                m.poke(1000 + i, i as Word).unwrap();
+                m.poke(2000 + i, 3 * i as Word).unwrap();
+            }
+        },
+    );
+    for i in 0..256 {
+        assert_eq!(m.peek(3000 + i).unwrap(), 4 * i as Word);
+    }
+}
+
+#[test]
+fn thread_loop_version_on_single_operation() {
+    // Paper §4: the PRAM-NUMA / Single-operation version needs the loop
+    // and the thread arithmetic.
+    let m = run_with(
+        Variant::SingleOperation,
+        "shared int a[256] @ 1000;
+         shared int b[256] @ 2000;
+         shared int c[256] @ 3000;
+         void main() {
+             int total = nprocs * nthreads;
+             int i = gid;
+             while (i < 256) {
+                 c[i] = a[i] + b[i];
+                 i = i + total;
+             }
+         }",
+        |m| {
+            for i in 0..256 {
+                m.poke(1000 + i, 10 + i as Word).unwrap();
+                m.poke(2000 + i, i as Word).unwrap();
+            }
+        },
+    );
+    for i in 0..256 {
+        assert_eq!(m.peek(3000 + i).unwrap(), 10 + 2 * i as Word);
+    }
+}
+
+#[test]
+fn one_way_conditional_as_scoped_thickness() {
+    // `if (thread_id < size/2) c[t]=a[t]+b[t]` becomes `#size/2: c.=a.+b.;`
+    let m = run_with(
+        Variant::SingleInstruction,
+        "shared int a[16] @ 100;
+         shared int c[16] @ 200;
+         void main() {
+             #16;
+             c[.] = 1;
+             #8: c[.] = a[.] + 5;
+         }",
+        |m| {
+            for i in 0..16 {
+                m.poke(100 + i, i as Word).unwrap();
+            }
+        },
+    );
+    for i in 0..8 {
+        assert_eq!(m.peek(200 + i).unwrap(), i as Word + 5);
+    }
+    for i in 8..16 {
+        assert_eq!(m.peek(200 + i).unwrap(), 1);
+    }
+}
+
+#[test]
+fn two_way_conditional_as_parallel() {
+    // Paper §4: the two-way conditional becomes `parallel { #n/2: ...;
+    // #n/2: ...; }` creating two TCFs for the duration of the construct.
+    let m = run_with(
+        Variant::SingleInstruction,
+        "shared int a[16] @ 100;
+         shared int b[16] @ 150;
+         shared int c[16] @ 200;
+         void main() {
+             parallel {
+                 #8: c[.] = a[.] + b[.];
+                 #8: c[. + 8] = 0 - 1;
+             }
+         }",
+        |m| {
+            for i in 0..16 {
+                m.poke(100 + i, 2 * i as Word).unwrap();
+                m.poke(150 + i, i as Word).unwrap();
+            }
+        },
+    );
+    for i in 0..8 {
+        assert_eq!(m.peek(200 + i).unwrap(), 3 * i as Word);
+    }
+    for i in 8..16 {
+        assert_eq!(m.peek(200 + i).unwrap(), -1);
+    }
+}
+
+#[test]
+fn multiprefix_without_looping() {
+    // Paper §4: `prefix(source, MPADD, &sum, source)` without the loop.
+    let m = run(
+        Variant::SingleInstruction,
+        "shared int sum @ 50;
+         shared int out[64] @ 300;
+         void main() {
+             #64;
+             out[.] = prefix(sum, MPADD, . + 1);
+         }",
+    );
+    // sum = 1 + 2 + ... + 64.
+    assert_eq!(m.peek(50).unwrap(), 65 * 32);
+    // Thread t's prefix = sum of (1..=t).
+    for t in 0..64i64 {
+        assert_eq!(m.peek(300 + t as usize).unwrap(), t * (t + 1) / 2);
+    }
+}
+
+#[test]
+fn dependent_loop_scan() {
+    // Paper §4's dependent loop: log-step Hillis–Steele scan. Lockstep
+    // PRAM semantics make the unguarded TCF version correct.
+    let m = run_with(
+        Variant::SingleInstruction,
+        "shared int src[64] @ 1000;
+         void main() {
+             int size = 64;
+             int i = 1;
+             while (i < size) {
+                 #size - i: src[. + i] = src[. + i] + src[.];
+                 i = i << 1;
+             }
+         }",
+        |m| {
+            for j in 0..64 {
+                m.poke(1000 + j, 1).unwrap();
+            }
+        },
+    );
+    for j in 0..64 {
+        assert_eq!(m.peek(1000 + j).unwrap(), j as Word + 1, "scan[{j}]");
+    }
+}
+
+#[test]
+fn dependent_loop_scan_balanced_variant() {
+    let program = compile(
+        "shared int src[64] @ 1000;
+         void main() {
+             int size = 64;
+             int i = 1;
+             while (i < size) {
+                 #size - i: src[. + i] = src[. + i] + src[.];
+                 i = i << 1;
+             }
+         }",
+    )
+    .unwrap();
+    let mut m = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::Balanced { bound: 4 },
+        program,
+    );
+    for j in 0..64 {
+        m.poke(1000 + j, 1).unwrap();
+    }
+    m.run(50_000).unwrap();
+    for j in 0..64 {
+        assert_eq!(m.peek(1000 + j).unwrap(), j as Word + 1);
+    }
+}
+
+#[test]
+fn fork_on_multi_instruction() {
+    // Paper §4: the Multi-instruction variant expresses parallelism with
+    // `fork` instead of thickness.
+    let m = run(
+        Variant::MultiInstruction,
+        "shared int c[16] @ 400;
+         shared int total @ 450;
+         void main() {
+             fork (i = 0; i < 16) {
+                 c[i] = i * i;
+                 multi(total, MPADD, i);
+             }
+         }",
+    );
+    for i in 0..16i64 {
+        assert_eq!(m.peek(400 + i as usize).unwrap(), i * i);
+    }
+    assert_eq!(m.peek(450).unwrap(), 120);
+}
+
+#[test]
+fn fork_with_start_offset() {
+    let m = run(
+        Variant::MultiInstruction,
+        "shared int c[16] @ 400;
+         void main() {
+             fork (i = 4; i < 12) c[i] = i + 100;
+         }",
+    );
+    for i in 0..16i64 {
+        let expect = if (4..12).contains(&i) { i + 100 } else { 0 };
+        assert_eq!(m.peek(400 + i as usize).unwrap(), expect);
+    }
+}
+
+#[test]
+fn numa_block_for_sequential_section() {
+    let m = run(
+        Variant::SingleInstruction,
+        "shared int acc @ 70;
+         void main() {
+             numa (8) {
+                 int i = 0;
+                 while (i < 100) {
+                     i = i + 1;
+                 }
+                 acc = i;
+             }
+         }",
+    );
+    assert_eq!(m.peek(70).unwrap(), 100);
+}
+
+#[test]
+fn flow_wise_function_calls() {
+    // A flow of thickness 32 calls `store_squares` once (flow-wise call
+    // semantics — the paper's claimed-novel method call behaviour).
+    let m = run(
+        Variant::SingleInstruction,
+        "shared int c[32] @ 600;
+         shared int calls @ 660;
+         void store_squares() {
+             c[.] = . * .;
+             multi(calls, MPADD, 1);
+         }
+         void main() {
+             #32;
+             store_squares();
+         }",
+    );
+    for i in 0..32i64 {
+        assert_eq!(m.peek(600 + i as usize).unwrap(), i * i);
+    }
+    // 32 contributions: one call, thickness-many multiop participants.
+    assert_eq!(m.peek(660).unwrap(), 32);
+}
+
+#[test]
+fn masked_conditionals_on_fixed_thickness() {
+    // The SIMD variant cannot branch per-thread; the compiler's masked
+    // mode turns the two-way conditional into two masked passes.
+    let src = "shared int c[16] @ 500;
+         void main() {
+             int sel = . < 8;
+             if (sel) { c[.] = 7; } else { c[.] = 9; }
+         }";
+    let program = compile_with(
+        src,
+        CompileOptions {
+            masked_conditionals: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut m = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::FixedThickness { width: 16 },
+        program,
+    );
+    m.run(1000).unwrap();
+    for i in 0..8 {
+        assert_eq!(m.peek(500 + i).unwrap(), 7);
+        assert_eq!(m.peek(508 + i).unwrap(), 9);
+    }
+}
+
+#[test]
+fn divergent_branch_rejected_at_runtime_without_masking() {
+    // The same program WITHOUT masked compilation faults on the TCF
+    // machine: the whole flow must take one path.
+    let src = "shared int c[16] @ 500;
+         void main() {
+             #16;
+             int sel = . < 8;
+             if (sel) { c[.] = 7; } else { c[.] = 9; }
+         }";
+    let program = compile(src).unwrap();
+    let mut m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
+    let e = m.run(1000).unwrap_err();
+    assert!(matches!(e.fault, tcf_core::TcfFault::DivergentBranch { .. }));
+}
+
+#[test]
+fn for_loops_and_nested_functions() {
+    let m = run(
+        Variant::SingleInstruction,
+        "shared int table[10] @ 800;
+         void fill() {
+             int k;
+             for (k = 0; k < 10; k = k + 1) {
+                 table[k] = k * 3;
+             }
+         }
+         void main() {
+             fill();
+         }",
+    );
+    for k in 0..10i64 {
+        assert_eq!(m.peek(800 + k as usize).unwrap(), 3 * k);
+    }
+}
+
+#[test]
+fn thickness_matches_problem_size_costs_constant_steps() {
+    // The §4 claim quantified: the TCF version's step count is flat in
+    // the data size, while the looping thread version's grows.
+    let tcf_src = |n: usize| {
+        format!(
+            "shared int a[{n}] @ 1000;
+             shared int c[{n}] @ 20000;
+             void main() {{
+                 #{n};
+                 c[.] = a[.] + 1;
+             }}"
+        )
+    };
+    let m1 = {
+        let p = compile(&tcf_src(64)).unwrap();
+        let mut m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, p);
+        m.run(10_000).unwrap()
+    };
+    let m2 = {
+        let p = compile(&tcf_src(4096)).unwrap();
+        let mut m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, p);
+        m.run(10_000).unwrap()
+    };
+    assert_eq!(m1.steps, m2.steps, "TCF steps must not depend on size");
+}
+
+#[test]
+fn compound_assignment_forms() {
+    let m = run_with(
+        Variant::SingleInstruction,
+        "shared int src[32] @ 1000;
+         shared int total @ 50;
+         void main() {
+             #32;
+             src[.] += . * 2;       // indexed compound
+             int x = 10;
+             x <<= 2;               // local compound
+             x -= 8;                // x = 32
+             total = x;
+             src[.] *= 3;
+         }",
+        |m| {
+            for j in 0..32 {
+                m.poke(1000 + j, 1).unwrap();
+            }
+        },
+    );
+    assert_eq!(m.peek(50).unwrap(), 32);
+    for j in 0..32i64 {
+        assert_eq!(m.peek(1000 + j as usize).unwrap(), 3 * (1 + 2 * j));
+    }
+}
+
+#[test]
+fn paper_product_scan_with_compound_assignment() {
+    // The §4 dependent loop exactly as written in the paper:
+    // `source[.+i] *= source[.];` per log-level.
+    let m = run_with(
+        Variant::SingleInstruction,
+        "shared int src[16] @ 1000;
+         void main() {
+             int i = 1;
+             while (i < 16) {
+                 #16 - i: src[. + i] *= src[.];
+                 i <<= 1;
+             }
+         }",
+        |m| {
+            for j in 0..16 {
+                m.poke(1000 + j, 2).unwrap();
+            }
+        },
+    );
+    // Product scan over constant 2: src[j] = 2^(j+1).
+    for j in 0..16 {
+        assert_eq!(m.peek(1000 + j).unwrap(), 1 << (j + 1), "scan[{j}]");
+    }
+}
+
+#[test]
+fn compound_assignment_rejects_prefix_index() {
+    let e = compile(
+        "shared int a[8] @ 100;
+         shared int s @ 50;
+         void main() { a[prefix(s, MPADD, 1)] += 1; }",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("prefix"), "{e}");
+}

@@ -1,0 +1,234 @@
+//! Machine parameters and structural inventory.
+
+use serde::{Deserialize, Serialize};
+
+use tcf_mem::{CrcwPolicy, ModuleMap};
+use tcf_net::Topology;
+
+/// Parameters of one (extended) PRAM-NUMA machine.
+///
+/// Mirrors the paper's machine organisation: `P` processor groups of `T_p`
+/// processors/thread-slots each, a shared memory of `M = P` modules behind
+/// a distance-aware network, one local memory block per group, and — in
+/// the extended model — a TCF storage buffer per group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of processor groups `P` (also the number of shared-memory
+    /// modules and network nodes).
+    pub groups: usize,
+    /// Thread slots per group `T_p` (hardware threads in baseline models;
+    /// the issue window of a TCF processor in the extended model).
+    pub threads_per_group: usize,
+    /// General registers per thread `R`.
+    pub regs_per_thread: usize,
+    /// Shared memory size in words.
+    pub shared_size: usize,
+    /// Local memory block size in words (per group).
+    pub local_size: usize,
+    /// Network topology connecting the groups/modules.
+    pub topology: Topology,
+    /// Network latency per hop, in cycles.
+    pub hop_latency: u64,
+    /// Access latency of a memory module once a reference arrives, in
+    /// cycles.
+    pub module_latency: u64,
+    /// Access latency of the group-local memory block, in cycles.
+    pub local_latency: u64,
+    /// Capacity of the TCF storage buffer (flow descriptors resident per
+    /// group). Ignored by the baseline (thread-based) models.
+    pub tcf_buffer_slots: usize,
+    /// Cycles to load a flow descriptor into the TCF buffer from memory
+    /// when it is not resident (the task-switch penalty beyond capacity).
+    pub tcf_load_cost: u64,
+    /// Capacity (in words) of the cached register file holding
+    /// *per-thread* register values per group (§3.3's operand-storage
+    /// problem: unbounded thickness cannot fit a physical register file).
+    /// When a fragment's per-thread register footprint exceeds this, each
+    /// of its thick operations pays one extra local-memory access (the
+    /// operands live in the local memory). 0 disables the limit.
+    pub reg_cache_words: usize,
+    /// Functional units issuing per cycle in PRAM mode (ILP-TLP
+    /// co-execution, §3.2): the independent operations of a thick
+    /// instruction can fill multiple issue slots per cycle. Sequential
+    /// (NUMA-mode) streams do not benefit — exactly the paper's point that
+    /// ILP without TLP is limited by dependences. Must be ≥ 1.
+    pub ilp_width: usize,
+    /// Address-to-module placement of the shared memory.
+    pub module_map: ModuleMap,
+    /// Concurrent-write policy of the shared memory.
+    pub crcw: CrcwPolicy,
+}
+
+impl MachineConfig {
+    /// A small machine suitable for unit tests: `P = 4`, `T_p = 16`,
+    /// crossbar network.
+    pub fn small() -> MachineConfig {
+        MachineConfig {
+            groups: 4,
+            threads_per_group: 16,
+            regs_per_thread: 32,
+            shared_size: 1 << 16,
+            local_size: 1 << 12,
+            topology: Topology::Crossbar { nodes: 4 },
+            hop_latency: 2,
+            module_latency: 2,
+            local_latency: 1,
+            tcf_buffer_slots: 16,
+            tcf_load_cost: 8,
+            reg_cache_words: 0,
+            ilp_width: 1,
+            module_map: ModuleMap::Interleaved,
+            crcw: CrcwPolicy::Arbitrary,
+        }
+    }
+
+    /// The paper-scale default: `P = 16`, `T_p = 64` threads (ECLIPSE-like
+    /// dimensioning), mesh network, hashed placement.
+    pub fn default_machine() -> MachineConfig {
+        MachineConfig {
+            groups: 16,
+            threads_per_group: 64,
+            regs_per_thread: 32,
+            shared_size: 1 << 20,
+            local_size: 1 << 14,
+            topology: Topology::Mesh2D {
+                width: 4,
+                height: 4,
+            },
+            hop_latency: 1,
+            module_latency: 2,
+            local_latency: 1,
+            tcf_buffer_slots: 64,
+            tcf_load_cost: 16,
+            reg_cache_words: 0,
+            ilp_width: 1,
+            module_map: ModuleMap::linear(0xC0FFEE),
+            crcw: CrcwPolicy::Arbitrary,
+        }
+    }
+
+    /// Total hardware threads `P × T_p`.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.groups * self.threads_per_group
+    }
+
+    /// Checks internal consistency; panics with a description on error.
+    ///
+    /// Configurations are constructed by humans and benches, not from
+    /// untrusted input, so a panic with a clear message is the most useful
+    /// failure mode.
+    pub fn validate(&self) {
+        assert!(self.groups > 0, "machine needs at least one group");
+        assert!(
+            self.threads_per_group > 0,
+            "groups need at least one thread slot"
+        );
+        assert!(self.regs_per_thread > 0, "need at least one register");
+        assert_eq!(
+            self.topology.nodes(),
+            self.groups,
+            "topology must have exactly one node per group"
+        );
+        assert!(self.hop_latency >= 1, "hop latency must be >= 1");
+        assert!(self.ilp_width >= 1, "need at least one functional unit");
+        assert!(self.shared_size > 0, "shared memory must be non-empty");
+    }
+
+    /// Worst-case contention-free round trip of a shared-memory reference:
+    /// request out, module service, reply back.
+    pub fn max_mem_roundtrip(&self) -> u64 {
+        2 * self.topology.diameter() as u64 * self.hop_latency + self.module_latency
+    }
+
+    /// Human-readable component inventory — the structural content of the
+    /// paper's machine organisation figures (1: ESM, 2: PRAM-NUMA, 5:
+    /// extended PRAM-NUMA).
+    pub fn inventory(&self, extended: bool) -> String {
+        let mut out = String::new();
+        let model = if extended {
+            "extended PRAM-NUMA (TCF) machine"
+        } else {
+            "PRAM-NUMA machine"
+        };
+        out.push_str(&format!("{model}\n"));
+        out.push_str(&format!(
+            "  processors      : {} groups x {} {} = {} total\n",
+            self.groups,
+            self.threads_per_group,
+            if extended { "TCF slots" } else { "threads" },
+            self.total_threads(),
+        ));
+        out.push_str(&format!(
+            "  registers       : {} per thread\n",
+            self.regs_per_thread
+        ));
+        out.push_str(&format!(
+            "  shared memory   : {} words over {} modules ({:?} placement, {:?} CRCW)\n",
+            self.shared_size, self.groups, self.module_map, self.crcw
+        ));
+        out.push_str(&format!(
+            "  local memories  : {} blocks x {} words, latency {} cycles\n",
+            self.groups, self.local_size, self.local_latency
+        ));
+        out.push_str(&format!(
+            "  network         : {:?}, {} cycle(s)/hop, diameter {}, max roundtrip {} cycles\n",
+            self.topology,
+            self.hop_latency,
+            self.topology.diameter(),
+            self.max_mem_roundtrip()
+        ));
+        if extended {
+            out.push_str(&format!(
+                "  TCF buffer      : {} flow descriptors per group, {} cycle reload\n",
+                self.tcf_buffer_slots, self.tcf_load_cost
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::small().validate();
+        MachineConfig::default_machine().validate();
+    }
+
+    #[test]
+    fn total_threads() {
+        assert_eq!(MachineConfig::small().total_threads(), 64);
+        assert_eq!(MachineConfig::default_machine().total_threads(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per group")]
+    fn topology_group_mismatch_panics() {
+        let mut c = MachineConfig::small();
+        c.groups = 5;
+        c.validate();
+    }
+
+    #[test]
+    fn roundtrip_bound() {
+        let c = MachineConfig::small();
+        // Crossbar diameter 1, hop 2, module 2 => 2*1*2 + 2 = 6.
+        assert_eq!(c.max_mem_roundtrip(), 6);
+    }
+
+    #[test]
+    fn inventory_mentions_components() {
+        let c = MachineConfig::small();
+        let basic = c.inventory(false);
+        assert!(basic.contains("PRAM-NUMA machine"));
+        assert!(basic.contains("4 groups x 16 threads"));
+        assert!(!basic.contains("TCF buffer"));
+        let ext = c.inventory(true);
+        assert!(ext.contains("extended PRAM-NUMA"));
+        assert!(ext.contains("TCF buffer"));
+        assert!(ext.contains("16 flow descriptors"));
+    }
+}

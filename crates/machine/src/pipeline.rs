@@ -1,0 +1,397 @@
+//! The per-group issue pipeline with ESM-style latency hiding.
+//!
+//! A CESM processor issues one operation per cycle. In PRAM mode, the
+//! operations of a step belong to many threads (baseline) or to the many
+//! implicit threads of resident TCFs (extended model), so memory round
+//! trips overlap with the issuing of later operations: a step completes
+//! only when every unit has issued **and** every shared-memory reply has
+//! returned. When the issue window is long enough (`units ≥ roundtrip`)
+//! latency is fully hidden; when it is shorter, the pipeline drains into
+//! bubbles — exactly the low-TLP utilization collapse the PRAM-NUMA model
+//! exists to fix (paper §1, §2.1, Figure 6).
+//!
+//! NUMA-mode steps run the same engine with `serialize_mem = true`: a
+//! sequential instruction stream cannot issue past an outstanding load, so
+//! references serialize, but against the *local* memory's one-cycle-ish
+//! latency rather than the network round trip.
+
+use tcf_net::Network;
+
+use crate::stats::MachineStats;
+use crate::trace::{FlowTag, Trace, TraceEvent, UnitKind};
+
+/// One operation presented to the issue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueUnit {
+    /// Flow (TCF / bunch) the unit belongs to; `None` for a forced idle
+    /// slot (a dead thread slot in the fixed rotation of baseline
+    /// machines).
+    pub flow: Option<FlowTag>,
+    /// Implicit thread index within the flow, when meaningful.
+    pub thread: Option<usize>,
+    /// Unit kind. `Bubble` denotes a forced idle slot.
+    pub kind: UnitKind,
+    /// Destination node of a `MemShared` unit (the module's network node).
+    pub mem_node: Option<usize>,
+}
+
+impl IssueUnit {
+    /// A compute unit of `flow`.
+    pub fn compute(flow: FlowTag, thread: usize) -> IssueUnit {
+        IssueUnit {
+            flow: Some(flow),
+            thread: Some(thread),
+            kind: UnitKind::Compute,
+            mem_node: None,
+        }
+    }
+
+    /// A shared-memory reference of `flow` to module node `node`.
+    pub fn shared_mem(flow: FlowTag, thread: usize, node: usize) -> IssueUnit {
+        IssueUnit {
+            flow: Some(flow),
+            thread: Some(thread),
+            kind: UnitKind::MemShared,
+            mem_node: Some(node),
+        }
+    }
+
+    /// A local-memory reference of `flow`.
+    pub fn local_mem(flow: FlowTag, thread: usize) -> IssueUnit {
+        IssueUnit {
+            flow: Some(flow),
+            thread: Some(thread),
+            kind: UnitKind::MemLocal,
+            mem_node: None,
+        }
+    }
+
+    /// An instruction fetch on behalf of `flow`.
+    pub fn fetch(flow: FlowTag) -> IssueUnit {
+        IssueUnit {
+            flow: Some(flow),
+            thread: None,
+            kind: UnitKind::Fetch,
+            mem_node: None,
+        }
+    }
+
+    /// A flow-management overhead cycle.
+    pub fn overhead(flow: FlowTag) -> IssueUnit {
+        IssueUnit {
+            flow: Some(flow),
+            thread: None,
+            kind: UnitKind::FlowOverhead,
+            mem_node: None,
+        }
+    }
+
+    /// A forced idle slot: the fixed thread rotation of an interleaved
+    /// multithreaded processor spends a cycle on a dead or empty thread
+    /// slot. This is how the baseline's low-TLP utilization problem
+    /// (paper §1, §2.1) enters the timing model.
+    pub fn idle() -> IssueUnit {
+        IssueUnit {
+            flow: None,
+            thread: None,
+            kind: UnitKind::Bubble,
+            mem_node: None,
+        }
+    }
+}
+
+/// Timing result of one group step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// First cycle of the step.
+    pub start_cycle: u64,
+    /// First cycle *after* the step (start of the next step).
+    pub end_cycle: u64,
+    /// Units issued.
+    pub issued: usize,
+    /// Bubble cycles spent waiting for outstanding replies (or an empty
+    /// step's mandatory cycle).
+    pub drain_bubbles: u64,
+}
+
+impl StepOutcome {
+    /// Step length in cycles.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// Issue engine of one processor group.
+#[derive(Debug, Clone)]
+pub struct GroupPipeline {
+    /// This group's index (its network node).
+    pub group: usize,
+    /// Module service latency in cycles.
+    pub module_latency: u64,
+    /// Local memory latency in cycles.
+    pub local_latency: u64,
+    /// Operations issued per cycle in PRAM mode (ILP-TLP co-execution,
+    /// §3.2). Serialized (NUMA-mode) steps always issue one per cycle:
+    /// a sequential stream has no independent operations to co-issue.
+    pub ilp_width: usize,
+}
+
+impl GroupPipeline {
+    /// Creates the pipeline of `group` with a single functional unit.
+    pub fn new(group: usize, module_latency: u64, local_latency: u64) -> GroupPipeline {
+        GroupPipeline {
+            group,
+            module_latency,
+            local_latency,
+            ilp_width: 1,
+        }
+    }
+
+    /// Creates the pipeline of `group` with `ilp_width` functional units.
+    pub fn with_ilp(
+        group: usize,
+        module_latency: u64,
+        local_latency: u64,
+        ilp_width: usize,
+    ) -> GroupPipeline {
+        assert!(ilp_width >= 1, "need at least one functional unit");
+        GroupPipeline {
+            group,
+            module_latency,
+            local_latency,
+            ilp_width,
+        }
+    }
+
+    /// Executes one step's worth of units starting at `start`.
+    ///
+    /// With `serialize_mem` (NUMA mode) each memory reference blocks the
+    /// next issue until its reply returns; otherwise (PRAM mode) issue
+    /// continues and the step merely cannot *end* before the last reply.
+    /// An empty unit list still consumes one cycle (a step always takes
+    /// time).
+    pub fn run_step(
+        &self,
+        start: u64,
+        units: &[IssueUnit],
+        serialize_mem: bool,
+        net: &mut Network,
+        trace: &mut Trace,
+        stats: &mut MachineStats,
+    ) -> StepOutcome {
+        let mut t = start;
+        let mut last_reply = start;
+        let width = if serialize_mem { 1 } else { self.ilp_width };
+        let mut issued_this_cycle = 0usize;
+
+        for u in units {
+            if issued_this_cycle >= width {
+                t += 1;
+                issued_this_cycle = 0;
+            }
+            trace.push(TraceEvent {
+                cycle: t,
+                group: self.group,
+                flow: u.flow,
+                thread: u.thread,
+                kind: u.kind,
+            });
+            stats.count_unit(u.kind);
+            issued_this_cycle += 1;
+            if u.kind == UnitKind::Bubble {
+                continue;
+            }
+
+            let reply = match u.kind {
+                UnitKind::MemShared => {
+                    let node = u.mem_node.unwrap_or(self.group);
+                    let arrive = net.send(self.group, node, t);
+                    let served = net.service(node, arrive, self.module_latency);
+                    Some(net.send(node, self.group, served))
+                }
+                UnitKind::MemLocal => Some(t + self.local_latency),
+                _ => None,
+            };
+            if let Some(r) = reply {
+                last_reply = last_reply.max(r);
+                if serialize_mem {
+                    // The forwarding network makes the reply consumable in
+                    // the cycle it returns, so the next dependent issue may
+                    // happen at `r` (not `r + 1`).
+                    t = (t + 1).max(r);
+                    issued_this_cycle = 0;
+                }
+            }
+        }
+        if issued_this_cycle > 0 {
+            t += 1;
+        }
+
+        // The step ends when issue is done and every reply has returned.
+        let mut end = t.max(last_reply);
+        if units.is_empty() {
+            end = start + 1;
+        }
+        let drain = end - t.min(end);
+        for c in t..end {
+            trace.push(TraceEvent {
+                cycle: c,
+                group: self.group,
+                flow: None,
+                thread: None,
+                kind: UnitKind::Bubble,
+            });
+            stats.count_unit(UnitKind::Bubble);
+        }
+        stats.steps += 1;
+        stats.cycles = stats.cycles.max(end);
+
+        StepOutcome {
+            start_cycle: start,
+            end_cycle: end,
+            issued: units.len(),
+            drain_bubbles: drain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcf_net::Topology;
+
+    fn net() -> Network {
+        Network::new(Topology::Crossbar { nodes: 4 }, 2)
+    }
+
+    fn pipe() -> GroupPipeline {
+        GroupPipeline::new(0, 2, 1)
+    }
+
+    fn run(units: &[IssueUnit], serialize: bool) -> StepOutcome {
+        let mut n = net();
+        let mut t = Trace::disabled();
+        let mut s = MachineStats::default();
+        pipe().run_step(0, units, serialize, &mut n, &mut t, &mut s)
+    }
+
+    #[test]
+    fn compute_only_step_is_one_cycle_per_unit() {
+        let units: Vec<IssueUnit> = (0..10).map(|i| IssueUnit::compute(1, i)).collect();
+        let out = run(&units, false);
+        assert_eq!(out.cycles(), 10);
+        assert_eq!(out.drain_bubbles, 0);
+    }
+
+    #[test]
+    fn empty_step_takes_one_cycle() {
+        let out = run(&[], false);
+        assert_eq!(out.cycles(), 1);
+    }
+
+    #[test]
+    fn short_step_with_memory_drains_bubbles() {
+        // Remote roundtrip: 2 hops * 2 cycles + 2 module = 6 cycles; one
+        // unit issues in 1 cycle, so ~5 bubbles drain.
+        let units = vec![IssueUnit::shared_mem(1, 0, 1)];
+        let out = run(&units, false);
+        assert_eq!(out.cycles(), 6);
+        assert_eq!(out.drain_bubbles, 5);
+    }
+
+    #[test]
+    fn long_step_hides_memory_latency() {
+        // 32 units, each a remote reference: issue takes 32 cycles, far
+        // beyond the ~6-cycle roundtrip, so the tail reply lands before
+        // issuing ends (modulo destination-port queueing).
+        let units: Vec<IssueUnit> = (0..32)
+            .map(|i| IssueUnit::shared_mem(1, i, (i % 3) + 1))
+            .collect();
+        let out = run(&units, false);
+        assert!(out.cycles() < 40, "latency not hidden: {out:?}");
+        assert!(out.drain_bubbles < 8);
+    }
+
+    #[test]
+    fn numa_serializes_on_shared_memory() {
+        let units: Vec<IssueUnit> = (0..4).map(|i| IssueUnit::shared_mem(1, i, 1)).collect();
+        let pram = run(&units, false);
+        let numa = run(&units, true);
+        assert!(
+            numa.cycles() > pram.cycles(),
+            "serialized {} vs pipelined {}",
+            numa.cycles(),
+            pram.cycles()
+        );
+    }
+
+    #[test]
+    fn numa_local_access_is_cheap() {
+        // Local latency 1: serialization costs nothing extra at 1 IPC.
+        let units: Vec<IssueUnit> = (0..8).map(|i| IssueUnit::local_mem(1, i)).collect();
+        let out = run(&units, true);
+        assert_eq!(out.cycles(), 8);
+    }
+
+    #[test]
+    fn trace_records_bubbles_and_issues() {
+        let mut n = net();
+        let mut tr = Trace::recording();
+        let mut s = MachineStats::default();
+        let units = vec![IssueUnit::shared_mem(7, 0, 1)];
+        pipe().run_step(0, &units, false, &mut n, &mut tr, &mut s);
+        assert_eq!(s.shared_refs, 1);
+        assert_eq!(s.bubbles, 5);
+        assert_eq!(tr.events().len(), 6);
+        assert_eq!(tr.events()[0].flow, Some(7));
+        assert!(tr.events()[1..].iter().all(|e| e.kind == UnitKind::Bubble));
+    }
+
+    #[test]
+    fn ilp_width_co_issues_independent_ops() {
+        let mut n = net();
+        let mut tr = Trace::disabled();
+        let mut s = MachineStats::default();
+        let units: Vec<IssueUnit> = (0..32).map(|i| IssueUnit::compute(1, i)).collect();
+        let narrow = GroupPipeline::with_ilp(0, 2, 1, 1)
+            .run_step(0, &units, false, &mut n, &mut tr, &mut s);
+        let wide = GroupPipeline::with_ilp(0, 2, 1, 4)
+            .run_step(0, &units, false, &mut n, &mut tr, &mut s);
+        assert_eq!(narrow.cycles(), 32);
+        assert_eq!(wide.cycles(), 8);
+    }
+
+    #[test]
+    fn ilp_width_does_not_speed_serialized_streams() {
+        // A sequential (NUMA) stream has no independent ops to co-issue.
+        let mut n = net();
+        let mut tr = Trace::disabled();
+        let mut s = MachineStats::default();
+        let units: Vec<IssueUnit> = (0..8).map(|i| IssueUnit::local_mem(1, i)).collect();
+        let narrow = GroupPipeline::with_ilp(0, 2, 1, 1)
+            .run_step(0, &units, true, &mut n, &mut tr, &mut s);
+        let wide = GroupPipeline::with_ilp(0, 2, 1, 4)
+            .run_step(0, &units, true, &mut n, &mut tr, &mut s);
+        assert_eq!(narrow.cycles(), wide.cycles());
+    }
+
+    #[test]
+    fn stats_cycles_track_end() {
+        let mut n = net();
+        let mut tr = Trace::disabled();
+        let mut s = MachineStats::default();
+        let p = pipe();
+        let out1 = p.run_step(0, &[IssueUnit::compute(1, 0)], false, &mut n, &mut tr, &mut s);
+        let out2 = p.run_step(
+            out1.end_cycle,
+            &[IssueUnit::compute(1, 0)],
+            false,
+            &mut n,
+            &mut tr,
+            &mut s,
+        );
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.cycles, out2.end_cycle);
+    }
+}

@@ -1,0 +1,120 @@
+//! Machine-level execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::UnitKind;
+
+/// Counters accumulated while stepping a machine.
+///
+/// These are the raw measurements behind the Table 1 reproduction: fetch
+/// counts per TCF, task-switch overhead cycles, bubbles (utilization), and
+/// step/cycle totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Machine steps executed.
+    pub steps: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Compute operations issued.
+    pub compute_ops: u64,
+    /// Shared-memory references issued.
+    pub shared_refs: u64,
+    /// Local-memory references issued.
+    pub local_refs: u64,
+    /// Instruction fetches performed.
+    pub fetches: u64,
+    /// Idle issue cycles (latency not hidden / nothing to run).
+    pub bubbles: u64,
+    /// Cycles spent on flow management (TCF buffer reloads, split/join
+    /// bookkeeping, context switches).
+    pub overhead_cycles: u64,
+    /// Local-memory references caused by register-file overflow (operand
+    /// spills of over-thick flows, §3.3). Also counted in `local_refs`.
+    pub spill_refs: u64,
+}
+
+impl MachineStats {
+    /// Records one issued unit.
+    #[inline]
+    pub fn count_unit(&mut self, kind: UnitKind) {
+        match kind {
+            UnitKind::Compute => self.compute_ops += 1,
+            UnitKind::MemShared => self.shared_refs += 1,
+            UnitKind::MemLocal => self.local_refs += 1,
+            UnitKind::Fetch => self.fetches += 1,
+            UnitKind::Bubble => self.bubbles += 1,
+            UnitKind::FlowOverhead => self.overhead_cycles += 1,
+        }
+    }
+
+    /// Total operations issued (excluding bubbles and overhead).
+    pub fn issued(&self) -> u64 {
+        self.compute_ops + self.shared_refs + self.local_refs + self.fetches
+    }
+
+    /// Issue-slot utilization: issued / (issued + bubbles + overhead).
+    pub fn utilization(&self) -> f64 {
+        let total = self.issued() + self.bubbles + self.overhead_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.issued() as f64 / total as f64
+    }
+
+    /// Merges another accumulator into this one (cycle counters take the
+    /// max — groups run in parallel — while work counters add).
+    pub fn merge_parallel(&mut self, other: &MachineStats) {
+        self.steps = self.steps.max(other.steps);
+        self.cycles = self.cycles.max(other.cycles);
+        self.compute_ops += other.compute_ops;
+        self.shared_refs += other.shared_refs;
+        self.local_refs += other.local_refs;
+        self.fetches += other.fetches;
+        self.bubbles += other.bubbles;
+        self.overhead_cycles += other.overhead_cycles;
+        self.spill_refs += other.spill_refs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_utilization() {
+        let mut s = MachineStats::default();
+        s.count_unit(UnitKind::Compute);
+        s.count_unit(UnitKind::MemShared);
+        s.count_unit(UnitKind::Bubble);
+        s.count_unit(UnitKind::Fetch);
+        assert_eq!(s.issued(), 3);
+        assert!((s.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_utilization_is_zero() {
+        assert_eq!(MachineStats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn parallel_merge_maxes_time_sums_work() {
+        let mut a = MachineStats {
+            steps: 5,
+            cycles: 100,
+            compute_ops: 10,
+            ..Default::default()
+        };
+        let b = MachineStats {
+            steps: 7,
+            cycles: 80,
+            compute_ops: 20,
+            bubbles: 3,
+            ..Default::default()
+        };
+        a.merge_parallel(&b);
+        assert_eq!(a.steps, 7);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.compute_ops, 30);
+        assert_eq!(a.bubbles, 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! The TCF storage buffer of an extended PRAM-NUMA processor.
+//!
+//! §3.3 of the paper: *"there needs to be a `T_p`-element storage block,
+//! e.g. ring buffer or addressable register file that contains the TCF
+//! information, e.g. thickness and mode as well as a pointer to the next
+//! yet not executed operation in the case of the balanced variant."*
+//!
+//! Switching between flows resident in the buffer is **free** — this is
+//! what makes multitasking cheap in the extended model (Table 1's
+//! task-switch row: 0 for the TCF variants versus `O(T_p)` for thread
+//! machines). A flow that is *not* resident must be loaded first, paying
+//! `load_cost` cycles and evicting the least-recently-used resident flow,
+//! which produces the capacity knee measured by the `tcf_buffer_sweep`
+//! bench.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::FlowTag;
+
+/// Execution mode of a flow descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowMode {
+    /// Data-parallel: one instruction = `thickness` identical operations.
+    Pram,
+    /// Sequential bunch: thickness `1/numa_slots`, one step = that many
+    /// consecutive instructions of one stream.
+    Numa,
+}
+
+/// One flow's descriptor as held by the TCF buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowDesc {
+    /// Flow identifier.
+    pub id: FlowTag,
+    /// PRAM-mode thickness (number of implicit threads). May be 0, in
+    /// which case the flow executes nothing (paper §3.1).
+    pub thickness: usize,
+    /// NUMA bunch length `T` when `mode == Numa` (thickness `1/T`).
+    pub numa_slots: usize,
+    /// Mode.
+    pub mode: FlowMode,
+    /// Program counter.
+    pub pc: usize,
+    /// Next unexecuted operation within the current instruction — the
+    /// Balanced variant's resume pointer (§3.2).
+    pub next_op: usize,
+}
+
+impl FlowDesc {
+    /// A PRAM-mode descriptor.
+    pub fn pram(id: FlowTag, thickness: usize, pc: usize) -> FlowDesc {
+        FlowDesc {
+            id,
+            thickness,
+            numa_slots: 0,
+            mode: FlowMode::Pram,
+            pc,
+            next_op: 0,
+        }
+    }
+
+    /// A NUMA-mode descriptor of bunch length `slots`.
+    pub fn numa(id: FlowTag, slots: usize, pc: usize) -> FlowDesc {
+        FlowDesc {
+            id,
+            thickness: 1,
+            numa_slots: slots,
+            mode: FlowMode::Numa,
+            pc,
+            next_op: 0,
+        }
+    }
+}
+
+/// Ring-buffer flow store with LRU replacement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcfBuffer {
+    /// Resident descriptors, most recently used last.
+    resident: Vec<FlowDesc>,
+    capacity: usize,
+    load_cost: u64,
+    /// Round-robin cursor for [`next_flow`](TcfBuffer::next_flow).
+    cursor: usize,
+    /// Total switches served.
+    pub switches: u64,
+    /// Switches that required a descriptor load.
+    pub misses: u64,
+    /// Total overhead cycles paid for loads.
+    pub overhead_cycles: u64,
+}
+
+impl TcfBuffer {
+    /// A buffer holding up to `capacity` descriptors, paying `load_cost`
+    /// cycles per non-resident activation.
+    pub fn new(capacity: usize, load_cost: u64) -> TcfBuffer {
+        assert!(capacity > 0, "TCF buffer needs at least one slot");
+        TcfBuffer {
+            resident: Vec::with_capacity(capacity),
+            capacity,
+            load_cost,
+            cursor: 0,
+            switches: 0,
+            misses: 0,
+            overhead_cycles: 0,
+        }
+    }
+
+    /// Number of resident flows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether no flows are resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Buffer capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `id` is resident.
+    pub fn is_resident(&self, id: FlowTag) -> bool {
+        self.resident.iter().any(|d| d.id == id)
+    }
+
+    /// Activates `desc`, returning the switch cost in cycles: 0 when the
+    /// descriptor is already resident (the stored copy is refreshed), or
+    /// `load_cost` when it must be brought in (evicting the LRU descriptor
+    /// if the buffer is full). The returned descriptor position is always
+    /// most-recently-used.
+    pub fn activate(&mut self, desc: FlowDesc) -> u64 {
+        self.switches += 1;
+        if let Some(pos) = self.resident.iter().position(|d| d.id == desc.id) {
+            self.resident.remove(pos);
+            self.resident.push(desc);
+            return 0;
+        }
+        self.misses += 1;
+        self.overhead_cycles += self.load_cost;
+        if self.resident.len() == self.capacity {
+            self.resident.remove(0); // LRU is at the front
+        }
+        self.resident.push(desc);
+        self.load_cost
+    }
+
+    /// Updates a resident descriptor in place (no cost, no LRU effect).
+    pub fn update(&mut self, desc: FlowDesc) -> bool {
+        if let Some(d) = self.resident.iter_mut().find(|d| d.id == desc.id) {
+            *d = desc;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Gets a resident descriptor.
+    pub fn get(&self, id: FlowTag) -> Option<&FlowDesc> {
+        self.resident.iter().find(|d| d.id == id)
+    }
+
+    /// Removes a flow (it terminated or was deallocated).
+    pub fn remove(&mut self, id: FlowTag) -> Option<FlowDesc> {
+        let pos = self.resident.iter().position(|d| d.id == id)?;
+        let d = self.resident.remove(pos);
+        if self.cursor > pos {
+            self.cursor -= 1;
+        }
+        Some(d)
+    }
+
+    /// Round-robin selection of the next flow with work (non-zero
+    /// thickness or NUMA mode), mirroring the "fetch the next nonempty TCF
+    /// from the TCF storage block" step of §3.3. Returns a copy; callers
+    /// write back via [`update`](TcfBuffer::update).
+    pub fn next_flow(&mut self) -> Option<FlowDesc> {
+        if self.resident.is_empty() {
+            return None;
+        }
+        let n = self.resident.len();
+        for i in 0..n {
+            let idx = (self.cursor + i) % n;
+            let d = self.resident[idx];
+            let runnable = match d.mode {
+                FlowMode::Pram => d.thickness > 0,
+                FlowMode::Numa => d.numa_slots > 0,
+            };
+            if runnable {
+                self.cursor = (idx + 1) % n;
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Miss ratio over all activations.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.switches == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.switches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_switch_is_free() {
+        let mut b = TcfBuffer::new(4, 10);
+        assert_eq!(b.activate(FlowDesc::pram(1, 8, 0)), 10); // first load
+        assert_eq!(b.activate(FlowDesc::pram(1, 8, 5)), 0); // resident
+        assert_eq!(b.get(1).unwrap().pc, 5);
+        assert_eq!(b.misses, 1);
+        assert_eq!(b.switches, 2);
+    }
+
+    #[test]
+    fn eviction_is_lru() {
+        let mut b = TcfBuffer::new(2, 1);
+        b.activate(FlowDesc::pram(1, 1, 0));
+        b.activate(FlowDesc::pram(2, 1, 0));
+        b.activate(FlowDesc::pram(1, 1, 0)); // refresh 1; 2 becomes LRU
+        b.activate(FlowDesc::pram(3, 1, 0)); // evicts 2
+        assert!(b.is_resident(1));
+        assert!(!b.is_resident(2));
+        assert!(b.is_resident(3));
+    }
+
+    #[test]
+    fn over_capacity_working_set_thrashes() {
+        let mut b = TcfBuffer::new(2, 5);
+        let mut cost = 0;
+        for round in 0..10 {
+            for id in 0..3u32 {
+                cost += b.activate(FlowDesc::pram(id, 1, round));
+            }
+        }
+        // Working set 3 > capacity 2 with round-robin access: every
+        // activation after warmup misses.
+        assert_eq!(cost, 30 * 5);
+        assert_eq!(b.miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn within_capacity_working_set_is_free_after_warmup() {
+        let mut b = TcfBuffer::new(4, 5);
+        let mut cost = 0;
+        for round in 0..10 {
+            for id in 0..4u32 {
+                cost += b.activate(FlowDesc::pram(id, 1, round));
+            }
+        }
+        assert_eq!(cost, 4 * 5); // only the 4 cold loads
+    }
+
+    #[test]
+    fn next_flow_round_robins_and_skips_empty() {
+        let mut b = TcfBuffer::new(4, 1);
+        b.activate(FlowDesc::pram(1, 4, 0));
+        b.activate(FlowDesc::pram(2, 0, 0)); // thickness 0: never selected
+        b.activate(FlowDesc::pram(3, 2, 0));
+        let picks: Vec<FlowTag> = (0..4).map(|_| b.next_flow().unwrap().id).collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn next_flow_empty_buffer_none() {
+        let mut b = TcfBuffer::new(2, 1);
+        assert!(b.next_flow().is_none());
+        b.activate(FlowDesc::pram(1, 0, 0));
+        assert!(b.next_flow().is_none()); // resident but no work
+    }
+
+    #[test]
+    fn remove_adjusts_cursor() {
+        let mut b = TcfBuffer::new(4, 1);
+        b.activate(FlowDesc::pram(1, 1, 0));
+        b.activate(FlowDesc::pram(2, 1, 0));
+        b.activate(FlowDesc::pram(3, 1, 0));
+        assert_eq!(b.next_flow().unwrap().id, 1);
+        assert_eq!(b.next_flow().unwrap().id, 2);
+        b.remove(1);
+        // Cursor stays on flow 3.
+        assert_eq!(b.next_flow().unwrap().id, 3);
+    }
+
+    #[test]
+    fn update_only_touches_resident() {
+        let mut b = TcfBuffer::new(2, 1);
+        b.activate(FlowDesc::pram(1, 1, 0));
+        assert!(b.update(FlowDesc::pram(1, 9, 7)));
+        assert_eq!(b.get(1).unwrap().thickness, 9);
+        assert!(!b.update(FlowDesc::pram(42, 1, 0)));
+    }
+
+    #[test]
+    fn numa_descriptor_runnable() {
+        let mut b = TcfBuffer::new(2, 1);
+        b.activate(FlowDesc::numa(5, 4, 0));
+        let d = b.next_flow().unwrap();
+        assert_eq!(d.mode, FlowMode::Numa);
+        assert_eq!(d.numa_slots, 4);
+    }
+}

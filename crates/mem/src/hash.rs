@@ -1,0 +1,114 @@
+//! Address-to-module placement.
+//!
+//! ESM realizations of the PRAM distribute the shared address space over
+//! `M` physical modules. Plain interleaving (`addr mod M`) is simple but
+//! pathological for strided access; the classical remedy — used by the
+//! machines the paper builds on — is a *randomizing linear hash*
+//! `h(a) = ((α·a + β) mod p) mod M` with `p` prime, which spreads any fixed
+//! access pattern nearly evenly over the modules with high probability.
+
+use serde::{Deserialize, Serialize};
+
+use tcf_isa::word::Addr;
+
+/// A large prime for the linear hash, comfortably above any simulated
+/// address space (2^61 - 1, a Mersenne prime).
+pub const HASH_PRIME: u128 = (1 << 61) - 1;
+
+/// Maps shared-memory word addresses to memory modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModuleMap {
+    /// Low-order interleaving: module = `addr mod M`.
+    Interleaved,
+    /// Randomizing linear hash `((a·addr + b) mod HASH_PRIME) mod M`.
+    ///
+    /// `a` must be non-zero; `Self::linear` picks suitable defaults from a
+    /// seed.
+    LinearHash {
+        /// Multiplier (non-zero, < `HASH_PRIME`).
+        a: u64,
+        /// Offset (< `HASH_PRIME`).
+        b: u64,
+    },
+}
+
+impl ModuleMap {
+    /// Creates a linear hash with parameters derived from `seed` using a
+    /// splitmix64 scramble, so different seeds give independent placements.
+    pub fn linear(seed: u64) -> ModuleMap {
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let a = (next() % (HASH_PRIME as u64 - 1)) + 1; // non-zero mod p
+        let b = next() % HASH_PRIME as u64;
+        ModuleMap::LinearHash { a, b }
+    }
+
+    /// Module index for `addr` with `modules` modules.
+    #[inline]
+    pub fn module_of(&self, addr: Addr, modules: usize) -> usize {
+        debug_assert!(modules > 0);
+        match *self {
+            ModuleMap::Interleaved => addr % modules,
+            ModuleMap::LinearHash { a, b } => {
+                let h = (a as u128 * addr as u128 + b as u128) % HASH_PRIME;
+                (h % modules as u128) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_is_modulo() {
+        let m = ModuleMap::Interleaved;
+        for a in 0..100 {
+            assert_eq!(m.module_of(a, 8), a % 8);
+        }
+    }
+
+    #[test]
+    fn linear_hash_in_range() {
+        let m = ModuleMap::linear(42);
+        for a in 0..10_000 {
+            assert!(m.module_of(a, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn linear_hash_is_deterministic_per_seed() {
+        let m1 = ModuleMap::linear(1);
+        let m2 = ModuleMap::linear(1);
+        let m3 = ModuleMap::linear(2);
+        assert_eq!(m1, m2);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn linear_hash_spreads_strided_pattern() {
+        // Stride-8 access over 8 modules is the worst case for interleaving
+        // (everything lands in module 0); the hash must spread it.
+        let modules = 8;
+        let strided: Vec<usize> = (0..1024).map(|i| i * modules).collect();
+        let inter = ModuleMap::Interleaved;
+        assert!(strided.iter().all(|&a| inter.module_of(a, modules) == 0));
+
+        let hash = ModuleMap::linear(7);
+        let mut counts = vec![0usize; modules];
+        for &a in &strided {
+            counts[hash.module_of(a, modules)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        // Perfect balance would be 128 per module; accept anything far from
+        // the degenerate 1024-in-one-module case.
+        assert!(max < 320, "hash failed to spread strided pattern: {counts:?}");
+    }
+}

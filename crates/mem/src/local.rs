@@ -1,0 +1,104 @@
+//! Per-group NUMA local memory blocks.
+//!
+//! Each processor group of a PRAM-NUMA machine owns one local memory block
+//! reachable without crossing the shared-memory emulation: accesses are
+//! direct, low-latency, and never combined — there is exactly one
+//! instruction stream (the NUMA bunch) referencing the block at a time, so
+//! step-synchronous arbitration is unnecessary.
+
+use serde::{Deserialize, Serialize};
+
+use tcf_isa::word::{Addr, Word};
+
+use crate::error::MemError;
+
+/// One processor group's local memory block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalMemory {
+    group: usize,
+    words: Vec<Word>,
+}
+
+impl LocalMemory {
+    /// Creates a zeroed block of `size` words belonging to `group`.
+    pub fn new(group: usize, size: usize) -> LocalMemory {
+        LocalMemory {
+            group,
+            words: vec![0; size],
+        }
+    }
+
+    /// The owning processor group.
+    #[inline]
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Size in words.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads one word.
+    pub fn read(&self, addr: Addr) -> Result<Word, MemError> {
+        self.words
+            .get(addr)
+            .copied()
+            .ok_or(MemError::LocalOutOfBounds {
+                addr,
+                size: self.words.len(),
+                group: self.group,
+            })
+    }
+
+    /// Writes one word.
+    pub fn write(&mut self, addr: Addr, value: Word) -> Result<(), MemError> {
+        let size = self.words.len();
+        let group = self.group;
+        match self.words.get_mut(addr) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(MemError::LocalOutOfBounds { addr, size, group }),
+        }
+    }
+
+    /// Reads a contiguous range.
+    pub fn read_range(&self, base: Addr, len: usize) -> Result<Vec<Word>, MemError> {
+        (base..base + len).map(|a| self.read(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut l = LocalMemory::new(3, 16);
+        l.write(5, -9).unwrap();
+        assert_eq!(l.read(5).unwrap(), -9);
+        assert_eq!(l.group(), 3);
+        assert_eq!(l.size(), 16);
+    }
+
+    #[test]
+    fn out_of_bounds_names_group() {
+        let l = LocalMemory::new(2, 4);
+        match l.read(4) {
+            Err(MemError::LocalOutOfBounds { group: 2, size: 4, addr: 4 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_read() {
+        let mut l = LocalMemory::new(0, 8);
+        for i in 0..8 {
+            l.write(i, i as Word * 2).unwrap();
+        }
+        assert_eq!(l.read_range(2, 3).unwrap(), vec![4, 6, 8]);
+    }
+}

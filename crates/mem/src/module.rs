@@ -1,0 +1,85 @@
+//! One physical memory module with an active memory unit.
+//!
+//! A module owns a slice of the shared address space (the placement is
+//! decided by [`crate::hash::ModuleMap`], so a module stores *hashed*
+//! addresses sparsely is avoided by giving each module the full backing
+//! array segment it is responsible for — see [`crate::shared`] for the
+//! partitioning). The *active memory unit* is the piece of logic that
+//! combines concurrent references to one word inside the module, which is
+//! what makes constant-time multioperations possible in ESM machines.
+
+use tcf_isa::instr::MultiKind;
+use tcf_isa::word::Word;
+
+/// Result of the active memory unit combining the references to one
+/// address in one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombineOutcome {
+    /// Value the word holds after the step.
+    pub new_value: Word,
+    /// Per-participant prefix replies (rank-sorted order, aligned with the
+    /// input contribution order), present only for prefix requests.
+    pub prefixes: Vec<Word>,
+}
+
+/// Combines multioperation contributions into a word.
+///
+/// `contributions` must already be sorted by thread rank; the prefix
+/// returned to participant `i` is the combination of the word's old value
+/// with contributions `0..i` (exclusive prefix seeded by memory).
+pub fn combine(
+    kind: MultiKind,
+    old: Word,
+    contributions: &[Word],
+    want_prefixes: bool,
+) -> CombineOutcome {
+    let mut acc = old;
+    let mut prefixes = if want_prefixes {
+        Vec::with_capacity(contributions.len())
+    } else {
+        Vec::new()
+    };
+    for &c in contributions {
+        if want_prefixes {
+            prefixes.push(acc);
+        }
+        acc = kind.combine(acc, c);
+    }
+    CombineOutcome {
+        new_value: acc,
+        prefixes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_combine_totals() {
+        let out = combine(MultiKind::Add, 10, &[1, 2, 3], true);
+        assert_eq!(out.new_value, 16);
+        assert_eq!(out.prefixes, vec![10, 11, 13]);
+    }
+
+    #[test]
+    fn max_combine() {
+        let out = combine(MultiKind::Max, 5, &[3, 9, 7], true);
+        assert_eq!(out.new_value, 9);
+        assert_eq!(out.prefixes, vec![5, 5, 9]);
+    }
+
+    #[test]
+    fn no_prefixes_requested() {
+        let out = combine(MultiKind::Or, 0, &[1, 2, 4], false);
+        assert_eq!(out.new_value, 7);
+        assert!(out.prefixes.is_empty());
+    }
+
+    #[test]
+    fn empty_contributions_keep_value() {
+        let out = combine(MultiKind::Add, 42, &[], true);
+        assert_eq!(out.new_value, 42);
+        assert!(out.prefixes.is_empty());
+    }
+}

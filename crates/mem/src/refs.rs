@@ -1,0 +1,95 @@
+//! Memory references: what one implicit thread asks of shared memory in one
+//! step.
+
+use serde::{Deserialize, Serialize};
+
+use tcf_isa::instr::MultiKind;
+use tcf_isa::word::{Addr, Word};
+
+/// Where a reference comes from, used for deterministic ordering.
+///
+/// `rank` is the global thread rank of the issuing implicit thread: for a
+/// TCF it is the thread index within the flow (offset by the flow's base
+/// rank when a flow spans processors); for baseline models it is
+/// `pid * T_p + tid`. Multiprefix results and the deterministic variants of
+/// concurrent-write resolution are defined in `rank` order, which makes
+/// every execution model in the workspace reproducible bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RefOrigin {
+    /// Processor group issuing the reference.
+    pub group: usize,
+    /// Global thread rank (see type-level docs).
+    pub rank: usize,
+}
+
+impl RefOrigin {
+    /// Convenience constructor.
+    pub fn new(group: usize, rank: usize) -> RefOrigin {
+        RefOrigin { group, rank }
+    }
+}
+
+/// The operation a reference performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemOp {
+    /// Read a word; the reply carries the value before this step's writes.
+    Read(Addr),
+    /// Write a word; concurrent writes are resolved by the CRCW policy.
+    Write(Addr, Word),
+    /// Multioperation: contribute to a combined update of one word.
+    Multi(MultiKind, Addr, Word),
+    /// Multiprefix: contribute and receive the exclusive prefix (in rank
+    /// order, seeded with the word's pre-step value).
+    Prefix(MultiKind, Addr, Word),
+}
+
+impl MemOp {
+    /// The address touched.
+    #[inline]
+    pub fn addr(&self) -> Addr {
+        match *self {
+            MemOp::Read(a) | MemOp::Write(a, _) | MemOp::Multi(_, a, _) | MemOp::Prefix(_, a, _) => {
+                a
+            }
+        }
+    }
+
+    /// Whether the issuing thread expects a reply value.
+    #[inline]
+    pub fn wants_reply(&self) -> bool {
+        matches!(self, MemOp::Read(_) | MemOp::Prefix(..))
+    }
+}
+
+/// One memory reference: origin plus operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Issuing thread.
+    pub origin: RefOrigin,
+    /// Requested operation.
+    pub op: MemOp,
+}
+
+impl MemRef {
+    /// Convenience constructor.
+    pub fn new(origin: RefOrigin, op: MemOp) -> MemRef {
+        MemRef { origin, op }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_and_reply_classification() {
+        assert_eq!(MemOp::Read(7).addr(), 7);
+        assert_eq!(MemOp::Write(8, 1).addr(), 8);
+        assert_eq!(MemOp::Multi(MultiKind::Add, 9, 1).addr(), 9);
+        assert_eq!(MemOp::Prefix(MultiKind::Max, 10, 1).addr(), 10);
+        assert!(MemOp::Read(0).wants_reply());
+        assert!(MemOp::Prefix(MultiKind::Add, 0, 0).wants_reply());
+        assert!(!MemOp::Write(0, 0).wants_reply());
+        assert!(!MemOp::Multi(MultiKind::Add, 0, 0).wants_reply());
+    }
+}

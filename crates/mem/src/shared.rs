@@ -1,0 +1,415 @@
+//! The emulated shared memory: step-synchronous word storage distributed
+//! over modules.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use tcf_isa::instr::MultiKind;
+use tcf_isa::program::DataBlock;
+use tcf_isa::word::{Addr, Word};
+
+use crate::error::MemError;
+use crate::hash::ModuleMap;
+use crate::module::combine;
+use crate::refs::{MemOp, MemRef};
+use crate::stats::StepStats;
+
+/// Concurrent-access policy of the shared memory.
+///
+/// The PRAM-NUMA machine family is a CRCW PRAM with multioperations; the
+/// weaker policies are provided so algorithm implementations can be checked
+/// against stricter PRAM submodels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrcwPolicy {
+    /// Concurrent writes allowed; the *highest*-rank writer wins. (A legal
+    /// refinement of "arbitrary" that keeps simulation deterministic, and
+    /// deliberately different from `Priority` so the two are observably
+    /// distinct.)
+    Arbitrary,
+    /// Concurrent writes allowed; the *lowest*-rank writer wins (the
+    /// classical Priority CRCW PRAM).
+    Priority,
+    /// Concurrent writes must all carry the same value, else a fault.
+    Common,
+    /// Concurrent reads allowed, concurrent writes fault (CREW).
+    Crew,
+    /// Any concurrent access to one address faults (EREW).
+    Erew,
+}
+
+/// The step-synchronous shared memory of one machine.
+///
+/// Within a [`step`](SharedMemory::step) every read observes the state
+/// before the step's writes (the classical PRAM read-then-write step), plain
+/// concurrent writes resolve per [`CrcwPolicy`], and
+/// multioperation/multiprefix contributions to one word are combined by the
+/// active memory unit in thread-rank order. Multioperations are exempt from
+/// the exclusivity checks of `Crew`/`Erew`: combining is their entire
+/// purpose, and the machines that provide them route them through dedicated
+/// hardware.
+///
+/// If one step mixes plain writes and multioperations on the same address,
+/// the plain writes resolve first and the combinations apply on top — a
+/// defined (if inadvisable) guest behaviour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedMemory {
+    words: Vec<Word>,
+    modules: usize,
+    map: ModuleMap,
+    policy: CrcwPolicy,
+}
+
+impl SharedMemory {
+    /// Creates a zeroed shared memory of `size` words over `modules`
+    /// modules.
+    pub fn new(size: usize, modules: usize, map: ModuleMap, policy: CrcwPolicy) -> SharedMemory {
+        assert!(modules > 0, "a machine needs at least one memory module");
+        SharedMemory {
+            words: vec![0; size],
+            modules,
+            map,
+            policy,
+        }
+    }
+
+    /// Size of the address space in words.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of physical modules.
+    #[inline]
+    pub fn modules(&self) -> usize {
+        self.modules
+    }
+
+    /// The module an address maps to.
+    #[inline]
+    pub fn module_of(&self, addr: Addr) -> usize {
+        self.map.module_of(addr, self.modules)
+    }
+
+    /// Host read (no step semantics), for runtimes and tests.
+    pub fn peek(&self, addr: Addr) -> Result<Word, MemError> {
+        self.words
+            .get(addr)
+            .copied()
+            .ok_or(MemError::OutOfBounds {
+                addr,
+                size: self.words.len(),
+            })
+    }
+
+    /// Host write (no step semantics), for runtimes and tests.
+    pub fn poke(&mut self, addr: Addr, value: Word) -> Result<(), MemError> {
+        let size = self.words.len();
+        match self.words.get_mut(addr) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(MemError::OutOfBounds { addr, size }),
+        }
+    }
+
+    /// Host read of a contiguous range.
+    pub fn peek_range(&self, base: Addr, len: usize) -> Result<Vec<Word>, MemError> {
+        (base..base + len).map(|a| self.peek(a)).collect()
+    }
+
+    /// Loads a program's static data blocks.
+    pub fn load_data(&mut self, blocks: &[DataBlock]) -> Result<(), MemError> {
+        for block in blocks {
+            for (i, &w) in block.words.iter().enumerate() {
+                self.poke(block.base + i, w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one synchronous memory step.
+    ///
+    /// Returns one reply slot per input reference (aligned by index): the
+    /// read value for `Read`, the rank-order exclusive prefix for `Prefix`,
+    /// and `None` for `Write`/`Multi`. Also returns the step's congestion
+    /// statistics.
+    pub fn step(&mut self, refs: &[MemRef]) -> Result<(Vec<Option<Word>>, StepStats), MemError> {
+        let mut stats = StepStats::new(self.modules);
+        stats.refs = refs.len();
+
+        // Bounds check and module accounting up front so faults are
+        // reported before any mutation.
+        for r in refs {
+            let addr = r.op.addr();
+            if addr >= self.words.len() {
+                return Err(MemError::OutOfBounds {
+                    addr,
+                    size: self.words.len(),
+                });
+            }
+            stats.per_module[self.module_of(addr)] += 1;
+        }
+
+        // Group references by address, deterministically.
+        let mut by_addr: BTreeMap<Addr, Vec<usize>> = BTreeMap::new();
+        for (i, r) in refs.iter().enumerate() {
+            by_addr.entry(r.op.addr()).or_default().push(i);
+        }
+
+        let mut replies: Vec<Option<Word>> = vec![None; refs.len()];
+        // The step is atomic: new values are staged and applied only after
+        // every address resolved without fault, so a failed step never
+        // leaves partial writes behind.
+        let mut staged: Vec<(Addr, Word)> = Vec::new();
+
+        for (addr, idxs) in by_addr {
+            if idxs.len() > 1 {
+                stats.hot_addrs += 1;
+            }
+            let old = self.words[addr];
+
+            let mut plain_writes: Vec<(usize, Word)> = Vec::new(); // (rank, value)
+            let mut combines: BTreeMap<MultiKind, Vec<(usize, Word, Option<usize>)>> =
+                BTreeMap::new(); // kind -> (rank, contribution, reply slot)
+            let mut readers = 0usize;
+            let mut writers = 0usize;
+
+            for &i in &idxs {
+                match refs[i].op {
+                    MemOp::Read(_) => {
+                        replies[i] = Some(old);
+                        readers += 1;
+                    }
+                    MemOp::Write(_, v) => {
+                        plain_writes.push((refs[i].origin.rank, v));
+                        writers += 1;
+                    }
+                    MemOp::Multi(kind, _, v) => {
+                        combines
+                            .entry(kind)
+                            .or_default()
+                            .push((refs[i].origin.rank, v, None));
+                    }
+                    MemOp::Prefix(kind, _, v) => {
+                        combines
+                            .entry(kind)
+                            .or_default()
+                            .push((refs[i].origin.rank, v, Some(i)));
+                    }
+                }
+            }
+
+            // Exclusivity policies (multioperations exempt, see type docs).
+            match self.policy {
+                CrcwPolicy::Erew => {
+                    if readers + writers > 1 {
+                        return Err(MemError::ExclusiveViolation {
+                            addr,
+                            refs: readers + writers,
+                        });
+                    }
+                }
+                CrcwPolicy::Crew => {
+                    if writers > 1 {
+                        return Err(MemError::ExclusiveViolation { addr, refs: writers });
+                    }
+                }
+                CrcwPolicy::Common => {
+                    if writers > 1 {
+                        let first = plain_writes[0].1;
+                        if plain_writes.iter().any(|&(_, v)| v != first) {
+                            return Err(MemError::CommonWriteConflict { addr });
+                        }
+                    }
+                }
+                CrcwPolicy::Arbitrary | CrcwPolicy::Priority => {}
+            }
+
+            // Resolve plain writes.
+            let mut value = old;
+            if !plain_writes.is_empty() {
+                plain_writes.sort_by_key(|&(rank, _)| rank);
+                value = match self.policy {
+                    CrcwPolicy::Arbitrary => plain_writes.last().unwrap().1,
+                    _ => plain_writes.first().unwrap().1,
+                };
+            }
+
+            // Apply combinations (BTreeMap ⇒ deterministic kind order).
+            for (kind, mut contributions) in combines {
+                contributions.sort_by_key(|&(rank, _, _)| rank);
+                stats.combined += contributions.len().saturating_sub(1);
+                let values: Vec<Word> = contributions.iter().map(|&(_, v, _)| v).collect();
+                let want_prefixes = contributions.iter().any(|&(_, _, slot)| slot.is_some());
+                let outcome = combine(kind, value, &values, want_prefixes);
+                if want_prefixes {
+                    for (j, &(_, _, slot)) in contributions.iter().enumerate() {
+                        if let Some(i) = slot {
+                            replies[i] = Some(outcome.prefixes[j]);
+                        }
+                    }
+                }
+                value = outcome.new_value;
+            }
+
+            staged.push((addr, value));
+        }
+        for (addr, value) in staged {
+            self.words[addr] = value;
+        }
+
+        Ok((replies, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refs::RefOrigin;
+
+    fn sm(policy: CrcwPolicy) -> SharedMemory {
+        SharedMemory::new(64, 4, ModuleMap::Interleaved, policy)
+    }
+
+    fn rref(rank: usize, addr: Addr) -> MemRef {
+        MemRef::new(RefOrigin::new(0, rank), MemOp::Read(addr))
+    }
+
+    fn wref(rank: usize, addr: Addr, v: Word) -> MemRef {
+        MemRef::new(RefOrigin::new(0, rank), MemOp::Write(addr, v))
+    }
+
+    #[test]
+    fn reads_see_pre_step_state() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        m.poke(5, 100).unwrap();
+        let (replies, _) = m.step(&[rref(0, 5), wref(1, 5, 7)]).unwrap();
+        assert_eq!(replies[0], Some(100)); // read ignores same-step write
+        assert_eq!(m.peek(5).unwrap(), 7);
+    }
+
+    #[test]
+    fn arbitrary_highest_rank_wins_priority_lowest() {
+        let refs = [wref(2, 1, 20), wref(0, 1, 10), wref(1, 1, 15)];
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        m.step(&refs).unwrap();
+        assert_eq!(m.peek(1).unwrap(), 20);
+        let mut m = sm(CrcwPolicy::Priority);
+        m.step(&refs).unwrap();
+        assert_eq!(m.peek(1).unwrap(), 10);
+    }
+
+    #[test]
+    fn common_agreeing_ok_conflict_faults() {
+        let mut m = sm(CrcwPolicy::Common);
+        m.step(&[wref(0, 2, 9), wref(1, 2, 9)]).unwrap();
+        assert_eq!(m.peek(2).unwrap(), 9);
+        let e = m.step(&[wref(0, 2, 1), wref(1, 2, 2)]).unwrap_err();
+        assert!(matches!(e, MemError::CommonWriteConflict { addr: 2 }));
+    }
+
+    #[test]
+    fn crew_faults_on_concurrent_writes_only() {
+        let mut m = sm(CrcwPolicy::Crew);
+        m.step(&[rref(0, 3), rref(1, 3), wref(2, 4, 1)]).unwrap();
+        let e = m.step(&[wref(0, 3, 1), wref(1, 3, 2)]).unwrap_err();
+        assert!(matches!(e, MemError::ExclusiveViolation { .. }));
+    }
+
+    #[test]
+    fn erew_faults_on_any_concurrency() {
+        let mut m = sm(CrcwPolicy::Erew);
+        m.step(&[rref(0, 3), wref(1, 4, 1)]).unwrap();
+        let e = m.step(&[rref(0, 3), rref(1, 3)]).unwrap_err();
+        assert!(matches!(e, MemError::ExclusiveViolation { .. }));
+    }
+
+    #[test]
+    fn multiadd_combines_in_one_step() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        m.poke(10, 5).unwrap();
+        let refs: Vec<MemRef> = (0..8)
+            .map(|rank| {
+                MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::Multi(MultiKind::Add, 10, rank as Word + 1),
+                )
+            })
+            .collect();
+        let (_, stats) = m.step(&refs).unwrap();
+        assert_eq!(m.peek(10).unwrap(), 5 + 36);
+        assert_eq!(stats.combined, 7);
+        assert_eq!(stats.hot_addrs, 1);
+    }
+
+    #[test]
+    fn multiprefix_returns_rank_ordered_prefixes() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        m.poke(10, 100).unwrap();
+        // Issue out of rank order to check the sort.
+        let refs = vec![
+            MemRef::new(RefOrigin::new(0, 2), MemOp::Prefix(MultiKind::Add, 10, 30)),
+            MemRef::new(RefOrigin::new(0, 0), MemOp::Prefix(MultiKind::Add, 10, 10)),
+            MemRef::new(RefOrigin::new(0, 1), MemOp::Prefix(MultiKind::Add, 10, 20)),
+        ];
+        let (replies, _) = m.step(&refs).unwrap();
+        assert_eq!(replies[1], Some(100)); // rank 0: memory seed
+        assert_eq!(replies[2], Some(110)); // rank 1: seed + 10
+        assert_eq!(replies[0], Some(130)); // rank 2: seed + 10 + 20
+        assert_eq!(m.peek(10).unwrap(), 160);
+    }
+
+    #[test]
+    fn multiops_allowed_under_erew() {
+        let mut m = sm(CrcwPolicy::Erew);
+        let refs: Vec<MemRef> = (0..4)
+            .map(|rank| MemRef::new(RefOrigin::new(0, rank), MemOp::Multi(MultiKind::Max, 0, rank as Word)))
+            .collect();
+        m.step(&refs).unwrap();
+        assert_eq!(m.peek(0).unwrap(), 3);
+    }
+
+    #[test]
+    fn mixed_write_and_multi_write_first() {
+        let mut m = sm(CrcwPolicy::Priority);
+        m.poke(0, 1000).unwrap();
+        let refs = vec![
+            MemRef::new(RefOrigin::new(0, 0), MemOp::Write(0, 50)),
+            MemRef::new(RefOrigin::new(0, 1), MemOp::Multi(MultiKind::Add, 0, 3)),
+        ];
+        m.step(&refs).unwrap();
+        assert_eq!(m.peek(0).unwrap(), 53); // write resolves, then combine
+    }
+
+    #[test]
+    fn out_of_bounds_faults_before_mutation() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        let e = m
+            .step(&[wref(0, 1, 7), wref(1, 9999, 1)])
+            .unwrap_err();
+        assert!(matches!(e, MemError::OutOfBounds { addr: 9999, .. }));
+        assert_eq!(m.peek(1).unwrap(), 0); // first write not applied
+    }
+
+    #[test]
+    fn load_data_places_blocks() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        m.load_data(&[DataBlock {
+            base: 8,
+            words: vec![1, 2, 3],
+        }])
+        .unwrap();
+        assert_eq!(m.peek_range(8, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_track_module_loads() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        // Interleaved over 4 modules: addresses 0,4,8 hit module 0.
+        let (_, stats) = m.step(&[rref(0, 0), rref(1, 4), rref(2, 8), rref(3, 1)]).unwrap();
+        assert_eq!(stats.per_module[0], 3);
+        assert_eq!(stats.max_module_load(), 3);
+    }
+}

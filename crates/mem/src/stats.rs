@@ -1,0 +1,96 @@
+//! Per-step access statistics, used for congestion analysis and by the
+//! network timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one shared-memory step.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Total references in the step.
+    pub refs: usize,
+    /// References received by each module.
+    pub per_module: Vec<usize>,
+    /// Number of distinct addresses that received more than one reference
+    /// (combining opportunities / conflicts).
+    pub hot_addrs: usize,
+    /// References absorbed by combining (multioperations / multiprefixes
+    /// beyond the first reference per address).
+    pub combined: usize,
+}
+
+impl StepStats {
+    /// Creates empty statistics for `modules` modules.
+    pub fn new(modules: usize) -> StepStats {
+        StepStats {
+            refs: 0,
+            per_module: vec![0; modules],
+            hot_addrs: 0,
+            combined: 0,
+        }
+    }
+
+    /// The maximum number of references any single module received — the
+    /// step's service time under a one-reference-per-cycle module model.
+    pub fn max_module_load(&self) -> usize {
+        self.per_module.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ratio of the heaviest module load to the ideal (perfectly even)
+    /// load; 1.0 is perfectly balanced. Returns 0.0 for an empty step.
+    pub fn imbalance(&self) -> f64 {
+        if self.refs == 0 || self.per_module.is_empty() {
+            return 0.0;
+        }
+        let ideal = self.refs as f64 / self.per_module.len() as f64;
+        self.max_module_load() as f64 / ideal
+    }
+
+    /// Merges another step's statistics into an aggregate.
+    pub fn absorb(&mut self, other: &StepStats) {
+        self.refs += other.refs;
+        if self.per_module.len() < other.per_module.len() {
+            self.per_module.resize(other.per_module.len(), 0);
+        }
+        for (dst, src) in self.per_module.iter_mut().zip(&other.per_module) {
+            *dst += src;
+        }
+        self.hot_addrs += other.hot_addrs;
+        self.combined += other.combined;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_load_and_imbalance() {
+        let mut s = StepStats::new(4);
+        s.refs = 8;
+        s.per_module = vec![5, 1, 1, 1];
+        assert_eq!(s.max_module_load(), 5);
+        assert!((s.imbalance() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = StepStats::new(0);
+        assert_eq!(s.max_module_load(), 0);
+        assert_eq!(s.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = StepStats::new(2);
+        a.refs = 3;
+        a.per_module = vec![2, 1];
+        let mut b = StepStats::new(2);
+        b.refs = 1;
+        b.per_module = vec![0, 1];
+        b.combined = 1;
+        a.absorb(&b);
+        assert_eq!(a.refs, 4);
+        assert_eq!(a.per_module, vec![2, 2]);
+        assert_eq!(a.combined, 1);
+    }
+}

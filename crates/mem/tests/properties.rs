@@ -1,0 +1,217 @@
+//! Property tests of the shared-memory step semantics.
+
+use proptest::prelude::*;
+
+use tcf_isa::instr::MultiKind;
+use tcf_isa::word::Word;
+use tcf_mem::{CrcwPolicy, MemOp, MemRef, ModuleMap, RefOrigin, SharedMemory};
+
+const SIZE: usize = 128;
+
+fn arb_kind() -> impl Strategy<Value = MultiKind> {
+    prop::sample::select(&MultiKind::ALL[..])
+}
+
+proptest! {
+    /// A multiprefix over n participants leaves kind-combination of all
+    /// contributions (seeded by the old value) in memory, and participant
+    /// prefixes reconstruct the same total.
+    #[test]
+    fn multiprefix_consistency(
+        kind in arb_kind(),
+        seed: i32,
+        contributions in prop::collection::vec(any::<i32>(), 1..32),
+    ) {
+        let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+        m.poke(0, seed as Word).unwrap();
+        let refs: Vec<MemRef> = contributions
+            .iter()
+            .enumerate()
+            .map(|(rank, &c)| {
+                MemRef::new(RefOrigin::new(0, rank), MemOp::Prefix(kind, 0, c as Word))
+            })
+            .collect();
+        let (replies, _) = m.step(&refs).unwrap();
+
+        // Sequential reference computation.
+        let mut acc = seed as Word;
+        let mut expected_prefixes = Vec::new();
+        for &c in &contributions {
+            expected_prefixes.push(acc);
+            acc = kind.combine(acc, c as Word);
+        }
+        prop_assert_eq!(m.peek(0).unwrap(), acc);
+        for (i, exp) in expected_prefixes.into_iter().enumerate() {
+            prop_assert_eq!(replies[i], Some(exp));
+        }
+    }
+
+    /// Multioperations are order-independent: shuffling the reference
+    /// vector never changes the resulting memory value.
+    #[test]
+    fn multiop_order_independent(
+        kind in arb_kind(),
+        contributions in prop::collection::vec(any::<i32>(), 1..24),
+        rotate in 0usize..24,
+    ) {
+        let build = |order: &[(usize, i32)]| {
+            let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+            let refs: Vec<MemRef> = order
+                .iter()
+                .map(|&(rank, c)| MemRef::new(RefOrigin::new(0, rank), MemOp::Multi(kind, 3, c as Word)))
+                .collect();
+            m.step(&refs).unwrap();
+            m.peek(3).unwrap()
+        };
+        let ranked: Vec<(usize, i32)> = contributions.iter().copied().enumerate().collect();
+        let mut shuffled = ranked.clone();
+        let n = shuffled.len().max(1);
+        shuffled.rotate_left(rotate % n);
+        prop_assert_eq!(build(&ranked), build(&shuffled));
+    }
+
+    /// Reads in a mixed step always see the pre-step value regardless of
+    /// how many writes target the same address.
+    #[test]
+    fn reads_unaffected_by_same_step_writes(
+        old: i32,
+        writes in prop::collection::vec(any::<i32>(), 1..16),
+    ) {
+        let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+        m.poke(7, old as Word).unwrap();
+        let mut refs = vec![MemRef::new(RefOrigin::new(0, 0), MemOp::Read(7))];
+        for (i, &w) in writes.iter().enumerate() {
+            refs.push(MemRef::new(RefOrigin::new(0, i + 1), MemOp::Write(7, w as Word)));
+        }
+        let (replies, _) = m.step(&refs).unwrap();
+        prop_assert_eq!(replies[0], Some(old as Word));
+        // Arbitrary policy: highest rank wins.
+        prop_assert_eq!(m.peek(7).unwrap(), *writes.last().unwrap() as Word);
+    }
+
+    /// The linear hash never sends an address outside the module range and
+    /// two different seeds are deterministic.
+    #[test]
+    fn hash_in_range(seed: u64, addrs in prop::collection::vec(0usize..1_000_000, 1..64), modules in 1usize..64) {
+        let map = ModuleMap::linear(seed);
+        for &a in &addrs {
+            let m1 = map.module_of(a, modules);
+            let m2 = map.module_of(a, modules);
+            prop_assert!(m1 < modules);
+            prop_assert_eq!(m1, m2);
+        }
+    }
+
+    /// Per-module statistics always sum to the number of references.
+    #[test]
+    fn stats_sum_to_refs(addrs in prop::collection::vec(0usize..SIZE, 0..64)) {
+        let mut m = SharedMemory::new(SIZE, 8, ModuleMap::linear(3), CrcwPolicy::Arbitrary);
+        let refs: Vec<MemRef> = addrs
+            .iter()
+            .enumerate()
+            .map(|(rank, &a)| MemRef::new(RefOrigin::new(0, rank), MemOp::Read(a)))
+            .collect();
+        let (_, stats) = m.step(&refs).unwrap();
+        prop_assert_eq!(stats.per_module.iter().sum::<usize>(), refs.len());
+        prop_assert_eq!(stats.refs, refs.len());
+    }
+}
+
+proptest! {
+    /// Priority CRCW always selects the lowest-rank writer; Arbitrary (as
+    /// refined here) the highest; and both agree with a host-side fold.
+    #[test]
+    fn crcw_winners_by_policy(
+        writes in prop::collection::vec((0usize..64, any::<i32>()), 1..24)
+    ) {
+        // Deduplicate ranks (one reference per thread per step).
+        let mut seen = std::collections::BTreeMap::new();
+        for (rank, v) in writes {
+            seen.entry(rank).or_insert(v as Word);
+        }
+        let refs: Vec<MemRef> = seen
+            .iter()
+            .map(|(&rank, &v)| MemRef::new(RefOrigin::new(0, rank), MemOp::Write(9, v)))
+            .collect();
+
+        let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Priority);
+        m.step(&refs).unwrap();
+        prop_assert_eq!(m.peek(9).unwrap(), *seen.values().next().unwrap());
+
+        let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+        m.step(&refs).unwrap();
+        prop_assert_eq!(m.peek(9).unwrap(), *seen.values().last().unwrap());
+    }
+
+    /// Common CRCW accepts agreeing writers and rejects any disagreement.
+    #[test]
+    fn common_policy_agreement(
+        n in 1usize..16,
+        v: i32,
+        disagree in proptest::bool::ANY,
+    ) {
+        let mut refs: Vec<MemRef> = (0..n)
+            .map(|rank| MemRef::new(RefOrigin::new(0, rank), MemOp::Write(3, v as Word)))
+            .collect();
+        if disagree {
+            refs.push(MemRef::new(
+                RefOrigin::new(0, n),
+                MemOp::Write(3, v as Word ^ 1),
+            ));
+        }
+        let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Common);
+        let r = m.step(&refs);
+        if disagree {
+            prop_assert!(r.is_err());
+        } else {
+            prop_assert!(r.is_ok());
+            prop_assert_eq!(m.peek(3).unwrap(), v as Word);
+        }
+    }
+
+    /// A step is atomic on fault: no partial writes survive a failed step.
+    #[test]
+    fn failed_step_leaves_memory_untouched(
+        good in prop::collection::vec((0usize..32, any::<i32>()), 1..8)
+    ) {
+        let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+        let mut refs: Vec<MemRef> = good
+            .iter()
+            .enumerate()
+            .map(|(rank, &(a, v))| MemRef::new(RefOrigin::new(0, rank), MemOp::Write(a, v as Word)))
+            .collect();
+        refs.push(MemRef::new(RefOrigin::new(0, 99), MemOp::Read(SIZE + 5)));
+        prop_assert!(m.step(&refs).is_err());
+        for a in 0..32 {
+            prop_assert_eq!(m.peek(a).unwrap(), 0);
+        }
+    }
+}
+
+proptest! {
+    /// Atomicity also under policy faults (not just bounds faults): a
+    /// Common-policy conflict anywhere in the step leaves every address
+    /// untouched.
+    #[test]
+    fn common_conflict_is_atomic(
+        good in prop::collection::vec((0usize..32, any::<i32>()), 1..8),
+        conflict_addr in 40usize..48,
+    ) {
+        let mut m = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Common);
+        let mut refs: Vec<MemRef> = good
+            .iter()
+            .enumerate()
+            .map(|(rank, &(a, v))| MemRef::new(RefOrigin::new(0, rank), MemOp::Write(a, v as Word)))
+            .collect();
+        // Deduplicate addresses so the good writes themselves agree.
+        let mut seen = std::collections::BTreeSet::new();
+        refs.retain(|r| seen.insert(r.op.addr()));
+        let base = refs.len();
+        refs.push(MemRef::new(RefOrigin::new(0, base), MemOp::Write(conflict_addr, 1)));
+        refs.push(MemRef::new(RefOrigin::new(0, base + 1), MemOp::Write(conflict_addr, 2)));
+        prop_assert!(m.step(&refs).is_err());
+        for a in 0..SIZE {
+            prop_assert_eq!(m.peek(a).unwrap(), 0, "address {} mutated by failed step", a);
+        }
+    }
+}

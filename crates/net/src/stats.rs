@@ -1,0 +1,64 @@
+//! Network traffic statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a [`crate::Network`]'s lifetime (or since the
+/// last reset).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages routed.
+    pub messages: usize,
+    /// Total hops traversed by all messages.
+    pub hops: usize,
+    /// Total cycles messages spent queued behind busy links (delivery time
+    /// minus the contention-free lower bound).
+    pub queue_cycles: u64,
+    /// Worst single-message queueing delay observed.
+    pub max_queue_cycles: u64,
+    /// Messages delivered to the sender's own node (distance 0).
+    pub local_deliveries: usize,
+}
+
+impl NetStats {
+    /// Mean hops per message; 0.0 when nothing was sent.
+    pub fn mean_hops(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.messages as f64
+        }
+    }
+
+    /// Mean queueing delay per message in cycles.
+    pub fn mean_queue_cycles(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.queue_cycles as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_empty() {
+        let s = NetStats::default();
+        assert_eq!(s.mean_hops(), 0.0);
+        assert_eq!(s.mean_queue_cycles(), 0.0);
+    }
+
+    #[test]
+    fn means_divide() {
+        let s = NetStats {
+            messages: 4,
+            hops: 10,
+            queue_cycles: 6,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_hops(), 2.5);
+        assert_eq!(s.mean_queue_cycles(), 1.5);
+    }
+}

@@ -1,0 +1,211 @@
+//! Network topologies, distance metrics and deterministic routes.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical layout of the machine's nodes.
+///
+/// A node hosts one processor group together with one shared-memory module
+/// and the group's local memory block (the organisation of the paper's
+/// Figures 2 and 5). Distances are expressed in *hops*; the model's
+/// "latency proportional to distance" requirement follows from charging
+/// [`crate::Network::hop_latency`] cycles per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// A bidirectional ring of `nodes` nodes; distance is the shorter way
+    /// around.
+    Ring {
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// A `width × height` 2-D mesh with XY dimension-ordered routing;
+    /// distance is the Manhattan metric.
+    Mesh2D {
+        /// Nodes per row.
+        width: usize,
+        /// Number of rows.
+        height: usize,
+    },
+    /// An ideal crossbar: every pair of distinct nodes is one hop apart.
+    /// Contention still arises on the destination port.
+    Crossbar {
+        /// Number of nodes.
+        nodes: usize,
+    },
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::Ring { nodes } | Topology::Crossbar { nodes } => nodes,
+            Topology::Mesh2D { width, height } => width * height,
+        }
+    }
+
+    /// Hop distance between two nodes.
+    pub fn distance(&self, from: usize, to: usize) -> usize {
+        self.check(from);
+        self.check(to);
+        match *self {
+            Topology::Ring { nodes } => {
+                let d = from.abs_diff(to);
+                d.min(nodes - d)
+            }
+            Topology::Mesh2D { width, .. } => {
+                let (fx, fy) = (from % width, from / width);
+                let (tx, ty) = (to % width, to / width);
+                fx.abs_diff(tx) + fy.abs_diff(ty)
+            }
+            Topology::Crossbar { .. } => usize::from(from != to),
+        }
+    }
+
+    /// The maximum distance between any two nodes.
+    pub fn diameter(&self) -> usize {
+        match *self {
+            Topology::Ring { nodes } => nodes / 2,
+            Topology::Mesh2D { width, height } => (width - 1) + (height - 1),
+            Topology::Crossbar { nodes } => usize::from(nodes > 1),
+        }
+    }
+
+    /// The deterministic shortest route from `from` to `to` as the sequence
+    /// of nodes *entered* (excluding `from`, including `to`). An empty
+    /// route means `from == to`.
+    ///
+    /// Rings route the shorter way (ties broken towards increasing node
+    /// numbers); meshes use XY dimension order — first along the row, then
+    /// along the column — which is deadlock-free and matches common NoC
+    /// practice.
+    pub fn route(&self, from: usize, to: usize) -> Vec<usize> {
+        self.check(from);
+        self.check(to);
+        let mut path = Vec::with_capacity(self.distance(from, to));
+        match *self {
+            Topology::Ring { nodes } => {
+                let fwd = (to + nodes - from) % nodes;
+                let bwd = (from + nodes - to) % nodes;
+                let mut cur = from;
+                if fwd <= bwd {
+                    while cur != to {
+                        cur = (cur + 1) % nodes;
+                        path.push(cur);
+                    }
+                } else {
+                    while cur != to {
+                        cur = (cur + nodes - 1) % nodes;
+                        path.push(cur);
+                    }
+                }
+            }
+            Topology::Mesh2D { width, .. } => {
+                let (mut x, mut y) = (from % width, from / width);
+                let (tx, ty) = (to % width, to / width);
+                while x != tx {
+                    x = if x < tx { x + 1 } else { x - 1 };
+                    path.push(y * width + x);
+                }
+                while y != ty {
+                    y = if y < ty { y + 1 } else { y - 1 };
+                    path.push(y * width + x);
+                }
+            }
+            Topology::Crossbar { .. } => {
+                if from != to {
+                    path.push(to);
+                }
+            }
+        }
+        path
+    }
+
+    fn check(&self, node: usize) {
+        assert!(
+            node < self.nodes(),
+            "node {node} out of range for {self:?} ({} nodes)",
+            self.nodes()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_distance_wraps() {
+        let t = Topology::Ring { nodes: 8 };
+        assert_eq!(t.distance(0, 3), 3);
+        assert_eq!(t.distance(0, 5), 3); // shorter backwards
+        assert_eq!(t.distance(7, 0), 1);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let t = Topology::Mesh2D {
+            width: 4,
+            height: 3,
+        };
+        assert_eq!(t.nodes(), 12);
+        assert_eq!(t.distance(0, 11), 3 + 2);
+        assert_eq!(t.distance(5, 6), 1);
+        assert_eq!(t.diameter(), 5);
+    }
+
+    #[test]
+    fn crossbar_is_one_hop() {
+        let t = Topology::Crossbar { nodes: 16 };
+        assert_eq!(t.distance(3, 3), 0);
+        assert_eq!(t.distance(3, 9), 1);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn routes_have_distance_length_and_end_at_target() {
+        let topologies = [
+            Topology::Ring { nodes: 9 },
+            Topology::Mesh2D {
+                width: 4,
+                height: 4,
+            },
+            Topology::Crossbar { nodes: 6 },
+        ];
+        for t in topologies {
+            for from in 0..t.nodes() {
+                for to in 0..t.nodes() {
+                    let route = t.route(from, to);
+                    assert_eq!(route.len(), t.distance(from, to), "{t:?} {from}->{to}");
+                    if from != to {
+                        assert_eq!(*route.last().unwrap(), to);
+                    } else {
+                        assert!(route.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_routes_are_xy_ordered() {
+        let t = Topology::Mesh2D {
+            width: 4,
+            height: 4,
+        };
+        // 0 -> 15: row first (1,2,3), then column (7,11,15).
+        assert_eq!(t.route(0, 15), vec![1, 2, 3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn ring_route_steps_are_adjacent() {
+        let t = Topology::Ring { nodes: 10 };
+        let route = t.route(8, 2); // wraps through 9, 0, 1, 2
+        assert_eq!(route, vec![9, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        Topology::Ring { nodes: 4 }.distance(0, 4);
+    }
+}

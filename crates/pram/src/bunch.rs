@@ -1,0 +1,72 @@
+//! NUMA bunches: groups of threads configured to execute as one.
+//!
+//! §2.1 of the paper: *"two or more processors belonging to a group can be
+//! configured to a NUMA bunch so that they execute a common instruction
+//! stream and share their state with each other, i.e. execute code like a
+//! single processor."* A bunch of `len` threads executes `len` consecutive
+//! instructions of the leader's stream per synchronous step, recovering
+//! sequential performance proportional to its size in low-TLP code.
+
+use serde::{Deserialize, Serialize};
+
+/// One configured bunch within a processor group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bunch {
+    /// Leader thread index within the group; the leader's registers and pc
+    /// are the bunch's architectural state.
+    pub leader: usize,
+    /// Number of member threads, leader included (`thickness 1/len` in the
+    /// extended model's terminology).
+    pub len: usize,
+}
+
+impl Bunch {
+    /// Creates a bunch; `len` must be at least 1.
+    pub fn new(leader: usize, len: usize) -> Bunch {
+        assert!(len >= 1, "a bunch needs at least one member");
+        Bunch { leader, len }
+    }
+
+    /// Thread indices covered by the bunch (leader first).
+    pub fn members(&self) -> impl Iterator<Item = usize> {
+        self.leader..self.leader + self.len
+    }
+
+    /// Whether `thread` belongs to this bunch.
+    pub fn contains(&self, thread: usize) -> bool {
+        (self.leader..self.leader + self.len).contains(&thread)
+    }
+
+    /// Whether this bunch overlaps another.
+    pub fn overlaps(&self, other: &Bunch) -> bool {
+        self.leader < other.leader + other.len && other.leader < self.leader + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let b = Bunch::new(4, 3);
+        assert!(b.contains(4));
+        assert!(b.contains(6));
+        assert!(!b.contains(7));
+        assert_eq!(b.members().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Bunch::new(0, 4);
+        assert!(a.overlaps(&Bunch::new(3, 2)));
+        assert!(!a.overlaps(&Bunch::new(4, 2)));
+        assert!(Bunch::new(2, 1).overlaps(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_len_panics() {
+        Bunch::new(0, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Execution faults of the baseline runtime.
+
+use core::fmt;
+
+use tcf_mem::MemError;
+
+/// What went wrong inside one thread/bunch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// A memory access faulted.
+    Mem(MemError),
+    /// The program counter left the program without halting.
+    PcOutOfRange {
+        /// The bad pc.
+        pc: usize,
+    },
+    /// `ret` with an empty call stack.
+    EmptyCallStack,
+    /// An instruction this model does not support (TCF control in the
+    /// baseline, e.g. `setthick`/`split`).
+    Unsupported {
+        /// Rendered instruction.
+        instr: String,
+    },
+    /// A register operand was needed but an unresolved target/operand was
+    /// malformed (defensive; should be unreachable with validated
+    /// programs).
+    Malformed {
+        /// Description.
+        what: String,
+    },
+    /// Bunch formation failed: members not at the `numa` instruction, out
+    /// of range, or overlapping an existing bunch.
+    BunchFormation {
+        /// Description.
+        why: String,
+    },
+    /// `endnuma` executed outside a bunch.
+    NotInBunch,
+    /// The run exceeded the step budget without halting.
+    StepBudgetExhausted {
+        /// Budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl From<MemError> for Fault {
+    fn from(e: MemError) -> Fault {
+        Fault::Mem(e)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Mem(e) => write!(f, "memory fault: {e}"),
+            Fault::PcOutOfRange { pc } => write!(f, "pc {pc} outside program"),
+            Fault::EmptyCallStack => f.write_str("ret with empty call stack"),
+            Fault::Unsupported { instr } => {
+                write!(f, "instruction `{instr}` unsupported by this model")
+            }
+            Fault::Malformed { what } => write!(f, "malformed instruction: {what}"),
+            Fault::BunchFormation { why } => write!(f, "bunch formation failed: {why}"),
+            Fault::NotInBunch => f.write_str("endnuma outside a NUMA bunch"),
+            Fault::StepBudgetExhausted { budget } => {
+                write!(f, "program did not halt within {budget} steps")
+            }
+        }
+    }
+}
+
+/// A fault with machine context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// The fault.
+    pub fault: Fault,
+    /// Machine step at which it occurred.
+    pub step: u64,
+    /// Processor group.
+    pub group: usize,
+    /// Thread index within the group (leader for bunches), when known.
+    pub thread: Option<usize>,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {}, group {}", self.step, self.group)?;
+        if let Some(t) = self.thread {
+            write!(f, ", thread {t}")?;
+        }
+        write!(f, ": {}", self.fault)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ExecError {
+            fault: Fault::EmptyCallStack,
+            step: 12,
+            group: 3,
+            thread: Some(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 12"));
+        assert!(s.contains("group 3"));
+        assert!(s.contains("thread 7"));
+        assert!(s.contains("call stack"));
+    }
+
+    #[test]
+    fn mem_error_converts() {
+        let f: Fault = MemError::OutOfBounds { addr: 9, size: 4 }.into();
+        assert!(matches!(f, Fault::Mem(_)));
+    }
+}

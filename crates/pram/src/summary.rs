@@ -1,0 +1,55 @@
+//! Run results.
+
+use serde::{Deserialize, Serialize};
+
+use tcf_machine::MachineStats;
+use tcf_net::NetStats;
+use tcf_mem::StepStats;
+
+/// Outcome of running a program to completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Synchronous steps executed.
+    pub steps: u64,
+    /// Machine cycles elapsed (the makespan over groups).
+    pub cycles: u64,
+    /// Whether every thread/flow halted (as opposed to hitting the step
+    /// budget — which is reported as an error, so this is always true for
+    /// successful runs; kept for serialized records).
+    pub halted: bool,
+    /// Aggregated pipeline statistics over all groups.
+    pub machine: MachineStats,
+    /// Aggregated shared-memory statistics.
+    pub memory: StepStats,
+    /// Network statistics.
+    pub network: NetStats,
+}
+
+impl RunSummary {
+    /// Instructions (issued units) per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.machine.issued() as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = RunSummary {
+            steps: 0,
+            cycles: 0,
+            halted: true,
+            machine: MachineStats::default(),
+            memory: StepStats::default(),
+            network: NetStats::default(),
+        };
+        assert_eq!(s.ipc(), 0.0);
+    }
+}

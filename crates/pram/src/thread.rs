@@ -1,0 +1,89 @@
+//! Per-thread architectural state.
+
+use serde::{Deserialize, Serialize};
+
+use tcf_isa::reg::Reg;
+use tcf_isa::word::Word;
+
+/// Scheduling status of a hardware thread slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadStatus {
+    /// Executing one instruction per step (PRAM mode).
+    Running,
+    /// Donating its slot to a NUMA bunch led by the given thread index.
+    Bunched {
+        /// Leader thread index within the group.
+        leader: usize,
+    },
+    /// Executed `halt`.
+    Halted,
+}
+
+/// One hardware thread's architectural state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadState {
+    /// Program counter.
+    pub pc: usize,
+    /// General registers (`regs[0]` stays 0 by construction of
+    /// [`write_reg`](ThreadState::write_reg)).
+    pub regs: Vec<Word>,
+    /// Flow-wise call stack (return addresses).
+    pub call_stack: Vec<usize>,
+    /// Scheduling status.
+    pub status: ThreadStatus,
+}
+
+impl ThreadState {
+    /// A fresh thread at `entry` with `nregs` zeroed registers.
+    pub fn new(entry: usize, nregs: usize) -> ThreadState {
+        ThreadState {
+            pc: entry,
+            regs: vec![0; nregs],
+            call_stack: Vec::new(),
+            status: ThreadStatus::Running,
+        }
+    }
+
+    /// Reads a register (`r0` is always 0).
+    #[inline]
+    pub fn read_reg(&self, r: Reg) -> Word {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register; writes to `r0` are discarded.
+    #[inline]
+    pub fn write_reg(&mut self, r: Reg, v: Word) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Whether the thread still schedules work.
+    #[inline]
+    pub fn is_running(&self) -> bool {
+        self.status == ThreadStatus::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcf_isa::reg::r;
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut t = ThreadState::new(0, 8);
+        t.write_reg(r(0), 99);
+        assert_eq!(t.read_reg(r(0)), 0);
+        t.write_reg(r(3), 42);
+        assert_eq!(t.read_reg(r(3)), 42);
+    }
+
+    #[test]
+    fn fresh_thread_runs_at_entry() {
+        let t = ThreadState::new(7, 4);
+        assert_eq!(t.pc, 7);
+        assert!(t.is_running());
+        assert!(t.call_stack.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Baseline-machine tests of the configurable PRAM submodels (CRCW
+//! policies) and fault paths reaching the machine level.
+
+use tcf_isa::asm::assemble;
+use tcf_machine::MachineConfig;
+use tcf_mem::CrcwPolicy;
+use tcf_pram::{ExecError, Fault, PramMachine};
+
+fn machine_with(policy: CrcwPolicy, src: &str) -> PramMachine {
+    let mut config = MachineConfig::small();
+    config.crcw = policy;
+    PramMachine::new(config, assemble(src).unwrap())
+}
+
+const ALL_WRITE: &str = "main:
+        mfs r1, gid
+        st r1, [r0+7]
+        halt
+    ";
+
+#[test]
+fn priority_policy_lowest_rank_wins() {
+    let mut m = machine_with(CrcwPolicy::Priority, ALL_WRITE);
+    m.run(100).unwrap();
+    assert_eq!(m.peek(7).unwrap(), 0);
+}
+
+#[test]
+fn arbitrary_policy_highest_rank_wins() {
+    let mut m = machine_with(CrcwPolicy::Arbitrary, ALL_WRITE);
+    m.run(100).unwrap();
+    assert_eq!(m.peek(7).unwrap(), 63);
+}
+
+#[test]
+fn common_policy_faults_on_disagreement() {
+    let mut m = machine_with(CrcwPolicy::Common, ALL_WRITE);
+    let e = m.run(100).unwrap_err();
+    assert!(matches!(e.fault, Fault::Mem(_)), "unexpected: {e}");
+}
+
+#[test]
+fn common_policy_accepts_agreement() {
+    let mut m = machine_with(
+        CrcwPolicy::Common,
+        "main:
+            ldi r1, 5
+            st r1, [r0+7]        ; everyone writes the same value
+            halt
+        ",
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.peek(7).unwrap(), 5);
+}
+
+#[test]
+fn erew_faults_on_concurrent_reads() {
+    let mut m = machine_with(
+        CrcwPolicy::Erew,
+        "main:
+            ld r1, [r0+3]        ; every thread reads address 3
+            halt
+        ",
+    );
+    let e = m.run(100).unwrap_err();
+    assert!(matches!(e.fault, Fault::Mem(_)));
+}
+
+#[test]
+fn erew_allows_disjoint_access() {
+    let mut m = machine_with(
+        CrcwPolicy::Erew,
+        "main:
+            mfs r1, gid
+            ldi r2, 100
+            add r2, r2, r1
+            st r1, [r2+0]        ; one address per thread
+            halt
+        ",
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.peek(100 + 17).unwrap(), 17);
+}
+
+#[test]
+fn crew_allows_concurrent_reads_rejects_writes() {
+    let mut m = machine_with(
+        CrcwPolicy::Crew,
+        "main:
+            ld r1, [r0+3]
+            halt
+        ",
+    );
+    m.run(100).unwrap();
+    let mut m = machine_with(CrcwPolicy::Crew, ALL_WRITE);
+    assert!(m.run(100).is_err());
+}
+
+#[test]
+fn error_context_names_the_step() {
+    let mut m = machine_with(CrcwPolicy::Common, ALL_WRITE);
+    let ExecError { step, .. } = m.run(100).unwrap_err();
+    assert_eq!(step, 1); // the store is the second instruction (step index 1)
+}
+
+#[test]
+fn baseline_trace_exports() {
+    let mut m = machine_with(
+        CrcwPolicy::Arbitrary,
+        "main:
+            mfs r1, gid
+            ld r2, [r1+100]
+            halt
+        ",
+    );
+    m.set_tracing(true);
+    m.run(100).unwrap();
+    let csv = m.trace().to_csv();
+    assert!(csv.contains("MemShared"));
+    assert!(m.trace().gantt(0).contains("flow"));
+}
+
+#[test]
+fn multiops_exempt_from_exclusivity_in_machine() {
+    // All 64 threads combine into one address under EREW: legal, because
+    // multioperations are combining by construction.
+    let mut m = machine_with(
+        CrcwPolicy::Erew,
+        "main:
+            ldi r1, 1
+            madd [r0+11], r1
+            halt
+        ",
+    );
+    m.run(100).unwrap();
+    assert_eq!(m.peek(11).unwrap(), 64);
+}

@@ -1,0 +1,119 @@
+//! Edge-parallel BFS (shortest hop distances) with multioperations.
+//!
+//! Bellman–Ford-style level relaxation: thickness = number of edges; each
+//! implicit thread relaxes one edge with a combining `MPMIN` write, and a
+//! flow-wise convergence flag (set with `multi(..., MPMAX, ...)`) decides
+//! — with a *uniform* branch — whether another round is needed. Irregular
+//! graph parallelism without a single per-thread branch.
+//!
+//! ```sh
+//! cargo run --example bfs
+//! ```
+
+use tcf::core::{TcfMachine, Variant};
+use tcf::machine::MachineConfig;
+
+const NODES: usize = 64;
+const SRC_BASE: usize = 10_000; // edge sources
+const DST_BASE: usize = 12_000; // edge destinations
+const DIST: usize = 14_000; // per-node distance
+const CHANGED: usize = 90; // convergence flag
+const INF: i64 = 1 << 20;
+
+/// A deterministic sparse digraph: ring + skip links.
+fn edges() -> Vec<(usize, usize)> {
+    let mut e = Vec::new();
+    for v in 0..NODES {
+        e.push((v, (v + 1) % NODES));
+        if v % 3 == 0 {
+            e.push((v, (v + 7) % NODES));
+        }
+        if v % 5 == 0 {
+            e.push(((v + 13) % NODES, v));
+        }
+    }
+    e
+}
+
+/// Host-side reference BFS.
+fn reference_dist(edges: &[(usize, usize)]) -> Vec<i64> {
+    let mut adj = vec![Vec::new(); NODES];
+    for &(u, v) in edges {
+        adj[u].push(v);
+    }
+    let mut dist = vec![INF; NODES];
+    dist[0] = 0;
+    let mut frontier = vec![0usize];
+    let mut level = 0;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in &adj[u] {
+                if dist[v] == INF {
+                    dist[v] = level;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+fn main() {
+    let es = edges();
+    let ne = es.len();
+
+    let source = format!(
+        "shared int esrc[{ne}] @ {SRC_BASE};
+         shared int edst[{ne}] @ {DST_BASE};
+         shared int dist[{NODES}] @ {DIST};
+         shared int changed @ {CHANGED};
+         void main() {{
+             changed = 1;
+             while (changed) {{
+                 changed = 0;
+                 #{ne};
+                 int u = esrc[.];
+                 int v = edst[.];
+                 int cand = dist[u] + 1;
+                 int old = prefix(dist[v], MPMIN, cand);
+                 multi(changed, MPMAX, old > cand);
+                 #1;
+             }}
+         }}"
+    );
+    let program = tcf::lang::compile(&source).expect("program compiles");
+    let mut machine = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        program,
+    );
+
+    for (i, &(u, v)) in es.iter().enumerate() {
+        machine.poke(SRC_BASE + i, u as i64).unwrap();
+        machine.poke(DST_BASE + i, v as i64).unwrap();
+    }
+    for v in 0..NODES {
+        machine
+            .poke(DIST + v, if v == 0 { 0 } else { INF })
+            .unwrap();
+    }
+
+    let summary = machine.run(5_000_000).expect("BFS converges");
+
+    let expect = reference_dist(&es);
+    let got = machine.peek_range(DIST, NODES).unwrap();
+    assert_eq!(got, expect, "distances diverge from host BFS");
+    let reachable = expect.iter().filter(|&&d| d < INF).count();
+    let diameter = expect.iter().filter(|&&d| d < INF).max().unwrap();
+
+    println!("edge-parallel BFS over {NODES} nodes / {ne} edges: verified against host BFS");
+    println!("  {reachable} reachable, eccentricity {diameter} from node 0");
+    println!(
+        "  steps {}, cycles {}, every relaxation round is one thick block of {ne} edges",
+        summary.steps, summary.cycles
+    );
+    println!("  convergence via a combining MPMAX flag and a uniform flow-wise branch");
+}

@@ -1,0 +1,77 @@
+//! Parallel odd-even transposition sort with thick control flows.
+//!
+//! A classic fine-grained PRAM algorithm: `n` phases, each phase
+//! compare-exchanging every (even|odd, +1) pair in parallel. On a TCF
+//! machine a phase is one thick block of `n/2` compare-exchanges, and the
+//! exchange itself is branch-free (`min`/`max` writes), so the whole sort
+//! has no per-thread control flow at all — the style the model pushes you
+//! towards.
+//!
+//! ```sh
+//! cargo run --example sort
+//! ```
+
+use tcf::core::{TcfMachine, Variant};
+use tcf::machine::MachineConfig;
+
+const N: usize = 128;
+const DATA: usize = 10_000;
+const SCRATCH_LO: usize = 20_000;
+const SCRATCH_HI: usize = 30_000;
+
+fn main() {
+    let half = N / 2;
+    let source = format!(
+        "shared int data[{N}] @ {DATA};
+         shared int lo[{half}] @ {SCRATCH_LO};
+         shared int hi[{half}] @ {SCRATCH_HI};
+         void main() {{
+             int phase = 0;
+             while (phase < {N}) {{
+                 // Even phase: pairs (0,1), (2,3), ...
+                 #{half};
+                 lo[.] = data[. * 2];
+                 hi[.] = data[. * 2 + 1];
+                 data[. * 2]     = (lo[.] < hi[.]) * lo[.] + (lo[.] >= hi[.]) * hi[.];
+                 data[. * 2 + 1] = (lo[.] < hi[.]) * hi[.] + (lo[.] >= hi[.]) * lo[.];
+                 // Odd phase: pairs (1,2), (3,4), ... (one fewer pair).
+                 #{half} - 1;
+                 lo[.] = data[. * 2 + 1];
+                 hi[.] = data[. * 2 + 2];
+                 data[. * 2 + 1] = (lo[.] < hi[.]) * lo[.] + (lo[.] >= hi[.]) * hi[.];
+                 data[. * 2 + 2] = (lo[.] < hi[.]) * hi[.] + (lo[.] >= hi[.]) * lo[.];
+                 phase = phase + 2;
+             }}
+         }}"
+    );
+    let program = tcf::lang::compile(&source).expect("program compiles");
+    let mut machine = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        program,
+    );
+
+    // A scrambled but deterministic input (values stay small and
+    // non-negative so the arithmetic select cannot overflow).
+    let input: Vec<i64> = (0..N as i64).map(|i| (i * 37 + 11) % 1009).collect();
+    for (i, &v) in input.iter().enumerate() {
+        machine.poke(DATA + i, v).unwrap();
+    }
+
+    let summary = machine.run(5_000_000).expect("sort halts");
+
+    let got = machine.peek_range(DATA, N).unwrap();
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    assert_eq!(got, expect, "sort output mismatch");
+
+    println!("odd-even transposition sort of {N} elements: sorted correctly");
+    println!(
+        "  {} phases x 2 thick blocks, steps {}, cycles {}, utilization {:.2}",
+        N / 2,
+        summary.steps,
+        summary.cycles,
+        summary.machine.utilization()
+    );
+    println!("  compare-exchange is branch-free: (a<b)*a + (a>=b)*b selects via arithmetic");
+}

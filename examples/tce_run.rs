@@ -1,0 +1,132 @@
+//! Compile and run a tce source file from the command line.
+//!
+//! ```sh
+//! cargo run --example tce_run -- path/to/program.tce [--variant si|bal|mi|so|cso|ft] \
+//!     [--dump addr len] [--listing] [--trace]
+//! ```
+//!
+//! Without a path, runs a built-in demo program.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use tcf::core::{TcfMachine, Variant};
+use tcf::machine::MachineConfig;
+
+const DEMO: &str = "
+// demo: thick prefix sums
+shared int sum @ 100;
+shared int out[32] @ 200;
+void main() {
+    #32;
+    out[.] = prefix(sum, MPADD, . + 1);
+}
+";
+
+fn parse_variant(s: &str, tp: usize) -> Option<Variant> {
+    Some(match s {
+        "si" => Variant::SingleInstruction,
+        "bal" => Variant::Balanced { bound: 8 },
+        "mi" => Variant::MultiInstruction,
+        "so" => Variant::SingleOperation,
+        "cso" => Variant::ConfigurableSingleOperation,
+        "ft" => Variant::FixedThickness { width: tp },
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let config = MachineConfig::small();
+    let mut variant = Variant::SingleInstruction;
+    let mut path: Option<String> = None;
+    let mut dump: Option<(usize, usize)> = None;
+    let mut listing = false;
+    let mut trace = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--variant" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match parse_variant(v, config.threads_per_group) {
+                    Some(parsed) => variant = parsed,
+                    None => {
+                        eprintln!("unknown variant `{v}` (si|bal|mi|so|cso|ft)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--dump" => {
+                let addr = it.next().and_then(|s| s.parse().ok());
+                let len = it.next().and_then(|s| s.parse().ok());
+                match (addr, len) {
+                    (Some(a), Some(l)) => dump = Some((a, l)),
+                    _ => {
+                        eprintln!("--dump needs <addr> <len>");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--listing" => listing = true,
+            "--trace" => trace = true,
+            other => path = Some(other.to_string()),
+        }
+    }
+
+    let source = match &path {
+        Some(p) => match fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => DEMO.to_string(),
+    };
+
+    let program = match tcf::lang::compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if listing {
+        println!("--- listing ---\n{}---------------", program.listing());
+    }
+
+    let mut machine = TcfMachine::new(config, variant, program);
+    machine.set_tracing(trace);
+    match machine.run(10_000_000) {
+        Ok(s) => {
+            println!(
+                "halted: steps {}, cycles {}, issued {}, utilization {:.2}",
+                s.steps,
+                s.cycles,
+                s.machine.issued(),
+                s.machine.utilization()
+            );
+        }
+        Err(e) => {
+            eprintln!("runtime fault: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if trace {
+        println!("{}", machine.trace().gantt(0));
+    }
+    if let Some((addr, len)) = dump {
+        match machine.peek_range(addr, len) {
+            Ok(words) => println!("mem[{addr}..{}] = {words:?}", addr + len),
+            Err(e) => eprintln!("dump failed: {e}"),
+        }
+    } else if path.is_none() {
+        // Demo: show the prefix results.
+        let words = machine.peek_range(200, 32).unwrap();
+        println!("prefix sums: {words:?}");
+        println!("total:       {}", machine.peek(100).unwrap());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,127 @@
+//! One workload, all six variants of the extended PRAM-NUMA model.
+//!
+//! Runs the form of the vector add each variant is programmed with —
+//! thickness statement, loop with thread arithmetic, `fork`, or chunked
+//! vector code — verifies every result, and prints the cost comparison.
+//!
+//! ```sh
+//! cargo run --example variants_tour
+//! ```
+
+use tcf::core::{TcfMachine, Variant};
+use tcf::isa::program::Program;
+use tcf::machine::MachineConfig;
+
+const N: usize = 256;
+const A: usize = 10_000;
+const B: usize = 20_000;
+const C: usize = 30_000;
+
+fn decl() -> String {
+    format!(
+        "shared int a[{N}] @ {A};
+         shared int b[{N}] @ {B};
+         shared int c[{N}] @ {C};"
+    )
+}
+
+fn thick_version() -> Program {
+    tcf::lang::compile(&format!(
+        "{} void main() {{ #{N}; c[.] = a[.] + b[.]; }}",
+        decl()
+    ))
+    .unwrap()
+}
+
+fn loop_version() -> Program {
+    tcf::lang::compile(&format!(
+        "{} void main() {{
+             int total = nprocs * nthreads;
+             int i = gid;
+             while (i < {N}) {{ c[i] = a[i] + b[i]; i = i + total; }}
+         }}",
+        decl()
+    ))
+    .unwrap()
+}
+
+fn fork_version() -> Program {
+    tcf::lang::compile(&format!(
+        "{} void main() {{ fork (i = 0; i < {N}) {{ c[i] = a[i] + b[i]; }} }}",
+        decl()
+    ))
+    .unwrap()
+}
+
+fn chunked_version(width: usize) -> Program {
+    tcf::lang::compile(&format!(
+        "{} void main() {{
+             int chunk = 0;
+             while (chunk < {N}) {{
+                 c[. + chunk] = a[. + chunk] + b[. + chunk];
+                 chunk = chunk + {width};
+             }}
+         }}",
+        decl()
+    ))
+    .unwrap()
+}
+
+fn main() {
+    let config = MachineConfig::small();
+    let width = config.threads_per_group;
+    let cases: Vec<(Variant, &str, Program)> = vec![
+        (
+            Variant::SingleInstruction,
+            "#N; c.=a.+b.;",
+            thick_version(),
+        ),
+        (
+            Variant::Balanced { bound: 8 },
+            "#N; c.=a.+b.; (b=8 slices)",
+            thick_version(),
+        ),
+        (Variant::MultiInstruction, "fork per element", fork_version()),
+        (Variant::SingleOperation, "loop + thread arithmetic", loop_version()),
+        (
+            Variant::ConfigurableSingleOperation,
+            "loop + thread arithmetic",
+            loop_version(),
+        ),
+        (
+            Variant::FixedThickness { width },
+            "chunked vector loop",
+            chunked_version(width),
+        ),
+    ];
+
+    println!(
+        "vector add, {N} elements, machine P={} Tp={}:\n",
+        config.groups, config.threads_per_group
+    );
+    println!(
+        "{:<30} {:<28} {:>7} {:>9} {:>8} {:>6}",
+        "variant", "program form", "steps", "cycles", "fetches", "util"
+    );
+    for (variant, form, program) in cases {
+        let mut m = TcfMachine::new(config.clone(), variant, program);
+        for i in 0..N {
+            m.poke(A + i, i as i64).unwrap();
+            m.poke(B + i, 2 * i as i64).unwrap();
+        }
+        let s = m.run(1_000_000).expect("halts");
+        for i in 0..N {
+            assert_eq!(m.peek(C + i).unwrap(), 3 * i as i64, "{variant:?} wrong");
+        }
+        println!(
+            "{:<30} {:<28} {:>7} {:>9} {:>8} {:>6.2}",
+            variant.name(),
+            form,
+            s.steps,
+            s.cycles,
+            s.machine.fetches,
+            s.machine.utilization()
+        );
+    }
+    println!("\nall six variants verified against the same inputs");
+}

@@ -1,0 +1,83 @@
+//! End-to-end pipeline tests spanning every crate: tce source →
+//! compiler → assembler listing round trip → binary encoding round trip
+//! → execution on the extended machine.
+
+use tcf::core::{TcfMachine, Variant};
+use tcf::isa::asm::assemble;
+use tcf::isa::encode::{decode, encode};
+use tcf::machine::MachineConfig;
+
+const SRC: &str = "
+shared int a[128] @ 1000;
+shared int b[128] @ 2000;
+shared int c[128] @ 3000;
+shared int sum @ 64;
+void main() {
+    #128;
+    c[.] = a[.] + b[.];
+    int p = prefix(sum, MPADD, c[.]);
+    parallel {
+        #64: c[.] = c[.] * 2;
+        #64: c[. + 64] = c[. + 64] + 1;
+    }
+}
+";
+
+fn run(program: tcf::isa::program::Program) -> TcfMachine {
+    let mut m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
+    for i in 0..128 {
+        m.poke(1000 + i, i as i64).unwrap();
+        m.poke(2000 + i, 10 * i as i64).unwrap();
+    }
+    m.run(100_000).unwrap();
+    m
+}
+
+fn check(m: &TcfMachine) {
+    for i in 0..64 {
+        assert_eq!(m.peek(3000 + i).unwrap(), 2 * 11 * i as i64, "low c[{i}]");
+    }
+    for i in 64..128 {
+        assert_eq!(m.peek(3000 + i).unwrap(), 11 * i as i64 + 1, "high c[{i}]");
+    }
+    let total: i64 = (0..128).map(|i| 11 * i).sum();
+    assert_eq!(m.peek(64).unwrap(), total);
+}
+
+#[test]
+fn compiled_program_runs() {
+    let program = tcf::lang::compile(SRC).unwrap();
+    check(&run(program));
+}
+
+#[test]
+fn listing_roundtrip_preserves_behaviour() {
+    let program = tcf::lang::compile(SRC).unwrap();
+    let listing = program.listing();
+    let reassembled = assemble(&listing).unwrap();
+    assert_eq!(program.instrs, reassembled.instrs);
+    check(&run(reassembled));
+}
+
+#[test]
+fn binary_roundtrip_preserves_behaviour() {
+    let program = tcf::lang::compile(SRC).unwrap();
+    let words = encode(&program).unwrap();
+    let decoded = decode(&words).unwrap();
+    assert_eq!(program.instrs, decoded.instrs);
+    assert_eq!(program.entry, decoded.entry);
+    check(&run(decoded));
+}
+
+#[test]
+fn all_experiments_render() {
+    // The full reproduction pipeline must run end to end on the small
+    // machine (this is what `repro all` does).
+    let config = MachineConfig::small();
+    let t1 = tcf_bench::table1::report(&config);
+    assert!(t1.contains("Fetches per TCF"));
+    let figs = tcf_bench::figures::all(&config);
+    assert!(figs.contains("Figure 13"));
+    let progs = tcf_bench::progs::report(&config);
+    assert!(progs.contains("P8"));
+}

@@ -1,0 +1,45 @@
+//! Paper-scale machine regression (P = 16, T_p = 64, mesh network).
+//!
+//! The quick variant runs in every CI pass; the `#[ignore]`d one
+//! exercises the full experiment suite at paper scale
+//! (`cargo test -- --ignored`).
+
+use tcf::core::{TcfMachine, Variant};
+use tcf::machine::MachineConfig;
+
+#[test]
+fn paper_scale_vector_add() {
+    let config = MachineConfig::default_machine(); // P=16, Tp=64
+    let size = 4096;
+    let src = format!(
+        "shared int a[{size}] @ 100000;
+         shared int b[{size}] @ 200000;
+         shared int c[{size}] @ 300000;
+         void main() {{
+             #{size};
+             c[.] = a[.] + b[.];
+         }}"
+    );
+    let program = tcf::lang::compile(&src).unwrap();
+    let mut m = TcfMachine::new(config, Variant::SingleInstruction, program);
+    for i in 0..size {
+        m.poke(100_000 + i, i as i64).unwrap();
+        m.poke(200_000 + i, 2 * i as i64).unwrap();
+    }
+    let s = m.run(1_000_000).unwrap();
+    for i in 0..size {
+        assert_eq!(m.peek(300_000 + i).unwrap(), 3 * i as i64);
+    }
+    // Flat step count at paper scale too.
+    assert_eq!(s.steps, 10);
+}
+
+#[test]
+#[ignore = "expensive: full experiment suite at P=16, Tp=64"]
+fn paper_scale_full_experiments() {
+    let config = MachineConfig::default_machine();
+    let t1 = tcf_bench::table1::report(&config);
+    assert!(t1.contains("Fetches per TCF"));
+    let progs = tcf_bench::progs::report(&config);
+    assert!(progs.contains("P8"));
+}
