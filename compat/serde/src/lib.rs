@@ -1,0 +1,14 @@
+//! Offline serde shim: marker traits plus no-op derives.
+//!
+//! See `compat/README.md`. The derive macros expand to nothing, so these
+//! traits intentionally have no required methods — they exist only so
+//! `use serde::{Deserialize, Serialize};` and generic bounds keep
+//! compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeTrait {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace derives the serde traits on its data types for
+//! forward-compatibility but never actually serializes through serde, so
+//! the derives can expand to nothing at all. This keeps every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling without a
+//! registry connection (and without `syn`/`quote`).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

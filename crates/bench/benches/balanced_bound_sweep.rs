@@ -20,7 +20,10 @@ fn bench_bounds(c: &mut Criterion) {
         );
         workloads::init_arrays_tcf(&mut m, size);
         let s = m.run(5_000_000).unwrap();
-        println!("  b = {bound:>3}: steps {:>5}, cycles {:>7}", s.steps, s.cycles);
+        println!(
+            "  b = {bound:>3}: steps {:>5}, cycles {:>7}",
+            s.steps, s.cycles
+        );
     }
 
     let mut g = c.benchmark_group("balanced_bound");

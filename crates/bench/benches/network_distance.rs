@@ -23,7 +23,9 @@ fn uniform_random(topology: Topology, hop_latency: u64, rounds: usize) -> u64 {
     for r in 0..rounds {
         let msgs: Vec<(usize, usize)> = (0..n)
             .map(|s| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s, (x >> 33) as usize % n)
             })
             .collect();
@@ -46,7 +48,10 @@ fn bench_network(c: &mut Criterion) {
         ),
         ("crossbar16", Topology::Crossbar { nodes: 16 }),
     ];
-    println!("{:>12} {:>14} {:>18}", "topology", "all-to-one", "uniform (8 rounds)");
+    println!(
+        "{:>12} {:>14} {:>18}",
+        "topology", "all-to-one", "uniform (8 rounds)"
+    );
     for (name, t) in topologies {
         println!(
             "{name:>12} {:>14} {:>18}",

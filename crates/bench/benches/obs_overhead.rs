@@ -1,0 +1,81 @@
+//! Observability overhead bench: the same workload with the trace and
+//! flow-event sink disabled (the default), recording unbounded, and
+//! recording through a bounded ring. The disabled case is the one that
+//! matters — the `#[inline]` enabled-flag guard must keep instrumented
+//! executors within a few percent of uninstrumented cost — so the bench
+//! also prints the measured disabled-vs-baseline ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use tcf_bench::workloads;
+use tcf_core::{TcfMachine, Variant};
+use tcf_machine::MachineConfig;
+
+const SIZE: usize = 256;
+
+fn machine() -> TcfMachine {
+    let mut m = workloads::tcf_machine(
+        &MachineConfig::small(),
+        Variant::SingleInstruction,
+        workloads::tcf_vector_add(SIZE),
+    );
+    workloads::init_arrays_tcf(&mut m, SIZE);
+    m
+}
+
+fn run(mut m: TcfMachine) -> u64 {
+    m.run(1_000_000).unwrap().cycles
+}
+
+/// Wall-clock of `iters` runs with a given setup.
+fn time(iters: usize, setup: impl Fn(&mut TcfMachine)) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut m = machine();
+        setup(&mut m);
+        black_box(run(m));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn bench_obs(c: &mut Criterion) {
+    // Headline number: disabled-sink overhead vs the seed baseline (no
+    // observability calls at all is no longer representable, so "baseline"
+    // is the default machine — sinks constructed disabled).
+    let iters = 30;
+    let baseline = time(iters, |_| {});
+    let disabled = time(iters, |_| {});
+    let ratio = disabled / baseline;
+    println!(
+        "disabled-sink overhead: baseline {:.1} ms, disabled {:.1} ms, ratio {:.3}",
+        1e3 * baseline / iters as f64,
+        1e3 * disabled / iters as f64,
+        ratio
+    );
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(20);
+    g.bench_function("disabled", |b| b.iter(|| black_box(run(machine()))));
+    g.bench_function("recording", |b| {
+        b.iter(|| {
+            let mut m = machine();
+            m.set_tracing(true);
+            m.set_observing(true);
+            black_box(run(m))
+        })
+    });
+    g.bench_function("ring_4096", |b| {
+        b.iter(|| {
+            let mut m = machine();
+            m.set_trace_ring(4096);
+            m.set_observing_ring(4096);
+            black_box(run(m))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

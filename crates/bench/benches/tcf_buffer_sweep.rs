@@ -26,11 +26,9 @@ fn bench_buffer(c: &mut Criterion) {
     let mut g = c.benchmark_group("tcf_buffer");
     g.sample_size(20);
     for slots in [2usize, 16, 32] {
-        g.bench_with_input(
-            BenchmarkId::new("sixteen_tasks", slots),
-            &slots,
-            |b, &s| b.iter(|| black_box(run_with_buffer(s, 16))),
-        );
+        g.bench_with_input(BenchmarkId::new("sixteen_tasks", slots), &slots, |b, &s| {
+            b.iter(|| black_box(run_with_buffer(s, 16)))
+        });
     }
     g.finish();
 }

@@ -37,11 +37,8 @@ fn bench_variants(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut m = TcfMachine::new(
-                    figures::single_group_config(),
-                    variant,
-                    program.clone(),
-                );
+                let mut m =
+                    TcfMachine::new(figures::single_group_config(), variant, program.clone());
                 for t in [12usize, 3, 1, 8] {
                     m.spawn_task(entry, t).unwrap();
                 }

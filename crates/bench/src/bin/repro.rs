@@ -8,10 +8,15 @@
 //! repro progs          # the §4 programming examples P1..P8
 //! repro sweeps         # ablations: balanced bound, buffer size,
 //!                      #            allocation, network placement
+//! repro metrics        # stable-schema JSON metrics dump (tcf-metrics/v1)
 //! repro --paper ...    # use the paper-scale machine (P=16, Tp=64)
+//! repro ... --trace-out trace.json
+//!                      # additionally write a Chrome trace_event file
+//!                      # (open in Perfetto / chrome://tracing)
 //! ```
 
 use std::env;
+use std::fs;
 use std::process::ExitCode;
 
 use tcf_bench::{figures, progs, report::TextTable, table1, workloads};
@@ -23,6 +28,15 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
     args.retain(|a| a != "--paper");
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace-out needs a file argument");
+            return ExitCode::FAILURE;
+        }
+        trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let config = if paper {
         tcf_bench::paper_config()
     } else {
@@ -30,10 +44,19 @@ fn main() -> ExitCode {
     };
     let what = args.first().map(String::as_str).unwrap_or("all");
 
-    println!(
-        "# extended PRAM-NUMA reproduction -- machine: P={}, Tp={}, R={}\n",
-        config.groups, config.threads_per_group, config.regs_per_thread
-    );
+    // `metrics` is machine-readable: keep stdout pure JSON so the output
+    // pipes straight into jq and friends; the banner goes to stderr.
+    if what == "metrics" {
+        eprintln!(
+            "# extended PRAM-NUMA reproduction -- machine: P={}, Tp={}, R={}",
+            config.groups, config.threads_per_group, config.regs_per_thread
+        );
+    } else {
+        println!(
+            "# extended PRAM-NUMA reproduction -- machine: P={}, Tp={}, R={}\n",
+            config.groups, config.threads_per_group, config.regs_per_thread
+        );
+    }
 
     match what {
         "all" => {
@@ -48,6 +71,7 @@ fn main() -> ExitCode {
         "progs" => println!("{}", progs::report(&config)),
         "sweeps" => println!("{}", sweeps(&config)),
         "scaling" => println!("{}", scaling()),
+        "metrics" => println!("{}", tcf_bench::trace_export::metrics_demo(&config)),
         other => {
             if let Some(n) = other
                 .strip_prefix("fig")
@@ -62,11 +86,21 @@ fn main() -> ExitCode {
                 }
             } else {
                 eprintln!(
-                    "unknown experiment `{other}`; try all|table1|figs|fig<N>|progs|sweeps|scaling"
+                    "unknown experiment `{other}`; try \
+                     all|table1|figs|fig<N>|progs|sweeps|scaling|metrics"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = trace_out {
+        let json = tcf_bench::trace_export::chrome_trace_demo(&config);
+        if let Err(e) = fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote Chrome trace ({} bytes) to {path}", json.len());
     }
     ExitCode::SUCCESS
 }
@@ -74,11 +108,15 @@ fn main() -> ExitCode {
 /// Machine-size scaling: the same thick workload on P = 1..16 groups.
 fn scaling() -> String {
     use tcf_net::Topology;
-    let mut out = String::from(
-        "== Scaling: thick vector add (4096 elements) vs machine size ==\n\n",
-    );
+    let mut out =
+        String::from("== Scaling: thick vector add (4096 elements) vs machine size ==\n\n");
     let size = 4096;
-    let mut t = TextTable::new(vec!["P (groups)", "total threads", "cycles", "speedup vs P=1"]);
+    let mut t = TextTable::new(vec![
+        "P (groups)",
+        "total threads",
+        "cycles",
+        "speedup vs P=1",
+    ]);
     let rows = tcf_bench::parallel::par_map(vec![1usize, 2, 4, 8, 16], |p| {
         let mut c = tcf_bench::small_config();
         c.groups = p;
@@ -134,7 +172,11 @@ fn sweeps(config: &MachineConfig) -> String {
         (bound, s.steps, s.cycles)
     });
     for (bound, steps, cycles) in rows {
-        t.row(vec![bound.to_string(), steps.to_string(), cycles.to_string()]);
+        t.row(vec![
+            bound.to_string(),
+            steps.to_string(),
+            cycles.to_string(),
+        ]);
     }
     let mut m = workloads::tcf_machine(
         &sweep_cfg,
@@ -187,7 +229,13 @@ fn sweeps(config: &MachineConfig) -> String {
         p = config.groups,
     );
     let program = tcf_lang::compile(&stride_src).unwrap();
-    let mut t = TextTable::new(vec!["placement", "cycles", "note"]);
+    let mut t = TextTable::new(vec![
+        "placement",
+        "cycles",
+        "queue p50",
+        "queue p95",
+        "queue max",
+    ]);
     for (map, name) in [
         (ModuleMap::Interleaved, "interleaved (addr mod M)"),
         (ModuleMap::linear(7), "linear hash"),
@@ -199,15 +247,26 @@ fn sweeps(config: &MachineConfig) -> String {
         t.row(vec![
             name.to_string(),
             s.cycles.to_string(),
-            format!("stride-{} writes hammer one module when interleaved", config.groups),
+            s.network.p50_queue_cycles().to_string(),
+            s.network.p95_queue_cycles().to_string(),
+            s.network.max_queue_cycles.to_string(),
         ]);
     }
     out.push_str(&t.render());
+    out.push_str(&format!(
+        "(stride-{} writes hammer one module when interleaved; \
+         the queue-delay percentiles show the congestion tail)\n",
+        config.groups
+    ));
 
     // ILP-TLP co-execution (§3.2): functional units per cycle.
     out.push_str("\n-- ILP-TLP co-execution: functional units per cycle (§3.2) --\n");
     let size = 4 * config.total_threads();
-    let mut t = TextTable::new(vec!["ilp width", "cycles (thick add)", "cycles (NUMA loop)"]);
+    let mut t = TextTable::new(vec![
+        "ilp width",
+        "cycles (thick add)",
+        "cycles (NUMA loop)",
+    ]);
     for width in [1usize, 2, 4, 8] {
         let mut c2 = config.clone();
         c2.ilp_width = width;
@@ -251,7 +310,11 @@ fn sweeps(config: &MachineConfig) -> String {
         let mut m = tcf_core::TcfMachine::new(c2, Variant::SingleInstruction, spill_prog.clone());
         let s = m.run(5_000_000).unwrap();
         t.row(vec![
-            if cache == 0 { "unlimited".to_string() } else { cache.to_string() },
+            if cache == 0 {
+                "unlimited".to_string()
+            } else {
+                cache.to_string()
+            },
             s.machine.spill_refs.to_string(),
             s.cycles.to_string(),
         ]);

@@ -13,10 +13,16 @@
 //! mem <addr> <len>  dump shared memory words
 //! thick             machine-wide running thickness
 //! stats             step/cycle/fetch counters so far
+//! util              per-group issue-slot utilization so far
+//! hist              latency histograms (memory round-trip, net queue, …)
+//! events [n]        last n recorded flow-lifecycle events (default 10)
 //! list              disassembly with the current flow pcs marked
 //! help              this text
 //! quit              stop the session
 //! ```
+//!
+//! The debugger always records the cycle-level trace and the flow-event
+//! stream (`util`, `hist` and `events` read them live).
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -39,8 +45,11 @@ pub enum CmdOutcome {
 }
 
 impl Debugger {
-    /// Wraps a machine for debugging.
-    pub fn new(machine: TcfMachine) -> Debugger {
+    /// Wraps a machine for debugging, turning on trace and flow-event
+    /// recording so `util`, `hist` and `events` have data to show.
+    pub fn new(mut machine: TcfMachine) -> Debugger {
+        machine.set_tracing(true);
+        machine.set_observing(true);
         Debugger {
             machine,
             breakpoints: BTreeSet::new(),
@@ -126,12 +135,19 @@ impl Debugger {
                     s.utilization()
                 );
             }
+            "util" | "u" => self.show_util(out),
+            "hist" => self.show_hists(out),
+            "events" | "e" => {
+                let n = arg1.unwrap_or(10).max(0) as usize;
+                self.show_events(n, out);
+            }
             "list" | "l" => self.show_listing(out),
             "help" | "h" | "?" => {
                 let _ = writeln!(
                     out,
                     "commands: step [n] | run [n] | break <pc> | flows | regs <flow> | \
-                     mem <addr> <len> | thick | stats | list | help | quit"
+                     mem <addr> <len> | thick | stats | util | hist | events [n] | \
+                     list | help | quit"
                 );
             }
             "quit" | "q" => return CmdOutcome::Quit,
@@ -256,6 +272,58 @@ impl Debugger {
         }
     }
 
+    fn show_util(&self, out: &mut String) {
+        let trace = self.machine.trace();
+        for g in 0..self.machine.config().groups {
+            let _ = writeln!(
+                out,
+                "group {g}: utilization {:.2} (busy {}, overhead {})",
+                trace.utilization(g),
+                trace.busy_cycles(g),
+                trace.overhead_cycles(g),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "machine: utilization {:.2}",
+            self.machine.stats().utilization()
+        );
+    }
+
+    fn show_hists(&self, out: &mut String) {
+        let reg = self.machine.metrics();
+        for name in ["machine.mem_roundtrip", "buffer.reload", "net.queue"] {
+            if let Some(h) = reg.histogram(name) {
+                let _ = writeln!(out, "{name}:");
+                out.push_str(&h.render_ascii());
+                out.push('\n');
+            }
+        }
+    }
+
+    fn show_events(&self, n: usize, out: &mut String) {
+        let events = self.machine.obs().events();
+        if events.is_empty() {
+            let _ = writeln!(out, "no flow events recorded yet");
+            return;
+        }
+        let start = events.len().saturating_sub(n);
+        for ev in &events[start..] {
+            let flow = match ev.event.flow() {
+                Some(f) => format!("flow {f}"),
+                None => "machine".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "step {:>4} cycle {:>6}  {:<16} {}",
+                ev.step,
+                ev.cycle,
+                ev.event.name(),
+                flow
+            );
+        }
+    }
+
     fn show_listing(&self, out: &mut String) {
         let pcs: BTreeSet<usize> = self
             .machine
@@ -267,7 +335,11 @@ impl Debugger {
             .collect();
         for (i, instr) in self.machine.program().instrs.iter().enumerate() {
             let marker = if pcs.contains(&i) { "=>" } else { "  " };
-            let bp = if self.breakpoints.contains(&i) { "*" } else { " " };
+            let bp = if self.breakpoints.contains(&i) {
+                "*"
+            } else {
+                " "
+            };
             let _ = writeln!(out, "{marker}{bp}{i:>4}  {instr}");
         }
     }
@@ -316,7 +388,10 @@ mod tests {
         assert!(out.contains("pram x1"), "{out}"); // before setthick
         assert!(out.contains("pram x8"), "{out}"); // after step 3
         assert!(out.contains("per-thread"), "{out}");
-        assert!(out.contains("mem[100..108] = [1, 2, 3, 4, 5, 6, 7, 8]"), "{out}");
+        assert!(
+            out.contains("mem[100..108] = [1, 2, 3, 4, 5, 6, 7, 8]"),
+            "{out}"
+        );
         assert!(out.contains("finished"), "{out}");
     }
 
@@ -347,6 +422,18 @@ mod tests {
         let out = d.run_script("run\n");
         assert!(out.contains("fault"), "{out}");
         assert!(out.contains("diverged"), "{out}");
+    }
+
+    #[test]
+    fn util_hist_and_events_show_live_observability() {
+        let mut d = dbg(PROG);
+        let out = d.run_script("run\nutil\nhist\nevents 100\n");
+        assert!(out.contains("group 0: utilization"), "{out}");
+        assert!(out.contains("machine: utilization"), "{out}");
+        assert!(out.contains("machine.mem_roundtrip:"), "{out}");
+        assert!(out.contains("count"), "{out}");
+        assert!(out.contains("thickness_change"), "{out}");
+        assert!(out.contains("step_end"), "{out}");
     }
 
     #[test]

@@ -42,17 +42,15 @@ pub fn fig1(config: &MachineConfig) -> String {
 
 /// Figure 2: the PRAM-NUMA machine organisation.
 pub fn fig2(config: &MachineConfig) -> String {
-    let mut out =
-        String::from("== Figure 2: PRAM-NUMA machine (baseline, tcf-pram) ==\n\n");
+    let mut out = String::from("== Figure 2: PRAM-NUMA machine (baseline, tcf-pram) ==\n\n");
     out.push_str(&config.inventory(false));
     out
 }
 
 /// Figure 5: the extended PRAM-NUMA (TCF) machine organisation.
 pub fn fig5(config: &MachineConfig) -> String {
-    let mut out = String::from(
-        "== Figure 5: extended PRAM-NUMA machine (TCF processors, tcf-core) ==\n\n",
-    );
+    let mut out =
+        String::from("== Figure 5: extended PRAM-NUMA machine (TCF processors, tcf-core) ==\n\n");
     out.push_str(&config.inventory(true));
     out
 }
@@ -63,7 +61,11 @@ fn thickness_profile(mut m: TcfMachine, max_steps: usize) -> String {
     out.push_str("step  thickness profile (sum over running flows)\n");
     for step in 0..max_steps {
         let t = m.running_thickness();
-        out.push_str(&format!("{step:>4}  {:<3} |{}|\n", t, "#".repeat(t.min(72))));
+        out.push_str(&format!(
+            "{step:>4}  {:<3} |{}|\n",
+            t,
+            "#".repeat(t.min(72))
+        ));
         match m.step() {
             Ok(true) => {}
             Ok(false) => break,

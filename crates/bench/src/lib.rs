@@ -28,6 +28,7 @@ pub mod parallel;
 pub mod progs;
 pub mod report;
 pub mod table1;
+pub mod trace_export;
 pub mod workloads;
 
 use tcf_machine::MachineConfig;

@@ -1,11 +1,9 @@
 //! Host-side parallel sweep driver.
 //!
 //! Parameter sweeps run many *independent* simulations; this maps them
-//! across host threads with `crossbeam`'s scoped threads, preserving
-//! input order in the output. Simulations themselves stay single-threaded
-//! and deterministic — parallelism is purely across sweep points.
-
-use parking_lot::Mutex;
+//! across host threads with `std::thread::scope`, preserving input order
+//! in the output. Simulations themselves stay single-threaded and
+//! deterministic — parallelism is purely across sweep points.
 
 /// Applies `f` to every item on its own scoped thread, returning results
 /// in input order. Intended for sweeps of a handful of expensive points;
@@ -16,24 +14,17 @@ where
     T: Send,
     F: Fn(I) -> T + Sync,
 {
-    let n = items.len();
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|s| {
-        for (i, item) in items.into_iter().enumerate() {
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(items.len());
+        for item in items {
             let f = &f;
-            let slots = &slots;
-            s.spawn(move |_| {
-                let r = f(item);
-                slots.lock()[i] = Some(r);
-            });
+            handles.push(s.spawn(move || f(item)));
         }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     })
-    .expect("sweep worker panicked");
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
 }
 
 #[cfg(test)]

@@ -42,7 +42,14 @@ impl Row {
 }
 
 fn header() -> Vec<&'static str> {
-    vec!["version", "steps", "cycles", "issued ops", "util", "speedup vs baseline"]
+    vec![
+        "version",
+        "steps",
+        "cycles",
+        "issued ops",
+        "util",
+        "speedup vs baseline",
+    ]
 }
 
 fn run_tcf(
@@ -359,11 +366,23 @@ pub fn report(config: &MachineConfig) -> String {
     let sections: [(&str, TextTable); 8] = [
         ("P1: array add, size > threads (loop vs #size)", p1(config)),
         ("P2: array add, size < threads (guard vs #size)", p2(config)),
-        ("P3: sequential section (single thread vs NUMA bunch)", p3(config)),
-        ("P4: one-way conditional (guard vs scoped thickness)", p4(config)),
-        ("P5: two-way conditional (parallel{} vs masked SIMD)", p5(config)),
+        (
+            "P3: sequential section (single thread vs NUMA bunch)",
+            p3(config),
+        ),
+        (
+            "P4: one-way conditional (guard vs scoped thickness)",
+            p4(config),
+        ),
+        (
+            "P5: two-way conditional (parallel{} vs masked SIMD)",
+            p5(config),
+        ),
         ("P6: multiprefix (loop vs thick prefix)", p6(config)),
-        ("P7: dependent loop scan (loop vs fork vs thickness)", p7(config)),
+        (
+            "P7: dependent loop scan (loop vs fork vs thickness)",
+            p7(config),
+        ),
         ("P8: multitasking and flow allocation", p8(config)),
     ];
     for (title, table) in sections {

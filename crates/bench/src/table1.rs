@@ -37,20 +37,30 @@ pub fn analytic(config: &MachineConfig) -> String {
         .iter()
         .map(|v| v.properties(config))
         .collect();
-    let row = |t: &mut TextTable, name: &str, f: &dyn Fn(&tcf_core::variant::VariantProperties) -> String| {
+    let row = |t: &mut TextTable,
+               name: &str,
+               f: &dyn Fn(&tcf_core::variant::VariantProperties) -> String| {
         let mut cells = vec![name.to_string()];
         cells.extend(props.iter().map(f));
         t.row(cells);
     };
     row(&mut t, "Number of TCFs", &|p| p.num_tcfs.clone());
     row(&mut t, "Number of threads", &|p| p.num_threads.clone());
-    row(&mut t, "Registers per thread", &|p| p.regs_per_thread.clone());
+    row(&mut t, "Registers per thread", &|p| {
+        p.regs_per_thread.clone()
+    });
     row(&mut t, "Fetches per TCF", &|p| p.fetches_per_tcf.clone());
-    row(&mut t, "Cost of task switch", &|p| p.task_switch.to_string());
-    row(&mut t, "Cost of flow branch", &|p| p.flow_branch.to_string());
+    row(&mut t, "Cost of task switch", &|p| {
+        p.task_switch.to_string()
+    });
+    row(&mut t, "Cost of flow branch", &|p| {
+        p.flow_branch.to_string()
+    });
     row(&mut t, "PRAM operation", &|p| yn(p.pram_op));
     row(&mut t, "NUMA operation", &|p| yn(p.numa_op));
-    row(&mut t, "Sequential operation", &|p| p.sequential.to_string());
+    row(&mut t, "Sequential operation", &|p| {
+        p.sequential.to_string()
+    });
     row(&mut t, "MIMD", &|p| yn(p.mimd));
     t.render()
 }
@@ -97,11 +107,7 @@ pub fn measured_fetches(config: &MachineConfig) -> TextTable {
     record(&format!("Balanced (b = {bound})"), s.machine.fetches, size);
 
     // Multi-instruction: every spawned thread fetches its own stream.
-    let mut m = workloads::tcf_machine(
-        config,
-        Variant::MultiInstruction,
-        fork_vector_add(size),
-    );
+    let mut m = workloads::tcf_machine(config, Variant::MultiInstruction, fork_vector_add(size));
     workloads::init_arrays_tcf(&mut m, size);
     let s = m.run(1_000_000).unwrap();
     workloads::check_vector_add(|a| m.peek(a).unwrap(), size);
@@ -199,7 +205,10 @@ pub fn measured_task_switch(config: &MachineConfig) -> TextTable {
     t.row(vec![
         "Extended (SI)".to_string(),
         format!("{ntasks} tasks resident"),
-        format!("{:.3} (cold loads only)", overhead as f64 / switches.max(1) as f64),
+        format!(
+            "{:.3} (cold loads only)",
+            overhead as f64 / switches.max(1) as f64
+        ),
     ]);
     drop(s);
 
@@ -229,7 +238,10 @@ pub fn measured_task_switch(config: &MachineConfig) -> TextTable {
     let s = m.run(1_000_000).unwrap();
     t.row(vec![
         "ESM (Single-op/Config/Fixed)".to_string(),
-        format!("save+restore {} regs x {} threads", regs, config.threads_per_group),
+        format!(
+            "save+restore {} regs x {} threads",
+            regs, config.threads_per_group
+        ),
         format!("{}", s.cycles),
     ]);
 
@@ -255,7 +267,10 @@ pub fn measured_flow_branch(config: &MachineConfig) -> TextTable {
     t.row(vec![
         "Extended (SI)".to_string(),
         "split 1 child".to_string(),
-        format!("{} (R = {})", s.machine.overhead_cycles, config.regs_per_thread),
+        format!(
+            "{} (R = {})",
+            s.machine.overhead_cycles, config.regs_per_thread
+        ),
     ]);
 
     // Thread machine: a conditional branch costs one instruction slot.

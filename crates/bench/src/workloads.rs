@@ -369,7 +369,9 @@ mod tests {
                 m.poke(A_BASE + j, 1).unwrap();
             }
             m.run(100_000).unwrap();
-            (0..size).map(|j| m.peek(A_BASE + j).unwrap()).collect::<Vec<_>>()
+            (0..size)
+                .map(|j| m.peek(A_BASE + j).unwrap())
+                .collect::<Vec<_>>()
         };
         let tcf = run_tcf(Variant::SingleInstruction, tcf_scan(size));
         let fork = run_tcf(Variant::MultiInstruction, fork_scan(size));

@@ -1,0 +1,103 @@
+//! Satellite property: replaying a run's recorded observability streams
+//! (the cycle-level trace plus the flow-event stream) through
+//! [`MetricsRegistry::replay`] reproduces the live `MachineStats`
+//! counters *exactly*, on every execution variant. This pins down that
+//! the event stream is complete — nothing the machine counts escapes the
+//! recorder, and the recorder invents nothing.
+
+use proptest::prelude::*;
+
+use tcf_bench::workloads;
+use tcf_core::{TcfMachine, Variant};
+use tcf_isa::program::Program;
+use tcf_machine::MachineConfig;
+use tcf_obs::MetricsRegistry;
+
+/// One (variant, program) pairing that the variant actually supports.
+fn scenario(ix: usize, size: usize) -> (Variant, Program, &'static str) {
+    match ix {
+        0 => (
+            Variant::SingleInstruction,
+            workloads::tcf_two_way(size),
+            "si/two-way",
+        ),
+        1 => (
+            Variant::Balanced { bound: 8 },
+            workloads::tcf_vector_add(size),
+            "balanced/vector-add",
+        ),
+        2 => (
+            Variant::MultiInstruction,
+            workloads::fork_scan(16),
+            "mi/fork-scan",
+        ),
+        3 => (
+            Variant::SingleOperation,
+            workloads::loop_vector_add(size),
+            "so/loop-vector-add",
+        ),
+        4 => (
+            Variant::ConfigurableSingleOperation,
+            workloads::tcf_numa_seq(20, 4),
+            "cso/numa-seq",
+        ),
+        _ => (
+            Variant::FixedThickness { width: 16 },
+            workloads::masked_two_way(size),
+            "ft/masked-two-way",
+        ),
+    }
+}
+
+fn check_replay_matches(ix: usize, size: usize) {
+    let (variant, program, name) = scenario(ix, size);
+    let mut m = TcfMachine::new(MachineConfig::small(), variant, program);
+    m.set_tracing(true);
+    m.set_observing(true);
+    if ix != 4 {
+        workloads::init_arrays_tcf(&mut m, size.max(16));
+    }
+    let summary = m.run(5_000_000).expect("scenario runs to completion");
+    let s = summary.machine;
+
+    let r = MetricsRegistry::replay(&m.trace().events(), &m.obs().events());
+    let pairs = [
+        ("machine.steps", s.steps),
+        ("machine.cycles", s.cycles),
+        ("machine.compute_ops", s.compute_ops),
+        ("machine.shared_refs", s.shared_refs),
+        ("machine.local_refs", s.local_refs),
+        ("machine.fetches", s.fetches),
+        ("machine.bubbles", s.bubbles),
+        ("machine.overhead_cycles", s.overhead_cycles),
+        ("machine.spill_refs", s.spill_refs),
+    ];
+    for (metric, live) in pairs {
+        assert_eq!(
+            r.counter(metric),
+            Some(live),
+            "{name}: replayed {metric} disagrees with live MachineStats"
+        );
+    }
+    // Snapshots close exactly one step each, in order, ending at the
+    // final counters.
+    assert_eq!(r.snapshots().len() as u64, s.steps, "{name}: snapshots");
+    let last = r.snapshots().last().expect("at least one step");
+    assert_eq!(last.cycle, s.cycles, "{name}: final snapshot cycle");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn replay_reproduces_machine_stats(ix in 0usize..6, quarters in 1usize..5) {
+        check_replay_matches(ix, 16 * quarters);
+    }
+}
+
+#[test]
+fn replay_matches_on_every_variant_smoke() {
+    for ix in 0..6 {
+        check_replay_matches(ix, 32);
+    }
+}

@@ -13,6 +13,7 @@
 use tcf_isa::instr::{Instr, MemSpace, Operand};
 use tcf_isa::word::to_addr;
 use tcf_machine::IssueUnit;
+use tcf_obs::FlowEvent;
 
 use crate::error::{TcfError, TcfFault};
 use crate::flow::{Flow, FlowStatus};
@@ -88,6 +89,8 @@ impl TcfMachine {
             None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
         };
         self.stats.fetches += 1;
+        self.obs
+            .emit(self.steps, self.clock, FlowEvent::Fetch { flow: flow.id });
         let mut next_pc = pc + 1;
         let mut unit = IssueUnit::compute(flow.id, 0);
 
@@ -159,8 +162,7 @@ impl TcfMachine {
                 if !masked_out {
                     match space {
                         MemSpace::Shared => {
-                            unit =
-                                IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                            unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
                             self.shared
                                 .poke(addr, v)
                                 .map_err(|e| self.flow_err(flow.id, e.into()))?;
@@ -174,9 +176,18 @@ impl TcfMachine {
                     }
                 }
             }
-            Instr::MultiOp { kind, base, off, rs }
+            Instr::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            }
             | Instr::MultiPrefix {
-                kind, base, off, rs, ..
+                kind,
+                base,
+                off,
+                rs,
+                ..
             } => {
                 // XMT `ps`: atomic fetch-and-op.
                 let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
@@ -237,14 +248,36 @@ impl TcfMachine {
                         child.tid_offset = i;
                         // Spawned threads are distributed round-robin over
                         // the groups (XMT dynamic scheduling).
-                        child.fragments = vec![crate::flow::Fragment::new(
-                            i % self.config.groups,
-                            0,
-                            1,
-                        )];
+                        child.fragments =
+                            vec![crate::flow::Fragment::new(i % self.config.groups, 0, 1)];
                         self.flows.insert(cid, child);
+                        self.obs.emit(
+                            self.steps,
+                            self.clock,
+                            FlowEvent::FlowSpawned {
+                                flow: cid,
+                                parent: Some(flow.id),
+                                thickness: 1,
+                            },
+                        );
                     }
                     flow.status = FlowStatus::WaitingSpawn { pending: n };
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::Split {
+                            flow: flow.id,
+                            arms: n,
+                        },
+                    );
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::WaitBegin {
+                            flow: flow.id,
+                            pending: n,
+                        },
+                    );
                 }
                 unit = IssueUnit::overhead(flow.id);
             }
@@ -253,10 +286,30 @@ impl TcfMachine {
                     .parent
                     .ok_or_else(|| self.flow_err(flow.id, TcfFault::StrayJoin))?;
                 flow.status = FlowStatus::Halted;
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::Join {
+                        flow: flow.id,
+                        parent: Some(parent),
+                    },
+                );
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::FlowHalted { flow: flow.id },
+                );
                 self.notify_join(parent)?;
             }
             Instr::Sync | Instr::Nop => {}
-            Instr::Halt => flow.status = FlowStatus::Halted,
+            Instr::Halt => {
+                flow.status = FlowStatus::Halted;
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::FlowHalted { flow: flow.id },
+                );
+            }
             ref other @ (Instr::SetThick { .. }
             | Instr::Numa { .. }
             | Instr::EndNuma

@@ -13,6 +13,7 @@
 use tcf_isa::instr::{Instr, MemSpace, Operand};
 use tcf_isa::word::to_addr;
 use tcf_machine::IssueUnit;
+use tcf_obs::{FlowEvent, Mode};
 
 use crate::error::{TcfError, TcfFault};
 use crate::flow::{ExecMode, Flow, FlowStatus};
@@ -58,6 +59,8 @@ impl TcfMachine {
                 None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
             };
             self.stats.fetches += 1;
+            self.obs
+                .emit(self.steps, self.clock, FlowEvent::Fetch { flow: flow.id });
             let mut next_pc = pc + 1;
             let mut unit = IssueUnit::compute(flow.id, 0);
 
@@ -95,8 +98,7 @@ impl TcfMachine {
                     let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
                     let v = match space {
                         MemSpace::Shared => {
-                            unit =
-                                IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
+                            unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
                             self.shared
                                 .peek(addr)
                                 .map_err(|e| self.flow_err(flow.id, e.into()))?
@@ -130,11 +132,8 @@ impl TcfMachine {
                     if !masked_out {
                         match space {
                             MemSpace::Shared => {
-                                unit = IssueUnit::shared_mem(
-                                    flow.id,
-                                    0,
-                                    self.shared.module_of(addr),
-                                );
+                                unit =
+                                    IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
                                 self.shared
                                     .poke(addr, v)
                                     .map_err(|e| self.flow_err(flow.id, e.into()))?;
@@ -148,9 +147,18 @@ impl TcfMachine {
                         }
                     }
                 }
-                Instr::MultiOp { kind, base, off, rs }
+                Instr::MultiOp {
+                    kind,
+                    base,
+                    off,
+                    rs,
+                }
                 | Instr::MultiPrefix {
-                    kind, base, off, rs, ..
+                    kind,
+                    base,
+                    off,
+                    rs,
+                    ..
                 } => {
                     // Sequential stream: read-modify-write; a multiprefix
                     // returns the old value.
@@ -190,12 +198,25 @@ impl TcfMachine {
                 Instr::EndNuma => {
                     flow.pc = pc + 1;
                     self.exit_numa(flow);
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::ModeSwitch {
+                            flow: flow.id,
+                            mode: Mode::Pram,
+                        },
+                    );
                     units[home].push(IssueUnit::overhead(flow.id));
                     return Ok(());
                 }
                 Instr::Halt => {
                     flow.status = FlowStatus::Halted;
                     self.halt_absorbed(flow.id);
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::FlowHalted { flow: flow.id },
+                    );
                     units[home].push(unit);
                     return Ok(());
                 }
@@ -223,9 +244,7 @@ impl TcfMachine {
     fn exit_numa(&mut self, flow: &mut Flow) {
         flow.mode = ExecMode::Pram;
         flow.thickness = 1;
-        flow.fragments = self
-            .allocation
-            .fragments(flow.id, 1, self.config.groups);
+        flow.fragments = self.allocation.fragments(flow.id, 1, self.config.groups);
         if matches!(self.variant, Variant::ConfigurableSingleOperation) {
             let ids: Vec<u32> = self
                 .flows

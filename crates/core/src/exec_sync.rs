@@ -15,6 +15,7 @@ use tcf_isa::reg::{Reg, SpecialReg};
 use tcf_isa::word::{to_addr, Word};
 use tcf_machine::IssueUnit;
 use tcf_mem::{MemOp, MemRef, RefOrigin};
+use tcf_obs::{FlowEvent, Mode};
 
 use crate::error::{TcfError, TcfFault};
 use crate::flow::{ExecMode, Flow, FlowStatus, Fragment};
@@ -193,6 +194,8 @@ impl TcfMachine {
             None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
         };
         self.stats.fetches += 1;
+        self.obs
+            .emit(self.steps, self.clock, FlowEvent::Fetch { flow: flow.id });
 
         if self.is_thick(flow, &instr) {
             // Rank-contiguous slicing: the flow has ONE next-operation
@@ -212,7 +215,15 @@ impl TcfMachine {
                 if n == 0 {
                     continue;
                 }
-                self.exec_thick_ops(flow, &instr, frag.group, cursor..cursor + n, units, refs, wbs)?;
+                self.exec_thick_ops(
+                    flow,
+                    &instr,
+                    frag.group,
+                    cursor..cursor + n,
+                    units,
+                    refs,
+                    wbs,
+                )?;
                 // §3.3 operand storage: if this fragment's per-thread
                 // register footprint exceeds the cached register file,
                 // the operands live in the local memory — every thick
@@ -222,6 +233,14 @@ impl TcfMachine {
                     for e in cursor..cursor + n {
                         units[frag.group].push(IssueUnit::local_mem(flow.id, e));
                         self.stats.spill_refs += 1;
+                        self.obs.emit(
+                            self.steps,
+                            self.clock,
+                            FlowEvent::Spill {
+                                flow: flow.id,
+                                group: frag.group,
+                            },
+                        );
                     }
                 }
                 cursor += n;
@@ -268,7 +287,12 @@ impl TcfMachine {
                     flow.regs.write(rd, e, v, t);
                     units[group].push(IssueUnit::compute(flow.id, e));
                 }
-                Instr::Sel { rd, cond, rt, ref rf } => {
+                Instr::Sel {
+                    rd,
+                    cond,
+                    rt,
+                    ref rf,
+                } => {
                     let v = if flow.regs.read(cond, e) != 0 {
                         flow.regs.read(rt, e)
                     } else {
@@ -369,7 +393,12 @@ impl TcfMachine {
                         units[group].push(IssueUnit::compute(flow.id, e));
                     }
                 }
-                Instr::MultiOp { kind, base, off, rs } => {
+                Instr::MultiOp {
+                    kind,
+                    base,
+                    off,
+                    rs,
+                } => {
                     let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
                     let v = flow.regs.read(rs, e);
                     units[group].push(IssueUnit::shared_mem(
@@ -456,7 +485,12 @@ impl TcfMachine {
                 let v = self.special(flow, 0, sr);
                 flow.regs.write_uniform(rd, v);
             }
-            Instr::Sel { rd, cond, rt, ref rf } => {
+            Instr::Sel {
+                rd,
+                cond,
+                rt,
+                ref rf,
+            } => {
                 let v = if flow.regs.read(cond, 0) != 0 {
                     flow.regs.read(rt, 0)
                 } else {
@@ -526,7 +560,12 @@ impl TcfMachine {
                     }
                 }
             }
-            Instr::MultiOp { kind, base, off, rs } => {
+            Instr::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            } => {
                 // Thickness 1 (classification guarantees it): one
                 // contribution.
                 let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
@@ -583,6 +622,15 @@ impl TcfMachine {
                 if v < 0 || v as usize > MAX_THICKNESS {
                     return Err(self.flow_err(flow.id, TcfFault::BadThickness { requested: v }));
                 }
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::ThicknessChange {
+                        flow: flow.id,
+                        from: flow.thickness,
+                        to: v as usize,
+                    },
+                );
                 flow.thickness = v as usize;
                 flow.fragments =
                     self.allocation
@@ -606,6 +654,14 @@ impl TcfMachine {
                 flow.regs.collapse_to_flowwise();
                 flow.fragments = vec![Fragment::new(home, 0, 1)];
                 unit = IssueUnit::overhead(flow.id);
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::ModeSwitch {
+                        flow: flow.id,
+                        mode: Mode::Numa,
+                    },
+                );
             }
             Instr::EndNuma => return Err(self.flow_err(flow.id, TcfFault::NotInNuma)),
             Instr::Split { ref arms } => {
@@ -616,9 +672,7 @@ impl TcfMachine {
                 for arm in arms {
                     let t = self.uniform_value(flow, &arm.thickness, "split arm thickness")?;
                     if t < 1 || t as usize > MAX_THICKNESS {
-                        return Err(
-                            self.flow_err(flow.id, TcfFault::BadThickness { requested: t })
-                        );
+                        return Err(self.flow_err(flow.id, TcfFault::BadThickness { requested: t }));
                     }
                     let target = self.abs(flow.id, &arm.target)?;
                     let child_id = self.alloc_id();
@@ -630,6 +684,15 @@ impl TcfMachine {
                         self.allocation
                             .fragments(child_id, t as usize, self.config.groups);
                     self.flows.insert(child_id, child);
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::FlowSpawned {
+                            flow: child_id,
+                            parent: Some(flow.id),
+                            thickness: t as usize,
+                        },
+                    );
                     pending += 1;
                     // Flow creation copies the R common registers: the
                     // O(R) flow-branch cost of Table 1.
@@ -639,6 +702,22 @@ impl TcfMachine {
                 }
                 if pending > 0 {
                     flow.status = FlowStatus::WaitingJoin { pending };
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::Split {
+                            flow: flow.id,
+                            arms: pending,
+                        },
+                    );
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::WaitBegin {
+                            flow: flow.id,
+                            pending,
+                        },
+                    );
                 }
             }
             Instr::Join => {
@@ -646,11 +725,31 @@ impl TcfMachine {
                     .parent
                     .ok_or_else(|| self.flow_err(flow.id, TcfFault::StrayJoin))?;
                 flow.status = FlowStatus::Halted;
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::Join {
+                        flow: flow.id,
+                        parent: Some(parent),
+                    },
+                );
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::FlowHalted { flow: flow.id },
+                );
                 self.notify_join(parent)?;
             }
             Instr::Spawn { .. } | Instr::SJoin => return Err(unsupported(self, instr)),
             Instr::Sync | Instr::Nop => {}
-            Instr::Halt => flow.status = FlowStatus::Halted,
+            Instr::Halt => {
+                flow.status = FlowStatus::Halted;
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::FlowHalted { flow: flow.id },
+                );
+            }
         }
 
         flow.pc = next_pc;
@@ -681,24 +780,35 @@ impl TcfMachine {
             .flows
             .get_mut(&parent)
             .ok_or_else(|| missing(format!("join to missing parent {parent}")))?;
+        let mut woke = false;
         match p.status {
             FlowStatus::WaitingJoin { pending } if pending > 1 => {
                 p.status = FlowStatus::WaitingJoin {
                     pending: pending - 1,
                 };
             }
-            FlowStatus::WaitingJoin { .. } => p.status = FlowStatus::Running,
+            FlowStatus::WaitingJoin { .. } => {
+                p.status = FlowStatus::Running;
+                woke = true;
+            }
             FlowStatus::WaitingSpawn { pending } if pending > 1 => {
                 p.status = FlowStatus::WaitingSpawn {
                     pending: pending - 1,
                 };
             }
-            FlowStatus::WaitingSpawn { .. } => p.status = FlowStatus::Running,
+            FlowStatus::WaitingSpawn { .. } => {
+                p.status = FlowStatus::Running;
+                woke = true;
+            }
             _ => {
                 return Err(self.host_err(TcfFault::Internal {
                     what: format!("join to non-waiting parent {parent}"),
                 }))
             }
+        }
+        if woke {
+            self.obs
+                .emit(self.steps, self.clock, FlowEvent::WaitEnd { flow: parent });
         }
         Ok(())
     }

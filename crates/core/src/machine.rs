@@ -35,7 +35,8 @@ use tcf_machine::{
     FlowDesc, GroupPipeline, IssueUnit, MachineConfig, MachineStats, TcfBuffer, Trace,
 };
 use tcf_mem::{LocalMemory, SharedMemory, StepStats};
-use tcf_net::Network;
+use tcf_net::{NetStats, Network};
+use tcf_obs::{FlowEvent, MetricsRegistry, ObsSink};
 use tcf_pram::RunSummary;
 
 use crate::error::{TcfError, TcfFault};
@@ -65,6 +66,7 @@ pub struct TcfMachine {
     pub(crate) flows: BTreeMap<u32, Flow>,
     pub(crate) next_flow_id: u32,
     pub(crate) trace: Trace,
+    pub(crate) obs: ObsSink,
     pub(crate) stats: MachineStats,
     pub(crate) mem_stats: StepStats,
     pub(crate) clock: u64,
@@ -107,7 +109,14 @@ impl TcfMachine {
             .load_data(&program.data)
             .expect("program data outside configured shared memory");
         let pipes = (0..config.groups)
-            .map(|g| GroupPipeline::with_ilp(g, config.module_latency, config.local_latency, config.ilp_width))
+            .map(|g| {
+                GroupPipeline::with_ilp(
+                    g,
+                    config.module_latency,
+                    config.local_latency,
+                    config.ilp_width,
+                )
+            })
             .collect();
         let locals = (0..config.groups)
             .map(|g| LocalMemory::new(g, config.local_size))
@@ -128,6 +137,7 @@ impl TcfMachine {
             flows: BTreeMap::new(),
             next_flow_id: 0,
             trace: Trace::disabled(),
+            obs: ObsSink::disabled(),
             stats: MachineStats::default(),
             mem_stats: StepStats::default(),
             clock: 0,
@@ -155,8 +165,7 @@ impl TcfMachine {
                     let mut f = Flow::new(id, 1, entry, nregs);
                     f.rank_base = rank;
                     f.tid_offset = rank;
-                    f.fragments =
-                        vec![crate::flow::Fragment::new(rank / tp, 0, 1)];
+                    f.fragments = vec![crate::flow::Fragment::new(rank / tp, 0, 1)];
                     self.flows.insert(id, f);
                 }
             }
@@ -179,7 +188,58 @@ impl TcfMachine {
 
     /// Enables or disables execution tracing (disabled by default).
     pub fn set_tracing(&mut self, on: bool) {
-        self.trace = if on { Trace::recording() } else { Trace::disabled() };
+        self.trace = if on {
+            Trace::recording()
+        } else {
+            Trace::disabled()
+        };
+    }
+
+    /// Enables execution tracing into a bounded ring buffer that keeps
+    /// only the `capacity` most recent events (constant memory for long
+    /// runs; see `Trace::dropped`).
+    pub fn set_trace_ring(&mut self, capacity: usize) {
+        self.trace = Trace::ring(capacity);
+    }
+
+    /// Enables or disables flow-lifecycle observation (disabled by
+    /// default). Enabling emits a retroactive `FlowSpawned` for every
+    /// live flow, since initial flows are created before observation can
+    /// be switched on.
+    pub fn set_observing(&mut self, on: bool) {
+        if on {
+            self.obs = ObsSink::recording();
+            self.emit_existing_flows();
+        } else {
+            self.obs = ObsSink::disabled();
+        }
+    }
+
+    /// Like [`set_observing`](TcfMachine::set_observing) but keeping only
+    /// the `capacity` most recent events.
+    pub fn set_observing_ring(&mut self, capacity: usize) {
+        self.obs = ObsSink::ring(capacity);
+        self.emit_existing_flows();
+    }
+
+    fn emit_existing_flows(&mut self) {
+        let live: Vec<(u32, Option<u32>, usize)> = self
+            .flows
+            .values()
+            .filter(|f| f.status != FlowStatus::Halted)
+            .map(|f| (f.id, f.parent, f.thickness))
+            .collect();
+        for (id, parent, thickness) in live {
+            self.obs.emit(
+                self.steps,
+                self.clock,
+                FlowEvent::FlowSpawned {
+                    flow: id,
+                    parent,
+                    thickness,
+                },
+            );
+        }
     }
 
     /// The machine configuration.
@@ -263,9 +323,46 @@ impl TcfMachine {
         &self.trace
     }
 
+    /// The recorded flow-lifecycle event stream.
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
+    }
+
     /// Pipeline statistics so far.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Network statistics so far.
+    pub fn net_stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+
+    /// Aggregated shared-memory step statistics so far.
+    pub fn mem_stats(&self) -> &StepStats {
+        &self.mem_stats
+    }
+
+    /// All of the machine's measurements as one named-series registry
+    /// (machine, memory, network and TCF-buffer metrics plus the latency
+    /// histograms). See `docs/OBSERVABILITY.md` for the naming scheme.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = tcf_pram::summary_metrics(&self.stats, &self.mem_stats, self.net.stats());
+        let mut switches = 0u64;
+        let mut misses = 0u64;
+        let mut overhead = 0u64;
+        let mut reload = tcf_obs::LatencyHistogram::new();
+        for b in &self.buffers {
+            switches += b.switches;
+            misses += b.misses;
+            overhead += b.overhead_cycles;
+            reload.merge(&b.reload);
+        }
+        reg.set_counter("buffer.switches", switches);
+        reg.set_counter("buffer.misses", misses);
+        reg.set_counter("buffer.overhead_cycles", overhead);
+        reg.set_histogram("buffer.reload", reload);
+        reg
     }
 
     /// Per-group TCF buffers (multitasking statistics).
@@ -307,10 +404,17 @@ impl TcfMachine {
         }
         let id = self.alloc_id();
         let mut f = Flow::new(id, thickness, entry, self.config.regs_per_thread);
-        f.fragments = self
-            .allocation
-            .fragments(id, thickness, self.config.groups);
+        f.fragments = self.allocation.fragments(id, thickness, self.config.groups);
         self.flows.insert(id, f);
+        self.obs.emit(
+            self.steps,
+            self.clock,
+            FlowEvent::FlowSpawned {
+                flow: id,
+                parent: None,
+                thickness,
+            },
+        );
         Ok(id)
     }
 
@@ -376,6 +480,17 @@ impl TcfMachine {
             _ => self.step_sync()?,
         }
         self.steps += 1;
+        // The machine owns the step counter (a step may span several
+        // pipeline calls); mirror it into the stats snapshot.
+        self.stats.steps = self.steps;
+        self.obs.emit(
+            self.steps,
+            self.clock,
+            FlowEvent::StepEnd {
+                step: self.steps,
+                cycle: self.clock,
+            },
+        );
         Ok(true)
     }
 
@@ -429,8 +544,6 @@ impl TcfMachine {
                     &mut self.stats,
                 );
                 gend = out2.end_cycle;
-                // Both pipeline calls model one machine step.
-                self.stats.steps -= 1;
             }
             end = end.max(gend);
         }
@@ -441,11 +554,7 @@ impl TcfMachine {
     /// Activates `flow`'s descriptor in the TCF buffer of every fragment
     /// group, pushing reload-overhead units where it missed. Free when
     /// resident — the extended model's zero-cost task switch.
-    pub(crate) fn activate_in_buffers(
-        &mut self,
-        flow_id: u32,
-        units: &mut [Vec<IssueUnit>],
-    ) {
+    pub(crate) fn activate_in_buffers(&mut self, flow_id: u32, units: &mut [Vec<IssueUnit>]) {
         let flow = &self.flows[&flow_id];
         let desc = match flow.mode {
             ExecMode::Pram => FlowDesc::pram(flow.id, flow.thickness, flow.pc),
@@ -454,6 +563,17 @@ impl TcfMachine {
         let groups: Vec<usize> = flow.fragments.iter().map(|f| f.group).collect();
         for g in groups {
             let cost = self.buffers[g].activate(desc);
+            if cost > 0 {
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::BufferReload {
+                        flow: flow_id,
+                        group: g,
+                        cost,
+                    },
+                );
+            }
             for _ in 0..cost {
                 units[g].push(IssueUnit::overhead(flow_id));
             }

@@ -84,7 +84,10 @@ mod tests {
     fn horizontal_handles_remainders() {
         let f = Allocation::Horizontal.fragments(0, 10, 4);
         // ceil(10/4) = 3 → 3,3,3,1
-        assert_eq!(f.iter().map(|x| x.len).collect::<Vec<_>>(), vec![3, 3, 3, 1]);
+        assert_eq!(
+            f.iter().map(|x| x.len).collect::<Vec<_>>(),
+            vec![3, 3, 3, 1]
+        );
     }
 
     #[test]

@@ -36,12 +36,30 @@ const MEM_WINDOW: usize = 4096;
 enum Segment {
     SetThick(usize),
     UniformAlu(AluOp, u8, u8, Word),
-    ThickInit(u8),            // rX = tid * 3 + 1  (per-thread data)
-    ThickStore { base: usize, src: u8 },
-    ThickLoad { base: usize, dst: u8 },
-    Multi { kind: MultiKind, addr: usize, src: u8 },
-    Prefix { kind: MultiKind, addr: usize, dst: u8, src: u8 },
-    UniformStore { addr: usize, src: u8 },
+    ThickInit(u8), // rX = tid * 3 + 1  (per-thread data)
+    ThickStore {
+        base: usize,
+        src: u8,
+    },
+    ThickLoad {
+        base: usize,
+        dst: u8,
+    },
+    Multi {
+        kind: MultiKind,
+        addr: usize,
+        src: u8,
+    },
+    Prefix {
+        kind: MultiKind,
+        addr: usize,
+        dst: u8,
+        src: u8,
+    },
+    UniformStore {
+        addr: usize,
+        src: u8,
+    },
 }
 
 fn data_reg() -> impl Strategy<Value = u8> {
@@ -54,7 +72,14 @@ fn arb_segment() -> impl Strategy<Value = Segment> {
         (1usize..80).prop_map(Segment::SetThick),
         (
             prop::sample::select(
-                &[AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::Min, AluOp::Max][..]
+                &[
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Mul,
+                    AluOp::Xor,
+                    AluOp::Min,
+                    AluOp::Max
+                ][..]
             ),
             data_reg(),
             data_reg(),
@@ -222,8 +247,7 @@ fn lower(segments: &[Segment]) -> Program {
 }
 
 fn run(variant: Variant, alloc: Allocation, program: Program) -> Vec<Word> {
-    let mut m =
-        TcfMachine::with_allocation(MachineConfig::small(), variant, program, alloc);
+    let mut m = TcfMachine::with_allocation(MachineConfig::small(), variant, program, alloc);
     m.run(200_000).expect("program halts");
     m.peek_range(0, MEM_WINDOW).unwrap()
 }

@@ -98,10 +98,7 @@ fn absurd_thickness_faults() {
 fn negative_thickness_faults() {
     let mut m = machine(Variant::SingleInstruction, "main:\n setthick -3\n halt\n");
     let e = m.run(100).unwrap_err();
-    assert!(matches!(
-        e.fault,
-        TcfFault::BadThickness { requested: -3 }
-    ));
+    assert!(matches!(e.fault, TcfFault::BadThickness { requested: -3 }));
 }
 
 #[test]
@@ -252,7 +249,11 @@ fn spawn_task_works_on_balanced() {
     )
     .unwrap();
     let entry = program.label("task").unwrap();
-    let mut m = TcfMachine::new(MachineConfig::small(), Variant::Balanced { bound: 2 }, program);
+    let mut m = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::Balanced { bound: 2 },
+        program,
+    );
     m.spawn_task(entry, 7).unwrap();
     m.run(1000).unwrap();
     for t in 0..7 {
@@ -316,9 +317,47 @@ fn trace_records_thick_execution() {
     m.run(100).unwrap();
     let csv = m.trace().to_csv();
     // Thick instructions appear once per implicit thread.
-    assert!(csv.lines().filter(|l| l.contains("Compute")).count() >= 16);
+    assert!(csv.lines().filter(|l| l.contains("compute")).count() >= 16);
     let gantt = m.trace().gantt(0);
     assert!(gantt.contains("flow"));
+}
+
+#[test]
+fn trace_and_stats_agree_on_issue_slot_accounting() {
+    // The trace and MachineStats count the same issue slots: trace busy
+    // cycles (compute + memory, not bubbles, not overhead) must equal the
+    // stats' slot-occupying issued work, and the total recorded slots must
+    // equal issued + bubbles + overhead. Fetches are counted per TCF by
+    // the front end and never occupy an issue slot, hence the subtraction.
+    let mut m = machine(
+        Variant::SingleInstruction,
+        "main:
+            setthick 24
+            mfs r1, tid
+            add r2, r1, 1
+            ldi r3, 400
+            add r3, r3, r1
+            st r2, [r3+0]
+            ld r4, [r3+0]
+            halt
+        ",
+    );
+    m.set_tracing(true);
+    let summary = m.run(1_000).unwrap();
+    let s = summary.machine;
+
+    let groups = m.config().groups;
+    let trace_busy: u64 = (0..groups).map(|g| m.trace().busy_cycles(g)).sum();
+    let trace_total = m.trace().events().len() as u64;
+    let slot_issued = s.compute_ops + s.shared_refs + s.local_refs;
+
+    assert_eq!(trace_busy, slot_issued);
+    assert_eq!(trace_total, slot_issued + s.bubbles + s.overhead_cycles);
+    // And the derived utilizations agree once fetches are excluded on the
+    // stats side.
+    let trace_util: f64 = trace_busy as f64 / trace_total as f64;
+    let stats_util = slot_issued as f64 / (slot_issued + s.bubbles + s.overhead_cycles) as f64;
+    assert!((trace_util - stats_util).abs() < 1e-12);
 }
 
 #[test]

@@ -105,7 +105,10 @@ fn uniform_operands_execute_flow_wise() {
         "uniform ops were replicated: {} compute ops",
         s.machine.compute_ops
     );
-    assert_eq!(s.machine.shared_refs, 1, "uniform store must be one reference");
+    assert_eq!(
+        s.machine.shared_refs, 1,
+        "uniform store must be one reference"
+    );
 }
 
 #[test]
@@ -179,9 +182,7 @@ fn numa_mode_in_single_instruction() {
             st r1, [r0+100]
             halt
         ";
-    let without = with_numa
-        .replace("numa 4", "nop")
-        .replace("endnuma", "nop");
+    let without = with_numa.replace("numa 4", "nop").replace("endnuma", "nop");
     let mut m1 = machine(Variant::SingleInstruction, with_numa);
     let s1 = m1.run(1000).unwrap();
     assert_eq!(m1.peek(100).unwrap(), 20);
@@ -412,7 +413,11 @@ fn multitasking_tasks_as_flows() {
     // 8 tasks + root fit the 16-slot buffer: after the cold loads, no
     // further misses (free task switching).
     let b = &m.buffers()[0];
-    assert!(b.misses as usize <= 9, "unexpected thrashing: {} misses", b.misses);
+    assert!(
+        b.misses as usize <= 9,
+        "unexpected thrashing: {} misses",
+        b.misses
+    );
 }
 
 #[test]
@@ -544,11 +549,7 @@ fn register_cache_overflow_charges_spill_traffic() {
     let run = |cache: usize| {
         let mut config = small();
         config.reg_cache_words = cache;
-        let mut m = TcfMachine::new(
-            config,
-            Variant::SingleInstruction,
-            assemble(src).unwrap(),
-        );
+        let mut m = TcfMachine::new(config, Variant::SingleInstruction, assemble(src).unwrap());
         let s = m.run(1000).unwrap();
         let out = m.peek_range(5000, 256).unwrap();
         (s, out)
@@ -557,7 +558,10 @@ fn register_cache_overflow_charges_spill_traffic() {
     let (tiny, out_b) = run(16);
     assert_eq!(out_a, out_b, "spill model must be timing-only");
     assert_eq!(unlimited.machine.spill_refs, 0);
-    assert!(tiny.machine.spill_refs > 500, "expected spill traffic: {tiny:?}");
+    assert!(
+        tiny.machine.spill_refs > 500,
+        "expected spill traffic: {tiny:?}"
+    );
     assert!(tiny.cycles > unlimited.cycles);
 }
 

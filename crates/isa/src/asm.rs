@@ -304,7 +304,12 @@ fn parse_after_mnemonic(mn: &str, c: &mut Cursor<'_>) -> Result<Instr, IsaError>
             let (base, off) = c.address()?;
             c.comma()?;
             let rs = c.reg()?;
-            return Ok(Instr::MultiOp { kind, base, off, rs });
+            return Ok(Instr::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            });
         }
     }
     match mn {
@@ -383,11 +388,17 @@ fn parse_after_mnemonic(mn: &str, c: &mut Cursor<'_>) -> Result<Instr, IsaError>
                 space,
             })
         }
-        "jmp" => Ok(Instr::Jmp { target: c.target()? }),
-        "call" => Ok(Instr::Call { target: c.target()? }),
+        "jmp" => Ok(Instr::Jmp {
+            target: c.target()?,
+        }),
+        "call" => Ok(Instr::Call {
+            target: c.target()?,
+        }),
         "ret" => Ok(Instr::Ret),
         "setthick" => Ok(Instr::SetThick { src: c.operand()? }),
-        "numa" => Ok(Instr::Numa { slots: c.operand()? }),
+        "numa" => Ok(Instr::Numa {
+            slots: c.operand()?,
+        }),
         "endnuma" => Ok(Instr::EndNuma),
         "split" => {
             let mut arms = Vec::new();
@@ -459,10 +470,7 @@ mod tests {
 
     #[test]
     fn split_with_multiple_arms() {
-        let p = assemble(
-            "    split (12 -> a), (r2 -> b)\n    halt\na:  join\nb:  join\n",
-        )
-        .unwrap();
+        let p = assemble("    split (12 -> a), (r2 -> b)\n    halt\na:  join\nb:  join\n").unwrap();
         match &p.instrs[0] {
             Instr::Split { arms } => {
                 assert_eq!(arms.len(), 2);

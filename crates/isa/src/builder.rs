@@ -52,7 +52,11 @@ impl ProgramBuilder {
     /// Binds `name` to the current position.
     pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
         let name = name.into();
-        if self.labels.insert(name.clone(), self.instrs.len()).is_some() {
+        if self
+            .labels
+            .insert(name.clone(), self.instrs.len())
+            .is_some()
+        {
             self.duplicate.get_or_insert(name);
         }
         self
@@ -166,7 +170,12 @@ impl ProgramBuilder {
 
     /// Multioperation against shared memory.
     pub fn multiop(&mut self, kind: MultiKind, base: Reg, off: Word, rs: Reg) -> &mut Self {
-        self.push(Instr::MultiOp { kind, base, off, rs })
+        self.push(Instr::MultiOp {
+            kind,
+            base,
+            off,
+            rs,
+        })
     }
 
     /// Multiprefix against shared memory.
@@ -320,10 +329,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.label("x").nop();
         b.label("x").halt();
-        assert!(matches!(
-            b.build(),
-            Err(IsaError::DuplicateLabel { .. })
-        ));
+        assert!(matches!(b.build(), Err(IsaError::DuplicateLabel { .. })));
     }
 
     #[test]

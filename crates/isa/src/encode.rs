@@ -243,7 +243,12 @@ fn encode_instr(e: &mut Enc, instr: &Instr, at: usize) -> Result<(), IsaError> {
             e.signed(*off);
             e.space(*space);
         }
-        Instr::MultiOp { kind, base, off, rs } => {
+        Instr::MultiOp {
+            kind,
+            base,
+            off,
+            rs,
+        } => {
             e.word(TAG_MOP);
             e.word(multi_index(*kind));
             e.reg(*base);
@@ -365,16 +370,22 @@ fn decode_instr(d: &mut Dec<'_>) -> Result<Instr, IsaError> {
             off: d.signed()?,
             rs: d.reg()?,
         },
-        TAG_JMP => Instr::Jmp { target: d.target()? },
+        TAG_JMP => Instr::Jmp {
+            target: d.target()?,
+        },
         TAG_BR => Instr::Br {
             cond: d.index(&BrCond::ALL, "branch condition")?,
             rs: d.reg()?,
             target: d.target()?,
         },
-        TAG_CALL => Instr::Call { target: d.target()? },
+        TAG_CALL => Instr::Call {
+            target: d.target()?,
+        },
         TAG_RET => Instr::Ret,
         TAG_SETTHICK => Instr::SetThick { src: d.operand()? },
-        TAG_NUMA => Instr::Numa { slots: d.operand()? },
+        TAG_NUMA => Instr::Numa {
+            slots: d.operand()?,
+        },
         TAG_ENDNUMA => Instr::EndNuma,
         TAG_SPLIT => {
             let n = d.word()? as usize;
@@ -474,10 +485,7 @@ pub fn decode(words: &[u64]) -> Result<Program, IsaError> {
             len: validated.instrs.len(),
         });
     }
-    Ok(Program {
-        entry,
-        ..validated
-    })
+    Ok(Program { entry, ..validated })
 }
 
 #[cfg(test)]
@@ -509,10 +517,7 @@ mod tests {
             data: vec![],
             entry: 0,
         };
-        assert!(matches!(
-            encode(&p),
-            Err(IsaError::UnresolvedTarget { .. })
-        ));
+        assert!(matches!(encode(&p), Err(IsaError::UnresolvedTarget { .. })));
     }
 
     #[test]

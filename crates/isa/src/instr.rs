@@ -105,9 +105,7 @@ impl fmt::Display for MemSpace {
 }
 
 /// Combining operator of multioperations and multiprefixes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum MultiKind {
     /// Sum of contributions (`MPADD` of the paper).
     Add,
@@ -522,8 +520,17 @@ impl fmt::Display for Instr {
                 base,
                 off,
                 space,
-            } => write!(f, "stm{} {cond}, {rs}, [{base}+{off}]", space_suffix(*space)),
-            Instr::MultiOp { kind, base, off, rs } => {
+            } => write!(
+                f,
+                "stm{} {cond}, {rs}, [{base}+{off}]",
+                space_suffix(*space)
+            ),
+            Instr::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            } => {
                 write!(f, "m{} [{base}+{off}], {rs}", kind.suffix())
             }
             Instr::MultiPrefix {

@@ -122,9 +122,7 @@ impl SpecialReg {
 
     /// Parses an assembler mnemonic.
     pub fn from_mnemonic(s: &str) -> Option<SpecialReg> {
-        SpecialReg::ALL
-            .into_iter()
-            .find(|sr| sr.mnemonic() == s)
+        SpecialReg::ALL.into_iter().find(|sr| sr.mnemonic() == s)
     }
 }
 

@@ -86,17 +86,28 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 space,
             }
         ),
-        (arb_multikind(), arb_reg(), off.clone(), arb_reg())
-            .prop_map(|(kind, base, off, rs)| Instr::MultiOp { kind, base, off, rs }),
-        (arb_multikind(), arb_reg(), arb_reg(), off.clone(), arb_reg()).prop_map(
-            |(kind, rd, base, off, rs)| Instr::MultiPrefix {
+        (arb_multikind(), arb_reg(), off.clone(), arb_reg()).prop_map(|(kind, base, off, rs)| {
+            Instr::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            }
+        }),
+        (
+            arb_multikind(),
+            arb_reg(),
+            arb_reg(),
+            off.clone(),
+            arb_reg()
+        )
+            .prop_map(|(kind, rd, base, off, rs)| Instr::MultiPrefix {
                 kind,
                 rd,
                 base,
                 off,
                 rs,
-            }
-        ),
+            }),
         arb_target().prop_map(|target| Instr::Jmp { target }),
         (
             prop::sample::select(&BrCond::ALL[..]),

@@ -113,10 +113,8 @@ impl Codegen {
                     a
                 }
             };
-            self.globals.insert(
-                g.name.clone(),
-                GlobalInfo { addr, len: g.len },
-            );
+            self.globals
+                .insert(g.name.clone(), GlobalInfo { addr, len: g.len });
         }
         // Collect function names.
         for f in &ast.funcs {
@@ -500,8 +498,7 @@ impl Codegen {
                     let t = self.gen_expr(&arm.thickness, b, *line)?;
                     thicks.push(t);
                 }
-                let labels: Vec<String> =
-                    (0..arms.len()).map(|_| self.fresh("par_arm")).collect();
+                let labels: Vec<String> = (0..arms.len()).map(|_| self.fresh("par_arm")).collect();
                 b.split(
                     thicks
                         .iter()

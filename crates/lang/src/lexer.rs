@@ -110,12 +110,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
         }
         match c {
             '.' => {
-                out.push(SpannedTok { tok: Tok::Dot, line });
+                out.push(SpannedTok {
+                    tok: Tok::Dot,
+                    line,
+                });
                 i += 1;
                 continue;
             }
             '#' => {
-                out.push(SpannedTok { tok: Tok::Hash, line });
+                out.push(SpannedTok {
+                    tok: Tok::Hash,
+                    line,
+                });
                 i += 1;
                 continue;
             }

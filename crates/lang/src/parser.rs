@@ -294,9 +294,7 @@ impl Parser {
                     while !self.eat_punct("}") {
                         let aline = self.line();
                         if *self.peek() != Tok::Hash {
-                            return Err(
-                                self.err("parallel arms must start with `#thickness:`")
-                            );
+                            return Err(self.err("parallel arms must start with `#thickness:`"));
                         }
                         self.bump();
                         let thickness = self.expr()?;
@@ -575,7 +573,6 @@ impl Parser {
     }
 }
 
-
 /// Whether an expression contains a `prefix()` call (side-effecting).
 fn expr_has_prefix(e: &Expr) -> bool {
     match e {
@@ -660,7 +657,9 @@ mod tests {
         // (((1 + (2*3)) < 10) && 4)
         match &p.funcs[0].body[0] {
             Stmt::Local {
-                init: Some(Expr::Bin { op: BinOp::LAnd, .. }),
+                init: Some(Expr::Bin {
+                    op: BinOp::LAnd, ..
+                }),
                 ..
             } => {}
             other => panic!("precedence wrong: {other:?}"),
@@ -671,7 +670,10 @@ mod tests {
     fn dot_is_tid() {
         let p = parse("shared int c[4]; void main() { c[.] = . + 1; }").unwrap();
         match &p.funcs[0].body[0] {
-            Stmt::Store { index: Some(Expr::Builtin(Builtin::Tid)), .. } => {}
+            Stmt::Store {
+                index: Some(Expr::Builtin(Builtin::Tid)),
+                ..
+            } => {}
             other => panic!("expected store with tid index: {other:?}"),
         }
     }

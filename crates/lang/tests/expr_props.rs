@@ -26,11 +26,7 @@ fn arb_expr() -> impl Strategy<Value = E> {
     let leaf = (-1000i64..1000).prop_map(E::Int);
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (
-                prop::sample::select(OPS),
-                inner.clone(),
-                inner.clone()
-            )
+            (prop::sample::select(OPS), inner.clone(), inner.clone())
                 .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| E::Neg(Box::new(a))),
             inner.prop_map(|a| E::Not(Box::new(a))),

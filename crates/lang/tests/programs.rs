@@ -322,7 +322,10 @@ fn divergent_branch_rejected_at_runtime_without_masking() {
     let program = compile(src).unwrap();
     let mut m = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
     let e = m.run(1000).unwrap_err();
-    assert!(matches!(e.fault, tcf_core::TcfFault::DivergentBranch { .. }));
+    assert!(matches!(
+        e.fault,
+        tcf_core::TcfFault::DivergentBranch { .. }
+    ));
 }
 
 #[test]

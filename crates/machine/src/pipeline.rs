@@ -208,7 +208,9 @@ impl GroupPipeline {
                     let node = u.mem_node.unwrap_or(self.group);
                     let arrive = net.send(self.group, node, t);
                     let served = net.service(node, arrive, self.module_latency);
-                    Some(net.send(node, self.group, served))
+                    let back = net.send(node, self.group, served);
+                    stats.mem_roundtrip.record(back - t);
+                    Some(back)
                 }
                 UnitKind::MemLocal => Some(t + self.local_latency),
                 _ => None,
@@ -244,7 +246,10 @@ impl GroupPipeline {
             });
             stats.count_unit(UnitKind::Bubble);
         }
-        stats.steps += 1;
+        // `stats.steps` is owned by the machine driving the pipeline: a
+        // machine step may span several `run_step` calls (one per group,
+        // plus a serialized NUMA sub-step), so per-call counting here
+        // would overcount.
         stats.cycles = stats.cycles.max(end);
 
         StepOutcome {
@@ -354,10 +359,10 @@ mod tests {
         let mut tr = Trace::disabled();
         let mut s = MachineStats::default();
         let units: Vec<IssueUnit> = (0..32).map(|i| IssueUnit::compute(1, i)).collect();
-        let narrow = GroupPipeline::with_ilp(0, 2, 1, 1)
-            .run_step(0, &units, false, &mut n, &mut tr, &mut s);
-        let wide = GroupPipeline::with_ilp(0, 2, 1, 4)
-            .run_step(0, &units, false, &mut n, &mut tr, &mut s);
+        let narrow =
+            GroupPipeline::with_ilp(0, 2, 1, 1).run_step(0, &units, false, &mut n, &mut tr, &mut s);
+        let wide =
+            GroupPipeline::with_ilp(0, 2, 1, 4).run_step(0, &units, false, &mut n, &mut tr, &mut s);
         assert_eq!(narrow.cycles(), 32);
         assert_eq!(wide.cycles(), 8);
     }
@@ -369,10 +374,10 @@ mod tests {
         let mut tr = Trace::disabled();
         let mut s = MachineStats::default();
         let units: Vec<IssueUnit> = (0..8).map(|i| IssueUnit::local_mem(1, i)).collect();
-        let narrow = GroupPipeline::with_ilp(0, 2, 1, 1)
-            .run_step(0, &units, true, &mut n, &mut tr, &mut s);
-        let wide = GroupPipeline::with_ilp(0, 2, 1, 4)
-            .run_step(0, &units, true, &mut n, &mut tr, &mut s);
+        let narrow =
+            GroupPipeline::with_ilp(0, 2, 1, 1).run_step(0, &units, true, &mut n, &mut tr, &mut s);
+        let wide =
+            GroupPipeline::with_ilp(0, 2, 1, 4).run_step(0, &units, true, &mut n, &mut tr, &mut s);
         assert_eq!(narrow.cycles(), wide.cycles());
     }
 
@@ -382,7 +387,14 @@ mod tests {
         let mut tr = Trace::disabled();
         let mut s = MachineStats::default();
         let p = pipe();
-        let out1 = p.run_step(0, &[IssueUnit::compute(1, 0)], false, &mut n, &mut tr, &mut s);
+        let out1 = p.run_step(
+            0,
+            &[IssueUnit::compute(1, 0)],
+            false,
+            &mut n,
+            &mut tr,
+            &mut s,
+        );
         let out2 = p.run_step(
             out1.end_cycle,
             &[IssueUnit::compute(1, 0)],
@@ -391,7 +403,20 @@ mod tests {
             &mut tr,
             &mut s,
         );
-        assert_eq!(s.steps, 2);
+        // Step counting belongs to the machine, not the pipeline.
+        assert_eq!(s.steps, 0);
         assert_eq!(s.cycles, out2.end_cycle);
+    }
+
+    #[test]
+    fn shared_memory_roundtrips_land_in_histogram() {
+        let mut n = net();
+        let mut tr = Trace::disabled();
+        let mut s = MachineStats::default();
+        let units: Vec<IssueUnit> = (0..4).map(|i| IssueUnit::shared_mem(1, i, 1)).collect();
+        pipe().run_step(0, &units, false, &mut n, &mut tr, &mut s);
+        assert_eq!(s.mem_roundtrip.count(), 4);
+        // Uncontended remote roundtrip: 2 hops * 2 cycles + 2 module.
+        assert!(s.mem_roundtrip.max() >= 6);
     }
 }

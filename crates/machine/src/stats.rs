@@ -1,6 +1,7 @@
 //! Machine-level execution statistics.
 
 use serde::{Deserialize, Serialize};
+use tcf_obs::LatencyHistogram;
 
 use crate::trace::UnitKind;
 
@@ -31,6 +32,9 @@ pub struct MachineStats {
     /// Local-memory references caused by register-file overflow (operand
     /// spills of over-thick flows, §3.3). Also counted in `local_refs`.
     pub spill_refs: u64,
+    /// Distribution of shared-memory round-trip latencies (issue to reply
+    /// arrival, in cycles) as observed by the issue pipeline.
+    pub mem_roundtrip: LatencyHistogram,
 }
 
 impl MachineStats {
@@ -73,6 +77,7 @@ impl MachineStats {
         self.bubbles += other.bubbles;
         self.overhead_cycles += other.overhead_cycles;
         self.spill_refs += other.spill_refs;
+        self.mem_roundtrip.merge(&other.mem_roundtrip);
     }
 }
 

@@ -14,6 +14,7 @@
 //! bench.
 
 use serde::{Deserialize, Serialize};
+use tcf_obs::LatencyHistogram;
 
 use crate::trace::FlowTag;
 
@@ -87,6 +88,8 @@ pub struct TcfBuffer {
     pub misses: u64,
     /// Total overhead cycles paid for loads.
     pub overhead_cycles: u64,
+    /// Distribution of per-activation reload costs (misses only).
+    pub reload: LatencyHistogram,
 }
 
 impl TcfBuffer {
@@ -102,6 +105,7 @@ impl TcfBuffer {
             switches: 0,
             misses: 0,
             overhead_cycles: 0,
+            reload: LatencyHistogram::new(),
         }
     }
 
@@ -142,6 +146,7 @@ impl TcfBuffer {
         }
         self.misses += 1;
         self.overhead_cycles += self.load_cost;
+        self.reload.record(self.load_cost);
         if self.resident.len() == self.capacity {
             self.resident.remove(0); // LRU is at the front
         }
@@ -220,6 +225,8 @@ mod tests {
         assert_eq!(b.get(1).unwrap().pc, 5);
         assert_eq!(b.misses, 1);
         assert_eq!(b.switches, 2);
+        assert_eq!(b.reload.count(), 1);
+        assert_eq!(b.reload.max(), 10);
     }
 
     #[test]

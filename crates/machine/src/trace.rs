@@ -1,245 +1,31 @@
-//! Execution traces and their ASCII Gantt rendering.
+//! Execution traces — re-exported from `tcf-obs`.
 //!
-//! The paper illustrates each execution-model variant with a *single
-//! processor view*: time on the horizontal axis, what the processor's
-//! issue slot is doing in each cycle (which flow, which implicit thread,
-//! or a bubble). [`Trace`] records exactly that, and [`Trace::gantt`]
-//! renders it, which is how the `repro` binary regenerates Figures 6–13.
+//! The trace model (per-cycle issue records, Gantt rendering, CSV export,
+//! ring-buffer mode) lives in the [`tcf_obs`] observability crate so that
+//! every layer of the stack shares one vocabulary; this module re-exports
+//! it under the historical `tcf_machine::trace` paths so existing callers
+//! keep compiling.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-use serde::{Deserialize, Serialize};
-
-/// Identifier of a flow (TCF) or, in baseline models, of a thread bunch.
-pub type FlowTag = u32;
-
-/// What an issue slot did in one cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum UnitKind {
-    /// Executed an ALU/compute operation.
-    Compute,
-    /// Issued a shared-memory reference.
-    MemShared,
-    /// Issued a local-memory reference.
-    MemLocal,
-    /// Fetched an instruction (NUMA mode / per-thread fetch accounting).
-    Fetch,
-    /// Waited — no operation available or replies outstanding.
-    Bubble,
-    /// Spent a cycle on flow management (TCF buffer reload, split/join
-    /// bookkeeping).
-    FlowOverhead,
-}
-
-impl UnitKind {
-    /// One-character cell used in Gantt rendering.
-    pub fn glyph(self) -> char {
-        match self {
-            UnitKind::Compute => '#',
-            UnitKind::MemShared => 'M',
-            UnitKind::MemLocal => 'L',
-            UnitKind::Fetch => 'F',
-            UnitKind::Bubble => '.',
-            UnitKind::FlowOverhead => '+',
-        }
-    }
-}
-
-/// One cycle of one group's issue slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TraceEvent {
-    /// Cycle number (machine-global time).
-    pub cycle: u64,
-    /// Processor group.
-    pub group: usize,
-    /// Flow (or bunch) occupying the slot; `None` for a bubble.
-    pub flow: Option<FlowTag>,
-    /// Implicit thread index within the flow, when meaningful.
-    pub thread: Option<usize>,
-    /// What happened.
-    pub kind: UnitKind,
-}
-
-/// A recorded execution.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-    enabled: bool,
-}
-
-impl Trace {
-    /// A recording trace.
-    pub fn recording() -> Trace {
-        Trace {
-            events: Vec::new(),
-            enabled: true,
-        }
-    }
-
-    /// A disabled trace: `push` is a no-op. Benches use this so tracing
-    /// overhead never pollutes timing measurements.
-    pub fn disabled() -> Trace {
-        Trace {
-            events: Vec::new(),
-            enabled: false,
-        }
-    }
-
-    /// Whether events are being recorded.
-    #[inline]
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Records an event (no-op when disabled).
-    #[inline]
-    pub fn push(&mut self, ev: TraceEvent) {
-        if self.enabled {
-            self.events.push(ev);
-        }
-    }
-
-    /// All recorded events.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Number of non-bubble cycles per group.
-    pub fn busy_cycles(&self, group: usize) -> u64 {
-        self.events
-            .iter()
-            .filter(|e| e.group == group && e.kind != UnitKind::Bubble)
-            .count() as u64
-    }
-
-    /// Utilization of a group over the traced window: busy / total events.
-    pub fn utilization(&self, group: usize) -> f64 {
-        let total = self.events.iter().filter(|e| e.group == group).count();
-        if total == 0 {
-            return 0.0;
-        }
-        self.busy_cycles(group) as f64 / total as f64
-    }
-
-    /// Renders the single-processor-view Gantt strip of one group.
-    ///
-    /// One row per flow (plus a bubble row), one column per cycle; each
-    /// cell is the [`UnitKind::glyph`] of what the slot executed for that
-    /// flow in that cycle. This is the visual language of the paper's
-    /// Figures 6–12.
-    pub fn gantt(&self, group: usize) -> String {
-        let events: Vec<&TraceEvent> = self.events.iter().filter(|e| e.group == group).collect();
-        if events.is_empty() {
-            return format!("group {group}: (no events)\n");
-        }
-        let t0 = events.iter().map(|e| e.cycle).min().unwrap();
-        let t1 = events.iter().map(|e| e.cycle).max().unwrap();
-        let width = (t1 - t0 + 1) as usize;
-
-        let mut rows: BTreeMap<Option<FlowTag>, Vec<char>> = BTreeMap::new();
-        for e in &events {
-            let key = if e.kind == UnitKind::Bubble { None } else { e.flow };
-            rows.entry(key)
-                .or_insert_with(|| vec![' '; width])[(e.cycle - t0) as usize] = e.kind.glyph();
-        }
-
-        let mut out = String::new();
-        let _ = writeln!(out, "group {group}, cycles {t0}..={t1}");
-        for (flow, cells) in rows {
-            let label = match flow {
-                Some(f) => format!("flow {f:>3}"),
-                None => "  (idle)".to_string(),
-            };
-            let _ = writeln!(out, "  {label} |{}|", cells.into_iter().collect::<String>());
-        }
-        out
-    }
-
-    /// Clears all events.
-    pub fn clear(&mut self) {
-        self.events.clear();
-    }
-
-    /// Exports the trace as CSV (`cycle,group,flow,thread,kind`), for
-    /// external plotting of schedules. `flow`/`thread` are empty for
-    /// bubbles.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from("cycle,group,flow,thread,kind\n");
-        for e in &self.events {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{:?}",
-                e.cycle,
-                e.group,
-                e.flow.map(|f| f.to_string()).unwrap_or_default(),
-                e.thread.map(|t| t.to_string()).unwrap_or_default(),
-                e.kind
-            );
-        }
-        out
-    }
-}
+pub use tcf_obs::trace::{FlowTag, Trace, TraceEvent, UnitKind};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn ev(cycle: u64, flow: Option<FlowTag>, kind: UnitKind) -> TraceEvent {
-        TraceEvent {
-            cycle,
+    // The substantive trace tests live in `tcf-obs`; this pins the
+    // re-exported paths and glyphs the machine crate relies on.
+    #[test]
+    fn reexported_trace_is_usable() {
+        let mut t = Trace::recording();
+        t.push(TraceEvent {
+            cycle: 0,
             group: 0,
-            flow,
+            flow: Some(1 as FlowTag),
             thread: None,
-            kind,
-        }
-    }
-
-    #[test]
-    fn disabled_trace_records_nothing() {
-        let mut t = Trace::disabled();
-        t.push(ev(0, Some(1), UnitKind::Compute));
-        assert!(t.events().is_empty());
-    }
-
-    #[test]
-    fn utilization_counts_bubbles() {
-        let mut t = Trace::recording();
-        t.push(ev(0, Some(1), UnitKind::Compute));
-        t.push(ev(1, None, UnitKind::Bubble));
-        t.push(ev(2, Some(1), UnitKind::MemShared));
-        t.push(ev(3, None, UnitKind::Bubble));
-        assert_eq!(t.busy_cycles(0), 2);
-        assert!((t.utilization(0) - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn gantt_renders_rows_per_flow() {
-        let mut t = Trace::recording();
-        t.push(ev(10, Some(1), UnitKind::Compute));
-        t.push(ev(11, Some(2), UnitKind::MemShared));
-        t.push(ev(12, None, UnitKind::Bubble));
-        let g = t.gantt(0);
-        assert!(g.contains("flow   1 |#  |"));
-        assert!(g.contains("flow   2 | M |"));
-        assert!(g.contains("(idle) |  .|"));
-    }
-
-    #[test]
-    fn gantt_empty_group() {
-        let t = Trace::recording();
-        assert!(t.gantt(3).contains("no events"));
-    }
-
-    #[test]
-    fn csv_export() {
-        let mut t = Trace::recording();
-        t.push(ev(5, Some(2), UnitKind::MemShared));
-        t.push(ev(6, None, UnitKind::Bubble));
-        let csv = t.to_csv();
-        let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "cycle,group,flow,thread,kind");
-        assert_eq!(lines[1], "5,0,2,,MemShared");
-        assert_eq!(lines[2], "6,0,,,Bubble");
+            kind: UnitKind::Compute,
+        });
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(UnitKind::Compute.glyph(), '#');
+        assert_eq!(UnitKind::FlowOverhead.as_str(), "overhead");
     }
 }

@@ -53,7 +53,10 @@ impl fmt::Display for MemError {
                 "local address {addr} out of bounds (size {size}, group {group})"
             ),
             MemError::CommonWriteConflict { addr } => {
-                write!(f, "conflicting concurrent writes to {addr} under Common CRCW")
+                write!(
+                    f,
+                    "conflicting concurrent writes to {addr} under Common CRCW"
+                )
             }
             MemError::ExclusiveViolation { addr, refs } => write!(
                 f,

@@ -109,6 +109,9 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         // Perfect balance would be 128 per module; accept anything far from
         // the degenerate 1024-in-one-module case.
-        assert!(max < 320, "hash failed to spread strided pattern: {counts:?}");
+        assert!(
+            max < 320,
+            "hash failed to spread strided pattern: {counts:?}"
+        );
     }
 }

@@ -88,7 +88,11 @@ mod tests {
     fn out_of_bounds_names_group() {
         let l = LocalMemory::new(2, 4);
         match l.read(4) {
-            Err(MemError::LocalOutOfBounds { group: 2, size: 4, addr: 4 }) => {}
+            Err(MemError::LocalOutOfBounds {
+                group: 2,
+                size: 4,
+                addr: 4,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

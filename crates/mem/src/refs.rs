@@ -48,9 +48,10 @@ impl MemOp {
     #[inline]
     pub fn addr(&self) -> Addr {
         match *self {
-            MemOp::Read(a) | MemOp::Write(a, _) | MemOp::Multi(_, a, _) | MemOp::Prefix(_, a, _) => {
-                a
-            }
+            MemOp::Read(a)
+            | MemOp::Write(a, _)
+            | MemOp::Multi(_, a, _)
+            | MemOp::Prefix(_, a, _) => a,
         }
     }
 

@@ -93,13 +93,10 @@ impl SharedMemory {
 
     /// Host read (no step semantics), for runtimes and tests.
     pub fn peek(&self, addr: Addr) -> Result<Word, MemError> {
-        self.words
-            .get(addr)
-            .copied()
-            .ok_or(MemError::OutOfBounds {
-                addr,
-                size: self.words.len(),
-            })
+        self.words.get(addr).copied().ok_or(MemError::OutOfBounds {
+            addr,
+            size: self.words.len(),
+        })
     }
 
     /// Host write (no step semantics), for runtimes and tests.
@@ -213,7 +210,10 @@ impl SharedMemory {
                 }
                 CrcwPolicy::Crew => {
                     if writers > 1 {
-                        return Err(MemError::ExclusiveViolation { addr, refs: writers });
+                        return Err(MemError::ExclusiveViolation {
+                            addr,
+                            refs: writers,
+                        });
                     }
                 }
                 CrcwPolicy::Common => {
@@ -365,7 +365,12 @@ mod tests {
     fn multiops_allowed_under_erew() {
         let mut m = sm(CrcwPolicy::Erew);
         let refs: Vec<MemRef> = (0..4)
-            .map(|rank| MemRef::new(RefOrigin::new(0, rank), MemOp::Multi(MultiKind::Max, 0, rank as Word)))
+            .map(|rank| {
+                MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::Multi(MultiKind::Max, 0, rank as Word),
+                )
+            })
             .collect();
         m.step(&refs).unwrap();
         assert_eq!(m.peek(0).unwrap(), 3);
@@ -386,9 +391,7 @@ mod tests {
     #[test]
     fn out_of_bounds_faults_before_mutation() {
         let mut m = sm(CrcwPolicy::Arbitrary);
-        let e = m
-            .step(&[wref(0, 1, 7), wref(1, 9999, 1)])
-            .unwrap_err();
+        let e = m.step(&[wref(0, 1, 7), wref(1, 9999, 1)]).unwrap_err();
         assert!(matches!(e, MemError::OutOfBounds { addr: 9999, .. }));
         assert_eq!(m.peek(1).unwrap(), 0); // first write not applied
     }
@@ -408,7 +411,9 @@ mod tests {
     fn stats_track_module_loads() {
         let mut m = sm(CrcwPolicy::Arbitrary);
         // Interleaved over 4 modules: addresses 0,4,8 hit module 0.
-        let (_, stats) = m.step(&[rref(0, 0), rref(1, 4), rref(2, 8), rref(3, 1)]).unwrap();
+        let (_, stats) = m
+            .step(&[rref(0, 0), rref(1, 4), rref(2, 8), rref(3, 1)])
+            .unwrap();
         assert_eq!(stats.per_module[0], 3);
         assert_eq!(stats.max_module_load(), 3);
     }

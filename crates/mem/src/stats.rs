@@ -2,6 +2,7 @@
 //! network timing model.
 
 use serde::{Deserialize, Serialize};
+use tcf_obs::LatencyHistogram;
 
 /// Statistics of one shared-memory step.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,6 +17,10 @@ pub struct StepStats {
     /// References absorbed by combining (multioperations / multiprefixes
     /// beyond the first reference per address).
     pub combined: usize,
+    /// Distribution of per-step peak module loads (one sample per absorbed
+    /// non-empty step): the step service-time distribution under a
+    /// one-reference-per-cycle module model.
+    pub load_hist: LatencyHistogram,
 }
 
 impl StepStats {
@@ -26,6 +31,7 @@ impl StepStats {
             per_module: vec![0; modules],
             hot_addrs: 0,
             combined: 0,
+            load_hist: LatencyHistogram::new(),
         }
     }
 
@@ -56,6 +62,13 @@ impl StepStats {
         }
         self.hot_addrs += other.hot_addrs;
         self.combined += other.combined;
+        if other.load_hist.count() > 0 {
+            // Aggregate-of-aggregates: keep the already-collected samples.
+            self.load_hist.merge(&other.load_hist);
+        } else if other.refs > 0 {
+            // A raw single step: its peak module load is one sample.
+            self.load_hist.record(other.max_module_load() as u64);
+        }
     }
 }
 
@@ -92,5 +105,27 @@ mod tests {
         assert_eq!(a.refs, 4);
         assert_eq!(a.per_module, vec![2, 2]);
         assert_eq!(a.combined, 1);
+    }
+
+    #[test]
+    fn absorb_samples_peak_module_load() {
+        let mut agg = StepStats::new(2);
+        let mut s1 = StepStats::new(2);
+        s1.refs = 3;
+        s1.per_module = vec![3, 0];
+        let mut s2 = StepStats::new(2);
+        s2.refs = 2;
+        s2.per_module = vec![1, 1];
+        agg.absorb(&s1);
+        agg.absorb(&s2);
+        assert_eq!(agg.load_hist.count(), 2);
+        assert_eq!(agg.load_hist.max(), 3);
+        // Absorbing the aggregate elsewhere keeps all samples.
+        let mut total = StepStats::new(2);
+        total.absorb(&agg);
+        assert_eq!(total.load_hist.count(), 2);
+        // Empty steps contribute no sample.
+        agg.absorb(&StepStats::new(2));
+        assert_eq!(agg.load_hist.count(), 2);
     }
 }

@@ -105,6 +105,7 @@ impl Network {
         let queued = t - lower_bound;
         self.stats.queue_cycles += queued;
         self.stats.max_queue_cycles = self.stats.max_queue_cycles.max(queued);
+        self.stats.queue.record(queued);
         t
     }
 

@@ -1,6 +1,7 @@
 //! Network traffic statistics.
 
 use serde::{Deserialize, Serialize};
+use tcf_obs::LatencyHistogram;
 
 /// Aggregate statistics of a [`crate::Network`]'s lifetime (or since the
 /// last reset).
@@ -17,6 +18,9 @@ pub struct NetStats {
     pub max_queue_cycles: u64,
     /// Messages delivered to the sender's own node (distance 0).
     pub local_deliveries: usize,
+    /// Distribution of per-message queueing delays (routed messages only;
+    /// local deliveries never queue).
+    pub queue: LatencyHistogram,
 }
 
 impl NetStats {
@@ -36,6 +40,17 @@ impl NetStats {
         } else {
             self.queue_cycles as f64 / self.messages as f64
         }
+    }
+
+    /// Median per-message queueing delay (log2-bucket resolution).
+    pub fn p50_queue_cycles(&self) -> u64 {
+        self.queue.p50()
+    }
+
+    /// 95th-percentile per-message queueing delay (log2-bucket
+    /// resolution).
+    pub fn p95_queue_cycles(&self) -> u64 {
+        self.queue.p95()
     }
 }
 
@@ -60,5 +75,17 @@ mod tests {
         };
         assert_eq!(s.mean_hops(), 2.5);
         assert_eq!(s.mean_queue_cycles(), 1.5);
+    }
+
+    #[test]
+    fn percentiles_follow_the_histogram() {
+        let mut s = NetStats::default();
+        for _ in 0..19 {
+            s.queue.record(0);
+        }
+        s.queue.record(12);
+        assert_eq!(s.p50_queue_cycles(), 0);
+        assert_eq!(s.p95_queue_cycles(), 0);
+        assert_eq!(s.queue.percentile(1.0), 12);
     }
 }

@@ -1,0 +1,217 @@
+//! Flow-lifecycle events.
+//!
+//! Where [`crate::trace`] records *what each pipeline slot did each cycle*,
+//! this module records *what happened to flows*: the thick-control-flow
+//! lifecycle of the extended PRAM-NUMA model — spawning, splitting and
+//! joining, switching between PRAM and NUMA execution modes, changing
+//! thickness, reloading the TCF buffer, and blocking on joins. The runtimes
+//! emit these through an [`crate::ObsSink`]; exporters reconstruct per-flow
+//! timelines from the stream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::FlowTag;
+
+/// Execution mode of a flow in the extended PRAM-NUMA model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Synchronous, latency-hiding PRAM-style execution.
+    Pram,
+    /// Bunched NUMA-mode execution on local memory.
+    Numa,
+}
+
+impl Mode {
+    /// Stable lowercase name, shared by all exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Pram => "pram",
+            Mode::Numa => "numa",
+        }
+    }
+}
+
+/// A flow-lifecycle event, without timing (see [`TimedEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowEvent {
+    /// A flow came into existence (initial flows, `spawn`, or split arms).
+    FlowSpawned {
+        /// The new flow.
+        flow: FlowTag,
+        /// Parent flow, if any (`None` for initial flows).
+        parent: Option<FlowTag>,
+        /// Thickness at creation.
+        thickness: usize,
+    },
+    /// A flow split into `arms` child flows and began waiting for them.
+    Split {
+        /// The splitting (parent) flow.
+        flow: FlowTag,
+        /// Number of child arms created.
+        arms: usize,
+    },
+    /// A child flow joined back into its parent.
+    Join {
+        /// The joining (child) flow.
+        flow: FlowTag,
+        /// The parent being joined, if known.
+        parent: Option<FlowTag>,
+    },
+    /// A flow switched execution mode (PRAM ↔ NUMA).
+    ModeSwitch {
+        /// The switching flow.
+        flow: FlowTag,
+        /// Mode it switched *to*.
+        mode: Mode,
+    },
+    /// A flow's thickness changed (e.g. `setthick`).
+    ThicknessChange {
+        /// The resized flow.
+        flow: FlowTag,
+        /// Thickness before.
+        from: usize,
+        /// Thickness after.
+        to: usize,
+    },
+    /// Activating a flow missed in the TCF buffer and paid a reload.
+    BufferReload {
+        /// The flow being activated.
+        flow: FlowTag,
+        /// Processor/group whose buffer reloaded.
+        group: usize,
+        /// Overhead cycles charged for the reload.
+        cost: u64,
+    },
+    /// A flow began waiting (join barrier / spawn completion).
+    WaitBegin {
+        /// The waiting flow.
+        flow: FlowTag,
+        /// Children still outstanding when the wait began.
+        pending: usize,
+    },
+    /// A waiting flow was woken (all children accounted for).
+    WaitEnd {
+        /// The woken flow.
+        flow: FlowTag,
+    },
+    /// A flow halted for good.
+    FlowHalted {
+        /// The halted flow.
+        flow: FlowTag,
+    },
+    /// A flow performed an instruction fetch.
+    Fetch {
+        /// The fetching flow.
+        flow: FlowTag,
+    },
+    /// A register-cache spill forced an extra local-memory reference.
+    Spill {
+        /// The spilling flow.
+        flow: FlowTag,
+        /// Processor/group that issued the spill reference.
+        group: usize,
+    },
+    /// A machine step completed (used for per-step metric snapshots).
+    StepEnd {
+        /// 1-based step number just completed.
+        step: u64,
+        /// Machine clock (cycles) after the step.
+        cycle: u64,
+    },
+}
+
+impl FlowEvent {
+    /// Stable lowercase event name, shared by all exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FlowEvent::FlowSpawned { .. } => "flow_spawned",
+            FlowEvent::Split { .. } => "split",
+            FlowEvent::Join { .. } => "join",
+            FlowEvent::ModeSwitch { .. } => "mode_switch",
+            FlowEvent::ThicknessChange { .. } => "thickness_change",
+            FlowEvent::BufferReload { .. } => "buffer_reload",
+            FlowEvent::WaitBegin { .. } => "wait_begin",
+            FlowEvent::WaitEnd { .. } => "wait_end",
+            FlowEvent::FlowHalted { .. } => "flow_halted",
+            FlowEvent::Fetch { .. } => "fetch",
+            FlowEvent::Spill { .. } => "spill",
+            FlowEvent::StepEnd { .. } => "step_end",
+        }
+    }
+
+    /// The flow the event concerns, when it concerns one.
+    pub fn flow(&self) -> Option<FlowTag> {
+        match *self {
+            FlowEvent::FlowSpawned { flow, .. }
+            | FlowEvent::Split { flow, .. }
+            | FlowEvent::Join { flow, .. }
+            | FlowEvent::ModeSwitch { flow, .. }
+            | FlowEvent::ThicknessChange { flow, .. }
+            | FlowEvent::BufferReload { flow, .. }
+            | FlowEvent::WaitBegin { flow, .. }
+            | FlowEvent::WaitEnd { flow }
+            | FlowEvent::FlowHalted { flow }
+            | FlowEvent::Fetch { flow }
+            | FlowEvent::Spill { flow, .. } => Some(flow),
+            FlowEvent::StepEnd { .. } => None,
+        }
+    }
+}
+
+/// A [`FlowEvent`] stamped with the step and cycle it occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Machine step during which the event occurred (1-based; 0 before the
+    /// first step completes, e.g. initial-flow creation).
+    pub step: u64,
+    /// Machine clock (cycles) when the event occurred.
+    pub cycle: u64,
+    /// The event itself.
+    pub event: FlowEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_lowercase() {
+        let samples = [
+            FlowEvent::FlowSpawned {
+                flow: 1,
+                parent: None,
+                thickness: 4,
+            },
+            FlowEvent::Split { flow: 1, arms: 2 },
+            FlowEvent::Join {
+                flow: 2,
+                parent: Some(1),
+            },
+            FlowEvent::ModeSwitch {
+                flow: 1,
+                mode: Mode::Numa,
+            },
+            FlowEvent::StepEnd { step: 1, cycle: 10 },
+        ];
+        let names: Vec<_> = samples.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec!["flow_spawned", "split", "join", "mode_switch", "step_end"]
+        );
+        for n in names {
+            assert_eq!(n, n.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn flow_accessor() {
+        assert_eq!(FlowEvent::WaitEnd { flow: 7 }.flow(), Some(7));
+        assert_eq!(FlowEvent::StepEnd { step: 1, cycle: 1 }.flow(), None);
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::Pram.as_str(), "pram");
+        assert_eq!(Mode::Numa.as_str(), "numa");
+    }
+}

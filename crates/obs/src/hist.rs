@@ -1,0 +1,273 @@
+//! Allocation-free log2-bucket latency histograms.
+//!
+//! Latencies in the simulator (shared-memory round trips, network queueing,
+//! TCF-buffer reloads) span several orders of magnitude, so a histogram with
+//! exponentially sized buckets captures the distribution in a fixed, small
+//! footprint: one `[u64; 65]` array — bucket 0 for the value 0, bucket `k`
+//! for values in `[2^(k-1), 2^k)`. Recording is a handful of integer ops and
+//! never allocates, so it is safe on the simulator's hot paths.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per bit position of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Fixed-size log2-bucket histogram of `u64` samples.
+///
+/// `Copy` on purpose: the counter structs that embed it (`MachineStats`,
+/// `NetStats`, …) are themselves plain-old-data snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros(v)`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value that falls into bucket `k` (inclusive).
+fn bucket_upper(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (`0.0 ..= 1.0`), clamped to the observed maximum. Returns 0 when
+    /// empty. Resolution is one log2 bucket — adequate for order-of-
+    /// magnitude latency reporting.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; ceil so p50 of 2 samples is
+        // the 1st.
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(k).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median sample (bucket-resolution); see [`percentile`](Self::percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile sample (bucket-resolution).
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// Adds all of `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(range_lo, range_hi, count)`, ascending.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| {
+                let lo = if k == 0 { 0 } else { 1u64 << (k - 1) };
+                (lo, bucket_upper(k), n)
+            })
+            .collect()
+    }
+
+    /// Multi-line ASCII rendering (one row per non-empty bucket with a
+    /// proportional bar), used by `tdbg`'s `hist` command. Empty
+    /// histograms render as `"  (no samples)"`.
+    pub fn render_ascii(&self) -> String {
+        if self.count == 0 {
+            return "  (no samples)".to_string();
+        }
+        let rows = self.nonempty_buckets();
+        let widest = rows.iter().map(|&(_, _, n)| n).max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, (lo, hi, n)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            let bar_len = ((n * 40) / widest).max(1) as usize;
+            let bar = "#".repeat(bar_len);
+            out.push_str(&format!("  [{lo:>8} ..= {hi:>8}] {n:>8} |{bar}"));
+        }
+        out.push_str(&format!(
+            "\n  count {}  mean {:.1}  p50 {}  p95 {}  max {}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.max
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = LatencyHistogram::new();
+        for v in [0, 1, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_resolution_and_clamped() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(4); // bucket 3, upper bound 7
+        }
+        h.record(1000);
+        // p50 lands in bucket 3; upper bound 7 but clamped to max only if
+        // smaller — here 7 < 1000 so stays 7.
+        assert_eq!(h.p50(), 7);
+        // p95 rank 95 still within the 99 fours.
+        assert_eq!(h.p95(), 7);
+        // p100 reaches the outlier; clamped to observed max.
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.render_ascii(), "  (no samples)");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(3);
+        b.record(300);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 303);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.nonempty_buckets().len(), 3);
+    }
+
+    #[test]
+    fn single_sample_percentile_is_exactish() {
+        let mut h = LatencyHistogram::new();
+        h.record(6); // bucket 3 [4,7]; clamped to max 6
+        assert_eq!(h.p50(), 6);
+        assert_eq!(h.p95(), 6);
+    }
+
+    #[test]
+    fn ascii_render_mentions_counts() {
+        let mut h = LatencyHistogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(9);
+        let s = h.render_ascii();
+        assert!(s.contains("count 3"));
+        assert!(s.contains('#'));
+    }
+}

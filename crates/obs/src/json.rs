@@ -1,0 +1,384 @@
+//! Stable-schema JSON metrics dump, plus a tiny JSON validator.
+//!
+//! [`metrics_json`] serializes a [`MetricsRegistry`] under the
+//! `tcf-metrics/v1` schema:
+//!
+//! ```json
+//! {
+//!   "schema": "tcf-metrics/v1",
+//!   "counters":   { "machine.compute_ops": 128, ... },
+//!   "gauges":     { "machine.utilization": 0.87, ... },
+//!   "histograms": { "net.queue": { "count": 40, "sum": 90, "max": 9,
+//!                                   "mean": 2.25, "p50": 3, "p95": 7,
+//!                                   "buckets": [[0,0,4],[1,1,6], ...] } },
+//!   "steps": [ { "step": 1, "cycle": 12, "values": { ... } }, ... ]
+//! }
+//! ```
+//!
+//! Consumers may rely on these key names; additions will be
+//! backwards-compatible within `v1`. Values are plain JSON: non-finite
+//! gauges serialize as `null`. [`validate_json`] is a minimal
+//! recursive-descent checker used by the exporter tests and the CI smoke
+//! job — the workspace deliberately has no full JSON dependency.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricValue, MetricsRegistry};
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn gauge_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes a registry under the `tcf-metrics/v1` schema.
+pub fn metrics_json(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"schema\":\"tcf-metrics/v1\"");
+
+    out.push_str(",\"counters\":{");
+    let mut first = true;
+    for (name, v) in reg.iter() {
+        if let MetricValue::Counter(c) = v {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{c}", escape_str(name));
+        }
+    }
+    out.push('}');
+
+    out.push_str(",\"gauges\":{");
+    let mut first = true;
+    for (name, v) in reg.iter() {
+        if let MetricValue::Gauge(g) = v {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", escape_str(name), gauge_json(*g));
+        }
+    }
+    out.push('}');
+
+    out.push_str(",\"histograms\":{");
+    let mut first = true;
+    for (name, v) in reg.iter() {
+        if let MetricValue::Histogram(h) = v {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"buckets\":[",
+                escape_str(name),
+                h.count(),
+                h.sum(),
+                h.max(),
+                gauge_json(h.mean()),
+                h.p50(),
+                h.p95()
+            );
+            for (i, (lo, hi, n)) in h.nonempty_buckets().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{hi},{n}]");
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push('}');
+
+    out.push_str(",\"steps\":[");
+    for (i, s) in reg.snapshots().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"step\":{},\"cycle\":{},\"values\":{{",
+            s.step, s.cycle
+        );
+        for (j, (k, v)) in s.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape_str(k));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks that `s` is one complete, well-formed JSON value.
+///
+/// Minimal recursive-descent validator (objects, arrays, strings with
+/// escapes, numbers, `true`/`false`/`null`); returns a byte offset and
+/// message on the first error. Used by exporter tests and the CI smoke
+/// job in lieu of a JSON library dependency.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if *i >= b.len() {
+        return Err(format!("unexpected end of input at byte {i}"));
+    }
+    match b[*i] {
+        b'{' => parse_object(b, i),
+        b'[' => parse_array(b, i),
+        b'"' => parse_string(b, i),
+        b't' => parse_lit(b, i, b"true"),
+        b'f' => parse_lit(b, i, b"false"),
+        b'n' => parse_lit(b, i, b"null"),
+        b'-' | b'0'..=b'9' => parse_number(b, i),
+        c => Err(format!("unexpected byte {c:?} at {i}")),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() - *i >= lit.len() && &b[*i..*i + lit.len()] == lit {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b[*i] == b'-' {
+        *i += 1;
+    }
+    let digits_start = *i;
+    while *i < b.len() && b[*i].is_ascii_digit() {
+        *i += 1;
+    }
+    if *i == digits_start {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if *i < b.len() && b[*i] == b'.' {
+        *i += 1;
+        let frac = *i;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        if *i == frac {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if *i < b.len() && (b[*i] == b'e' || b[*i] == b'E') {
+        *i += 1;
+        if *i < b.len() && (b[*i] == b'+' || b[*i] == b'-') {
+            *i += 1;
+        }
+        let exp = *i;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        if *i == exp {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                if *i >= b.len() {
+                    break;
+                }
+                match b[*i] {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => *i += 1,
+                    b'u' => {
+                        if b.len() - *i < 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {i}"));
+                        }
+                        *i += 5;
+                    }
+                    c => return Err(format!("bad escape {c:?} at byte {i}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // consume '{'
+    skip_ws(b, i);
+    if *i < b.len() && b[*i] == b'}' {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if *i >= b.len() || b[*i] != b'"' {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        parse_string(b, i)?;
+        skip_ws(b, i);
+        if *i >= b.len() || b[*i] != b':' {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // consume '['
+    skip_ws(b, i);
+    if *i < b.len() && b[*i] == b']' {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    #[test]
+    fn validator_accepts_valid_json() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e10",
+            "\"a \\\"quoted\\\" str\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":true}",
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate_json(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_json() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{'a':1}",
+        ] {
+            assert!(validate_json(s).is_err(), "accepted: {s}");
+        }
+    }
+
+    #[test]
+    fn metrics_dump_is_valid_and_typed() {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("machine.compute_ops", 42);
+        r.set_gauge("machine.utilization", 0.75);
+        r.set_gauge("machine.bad", f64::NAN);
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(5);
+        r.set_histogram("net.queue", h);
+        r.record_snapshot(1, 10);
+        let json = metrics_json(&r);
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("\"schema\":\"tcf-metrics/v1\""));
+        assert!(json.contains("\"machine.compute_ops\":42"));
+        assert!(json.contains("\"machine.utilization\":0.75"));
+        assert!(json.contains("\"machine.bad\":null"));
+        assert!(json.contains("\"net.queue\":{\"count\":2"));
+        assert!(json.contains("\"steps\":[{\"step\":1,\"cycle\":10"));
+    }
+
+    #[test]
+    fn empty_registry_dump_is_valid() {
+        let json = metrics_json(&MetricsRegistry::new());
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("\"counters\":{}"));
+        assert!(json.contains("\"steps\":[]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("weird\"name", 1);
+        let json = metrics_json(&r);
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("weird\\\"name"));
+    }
+}

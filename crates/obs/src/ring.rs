@@ -1,0 +1,132 @@
+//! A bounded (or unbounded) event buffer.
+//!
+//! Long simulations emit millions of per-cycle records; observability must
+//! not change the asymptotics of a run. [`RingBuffer`] therefore supports a
+//! fixed capacity: once full, the oldest entries are dropped (and counted),
+//! keeping memory constant while the most recent window stays inspectable —
+//! the mode `tdbg` and long sweeps use.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// FIFO buffer with optional capacity; overflow drops the oldest entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingBuffer<T> {
+    items: VecDeque<T>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+// Manual impl: the derive would needlessly require `T: Default`.
+impl<T> Default for RingBuffer<T> {
+    fn default() -> RingBuffer<T> {
+        RingBuffer::unbounded()
+    }
+}
+
+impl<T> RingBuffer<T> {
+    /// An unbounded buffer.
+    pub fn unbounded() -> RingBuffer<T> {
+        RingBuffer {
+            items: VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// A buffer keeping at most `capacity` entries (the most recent ones).
+    pub fn bounded(capacity: usize) -> RingBuffer<T> {
+        assert!(capacity > 0, "ring buffer needs at least one slot");
+        RingBuffer {
+            items: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest when at capacity.
+    pub fn push(&mut self, item: T) {
+        if let Some(cap) = self.capacity {
+            if self.items.len() == cap {
+                self.items.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.items.push_back(item);
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries evicted by overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes all entries (the dropped count is kept).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// The retained window as a vector, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.items.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut r = RingBuffer::unbounded();
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.snapshot()[0], 0);
+    }
+
+    #[test]
+    fn bounded_drops_oldest() {
+        let mut r = RingBuffer::bounded(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.snapshot(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.capacity(), Some(3));
+    }
+
+    #[test]
+    fn clear_keeps_dropped_count() {
+        let mut r = RingBuffer::bounded(1);
+        r.push(1);
+        r.push(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+}

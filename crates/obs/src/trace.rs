@@ -1,0 +1,327 @@
+//! Execution traces.
+//!
+//! The paper illustrates each execution-model variant with a *single
+//! processor view*: time on the horizontal axis, what the processor's
+//! issue slot is doing in each cycle (which flow, which implicit thread,
+//! or a bubble). [`Trace`] records exactly that, [`Trace::gantt`] renders
+//! it (how the `repro` binary regenerates Figures 6–13), and
+//! [`crate::chrome`] exports the same stream for Perfetto.
+//!
+//! Traces can record unbounded ([`Trace::recording`]) or into a bounded
+//! ring buffer ([`Trace::ring`]) that keeps only the most recent window —
+//! constant memory for arbitrarily long runs, at the cost of dropping the
+//! oldest cycles (the drop count is reported via [`Trace::dropped`]).
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gantt;
+use crate::ring::RingBuffer;
+
+/// Identifier of a flow (TCF) or, in baseline models, of a thread bunch.
+pub type FlowTag = u32;
+
+/// What an issue slot did in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// Executed an ALU/compute operation.
+    Compute,
+    /// Issued a shared-memory reference.
+    MemShared,
+    /// Issued a local-memory reference.
+    MemLocal,
+    /// Fetched an instruction (NUMA mode / per-thread fetch accounting).
+    Fetch,
+    /// Waited — no operation available or replies outstanding.
+    Bubble,
+    /// Spent a cycle on flow management (TCF buffer reload, split/join
+    /// bookkeeping).
+    FlowOverhead,
+}
+
+impl UnitKind {
+    /// One-character cell used in Gantt rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            UnitKind::Compute => '#',
+            UnitKind::MemShared => 'M',
+            UnitKind::MemLocal => 'L',
+            UnitKind::Fetch => 'F',
+            UnitKind::Bubble => '.',
+            UnitKind::FlowOverhead => '+',
+        }
+    }
+
+    /// Stable lowercase name, shared by the CSV, Chrome-trace and metrics
+    /// exporters (unlike `Debug` formatting, this is a schema guarantee).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnitKind::Compute => "compute",
+            UnitKind::MemShared => "shared",
+            UnitKind::MemLocal => "local",
+            UnitKind::Fetch => "fetch",
+            UnitKind::Bubble => "bubble",
+            UnitKind::FlowOverhead => "overhead",
+        }
+    }
+
+    /// Whether the slot issued real work this cycle (not a bubble, not
+    /// flow-management overhead). This is the "issued" of the paper's
+    /// utilization figures.
+    pub fn is_issue(self) -> bool {
+        !matches!(self, UnitKind::Bubble | UnitKind::FlowOverhead)
+    }
+}
+
+/// One cycle of one group's issue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Cycle number (machine-global time).
+    pub cycle: u64,
+    /// Processor group.
+    pub group: usize,
+    /// Flow (or bunch) occupying the slot; `None` for a bubble.
+    pub flow: Option<FlowTag>,
+    /// Implicit thread index within the flow, when meaningful.
+    pub thread: Option<usize>,
+    /// What happened.
+    pub kind: UnitKind,
+}
+
+/// A recorded execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: RingBuffer<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A recording trace with unbounded storage.
+    pub fn recording() -> Trace {
+        Trace {
+            events: RingBuffer::unbounded(),
+            enabled: true,
+        }
+    }
+
+    /// A recording trace that keeps only the `capacity` most recent
+    /// events, dropping the oldest on overflow.
+    pub fn ring(capacity: usize) -> Trace {
+        Trace {
+            events: RingBuffer::bounded(capacity),
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: `push` is a no-op. Benches use this so tracing
+    /// overhead never pollutes timing measurements.
+    pub fn disabled() -> Trace {
+        Trace {
+            events: RingBuffer::unbounded(),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled). `#[inline]` so a disabled
+    /// trace costs one predictable branch at each call site.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// Snapshot of the recorded events, oldest first (in ring mode, only
+    /// the retained window).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.snapshot()
+    }
+
+    /// Events evicted by ring-buffer overflow (0 in unbounded mode).
+    pub fn dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    /// Ring capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.events.capacity()
+    }
+
+    /// Number of cycles in which a group *issued* real work (compute,
+    /// memory reference or fetch). Bubbles and flow-management overhead
+    /// are not busy — they agree with `MachineStats::utilization`; use
+    /// [`overhead_cycles`](Self::overhead_cycles) for the overhead
+    /// breakdown.
+    pub fn busy_cycles(&self, group: usize) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.group == group && e.kind.is_issue())
+            .count() as u64
+    }
+
+    /// Number of flow-management overhead cycles recorded for a group.
+    pub fn overhead_cycles(&self, group: usize) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.group == group && e.kind == UnitKind::FlowOverhead)
+            .count() as u64
+    }
+
+    /// Utilization of a group over the traced window: issued / total
+    /// events (bubbles and overhead both count toward the denominator
+    /// only).
+    pub fn utilization(&self, group: usize) -> f64 {
+        let total = self.events.iter().filter(|e| e.group == group).count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_cycles(group) as f64 / total as f64
+    }
+
+    /// Renders the single-processor-view Gantt strip of one group.
+    ///
+    /// One row per flow (plus a bubble row), one column per cycle; each
+    /// cell is the [`UnitKind::glyph`] of what the slot executed for that
+    /// flow in that cycle. This is the visual language of the paper's
+    /// Figures 6–12.
+    pub fn gantt(&self, group: usize) -> String {
+        let events = self.events();
+        gantt::render(&events, group)
+    }
+
+    /// Clears all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Exports the trace as CSV (`cycle,group,flow,thread,kind`), for
+    /// external plotting of schedules. `flow`/`thread` are empty for
+    /// bubbles; `kind` uses the stable [`UnitKind::as_str`] names.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,group,flow,thread,kind\n");
+        for e in self.events.iter() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                e.cycle,
+                e.group,
+                e.flow.map(|f| f.to_string()).unwrap_or_default(),
+                e.thread.map(|t| t.to_string()).unwrap_or_default(),
+                e.kind.as_str()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, flow: Option<FlowTag>, kind: UnitKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            group: 0,
+            flow,
+            thread: None,
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(ev(0, Some(1), UnitKind::Compute));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn utilization_counts_bubbles() {
+        let mut t = Trace::recording();
+        t.push(ev(0, Some(1), UnitKind::Compute));
+        t.push(ev(1, None, UnitKind::Bubble));
+        t.push(ev(2, Some(1), UnitKind::MemShared));
+        t.push(ev(3, None, UnitKind::Bubble));
+        assert_eq!(t.busy_cycles(0), 2);
+        assert!((t.utilization(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_is_not_busy() {
+        let mut t = Trace::recording();
+        t.push(ev(0, Some(1), UnitKind::Compute));
+        t.push(ev(1, Some(1), UnitKind::FlowOverhead));
+        t.push(ev(2, Some(1), UnitKind::FlowOverhead));
+        t.push(ev(3, None, UnitKind::Bubble));
+        assert_eq!(t.busy_cycles(0), 1);
+        assert_eq!(t.overhead_cycles(0), 2);
+        assert!((t.utilization(0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_mode_keeps_recent_window() {
+        let mut t = Trace::ring(2);
+        for c in 0..5 {
+            t.push(ev(c, Some(1), UnitKind::Compute));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].cycle, 3);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.capacity(), Some(2));
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_flow() {
+        let mut t = Trace::recording();
+        t.push(ev(10, Some(1), UnitKind::Compute));
+        t.push(ev(11, Some(2), UnitKind::MemShared));
+        t.push(ev(12, None, UnitKind::Bubble));
+        let g = t.gantt(0);
+        assert!(g.contains("flow   1 |#  |"));
+        assert!(g.contains("flow   2 | M |"));
+        assert!(g.contains("(idle) |  .|"));
+    }
+
+    #[test]
+    fn gantt_empty_group() {
+        let t = Trace::recording();
+        assert!(t.gantt(3).contains("no events"));
+    }
+
+    #[test]
+    fn csv_export_uses_stable_names() {
+        let mut t = Trace::recording();
+        t.push(ev(5, Some(2), UnitKind::MemShared));
+        t.push(ev(6, None, UnitKind::Bubble));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cycle,group,flow,thread,kind");
+        assert_eq!(lines[1], "5,0,2,,shared");
+        assert_eq!(lines[2], "6,0,,,bubble");
+    }
+
+    #[test]
+    fn kind_names_cover_all_variants() {
+        let kinds = [
+            UnitKind::Compute,
+            UnitKind::MemShared,
+            UnitKind::MemLocal,
+            UnitKind::Fetch,
+            UnitKind::Bubble,
+            UnitKind::FlowOverhead,
+        ];
+        let names: Vec<_> = kinds.iter().map(|k| k.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["compute", "shared", "local", "fetch", "bubble", "overhead"]
+        );
+    }
+}

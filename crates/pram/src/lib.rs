@@ -34,5 +34,5 @@ pub mod thread;
 pub use bunch::Bunch;
 pub use error::{ExecError, Fault};
 pub use machine::PramMachine;
-pub use summary::RunSummary;
+pub use summary::{summary_metrics, RunSummary};
 pub use thread::ThreadState;

@@ -96,7 +96,14 @@ impl PramMachine {
             })
             .collect();
         let pipes = (0..config.groups)
-            .map(|g| GroupPipeline::with_ilp(g, config.module_latency, config.local_latency, config.ilp_width))
+            .map(|g| {
+                GroupPipeline::with_ilp(
+                    g,
+                    config.module_latency,
+                    config.local_latency,
+                    config.ilp_width,
+                )
+            })
             .collect();
         let locals = (0..config.groups)
             .map(|g| LocalMemory::new(g, config.local_size))
@@ -120,7 +127,11 @@ impl PramMachine {
 
     /// Enables or disables execution tracing (disabled by default).
     pub fn set_tracing(&mut self, on: bool) {
-        self.trace = if on { Trace::recording() } else { Trace::disabled() };
+        self.trace = if on {
+            Trace::recording()
+        } else {
+            Trace::disabled()
+        };
     }
 
     /// The machine configuration.
@@ -148,14 +159,12 @@ impl PramMachine {
     /// Shared-memory host write.
     pub fn poke(&mut self, addr: usize, v: Word) -> Result<(), ExecError> {
         let step = self.steps;
-        self.shared
-            .poke(addr, v)
-            .map_err(|e| ExecError {
-                fault: e.into(),
-                step,
-                group: 0,
-                thread: None,
-            })
+        self.shared.poke(addr, v).map_err(|e| ExecError {
+            fault: e.into(),
+            step,
+            group: 0,
+            thread: None,
+        })
     }
 
     /// Local-memory host read.
@@ -345,14 +354,15 @@ impl PramMachine {
                     &mut self.stats,
                 );
                 gend = out2.end_cycle;
-                // The two pipeline calls model one machine step.
-                self.stats.steps -= 1;
             }
             end = end.max(gend);
         }
         self.clock = end;
         self.stats.cycles = end;
         self.steps += 1;
+        // The machine owns the step counter (a step may span several
+        // pipeline calls); mirror it into the stats snapshot.
+        self.stats.steps = self.steps;
         Ok(true)
     }
 
@@ -439,11 +449,7 @@ impl PramMachine {
                 off,
                 space,
             } => {
-                let addr = to_addr(
-                    self.groups[g].threads[t]
-                        .read_reg(base)
-                        .wrapping_add(off),
-                );
+                let addr = to_addr(self.groups[g].threads[t].read_reg(base).wrapping_add(off));
                 match space {
                     MemSpace::Shared => {
                         unit = IssueUnit::shared_mem(flow, t, self.shared.module_of(addr));
@@ -457,7 +463,9 @@ impl PramMachine {
                     }
                     MemSpace::Local => {
                         unit = IssueUnit::local_mem(flow, t);
-                        let v = self.locals[g].read(addr).map_err(|e| self.err(g, t, e.into()))?;
+                        let v = self.locals[g]
+                            .read(addr)
+                            .map_err(|e| self.err(g, t, e.into()))?;
                         self.groups[g].threads[t].write_reg(rd, v);
                     }
                 }
@@ -478,7 +486,9 @@ impl PramMachine {
                     }
                     MemSpace::Local => {
                         unit = IssueUnit::local_mem(flow, t);
-                        self.locals[g].write(addr, v).map_err(|e| self.err(g, t, e.into()))?;
+                        self.locals[g]
+                            .write(addr, v)
+                            .map_err(|e| self.err(g, t, e.into()))?;
                     }
                 }
             }
@@ -508,7 +518,12 @@ impl PramMachine {
                     }
                 }
             }
-            Instr::MultiOp { kind, base, off, rs } => {
+            Instr::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            } => {
                 let st = &self.groups[g].threads[t];
                 let addr = to_addr(st.read_reg(base).wrapping_add(off));
                 let v = st.read_reg(rs);
@@ -640,11 +655,15 @@ impl PramMachine {
                     let v = match space {
                         MemSpace::Shared => {
                             unit = IssueUnit::shared_mem(flow, leader, self.shared.module_of(addr));
-                            self.shared.peek(addr).map_err(|e| self.err(g, leader, e.into()))?
+                            self.shared
+                                .peek(addr)
+                                .map_err(|e| self.err(g, leader, e.into()))?
                         }
                         MemSpace::Local => {
                             unit = IssueUnit::local_mem(flow, leader);
-                            self.locals[g].read(addr).map_err(|e| self.err(g, leader, e.into()))?
+                            self.locals[g]
+                                .read(addr)
+                                .map_err(|e| self.err(g, leader, e.into()))?
                         }
                     };
                     self.groups[g].threads[leader].write_reg(rd, v);
@@ -688,9 +707,18 @@ impl PramMachine {
                         }
                     }
                 }
-                Instr::MultiOp { kind, base, off, rs }
+                Instr::MultiOp {
+                    kind,
+                    base,
+                    off,
+                    rs,
+                }
                 | Instr::MultiPrefix {
-                    kind, base, off, rs, ..
+                    kind,
+                    base,
+                    off,
+                    rs,
+                    ..
                 } => {
                     // Sequential stream: a multioperation degenerates to a
                     // read-modify-write; a multiprefix additionally returns
@@ -699,7 +727,10 @@ impl PramMachine {
                     let addr = to_addr(st.read_reg(base).wrapping_add(off));
                     let v = st.read_reg(rs);
                     unit = IssueUnit::shared_mem(flow, leader, self.shared.module_of(addr));
-                    let old = self.shared.peek(addr).map_err(|e| self.err(g, leader, e.into()))?;
+                    let old = self
+                        .shared
+                        .peek(addr)
+                        .map_err(|e| self.err(g, leader, e.into()))?;
                     self.shared
                         .poke(addr, kind.combine(old, v))
                         .map_err(|e| self.err(g, leader, e.into()))?;

@@ -116,7 +116,7 @@ fn baseline_trace_exports() {
     m.set_tracing(true);
     m.run(100).unwrap();
     let csv = m.trace().to_csv();
-    assert!(csv.contains("MemShared"));
+    assert!(csv.contains("shared"));
     assert!(m.trace().gantt(0).contains("flow"));
 }
 

@@ -85,11 +85,7 @@ fn main() {
          }}"
     );
     let program = tcf::lang::compile(&source).expect("program compiles");
-    let mut machine = TcfMachine::new(
-        MachineConfig::small(),
-        Variant::SingleInstruction,
-        program,
-    );
+    let mut machine = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
 
     for (i, &(u, v)) in es.iter().enumerate() {
         machine.poke(SRC_BASE + i, u as i64).unwrap();

@@ -53,11 +53,7 @@ fn main() {
         n_inner = N - 2,
     );
     let program = tcf::lang::compile(&source).expect("program compiles");
-    let mut machine = TcfMachine::new(
-        MachineConfig::small(),
-        Variant::SingleInstruction,
-        program,
-    );
+    let mut machine = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
     machine.set_tracing(true);
     let summary = machine.run(5_000_000).expect("program halts");
 

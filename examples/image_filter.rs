@@ -39,11 +39,7 @@ fn main() {
         npix = W * H,
     );
     let program = tcf::lang::compile(&source).expect("program compiles");
-    let mut machine = TcfMachine::new(
-        MachineConfig::small(),
-        Variant::SingleInstruction,
-        program,
-    );
+    let mut machine = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
 
     // A deterministic pseudo-image.
     let pixel = |x: usize, y: usize| ((x * 7 + y * 13) % 256) as i64;

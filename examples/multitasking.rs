@@ -35,12 +35,14 @@ fn main() {
     let entry = program.label("task").unwrap();
 
     println!("{NTASKS} tasks, TCF buffer capacity sweep:");
-    println!("{:>12}  {:>8}  {:>8}  {:>15}  {:>12}", "buffer slots", "switches", "misses", "overhead cycles", "total cycles");
+    println!(
+        "{:>12}  {:>8}  {:>8}  {:>15}  {:>12}",
+        "buffer slots", "switches", "misses", "overhead cycles", "total cycles"
+    );
     for slots in [2usize, 4, 8, 16, 32] {
         let mut config = MachineConfig::small();
         config.tcf_buffer_slots = slots;
-        let mut machine =
-            TcfMachine::new(config, Variant::SingleInstruction, program.clone());
+        let mut machine = TcfMachine::new(config, Variant::SingleInstruction, program.clone());
         let mut ids = Vec::new();
         for _ in 0..NTASKS {
             ids.push(machine.spawn_task(entry, 1).expect("task spawns"));

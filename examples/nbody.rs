@@ -37,11 +37,7 @@ fn main() {
          }}"
     );
     let program = tcf::lang::compile(&source).expect("program compiles");
-    let mut machine = TcfMachine::new(
-        MachineConfig::small(),
-        Variant::SingleInstruction,
-        program,
-    );
+    let mut machine = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
 
     let xs: Vec<i64> = (0..N as i64).map(|i| (i * i * 3 + 11 * i) % 997).collect();
     for (i, &x) in xs.iter().enumerate() {

@@ -48,7 +48,10 @@ fn main() {
         "  steps {:>6}   (independent of N: one TCF instruction per statement)",
         summary.steps
     );
-    println!("  cycles {:>5}   (grows with N: the work is real)", summary.cycles);
+    println!(
+        "  cycles {:>5}   (grows with N: the work is real)",
+        summary.cycles
+    );
     println!("  issued ops {:>6}", summary.machine.issued());
     println!("  utilization {:.2}", summary.machine.utilization());
 }

@@ -45,11 +45,7 @@ fn main() {
          }}"
     );
     let program = tcf::lang::compile(&source).expect("program compiles");
-    let mut machine = TcfMachine::new(
-        MachineConfig::small(),
-        Variant::SingleInstruction,
-        program,
-    );
+    let mut machine = TcfMachine::new(MachineConfig::small(), Variant::SingleInstruction, program);
 
     // A scrambled but deterministic input (values stay small and
     // non-negative so the arithmetic select cannot overflow).

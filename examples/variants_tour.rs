@@ -71,18 +71,22 @@ fn main() {
     let config = MachineConfig::small();
     let width = config.threads_per_group;
     let cases: Vec<(Variant, &str, Program)> = vec![
-        (
-            Variant::SingleInstruction,
-            "#N; c.=a.+b.;",
-            thick_version(),
-        ),
+        (Variant::SingleInstruction, "#N; c.=a.+b.;", thick_version()),
         (
             Variant::Balanced { bound: 8 },
             "#N; c.=a.+b.; (b=8 slices)",
             thick_version(),
         ),
-        (Variant::MultiInstruction, "fork per element", fork_version()),
-        (Variant::SingleOperation, "loop + thread arithmetic", loop_version()),
+        (
+            Variant::MultiInstruction,
+            "fork per element",
+            fork_version(),
+        ),
+        (
+            Variant::SingleOperation,
+            "loop + thread arithmetic",
+            loop_version(),
+        ),
         (
             Variant::ConfigurableSingleOperation,
             "loop + thread arithmetic",

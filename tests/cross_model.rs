@@ -106,14 +106,18 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
             prop::sample::select(&[SpecialReg::Gid, SpecialReg::Pid, SpecialReg::NThreads][..])
         )
             .prop_map(|(rd, sr)| Instr::Mfs { rd, sr }),
-        (data_reg.clone(), data_reg.clone(), data_reg.clone(), data_reg.clone()).prop_map(
-            |(rd, cond, rt, rf)| Instr::Sel {
+        (
+            data_reg.clone(),
+            data_reg.clone(),
+            data_reg.clone(),
+            data_reg.clone()
+        )
+            .prop_map(|(rd, cond, rt, rf)| Instr::Sel {
                 rd,
                 cond,
                 rt,
                 rf: Operand::Reg(rf),
-            }
-        ),
+            }),
         // Loads/stores through a fresh in-window base: emitted as a pair
         // so the address is always valid.
         (data_reg.clone(), addr_base.clone(), 0i64..32).prop_map(|(rd, base, off)| {
@@ -132,15 +136,19 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 space: MemSpace::Shared,
             }
         }),
-        (data_reg.clone(), addr_base.clone(), 0i64..32, data_reg.clone()).prop_map(
-            |(cond, base, off, rs)| Instr::StMasked {
+        (
+            data_reg.clone(),
+            addr_base.clone(),
+            0i64..32,
+            data_reg.clone()
+        )
+            .prop_map(|(cond, base, off, rs)| Instr::StMasked {
                 cond,
                 rs,
                 base: Reg::ZERO,
                 off: base + off,
                 space: MemSpace::Shared,
-            }
-        ),
+            }),
         (
             prop::sample::select(&MultiKind::ALL[..]),
             addr_base.clone(),
