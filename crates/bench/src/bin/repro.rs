@@ -10,6 +10,9 @@
 //!                      #            allocation, network placement
 //! repro metrics        # stable-schema JSON metrics dump (tcf-metrics/v1)
 //! repro --paper ...    # use the paper-scale machine (P=16, Tp=64)
+//! repro --engine par:4 # run simulations on the deterministic parallel
+//!                      # engine (seq | par:<workers>); results are
+//!                      # bit-identical to sequential (docs/PARALLEL.md)
 //! repro ... --trace-out trace.json
 //!                      # additionally write a Chrome trace_event file
 //!                      # (open in Perfetto / chrome://tracing)
@@ -36,6 +39,21 @@ fn main() -> ExitCode {
         }
         trace_out = Some(args.remove(i + 1));
         args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--engine") {
+        if i + 1 >= args.len() {
+            eprintln!("--engine needs a spec argument (seq | par:<workers>)");
+            return ExitCode::FAILURE;
+        }
+        let spec = args.remove(i + 1);
+        args.remove(i);
+        if tcf_core::Engine::from_spec(&spec).is_none() {
+            eprintln!("bad engine spec `{spec}` (expected seq | par:<workers>)");
+            return ExitCode::FAILURE;
+        }
+        // Every machine the experiments construct picks the engine up
+        // from the environment at build time.
+        env::set_var("TCF_ENGINE", &spec);
     }
     let config = if paper {
         tcf_bench::paper_config()

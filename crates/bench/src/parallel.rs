@@ -5,24 +5,57 @@
 //! in the output. Simulations themselves stay single-threaded and
 //! deterministic — parallelism is purely across sweep points.
 
-/// Applies `f` to every item on its own scoped thread, returning results
-/// in input order. Intended for sweeps of a handful of expensive points;
-/// spawns one thread per item.
+/// Applies `f` to every item across at most
+/// [`available_parallelism`](std::thread::available_parallelism) scoped
+/// threads, returning results in input order. Items are split into
+/// contiguous chunks, one chunk per thread, so a sweep of hundreds of
+/// points no longer spawns hundreds of threads.
 pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    par_map_threads(items, threads, f)
+}
+
+/// [`par_map`] with an explicit thread cap (≥ 1; chunking never exceeds
+/// the item count).
+pub fn par_map_threads<I, T, F>(mut items: Vec<I>, max_threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = max_threads.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks: the first `n % workers` chunks get one extra
+    // item, so sizes differ by at most one and order is preserved by
+    // concatenating chunk results.
+    let base = n / workers;
+    let extra = n % workers;
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        let rest = items.split_off(take);
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    debug_assert!(items.is_empty());
     std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(items.len());
-        for item in items {
+        let mut handles = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
             let f = &f;
-            handles.push(s.spawn(move || f(item)));
+            handles.push(s.spawn(move || chunk.into_iter().map(f).collect::<Vec<T>>()));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     })
 }
@@ -30,11 +63,49 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn preserves_order() {
         let out = par_map(vec![3u64, 1, 4, 1, 5, 9], |x| x * 2);
         assert_eq!(out, vec![6, 2, 8, 2, 10, 18]);
+    }
+
+    #[test]
+    fn preserves_order_beyond_thread_count() {
+        // More items than any plausible host parallelism: chunking must
+        // still concatenate back in input order.
+        let items: Vec<u64> = (0..200).collect();
+        let out = par_map(items, |x| x * 3 + 1);
+        let expected: Vec<u64> = (0..200).map(|x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn caps_thread_usage() {
+        let seen = Mutex::new(HashSet::new());
+        let out = par_map_threads((0..100u64).collect(), 3, |x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            x + 1
+        });
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+        assert!(
+            seen.lock().unwrap().len() <= 3,
+            "more than 3 worker threads"
+        );
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map_threads(vec![10u64, 20, 30], 1, |x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x / 10
+        });
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -271,3 +271,110 @@ impl TcfMachine {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use tcf_isa::instr::{Instr, Operand};
+    use tcf_isa::op::AluOp;
+    use tcf_isa::program::Program;
+    use tcf_isa::reg::r;
+    use tcf_isa::word::Word;
+    use tcf_machine::MachineConfig;
+
+    use crate::error::TcfFault;
+    use crate::machine::{TcfMachine, MAX_THICKNESS};
+    use crate::variant::Variant;
+
+    /// `numa <slots>; r1 += 1  (× body); endnuma; halt`.
+    fn numa_prog(slots: Word, body: usize) -> Program {
+        let mut instrs = vec![Instr::Numa {
+            slots: Operand::Imm(slots),
+        }];
+        for _ in 0..body {
+            instrs.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: r(1),
+                ra: r(1),
+                rb: Operand::Imm(1),
+            });
+        }
+        instrs.push(Instr::EndNuma);
+        instrs.push(Instr::Halt);
+        Program::new(instrs, Default::default(), vec![]).unwrap()
+    }
+
+    fn machine(slots: Word, body: usize) -> TcfMachine {
+        TcfMachine::new(
+            MachineConfig::small(),
+            Variant::SingleInstruction,
+            numa_prog(slots, body),
+        )
+    }
+
+    #[test]
+    fn bunch_length_one_is_the_slowest_legal_bunch() {
+        // T = 1 (thickness 1/1): exactly one sequential instruction per
+        // synchronous step — the boundary where NUMA mode degenerates to
+        // plain sequential stepping.
+        let mut m1 = machine(1, 5);
+        let s1 = m1.run(1_000).unwrap();
+        assert_eq!(m1.flow(0).unwrap().regs.read(r(1), 0), 5);
+        // A bunch long enough to swallow the body in one slice.
+        let mut m6 = machine(6, 5);
+        let s6 = m6.run(1_000).unwrap();
+        assert_eq!(m6.flow(0).unwrap().regs.read(r(1), 0), 5);
+        assert!(
+            s1.steps > s6.steps,
+            "T=1 ({} steps) must step more often than T=6 ({} steps)",
+            s1.steps,
+            s6.steps
+        );
+        // 5 adds + endnuma at one instruction per step, plus the numa and
+        // halt steps.
+        assert_eq!(s1.steps, 8);
+    }
+
+    #[test]
+    fn bunch_length_max_thickness_is_accepted() {
+        // T = MAX_THICKNESS is the far boundary of 1/T: legal, and an
+        // immediate endnuma must terminate the slice without executing
+        // MAX instructions.
+        let mut m = machine(MAX_THICKNESS as Word, 0);
+        let s = m.run(1_000).unwrap();
+        assert!(s.halted);
+        assert_eq!(m.live_flows(), 0);
+    }
+
+    #[test]
+    fn bunch_length_zero_is_rejected() {
+        let mut m = machine(0, 1);
+        let err = m.run(1_000).unwrap_err();
+        assert!(
+            matches!(err.fault, TcfFault::BadThickness { requested: 0 }),
+            "got {:?}",
+            err.fault
+        );
+    }
+
+    #[test]
+    fn bunch_length_above_max_thickness_is_rejected() {
+        let mut m = machine(MAX_THICKNESS as Word + 1, 1);
+        let err = m.run(1_000).unwrap_err();
+        assert!(
+            matches!(err.fault, TcfFault::BadThickness { .. }),
+            "got {:?}",
+            err.fault
+        );
+    }
+
+    #[test]
+    fn negative_bunch_length_is_rejected() {
+        let mut m = machine(-3, 1);
+        let err = m.run(1_000).unwrap_err();
+        assert!(
+            matches!(err.fault, TcfFault::BadThickness { requested: -3 }),
+            "got {:?}",
+            err.fault
+        );
+    }
+}

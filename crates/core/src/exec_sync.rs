@@ -86,11 +86,9 @@ impl TcfMachine {
             }
         }
 
-        // Phase 2: one PRAM memory step for all flows' references.
-        let (replies, mstats) = self
-            .shared
-            .step(&refs)
-            .map_err(|e| self.host_err(e.into()))?;
+        // Phase 2: one PRAM memory step for all flows' references
+        // (sharded per memory module under the parallel engine).
+        let (replies, mstats) = self.memory_step(&refs)?;
         self.mem_stats.absorb(&mstats);
 
         // Phase 3: write-backs.
@@ -206,6 +204,7 @@ impl TcfMachine {
             // sliced instructions.
             let bound = self.variant.bound().unwrap_or(usize::MAX);
             let mut cursor = flow.next_op;
+            let mut slices: Vec<(Fragment, std::ops::Range<usize>)> = Vec::new();
             for fi in 0..flow.fragments.len() {
                 if cursor >= flow.thickness {
                     break;
@@ -215,36 +214,14 @@ impl TcfMachine {
                 if n == 0 {
                     continue;
                 }
-                self.exec_thick_ops(
-                    flow,
-                    &instr,
-                    frag.group,
-                    cursor..cursor + n,
-                    units,
-                    refs,
-                    wbs,
-                )?;
-                // §3.3 operand storage: if this fragment's per-thread
-                // register footprint exceeds the cached register file,
-                // the operands live in the local memory — every thick
-                // operation pays one extra local access (spill traffic).
-                let cap = self.config.reg_cache_words;
-                if cap > 0 && flow.regs.per_thread_count() * frag.len > cap {
-                    for e in cursor..cursor + n {
-                        units[frag.group].push(IssueUnit::local_mem(flow.id, e));
-                        self.stats.spill_refs += 1;
-                        self.obs.emit(
-                            self.steps,
-                            self.clock,
-                            FlowEvent::Spill {
-                                flow: flow.id,
-                                group: frag.group,
-                            },
-                        );
-                    }
-                }
+                slices.push((frag, cursor..cursor + n));
                 cursor += n;
             }
+            // Lanes execute per slice (inline, or on the worker pool under
+            // the parallel engine — the fragments' groups are distinct, so
+            // the slices are independent) and merge in fragment order.
+            let outs = self.exec_slices(flow, &instr, &slices);
+            self.merge_frag_outs(flow, outs, units, refs, wbs)?;
             flow.next_op = cursor;
             if flow.instruction_complete() {
                 flow.pc = pc + 1;
@@ -254,193 +231,6 @@ impl TcfMachine {
         } else {
             self.exec_flowwise(flow, &instr, units, refs, wbs)
         }
-    }
-
-    /// One operation per implicit thread in `range`, attributed to
-    /// `group`.
-    #[allow(clippy::too_many_arguments)]
-    fn exec_thick_ops(
-        &mut self,
-        flow: &mut Flow,
-        instr: &Instr,
-        group: usize,
-        range: std::ops::Range<usize>,
-        units: &mut [Vec<IssueUnit>],
-        refs: &mut Vec<MemRef>,
-        wbs: &mut Vec<Writeback>,
-    ) -> Result<(), TcfError> {
-        let t = flow.thickness;
-        for e in range {
-            let origin = RefOrigin::new(group, flow.rank_base + e);
-            match *instr {
-                Instr::Alu { op, rd, ra, ref rb } => {
-                    let a = flow.regs.read(ra, e);
-                    let b = match rb {
-                        Operand::Reg(r) => flow.regs.read(*r, e),
-                        Operand::Imm(w) => *w,
-                    };
-                    flow.regs.write(rd, e, op.eval(a, b), t);
-                    units[group].push(IssueUnit::compute(flow.id, e));
-                }
-                Instr::Mfs { rd, sr } => {
-                    let v = self.special(flow, e, sr);
-                    flow.regs.write(rd, e, v, t);
-                    units[group].push(IssueUnit::compute(flow.id, e));
-                }
-                Instr::Sel {
-                    rd,
-                    cond,
-                    rt,
-                    ref rf,
-                } => {
-                    let v = if flow.regs.read(cond, e) != 0 {
-                        flow.regs.read(rt, e)
-                    } else {
-                        match rf {
-                            Operand::Reg(r) => flow.regs.read(*r, e),
-                            Operand::Imm(w) => *w,
-                        }
-                    };
-                    flow.regs.write(rd, e, v, t);
-                    units[group].push(IssueUnit::compute(flow.id, e));
-                }
-                Instr::Ld {
-                    rd,
-                    base,
-                    off,
-                    space,
-                } => {
-                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
-                    match space {
-                        MemSpace::Shared => {
-                            units[group].push(IssueUnit::shared_mem(
-                                flow.id,
-                                e,
-                                self.shared.module_of(addr),
-                            ));
-                            wbs.push(Writeback {
-                                flow: flow.id,
-                                rd,
-                                thread: Some(e),
-                                ref_idx: refs.len(),
-                            });
-                            refs.push(MemRef::new(origin, MemOp::Read(addr)));
-                        }
-                        MemSpace::Local => {
-                            units[group].push(IssueUnit::local_mem(flow.id, e));
-                            let v = self.locals[group]
-                                .read(addr)
-                                .map_err(|err| self.flow_err(flow.id, err.into()))?;
-                            flow.regs.write(rd, e, v, t);
-                        }
-                    }
-                }
-                Instr::St {
-                    rs,
-                    base,
-                    off,
-                    space,
-                } => {
-                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
-                    let v = flow.regs.read(rs, e);
-                    match space {
-                        MemSpace::Shared => {
-                            units[group].push(IssueUnit::shared_mem(
-                                flow.id,
-                                e,
-                                self.shared.module_of(addr),
-                            ));
-                            refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
-                        }
-                        MemSpace::Local => {
-                            units[group].push(IssueUnit::local_mem(flow.id, e));
-                            self.locals[group]
-                                .write(addr, v)
-                                .map_err(|err| self.flow_err(flow.id, err.into()))?;
-                        }
-                    }
-                }
-                Instr::StMasked {
-                    cond,
-                    rs,
-                    base,
-                    off,
-                    space,
-                } => {
-                    let selected = flow.regs.read(cond, e) != 0;
-                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
-                    let v = flow.regs.read(rs, e);
-                    if selected {
-                        match space {
-                            MemSpace::Shared => {
-                                units[group].push(IssueUnit::shared_mem(
-                                    flow.id,
-                                    e,
-                                    self.shared.module_of(addr),
-                                ));
-                                refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
-                            }
-                            MemSpace::Local => {
-                                units[group].push(IssueUnit::local_mem(flow.id, e));
-                                self.locals[group]
-                                    .write(addr, v)
-                                    .map_err(|err| self.flow_err(flow.id, err.into()))?;
-                            }
-                        }
-                    } else {
-                        // The lane still occupies its slot (vector-style
-                        // masked execution).
-                        units[group].push(IssueUnit::compute(flow.id, e));
-                    }
-                }
-                Instr::MultiOp {
-                    kind,
-                    base,
-                    off,
-                    rs,
-                } => {
-                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
-                    let v = flow.regs.read(rs, e);
-                    units[group].push(IssueUnit::shared_mem(
-                        flow.id,
-                        e,
-                        self.shared.module_of(addr),
-                    ));
-                    refs.push(MemRef::new(origin, MemOp::Multi(kind, addr, v)));
-                }
-                Instr::MultiPrefix {
-                    kind,
-                    rd,
-                    base,
-                    off,
-                    rs,
-                } => {
-                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
-                    let v = flow.regs.read(rs, e);
-                    units[group].push(IssueUnit::shared_mem(
-                        flow.id,
-                        e,
-                        self.shared.module_of(addr),
-                    ));
-                    wbs.push(Writeback {
-                        flow: flow.id,
-                        rd,
-                        thread: Some(e),
-                        ref_idx: refs.len(),
-                    });
-                    refs.push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
-                }
-                ref other => {
-                    return Err(self.flow_err(
-                        flow.id,
-                        TcfFault::Internal {
-                            what: format!("`{other}` classified as thick"),
-                        },
-                    ))
-                }
-            }
-        }
-        Ok(())
     }
 
     /// Executes a flow-wise instruction: one operation on the home group's

@@ -47,6 +47,7 @@ pub mod exec_numa;
 pub mod exec_sync;
 pub mod flow;
 pub mod machine;
+pub mod par_engine;
 pub mod sched;
 pub mod thick;
 pub mod variant;
@@ -54,6 +55,7 @@ pub mod variant;
 pub use error::{TcfError, TcfFault};
 pub use flow::{Flow, FlowStatus, Fragment};
 pub use machine::{TcfMachine, DEFAULT_STEP_BUDGET};
+pub use par_engine::Engine;
 pub use sched::Allocation;
 pub use thick::{ThickRegs, ThickValue};
 pub use variant::Variant;

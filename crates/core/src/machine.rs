@@ -41,6 +41,7 @@ use tcf_pram::RunSummary;
 
 use crate::error::{TcfError, TcfFault};
 use crate::flow::{ExecMode, Flow, FlowStatus};
+use crate::par_engine::{global_pool, Engine, WorkerPool};
 use crate::sched::Allocation;
 use crate::variant::Variant;
 
@@ -71,6 +72,8 @@ pub struct TcfMachine {
     pub(crate) mem_stats: StepStats,
     pub(crate) clock: u64,
     pub(crate) steps: u64,
+    pub(crate) engine: Engine,
+    pub(crate) pool: Option<Arc<WorkerPool>>,
 }
 
 impl TcfMachine {
@@ -142,10 +145,30 @@ impl TcfMachine {
             mem_stats: StepStats::default(),
             clock: 0,
             steps: 0,
+            engine: Engine::Sequential,
+            pool: None,
             config,
         };
+        m.set_engine(Engine::from_env());
         m.create_initial_flows();
         m
+    }
+
+    /// Selects the execution engine (default: `TCF_ENGINE`, else
+    /// sequential). The parallel engine is deterministic — it produces
+    /// bit-identical results, statistics and event streams to the
+    /// sequential engine at any worker count; see `docs/PARALLEL.md`.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.pool = match engine {
+            Engine::Parallel { workers } => Some(global_pool(workers)),
+            Engine::Sequential => None,
+        };
+        self.engine = engine;
+    }
+
+    /// The active execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     fn create_initial_flows(&mut self) {
@@ -436,18 +459,7 @@ impl TcfMachine {
 
     /// Special-register value for implicit thread `e` of `flow`.
     pub(crate) fn special(&self, flow: &Flow, e: usize, sr: SpecialReg) -> Word {
-        match sr {
-            SpecialReg::Tid => (flow.tid_offset + e) as Word,
-            SpecialReg::Gid => (flow.rank_base + e) as Word,
-            SpecialReg::Thickness => match flow.mode {
-                ExecMode::Pram => flow.thickness as Word,
-                ExecMode::Numa { .. } => 1,
-            },
-            SpecialReg::Fid => flow.id as Word,
-            SpecialReg::Pid => flow.home_group() as Word,
-            SpecialReg::NProcs => self.config.groups as Word,
-            SpecialReg::NThreads => self.config.threads_per_group as Word,
-        }
+        special_value(flow, e, sr, &self.config)
     }
 
     /// Whether any flow can make progress this step.
@@ -578,6 +590,24 @@ impl TcfMachine {
                 units[g].push(IssueUnit::overhead(flow_id));
             }
         }
+    }
+}
+
+/// Special-register value for implicit thread `e` of `flow` — a free
+/// function (no machine borrow) so engine workers can evaluate `mfs`
+/// lanes against a read-only flow and configuration.
+pub(crate) fn special_value(flow: &Flow, e: usize, sr: SpecialReg, config: &MachineConfig) -> Word {
+    match sr {
+        SpecialReg::Tid => (flow.tid_offset + e) as Word,
+        SpecialReg::Gid => (flow.rank_base + e) as Word,
+        SpecialReg::Thickness => match flow.mode {
+            ExecMode::Pram => flow.thickness as Word,
+            ExecMode::Numa { .. } => 1,
+        },
+        SpecialReg::Fid => flow.id as Word,
+        SpecialReg::Pid => flow.home_group() as Word,
+        SpecialReg::NProcs => config.groups as Word,
+        SpecialReg::NThreads => config.threads_per_group as Word,
     }
 }
 

@@ -1,0 +1,795 @@
+//! The deterministic parallel execution engine for the synchronous
+//! variants.
+//!
+//! Opt-in via [`TcfMachine::set_engine`] or the `TCF_ENGINE` environment
+//! variable (`seq` or `par:<workers>`). The engine shards the two
+//! embarrassingly parallel regions of a synchronous step across a
+//! persistent worker pool, keeping the step phases as barriers:
+//!
+//! * **phase 1, thick execution** — a thick instruction's fragments live on
+//!   *distinct* processor groups, per-lane operations never read another
+//!   lane's same-instruction writes, and local memories are per-group, so
+//!   each fragment executes on its own worker against a read-only view of
+//!   the registers, producing a [`FragOut`] (issue units, memory
+//!   references, a register write log, a local-memory undo log). The
+//!   coordinator merges the outputs in fragment order, replaying register
+//!   writes through the exact `ThickRegs::set` sequence the sequential
+//!   engine performs — bit-identical down to the `Uniform`/`PerThread`
+//!   representation.
+//! * **phase 2, shared-memory step** — an address maps to exactly one
+//!   module, so per-module reference buckets resolve concurrently
+//!   ([`SharedMemory::resolve_shard`]); every ordering-sensitive decision
+//!   (CRCW winner, multiprefix order) is derived from thread ranks inside
+//!   the shard, and the staged results commit atomically.
+//!
+//! Flow-wise instructions, NUMA slices and the timing phase stay on the
+//! coordinator: flows interact (split/join/bunch absorption, shared local
+//! memories), and the network's link/service reservations are
+//! order-dependent, so parallelizing them could not be bit-identical. See
+//! `docs/PARALLEL.md` for the full determinism argument.
+//!
+//! Both engines execute thick lanes through the same
+//! [`exec_thick_lanes`]/[`TcfMachine::merge_frag_outs`] pair — the
+//! sequential engine simply runs the fragments inline — so the differential
+//! conformance suite (`tests/engine_differential.rs`) guards the merge
+//! logic rather than two divergent interpreters.
+//!
+//! [`SharedMemory::resolve_shard`]: tcf_mem::SharedMemory::resolve_shard
+
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use tcf_isa::instr::Instr;
+use tcf_isa::reg::Reg;
+use tcf_isa::word::{Addr, Word};
+use tcf_machine::{IssueUnit, MachineConfig};
+use tcf_mem::{LocalMemory, MemError, MemRef, ShardOutcome, SharedMemory, StepStats};
+use tcf_obs::{FlowEvent, ObsSink};
+
+use crate::error::TcfError;
+use crate::exec_sync::Writeback;
+use crate::flow::{Flow, Fragment};
+use crate::machine::TcfMachine;
+
+/// Which execution engine a machine steps with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The default single-threaded engine.
+    Sequential,
+    /// The deterministic parallel engine: fragment and memory-module work
+    /// sharded over `workers` host threads (the coordinating thread counts
+    /// as one worker). `workers == 1` exercises the parallel code path
+    /// without spawning threads.
+    Parallel {
+        /// Total worker count, coordinator included (clamped to ≥ 1).
+        workers: usize,
+    },
+}
+
+impl Engine {
+    /// Parses an engine spec: `seq`/`sequential` or `par:<workers>`.
+    pub fn from_spec(spec: &str) -> Option<Engine> {
+        let s = spec.trim();
+        if s.eq_ignore_ascii_case("seq") || s.eq_ignore_ascii_case("sequential") {
+            return Some(Engine::Sequential);
+        }
+        let n = s.strip_prefix("par:")?;
+        let workers: usize = n.trim().parse().ok()?;
+        Some(Engine::Parallel {
+            workers: workers.max(1),
+        })
+    }
+
+    /// The engine selected by the `TCF_ENGINE` environment variable
+    /// (`Sequential` when unset or unparseable).
+    pub fn from_env() -> Engine {
+        std::env::var("TCF_ENGINE")
+            .ok()
+            .and_then(|s| Engine::from_spec(&s))
+            .unwrap_or(Engine::Sequential)
+    }
+
+    /// Whether this is the parallel engine.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, Engine::Parallel { .. })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+type StaticTask = Box<dyn FnOnce() + Send + 'static>;
+
+struct BatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct PoolInner {
+    queue: Mutex<VecDeque<StaticTask>>,
+    work_ready: Condvar,
+}
+
+/// A persistent pool of host worker threads. Pools are process-global
+/// (keyed by worker count, see [`global_pool`]) so repeated short steps
+/// reuse warm threads instead of paying a spawn per step; idle workers
+/// park on a condvar.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool where `workers` threads (including the calling coordinator)
+    /// drain each batch; `workers - 1` background threads are spawned.
+    fn new(workers: usize) -> WorkerPool {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        for _ in 1..workers {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("tcf-par-worker".into())
+                .spawn(move || worker_loop(inner))
+                .expect("spawn pool worker");
+        }
+        WorkerPool { inner, workers }
+    }
+
+    /// Total worker count (coordinator included).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `tasks` to completion across the pool. The calling thread
+    /// participates in draining the queue, then blocks until the last task
+    /// finishes; a panicking task is re-raised here after the whole batch
+    /// has drained.
+    pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let batch = Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                remaining: tasks.len(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = self.inner.queue.lock().expect("pool queue poisoned");
+            for task in tasks {
+                let b = Arc::clone(&batch);
+                let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    let mut st = b.state.lock().expect("batch state poisoned");
+                    st.remaining -= 1;
+                    if let Err(p) = outcome {
+                        st.panic.get_or_insert(p);
+                    }
+                    if st.remaining == 0 {
+                        b.done.notify_all();
+                    }
+                });
+                // SAFETY: `run` does not return before `remaining` reaches
+                // zero (the wait below), so every borrow captured by the
+                // task outlives its execution on whichever thread picks it
+                // up. This is the scoped-thread guarantee, applied to a
+                // persistent pool.
+                let wrapped: StaticTask = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, StaticTask>(wrapped)
+                };
+                queue.push_back(wrapped);
+            }
+            self.inner.work_ready.notify_all();
+        }
+        // The coordinator drains too — essential on hosts where it holds
+        // the only runnable CPU, and it keeps `workers == 1` pools valid
+        // with zero background threads.
+        loop {
+            let task = self
+                .inner
+                .queue
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_front();
+            match task {
+                Some(t) => t(),
+                None => break,
+            }
+        }
+        let mut st = batch.state.lock().expect("batch state poisoned");
+        while st.remaining > 0 {
+            st = batch.done.wait(st).expect("batch state poisoned");
+        }
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    loop {
+        let task = {
+            let mut queue = inner.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break t;
+                }
+                queue = inner.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        task();
+    }
+}
+
+/// The process-global pool for `workers` total workers. Machines with the
+/// same `par:<N>` engine share one pool; threads persist for the process
+/// lifetime and park when idle.
+pub fn global_pool(workers: usize) -> Arc<WorkerPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pools = pools.lock().expect("pool registry poisoned");
+    Arc::clone(
+        pools
+            .entry(workers)
+            .or_insert_with(|| Arc::new(WorkerPool::new(workers))),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Engine-shared thick-lane executor
+// ---------------------------------------------------------------------------
+
+/// Read-only context for executing one fragment's lanes of a thick
+/// instruction. Everything mutable lands in a [`FragOut`] (or in the
+/// fragment group's own [`LocalMemory`], which no other fragment of the
+/// instruction can touch).
+pub(crate) struct ThickCtx<'a> {
+    pub flow: &'a Flow,
+    pub instr: &'a Instr,
+    pub group: usize,
+    pub shared: &'a SharedMemory,
+    pub config: &'a MachineConfig,
+    pub step: u64,
+}
+
+/// One fragment's outputs from a thick instruction, merged by the
+/// coordinator in fragment order (see [`TcfMachine::merge_frag_outs`]).
+pub(crate) struct FragOut {
+    pub frag: Fragment,
+    pub range: Range<usize>,
+    /// Issue units for `frag.group`, in lane order.
+    pub units: Vec<IssueUnit>,
+    /// Shared-memory references, in lane order.
+    pub refs: Vec<MemRef>,
+    /// Pending write-backs as `(rd, lane, index into self.refs)`.
+    pub wbs: Vec<(Reg, usize, usize)>,
+    /// Register writes in lane order, replayed by the coordinator through
+    /// `ThickRegs::write` so representation evolution is bit-identical.
+    pub reg_log: Vec<(Reg, usize, Word)>,
+    /// `(addr, previous value)` per local-memory write, for rolling the
+    /// group's local memory back when an *earlier* fragment faulted (the
+    /// sequential engine would never have reached this fragment).
+    pub local_undo: Vec<(Addr, Word)>,
+    /// Worker-side observability events, absorbed in fragment order.
+    pub obs: ObsSink,
+    /// First fault; lanes after it did not execute.
+    pub fault: Option<TcfError>,
+}
+
+impl FragOut {
+    pub(crate) fn new(frag: Fragment, range: Range<usize>, obs_enabled: bool) -> FragOut {
+        FragOut {
+            frag,
+            range,
+            units: Vec::new(),
+            refs: Vec::new(),
+            wbs: Vec::new(),
+            reg_log: Vec::new(),
+            local_undo: Vec::new(),
+            obs: if obs_enabled {
+                ObsSink::recording()
+            } else {
+                ObsSink::disabled()
+            },
+            fault: None,
+        }
+    }
+}
+
+/// Executes `out.range`'s lanes of `ctx.instr` against a read-only
+/// register view, logging register writes and applying local-memory
+/// traffic to `local` (with an undo log). Stops at the first fault.
+///
+/// Both engines run thick lanes through here; the lane semantics live in
+/// exactly one place.
+pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out: &mut FragOut) {
+    use tcf_isa::instr::{MemSpace, Operand};
+    use tcf_isa::word::to_addr;
+    use tcf_mem::{MemOp, RefOrigin};
+
+    use crate::error::TcfFault;
+    use crate::machine::special_value;
+
+    let flow = ctx.flow;
+    let group = ctx.group;
+    let fid = flow.id;
+    let fault = |out: &mut FragOut, f: TcfFault| {
+        out.fault = Some(TcfError {
+            fault: f,
+            step: ctx.step,
+            flow: Some(fid),
+        });
+    };
+
+    for e in out.range.clone() {
+        let origin = RefOrigin::new(group, flow.rank_base + e);
+        match *ctx.instr {
+            Instr::Alu { op, rd, ra, ref rb } => {
+                let a = flow.regs.read(ra, e);
+                let b = match rb {
+                    Operand::Reg(r) => flow.regs.read(*r, e),
+                    Operand::Imm(w) => *w,
+                };
+                out.reg_log.push((rd, e, op.eval(a, b)));
+                out.units.push(IssueUnit::compute(fid, e));
+            }
+            Instr::Mfs { rd, sr } => {
+                let v = special_value(flow, e, sr, ctx.config);
+                out.reg_log.push((rd, e, v));
+                out.units.push(IssueUnit::compute(fid, e));
+            }
+            Instr::Sel {
+                rd,
+                cond,
+                rt,
+                ref rf,
+            } => {
+                let v = if flow.regs.read(cond, e) != 0 {
+                    flow.regs.read(rt, e)
+                } else {
+                    match rf {
+                        Operand::Reg(r) => flow.regs.read(*r, e),
+                        Operand::Imm(w) => *w,
+                    }
+                };
+                out.reg_log.push((rd, e, v));
+                out.units.push(IssueUnit::compute(fid, e));
+            }
+            Instr::Ld {
+                rd,
+                base,
+                off,
+                space,
+            } => {
+                let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                match space {
+                    MemSpace::Shared => {
+                        out.units
+                            .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
+                        out.wbs.push((rd, e, out.refs.len()));
+                        out.refs.push(MemRef::new(origin, MemOp::Read(addr)));
+                    }
+                    MemSpace::Local => {
+                        out.units.push(IssueUnit::local_mem(fid, e));
+                        match local.read(addr) {
+                            Ok(v) => out.reg_log.push((rd, e, v)),
+                            Err(err) => return fault(out, err.into()),
+                        }
+                    }
+                }
+            }
+            Instr::St {
+                rs,
+                base,
+                off,
+                space,
+            } => {
+                let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                let v = flow.regs.read(rs, e);
+                match space {
+                    MemSpace::Shared => {
+                        out.units
+                            .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
+                        out.refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
+                    }
+                    MemSpace::Local => {
+                        out.units.push(IssueUnit::local_mem(fid, e));
+                        if let Ok(old) = local.read(addr) {
+                            out.local_undo.push((addr, old));
+                        }
+                        if let Err(err) = local.write(addr, v) {
+                            return fault(out, err.into());
+                        }
+                    }
+                }
+            }
+            Instr::StMasked {
+                cond,
+                rs,
+                base,
+                off,
+                space,
+            } => {
+                let selected = flow.regs.read(cond, e) != 0;
+                let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                let v = flow.regs.read(rs, e);
+                if selected {
+                    match space {
+                        MemSpace::Shared => {
+                            out.units.push(IssueUnit::shared_mem(
+                                fid,
+                                e,
+                                ctx.shared.module_of(addr),
+                            ));
+                            out.refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
+                        }
+                        MemSpace::Local => {
+                            out.units.push(IssueUnit::local_mem(fid, e));
+                            if let Ok(old) = local.read(addr) {
+                                out.local_undo.push((addr, old));
+                            }
+                            if let Err(err) = local.write(addr, v) {
+                                return fault(out, err.into());
+                            }
+                        }
+                    }
+                } else {
+                    // The lane still occupies its slot (vector-style
+                    // masked execution).
+                    out.units.push(IssueUnit::compute(fid, e));
+                }
+            }
+            Instr::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            } => {
+                let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                let v = flow.regs.read(rs, e);
+                out.units
+                    .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
+                out.refs
+                    .push(MemRef::new(origin, MemOp::Multi(kind, addr, v)));
+            }
+            Instr::MultiPrefix {
+                kind,
+                rd,
+                base,
+                off,
+                rs,
+            } => {
+                let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                let v = flow.regs.read(rs, e);
+                out.units
+                    .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
+                out.wbs.push((rd, e, out.refs.len()));
+                out.refs
+                    .push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
+            }
+            ref other => {
+                return fault(
+                    out,
+                    TcfFault::Internal {
+                        what: format!("`{other}` classified as thick"),
+                    },
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-side orchestration
+// ---------------------------------------------------------------------------
+
+impl TcfMachine {
+    /// Executes the rank-contiguous `slices` of one thick instruction —
+    /// inline for the sequential engine, fanned out over the worker pool
+    /// for the parallel engine — and returns the fragment outputs in
+    /// fragment order. Workers see a read-only flow and shared memory plus
+    /// exclusive access to their fragment group's local memory.
+    pub(crate) fn exec_slices(
+        &mut self,
+        flow: &Flow,
+        instr: &Instr,
+        slices: &[(Fragment, Range<usize>)],
+    ) -> Vec<FragOut> {
+        let obs_on = self.obs.is_enabled();
+        let step = self.steps;
+        let pool = match (&self.engine, &self.pool) {
+            (Engine::Parallel { .. }, Some(pool)) if slices.len() > 1 => Some(Arc::clone(pool)),
+            _ => None,
+        };
+        let shared = &self.shared;
+        let config = &self.config;
+        let locals = &mut self.locals;
+        match pool {
+            None => slices
+                .iter()
+                .map(|&(frag, ref range)| {
+                    let mut out = FragOut::new(frag, range.clone(), obs_on);
+                    let ctx = ThickCtx {
+                        flow,
+                        instr,
+                        group: frag.group,
+                        shared,
+                        config,
+                        step,
+                    };
+                    exec_thick_lanes(&ctx, &mut locals[frag.group], &mut out);
+                    out
+                })
+                .collect(),
+            Some(pool) => {
+                let mut slots: Vec<Option<FragOut>> = slices.iter().map(|_| None).collect();
+                {
+                    // Fragments of one flow occupy distinct groups (the
+                    // scheduler guarantees it), so handing each slice its
+                    // group's local memory takes each `&mut` exactly once.
+                    let mut lm: Vec<Option<&mut LocalMemory>> =
+                        locals.iter_mut().map(Some).collect();
+                    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                        Vec::with_capacity(slices.len());
+                    for (&(frag, ref range), slot) in slices.iter().zip(slots.iter_mut()) {
+                        let local = lm[frag.group]
+                            .take()
+                            .expect("fragments of one flow have distinct groups");
+                        let range = range.clone();
+                        tasks.push(Box::new(move || {
+                            let mut out = FragOut::new(frag, range, obs_on);
+                            let ctx = ThickCtx {
+                                flow,
+                                instr,
+                                group: frag.group,
+                                shared,
+                                config,
+                                step,
+                            };
+                            exec_thick_lanes(&ctx, local, &mut out);
+                            *slot = Some(out);
+                        }));
+                    }
+                    pool.run(tasks);
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("pool ran every task"))
+                    .collect()
+            }
+        }
+    }
+
+    /// Merges fragment outputs in fragment order: register-write replay,
+    /// unit/reference accumulation (with write-back index fixup), worker
+    /// sink absorption and the §3.3 spill check — the exact interleaving
+    /// the sequential engine performs. On a fault, later fragments' local
+    /// writes are rolled back (the sequential engine never executed them)
+    /// and the first fault in fragment order is returned.
+    pub(crate) fn merge_frag_outs(
+        &mut self,
+        flow: &mut Flow,
+        outs: Vec<FragOut>,
+        units: &mut [Vec<IssueUnit>],
+        refs: &mut Vec<MemRef>,
+        wbs: &mut Vec<Writeback>,
+    ) -> Result<(), TcfError> {
+        let t = flow.thickness;
+        let cap = self.config.reg_cache_words;
+        let mut fault: Option<TcfError> = None;
+        for out in outs {
+            if fault.is_some() {
+                for (addr, old) in out.local_undo.into_iter().rev() {
+                    self.locals[out.frag.group]
+                        .write(addr, old)
+                        .expect("undo targets a previously written address");
+                }
+                continue;
+            }
+            for &(rd, e, v) in &out.reg_log {
+                flow.regs.write(rd, e, v, t);
+            }
+            self.obs.absorb(&out.obs);
+            if out.fault.is_some() {
+                fault = out.fault;
+                continue;
+            }
+            let base = refs.len();
+            units[out.frag.group].extend(out.units);
+            refs.extend(out.refs);
+            for (rd, e, ri) in out.wbs {
+                wbs.push(Writeback {
+                    flow: flow.id,
+                    rd,
+                    thread: Some(e),
+                    ref_idx: base + ri,
+                });
+            }
+            // §3.3 operand storage: if this fragment's per-thread register
+            // footprint exceeds the cached register file, the operands
+            // live in the local memory — every thick operation pays one
+            // extra local access (spill traffic).
+            if cap > 0 && flow.regs.per_thread_count() * out.frag.len > cap {
+                for e in out.range.clone() {
+                    units[out.frag.group].push(IssueUnit::local_mem(flow.id, e));
+                    self.stats.spill_refs += 1;
+                    self.obs.emit(
+                        self.steps,
+                        self.clock,
+                        FlowEvent::Spill {
+                            flow: flow.id,
+                            group: out.frag.group,
+                        },
+                    );
+                }
+            }
+        }
+        match fault {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Phase 2: one PRAM memory step for all collected references —
+    /// sequential, or sharded per module under the parallel engine. Both
+    /// paths return identical replies and statistics (the shards resolve
+    /// through the same per-address logic and merge in module order).
+    pub(crate) fn memory_step(
+        &mut self,
+        refs: &[MemRef],
+    ) -> Result<(Vec<Option<Word>>, StepStats), TcfError> {
+        let pool = match (&self.engine, &self.pool) {
+            (Engine::Parallel { .. }, Some(pool))
+                if refs.len() > 1 && self.shared.modules() > 1 =>
+            {
+                Arc::clone(pool)
+            }
+            _ => return self.shared.step(refs).map_err(|e| self.host_err(e.into())),
+        };
+        let (buckets, mut stats) = self
+            .shared
+            .shard_refs(refs)
+            .map_err(|e| self.host_err(e.into()))?;
+        let shared = &self.shared;
+        let active: Vec<&Vec<usize>> = buckets.iter().filter(|b| !b.is_empty()).collect();
+        let mut slots: Vec<Option<Result<ShardOutcome, MemError>>> =
+            active.iter().map(|_| None).collect();
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(active.len());
+            for (idxs, slot) in active.into_iter().zip(slots.iter_mut()) {
+                tasks.push(Box::new(move || {
+                    *slot = Some(shared.resolve_shard(refs, idxs));
+                }));
+            }
+            pool.run(tasks);
+        }
+        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(slots.len());
+        let mut fault: Option<MemError> = None;
+        for slot in slots {
+            match slot.expect("pool ran every task") {
+                Ok(o) => outcomes.push(o),
+                Err(e) => {
+                    // The sequential step resolves addresses in ascending
+                    // order: the lowest faulting address wins.
+                    if fault.as_ref().map(|f| e.addr() < f.addr()).unwrap_or(true) {
+                        fault = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = fault {
+            return Err(self.host_err(e.into()));
+        }
+        let mut replies: Vec<Option<Word>> = vec![None; refs.len()];
+        for o in &outcomes {
+            stats.hot_addrs += o.hot_addrs;
+            stats.combined += o.combined;
+            for &(i, v) in &o.replies {
+                replies[i] = Some(v);
+            }
+        }
+        self.shared.commit_shards(&outcomes);
+        Ok((replies, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn engine_spec_parsing() {
+        assert_eq!(Engine::from_spec("seq"), Some(Engine::Sequential));
+        assert_eq!(Engine::from_spec("Sequential"), Some(Engine::Sequential));
+        assert_eq!(
+            Engine::from_spec("par:4"),
+            Some(Engine::Parallel { workers: 4 })
+        );
+        assert_eq!(
+            Engine::from_spec(" par:1 "),
+            Some(Engine::Parallel { workers: 1 })
+        );
+        // 0 workers clamps to 1 rather than deadlocking.
+        assert_eq!(
+            Engine::from_spec("par:0"),
+            Some(Engine::Parallel { workers: 1 })
+        );
+        assert_eq!(Engine::from_spec("par"), None);
+        assert_eq!(Engine::from_spec("par:x"), None);
+        assert_eq!(Engine::from_spec(""), None);
+    }
+
+    #[test]
+    fn pool_runs_all_tasks_with_borrows() {
+        let pool = global_pool(4);
+        let mut results = vec![0usize; 64];
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            for (i, slot) in results.iter_mut().enumerate() {
+                tasks.push(Box::new(move || *slot = i * i));
+            }
+            pool.run(tasks);
+        }
+        for (i, &r) in results.iter().enumerate() {
+            assert_eq!(r, i * i);
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_drains_on_coordinator() {
+        let pool = global_pool(1);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let pool = global_pool(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| {}),
+                Box::new(|| panic!("worker exploded")),
+                Box::new(|| {}),
+            ];
+            pool.run(tasks);
+        }));
+        assert!(caught.is_err());
+        // The pool survives a panicking batch.
+        let ok = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        })];
+        pool.run(tasks);
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn global_pool_is_shared_per_worker_count() {
+        let a = global_pool(3);
+        let b = global_pool(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.workers(), 3);
+    }
+}

@@ -269,6 +269,65 @@ mod tests {
     }
 
     #[test]
+    fn miss_ratio_knee_sits_exactly_at_capacity() {
+        // The multitasking knee of the tcf_buffer_sweep bench, as a unit
+        // property: round-robin over a working set of W flows through a
+        // B-slot buffer is free after warmup for every W <= B, and misses
+        // on *every* activation at W = B + 1 — the steady-state miss
+        // ratio jumps from 0 to 1 with no intermediate regime.
+        const B: usize = 8;
+        const ROUNDS: u32 = 20;
+        let steady = |w: u32| -> f64 {
+            let mut b = TcfBuffer::new(B, 7);
+            for id in 0..w {
+                b.activate(FlowDesc::pram(id, 1, 0)); // warmup (cold loads)
+            }
+            let (warm_misses, warm_switches) = (b.misses, b.switches);
+            for round in 1..=ROUNDS {
+                for id in 0..w {
+                    b.activate(FlowDesc::pram(id, 1, round as usize));
+                }
+            }
+            (b.misses - warm_misses) as f64 / (b.switches - warm_switches) as f64
+        };
+        for w in 1..=B as u32 {
+            assert_eq!(steady(w), 0.0, "working set {w} <= capacity must be free");
+        }
+        assert_eq!(
+            steady(B as u32 + 1),
+            1.0,
+            "W = B + 1 must thrash on every switch"
+        );
+        // Overhead accounting at the knee: every steady-state activation
+        // pays exactly load_cost.
+        let w = B as u32 + 1;
+        let mut b = TcfBuffer::new(B, 7);
+        for round in 0..10 {
+            for id in 0..w {
+                b.activate(FlowDesc::pram(id, 1, round));
+            }
+        }
+        assert_eq!(b.overhead_cycles, u64::from(10 * w) * 7);
+        assert_eq!(b.reload.count(), u64::from(10 * w));
+    }
+
+    #[test]
+    fn eviction_under_interleaved_refresh_keeps_hot_set() {
+        // A hot flow refreshed between other activations must survive
+        // arbitrarily many evictions of the cold rotation.
+        let mut b = TcfBuffer::new(3, 2);
+        b.activate(FlowDesc::pram(0, 1, 0)); // the hot flow
+        let mut hot_cost = 0;
+        for id in 1..20u32 {
+            b.activate(FlowDesc::pram(id, 1, 0)); // cold stream
+            hot_cost += b.activate(FlowDesc::pram(0, 1, 0)); // refresh hot
+        }
+        assert_eq!(hot_cost, 0, "refreshed hot flow must never reload");
+        assert!(b.is_resident(0));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
     fn next_flow_round_robins_and_skips_empty() {
         let mut b = TcfBuffer::new(4, 1);
         b.activate(FlowDesc::pram(1, 4, 0));

@@ -38,6 +38,35 @@ pub enum CrcwPolicy {
     Erew,
 }
 
+/// Outcome of resolving one module's references without mutating the
+/// memory (see [`SharedMemory::resolve_shard`]): the values staged for the
+/// module's addresses, the replies owed to individual references, and the
+/// shard's contribution to the step statistics.
+///
+/// Shards of one step touch disjoint address sets (an address maps to
+/// exactly one module), so outcomes can be produced concurrently and
+/// committed in any order; every ordering-sensitive decision (CRCW winner,
+/// multiprefix order) is taken inside the shard from reference ranks.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOutcome {
+    /// `(addr, new value)` pairs to apply at commit.
+    pub staged: Vec<(Addr, Word)>,
+    /// `(reference index, reply)` pairs for `Read`/`Prefix` references.
+    pub replies: Vec<(usize, Word)>,
+    /// Addresses that received more than one reference.
+    pub hot_addrs: usize,
+    /// References absorbed by combining.
+    pub combined: usize,
+}
+
+/// Per-address resolution result shared by [`SharedMemory::step`] and
+/// [`SharedMemory::resolve_shard`].
+struct AddrOutcome {
+    value: Word,
+    replies: Vec<(usize, Word)>,
+    combined: usize,
+}
+
 /// The step-synchronous shared memory of one machine.
 ///
 /// Within a [`step`](SharedMemory::step) every read observes the state
@@ -165,102 +194,183 @@ impl SharedMemory {
             if idxs.len() > 1 {
                 stats.hot_addrs += 1;
             }
-            let old = self.words[addr];
-
-            let mut plain_writes: Vec<(usize, Word)> = Vec::new(); // (rank, value)
-            let mut combines: BTreeMap<MultiKind, Vec<(usize, Word, Option<usize>)>> =
-                BTreeMap::new(); // kind -> (rank, contribution, reply slot)
-            let mut readers = 0usize;
-            let mut writers = 0usize;
-
-            for &i in &idxs {
-                match refs[i].op {
-                    MemOp::Read(_) => {
-                        replies[i] = Some(old);
-                        readers += 1;
-                    }
-                    MemOp::Write(_, v) => {
-                        plain_writes.push((refs[i].origin.rank, v));
-                        writers += 1;
-                    }
-                    MemOp::Multi(kind, _, v) => {
-                        combines
-                            .entry(kind)
-                            .or_default()
-                            .push((refs[i].origin.rank, v, None));
-                    }
-                    MemOp::Prefix(kind, _, v) => {
-                        combines
-                            .entry(kind)
-                            .or_default()
-                            .push((refs[i].origin.rank, v, Some(i)));
-                    }
-                }
+            let out = self.resolve_addr(addr, &idxs, refs)?;
+            stats.combined += out.combined;
+            for (i, v) in out.replies {
+                replies[i] = Some(v);
             }
-
-            // Exclusivity policies (multioperations exempt, see type docs).
-            match self.policy {
-                CrcwPolicy::Erew => {
-                    if readers + writers > 1 {
-                        return Err(MemError::ExclusiveViolation {
-                            addr,
-                            refs: readers + writers,
-                        });
-                    }
-                }
-                CrcwPolicy::Crew => {
-                    if writers > 1 {
-                        return Err(MemError::ExclusiveViolation {
-                            addr,
-                            refs: writers,
-                        });
-                    }
-                }
-                CrcwPolicy::Common => {
-                    if writers > 1 {
-                        let first = plain_writes[0].1;
-                        if plain_writes.iter().any(|&(_, v)| v != first) {
-                            return Err(MemError::CommonWriteConflict { addr });
-                        }
-                    }
-                }
-                CrcwPolicy::Arbitrary | CrcwPolicy::Priority => {}
-            }
-
-            // Resolve plain writes.
-            let mut value = old;
-            if !plain_writes.is_empty() {
-                plain_writes.sort_by_key(|&(rank, _)| rank);
-                value = match self.policy {
-                    CrcwPolicy::Arbitrary => plain_writes.last().unwrap().1,
-                    _ => plain_writes.first().unwrap().1,
-                };
-            }
-
-            // Apply combinations (BTreeMap ⇒ deterministic kind order).
-            for (kind, mut contributions) in combines {
-                contributions.sort_by_key(|&(rank, _, _)| rank);
-                stats.combined += contributions.len().saturating_sub(1);
-                let values: Vec<Word> = contributions.iter().map(|&(_, v, _)| v).collect();
-                let want_prefixes = contributions.iter().any(|&(_, _, slot)| slot.is_some());
-                let outcome = combine(kind, value, &values, want_prefixes);
-                if want_prefixes {
-                    for (j, &(_, _, slot)) in contributions.iter().enumerate() {
-                        if let Some(i) = slot {
-                            replies[i] = Some(outcome.prefixes[j]);
-                        }
-                    }
-                }
-                value = outcome.new_value;
-            }
-
-            staged.push((addr, value));
+            staged.push((addr, out.value));
         }
         for (addr, value) in staged {
             self.words[addr] = value;
         }
 
         Ok((replies, stats))
+    }
+
+    /// Resolves every reference to one address: CRCW policy checks, plain
+    /// write resolution, multioperation combining. Pure with respect to the
+    /// stored words; both the sequential [`step`](SharedMemory::step) and
+    /// the sharded path go through here so the two cannot diverge.
+    fn resolve_addr(
+        &self,
+        addr: Addr,
+        idxs: &[usize],
+        refs: &[MemRef],
+    ) -> Result<AddrOutcome, MemError> {
+        let old = self.words[addr];
+        let mut replies: Vec<(usize, Word)> = Vec::new();
+        let mut combined = 0usize;
+
+        let mut plain_writes: Vec<(usize, Word)> = Vec::new(); // (rank, value)
+        let mut combines: BTreeMap<MultiKind, Vec<(usize, Word, Option<usize>)>> = BTreeMap::new(); // kind -> (rank, contribution, reply slot)
+        let mut readers = 0usize;
+        let mut writers = 0usize;
+
+        for &i in idxs {
+            match refs[i].op {
+                MemOp::Read(_) => {
+                    replies.push((i, old));
+                    readers += 1;
+                }
+                MemOp::Write(_, v) => {
+                    plain_writes.push((refs[i].origin.rank, v));
+                    writers += 1;
+                }
+                MemOp::Multi(kind, _, v) => {
+                    combines
+                        .entry(kind)
+                        .or_default()
+                        .push((refs[i].origin.rank, v, None));
+                }
+                MemOp::Prefix(kind, _, v) => {
+                    combines
+                        .entry(kind)
+                        .or_default()
+                        .push((refs[i].origin.rank, v, Some(i)));
+                }
+            }
+        }
+
+        // Exclusivity policies (multioperations exempt, see type docs).
+        match self.policy {
+            CrcwPolicy::Erew => {
+                if readers + writers > 1 {
+                    return Err(MemError::ExclusiveViolation {
+                        addr,
+                        refs: readers + writers,
+                    });
+                }
+            }
+            CrcwPolicy::Crew => {
+                if writers > 1 {
+                    return Err(MemError::ExclusiveViolation {
+                        addr,
+                        refs: writers,
+                    });
+                }
+            }
+            CrcwPolicy::Common => {
+                if writers > 1 {
+                    let first = plain_writes[0].1;
+                    if plain_writes.iter().any(|&(_, v)| v != first) {
+                        return Err(MemError::CommonWriteConflict { addr });
+                    }
+                }
+            }
+            CrcwPolicy::Arbitrary | CrcwPolicy::Priority => {}
+        }
+
+        // Resolve plain writes.
+        let mut value = old;
+        if !plain_writes.is_empty() {
+            plain_writes.sort_by_key(|&(rank, _)| rank);
+            value = match self.policy {
+                CrcwPolicy::Arbitrary => plain_writes.last().unwrap().1,
+                _ => plain_writes.first().unwrap().1,
+            };
+        }
+
+        // Apply combinations (BTreeMap ⇒ deterministic kind order).
+        for (kind, mut contributions) in combines {
+            contributions.sort_by_key(|&(rank, _, _)| rank);
+            combined += contributions.len().saturating_sub(1);
+            let values: Vec<Word> = contributions.iter().map(|&(_, v, _)| v).collect();
+            let want_prefixes = contributions.iter().any(|&(_, _, slot)| slot.is_some());
+            let outcome = combine(kind, value, &values, want_prefixes);
+            if want_prefixes {
+                for (j, &(_, _, slot)) in contributions.iter().enumerate() {
+                    if let Some(i) = slot {
+                        replies.push((i, outcome.prefixes[j]));
+                    }
+                }
+            }
+            value = outcome.new_value;
+        }
+
+        Ok(AddrOutcome {
+            value,
+            replies,
+            combined,
+        })
+    }
+
+    /// Buckets `refs` (by index) per module, bounds-checking every address
+    /// up front — the first out-of-bounds reference in issue order faults,
+    /// exactly as [`step`](SharedMemory::step) does. Returns the buckets
+    /// and a [`StepStats`] with `refs`/`per_module` filled in; the caller
+    /// accumulates `hot_addrs`/`combined` from the shard outcomes.
+    pub fn shard_refs(&self, refs: &[MemRef]) -> Result<(Vec<Vec<usize>>, StepStats), MemError> {
+        let mut stats = StepStats::new(self.modules);
+        stats.refs = refs.len();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.modules];
+        for (i, r) in refs.iter().enumerate() {
+            let addr = r.op.addr();
+            if addr >= self.words.len() {
+                return Err(MemError::OutOfBounds {
+                    addr,
+                    size: self.words.len(),
+                });
+            }
+            let m = self.module_of(addr);
+            stats.per_module[m] += 1;
+            buckets[m].push(i);
+        }
+        Ok((buckets, stats))
+    }
+
+    /// Resolves one module's references (`idxs` into `refs`, as produced
+    /// by [`shard_refs`](SharedMemory::shard_refs)) without mutating the
+    /// memory. Addresses resolve in ascending order, so a faulting shard
+    /// reports its *lowest* faulting address — the caller takes the
+    /// minimum over shards to reproduce the sequential step's first fault.
+    pub fn resolve_shard(&self, refs: &[MemRef], idxs: &[usize]) -> Result<ShardOutcome, MemError> {
+        let mut by_addr: BTreeMap<Addr, Vec<usize>> = BTreeMap::new();
+        for &i in idxs {
+            by_addr.entry(refs[i].op.addr()).or_default().push(i);
+        }
+        let mut out = ShardOutcome::default();
+        for (addr, idxs) in by_addr {
+            if idxs.len() > 1 {
+                out.hot_addrs += 1;
+            }
+            let r = self.resolve_addr(addr, &idxs, refs)?;
+            out.combined += r.combined;
+            out.replies.extend(r.replies);
+            out.staged.push((addr, r.value));
+        }
+        Ok(out)
+    }
+
+    /// Applies staged shard outcomes. Shards stage disjoint address sets,
+    /// so the application order is immaterial; commit nothing when any
+    /// shard faulted to keep the step atomic.
+    pub fn commit_shards(&mut self, outcomes: &[ShardOutcome]) {
+        for o in outcomes {
+            for &(addr, value) in &o.staged {
+                self.words[addr] = value;
+            }
+        }
     }
 }
 
@@ -394,6 +504,100 @@ mod tests {
         let e = m.step(&[wref(0, 1, 7), wref(1, 9999, 1)]).unwrap_err();
         assert!(matches!(e, MemError::OutOfBounds { addr: 9999, .. }));
         assert_eq!(m.peek(1).unwrap(), 0); // first write not applied
+    }
+
+    /// Drives the sharding API the way the parallel engine does and
+    /// returns the same `(replies, stats)` shape as `step`.
+    fn sharded_step(
+        m: &mut SharedMemory,
+        refs: &[MemRef],
+    ) -> Result<(Vec<Option<Word>>, StepStats), MemError> {
+        let (buckets, mut stats) = m.shard_refs(refs)?;
+        let mut outcomes = Vec::new();
+        let mut fault: Option<MemError> = None;
+        for b in buckets.iter().filter(|b| !b.is_empty()) {
+            match m.resolve_shard(refs, b) {
+                Ok(o) => outcomes.push(o),
+                Err(e) => {
+                    if fault.as_ref().map(|f| e.addr() < f.addr()).unwrap_or(true) {
+                        fault = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = fault {
+            return Err(e);
+        }
+        let mut replies = vec![None; refs.len()];
+        for o in &outcomes {
+            stats.hot_addrs += o.hot_addrs;
+            stats.combined += o.combined;
+            for &(i, v) in &o.replies {
+                replies[i] = Some(v);
+            }
+        }
+        m.commit_shards(&outcomes);
+        Ok((replies, stats))
+    }
+
+    #[test]
+    fn sharded_step_matches_sequential_step() {
+        // A mixed bag across modules: reads, competing writes, multi-adds
+        // and prefixes, some sharing addresses.
+        let refs = vec![
+            rref(0, 5),
+            wref(1, 5, 70),
+            wref(9, 5, 90),
+            MemRef::new(RefOrigin::new(0, 2), MemOp::Prefix(MultiKind::Add, 9, 3)),
+            MemRef::new(RefOrigin::new(1, 3), MemOp::Prefix(MultiKind::Add, 9, 4)),
+            MemRef::new(RefOrigin::new(1, 4), MemOp::Multi(MultiKind::Max, 13, 44)),
+            wref(5, 2, 11),
+            rref(6, 2),
+            rref(7, 63),
+        ];
+        for policy in [CrcwPolicy::Arbitrary, CrcwPolicy::Priority] {
+            let mut seq = sm(policy);
+            let mut par = sm(policy);
+            for a in 0..64 {
+                seq.poke(a, a as Word * 10).unwrap();
+                par.poke(a, a as Word * 10).unwrap();
+            }
+            let (r1, s1) = seq.step(&refs).unwrap();
+            let (r2, s2) = sharded_step(&mut par, &refs).unwrap();
+            assert_eq!(r1, r2);
+            assert_eq!(s1, s2);
+            for a in 0..64 {
+                assert_eq!(seq.peek(a).unwrap(), par.peek(a).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_step_faults_atomically_with_lowest_address() {
+        // Module 1 (addr 9) and module 3 (addr 3) both violate CREW; the
+        // reported fault must be the lowest address, and nothing commits.
+        let refs = vec![
+            wref(0, 9, 1),
+            wref(1, 9, 2),
+            wref(2, 3, 5),
+            wref(3, 3, 6),
+            wref(4, 8, 77),
+        ];
+        let mut seq = sm(CrcwPolicy::Crew);
+        let mut par = sm(CrcwPolicy::Crew);
+        let e1 = seq.step(&refs).unwrap_err();
+        let e2 = sharded_step(&mut par, &refs).unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(matches!(e2, MemError::ExclusiveViolation { addr: 3, .. }));
+        assert_eq!(par.peek(8).unwrap(), 0); // non-faulting shard not applied
+    }
+
+    #[test]
+    fn shard_refs_reports_first_out_of_bounds_in_issue_order() {
+        let m = sm(CrcwPolicy::Arbitrary);
+        let refs = vec![wref(0, 1, 7), wref(1, 9999, 1), wref(2, 8888, 1)];
+        let e = m.shard_refs(&refs).unwrap_err();
+        assert!(matches!(e, MemError::OutOfBounds { addr: 9999, .. }));
     }
 
     #[test]

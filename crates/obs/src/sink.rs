@@ -67,6 +67,20 @@ impl ObsSink {
         self.events.push(ev);
     }
 
+    /// Appends every event of `other` (oldest first, stamps preserved) to
+    /// this sink; a no-op when this sink is disabled. This is the merge
+    /// point for per-worker sinks: the parallel engine hands each worker
+    /// its own sink and absorbs them at the step barrier in fragment/group
+    /// order, so the merged stream is identical to what single-threaded
+    /// execution would have recorded.
+    pub fn absorb(&mut self, other: &ObsSink) {
+        if self.enabled {
+            for ev in other.events() {
+                self.events.push(ev);
+            }
+        }
+    }
+
     /// Snapshot of the recorded events, oldest first (ring mode: only the
     /// retained window).
     pub fn events(&self) -> Vec<TimedEvent> {
@@ -137,5 +151,33 @@ mod tests {
     #[test]
     fn default_is_disabled() {
         assert!(!ObsSink::default().is_enabled());
+    }
+
+    #[test]
+    fn absorb_appends_in_order_with_stamps() {
+        let mut main = ObsSink::recording();
+        main.emit(1, 5, FlowEvent::FlowHalted { flow: 0 });
+        let mut w1 = ObsSink::recording();
+        w1.emit(2, 7, FlowEvent::FlowHalted { flow: 1 });
+        w1.emit(2, 7, FlowEvent::FlowHalted { flow: 2 });
+        let mut w2 = ObsSink::recording();
+        w2.emit(2, 7, FlowEvent::FlowHalted { flow: 3 });
+        main.absorb(&w1);
+        main.absorb(&w2);
+        let evs = main.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[1].event, FlowEvent::FlowHalted { flow: 1 });
+        assert_eq!(evs[3].event, FlowEvent::FlowHalted { flow: 3 });
+        assert_eq!(evs[1].step, 2);
+        assert_eq!(evs[1].cycle, 7);
+    }
+
+    #[test]
+    fn absorb_into_disabled_sink_is_noop() {
+        let mut main = ObsSink::disabled();
+        let mut w = ObsSink::recording();
+        w.emit(1, 1, FlowEvent::FlowHalted { flow: 1 });
+        main.absorb(&w);
+        assert!(main.is_empty());
     }
 }

@@ -61,7 +61,9 @@ fn reference_dist(edges: &[(usize, usize)]) -> Vec<i64> {
     dist
 }
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     let es = edges();
     let ne = es.len();
 
@@ -112,4 +114,9 @@ fn main() {
         summary.steps, summary.cycles
     );
     println!("  convergence via a combining MPMAX flag and a uniform flow-wise branch");
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

@@ -20,7 +20,9 @@ const DATA: usize = 10_000;
 const SMOOTH: usize = 20_000;
 const CHECK: usize = 80;
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     let source = format!(
         "shared int data[{N}] @ {DATA};
          shared int smooth[{N}] @ {SMOOTH};
@@ -81,4 +83,9 @@ fn main() {
         "  utilization {:.2}; mode switches cost two instructions (numa / endnuma)",
         summary.machine.utilization()
     );
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

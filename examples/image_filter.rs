@@ -17,7 +17,9 @@ const H: usize = 24;
 const SRC: usize = 10_000;
 const DST: usize = 20_000;
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     // Interior pixels only (no border handling in the guest, to keep the
     // program readable).
     let inner_w = W - 2;
@@ -74,4 +76,9 @@ fn main() {
         summary.cycles,
         summary.machine.utilization()
     );
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

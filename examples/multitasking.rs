@@ -15,7 +15,9 @@ use tcf::machine::MachineConfig;
 
 const NTASKS: usize = 12;
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     let program = assemble(
         "main:
             halt                 ; the root task retires immediately
@@ -63,4 +65,9 @@ fn main() {
         );
     }
     println!("\nonce the working set fits the buffer, every switch after the cold load is free");
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

@@ -19,7 +19,9 @@ const X: usize = 10_000;
 const F: usize = 20_000;
 const PTOT: usize = 50;
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     let source = format!(
         "shared int x[{N}] @ {X};
          shared int f[{N}] @ {F};
@@ -66,4 +68,9 @@ fn main() {
     println!(
         "  note: the j-loop costs O(n) steps; the per-body work over n partners is the thick part"
     );
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

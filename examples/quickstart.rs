@@ -11,7 +11,9 @@
 use tcf::core::{TcfMachine, Variant};
 use tcf::machine::MachineConfig;
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     const N: usize = 1000;
 
     // A tce program: one flow, thickness N, no loop, no guards.
@@ -54,4 +56,9 @@ fn main() {
     );
     println!("  issued ops {:>6}", summary.machine.issued());
     println!("  utilization {:.2}", summary.machine.utilization());
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

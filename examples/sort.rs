@@ -19,7 +19,9 @@ const DATA: usize = 10_000;
 const SCRATCH_LO: usize = 20_000;
 const SCRATCH_HI: usize = 30_000;
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     let half = N / 2;
     let source = format!(
         "shared int data[{N}] @ {DATA};
@@ -70,4 +72,9 @@ fn main() {
         summary.machine.utilization()
     );
     println!("  compare-exchange is branch-free: (a<b)*a + (a>=b)*b selects via arithmetic");
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

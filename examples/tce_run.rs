@@ -36,8 +36,15 @@ fn parse_variant(s: &str, tp: usize) -> Option<Variant> {
     })
 }
 
+#[allow(dead_code)]
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    run_args(env::args().skip(1).collect())
+}
+
+/// The driver body on explicit arguments, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`. Empty arguments
+/// run the built-in demo.
+pub fn run_args(args: Vec<String>) -> ExitCode {
     let config = MachineConfig::small();
     let mut variant = Variant::SingleInstruction;
     let mut path: Option<String> = None;

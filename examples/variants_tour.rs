@@ -67,7 +67,9 @@ fn chunked_version(width: usize) -> Program {
     .unwrap()
 }
 
-fn main() {
+/// The example body, callable from the smoke tests
+/// (`tests/examples_smoke.rs`) as well as from `main`.
+pub fn run() {
     let config = MachineConfig::small();
     let width = config.threads_per_group;
     let cases: Vec<(Variant, &str, Program)> = vec![
@@ -128,4 +130,9 @@ fn main() {
         );
     }
     println!("\nall six variants verified against the same inputs");
+}
+
+#[allow(dead_code)]
+fn main() {
+    run();
 }

@@ -1,0 +1,55 @@
+//! Determinism regression for the parallel engine: running the same
+//! workload twice under `par:4` must produce byte-identical exported
+//! artifacts — the Chrome trace JSON and the metrics JSON — not merely
+//! equal final memories. Any scheduling leak (worker completion order
+//! reaching a stat, an event stream, a histogram) shows up here as a
+//! one-byte diff.
+
+use tcf::core::{Engine, TcfMachine, Variant};
+use tcf::machine::MachineConfig;
+use tcf_bench::workloads;
+use tcf_obs::chrome::chrome_trace;
+use tcf_obs::json::metrics_json;
+
+fn artifacts(engine: Engine) -> (String, String) {
+    let mut m = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        workloads::tcf_scan(96),
+    );
+    m.set_engine(engine);
+    m.set_tracing(true);
+    m.set_observing(true);
+    workloads::init_arrays_tcf(&mut m, 96);
+    m.run(50_000).expect("workload halts");
+    (
+        chrome_trace(&m.trace().events(), &m.obs().events()),
+        metrics_json(&m.metrics()),
+    )
+}
+
+#[test]
+fn repeated_parallel_runs_export_identical_bytes() {
+    let engine = Engine::Parallel { workers: 4 };
+    let (trace_a, metrics_a) = artifacts(engine);
+    let (trace_b, metrics_b) = artifacts(engine);
+    assert_eq!(trace_a, trace_b, "Chrome trace bytes diverged across runs");
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics JSON bytes diverged across runs"
+    );
+    assert!(!trace_a.is_empty() && !metrics_a.is_empty());
+}
+
+#[test]
+fn parallel_artifacts_match_sequential_bytes() {
+    let (trace_seq, metrics_seq) = artifacts(Engine::Sequential);
+    for workers in [1usize, 4] {
+        let (trace_par, metrics_par) = artifacts(Engine::Parallel { workers });
+        assert_eq!(trace_seq, trace_par, "trace diverged under par:{workers}");
+        assert_eq!(
+            metrics_seq, metrics_par,
+            "metrics diverged under par:{workers}"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! Differential conformance suite for the parallel execution engine: for
+//! every variant, every paper workload and randomly generated programs,
+//! `par:<N>` execution must be *bit-identical* to sequential execution at
+//! every worker count — the run summary (steps, cycles, machine, memory
+//! and network statistics), the final shared and local memories, the
+//! metrics registry and the Chrome trace, and even the error on faulting
+//! programs (the parallel engine rolls later fragments back so faults
+//! leave the exact partial state sequential execution leaves).
+//!
+//! This is the contract `docs/PARALLEL.md` argues for; this suite enforces
+//! it observable-by-observable.
+
+use proptest::prelude::*;
+
+use tcf::core::{Engine, TcfError, TcfMachine, Variant};
+use tcf::isa::instr::{Instr, MemSpace, MultiKind, Operand};
+use tcf::isa::op::AluOp;
+use tcf::isa::program::Program;
+use tcf::isa::reg::{r, Reg, SpecialReg};
+use tcf::isa::word::Word;
+use tcf::machine::MachineConfig;
+use tcf::pram::RunSummary;
+use tcf_bench::workloads;
+use tcf_obs::chrome::chrome_trace;
+use tcf_obs::json::metrics_json;
+
+const WORKERS: &[usize] = &[1, 2, 4, 7];
+const LOCAL_WINDOW: usize = 128;
+const SHARED_WINDOW: usize = 4096;
+
+/// Everything externally observable about one run.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    outcome: Result<RunSummary, TcfError>,
+    shared: Vec<Word>,
+    locals: Vec<Vec<Word>>,
+    metrics: String,
+    trace: String,
+}
+
+fn observe(
+    variant: Variant,
+    program: &Program,
+    engine: Engine,
+    init: impl Fn(&mut TcfMachine),
+) -> Observed {
+    let config = MachineConfig::small();
+    let groups = config.groups;
+    let mut m = TcfMachine::new(config, variant, program.clone());
+    m.set_engine(engine);
+    m.set_tracing(true);
+    m.set_observing(true);
+    init(&mut m);
+    let outcome = m.run(50_000);
+    let locals = (0..groups)
+        .map(|g| {
+            (0..LOCAL_WINDOW)
+                .map(|a| m.peek_local(g, a).unwrap())
+                .collect()
+        })
+        .collect();
+    Observed {
+        outcome,
+        shared: m.peek_range(0, SHARED_WINDOW).unwrap(),
+        locals,
+        metrics: metrics_json(&m.metrics()),
+        trace: chrome_trace(&m.trace().events(), &m.obs().events()),
+    }
+}
+
+fn all_variants() -> Vec<Variant> {
+    vec![
+        Variant::SingleInstruction,
+        Variant::Balanced { bound: 3 },
+        Variant::MultiInstruction,
+        Variant::SingleOperation,
+        Variant::ConfigurableSingleOperation,
+        Variant::FixedThickness { width: 16 },
+    ]
+}
+
+/// Runs `program` under every variant sequentially and at every worker
+/// count, asserting bit-identical observables. A variant that faults on
+/// the program (e.g. `setthick` on a thread-based variant) must fault
+/// identically under the parallel engine, so faults are compared, not
+/// skipped.
+fn assert_engine_transparent(name: &str, program: &Program, init: impl Fn(&mut TcfMachine)) {
+    for variant in all_variants() {
+        let reference = observe(variant, program, Engine::Sequential, &init);
+        for &w in WORKERS {
+            let par = observe(variant, program, Engine::Parallel { workers: w }, &init);
+            assert_eq!(
+                reference.outcome, par.outcome,
+                "{name} / {variant:?} / par:{w}: run outcome diverged"
+            );
+            assert_eq!(
+                reference.shared, par.shared,
+                "{name} / {variant:?} / par:{w}: shared memory diverged"
+            );
+            assert_eq!(
+                reference.locals, par.locals,
+                "{name} / {variant:?} / par:{w}: local memories diverged"
+            );
+            assert_eq!(
+                reference.metrics, par.metrics,
+                "{name} / {variant:?} / par:{w}: metrics diverged"
+            );
+            assert_eq!(
+                reference.trace, par.trace,
+                "{name} / {variant:?} / par:{w}: trace diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_workloads_match_across_engines() {
+    let cases: Vec<(&str, Program, usize)> = vec![
+        ("tcf_vector_add", workloads::tcf_vector_add(96), 96),
+        ("loop_vector_add", workloads::loop_vector_add(64), 64),
+        ("guard_vector_add", workloads::guard_vector_add(64), 64),
+        ("tcf_scan", workloads::tcf_scan(64), 64),
+        ("tcf_prefix", workloads::tcf_prefix(48), 48),
+        ("masked_two_way", workloads::masked_two_way(64), 64),
+        ("tcf_numa_seq", workloads::tcf_numa_seq(10, 4), 0),
+    ];
+    for (name, program, size) in cases {
+        assert_engine_transparent(name, &program, |m| {
+            if size > 0 {
+                workloads::init_arrays_tcf(m, size);
+            }
+        });
+    }
+}
+
+#[test]
+fn engine_env_spec_selects_parallel() {
+    // Machines pick the engine up from TCF_ENGINE at construction (other
+    // tests constructing machines concurrently just run parallel — which
+    // is bit-identical, so harmless).
+    std::env::set_var("TCF_ENGINE", "par:3");
+    let m = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        workloads::tcf_vector_add(8),
+    );
+    std::env::remove_var("TCF_ENGINE");
+    assert_eq!(m.engine(), Engine::Parallel { workers: 3 });
+    let m = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        workloads::tcf_vector_add(8),
+    );
+    assert_eq!(m.engine(), Engine::Sequential);
+}
+
+#[test]
+fn faulting_program_leaves_identical_partial_state() {
+    // A thick store that walks out of the shared window mid-instruction:
+    // some lanes' register writes land before the fault. The parallel
+    // engine must reproduce the exact partial state, not just the error.
+    let program = Program::new(
+        vec![
+            Instr::SetThick {
+                src: Operand::Imm(50),
+            },
+            Instr::Mfs {
+                rd: r(1),
+                sr: SpecialReg::Tid,
+            },
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: r(2),
+                ra: r(1),
+                rb: Operand::Imm(40_000),
+            },
+            // addr = tid * 40_000: lanes 0 and 1 are fine, lane 2 is out
+            // of the 1<<16-word shared space.
+            Instr::St {
+                rs: r(1),
+                base: r(2),
+                off: 0,
+                space: MemSpace::Shared,
+            },
+            Instr::Halt,
+        ],
+        Default::default(),
+        vec![],
+    )
+    .unwrap();
+    assert_engine_transparent("mid_instruction_fault", &program, |_| {});
+
+    // Same for a local-memory fault (local space is 1<<12 words).
+    let program = Program::new(
+        vec![
+            Instr::SetThick {
+                src: Operand::Imm(50),
+            },
+            Instr::Mfs {
+                rd: r(1),
+                sr: SpecialReg::Tid,
+            },
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: r(2),
+                ra: r(1),
+                rb: Operand::Imm(300),
+            },
+            Instr::St {
+                rs: r(1),
+                base: r(2),
+                off: 0,
+                space: MemSpace::Local,
+            },
+            Instr::Halt,
+        ],
+        Default::default(),
+        vec![],
+    )
+    .unwrap();
+    assert_engine_transparent("local_fault", &program, |_| {});
+}
+
+// ---------------------------------------------------------------------------
+// Random-program differential (proptest)
+// ---------------------------------------------------------------------------
+
+/// Generator of well-formed TCF program segments, covering the thick
+/// paths the engine shards: per-lane ALU/select traffic, shared and
+/// *local* loads and stores, multioperations and multiprefixes, and
+/// thickness changes that re-fragment the flow.
+#[derive(Debug, Clone)]
+enum Segment {
+    SetThick(usize),
+    UniformAlu(AluOp, u8, u8, Word),
+    ThickInit(u8),
+    ThickStore {
+        base: usize,
+        src: u8,
+    },
+    ThickLoad {
+        base: usize,
+        dst: u8,
+    },
+    LocalStore {
+        base: usize,
+        src: u8,
+    },
+    LocalLoad {
+        base: usize,
+        dst: u8,
+    },
+    Multi {
+        kind: MultiKind,
+        addr: usize,
+        src: u8,
+    },
+    Prefix {
+        kind: MultiKind,
+        addr: usize,
+        dst: u8,
+        src: u8,
+    },
+}
+
+fn data_reg() -> impl Strategy<Value = u8> {
+    1u8..7
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    let base = 0usize..(SHARED_WINDOW - 256);
+    let local_base = 0usize..((1 << 12) - 256);
+    prop_oneof![
+        (1usize..80).prop_map(Segment::SetThick),
+        (
+            prop::sample::select(
+                &[
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Mul,
+                    AluOp::Xor,
+                    AluOp::Min,
+                    AluOp::Max
+                ][..]
+            ),
+            data_reg(),
+            data_reg(),
+            -50i64..50
+        )
+            .prop_map(|(op, rd, ra, imm)| Segment::UniformAlu(op, rd, ra, imm)),
+        data_reg().prop_map(Segment::ThickInit),
+        (base.clone(), data_reg()).prop_map(|(base, src)| Segment::ThickStore { base, src }),
+        (base.clone(), data_reg()).prop_map(|(base, dst)| Segment::ThickLoad { base, dst }),
+        (local_base.clone(), data_reg()).prop_map(|(base, src)| Segment::LocalStore { base, src }),
+        (local_base, data_reg()).prop_map(|(base, dst)| Segment::LocalLoad { base, dst }),
+        (
+            prop::sample::select(&MultiKind::ALL[..]),
+            base.clone(),
+            data_reg()
+        )
+            .prop_map(|(kind, addr, src)| Segment::Multi { kind, addr, src }),
+        (
+            prop::sample::select(&MultiKind::ALL[..]),
+            base,
+            data_reg(),
+            data_reg()
+        )
+            .prop_map(|(kind, addr, dst, src)| Segment::Prefix {
+                kind,
+                addr,
+                dst,
+                src
+            }),
+    ]
+}
+
+/// `addr_reg = (tid & 255) + 0`, the bounded per-thread address.
+fn thick_addr(instrs: &mut Vec<Instr>, addr: Reg) {
+    instrs.push(Instr::Mfs {
+        rd: addr,
+        sr: SpecialReg::Tid,
+    });
+    instrs.push(Instr::Alu {
+        op: AluOp::And,
+        rd: addr,
+        ra: addr,
+        rb: Operand::Imm(255),
+    });
+}
+
+fn lower(segments: &[Segment]) -> Program {
+    let addr = r(7);
+    let mut instrs: Vec<Instr> = Vec::new();
+    for seg in segments {
+        match *seg {
+            Segment::SetThick(k) => instrs.push(Instr::SetThick {
+                src: Operand::Imm(k as Word),
+            }),
+            Segment::UniformAlu(op, rd, ra, imm) => instrs.push(Instr::Alu {
+                op,
+                rd: r(rd),
+                ra: r(ra),
+                rb: Operand::Imm(imm),
+            }),
+            Segment::ThickInit(rd) => {
+                instrs.push(Instr::Mfs {
+                    rd: r(rd),
+                    sr: SpecialReg::Tid,
+                });
+                instrs.push(Instr::Alu {
+                    op: AluOp::Mul,
+                    rd: r(rd),
+                    ra: r(rd),
+                    rb: Operand::Imm(3),
+                });
+            }
+            Segment::ThickStore { base, src } => {
+                thick_addr(&mut instrs, addr);
+                instrs.push(Instr::St {
+                    rs: r(src),
+                    base: addr,
+                    off: base as Word,
+                    space: MemSpace::Shared,
+                });
+            }
+            Segment::ThickLoad { base, dst } => {
+                thick_addr(&mut instrs, addr);
+                instrs.push(Instr::Ld {
+                    rd: r(dst),
+                    base: addr,
+                    off: base as Word,
+                    space: MemSpace::Shared,
+                });
+            }
+            Segment::LocalStore { base, src } => {
+                thick_addr(&mut instrs, addr);
+                instrs.push(Instr::St {
+                    rs: r(src),
+                    base: addr,
+                    off: base as Word,
+                    space: MemSpace::Local,
+                });
+            }
+            Segment::LocalLoad { base, dst } => {
+                thick_addr(&mut instrs, addr);
+                instrs.push(Instr::Ld {
+                    rd: r(dst),
+                    base: addr,
+                    off: base as Word,
+                    space: MemSpace::Local,
+                });
+            }
+            Segment::Multi { kind, addr: a, src } => instrs.push(Instr::MultiOp {
+                kind,
+                base: Reg::ZERO,
+                off: a as Word,
+                rs: r(src),
+            }),
+            Segment::Prefix {
+                kind,
+                addr: a,
+                dst,
+                src,
+            } => instrs.push(Instr::MultiPrefix {
+                kind,
+                rd: r(dst),
+                base: Reg::ZERO,
+                off: a as Word,
+                rs: r(src),
+            }),
+        }
+    }
+    instrs.push(Instr::Halt);
+    Program::new(instrs, Default::default(), vec![]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random thick programs observe identical machines under every
+    /// engine. Only the thick-flow variants are swept here — the paper
+    /// workloads test already covers all six per workload.
+    #[test]
+    fn random_programs_match_across_engines(
+        segments in prop::collection::vec(arb_segment(), 1..14)
+    ) {
+        let program = lower(&segments);
+        for variant in [Variant::SingleInstruction, Variant::Balanced { bound: 3 }] {
+            let reference = observe(variant, &program, Engine::Sequential, |_| {});
+            for &w in &[2usize, 7] {
+                let par = observe(variant, &program, Engine::Parallel { workers: w }, |_| {});
+                prop_assert_eq!(&reference, &par, "{:?} diverged under par:{}", variant, w);
+            }
+        }
+    }
+}
