@@ -7,24 +7,27 @@
 //! `distance(s, d) × hop_latency` cycles, while messages competing for a
 //! link serialize at one per cycle.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::stats::NetStats;
 use crate::topology::Topology;
 
 /// The interconnection network of one machine.
+///
+/// Link and module occupancy live in flat vectors indexed by the
+/// topology's dense [`link_id`](Topology::link_id)s and node ids — the
+/// steady-state routing path performs no hashing and no allocation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Network {
     topology: Topology,
     hop_latency: u64,
-    /// Earliest cycle at which each directed link accepts its next message.
-    link_free: HashMap<(usize, usize), u64>,
+    /// Earliest cycle at which each directed link accepts its next
+    /// message, indexed by [`Topology::link_id`].
+    link_free: Vec<u64>,
     /// Earliest cycle at which each node's memory module accepts its next
     /// reference (modules are pipelined with an initiation interval of
-    /// one reference per cycle).
-    service_free: HashMap<usize, u64>,
+    /// one reference per cycle), indexed by node.
+    service_free: Vec<u64>,
     stats: NetStats,
 }
 
@@ -36,8 +39,8 @@ impl Network {
         Network {
             topology,
             hop_latency,
-            link_free: HashMap::new(),
-            service_free: HashMap::new(),
+            link_free: vec![0; topology.link_count()],
+            service_free: vec![0; topology.nodes()],
             stats: NetStats::default(),
         }
     }
@@ -51,10 +54,17 @@ impl Network {
     ///
     /// [`tcf_mem`-style hashing]: crate
     pub fn service(&mut self, node: usize, arrive: u64, service_latency: u64) -> u64 {
-        let slot = self.service_free.entry(node).or_insert(0);
+        let slot = &mut self.service_free[node];
         let start = arrive.max(*slot);
         *slot = start + 1;
         start + service_latency
+    }
+
+    /// The cycle at which the directed link `from -> to` (a one-hop
+    /// neighbour pair) accepts its next message. Observability hook used
+    /// by congestion diagnostics and the router conformance tests.
+    pub fn link_busy_until(&self, from: usize, to: usize) -> u64 {
+        self.link_free[self.topology.link_id(from, to)]
     }
 
     /// The network's topology.
@@ -90,12 +100,12 @@ impl Network {
             self.stats.local_deliveries += 1;
             return now;
         }
-        let route = self.topology.route(src, dst);
-        self.stats.hops += route.len();
         let mut t = now;
         let mut prev = src;
-        for next in route {
-            let slot = self.link_free.entry((prev, next)).or_insert(0);
+        while prev != dst {
+            let next = self.topology.next_hop(prev, dst);
+            self.stats.hops += 1;
+            let slot = &mut self.link_free[self.topology.link_id(prev, next)];
             let enter = t.max(*slot);
             *slot = enter + 1;
             t = enter + self.hop_latency;
@@ -127,8 +137,8 @@ impl Network {
 
     /// Clears link and module reservations and statistics.
     pub fn reset(&mut self) {
-        self.link_free.clear();
-        self.service_free.clear();
+        self.link_free.fill(0);
+        self.service_free.fill(0);
         self.stats = NetStats::default();
     }
 }
@@ -230,6 +240,104 @@ mod tests {
         net.service(0, 0, 1);
         net.reset();
         assert_eq!(net.service(0, 0, 1), 1);
+    }
+
+    /// The pre-flat-vector router, verbatim: link and service occupancy
+    /// in hash maps keyed by `(prev, next)` pairs and node ids. Kept as
+    /// the reference model for the dense-id rewrite.
+    struct HashMapRouter {
+        topology: Topology,
+        hop_latency: u64,
+        link_free: std::collections::HashMap<(usize, usize), u64>,
+        service_free: std::collections::HashMap<usize, u64>,
+    }
+
+    impl HashMapRouter {
+        fn new(topology: Topology, hop_latency: u64) -> HashMapRouter {
+            HashMapRouter {
+                topology,
+                hop_latency,
+                link_free: Default::default(),
+                service_free: Default::default(),
+            }
+        }
+
+        fn send(&mut self, src: usize, dst: usize, now: u64) -> u64 {
+            if src == dst {
+                return now;
+            }
+            let route = self.topology.route(src, dst);
+            let mut t = now;
+            let mut prev = src;
+            for next in route {
+                let slot = self.link_free.entry((prev, next)).or_insert(0);
+                let enter = t.max(*slot);
+                *slot = enter + 1;
+                t = enter + self.hop_latency;
+                prev = next;
+            }
+            t
+        }
+
+        fn service(&mut self, node: usize, arrive: u64, service_latency: u64) -> u64 {
+            let slot = self.service_free.entry(node).or_insert(0);
+            let start = arrive.max(*slot);
+            *slot = start + 1;
+            start + service_latency
+        }
+    }
+
+    #[test]
+    fn flat_occupancy_matches_hashmap_reference_trace() {
+        let topologies = [
+            Topology::Ring { nodes: 8 },
+            Topology::Mesh2D {
+                width: 4,
+                height: 4,
+            },
+            Topology::Crossbar { nodes: 8 },
+        ];
+        for topology in topologies {
+            let n = topology.nodes();
+            let mut net = Network::new(topology, 3);
+            let mut reference = HashMapRouter::new(topology, 3);
+            // A recorded trace of pseudo-random messages and module
+            // reservations (deterministic LCG so the trace is stable).
+            let mut state = 0x2545F4914F6CDD1Du64;
+            let mut rng = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as usize
+            };
+            for i in 0..500 {
+                let src = rng() % n;
+                let dst = rng() % n;
+                let now = (i / 3) as u64;
+                assert_eq!(
+                    net.send(src, dst, now),
+                    reference.send(src, dst, now),
+                    "{topology:?}: delivery diverged for {src}->{dst} @ {now}"
+                );
+                if i % 5 == 0 {
+                    let node = rng() % n;
+                    assert_eq!(
+                        net.service(node, now, 2),
+                        reference.service(node, now, 2),
+                        "{topology:?}: service diverged at node {node}"
+                    );
+                }
+            }
+            // Every link the reference trace touched shows the same
+            // per-link busy-until time in the flat table.
+            for (&(from, to), &busy) in &reference.link_free {
+                assert_eq!(
+                    net.link_busy_until(from, to),
+                    busy,
+                    "{topology:?}: busy-until diverged on link {from}->{to}"
+                );
+            }
+        }
     }
 
     #[test]

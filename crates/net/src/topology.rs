@@ -119,6 +119,86 @@ impl Topology {
         path
     }
 
+    /// The next node entered on the deterministic route from `from` to
+    /// `to` (`from != to`). Stepping `next_hop` until reaching `to`
+    /// produces exactly [`route`](Topology::route), one hop at a time and
+    /// without materializing the path.
+    #[inline]
+    pub fn next_hop(&self, from: usize, to: usize) -> usize {
+        debug_assert_ne!(from, to, "next_hop of a delivered message");
+        match *self {
+            Topology::Ring { nodes } => {
+                let fwd = (to + nodes - from) % nodes;
+                let bwd = (from + nodes - to) % nodes;
+                if fwd <= bwd {
+                    (from + 1) % nodes
+                } else {
+                    (from + nodes - 1) % nodes
+                }
+            }
+            Topology::Mesh2D { width, .. } => {
+                let (x, y) = (from % width, from / width);
+                let (tx, ty) = (to % width, to / width);
+                if x != tx {
+                    let nx = if x < tx { x + 1 } else { x - 1 };
+                    y * width + nx
+                } else {
+                    let ny = if y < ty { y + 1 } else { y - 1 };
+                    ny * width + x
+                }
+            }
+            Topology::Crossbar { .. } => to,
+        }
+    }
+
+    /// Number of dense directed-link ids (see
+    /// [`link_id`](Topology::link_id)). Some ids may be unused (mesh edge
+    /// nodes have fewer than four neighbours); the table is sized for
+    /// direct indexing, not for counting physical links.
+    pub fn link_count(&self) -> usize {
+        match *self {
+            // Two directions per node: +1 and -1 around the ring.
+            Topology::Ring { nodes } => 2 * nodes,
+            // Four directions per node: east, west, south, north.
+            Topology::Mesh2D { width, height } => 4 * width * height,
+            // A dedicated point-to-point link per ordered pair.
+            Topology::Crossbar { nodes } => nodes * nodes,
+        }
+    }
+
+    /// Dense id of the directed link `from -> to`, where `to` is a
+    /// one-hop neighbour of `from`. A pure function of the pair: every
+    /// traversal of one physical link resolves to the same id, which is
+    /// what lets the router keep per-link state in a flat vector instead
+    /// of a hash map.
+    #[inline]
+    pub fn link_id(&self, from: usize, to: usize) -> usize {
+        match *self {
+            Topology::Ring { nodes } => {
+                if to == (from + 1) % nodes {
+                    2 * from
+                } else {
+                    debug_assert_eq!(to, (from + nodes - 1) % nodes, "not a ring link");
+                    2 * from + 1
+                }
+            }
+            Topology::Mesh2D { width, .. } => {
+                let dir = if to == from + 1 {
+                    0 // east
+                } else if from > 0 && to == from - 1 {
+                    1 // west
+                } else if to == from + width {
+                    2 // south
+                } else {
+                    debug_assert_eq!(to + width, from, "not a mesh link");
+                    3 // north
+                };
+                4 * from + dir
+            }
+            Topology::Crossbar { nodes } => from * nodes + to,
+        }
+    }
+
     fn check(&self, node: usize) {
         assert!(
             node < self.nodes(),
@@ -207,5 +287,63 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_node_panics() {
         Topology::Ring { nodes: 4 }.distance(0, 4);
+    }
+
+    #[test]
+    fn next_hop_reproduces_route() {
+        let topologies = [
+            Topology::Ring { nodes: 2 },
+            Topology::Ring { nodes: 9 },
+            Topology::Mesh2D {
+                width: 4,
+                height: 3,
+            },
+            Topology::Crossbar { nodes: 6 },
+        ];
+        for t in topologies {
+            for from in 0..t.nodes() {
+                for to in 0..t.nodes() {
+                    let mut stepped = Vec::new();
+                    let mut cur = from;
+                    while cur != to {
+                        cur = t.next_hop(cur, to);
+                        stepped.push(cur);
+                    }
+                    assert_eq!(stepped, t.route(from, to), "{t:?} {from}->{to}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_unique() {
+        let topologies = [
+            Topology::Ring { nodes: 2 },
+            Topology::Ring { nodes: 9 },
+            Topology::Mesh2D {
+                width: 4,
+                height: 3,
+            },
+            Topology::Crossbar { nodes: 6 },
+        ];
+        for t in topologies {
+            // Collect every directed link any route traverses.
+            let mut ids = std::collections::HashMap::new();
+            for from in 0..t.nodes() {
+                for to in 0..t.nodes() {
+                    let mut prev = from;
+                    for next in t.route(from, to) {
+                        let id = t.link_id(prev, next);
+                        assert!(id < t.link_count(), "{t:?} id {id} out of range");
+                        // Same pair, same id; different pair, different id.
+                        if let Some(&(pf, pn)) = ids.get(&id) {
+                            assert_eq!((pf, pn), (prev, next), "{t:?} id {id} collides");
+                        }
+                        ids.insert(id, (prev, next));
+                        prev = next;
+                    }
+                }
+            }
+        }
     }
 }
