@@ -1,0 +1,41 @@
+//! Hot-path step-rate bench: wall-clock throughput of the cycle-level
+//! step loop on the three steady-state workloads (thick PRAM flow, thin
+//! NUMA flow, mixed multitasking). `repro bench-json` exports the same
+//! probes as machine-readable `BENCH_hotpath.json`; docs/PERFORMANCE.md
+//! explains how to read both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tcf_bench::hotpath::Workload;
+
+fn bench_step_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_rate");
+    g.sample_size(10);
+    for w in Workload::ALL {
+        let program = w.program();
+        g.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let mut m = w.build(&program);
+                black_box(w.run(&mut m))
+            })
+        });
+    }
+    g.finish();
+
+    // Context for the wall-clock numbers: simulated work per run.
+    for w in Workload::ALL {
+        let m = tcf_bench::hotpath::measure(w, 3);
+        println!(
+            "step_rate/{}: {} steps, {} issued units -> {:.0} steps/s, {:.0} instrs/s",
+            w.name(),
+            m.steps,
+            m.instrs,
+            m.steps_per_sec(),
+            m.instrs_per_sec()
+        );
+    }
+}
+
+criterion_group!(benches, bench_step_rate);
+criterion_main!(benches);

@@ -9,6 +9,9 @@
 //! repro sweeps         # ablations: balanced bound, buffer size,
 //!                      #            allocation, network placement
 //! repro metrics        # stable-schema JSON metrics dump (tcf-metrics/v1)
+//! repro bench-json     # hot-path throughput probes -> BENCH_hotpath.json
+//!                      # (steps/sec + instrs/sec; see docs/PERFORMANCE.md);
+//!                      # --out <file> overrides the destination
 //! repro --paper ...    # use the paper-scale machine (P=16, Tp=64)
 //! repro --engine par:4 # run simulations on the deterministic parallel
 //!                      # engine (seq | par:<workers>); results are
@@ -16,6 +19,8 @@
 //! repro ... --trace-out trace.json
 //!                      # additionally write a Chrome trace_event file
 //!                      # (open in Perfetto / chrome://tracing)
+//! repro ... --force    # overwrite existing output files (repro refuses
+//!                      # to clobber them otherwise)
 //! ```
 
 use std::env;
@@ -31,6 +36,8 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
     args.retain(|a| a != "--paper");
+    let force = args.iter().any(|a| a == "--force");
+    args.retain(|a| a != "--force");
     let mut trace_out: Option<String> = None;
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
         if i + 1 >= args.len() {
@@ -38,6 +45,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let mut bench_out = String::from("BENCH_hotpath.json");
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        if i + 1 >= args.len() {
+            eprintln!("--out needs a file argument");
+            return ExitCode::FAILURE;
+        }
+        bench_out = args.remove(i + 1);
         args.remove(i);
     }
     if let Some(i) = args.iter().position(|a| a == "--engine") {
@@ -64,7 +80,8 @@ fn main() -> ExitCode {
 
     // `metrics` is machine-readable: keep stdout pure JSON so the output
     // pipes straight into jq and friends; the banner goes to stderr.
-    if what == "metrics" {
+    // `bench-json` likewise keeps its stdout to one status line.
+    if what == "metrics" || what == "bench-json" {
         eprintln!(
             "# extended PRAM-NUMA reproduction -- machine: P={}, Tp={}, R={}",
             config.groups, config.threads_per_group, config.regs_per_thread
@@ -90,6 +107,14 @@ fn main() -> ExitCode {
         "sweeps" => println!("{}", sweeps(&config)),
         "scaling" => println!("{}", scaling()),
         "metrics" => println!("{}", tcf_bench::trace_export::metrics_demo(&config)),
+        "bench-json" => {
+            let json = tcf_bench::hotpath::bench_json(5);
+            if let Err(e) = write_output(&bench_out, &json, force) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote hot-path bench ({} bytes) to {bench_out}", json.len());
+        }
         other => {
             if let Some(n) = other
                 .strip_prefix("fig")
@@ -105,7 +130,7 @@ fn main() -> ExitCode {
             } else {
                 eprintln!(
                     "unknown experiment `{other}`; try \
-                     all|table1|figs|fig<N>|progs|sweeps|scaling|metrics"
+                     all|table1|figs|fig<N>|progs|sweeps|scaling|metrics|bench-json"
                 );
                 return ExitCode::FAILURE;
             }
@@ -114,13 +139,24 @@ fn main() -> ExitCode {
 
     if let Some(path) = trace_out {
         let json = tcf_bench::trace_export::chrome_trace_demo(&config);
-        if let Err(e) = fs::write(&path, &json) {
-            eprintln!("cannot write {path}: {e}");
+        if let Err(e) = write_output(&path, &json, force) {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
         println!("wrote Chrome trace ({} bytes) to {path}", json.len());
     }
     ExitCode::SUCCESS
+}
+
+/// Writes an output artifact, refusing to clobber an existing file unless
+/// `--force` was given.
+fn write_output(path: &str, contents: &str, force: bool) -> Result<(), String> {
+    if !force && fs::metadata(path).is_ok() {
+        return Err(format!(
+            "{path} already exists; pass --force to overwrite it"
+        ));
+    }
+    fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// Machine-size scaling: the same thick workload on P = 1..16 groups.

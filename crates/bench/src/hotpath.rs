@@ -1,0 +1,205 @@
+//! Hot-path throughput probes: the fixed workload trio measured by the
+//! `step_rate` criterion bench and exported by `repro bench-json`.
+//!
+//! Three workloads cover the simulator's three steady states (see
+//! `docs/PERFORMANCE.md`):
+//!
+//! * **thick_pram_flow** — one flow of thickness 1024 looping over a
+//!   shared array: stresses per-lane operand access and the shared-memory
+//!   resolution path.
+//! * **thin_numa_flow** — a thickness-1 NUMA bunch spinning a counter:
+//!   stresses instruction fetch/dispatch with no memory pressure.
+//! * **mixed_multitasking** — a dozen tasks of mixed thickness scheduled
+//!   against each other: stresses flow management plus both regimes at
+//!   once.
+//!
+//! All three run on the small machine (`P = 4`, `T_p = 16`) so a probe
+//! completes in milliseconds; throughput is reported as simulated machine
+//! steps and issued units ("instrs") per host second.
+
+use std::time::Instant;
+
+use tcf_core::{TcfMachine, Variant};
+use tcf_isa::program::Program;
+use tcf_pram::RunSummary;
+
+use crate::workloads;
+
+/// One of the three measured workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Thick PRAM-mode flow (thickness 1024 array loop).
+    ThickPram,
+    /// Thin NUMA-mode flow (thickness-1 counter loop).
+    ThinNuma,
+    /// Mixed-thickness multitasking (12 concurrent tasks).
+    MixedMultitasking,
+}
+
+impl Workload {
+    /// Every workload, in report order.
+    pub const ALL: [Workload; 3] = [
+        Workload::ThickPram,
+        Workload::ThinNuma,
+        Workload::MixedMultitasking,
+    ];
+
+    /// Stable identifier used in bench output and `BENCH_hotpath.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::ThickPram => "thick_pram_flow",
+            Workload::ThinNuma => "thin_numa_flow",
+            Workload::MixedMultitasking => "mixed_multitasking",
+        }
+    }
+
+    /// Compiles the workload's program (do this once, outside timing).
+    pub fn program(self) -> Program {
+        match self {
+            Workload::ThickPram => tcf_lang::compile(&format!(
+                "shared int a[1024] @ {};
+                 void main() {{
+                     #1024;
+                     int i = 0;
+                     while (i < 24) {{
+                         a[.] = a[.] + .;
+                         i = i + 1;
+                     }}
+                 }}",
+                workloads::A_BASE
+            ))
+            .expect("workload compiles"),
+            Workload::ThinNuma => workloads::tcf_numa_seq(400, 8),
+            Workload::MixedMultitasking => workloads::task_program(150),
+        }
+    }
+
+    /// Builds a machine ready to run (tasks spawned, inputs in place).
+    pub fn build(self, program: &Program) -> TcfMachine {
+        let config = crate::small_config();
+        let mut m = TcfMachine::new(config, Variant::SingleInstruction, program.clone());
+        if self == Workload::MixedMultitasking {
+            let entry = program.label("task").expect("task label");
+            for i in 0..12 {
+                // Thicknesses cycle 1, 4, 16: thin, medium, thick tasks
+                // competing for the same groups.
+                let thickness = [1usize, 4, 16][i % 3];
+                m.spawn_task(entry, thickness).expect("spawn task");
+            }
+        }
+        m
+    }
+
+    /// Runs a freshly [`build`](Workload::build)-t machine to completion.
+    pub fn run(self, m: &mut TcfMachine) -> RunSummary {
+        m.run(10_000_000).expect("workload halts")
+    }
+}
+
+/// Throughput measurement for one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Simulated machine steps per run.
+    pub steps: u64,
+    /// Issued units (compute + memory + fetch) per run.
+    pub instrs: u64,
+    /// Best wall-clock seconds over the repeats (machine build excluded).
+    pub elapsed_sec: f64,
+}
+
+impl Measurement {
+    /// Simulated steps per host second.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.elapsed_sec
+    }
+
+    /// Issued units per host second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        self.instrs as f64 / self.elapsed_sec
+    }
+}
+
+/// Measures one workload: one warmup run, then `repeats` timed runs,
+/// keeping the fastest (criterion-style minimum — the least-perturbed
+/// sample of a deterministic simulation).
+pub fn measure(w: Workload, repeats: usize) -> Measurement {
+    let program = w.program();
+    let mut best = f64::INFINITY;
+    let mut summary = {
+        let mut m = w.build(&program);
+        w.run(&mut m)
+    };
+    for _ in 0..repeats.max(1) {
+        let mut m = w.build(&program);
+        let start = Instant::now();
+        summary = w.run(&mut m);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measurement {
+        steps: summary.steps,
+        instrs: summary.machine.issued(),
+        elapsed_sec: best.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Renders the `BENCH_hotpath.json` document (`tcf-bench-hotpath/v1`):
+/// steps/sec and instrs/sec for every workload in [`Workload::ALL`].
+pub fn bench_json(repeats: usize) -> String {
+    let mut out = String::from("{\n  \"schema\": \"tcf-bench-hotpath/v1\",\n  \"workloads\": {\n");
+    for (i, w) in Workload::ALL.iter().enumerate() {
+        let m = measure(*w, repeats);
+        out.push_str(&format!(
+            "    \"{}\": {{\n      \"steps\": {},\n      \"instrs\": {},\n      \
+             \"elapsed_sec\": {:.6},\n      \"steps_per_sec\": {:.1},\n      \
+             \"instrs_per_sec\": {:.1}\n    }}{}\n",
+            w.name(),
+            m.steps,
+            m.instrs,
+            m.elapsed_sec,
+            m.steps_per_sec(),
+            m.instrs_per_sec(),
+            if i + 1 < Workload::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_halt_and_count() {
+        for w in Workload::ALL {
+            let program = w.program();
+            let mut m = w.build(&program);
+            let s = w.run(&mut m);
+            assert!(s.halted, "{} did not halt", w.name());
+            assert!(s.steps > 0, "{} executed no steps", w.name());
+            assert!(s.machine.issued() > 0, "{} issued nothing", w.name());
+        }
+    }
+
+    #[test]
+    fn thick_workload_computes_the_loop() {
+        let w = Workload::ThickPram;
+        let program = w.program();
+        let mut m = w.build(&program);
+        w.run(&mut m);
+        // a[j] starts 0 and gains j per iteration, 24 iterations.
+        for j in [0usize, 1, 513, 1023] {
+            assert_eq!(m.peek(workloads::A_BASE + j).unwrap(), 24 * j as i64);
+        }
+    }
+
+    #[test]
+    fn bench_json_contains_all_workloads() {
+        let json = bench_json(1);
+        for w in Workload::ALL {
+            assert!(json.contains(w.name()), "missing {}", w.name());
+        }
+        assert!(json.contains("steps_per_sec"));
+        assert!(json.contains("instrs_per_sec"));
+    }
+}
