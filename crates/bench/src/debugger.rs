@@ -249,6 +249,7 @@ impl Debugger {
                 let _ = writeln!(out, "no flow {id}");
             }
             Some(f) => {
+                let mut lanes = Vec::new();
                 for i in 0..f.regs.len() {
                     let reg = tcf_isa::reg::Reg::new(i as u8);
                     let v = f.regs.value(reg);
@@ -259,7 +260,7 @@ impl Debugger {
                             }
                         }
                         None => {
-                            let lanes = v.materialize(f.thickness.min(8));
+                            v.materialize_into(f.thickness.min(8), &mut lanes);
                             let _ = writeln!(
                                 out,
                                 "  r{i:<2} = per-thread {lanes:?}{}",

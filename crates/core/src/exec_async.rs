@@ -10,11 +10,12 @@
 //! the paper points out. A multiprefix degenerates to the XMT `ps`
 //! (atomic fetch-and-op) primitive.
 
-use tcf_isa::instr::{Instr, MemSpace, Operand};
+use tcf_isa::instr::{MemSpace, Operand};
 use tcf_isa::word::to_addr;
 use tcf_machine::IssueUnit;
 use tcf_obs::FlowEvent;
 
+use crate::decoded::DecodedInst;
 use crate::error::{TcfError, TcfFault};
 use crate::flow::{Flow, FlowStatus};
 use crate::machine::TcfMachine;
@@ -59,7 +60,7 @@ impl TcfMachine {
             }
         }
 
-        self.apply_timing(units, numa_units);
+        self.apply_timing(&units, &numa_units);
         Ok(())
     }
 
@@ -84,8 +85,10 @@ impl TcfMachine {
         units: &mut [Vec<IssueUnit>],
     ) -> Result<(), TcfError> {
         let pc = flow.pc;
-        let instr = match self.program.fetch(pc) {
-            Some(i) => i.clone(),
+        // `Copy` fetch from the pre-decoded program: no per-instruction
+        // clone.
+        let instr = match self.decoded.fetch(pc) {
+            Some(i) => i,
             None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
         };
         self.stats.fetches += 1;
@@ -95,7 +98,7 @@ impl TcfMachine {
         let mut unit = IssueUnit::compute(flow.id, 0);
 
         match instr {
-            Instr::Alu { op, rd, ra, rb } => {
+            DecodedInst::Alu { op, rd, ra, rb } => {
                 let a = flow.regs.read(ra, 0);
                 let b = match rb {
                     Operand::Reg(r) => flow.regs.read(r, 0),
@@ -103,12 +106,12 @@ impl TcfMachine {
                 };
                 flow.regs.write_uniform(rd, op.eval(a, b));
             }
-            Instr::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
-            Instr::Mfs { rd, sr } => {
+            DecodedInst::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
+            DecodedInst::Mfs { rd, sr } => {
                 let v = self.special(flow, 0, sr);
                 flow.regs.write_uniform(rd, v);
             }
-            Instr::Sel { rd, cond, rt, rf } => {
+            DecodedInst::Sel { rd, cond, rt, rf } => {
                 let v = if flow.regs.read(cond, 0) != 0 {
                     flow.regs.read(rt, 0)
                 } else {
@@ -119,7 +122,7 @@ impl TcfMachine {
                 };
                 flow.regs.write_uniform(rd, v);
             }
-            Instr::Ld {
+            DecodedInst::Ld {
                 rd,
                 base,
                 off,
@@ -142,20 +145,20 @@ impl TcfMachine {
                 };
                 flow.regs.write_uniform(rd, v);
             }
-            Instr::St {
+            DecodedInst::St {
                 rs,
                 base,
                 off,
                 space,
             }
-            | Instr::StMasked {
+            | DecodedInst::StMasked {
                 rs,
                 base,
                 off,
                 space,
                 ..
             } => {
-                let masked_out = matches!(instr, Instr::StMasked { cond, .. }
+                let masked_out = matches!(instr, DecodedInst::StMasked { cond, .. }
                     if flow.regs.read(cond, 0) == 0);
                 let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
                 let v = flow.regs.read(rs, 0);
@@ -176,13 +179,13 @@ impl TcfMachine {
                     }
                 }
             }
-            Instr::MultiOp {
+            DecodedInst::MultiOp {
                 kind,
                 base,
                 off,
                 rs,
             }
-            | Instr::MultiPrefix {
+            | DecodedInst::MultiPrefix {
                 kind,
                 base,
                 off,
@@ -200,36 +203,29 @@ impl TcfMachine {
                 self.shared
                     .poke(addr, kind.combine(old, v))
                     .map_err(|e| self.flow_err(flow.id, e.into()))?;
-                if let Instr::MultiPrefix { rd, .. } = instr {
+                if let DecodedInst::MultiPrefix { rd, .. } = instr {
                     flow.regs.write_uniform(rd, old);
                 }
             }
-            Instr::Jmp { ref target } => next_pc = self.abs(flow.id, target)?,
-            Instr::Br {
-                cond,
-                rs,
-                ref target,
-            } => {
+            DecodedInst::Jmp { target } => next_pc = self.abs(flow.id, target)?,
+            DecodedInst::Br { cond, rs, target } => {
                 if cond.holds(flow.regs.read(rs, 0)) {
                     next_pc = self.abs(flow.id, target)?;
                 }
             }
-            Instr::Call { ref target } => {
+            DecodedInst::Call { target } => {
                 let dst = self.abs(flow.id, target)?;
                 flow.call_stack.push(pc + 1);
                 next_pc = dst;
             }
-            Instr::Ret => match flow.call_stack.pop() {
+            DecodedInst::Ret => match flow.call_stack.pop() {
                 Some(ra) => next_pc = ra,
                 None => return Err(self.flow_err(flow.id, TcfFault::EmptyCallStack)),
             },
-            Instr::Spawn {
-                ref count,
-                ref target,
-            } => {
+            DecodedInst::Spawn { count, target } => {
                 let n = match count {
-                    Operand::Reg(r) => flow.regs.read(*r, 0),
-                    Operand::Imm(w) => *w,
+                    Operand::Reg(r) => flow.regs.read(r, 0),
+                    Operand::Imm(w) => w,
                 };
                 if n < 0 {
                     return Err(self.flow_err(flow.id, TcfFault::BadThickness { requested: n }));
@@ -281,7 +277,7 @@ impl TcfMachine {
                 }
                 unit = IssueUnit::overhead(flow.id);
             }
-            Instr::SJoin => {
+            DecodedInst::SJoin => {
                 let parent = flow
                     .parent
                     .ok_or_else(|| self.flow_err(flow.id, TcfFault::StrayJoin))?;
@@ -301,8 +297,8 @@ impl TcfMachine {
                 );
                 self.notify_join(parent)?;
             }
-            Instr::Sync | Instr::Nop => {}
-            Instr::Halt => {
+            DecodedInst::Sync | DecodedInst::Nop => {}
+            DecodedInst::Halt => {
                 flow.status = FlowStatus::Halted;
                 self.obs.emit(
                     self.steps,
@@ -310,18 +306,23 @@ impl TcfMachine {
                     FlowEvent::FlowHalted { flow: flow.id },
                 );
             }
-            ref other @ (Instr::SetThick { .. }
-            | Instr::Numa { .. }
-            | Instr::EndNuma
-            | Instr::Split { .. }
-            | Instr::Join) => {
+            DecodedInst::SetThick { .. }
+            | DecodedInst::Numa { .. }
+            | DecodedInst::EndNuma
+            | DecodedInst::Split { .. }
+            | DecodedInst::Join => {
+                // Cold fault path: render the source instruction.
                 return Err(self.flow_err(
                     flow.id,
                     TcfFault::UnsupportedByVariant {
-                        instr: other.to_string(),
+                        instr: self
+                            .program
+                            .fetch(pc)
+                            .map(|i| i.to_string())
+                            .unwrap_or_default(),
                         variant: self.variant.name(),
                     },
-                ))
+                ));
             }
         }
 

@@ -10,11 +10,12 @@
 //!
 //! [`GroupPipeline::run_step`]: tcf_machine::GroupPipeline::run_step
 
-use tcf_isa::instr::{Instr, MemSpace, Operand};
+use tcf_isa::instr::{MemSpace, Operand};
 use tcf_isa::word::to_addr;
 use tcf_machine::IssueUnit;
 use tcf_obs::{FlowEvent, Mode};
 
+use crate::decoded::DecodedInst;
 use crate::error::{TcfError, TcfFault};
 use crate::flow::{ExecMode, Flow, FlowStatus};
 use crate::machine::TcfMachine;
@@ -54,8 +55,9 @@ impl TcfMachine {
 
         for _ in 0..slots {
             let pc = flow.pc;
-            let instr = match self.program.fetch(pc) {
-                Some(i) => i.clone(),
+            // `Copy` fetch from the pre-decoded program: no per-slot clone.
+            let instr = match self.decoded.fetch(pc) {
+                Some(i) => i,
                 None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
             };
             self.stats.fetches += 1;
@@ -65,7 +67,7 @@ impl TcfMachine {
             let mut unit = IssueUnit::compute(flow.id, 0);
 
             match instr {
-                Instr::Alu { op, rd, ra, rb } => {
+                DecodedInst::Alu { op, rd, ra, rb } => {
                     let a = flow.regs.read(ra, 0);
                     let b = match rb {
                         Operand::Reg(r) => flow.regs.read(r, 0),
@@ -73,12 +75,12 @@ impl TcfMachine {
                     };
                     flow.regs.write_uniform(rd, op.eval(a, b));
                 }
-                Instr::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
-                Instr::Mfs { rd, sr } => {
+                DecodedInst::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
+                DecodedInst::Mfs { rd, sr } => {
                     let v = self.special(flow, 0, sr);
                     flow.regs.write_uniform(rd, v);
                 }
-                Instr::Sel { rd, cond, rt, rf } => {
+                DecodedInst::Sel { rd, cond, rt, rf } => {
                     let v = if flow.regs.read(cond, 0) != 0 {
                         flow.regs.read(rt, 0)
                     } else {
@@ -89,7 +91,7 @@ impl TcfMachine {
                     };
                     flow.regs.write_uniform(rd, v);
                 }
-                Instr::Ld {
+                DecodedInst::Ld {
                     rd,
                     base,
                     off,
@@ -112,20 +114,20 @@ impl TcfMachine {
                     };
                     flow.regs.write_uniform(rd, v);
                 }
-                Instr::St {
+                DecodedInst::St {
                     rs,
                     base,
                     off,
                     space,
                 }
-                | Instr::StMasked {
+                | DecodedInst::StMasked {
                     rs,
                     base,
                     off,
                     space,
                     ..
                 } => {
-                    let masked_out = matches!(instr, Instr::StMasked { cond, .. }
+                    let masked_out = matches!(instr, DecodedInst::StMasked { cond, .. }
                         if flow.regs.read(cond, 0) == 0);
                     let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
                     let v = flow.regs.read(rs, 0);
@@ -147,13 +149,13 @@ impl TcfMachine {
                         }
                     }
                 }
-                Instr::MultiOp {
+                DecodedInst::MultiOp {
                     kind,
                     base,
                     off,
                     rs,
                 }
-                | Instr::MultiPrefix {
+                | DecodedInst::MultiPrefix {
                     kind,
                     base,
                     off,
@@ -172,30 +174,26 @@ impl TcfMachine {
                     self.shared
                         .poke(addr, kind.combine(old, v))
                         .map_err(|e| self.flow_err(flow.id, e.into()))?;
-                    if let Instr::MultiPrefix { rd, .. } = instr {
+                    if let DecodedInst::MultiPrefix { rd, .. } = instr {
                         flow.regs.write_uniform(rd, old);
                     }
                 }
-                Instr::Jmp { ref target } => next_pc = self.abs(flow.id, target)?,
-                Instr::Br {
-                    cond,
-                    rs,
-                    ref target,
-                } => {
+                DecodedInst::Jmp { target } => next_pc = self.abs(flow.id, target)?,
+                DecodedInst::Br { cond, rs, target } => {
                     if cond.holds(flow.regs.read(rs, 0)) {
                         next_pc = self.abs(flow.id, target)?;
                     }
                 }
-                Instr::Call { ref target } => {
+                DecodedInst::Call { target } => {
                     let dst = self.abs(flow.id, target)?;
                     flow.call_stack.push(pc + 1);
                     next_pc = dst;
                 }
-                Instr::Ret => match flow.call_stack.pop() {
+                DecodedInst::Ret => match flow.call_stack.pop() {
                     Some(ra) => next_pc = ra,
                     None => return Err(self.flow_err(flow.id, TcfFault::EmptyCallStack)),
                 },
-                Instr::EndNuma => {
+                DecodedInst::EndNuma => {
                     flow.pc = pc + 1;
                     self.exit_numa(flow);
                     self.obs.emit(
@@ -209,7 +207,7 @@ impl TcfMachine {
                     units[home].push(IssueUnit::overhead(flow.id));
                     return Ok(());
                 }
-                Instr::Halt => {
+                DecodedInst::Halt => {
                     flow.status = FlowStatus::Halted;
                     self.halt_absorbed(flow.id);
                     self.obs.emit(
@@ -220,15 +218,20 @@ impl TcfMachine {
                     units[home].push(unit);
                     return Ok(());
                 }
-                Instr::Sync | Instr::Nop => {}
-                ref other => {
+                DecodedInst::Sync | DecodedInst::Nop => {}
+                _ => {
+                    // Cold fault path: render the source instruction.
                     return Err(self.flow_err(
                         flow.id,
                         TcfFault::UnsupportedByVariant {
-                            instr: other.to_string(),
+                            instr: self
+                                .program
+                                .fetch(pc)
+                                .map(|i| i.to_string())
+                                .unwrap_or_default(),
                             variant: "NUMA mode",
                         },
-                    ))
+                    ));
                 }
             }
 

@@ -10,13 +10,14 @@
 //! operands) — or *thick* — one operation per implicit thread, executed
 //! over the flow's fragments and bounded per step under Balanced.
 
-use tcf_isa::instr::{Instr, MemSpace, Operand, Target};
+use tcf_isa::instr::{MemSpace, Operand};
 use tcf_isa::reg::{Reg, SpecialReg};
 use tcf_isa::word::{to_addr, Word};
 use tcf_machine::IssueUnit;
 use tcf_mem::{MemOp, MemRef, RefOrigin};
 use tcf_obs::{FlowEvent, Mode};
 
+use crate::decoded::{DecodedInst, DecodedProgram};
 use crate::error::{TcfError, TcfFault};
 use crate::flow::{ExecMode, Flow, FlowStatus, Fragment};
 use crate::machine::{TcfMachine, MAX_THICKNESS};
@@ -31,15 +32,57 @@ pub(crate) struct Writeback {
     pub ref_idx: usize,
 }
 
+/// Reusable buffers of the synchronous step — one bundle per machine, so
+/// the steady-state loop performs no per-step allocation once every
+/// buffer has grown to the workload's high-water mark. Taken out of the
+/// machine (`std::mem::take`) for the duration of a step to keep the
+/// borrow checker out of the phase structure, then put back.
+#[derive(Default)]
+pub(crate) struct StepBufs {
+    pram_units: Vec<Vec<IssueUnit>>,
+    numa_units: Vec<Vec<IssueUnit>>,
+    refs: Vec<MemRef>,
+    wbs: Vec<Writeback>,
+    numa_flows: Vec<u32>,
+    slots_used: Vec<usize>,
+    /// Flow ids snapshotted at step start (status changes mid-step).
+    ids: Vec<u32>,
+}
+
 impl TcfMachine {
-    /// One synchronous step (phases 1–5 of the machine docs).
+    /// One synchronous step (phases 1–5 of the machine docs). The step
+    /// buffers are taken out of the machine for the duration of the step
+    /// (and put back even on a faulting step) so the phase structure can
+    /// borrow them independently of `self`.
     pub(crate) fn step_sync(&mut self) -> Result<(), TcfError> {
+        let mut bufs = std::mem::take(&mut self.step_bufs);
+        let r = self.step_sync_inner(&mut bufs);
+        self.step_bufs = bufs;
+        r
+    }
+
+    fn step_sync_inner(&mut self, bufs: &mut StepBufs) -> Result<(), TcfError> {
         let ngroups = self.config.groups;
-        let mut pram_units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
-        let mut numa_units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
-        let mut refs: Vec<MemRef> = Vec::new();
-        let mut wbs: Vec<Writeback> = Vec::new();
-        let mut numa_flows: Vec<u32> = Vec::new();
+        bufs.pram_units.resize_with(ngroups, Vec::new);
+        bufs.numa_units.resize_with(ngroups, Vec::new);
+        for u in &mut bufs.pram_units {
+            u.clear();
+        }
+        for u in &mut bufs.numa_units {
+            u.clear();
+        }
+        bufs.refs.clear();
+        bufs.wbs.clear();
+        bufs.numa_flows.clear();
+        let StepBufs {
+            pram_units,
+            numa_units,
+            refs,
+            wbs,
+            numa_flows,
+            slots_used,
+            ids,
+        } = bufs;
 
         // Fixed thread-slot accounting of the thread-based variants: an
         // interleaved ESM processor always rotates through its T_p slots,
@@ -50,10 +93,12 @@ impl TcfMachine {
             self.variant,
             Variant::SingleOperation | Variant::ConfigurableSingleOperation
         );
-        let mut slots_used = vec![0usize; ngroups];
+        slots_used.clear();
+        slots_used.resize(ngroups, 0);
 
-        let ids: Vec<u32> = self.flows.keys().copied().collect();
-        for id in ids {
+        ids.clear();
+        ids.extend(self.flows.keys().copied());
+        for &id in ids.iter() {
             // Status can change mid-step (bunch absorption), so re-check.
             if !self.flows[&id].is_running() {
                 continue;
@@ -61,7 +106,7 @@ impl TcfMachine {
             match self.flows[&id].mode {
                 ExecMode::Numa { slots } => {
                     if slots > 0 {
-                        self.activate_in_buffers(id, &mut numa_units);
+                        self.activate_in_buffers(id, numa_units);
                         slots_used[self.flows[&id].home_group()] += slots;
                         numa_flows.push(id);
                     }
@@ -70,9 +115,9 @@ impl TcfMachine {
                     if self.flows[&id].thickness == 0 {
                         continue; // dormant flow: executes nothing (§3.1)
                     }
-                    self.activate_in_buffers(id, &mut pram_units);
+                    self.activate_in_buffers(id, pram_units);
                     slots_used[self.flows[&id].home_group()] += 1;
-                    self.exec_pram_instruction(id, &mut pram_units, &mut refs, &mut wbs)?;
+                    self.exec_pram_instruction(id, pram_units, refs, wbs)?;
                 }
             }
         }
@@ -87,13 +132,14 @@ impl TcfMachine {
         }
 
         // Phase 2: one PRAM memory step for all flows' references
-        // (sharded per memory module under the parallel engine).
-        let (replies, mstats) = self.memory_step(&refs)?;
+        // (sharded per memory module under the parallel engine). Replies
+        // land in the machine-owned `mem_replies` buffer.
+        let mstats = self.memory_step(refs)?;
         self.mem_stats.absorb(&mstats);
 
         // Phase 3: write-backs.
-        for wb in wbs {
-            if let Some(v) = replies[wb.ref_idx] {
+        for wb in wbs.iter() {
+            if let Some(v) = self.mem_replies[wb.ref_idx] {
                 let flow = self.flows.get_mut(&wb.flow).expect("flow exists");
                 match wb.thread {
                     Some(e) => {
@@ -106,9 +152,9 @@ impl TcfMachine {
         }
 
         // Phase 4: NUMA slices.
-        for id in numa_flows {
+        for &id in numa_flows.iter() {
             if self.flows[&id].is_running() {
-                self.run_numa_slice(id, &mut numa_units)?;
+                self.run_numa_slice(id, numa_units)?;
             }
         }
 
@@ -117,51 +163,48 @@ impl TcfMachine {
         Ok(())
     }
 
-    fn operand_uniform(&self, flow: &Flow, o: &Operand) -> bool {
+    fn operand_uniform(&self, flow: &Flow, o: Operand) -> bool {
         match o {
             Operand::Imm(_) => true,
-            Operand::Reg(r) => flow.regs.value(*r).is_uniform(),
+            Operand::Reg(r) => flow.regs.value(r).is_uniform(),
         }
     }
 
     /// Whether `instr` needs one operation per implicit thread.
-    fn is_thick(&self, flow: &Flow, instr: &Instr) -> bool {
+    fn is_thick(&self, flow: &Flow, instr: DecodedInst) -> bool {
         if flow.thickness <= 1 {
             // One implicit thread: flow-wise and thick coincide; treat as
             // flow-wise so unit flows cost one operation.
-            return matches!(instr, Instr::MultiOp { .. } | Instr::MultiPrefix { .. });
+            return matches!(
+                instr,
+                DecodedInst::MultiOp { .. } | DecodedInst::MultiPrefix { .. }
+            );
         }
-        let u = |r: &Reg| flow.regs.value(*r).is_uniform();
+        let u = |r: Reg| flow.regs.value(r).is_uniform();
         match instr {
-            Instr::Alu { ra, rb, .. } => !u(ra) || !self.operand_uniform(flow, rb),
-            Instr::Ldi { .. } => false,
-            Instr::Mfs { sr, .. } => matches!(sr, SpecialReg::Tid | SpecialReg::Gid),
-            Instr::Sel { cond, rt, rf, .. } => {
+            DecodedInst::Alu { ra, rb, .. } => !u(ra) || !self.operand_uniform(flow, rb),
+            DecodedInst::Ldi { .. } => false,
+            DecodedInst::Mfs { sr, .. } => matches!(sr, SpecialReg::Tid | SpecialReg::Gid),
+            DecodedInst::Sel { cond, rt, rf, .. } => {
                 !u(cond) || !u(rt) || !self.operand_uniform(flow, rf)
             }
-            Instr::Ld { base, .. } => !u(base),
-            Instr::St { rs, base, .. } => !u(rs) || !u(base),
-            Instr::StMasked { cond, rs, base, .. } => !u(cond) || !u(rs) || !u(base),
+            DecodedInst::Ld { base, .. } => !u(base),
+            DecodedInst::St { rs, base, .. } => !u(rs) || !u(base),
+            DecodedInst::StMasked { cond, rs, base, .. } => !u(cond) || !u(rs) || !u(base),
             // Every implicit thread contributes, whatever the operands.
-            Instr::MultiOp { .. } | Instr::MultiPrefix { .. } => true,
+            DecodedInst::MultiOp { .. } | DecodedInst::MultiPrefix { .. } => true,
             _ => false,
         }
     }
 
-    fn uniform_value(
-        &self,
-        flow: &Flow,
-        o: &Operand,
-        what: &'static str,
-    ) -> Result<Word, TcfError> {
+    fn uniform_value(&self, flow: &Flow, o: Operand, what: &'static str) -> Result<Word, TcfError> {
         match o {
-            Operand::Imm(w) => Ok(*w),
-            Operand::Reg(r) => {
-                let mut v = flow.regs.value(*r).clone();
-                v.normalize(flow.thickness.max(1));
-                v.as_uniform()
-                    .ok_or_else(|| self.flow_err(flow.id, TcfFault::NonUniformOperand { what }))
-            }
+            Operand::Imm(w) => Ok(w),
+            Operand::Reg(r) => flow
+                .regs
+                .value(r)
+                .uniform_over(flow.thickness.max(1))
+                .ok_or_else(|| self.flow_err(flow.id, TcfFault::NonUniformOperand { what })),
         }
     }
 
@@ -187,15 +230,17 @@ impl TcfMachine {
         wbs: &mut Vec<Writeback>,
     ) -> Result<(), TcfError> {
         let pc = flow.pc;
-        let instr = match self.program.fetch(pc) {
-            Some(i) => i.clone(),
+        // The pre-decoded instruction is `Copy`: fetching it takes no
+        // allocation and leaves the machine unborrowed.
+        let instr = match self.decoded.fetch(pc) {
+            Some(i) => i,
             None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
         };
         self.stats.fetches += 1;
         self.obs
             .emit(self.steps, self.clock, FlowEvent::Fetch { flow: flow.id });
 
-        if self.is_thick(flow, &instr) {
+        if self.is_thick(flow, instr) {
             // Rank-contiguous slicing: the flow has ONE next-operation
             // pointer (§3.3's TCF-buffer resume pointer). Each fragment's
             // group contributes up to `bound` (Balanced) or its share
@@ -204,7 +249,8 @@ impl TcfMachine {
             // sliced instructions.
             let bound = self.variant.bound().unwrap_or(usize::MAX);
             let mut cursor = flow.next_op;
-            let mut slices: Vec<(Fragment, std::ops::Range<usize>)> = Vec::new();
+            let mut slices = std::mem::take(&mut self.slice_buf);
+            slices.clear();
             for fi in 0..flow.fragments.len() {
                 if cursor >= flow.thickness {
                     break;
@@ -220,8 +266,13 @@ impl TcfMachine {
             // Lanes execute per slice (inline, or on the worker pool under
             // the parallel engine — the fragments' groups are distinct, so
             // the slices are independent) and merge in fragment order.
-            let outs = self.exec_slices(flow, &instr, &slices);
-            self.merge_frag_outs(flow, outs, units, refs, wbs)?;
+            let mut outs = std::mem::take(&mut self.frag_pool);
+            self.exec_slices(flow, instr, &slices, &mut outs);
+            let n = slices.len();
+            let merged = self.merge_frag_outs(flow, &mut outs[..n], units, refs, wbs);
+            self.slice_buf = slices;
+            self.frag_pool = outs;
+            merged?;
             flow.next_op = cursor;
             if flow.instruction_complete() {
                 flow.pc = pc + 1;
@@ -229,7 +280,7 @@ impl TcfMachine {
             }
             Ok(())
         } else {
-            self.exec_flowwise(flow, &instr, units, refs, wbs)
+            self.exec_flowwise(flow, instr, units, refs, wbs)
         }
     }
 
@@ -238,7 +289,7 @@ impl TcfMachine {
     fn exec_flowwise(
         &mut self,
         flow: &mut Flow,
-        instr: &Instr,
+        instr: DecodedInst,
         units: &mut [Vec<IssueUnit>],
         refs: &mut Vec<MemRef>,
         wbs: &mut Vec<Writeback>,
@@ -251,47 +302,48 @@ impl TcfMachine {
         let origin = RefOrigin::new(home, flow.rank_base);
 
         let fid = flow.id;
-        let unsupported = move |m: &TcfMachine, i: &Instr| {
+        // Cold fault path: render the *source* instruction at `pc` (the
+        // decoded form has no display).
+        let unsupported = move |m: &TcfMachine| {
             m.flow_err(
                 fid,
                 TcfFault::UnsupportedByVariant {
-                    instr: i.to_string(),
+                    instr: m
+                        .program
+                        .fetch(pc)
+                        .map(|i| i.to_string())
+                        .unwrap_or_default(),
                     variant: m.variant.name(),
                 },
             )
         };
 
-        match *instr {
-            Instr::Alu { op, rd, ra, ref rb } => {
+        match instr {
+            DecodedInst::Alu { op, rd, ra, rb } => {
                 let a = flow.regs.read(ra, 0);
                 let b = match rb {
-                    Operand::Reg(r) => flow.regs.read(*r, 0),
-                    Operand::Imm(w) => *w,
+                    Operand::Reg(r) => flow.regs.read(r, 0),
+                    Operand::Imm(w) => w,
                 };
                 flow.regs.write_uniform(rd, op.eval(a, b));
             }
-            Instr::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
-            Instr::Mfs { rd, sr } => {
+            DecodedInst::Ldi { rd, imm } => flow.regs.write_uniform(rd, imm),
+            DecodedInst::Mfs { rd, sr } => {
                 let v = self.special(flow, 0, sr);
                 flow.regs.write_uniform(rd, v);
             }
-            Instr::Sel {
-                rd,
-                cond,
-                rt,
-                ref rf,
-            } => {
+            DecodedInst::Sel { rd, cond, rt, rf } => {
                 let v = if flow.regs.read(cond, 0) != 0 {
                     flow.regs.read(rt, 0)
                 } else {
                     match rf {
-                        Operand::Reg(r) => flow.regs.read(*r, 0),
-                        Operand::Imm(w) => *w,
+                        Operand::Reg(r) => flow.regs.read(r, 0),
+                        Operand::Imm(w) => w,
                     }
                 };
                 flow.regs.write_uniform(rd, v);
             }
-            Instr::Ld {
+            DecodedInst::Ld {
                 rd,
                 base,
                 off,
@@ -318,20 +370,20 @@ impl TcfMachine {
                     }
                 }
             }
-            Instr::St {
+            DecodedInst::St {
                 rs,
                 base,
                 off,
                 space,
             }
-            | Instr::StMasked {
+            | DecodedInst::StMasked {
                 rs,
                 base,
                 off,
                 space,
                 ..
             } => {
-                let masked_out = matches!(*instr, Instr::StMasked { cond, .. }
+                let masked_out = matches!(instr, DecodedInst::StMasked { cond, .. }
                     if flow.regs.read(cond, 0) == 0);
                 let addr = to_addr(flow.regs.read(base, 0).wrapping_add(off));
                 let v = flow.regs.read(rs, 0);
@@ -350,7 +402,7 @@ impl TcfMachine {
                     }
                 }
             }
-            Instr::MultiOp {
+            DecodedInst::MultiOp {
                 kind,
                 base,
                 off,
@@ -363,7 +415,7 @@ impl TcfMachine {
                 unit = IssueUnit::shared_mem(flow.id, 0, self.shared.module_of(addr));
                 refs.push(MemRef::new(origin, MemOp::Multi(kind, addr, v)));
             }
-            Instr::MultiPrefix {
+            DecodedInst::MultiPrefix {
                 kind,
                 rd,
                 base,
@@ -381,32 +433,31 @@ impl TcfMachine {
                 });
                 refs.push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
             }
-            Instr::Jmp { ref target } => next_pc = self.abs(flow.id, target)?,
-            Instr::Br {
-                cond,
-                rs,
-                ref target,
-            } => {
-                let mut v = flow.regs.value(rs).clone();
-                if !v.normalize(flow.thickness.max(1)) {
-                    return Err(self.flow_err(flow.id, TcfFault::DivergentBranch { pc }));
-                }
-                if cond.holds(v.as_uniform().expect("normalized")) {
+            DecodedInst::Jmp { target } => next_pc = self.abs(flow.id, target)?,
+            DecodedInst::Br { cond, rs, target } => {
+                // Borrow-based operand select: test uniformity in place —
+                // no clone of the per-thread vector, no representation
+                // write-back (the old clone never wrote back either).
+                let v = match flow.regs.value(rs).uniform_over(flow.thickness.max(1)) {
+                    Some(v) => v,
+                    None => return Err(self.flow_err(flow.id, TcfFault::DivergentBranch { pc })),
+                };
+                if cond.holds(v) {
                     next_pc = self.abs(flow.id, target)?;
                 }
             }
-            Instr::Call { ref target } => {
+            DecodedInst::Call { target } => {
                 let dst = self.abs(flow.id, target)?;
                 flow.call_stack.push(pc + 1);
                 next_pc = dst;
             }
-            Instr::Ret => match flow.call_stack.pop() {
+            DecodedInst::Ret => match flow.call_stack.pop() {
                 Some(ra) => next_pc = ra,
                 None => return Err(self.flow_err(flow.id, TcfFault::EmptyCallStack)),
             },
-            Instr::SetThick { ref src } => {
+            DecodedInst::SetThick { src } => {
                 if !self.variant.supports_setthick() {
-                    return Err(unsupported(self, instr));
+                    return Err(unsupported(self));
                 }
                 let v = self.uniform_value(flow, src, "setthick")?;
                 if v < 0 || v as usize > MAX_THICKNESS {
@@ -428,9 +479,9 @@ impl TcfMachine {
                 flow.reset_progress();
                 unit = IssueUnit::overhead(flow.id);
             }
-            Instr::Numa { ref slots } => {
+            DecodedInst::Numa { slots } => {
                 if !self.variant.supports_numa() {
-                    return Err(unsupported(self, instr));
+                    return Err(unsupported(self));
                 }
                 let v = self.uniform_value(flow, slots, "numa bunch length")?;
                 if v < 1 || v as usize > MAX_THICKNESS {
@@ -453,18 +504,21 @@ impl TcfMachine {
                     },
                 );
             }
-            Instr::EndNuma => return Err(self.flow_err(flow.id, TcfFault::NotInNuma)),
-            Instr::Split { ref arms } => {
+            DecodedInst::EndNuma => return Err(self.flow_err(flow.id, TcfFault::NotInNuma)),
+            DecodedInst::Split { arms } => {
                 if !self.variant.supports_split() {
-                    return Err(unsupported(self, instr));
+                    return Err(unsupported(self));
                 }
                 let mut pending = 0;
-                for arm in arms {
-                    let t = self.uniform_value(flow, &arm.thickness, "split arm thickness")?;
+                for ai in arms.indices() {
+                    // Arms are `Copy` entries of the decoded side table;
+                    // fetching one by index keeps `self` unborrowed.
+                    let arm = self.decoded.arm(ai);
+                    let t = self.uniform_value(flow, arm.thickness, "split arm thickness")?;
                     if t < 1 || t as usize > MAX_THICKNESS {
                         return Err(self.flow_err(flow.id, TcfFault::BadThickness { requested: t }));
                     }
-                    let target = self.abs(flow.id, &arm.target)?;
+                    let target = self.abs(flow.id, arm.target)?;
                     let child_id = self.alloc_id();
                     let mut child = Flow::new(child_id, t as usize, target, flow.regs.len());
                     child.regs = flow.regs.clone();
@@ -510,7 +564,7 @@ impl TcfMachine {
                     );
                 }
             }
-            Instr::Join => {
+            DecodedInst::Join => {
                 let parent = flow
                     .parent
                     .ok_or_else(|| self.flow_err(flow.id, TcfFault::StrayJoin))?;
@@ -530,9 +584,9 @@ impl TcfMachine {
                 );
                 self.notify_join(parent)?;
             }
-            Instr::Spawn { .. } | Instr::SJoin => return Err(unsupported(self, instr)),
-            Instr::Sync | Instr::Nop => {}
-            Instr::Halt => {
+            DecodedInst::Spawn { .. } | DecodedInst::SJoin => return Err(unsupported(self)),
+            DecodedInst::Sync | DecodedInst::Nop => {}
+            DecodedInst::Halt => {
                 flow.status = FlowStatus::Halted;
                 self.obs.emit(
                     self.steps,
@@ -547,15 +601,19 @@ impl TcfMachine {
         Ok(())
     }
 
-    pub(crate) fn abs(&self, flow: u32, t: &Target) -> Result<usize, TcfError> {
-        t.abs().ok_or_else(|| {
-            self.flow_err(
+    /// Checks a decoded control-transfer target for the unresolved-label
+    /// sentinel (see [`DecodedProgram::UNRESOLVED`]).
+    pub(crate) fn abs(&self, flow: u32, t: usize) -> Result<usize, TcfError> {
+        if t == DecodedProgram::UNRESOLVED {
+            Err(self.flow_err(
                 flow,
                 TcfFault::Internal {
                     what: "unresolved target".into(),
                 },
-            )
-        })
+            ))
+        } else {
+            Ok(t)
+        }
     }
 
     /// Decrements a parent's pending-join count, waking it at zero.

@@ -41,6 +41,7 @@
 //!
 //! [`TcfBuffer`]: tcf_machine::TcfBuffer
 
+mod decoded;
 pub mod error;
 pub mod exec_async;
 pub mod exec_numa;

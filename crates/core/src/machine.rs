@@ -34,14 +34,16 @@ use tcf_isa::word::Word;
 use tcf_machine::{
     FlowDesc, GroupPipeline, IssueUnit, MachineConfig, MachineStats, TcfBuffer, Trace,
 };
-use tcf_mem::{LocalMemory, SharedMemory, StepStats};
+use tcf_mem::{LocalMemory, SharedMemory, StepScratch, StepStats};
 use tcf_net::{NetStats, Network};
 use tcf_obs::{FlowEvent, MetricsRegistry, ObsSink};
 use tcf_pram::RunSummary;
 
+use crate::decoded::DecodedProgram;
 use crate::error::{TcfError, TcfFault};
-use crate::flow::{ExecMode, Flow, FlowStatus};
-use crate::par_engine::{global_pool, Engine, WorkerPool};
+use crate::exec_sync::StepBufs;
+use crate::flow::{ExecMode, Flow, FlowStatus, Fragment};
+use crate::par_engine::{global_pool, Engine, FragOut, WorkerPool};
 use crate::sched::Allocation;
 use crate::variant::Variant;
 
@@ -59,6 +61,10 @@ pub struct TcfMachine {
     pub(crate) variant: Variant,
     pub(crate) allocation: Allocation,
     pub(crate) program: Arc<Program>,
+    /// `program` pre-decoded to flat `Copy` instructions — the hot fetch
+    /// path (see [`crate::decoded`]); `program` stays the source of truth
+    /// for listings and fault messages.
+    pub(crate) decoded: Arc<DecodedProgram>,
     pub(crate) shared: SharedMemory,
     pub(crate) locals: Vec<LocalMemory>,
     pub(crate) net: Network,
@@ -74,6 +80,21 @@ pub struct TcfMachine {
     pub(crate) steps: u64,
     pub(crate) engine: Engine,
     pub(crate) pool: Option<Arc<WorkerPool>>,
+    /// Persistent scratch of the sequential shared-memory step.
+    pub(crate) mem_scratch: StepScratch,
+    /// Per-module scratch for concurrent shard resolution (one per
+    /// module: shard workers run with `&SharedMemory` and cannot share).
+    pub(crate) shard_scratch: Vec<StepScratch>,
+    /// Reused per-module reference buckets of the sharded step.
+    pub(crate) mem_buckets: Vec<Vec<usize>>,
+    /// Reply slots of the last memory step (index-aligned with its refs).
+    pub(crate) mem_replies: Vec<Option<Word>>,
+    /// Reusable per-step buffers of the synchronous engine.
+    pub(crate) step_bufs: StepBufs,
+    /// Reusable fragment-output pool of thick execution.
+    pub(crate) frag_pool: Vec<FragOut>,
+    /// Reusable slice list of thick execution.
+    pub(crate) slice_buf: Vec<(Fragment, std::ops::Range<usize>)>,
 }
 
 impl TcfMachine {
@@ -128,10 +149,12 @@ impl TcfMachine {
             .map(|_| TcfBuffer::new(config.tcf_buffer_slots, config.tcf_load_cost))
             .collect();
         let net = Network::new(config.topology, config.hop_latency);
+        let decoded = Arc::new(DecodedProgram::decode(&program));
         let mut m = TcfMachine {
             variant,
             allocation,
             program: Arc::new(program),
+            decoded,
             shared,
             locals,
             net,
@@ -147,6 +170,13 @@ impl TcfMachine {
             steps: 0,
             engine: Engine::Sequential,
             pool: None,
+            mem_scratch: StepScratch::default(),
+            shard_scratch: vec![StepScratch::default(); config.groups],
+            mem_buckets: Vec::new(),
+            mem_replies: Vec::new(),
+            step_bufs: StepBufs::default(),
+            frag_pool: Vec::new(),
+            slice_buf: Vec::new(),
             config,
         };
         m.set_engine(Engine::from_env());
@@ -331,6 +361,20 @@ impl TcfMachine {
     /// Ids of all flows ever created (including halted ones).
     pub fn flow_ids(&self) -> Vec<u32> {
         self.flows.keys().copied().collect()
+    }
+
+    /// Test support: force-materializes every flow's registers into
+    /// per-thread form (see [`ThickRegs::materialize_all`]) — semantically
+    /// the identity, but it disables the uniform-operand scalarization so
+    /// property tests can check the fast path against the general thick
+    /// path.
+    ///
+    /// [`ThickRegs::materialize_all`]: crate::ThickRegs::materialize_all
+    pub fn materialize_all_registers(&mut self) {
+        for f in self.flows.values_mut() {
+            let t = f.thickness.max(1);
+            f.regs.materialize_all(t);
+        }
     }
 
     /// Number of flows that still have work or are waiting.
@@ -531,8 +575,8 @@ impl TcfMachine {
     /// and advances the machine clock to the slowest group.
     pub(crate) fn apply_timing(
         &mut self,
-        pram_units: Vec<Vec<IssueUnit>>,
-        numa_units: Vec<Vec<IssueUnit>>,
+        pram_units: &[Vec<IssueUnit>],
+        numa_units: &[Vec<IssueUnit>],
     ) {
         let start = self.clock;
         let mut end = start;

@@ -41,13 +41,13 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use tcf_isa::instr::Instr;
 use tcf_isa::reg::Reg;
 use tcf_isa::word::{Addr, Word};
 use tcf_machine::{IssueUnit, MachineConfig};
 use tcf_mem::{LocalMemory, MemError, MemRef, ShardOutcome, SharedMemory, StepStats};
 use tcf_obs::{FlowEvent, ObsSink};
 
+use crate::decoded::DecodedInst;
 use crate::error::TcfError;
 use crate::exec_sync::Writeback;
 use crate::flow::{Flow, Fragment};
@@ -257,7 +257,7 @@ pub fn global_pool(workers: usize) -> Arc<WorkerPool> {
 /// instruction can touch).
 pub(crate) struct ThickCtx<'a> {
     pub flow: &'a Flow,
-    pub instr: &'a Instr,
+    pub instr: DecodedInst,
     pub group: usize,
     pub shared: &'a SharedMemory,
     pub config: &'a MachineConfig,
@@ -275,9 +275,16 @@ pub(crate) struct FragOut {
     pub refs: Vec<MemRef>,
     /// Pending write-backs as `(rd, lane, index into self.refs)`.
     pub wbs: Vec<(Reg, usize, usize)>,
-    /// Register writes in lane order, replayed by the coordinator through
-    /// `ThickRegs::write` so representation evolution is bit-identical.
-    pub reg_log: Vec<(Reg, usize, Word)>,
+    /// Register writes as contiguous lane runs `(rd, base lane, range
+    /// into reg_values)`, replayed by the coordinator through
+    /// `ThickRegs::write_lanes` (bit-identical to an ascending per-lane
+    /// replay). Lanes execute in ascending order writing one register per
+    /// instruction, so a slice's whole log is typically ONE run — the
+    /// flat encoding makes the replay a bulk copy instead of a per-lane
+    /// representation decision.
+    pub reg_runs: Vec<(Reg, usize, Range<usize>)>,
+    /// Backing values of `reg_runs`, in push order.
+    pub reg_values: Vec<Word>,
     /// `(addr, previous value)` per local-memory write, for rolling the
     /// group's local memory back when an *earlier* fragment faulted (the
     /// sequential engine would never have reached this fragment).
@@ -289,22 +296,55 @@ pub(crate) struct FragOut {
 }
 
 impl FragOut {
-    pub(crate) fn new(frag: Fragment, range: Range<usize>, obs_enabled: bool) -> FragOut {
+    /// A pool placeholder; [`reset`](FragOut::reset) before use.
+    pub(crate) fn empty() -> FragOut {
         FragOut {
-            frag,
-            range,
+            frag: Fragment::new(0, 0, 0),
+            range: 0..0,
             units: Vec::new(),
             refs: Vec::new(),
             wbs: Vec::new(),
-            reg_log: Vec::new(),
+            reg_runs: Vec::new(),
+            reg_values: Vec::new(),
             local_undo: Vec::new(),
-            obs: if obs_enabled {
-                ObsSink::recording()
-            } else {
-                ObsSink::disabled()
-            },
+            obs: ObsSink::disabled(),
             fault: None,
         }
+    }
+
+    /// Rearms a pooled output for one slice, keeping every buffer's
+    /// allocation.
+    pub(crate) fn reset(&mut self, frag: Fragment, range: Range<usize>, obs_enabled: bool) {
+        self.frag = frag;
+        self.range = range;
+        self.units.clear();
+        self.refs.clear();
+        self.wbs.clear();
+        self.reg_runs.clear();
+        self.reg_values.clear();
+        self.local_undo.clear();
+        self.obs = if obs_enabled {
+            ObsSink::recording()
+        } else {
+            ObsSink::disabled()
+        };
+        self.fault = None;
+    }
+
+    /// Appends one lane's register write, extending the current run when
+    /// it continues the same register at the next lane.
+    #[inline]
+    fn log_reg(&mut self, rd: Reg, e: usize, v: Word) {
+        let n = self.reg_values.len();
+        if let Some((lrd, base, range)) = self.reg_runs.last_mut() {
+            if *lrd == rd && *base + (range.end - range.start) == e && range.end == n {
+                self.reg_values.push(v);
+                range.end = n + 1;
+                return;
+            }
+        }
+        self.reg_values.push(v);
+        self.reg_runs.push((rd, e, n..n + 1));
     }
 }
 
@@ -335,39 +375,34 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
 
     for e in out.range.clone() {
         let origin = RefOrigin::new(group, flow.rank_base + e);
-        match *ctx.instr {
-            Instr::Alu { op, rd, ra, ref rb } => {
+        match ctx.instr {
+            DecodedInst::Alu { op, rd, ra, rb } => {
                 let a = flow.regs.read(ra, e);
                 let b = match rb {
-                    Operand::Reg(r) => flow.regs.read(*r, e),
-                    Operand::Imm(w) => *w,
+                    Operand::Reg(r) => flow.regs.read(r, e),
+                    Operand::Imm(w) => w,
                 };
-                out.reg_log.push((rd, e, op.eval(a, b)));
+                out.log_reg(rd, e, op.eval(a, b));
                 out.units.push(IssueUnit::compute(fid, e));
             }
-            Instr::Mfs { rd, sr } => {
+            DecodedInst::Mfs { rd, sr } => {
                 let v = special_value(flow, e, sr, ctx.config);
-                out.reg_log.push((rd, e, v));
+                out.log_reg(rd, e, v);
                 out.units.push(IssueUnit::compute(fid, e));
             }
-            Instr::Sel {
-                rd,
-                cond,
-                rt,
-                ref rf,
-            } => {
+            DecodedInst::Sel { rd, cond, rt, rf } => {
                 let v = if flow.regs.read(cond, e) != 0 {
                     flow.regs.read(rt, e)
                 } else {
                     match rf {
-                        Operand::Reg(r) => flow.regs.read(*r, e),
-                        Operand::Imm(w) => *w,
+                        Operand::Reg(r) => flow.regs.read(r, e),
+                        Operand::Imm(w) => w,
                     }
                 };
-                out.reg_log.push((rd, e, v));
+                out.log_reg(rd, e, v);
                 out.units.push(IssueUnit::compute(fid, e));
             }
-            Instr::Ld {
+            DecodedInst::Ld {
                 rd,
                 base,
                 off,
@@ -384,13 +419,13 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                     MemSpace::Local => {
                         out.units.push(IssueUnit::local_mem(fid, e));
                         match local.read(addr) {
-                            Ok(v) => out.reg_log.push((rd, e, v)),
+                            Ok(v) => out.log_reg(rd, e, v),
                             Err(err) => return fault(out, err.into()),
                         }
                     }
                 }
             }
-            Instr::St {
+            DecodedInst::St {
                 rs,
                 base,
                 off,
@@ -415,7 +450,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                     }
                 }
             }
-            Instr::StMasked {
+            DecodedInst::StMasked {
                 cond,
                 rs,
                 base,
@@ -451,7 +486,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                     out.units.push(IssueUnit::compute(fid, e));
                 }
             }
-            Instr::MultiOp {
+            DecodedInst::MultiOp {
                 kind,
                 base,
                 off,
@@ -464,7 +499,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 out.refs
                     .push(MemRef::new(origin, MemOp::Multi(kind, addr, v)));
             }
-            Instr::MultiPrefix {
+            DecodedInst::MultiPrefix {
                 kind,
                 rd,
                 base,
@@ -479,11 +514,11 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 out.refs
                     .push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
             }
-            ref other => {
+            other => {
                 return fault(
                     out,
                     TcfFault::Internal {
-                        what: format!("`{other}` classified as thick"),
+                        what: format!("`{}` classified as thick", other.name()),
                     },
                 )
             }
@@ -504,70 +539,64 @@ impl TcfMachine {
     pub(crate) fn exec_slices(
         &mut self,
         flow: &Flow,
-        instr: &Instr,
+        instr: DecodedInst,
         slices: &[(Fragment, Range<usize>)],
-    ) -> Vec<FragOut> {
+        outs: &mut Vec<FragOut>,
+    ) {
         let obs_on = self.obs.is_enabled();
         let step = self.steps;
         let pool = match (&self.engine, &self.pool) {
             (Engine::Parallel { .. }, Some(pool)) if slices.len() > 1 => Some(Arc::clone(pool)),
             _ => None,
         };
+        while outs.len() < slices.len() {
+            outs.push(FragOut::empty());
+        }
+        let outs = &mut outs[..slices.len()];
+        for (out, &(frag, ref range)) in outs.iter_mut().zip(slices.iter()) {
+            out.reset(frag, range.clone(), obs_on);
+        }
         let shared = &self.shared;
         let config = &self.config;
         let locals = &mut self.locals;
         match pool {
-            None => slices
-                .iter()
-                .map(|&(frag, ref range)| {
-                    let mut out = FragOut::new(frag, range.clone(), obs_on);
+            None => {
+                for out in outs.iter_mut() {
                     let ctx = ThickCtx {
                         flow,
                         instr,
-                        group: frag.group,
+                        group: out.frag.group,
                         shared,
                         config,
                         step,
                     };
-                    exec_thick_lanes(&ctx, &mut locals[frag.group], &mut out);
-                    out
-                })
-                .collect(),
-            Some(pool) => {
-                let mut slots: Vec<Option<FragOut>> = slices.iter().map(|_| None).collect();
-                {
-                    // Fragments of one flow occupy distinct groups (the
-                    // scheduler guarantees it), so handing each slice its
-                    // group's local memory takes each `&mut` exactly once.
-                    let mut lm: Vec<Option<&mut LocalMemory>> =
-                        locals.iter_mut().map(Some).collect();
-                    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
-                        Vec::with_capacity(slices.len());
-                    for (&(frag, ref range), slot) in slices.iter().zip(slots.iter_mut()) {
-                        let local = lm[frag.group]
-                            .take()
-                            .expect("fragments of one flow have distinct groups");
-                        let range = range.clone();
-                        tasks.push(Box::new(move || {
-                            let mut out = FragOut::new(frag, range, obs_on);
-                            let ctx = ThickCtx {
-                                flow,
-                                instr,
-                                group: frag.group,
-                                shared,
-                                config,
-                                step,
-                            };
-                            exec_thick_lanes(&ctx, local, &mut out);
-                            *slot = Some(out);
-                        }));
-                    }
-                    pool.run(tasks);
+                    exec_thick_lanes(&ctx, &mut locals[out.frag.group], out);
                 }
-                slots
-                    .into_iter()
-                    .map(|s| s.expect("pool ran every task"))
-                    .collect()
+            }
+            Some(pool) => {
+                // Fragments of one flow occupy distinct groups (the
+                // scheduler guarantees it), so handing each slice its
+                // group's local memory takes each `&mut` exactly once.
+                let mut lm: Vec<Option<&mut LocalMemory>> = locals.iter_mut().map(Some).collect();
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                    Vec::with_capacity(slices.len());
+                for out in outs.iter_mut() {
+                    let local = lm[out.frag.group]
+                        .take()
+                        .expect("fragments of one flow have distinct groups");
+                    tasks.push(Box::new(move || {
+                        let ctx = ThickCtx {
+                            flow,
+                            instr,
+                            group: out.frag.group,
+                            shared,
+                            config,
+                            step,
+                        };
+                        exec_thick_lanes(&ctx, local, out);
+                    }));
+                }
+                pool.run(tasks);
             }
         }
     }
@@ -581,7 +610,7 @@ impl TcfMachine {
     pub(crate) fn merge_frag_outs(
         &mut self,
         flow: &mut Flow,
-        outs: Vec<FragOut>,
+        outs: &mut [FragOut],
         units: &mut [Vec<IssueUnit>],
         refs: &mut Vec<MemRef>,
         wbs: &mut Vec<Writeback>,
@@ -589,27 +618,28 @@ impl TcfMachine {
         let t = flow.thickness;
         let cap = self.config.reg_cache_words;
         let mut fault: Option<TcfError> = None;
-        for out in outs {
+        for out in outs.iter_mut() {
             if fault.is_some() {
-                for (addr, old) in out.local_undo.into_iter().rev() {
+                for &(addr, old) in out.local_undo.iter().rev() {
                     self.locals[out.frag.group]
                         .write(addr, old)
                         .expect("undo targets a previously written address");
                 }
                 continue;
             }
-            for &(rd, e, v) in &out.reg_log {
-                flow.regs.write(rd, e, v, t);
+            for (rd, base, range) in &out.reg_runs {
+                flow.regs
+                    .write_lanes(*rd, *base, &out.reg_values[range.clone()], t);
             }
             self.obs.absorb(&out.obs);
             if out.fault.is_some() {
-                fault = out.fault;
+                fault = out.fault.take();
                 continue;
             }
             let base = refs.len();
-            units[out.frag.group].extend(out.units);
-            refs.extend(out.refs);
-            for (rd, e, ri) in out.wbs {
+            units[out.frag.group].extend_from_slice(&out.units);
+            refs.extend_from_slice(&out.refs);
+            for &(rd, e, ri) in &out.wbs {
                 wbs.push(Writeback {
                     flow: flow.id,
                     rd,
@@ -646,31 +676,41 @@ impl TcfMachine {
     /// sequential, or sharded per module under the parallel engine. Both
     /// paths return identical replies and statistics (the shards resolve
     /// through the same per-address logic and merge in module order).
-    pub(crate) fn memory_step(
-        &mut self,
-        refs: &[MemRef],
-    ) -> Result<(Vec<Option<Word>>, StepStats), TcfError> {
+    pub(crate) fn memory_step(&mut self, refs: &[MemRef]) -> Result<StepStats, TcfError> {
         let pool = match (&self.engine, &self.pool) {
             (Engine::Parallel { .. }, Some(pool))
                 if refs.len() > 1 && self.shared.modules() > 1 =>
             {
                 Arc::clone(pool)
             }
-            _ => return self.shared.step(refs).map_err(|e| self.host_err(e.into())),
+            _ => {
+                return self
+                    .shared
+                    .step_into(refs, &mut self.mem_scratch, &mut self.mem_replies)
+                    .map_err(|e| self.host_err(e.into()));
+            }
         };
-        let (buckets, mut stats) = self
+        let mut stats = self
             .shared
-            .shard_refs(refs)
+            .shard_refs_into(refs, &mut self.mem_buckets)
             .map_err(|e| self.host_err(e.into()))?;
         let shared = &self.shared;
-        let active: Vec<&Vec<usize>> = buckets.iter().filter(|b| !b.is_empty()).collect();
-        let mut slots: Vec<Option<Result<ShardOutcome, MemError>>> =
-            active.iter().map(|_| None).collect();
+        let buckets = &self.mem_buckets;
+        debug_assert_eq!(buckets.len(), self.shard_scratch.len());
+        let n_active = buckets.iter().filter(|b| !b.is_empty()).count();
+        let mut slots: Vec<Option<Result<ShardOutcome, MemError>>> = vec![None; n_active];
         {
-            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(active.len());
-            for (idxs, slot) in active.into_iter().zip(slots.iter_mut()) {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(n_active);
+            let mut slot_iter = slots.iter_mut();
+            // Zipping buckets with the per-module scratch keeps each
+            // worker on its own buffers (workers only hold `&self.shared`).
+            for (idxs, scratch) in buckets.iter().zip(self.shard_scratch.iter_mut()) {
+                if idxs.is_empty() {
+                    continue;
+                }
+                let slot = slot_iter.next().expect("one slot per active bucket");
                 tasks.push(Box::new(move || {
-                    *slot = Some(shared.resolve_shard(refs, idxs));
+                    *slot = Some(shared.resolve_shard_with(refs, idxs, scratch));
                 }));
             }
             pool.run(tasks);
@@ -692,16 +732,17 @@ impl TcfMachine {
         if let Some(e) = fault {
             return Err(self.host_err(e.into()));
         }
-        let mut replies: Vec<Option<Word>> = vec![None; refs.len()];
+        self.mem_replies.clear();
+        self.mem_replies.resize(refs.len(), None);
         for o in &outcomes {
             stats.hot_addrs += o.hot_addrs;
             stats.combined += o.combined;
             for &(i, v) in &o.replies {
-                replies[i] = Some(v);
+                self.mem_replies[i] = Some(v);
             }
         }
         self.shared.commit_shards(&outcomes);
-        Ok((replies, stats))
+        Ok(stats)
     }
 }
 

@@ -57,11 +57,42 @@ impl ThickValue {
 
     /// Materializes the value as a per-thread vector of length `thickness`.
     pub fn materialize(&self, thickness: usize) -> Vec<Word> {
+        let mut out = Vec::new();
+        self.materialize_into(thickness, &mut out);
+        out
+    }
+
+    /// Like [`materialize`](ThickValue::materialize), but reusing `out`'s
+    /// allocation: the vector is cleared and refilled to `thickness`
+    /// entries. The zero-allocation choice for loops that materialize
+    /// register after register into one scratch buffer.
+    pub fn materialize_into(&self, thickness: usize, out: &mut Vec<Word>) {
+        out.clear();
         match self {
-            ThickValue::Uniform(v) => vec![*v; thickness],
-            ThickValue::PerThread(vs) => (0..thickness)
-                .map(|i| vs.get(i).copied().unwrap_or(0))
-                .collect(),
+            ThickValue::Uniform(v) => out.resize(thickness, *v),
+            ThickValue::PerThread(vs) => {
+                out.extend((0..thickness).map(|i| vs.get(i).copied().unwrap_or(0)))
+            }
+        }
+    }
+
+    /// The word every one of the first `thickness` implicit threads sees,
+    /// when they all agree — [`normalize`](ThickValue::normalize)'s
+    /// uniformity test as a non-mutating read. This is the operand-select
+    /// fast path: flow-wise execution asks "is this operand uniform right
+    /// now?" without cloning the per-thread vector (the stored
+    /// representation is left as is).
+    pub fn uniform_over(&self, thickness: usize) -> Option<Word> {
+        match self {
+            ThickValue::Uniform(v) => Some(*v),
+            ThickValue::PerThread(vs) => {
+                let first = vs.first().copied().unwrap_or(0);
+                if (0..thickness).all(|i| vs.get(i).copied().unwrap_or(0) == first) {
+                    Some(first)
+                } else {
+                    None
+                }
+            }
         }
     }
 
@@ -168,6 +199,47 @@ impl ThickRegs {
         }
     }
 
+    /// Writes `values` to the contiguous lane range starting at `base` of
+    /// register `r` — exactly equivalent to calling
+    /// [`write`](ThickRegs::write) once per lane in ascending order, but
+    /// with one representation decision for the whole run: the register
+    /// stays uniform when every lane agrees with it, and promotes with a
+    /// single bulk copy otherwise. The thick-execution merge replays
+    /// register runs through here.
+    pub fn write_lanes(
+        &mut self,
+        r: tcf_isa::reg::Reg,
+        base: usize,
+        values: &[Word],
+        thickness: usize,
+    ) {
+        if r.is_zero() || values.is_empty() {
+            return;
+        }
+        let end = base + values.len();
+        match &mut self.regs[r.index()] {
+            ThickValue::Uniform(u) => {
+                let u = *u;
+                // Per-lane `set` leaves a uniform register untouched until
+                // the first disagreeing lane, then promotes to length
+                // `max(thickness, lane + 1)` and extends lane by lane.
+                let Some(p) = values.iter().position(|&x| x != u) else {
+                    return;
+                };
+                let first = base + p;
+                let mut vs = vec![u; thickness.max(first + 1).max(end)];
+                vs[first..end].copy_from_slice(&values[p..]);
+                self.regs[r.index()] = ThickValue::PerThread(vs);
+            }
+            ThickValue::PerThread(vs) => {
+                if vs.len() < end {
+                    vs.resize(end, 0);
+                }
+                vs[base..end].copy_from_slice(values);
+            }
+        }
+    }
+
     /// Collapses every register to the flow-wise (thread 0) view — the
     /// state a child flow inherits across a `split`, and the state a flow
     /// keeps when its thickness changes (per-thread data is meaningless
@@ -184,6 +256,18 @@ impl ThickRegs {
     /// the Table 1 registers-per-thread measurement).
     pub fn per_thread_count(&self) -> usize {
         self.regs.iter().filter(|r| !r.is_uniform()).count()
+    }
+
+    /// Test support: rewrites every register into its fully materialized
+    /// per-thread form. Semantically the identity — every implicit thread
+    /// reads the same words as before — but it defeats the uniform
+    /// representation, forcing execution down the general thick path. The
+    /// scalarization property test uses this to pin the uniform fast path
+    /// against per-thread execution.
+    pub fn materialize_all(&mut self, thickness: usize) {
+        for v in &mut self.regs {
+            *v = ThickValue::PerThread(v.materialize(thickness.max(1)));
+        }
     }
 }
 
@@ -241,6 +325,43 @@ mod tests {
     }
 
     #[test]
+    fn materialize_into_reuses_and_matches_materialize() {
+        let mut buf = vec![99; 16];
+        let v = ThickValue::PerThread(vec![1, 2]);
+        v.materialize_into(4, &mut buf);
+        assert_eq!(buf, v.materialize(4));
+        let u = ThickValue::Uniform(7);
+        u.materialize_into(2, &mut buf);
+        assert_eq!(buf, u.materialize(2));
+        u.materialize_into(0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn uniform_over_matches_normalize_without_mutating() {
+        let cases = vec![
+            (ThickValue::Uniform(3), 4),
+            (ThickValue::PerThread(vec![4, 4, 4]), 3),
+            (ThickValue::PerThread(vec![4, 5, 4]), 3),
+            // Beyond-length entries read 0: uniform over 4 iff first is 0.
+            (ThickValue::PerThread(vec![0, 0]), 4),
+            (ThickValue::PerThread(vec![2, 2]), 4),
+            (ThickValue::PerThread(vec![]), 2),
+            (ThickValue::PerThread(vec![1, 1, 9]), 2),
+        ];
+        for (v, t) in cases {
+            let before = v.clone();
+            let expect = {
+                let mut c = v.clone();
+                c.normalize(t);
+                c.as_uniform()
+            };
+            assert_eq!(v.uniform_over(t), expect, "{v:?} over {t}");
+            assert_eq!(v, before, "uniform_over must not mutate");
+        }
+    }
+
+    #[test]
     fn regs_r0_hardwired() {
         let mut f = ThickRegs::new(8);
         f.write(r(0), 0, 42, 4);
@@ -260,6 +381,46 @@ mod tests {
         assert_eq!(f.per_thread_count(), 0);
         assert_eq!(f.read(r(1), 2), 10); // thread 0's view everywhere
         assert_eq!(f.read(r(2), 0), 5);
+    }
+
+    #[test]
+    fn write_lanes_matches_per_lane_writes() {
+        // Bulk lane writes must leave the register bit-identical to the
+        // ascending per-lane replay they replace — including the stored
+        // representation, not just the values threads read.
+        let starts = [
+            ThickValue::Uniform(7),
+            ThickValue::Uniform(0),
+            ThickValue::PerThread(vec![1, 2, 3]),
+            ThickValue::PerThread(vec![]),
+        ];
+        let runs: [(usize, &[Word]); 6] = [
+            (0, &[7, 7, 7]),    // all agree with Uniform(7)
+            (0, &[7, 9, 7]),    // disagree mid-run
+            (2, &[5, 6]),       // offset run
+            (5, &[1]),          // run beyond current length
+            (0, &[]),           // empty run
+            (1, &[2, 2, 2, 2]), // run crossing the stored length
+        ];
+        for start in &starts {
+            for &(base, values) in &runs {
+                for thickness in [1usize, 3, 6] {
+                    let mut bulk = ThickRegs::new(2);
+                    bulk.write_value(r(1), start.clone());
+                    let mut lanes = ThickRegs::new(2);
+                    lanes.write_value(r(1), start.clone());
+                    bulk.write_lanes(r(1), base, values, thickness);
+                    for (j, &v) in values.iter().enumerate() {
+                        lanes.write(r(1), base + j, v, thickness);
+                    }
+                    assert_eq!(
+                        bulk.value(r(1)),
+                        lanes.value(r(1)),
+                        "start={start:?} base={base} values={values:?} t={thickness}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

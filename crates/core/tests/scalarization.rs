@@ -1,0 +1,291 @@
+//! Property test of the uniform-operand scalarization fast path.
+//!
+//! A `Uniform` register is an optimization of representation, never of
+//! per-step meaning: at every reachable machine state, force-materializing
+//! every register into its per-thread form (so the next instruction takes
+//! the general thick path, one operation per implicit thread, instead of
+//! scalarizing) must not change that step's memory effects. The borrow
+//! based operand-select rewrite leans on exactly this equivalence — a
+//! `uniform_over` read deciding "scalarize" must never change what the
+//! program computes.
+//!
+//! The property is deliberately *per step at the current thickness*, not
+//! whole-run: `Uniform(v)` and `PerThread([v; T])` are only equivalent up
+//! to thickness `T`. A later `setthick` to a larger thickness reads `v`
+//! from the uniform register at the new lanes but 0 beyond the
+//! materialized vector (documented `ThickValue` semantics), so a
+//! materialized machine legitimately diverges *across* thickness growth.
+//! Stepping a freshly materialized machine exactly once sidesteps that
+//! while still driving every instruction down both paths.
+//!
+//! Plain stores of per-thread-divergent values to one address are kept
+//! out of the generator for the same reason as in `differential.rs`: the
+//! CRCW winner is schedule-dependent there (the documented deviation #2),
+//! and forced materialization turns flow-wise stores into same-value
+//! concurrent thick stores, which are winner-independent only when the
+//! values agree.
+
+use proptest::prelude::*;
+
+use tcf_core::{Allocation, TcfMachine, Variant};
+use tcf_isa::instr::{Instr, MemSpace, MultiKind, Operand};
+use tcf_isa::op::AluOp;
+use tcf_isa::program::Program;
+use tcf_isa::reg::{r, Reg, SpecialReg};
+use tcf_isa::word::Word;
+use tcf_machine::MachineConfig;
+
+const MEM_WINDOW: usize = 4096;
+const MAX_STEPS: u64 = 200_000;
+
+/// Program segments mirroring `differential.rs`'s generator, trimmed to
+/// the shapes that exercise the scalarization decision: thickness
+/// changes, uniform compute, per-thread data, and both memory styles.
+#[derive(Debug, Clone)]
+enum Segment {
+    SetThick(usize),
+    UniformAlu(AluOp, u8, u8, Word),
+    ThickInit(u8),
+    ThickStore {
+        base: usize,
+        src: u8,
+    },
+    ThickLoad {
+        base: usize,
+        dst: u8,
+    },
+    Multi {
+        kind: MultiKind,
+        addr: usize,
+        src: u8,
+    },
+    Prefix {
+        kind: MultiKind,
+        addr: usize,
+        dst: u8,
+        src: u8,
+    },
+    UniformStore {
+        addr: usize,
+        src: u8,
+    },
+}
+
+fn data_reg() -> impl Strategy<Value = u8> {
+    1u8..7
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    let base = 0usize..(MEM_WINDOW - 256);
+    prop_oneof![
+        (1usize..48).prop_map(Segment::SetThick),
+        (
+            prop::sample::select(&[AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor][..]),
+            data_reg(),
+            data_reg(),
+            -50i64..50
+        )
+            .prop_map(|(op, rd, ra, imm)| Segment::UniformAlu(op, rd, ra, imm)),
+        data_reg().prop_map(Segment::ThickInit),
+        (base.clone(), data_reg()).prop_map(|(base, src)| Segment::ThickStore { base, src }),
+        (base.clone(), data_reg()).prop_map(|(base, dst)| Segment::ThickLoad { base, dst }),
+        (
+            prop::sample::select(&MultiKind::ALL[..]),
+            base.clone(),
+            data_reg()
+        )
+            .prop_map(|(kind, addr, src)| Segment::Multi { kind, addr, src }),
+        (
+            prop::sample::select(&MultiKind::ALL[..]),
+            base.clone(),
+            data_reg(),
+            data_reg()
+        )
+            .prop_map(|(kind, addr, dst, src)| Segment::Prefix {
+                kind,
+                addr,
+                dst,
+                src
+            }),
+        (base, data_reg()).prop_map(|(addr, src)| Segment::UniformStore { addr, src }),
+    ]
+}
+
+/// Emits `addr_reg = (tid & 255)` — the per-thread address recipe.
+fn tid_addr(instrs: &mut Vec<Instr>, addr: Reg) {
+    instrs.push(Instr::Mfs {
+        rd: addr,
+        sr: SpecialReg::Tid,
+    });
+    instrs.push(Instr::Alu {
+        op: AluOp::And,
+        rd: addr,
+        ra: addr,
+        rb: Operand::Imm(255),
+    });
+}
+
+fn lower(segments: &[Segment]) -> Program {
+    let addr = r(7);
+    let mut instrs: Vec<Instr> = Vec::new();
+    // Taint: registers holding per-thread-divergent values must not be
+    // stored flow-wise (see module docs).
+    let mut tainted = [false; 8];
+    for seg in segments {
+        match *seg {
+            Segment::SetThick(k) => instrs.push(Instr::SetThick {
+                src: Operand::Imm(k as Word),
+            }),
+            Segment::UniformAlu(op, rd, ra, imm) => {
+                tainted[rd as usize] = tainted[ra as usize];
+                instrs.push(Instr::Alu {
+                    op,
+                    rd: r(rd),
+                    ra: r(ra),
+                    rb: Operand::Imm(imm),
+                });
+            }
+            Segment::ThickInit(rd) => {
+                tainted[rd as usize] = true;
+                instrs.push(Instr::Mfs {
+                    rd: r(rd),
+                    sr: SpecialReg::Tid,
+                });
+                instrs.push(Instr::Alu {
+                    op: AluOp::Mul,
+                    rd: r(rd),
+                    ra: r(rd),
+                    rb: Operand::Imm(3),
+                });
+            }
+            Segment::ThickStore { base, src } => {
+                tid_addr(&mut instrs, addr);
+                instrs.push(Instr::St {
+                    rs: r(src),
+                    base: addr,
+                    off: base as Word,
+                    space: MemSpace::Shared,
+                });
+            }
+            Segment::ThickLoad { base, dst } => {
+                tainted[dst as usize] = true;
+                tid_addr(&mut instrs, addr);
+                instrs.push(Instr::Ld {
+                    rd: r(dst),
+                    base: addr,
+                    off: base as Word,
+                    space: MemSpace::Shared,
+                });
+            }
+            Segment::Multi { kind, addr: a, src } => instrs.push(Instr::MultiOp {
+                kind,
+                base: Reg::ZERO,
+                off: a as Word,
+                rs: r(src),
+            }),
+            Segment::Prefix {
+                kind,
+                addr: a,
+                dst,
+                src,
+            } => {
+                tainted[dst as usize] = true;
+                instrs.push(Instr::MultiPrefix {
+                    kind,
+                    rd: r(dst),
+                    base: Reg::ZERO,
+                    off: a as Word,
+                    rs: r(src),
+                });
+            }
+            Segment::UniformStore { addr: a, src } => {
+                if tainted[src as usize] {
+                    tid_addr(&mut instrs, addr);
+                    instrs.push(Instr::St {
+                        rs: r(src),
+                        base: addr,
+                        off: a as Word,
+                        space: MemSpace::Shared,
+                    });
+                } else {
+                    instrs.push(Instr::St {
+                        rs: r(src),
+                        base: Reg::ZERO,
+                        off: a as Word,
+                        space: MemSpace::Shared,
+                    });
+                }
+            }
+        }
+    }
+    instrs.push(Instr::Halt);
+    Program::new(instrs, Default::default(), vec![]).unwrap()
+}
+
+fn machine(program: Program) -> TcfMachine {
+    TcfMachine::with_allocation(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        program,
+        Allocation::Horizontal,
+    )
+}
+
+/// Steps `m` `k` times (the program must not halt before that).
+fn step_n(m: &mut TcfMachine, k: u64) {
+    for _ in 0..k {
+        assert!(m.step().expect("prefix faulted"), "halted inside prefix");
+    }
+}
+
+/// Memory-effect comparison of step `k`: the scalarized step against the
+/// same step with all registers force-materialized first. Deterministic
+/// execution makes the two machines' states identical after the shared
+/// `k`-step prefix, so any divergence is the scalarization decision's.
+fn check_step(program: &Program, k: u64) -> Result<(), String> {
+    let mut fast = machine(program.clone());
+    step_n(&mut fast, k);
+    let mut general = machine(program.clone());
+    step_n(&mut general, k);
+    general.materialize_all_registers();
+    let a = fast.step().expect("scalarized step faulted");
+    let b = general.step().expect("materialized step faulted");
+    if a != b {
+        return Err(format!("halt status diverged at step {k}: {a} vs {b}"));
+    }
+    let ma = fast.peek_range(0, MEM_WINDOW).unwrap();
+    let mb = general.peek_range(0, MEM_WINDOW).unwrap();
+    for (addr, (x, y)) in ma.iter().zip(&mb).enumerate() {
+        if x != y {
+            return Err(format!(
+                "step {k} diverged at mem[{addr}]: scalarized={x} materialized={y}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform-register scalarization never changes a step's memory
+    /// effects.
+    #[test]
+    fn scalarization_is_semantically_transparent(
+        segments in prop::collection::vec(arb_segment(), 1..12)
+    ) {
+        let program = lower(&segments);
+        // Count the program's steps with one plain run.
+        let mut probe = machine(program.clone());
+        let mut steps = 0u64;
+        while probe.step().expect("program halts") {
+            steps += 1;
+            prop_assert!(steps < MAX_STEPS, "program did not halt");
+        }
+        for k in 0..=steps {
+            if let Err(e) = check_step(&program, k) {
+                return Err(TestCaseError::fail(format!("{e}\nprogram:\n{program}")));
+            }
+        }
+    }
+}

@@ -32,7 +32,7 @@ use tcf_isa::program::Program;
 use tcf_isa::reg::SpecialReg;
 use tcf_isa::word::{to_addr, Word};
 use tcf_machine::{GroupPipeline, IssueUnit, MachineConfig, MachineStats, Trace};
-use tcf_mem::{LocalMemory, MemOp, MemRef, RefOrigin, SharedMemory, StepStats};
+use tcf_mem::{LocalMemory, MemOp, MemRef, RefOrigin, SharedMemory, StepScratch, StepStats};
 use tcf_net::Network;
 
 use crate::bunch::Bunch;
@@ -63,6 +63,8 @@ pub struct PramMachine {
     mem_stats: StepStats,
     clock: u64,
     steps: u64,
+    /// Persistent scratch of the shared-memory step.
+    mem_scratch: StepScratch,
 }
 
 /// Pending register write-back from the shared-memory step.
@@ -121,6 +123,7 @@ impl PramMachine {
             mem_stats: StepStats::default(),
             clock: 0,
             steps: 0,
+            mem_scratch: StepScratch::default(),
             config,
         }
     }
@@ -310,7 +313,7 @@ impl PramMachine {
         // Phase 2: the shared-memory step.
         let (replies, mstats) = self
             .shared
-            .step(&refs)
+            .step_with(&refs, &mut self.mem_scratch)
             .map_err(|e| self.host_err(e.into()))?;
         self.mem_stats.absorb(&mstats);
 
