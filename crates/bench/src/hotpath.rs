@@ -1,19 +1,25 @@
-//! Hot-path throughput probes: the fixed workload trio measured by the
+//! Hot-path throughput probes: the fixed workload set measured by the
 //! `step_rate` criterion bench and exported by `repro bench-json`.
 //!
-//! Three workloads cover the simulator's three steady states (see
+//! Five workloads cover the simulator's steady states (see
 //! `docs/PERFORMANCE.md`):
 //!
 //! * **thick_pram_flow** — one flow of thickness 1024 looping over a
 //!   shared array: stresses per-lane operand access and the shared-memory
-//!   resolution path.
+//!   resolution path (fully affine: lane ids, unit-stride addresses).
 //! * **thin_numa_flow** — a thickness-1 NUMA bunch spinning a counter:
 //!   stresses instruction fetch/dispatch with no memory pressure.
 //! * **mixed_multitasking** — a dozen tasks of mixed thickness scheduled
 //!   against each other: stresses flow management plus both regimes at
 //!   once.
+//! * **broadcast_stride_sweep** — a thick flow broadcasting a uniform
+//!   value through a stride-2 array sweep: stresses the non-unit-stride
+//!   bulk memory path and affine load-to-store forwarding.
+//! * **lane_id_reduction** — a thick flow folding its lane ids into a
+//!   multiprefix accumulator: stresses the per-lane fallback (multiprefix
+//!   escapes the affine algebra) seeded from a compressed lane-id read.
 //!
-//! All three run on the small machine (`P = 4`, `T_p = 16`) so a probe
+//! All run on the small machine (`P = 4`, `T_p = 16`) so a probe
 //! completes in milliseconds; throughput is reported as simulated machine
 //! steps and issued units ("instrs") per host second.
 
@@ -34,14 +40,20 @@ pub enum Workload {
     ThinNuma,
     /// Mixed-thickness multitasking (12 concurrent tasks).
     MixedMultitasking,
+    /// Broadcast plus stride-2 array sweep (thickness 1024).
+    BroadcastStride,
+    /// Lane-id multiprefix reduction (thickness 1024).
+    LaneIdReduction,
 }
 
 impl Workload {
     /// Every workload, in report order.
-    pub const ALL: [Workload; 3] = [
+    pub const ALL: [Workload; 5] = [
         Workload::ThickPram,
         Workload::ThinNuma,
         Workload::MixedMultitasking,
+        Workload::BroadcastStride,
+        Workload::LaneIdReduction,
     ];
 
     /// Stable identifier used in bench output and `BENCH_hotpath.json`.
@@ -50,6 +62,8 @@ impl Workload {
             Workload::ThickPram => "thick_pram_flow",
             Workload::ThinNuma => "thin_numa_flow",
             Workload::MixedMultitasking => "mixed_multitasking",
+            Workload::BroadcastStride => "broadcast_stride_sweep",
+            Workload::LaneIdReduction => "lane_id_reduction",
         }
     }
 
@@ -71,6 +85,36 @@ impl Workload {
             .expect("workload compiles"),
             Workload::ThinNuma => workloads::tcf_numa_seq(400, 8),
             Workload::MixedMultitasking => workloads::task_program(150),
+            Workload::BroadcastStride => tcf_lang::compile(&format!(
+                "shared int a[2048] @ {};
+                 shared int b[1024] @ {};
+                 void main() {{
+                     #1024;
+                     int i = 0;
+                     while (i < 16) {{
+                         a[2 * .] = a[2 * .] + i;
+                         b[.] = a[2 * .];
+                         i = i + 1;
+                     }}
+                 }}",
+                workloads::A_BASE,
+                workloads::B_BASE
+            ))
+            .expect("workload compiles"),
+            Workload::LaneIdReduction => tcf_lang::compile(&format!(
+                "shared int sum @ 64;
+                 shared int out[1024] @ {};
+                 void main() {{
+                     #1024;
+                     int i = 0;
+                     while (i < 8) {{
+                         out[.] = prefix(sum, MPADD, .);
+                         i = i + 1;
+                     }}
+                 }}",
+                workloads::C_BASE
+            ))
+            .expect("workload compiles"),
         }
     }
 
@@ -191,6 +235,41 @@ mod tests {
         for j in [0usize, 1, 513, 1023] {
             assert_eq!(m.peek(workloads::A_BASE + j).unwrap(), 24 * j as i64);
         }
+    }
+
+    #[test]
+    fn broadcast_stride_workload_computes_the_sweep() {
+        let w = Workload::BroadcastStride;
+        let program = w.program();
+        let mut m = w.build(&program);
+        w.run(&mut m);
+        // a[2j] gains i per iteration i: sum 0..15 = 120; b[j] mirrors it.
+        for j in [0usize, 1, 511, 1023] {
+            assert_eq!(m.peek(workloads::A_BASE + 2 * j).unwrap(), 120);
+            assert_eq!(m.peek(workloads::B_BASE + j).unwrap(), 120);
+            // Odd elements of `a` are never touched by the stride-2 sweep.
+            assert_eq!(m.peek(workloads::A_BASE + 2 * j + 1).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn lane_id_reduction_computes_prefixes() {
+        let w = Workload::LaneIdReduction;
+        let program = w.program();
+        let mut m = w.build(&program);
+        w.run(&mut m);
+        // One round adds sum(0..1023) = 523776; lane j's final (8th-round)
+        // prefix is 7 rounds' total plus the ids below it.
+        let round: i64 = 1023 * 1024 / 2;
+        for j in [0usize, 1, 513, 1023] {
+            let below = (j as i64) * (j as i64 - 1) / 2;
+            assert_eq!(
+                m.peek(workloads::C_BASE + j).unwrap(),
+                7 * round + below,
+                "out[{j}] wrong"
+            );
+        }
+        assert_eq!(m.peek(64).unwrap(), 8 * round);
     }
 
     #[test]

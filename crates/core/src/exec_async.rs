@@ -12,7 +12,7 @@
 
 use tcf_isa::instr::{MemSpace, Operand};
 use tcf_isa::word::to_addr;
-use tcf_machine::IssueUnit;
+use tcf_machine::{IssueUnit, UnitSeq};
 use tcf_obs::FlowEvent;
 
 use crate::decoded::DecodedInst;
@@ -25,15 +25,15 @@ impl TcfMachine {
     pub(crate) fn step_async(&mut self) -> Result<(), TcfError> {
         let ngroups = self.config.groups;
         let quantum = self.config.threads_per_group;
-        let mut units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
-        let numa_units: Vec<Vec<IssueUnit>> = vec![Vec::new(); ngroups];
+        let mut units: Vec<Vec<UnitSeq>> = vec![Vec::new(); ngroups];
+        let numa_units: Vec<Vec<UnitSeq>> = vec![Vec::new(); ngroups];
 
         // Threads runnable at the start of the quantum; spawns become
         // runnable next quantum.
         let mut per_group: Vec<Vec<u32>> = vec![Vec::new(); ngroups];
-        for (id, f) in &self.flows {
+        for (id, f) in self.flows.iter() {
             if f.is_running() {
-                per_group[f.home_group()].push(*id);
+                per_group[f.home_group()].push(id);
             }
         }
 
@@ -70,7 +70,7 @@ impl TcfMachine {
         &mut self,
         id: u32,
         g: usize,
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
     ) -> Result<(), TcfError> {
         let mut flow = self.flows.remove(&id).expect("flow exists");
         let result = self.async_instr_inner(&mut flow, g, units);
@@ -82,7 +82,7 @@ impl TcfMachine {
         &mut self,
         flow: &mut Flow,
         g: usize,
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
     ) -> Result<(), TcfError> {
         let pc = flow.pc;
         // `Copy` fetch from the pre-decoded program: no per-instruction
@@ -327,7 +327,7 @@ impl TcfMachine {
         }
 
         flow.pc = next_pc;
-        units[g].push(unit);
+        units[g].push(unit.into());
         Ok(())
     }
 }

@@ -12,7 +12,7 @@
 
 use tcf_isa::instr::{MemSpace, Operand};
 use tcf_isa::word::to_addr;
-use tcf_machine::IssueUnit;
+use tcf_machine::{IssueUnit, UnitSeq};
 use tcf_obs::{FlowEvent, Mode};
 
 use crate::decoded::DecodedInst;
@@ -27,7 +27,7 @@ impl TcfMachine {
     pub(crate) fn run_numa_slice(
         &mut self,
         id: u32,
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
     ) -> Result<(), TcfError> {
         let mut flow = self.flows.remove(&id).expect("flow exists");
         let result = self.numa_slice_inner(&mut flow, units);
@@ -38,7 +38,7 @@ impl TcfMachine {
     fn numa_slice_inner(
         &mut self,
         flow: &mut Flow,
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
     ) -> Result<(), TcfError> {
         let slots = match flow.mode {
             ExecMode::Numa { slots } => slots,
@@ -204,7 +204,7 @@ impl TcfMachine {
                             mode: Mode::Pram,
                         },
                     );
-                    units[home].push(IssueUnit::overhead(flow.id));
+                    units[home].push(IssueUnit::overhead(flow.id).into());
                     return Ok(());
                 }
                 DecodedInst::Halt => {
@@ -215,7 +215,7 @@ impl TcfMachine {
                         self.clock,
                         FlowEvent::FlowHalted { flow: flow.id },
                     );
-                    units[home].push(unit);
+                    units[home].push(unit.into());
                     return Ok(());
                 }
                 DecodedInst::Sync | DecodedInst::Nop => {}
@@ -236,7 +236,7 @@ impl TcfMachine {
             }
 
             flow.pc = next_pc;
-            units[home].push(unit);
+            units[home].push(unit.into());
         }
         Ok(())
     }
@@ -253,7 +253,7 @@ impl TcfMachine {
                 .flows
                 .iter()
                 .filter(|(_, f)| matches!(f.status, FlowStatus::Absorbed { leader } if leader == flow.id))
-                .map(|(id, _)| *id)
+                .map(|(id, _)| id)
                 .collect();
             for sid in ids {
                 let sibling = self.flows.get_mut(&sid).expect("absorbed sibling exists");

@@ -13,8 +13,8 @@
 use tcf_isa::instr::{MemSpace, Operand};
 use tcf_isa::reg::{Reg, SpecialReg};
 use tcf_isa::word::{to_addr, Word};
-use tcf_machine::IssueUnit;
-use tcf_mem::{MemOp, MemRef, RefOrigin};
+use tcf_machine::{IssueUnit, UnitSeq};
+use tcf_mem::{BulkView, MemOp, MemRef, RefOrigin};
 use tcf_obs::{FlowEvent, Mode};
 
 use crate::decoded::{DecodedInst, DecodedProgram};
@@ -23,12 +23,24 @@ use crate::flow::{ExecMode, Flow, FlowStatus, Fragment};
 use crate::machine::{TcfMachine, MAX_THICKNESS};
 use crate::variant::Variant;
 
+/// Destination lanes of a pending register write-back.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WbTarget {
+    /// Flow-wise load: the value becomes uniform.
+    Uniform,
+    /// One implicit thread's lane.
+    Lane(usize),
+    /// `count` consecutive lanes starting at `base`, served by a single
+    /// strided bulk reference; replies arrive via
+    /// [`tcf_mem::BulkReplies`] rather than the scalar reply vector.
+    Lanes { base: usize, count: usize },
+}
+
 /// Pending register write-back from the shared-memory step.
 pub(crate) struct Writeback {
     pub flow: u32,
     pub rd: Reg,
-    /// `Some(e)`: thread `e`'s lane; `None`: uniform (flow-wise load).
-    pub thread: Option<usize>,
+    pub target: WbTarget,
     pub ref_idx: usize,
 }
 
@@ -39,8 +51,8 @@ pub(crate) struct Writeback {
 /// borrow checker out of the phase structure, then put back.
 #[derive(Default)]
 pub(crate) struct StepBufs {
-    pram_units: Vec<Vec<IssueUnit>>,
-    numa_units: Vec<Vec<IssueUnit>>,
+    pram_units: Vec<Vec<UnitSeq>>,
+    numa_units: Vec<Vec<UnitSeq>>,
     refs: Vec<MemRef>,
     wbs: Vec<Writeback>,
     numa_flows: Vec<u32>,
@@ -97,7 +109,7 @@ impl TcfMachine {
         slots_used.resize(ngroups, 0);
 
         ids.clear();
-        ids.extend(self.flows.keys().copied());
+        ids.extend(self.flows.keys());
         for &id in ids.iter() {
             // Status can change mid-step (bunch absorption), so re-check.
             if !self.flows[&id].is_running() {
@@ -126,7 +138,7 @@ impl TcfMachine {
             let tp = self.config.threads_per_group;
             for g in 0..ngroups {
                 for _ in slots_used[g]..tp {
-                    pram_units[g].push(IssueUnit::idle());
+                    pram_units[g].push(IssueUnit::idle().into());
                 }
             }
         }
@@ -137,19 +149,43 @@ impl TcfMachine {
         let mstats = self.memory_step(refs)?;
         self.mem_stats.absorb(&mstats);
 
-        // Phase 3: write-backs.
+        // Phase 3: write-backs. Bulk (strided-read) replies are taken
+        // out of the machine for the loop so a borrowed reply view can
+        // coexist with the `&mut` flow borrow.
+        let bulk = std::mem::take(&mut self.mem_bulk);
         for wb in wbs.iter() {
-            if let Some(v) = self.mem_replies[wb.ref_idx] {
-                let flow = self.flows.get_mut(&wb.flow).expect("flow exists");
-                match wb.thread {
-                    Some(e) => {
+            match wb.target {
+                WbTarget::Uniform => {
+                    if let Some(v) = self.mem_replies[wb.ref_idx] {
+                        let flow = self.flows.get_mut(&wb.flow).expect("flow exists");
+                        flow.regs.write_uniform(wb.rd, v);
+                    }
+                }
+                WbTarget::Lane(e) => {
+                    if let Some(v) = self.mem_replies[wb.ref_idx] {
+                        let flow = self.flows.get_mut(&wb.flow).expect("flow exists");
                         let t = flow.thickness;
                         flow.regs.write(wb.rd, e, v, t);
                     }
-                    None => flow.regs.write_uniform(wb.rd, v),
+                }
+                WbTarget::Lanes { base, count } => {
+                    if let Some(view) = bulk.get(wb.ref_idx) {
+                        let flow = self.flows.get_mut(&wb.flow).expect("flow exists");
+                        let t = flow.thickness;
+                        match view {
+                            BulkView::Affine {
+                                base: vbase,
+                                stride: vstride,
+                            } => flow
+                                .regs
+                                .write_affine(wb.rd, base, count, vbase, vstride, t),
+                            BulkView::Values(vals) => flow.regs.write_lanes(wb.rd, base, vals, t),
+                        }
+                    }
                 }
             }
         }
+        self.mem_bulk = bulk;
 
         // Phase 4: NUMA slices.
         for &id in numa_flows.iter() {
@@ -212,7 +248,7 @@ impl TcfMachine {
     fn exec_pram_instruction(
         &mut self,
         id: u32,
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
         refs: &mut Vec<MemRef>,
         wbs: &mut Vec<Writeback>,
     ) -> Result<(), TcfError> {
@@ -225,7 +261,7 @@ impl TcfMachine {
     fn exec_pram_inner(
         &mut self,
         flow: &mut Flow,
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
         refs: &mut Vec<MemRef>,
         wbs: &mut Vec<Writeback>,
     ) -> Result<(), TcfError> {
@@ -290,7 +326,7 @@ impl TcfMachine {
         &mut self,
         flow: &mut Flow,
         instr: DecodedInst,
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
         refs: &mut Vec<MemRef>,
         wbs: &mut Vec<Writeback>,
     ) -> Result<(), TcfError> {
@@ -356,7 +392,7 @@ impl TcfMachine {
                         wbs.push(Writeback {
                             flow: flow.id,
                             rd,
-                            thread: None,
+                            target: WbTarget::Uniform,
                             ref_idx: refs.len(),
                         });
                         refs.push(MemRef::new(origin, MemOp::Read(addr)));
@@ -428,7 +464,7 @@ impl TcfMachine {
                 wbs.push(Writeback {
                     flow: flow.id,
                     rd,
-                    thread: None,
+                    target: WbTarget::Uniform,
                     ref_idx: refs.len(),
                 });
                 refs.push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
@@ -472,6 +508,12 @@ impl TcfMachine {
                         to: v as usize,
                     },
                 );
+                // Compressed (affine/segment) registers describe an
+                // unbounded progression; pin their observable lanes at
+                // the OLD thickness before it changes, so lanes exposed
+                // by a later grow read 0 exactly as per-thread storage
+                // would.
+                flow.regs.decay_compressed(flow.thickness);
                 flow.thickness = v as usize;
                 flow.fragments =
                     self.allocation
@@ -541,7 +583,7 @@ impl TcfMachine {
                     // Flow creation copies the R common registers: the
                     // O(R) flow-branch cost of Table 1.
                     for _ in 0..self.config.regs_per_thread {
-                        units[home].push(IssueUnit::overhead(flow.id));
+                        units[home].push(IssueUnit::overhead(flow.id).into());
                     }
                 }
                 if pending > 0 {
@@ -597,7 +639,7 @@ impl TcfMachine {
         }
 
         flow.pc = next_pc;
-        units[home].push(unit);
+        units[home].push(unit.into());
         Ok(())
     }
 

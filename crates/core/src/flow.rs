@@ -155,9 +155,115 @@ impl Flow {
     }
 }
 
+/// Dense flow storage indexed by flow id.
+///
+/// Flow ids are allocated sequentially from 0 and never reused, so a
+/// `Vec<Option<Flow>>` slot per id replaces the former
+/// `BTreeMap<u32, Flow>`: lookups become an index, and the per-step
+/// remove/insert borrow dance of the executors (take a flow out, step it
+/// against `&mut` machine, put it back) becomes two O(1) slot swaps
+/// instead of tree rebalancing — the dominant per-step overhead of
+/// many-flow, small-thickness multitasking workloads. Halted flows keep
+/// their slots (exactly as they kept their map entries).
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    slots: Vec<Option<Flow>>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Number of flows present.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the table holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `flow` under `id` (its slot index).
+    pub fn insert(&mut self, id: u32, flow: Flow) {
+        let i = id as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i] = Some(flow);
+    }
+
+    /// Removes and returns the flow under `id`.
+    pub fn remove(&mut self, id: &u32) -> Option<Flow> {
+        self.slots.get_mut(*id as usize).and_then(Option::take)
+    }
+
+    /// The flow under `id`.
+    #[inline]
+    pub fn get(&self, id: &u32) -> Option<&Flow> {
+        self.slots.get(*id as usize).and_then(Option::as_ref)
+    }
+
+    /// The flow under `id`, mutably.
+    #[inline]
+    pub fn get_mut(&mut self, id: &u32) -> Option<&mut Flow> {
+        self.slots.get_mut(*id as usize).and_then(Option::as_mut)
+    }
+
+    /// Ids of present flows, ascending.
+    pub fn keys(&self) -> impl Iterator<Item = u32> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+
+    /// Present flows in id order.
+    pub fn values(&self) -> impl Iterator<Item = &Flow> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Present flows in id order, mutably.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut Flow> {
+        self.slots.iter_mut().filter_map(Option::as_mut)
+    }
+
+    /// `(id, flow)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Flow)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|f| (i as u32, f)))
+    }
+}
+
+impl std::ops::Index<&u32> for FlowTable {
+    type Output = Flow;
+    #[inline]
+    fn index(&self, id: &u32) -> &Flow {
+        self.get(id).expect("flow exists")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flow_table_mirrors_map_semantics() {
+        let mut t = FlowTable::new();
+        assert!(t.is_empty());
+        t.insert(2, Flow::new(2, 1, 0, 4));
+        t.insert(0, Flow::new(0, 1, 0, 4));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.keys().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(t.get(&1).is_none());
+        assert_eq!(t[&2].id, 2);
+        let f = t.remove(&0).unwrap();
+        assert_eq!(f.id, 0);
+        assert_eq!(t.len(), 1);
+        t.insert(0, f);
+        assert_eq!(t.iter().map(|(id, _)| id).collect::<Vec<_>>(), vec![0, 2]);
+    }
 
     #[test]
     fn fresh_flow_is_running() {

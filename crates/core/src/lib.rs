@@ -58,5 +58,5 @@ pub use flow::{Flow, FlowStatus, Fragment};
 pub use machine::{TcfMachine, DEFAULT_STEP_BUDGET};
 pub use par_engine::Engine;
 pub use sched::Allocation;
-pub use thick::{ThickRegs, ThickValue};
+pub use thick::{affine_alu, AffineRuns, Seg, ThickRegs, ThickValue};
 pub use variant::Variant;

@@ -25,16 +25,15 @@
 //! [`SharedMemory::step`]: tcf_mem::SharedMemory::step
 //! [`GroupPipeline`]: tcf_machine::GroupPipeline
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tcf_isa::program::Program;
 use tcf_isa::reg::SpecialReg;
 use tcf_isa::word::Word;
 use tcf_machine::{
-    FlowDesc, GroupPipeline, IssueUnit, MachineConfig, MachineStats, TcfBuffer, Trace,
+    FlowDesc, GroupPipeline, IssueUnit, MachineConfig, MachineStats, TcfBuffer, Trace, UnitSeq,
 };
-use tcf_mem::{LocalMemory, SharedMemory, StepScratch, StepStats};
+use tcf_mem::{BulkReplies, LocalMemory, SharedMemory, StepScratch, StepStats};
 use tcf_net::{NetStats, Network};
 use tcf_obs::{FlowEvent, MetricsRegistry, ObsSink};
 use tcf_pram::RunSummary;
@@ -42,7 +41,7 @@ use tcf_pram::RunSummary;
 use crate::decoded::DecodedProgram;
 use crate::error::{TcfError, TcfFault};
 use crate::exec_sync::StepBufs;
-use crate::flow::{ExecMode, Flow, FlowStatus, Fragment};
+use crate::flow::{ExecMode, Flow, FlowStatus, FlowTable, Fragment};
 use crate::par_engine::{global_pool, Engine, FragOut, WorkerPool};
 use crate::sched::Allocation;
 use crate::variant::Variant;
@@ -70,7 +69,7 @@ pub struct TcfMachine {
     pub(crate) net: Network,
     pub(crate) pipes: Vec<GroupPipeline>,
     pub(crate) buffers: Vec<TcfBuffer>,
-    pub(crate) flows: BTreeMap<u32, Flow>,
+    pub(crate) flows: FlowTable,
     pub(crate) next_flow_id: u32,
     pub(crate) trace: Trace,
     pub(crate) obs: ObsSink,
@@ -89,6 +88,8 @@ pub struct TcfMachine {
     pub(crate) mem_buckets: Vec<Vec<usize>>,
     /// Reply slots of the last memory step (index-aligned with its refs).
     pub(crate) mem_replies: Vec<Option<Word>>,
+    /// Bulk (strided-read) replies of the last memory step.
+    pub(crate) mem_bulk: BulkReplies,
     /// Reusable per-step buffers of the synchronous engine.
     pub(crate) step_bufs: StepBufs,
     /// Reusable fragment-output pool of thick execution.
@@ -160,7 +161,7 @@ impl TcfMachine {
             net,
             pipes,
             buffers,
-            flows: BTreeMap::new(),
+            flows: FlowTable::new(),
             next_flow_id: 0,
             trace: Trace::disabled(),
             obs: ObsSink::disabled(),
@@ -174,6 +175,7 @@ impl TcfMachine {
             shard_scratch: vec![StepScratch::default(); config.groups],
             mem_buckets: Vec::new(),
             mem_replies: Vec::new(),
+            mem_bulk: BulkReplies::default(),
             step_bufs: StepBufs::default(),
             frag_pool: Vec::new(),
             slice_buf: Vec::new(),
@@ -360,7 +362,7 @@ impl TcfMachine {
 
     /// Ids of all flows ever created (including halted ones).
     pub fn flow_ids(&self) -> Vec<u32> {
-        self.flows.keys().copied().collect()
+        self.flows.keys().collect()
     }
 
     /// Test support: force-materializes every flow's registers into
@@ -572,16 +574,19 @@ impl TcfMachine {
     }
 
     /// Phase 5 timing: runs each group's unit lists through its pipeline
-    /// and advances the machine clock to the slowest group.
+    /// and advances the machine clock to the slowest group. Units arrive
+    /// run-length compressed ([`UnitSeq`]); the pipeline advances its
+    /// cadence in closed form over compressed runs, so a `T`-thick compute
+    /// instruction's timing costs O(1) instead of O(T).
     pub(crate) fn apply_timing(
         &mut self,
-        pram_units: &[Vec<IssueUnit>],
-        numa_units: &[Vec<IssueUnit>],
+        pram_units: &[Vec<UnitSeq>],
+        numa_units: &[Vec<UnitSeq>],
     ) {
         let start = self.clock;
         let mut end = start;
         for g in 0..self.config.groups {
-            let out = self.pipes[g].run_step(
+            let out = self.pipes[g].run_step_seq(
                 start,
                 &pram_units[g],
                 false,
@@ -591,7 +596,7 @@ impl TcfMachine {
             );
             let mut gend = out.end_cycle;
             if !numa_units[g].is_empty() {
-                let out2 = self.pipes[g].run_step(
+                let out2 = self.pipes[g].run_step_seq(
                     gend,
                     &numa_units[g],
                     true,
@@ -609,15 +614,18 @@ impl TcfMachine {
 
     /// Activates `flow`'s descriptor in the TCF buffer of every fragment
     /// group, pushing reload-overhead units where it missed. Free when
-    /// resident — the extended model's zero-cost task switch.
-    pub(crate) fn activate_in_buffers(&mut self, flow_id: u32, units: &mut [Vec<IssueUnit>]) {
+    /// resident — the extended model's zero-cost task switch. Iterates the
+    /// fragment list by index (re-borrowing the flow per fragment) so the
+    /// steady-state step loop allocates nothing here.
+    pub(crate) fn activate_in_buffers(&mut self, flow_id: u32, units: &mut [Vec<UnitSeq>]) {
         let flow = &self.flows[&flow_id];
         let desc = match flow.mode {
             ExecMode::Pram => FlowDesc::pram(flow.id, flow.thickness, flow.pc),
             ExecMode::Numa { slots } => FlowDesc::numa(flow.id, slots, flow.pc),
         };
-        let groups: Vec<usize> = flow.fragments.iter().map(|f| f.group).collect();
-        for g in groups {
+        let nfrags = flow.fragments.len();
+        for fi in 0..nfrags {
+            let g = self.flows[&flow_id].fragments[fi].group;
             let cost = self.buffers[g].activate(desc);
             if cost > 0 {
                 self.obs.emit(
@@ -631,7 +639,7 @@ impl TcfMachine {
                 );
             }
             for _ in 0..cost {
-                units[g].push(IssueUnit::overhead(flow_id));
+                units[g].push(IssueUnit::overhead(flow_id).into());
             }
         }
     }

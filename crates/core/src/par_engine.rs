@@ -43,15 +43,16 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use tcf_isa::reg::Reg;
 use tcf_isa::word::{Addr, Word};
-use tcf_machine::{IssueUnit, MachineConfig};
+use tcf_machine::{IssueUnit, MachineConfig, UnitSeq};
 use tcf_mem::{LocalMemory, MemError, MemRef, ShardOutcome, SharedMemory, StepStats};
 use tcf_obs::{FlowEvent, ObsSink};
 
 use crate::decoded::DecodedInst;
 use crate::error::TcfError;
-use crate::exec_sync::Writeback;
+use crate::exec_sync::{WbTarget, Writeback};
 use crate::flow::{Flow, Fragment};
 use crate::machine::TcfMachine;
+use crate::thick::affine_alu;
 
 /// Which execution engine a machine steps with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,12 +270,20 @@ pub(crate) struct ThickCtx<'a> {
 pub(crate) struct FragOut {
     pub frag: Fragment,
     pub range: Range<usize>,
-    /// Issue units for `frag.group`, in lane order.
-    pub units: Vec<IssueUnit>,
-    /// Shared-memory references, in lane order.
+    /// Issue units for `frag.group`, in lane order (run-length compressed
+    /// when the slice executed in closed form).
+    pub units: Vec<UnitSeq>,
+    /// Shared-memory references, in lane order (one strided bulk
+    /// reference stands for the whole slice on the compressed path).
     pub refs: Vec<MemRef>,
-    /// Pending write-backs as `(rd, lane, index into self.refs)`.
-    pub wbs: Vec<(Reg, usize, usize)>,
+    /// Pending write-backs as `(rd, destination lanes, index into
+    /// self.refs)`.
+    pub wbs: Vec<(Reg, WbTarget, usize)>,
+    /// Affine register writes as `(rd, base lane, count, vbase, vstride)`
+    /// — the compressed path's counterpart of `reg_runs`, replayed by the
+    /// coordinator through `ThickRegs::write_affine`. A slice populates
+    /// either this or `reg_runs`, never both.
+    pub reg_affine: Vec<(Reg, usize, usize, Word, Word)>,
     /// Register writes as contiguous lane runs `(rd, base lane, range
     /// into reg_values)`, replayed by the coordinator through
     /// `ThickRegs::write_lanes` (bit-identical to an ascending per-lane
@@ -306,6 +315,7 @@ impl FragOut {
             wbs: Vec::new(),
             reg_runs: Vec::new(),
             reg_values: Vec::new(),
+            reg_affine: Vec::new(),
             local_undo: Vec::new(),
             obs: ObsSink::disabled(),
             fault: None,
@@ -322,6 +332,7 @@ impl FragOut {
         self.wbs.clear();
         self.reg_runs.clear();
         self.reg_values.clear();
+        self.reg_affine.clear();
         self.local_undo.clear();
         self.obs = if obs_enabled {
             ObsSink::recording()
@@ -348,12 +359,230 @@ impl FragOut {
     }
 }
 
+/// Lane addresses `to_addr(lane_value + off)` of an affine base operand
+/// as an exact strided progression, when per-lane wrapping and clamping
+/// provably cannot kick in: the exact (i128) progression must stay in
+/// `[0, i64::MAX]` — it is monotone, so checking both endpoints covers
+/// every lane (the wrapped per-lane i64 result is the unique
+/// representative of the exact value's residue class in i64 range, hence
+/// equal to it, and `to_addr` is the identity on non-negatives) — and the
+/// module map must advance by a constant node step per lane
+/// ([`SharedMemory::strided_node_step`]; low-order interleaving only).
+/// Returns lane 0's address and the node step.
+fn strided_addr(
+    ctx: &ThickCtx<'_>,
+    ab: Word,
+    off: Word,
+    astride: Word,
+    len: usize,
+) -> Option<(Addr, usize)> {
+    let w0 = (ab as i128) + (off as i128);
+    let wlast = w0 + (astride as i128) * ((len - 1) as i128);
+    let max = i64::MAX as i128;
+    if w0 < 0 || w0 > max || wlast < 0 || wlast > max {
+        return None;
+    }
+    let node_step = ctx.shared.strided_node_step(astride)?;
+    Some((w0 as Addr, node_step))
+}
+
+/// Attempts to execute the whole slice in closed form: when every operand
+/// the instruction reads is stride-compressed (uniform, affine or a
+/// segment run) over the slice's lanes, the per-lane loop collapses to
+/// O(1) affine algebra — one [`UnitSeq`] span, an affine register-write
+/// log, and (for shared-memory traffic) a single strided bulk reference.
+/// Returns `false` to fall back to the per-lane loop whenever the algebra
+/// escapes (per-thread operands, guarded comparisons out of exact range,
+/// wrapping/clamping addresses, hashed module maps, local memory,
+/// multioperations).
+///
+/// Bit-identity with the per-lane path holds by construction: ALU folding
+/// goes through [`affine_alu`] (exact mod 2^64; comparisons only when
+/// both progressions are provably exact), and strided addresses are only
+/// emitted under the [`strided_addr`] guard.
+fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
+    use tcf_isa::instr::{MemSpace, Operand};
+    use tcf_isa::reg::SpecialReg;
+    use tcf_mem::{MemOp, RefOrigin};
+
+    let flow = ctx.flow;
+    let fid = flow.id;
+    let lo = out.range.start;
+    let len = out.range.len();
+    if len == 0 {
+        return true;
+    }
+    let affine_reg = |r: Reg| flow.regs.value(r).affine_over(lo, len);
+    let affine_opnd = |o: Operand| match o {
+        Operand::Reg(r) => affine_reg(r),
+        Operand::Imm(w) => Some((w, 0)),
+    };
+    let compute_run = UnitSeq::ComputeRun {
+        flow: fid,
+        thread0: lo,
+        count: len,
+    };
+    match ctx.instr {
+        DecodedInst::Alu { op, rd, ra, rb } => {
+            let (a, b) = match (affine_reg(ra), affine_opnd(rb)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return false,
+            };
+            let runs = match affine_alu(op, a, b, len) {
+                Some(r) => r,
+                None => return false,
+            };
+            let mut base = lo;
+            for s in runs.runs() {
+                out.reg_affine
+                    .push((rd, base, s.len as usize, s.base, s.stride));
+                base += s.len as usize;
+            }
+            out.units.push(compute_run);
+            true
+        }
+        DecodedInst::Mfs { rd, sr } => {
+            // Thick classification admits only Tid/Gid here; both are
+            // the lane index plus a flow constant — affine, stride 1.
+            let base = match sr {
+                SpecialReg::Tid => (flow.tid_offset + lo) as Word,
+                SpecialReg::Gid => (flow.rank_base + lo) as Word,
+                _ => return false,
+            };
+            out.reg_affine.push((rd, lo, len, base, 1));
+            out.units.push(compute_run);
+            true
+        }
+        DecodedInst::Sel { rd, cond, rt, rf } => {
+            // Uniform condition over the slice: every lane takes the
+            // same branch, so the result is the chosen operand's run.
+            let c = match affine_reg(cond) {
+                Some((v, 0)) => v,
+                _ => return false,
+            };
+            let chosen = if c != 0 {
+                affine_reg(rt)
+            } else {
+                affine_opnd(rf)
+            };
+            let (vb, vs) = match chosen {
+                Some(x) => x,
+                None => return false,
+            };
+            out.reg_affine.push((rd, lo, len, vb, vs));
+            out.units.push(compute_run);
+            true
+        }
+        DecodedInst::Ld {
+            rd,
+            base,
+            off,
+            space: MemSpace::Shared,
+        } => {
+            let (ab, astride) = match affine_reg(base) {
+                Some(x) => x,
+                None => return false,
+            };
+            let (a0, node_step) = match strided_addr(ctx, ab, off, astride, len) {
+                Some(x) => x,
+                None => return false,
+            };
+            out.units.push(UnitSeq::SharedRun {
+                flow: fid,
+                thread0: lo,
+                count: len,
+                node0: ctx.shared.module_of(a0),
+                node_step,
+                nodes: ctx.shared.modules(),
+            });
+            out.wbs.push((
+                rd,
+                WbTarget::Lanes {
+                    base: lo,
+                    count: len,
+                },
+                out.refs.len(),
+            ));
+            out.refs.push(MemRef::new(
+                RefOrigin::new(ctx.group, flow.rank_base + lo),
+                MemOp::StridedRead {
+                    base: a0,
+                    stride: astride,
+                    count: len as u32,
+                },
+            ));
+            true
+        }
+        DecodedInst::St {
+            rs,
+            base,
+            off,
+            space: MemSpace::Shared,
+        }
+        | DecodedInst::StMasked {
+            rs,
+            base,
+            off,
+            space: MemSpace::Shared,
+            ..
+        } => {
+            if let DecodedInst::StMasked { cond, .. } = ctx.instr {
+                match affine_reg(cond) {
+                    // Uniformly masked out: every lane still burns its
+                    // issue slot as a compute unit.
+                    Some((0, 0)) => {
+                        out.units.push(compute_run);
+                        return true;
+                    }
+                    Some((_, 0)) => {} // uniformly selected: plain store
+                    _ => return false,
+                }
+            }
+            let (ab, astride) = match affine_reg(base) {
+                Some(x) => x,
+                None => return false,
+            };
+            let (vb, vstride) = match affine_reg(rs) {
+                Some(x) => x,
+                None => return false,
+            };
+            let (a0, node_step) = match strided_addr(ctx, ab, off, astride, len) {
+                Some(x) => x,
+                None => return false,
+            };
+            out.units.push(UnitSeq::SharedRun {
+                flow: fid,
+                thread0: lo,
+                count: len,
+                node0: ctx.shared.module_of(a0),
+                node_step,
+                nodes: ctx.shared.modules(),
+            });
+            out.refs.push(MemRef::new(
+                RefOrigin::new(ctx.group, flow.rank_base + lo),
+                MemOp::StridedWrite {
+                    base: a0,
+                    stride: astride,
+                    count: len as u32,
+                    vbase: vb,
+                    vstride,
+                },
+            ));
+            true
+        }
+        _ => false,
+    }
+}
+
 /// Executes `out.range`'s lanes of `ctx.instr` against a read-only
 /// register view, logging register writes and applying local-memory
 /// traffic to `local` (with an undo log). Stops at the first fault.
 ///
 /// Both engines run thick lanes through here; the lane semantics live in
-/// exactly one place.
+/// exactly one place. Stride-compressed operands short-circuit into
+/// [`exec_thick_compressed`] — and because a slice's bounds derive only
+/// from the fragments and the variant bound, both engines make the same
+/// compressed-or-per-lane decision for every slice.
 pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out: &mut FragOut) {
     use tcf_isa::instr::{MemSpace, Operand};
     use tcf_isa::word::to_addr;
@@ -361,6 +590,10 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
 
     use crate::error::TcfFault;
     use crate::machine::special_value;
+
+    if exec_thick_compressed(ctx, out) {
+        return;
+    }
 
     let flow = ctx.flow;
     let group = ctx.group;
@@ -383,12 +616,12 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                     Operand::Imm(w) => w,
                 };
                 out.log_reg(rd, e, op.eval(a, b));
-                out.units.push(IssueUnit::compute(fid, e));
+                out.units.push(IssueUnit::compute(fid, e).into());
             }
             DecodedInst::Mfs { rd, sr } => {
                 let v = special_value(flow, e, sr, ctx.config);
                 out.log_reg(rd, e, v);
-                out.units.push(IssueUnit::compute(fid, e));
+                out.units.push(IssueUnit::compute(fid, e).into());
             }
             DecodedInst::Sel { rd, cond, rt, rf } => {
                 let v = if flow.regs.read(cond, e) != 0 {
@@ -400,7 +633,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                     }
                 };
                 out.log_reg(rd, e, v);
-                out.units.push(IssueUnit::compute(fid, e));
+                out.units.push(IssueUnit::compute(fid, e).into());
             }
             DecodedInst::Ld {
                 rd,
@@ -412,12 +645,12 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 match space {
                     MemSpace::Shared => {
                         out.units
-                            .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
-                        out.wbs.push((rd, e, out.refs.len()));
+                            .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)).into());
+                        out.wbs.push((rd, WbTarget::Lane(e), out.refs.len()));
                         out.refs.push(MemRef::new(origin, MemOp::Read(addr)));
                     }
                     MemSpace::Local => {
-                        out.units.push(IssueUnit::local_mem(fid, e));
+                        out.units.push(IssueUnit::local_mem(fid, e).into());
                         match local.read(addr) {
                             Ok(v) => out.log_reg(rd, e, v),
                             Err(err) => return fault(out, err.into()),
@@ -436,11 +669,11 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 match space {
                     MemSpace::Shared => {
                         out.units
-                            .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
+                            .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)).into());
                         out.refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
                     }
                     MemSpace::Local => {
-                        out.units.push(IssueUnit::local_mem(fid, e));
+                        out.units.push(IssueUnit::local_mem(fid, e).into());
                         if let Ok(old) = local.read(addr) {
                             out.local_undo.push((addr, old));
                         }
@@ -463,15 +696,13 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 if selected {
                     match space {
                         MemSpace::Shared => {
-                            out.units.push(IssueUnit::shared_mem(
-                                fid,
-                                e,
-                                ctx.shared.module_of(addr),
-                            ));
+                            out.units.push(
+                                IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)).into(),
+                            );
                             out.refs.push(MemRef::new(origin, MemOp::Write(addr, v)));
                         }
                         MemSpace::Local => {
-                            out.units.push(IssueUnit::local_mem(fid, e));
+                            out.units.push(IssueUnit::local_mem(fid, e).into());
                             if let Ok(old) = local.read(addr) {
                                 out.local_undo.push((addr, old));
                             }
@@ -483,7 +714,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 } else {
                     // The lane still occupies its slot (vector-style
                     // masked execution).
-                    out.units.push(IssueUnit::compute(fid, e));
+                    out.units.push(IssueUnit::compute(fid, e).into());
                 }
             }
             DecodedInst::MultiOp {
@@ -495,7 +726,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
                 let v = flow.regs.read(rs, e);
                 out.units
-                    .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
+                    .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)).into());
                 out.refs
                     .push(MemRef::new(origin, MemOp::Multi(kind, addr, v)));
             }
@@ -509,8 +740,8 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
                 let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
                 let v = flow.regs.read(rs, e);
                 out.units
-                    .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)));
-                out.wbs.push((rd, e, out.refs.len()));
+                    .push(IssueUnit::shared_mem(fid, e, ctx.shared.module_of(addr)).into());
+                out.wbs.push((rd, WbTarget::Lane(e), out.refs.len()));
                 out.refs
                     .push(MemRef::new(origin, MemOp::Prefix(kind, addr, v)));
             }
@@ -611,7 +842,7 @@ impl TcfMachine {
         &mut self,
         flow: &mut Flow,
         outs: &mut [FragOut],
-        units: &mut [Vec<IssueUnit>],
+        units: &mut [Vec<UnitSeq>],
         refs: &mut Vec<MemRef>,
         wbs: &mut Vec<Writeback>,
     ) -> Result<(), TcfError> {
@@ -627,9 +858,15 @@ impl TcfMachine {
                 }
                 continue;
             }
+            // A slice logs register writes either per-lane (`reg_runs`)
+            // or compressed (`reg_affine`), never both, so replay order
+            // between the two logs is immaterial.
             for (rd, base, range) in &out.reg_runs {
                 flow.regs
                     .write_lanes(*rd, *base, &out.reg_values[range.clone()], t);
+            }
+            for &(rd, base, count, vbase, vstride) in &out.reg_affine {
+                flow.regs.write_affine(rd, base, count, vbase, vstride, t);
             }
             self.obs.absorb(&out.obs);
             if out.fault.is_some() {
@@ -639,11 +876,11 @@ impl TcfMachine {
             let base = refs.len();
             units[out.frag.group].extend_from_slice(&out.units);
             refs.extend_from_slice(&out.refs);
-            for &(rd, e, ri) in &out.wbs {
+            for &(rd, target, ri) in &out.wbs {
                 wbs.push(Writeback {
                     flow: flow.id,
                     rd,
-                    thread: Some(e),
+                    target,
                     ref_idx: base + ri,
                 });
             }
@@ -652,8 +889,12 @@ impl TcfMachine {
             // live in the local memory — every thick operation pays one
             // extra local access (spill traffic).
             if cap > 0 && flow.regs.per_thread_count() * out.frag.len > cap {
-                for e in out.range.clone() {
-                    units[out.frag.group].push(IssueUnit::local_mem(flow.id, e));
+                units[out.frag.group].push(UnitSeq::LocalRun {
+                    flow: flow.id,
+                    thread0: out.range.start,
+                    count: out.range.len(),
+                });
+                for _ in out.range.clone() {
                     self.stats.spill_refs += 1;
                     self.obs.emit(
                         self.steps,
@@ -677,6 +918,25 @@ impl TcfMachine {
     /// paths return identical replies and statistics (the shards resolve
     /// through the same per-address logic and merge in module order).
     pub(crate) fn memory_step(&mut self, refs: &[MemRef]) -> Result<StepStats, TcfError> {
+        if refs.iter().any(|r| r.op.is_bulk()) {
+            // Strided bulk references resolve on the coordinator under
+            // BOTH engines: the disjoint fast path is already
+            // O(modules + conflicting lanes), so sharding buys nothing,
+            // and one code path keeps the engines trivially identical.
+            let mut bulk = std::mem::take(&mut self.mem_bulk);
+            let r = self
+                .shared
+                .step_bulk_into(
+                    refs,
+                    &mut self.mem_scratch,
+                    &mut self.mem_replies,
+                    &mut bulk,
+                )
+                .map_err(|e| self.host_err(e.into()));
+            self.mem_bulk = bulk;
+            return r;
+        }
+        self.mem_bulk.clear();
         let pool = match (&self.engine, &self.pool) {
             (Engine::Parallel { .. }, Some(pool))
                 if refs.len() > 1 && self.shared.modules() > 1 =>

@@ -9,12 +9,46 @@
 //! uniform execute *once* on the flow's common operands instead of `T`
 //! times — the scalarization the TCF processor's operand-select stage
 //! performs.
+//!
+//! The second compression dimension is *affine* values: in the TCF model
+//! one instruction stands for `T` identical operations, and the values
+//! that differ between lanes are overwhelmingly arithmetic progressions
+//! of the lane id (the thread-id seed, induction vectors, addresses of
+//! array sweeps). An [`Affine`](ThickValue::Affine) value stores them as
+//! `base + stride·i`, a [`Segments`](ThickValue::Segments) value as a
+//! short piecewise-affine run list (what comparisons of an affine value
+//! against a bound produce). The closure algebra over these forms lives
+//! in [`affine_alu`]; values decay to `PerThread` lanes only when the
+//! algebra genuinely escapes the form.
 
 use serde::{Deserialize, Serialize};
 
-use tcf_isa::word::Word;
+use tcf_isa::op::AluOp;
+use tcf_isa::word::{shamt, Word};
 
-/// A value with one word per implicit thread, compressed when uniform.
+/// One piece of a [`ThickValue::Segments`] value: `len` lanes reading
+/// `base + stride·k` (wrapping), `k` relative to the segment start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Seg {
+    /// Number of lanes in the segment (≥ 1).
+    pub len: u32,
+    /// Value of the segment's first lane.
+    pub base: Word,
+    /// Per-lane increment (0 for single-lane segments, by canonical
+    /// form).
+    pub stride: Word,
+}
+
+impl Seg {
+    /// Value of lane `k` (relative to the segment start).
+    #[inline]
+    pub fn get(&self, k: usize) -> Word {
+        self.base.wrapping_add(self.stride.wrapping_mul(k as Word))
+    }
+}
+
+/// A value with one word per implicit thread, compressed when uniform or
+/// (piecewise) affine in the lane index.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ThickValue {
     /// Every implicit thread sees this word.
@@ -23,6 +57,19 @@ pub enum ThickValue {
     /// at materialization time. Reads beyond the vector (after a thickness
     /// increase) see 0.
     PerThread(Vec<Word>),
+    /// Thread `i` sees `base + stride·i` (wrapping). Invariant:
+    /// `stride != 0` (a zero stride is stored as `Uniform`).
+    Affine {
+        /// Lane 0's value.
+        base: Word,
+        /// Per-lane increment.
+        stride: Word,
+    },
+    /// Piecewise affine from lane 0; lanes beyond the segments' total
+    /// length see 0. Invariants: non-empty, every segment has `len ≥ 1`,
+    /// single-lane segments store stride 0, and no two adjacent segments
+    /// are mergeable into one progression.
+    Segments(Vec<Seg>),
 }
 
 impl ThickValue {
@@ -37,12 +84,100 @@ impl ThickValue {
         matches!(self, ThickValue::Uniform(_))
     }
 
+    /// An affine value, canonicalized: stride 0 collapses to `Uniform`.
+    #[inline]
+    pub fn affine(base: Word, stride: Word) -> ThickValue {
+        if stride == 0 {
+            ThickValue::Uniform(base)
+        } else {
+            ThickValue::Affine { base, stride }
+        }
+    }
+
+    /// A piecewise value from canonical-form segments: empty lists
+    /// collapse to zero (lanes beyond the segments read 0), a single
+    /// segment covering at least `thickness` lanes collapses to its
+    /// affine form (the tail beyond the covered lanes is unobservable —
+    /// thickness growth decays compressed registers first).
+    fn from_segs(mut segs: Vec<Seg>, thickness: usize) -> ThickValue {
+        merge_segs(&mut segs);
+        match segs.len() {
+            0 => ThickValue::Uniform(0),
+            1 if segs[0].len as usize >= thickness => {
+                ThickValue::affine(segs[0].base, segs[0].stride)
+            }
+            _ => ThickValue::Segments(segs),
+        }
+    }
+
+    /// Appends lanes `[from, to)` of this (compressed) value to `segs` as
+    /// affine pieces. Only called on `Uniform`/`Affine`/`Segments`.
+    fn append_range_segs(&self, from: usize, to: usize, segs: &mut Vec<Seg>) {
+        if from >= to {
+            return;
+        }
+        match self {
+            ThickValue::Uniform(v) => segs.push(Seg {
+                len: (to - from) as u32,
+                base: *v,
+                stride: 0,
+            }),
+            ThickValue::Affine { base, stride } => segs.push(Seg {
+                len: (to - from) as u32,
+                base: base.wrapping_add(stride.wrapping_mul(from as Word)),
+                stride: *stride,
+            }),
+            ThickValue::Segments(cur) => {
+                let mut start = 0usize;
+                for piece in cur {
+                    let plen = piece.len as usize;
+                    let lo = from.max(start);
+                    let hi = to.min(start + plen);
+                    if lo < hi {
+                        segs.push(Seg {
+                            len: (hi - lo) as u32,
+                            base: piece.get(lo - start),
+                            stride: piece.stride,
+                        });
+                    }
+                    start += plen;
+                    if start >= to {
+                        break;
+                    }
+                }
+                if start < to {
+                    // Zero tail beyond the covered lanes.
+                    let lo = from.max(start);
+                    segs.push(Seg {
+                        len: (to - lo) as u32,
+                        base: 0,
+                        stride: 0,
+                    });
+                }
+            }
+            ThickValue::PerThread(_) => unreachable!("append_range_segs on explicit lanes"),
+        }
+    }
+
     /// The value thread `i` sees.
     #[inline]
     pub fn get(&self, i: usize) -> Word {
         match self {
             ThickValue::Uniform(v) => *v,
             ThickValue::PerThread(vs) => vs.get(i).copied().unwrap_or(0),
+            ThickValue::Affine { base, stride } => {
+                base.wrapping_add(stride.wrapping_mul(i as Word))
+            }
+            ThickValue::Segments(segs) => {
+                let mut k = i;
+                for s in segs {
+                    if k < s.len as usize {
+                        return s.get(k);
+                    }
+                    k -= s.len as usize;
+                }
+                0
+            }
         }
     }
 
@@ -51,6 +186,39 @@ impl ThickValue {
     pub fn as_uniform(&self) -> Option<Word> {
         match self {
             ThickValue::Uniform(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The lane range `[lo, lo + len)` as an arithmetic progression
+    /// `(value at lo, per-lane stride)`, when the representation yields it
+    /// without touching lanes. `PerThread` always answers `None` — the
+    /// point is O(1) classification, not O(len) detection.
+    pub fn affine_over(&self, lo: usize, len: usize) -> Option<(Word, Word)> {
+        match self {
+            ThickValue::Uniform(v) => Some((*v, 0)),
+            ThickValue::Affine { base, stride } => {
+                Some((base.wrapping_add(stride.wrapping_mul(lo as Word)), *stride))
+            }
+            ThickValue::Segments(segs) => {
+                if len == 0 {
+                    return Some((self.get(lo), 0));
+                }
+                let mut k = lo;
+                for s in segs {
+                    if k < s.len as usize {
+                        // Entirely within this segment?
+                        return if k + len <= s.len as usize {
+                            Some((s.get(k), if len == 1 { 0 } else { s.stride }))
+                        } else {
+                            None
+                        };
+                    }
+                    k -= s.len as usize;
+                }
+                // Entirely beyond the covered lanes: all zero.
+                Some((0, 0))
+            }
             ThickValue::PerThread(_) => None,
         }
     }
@@ -73,6 +241,29 @@ impl ThickValue {
             ThickValue::PerThread(vs) => {
                 out.extend((0..thickness).map(|i| vs.get(i).copied().unwrap_or(0)))
             }
+            ThickValue::Affine { base, stride } => {
+                let mut v = *base;
+                out.extend((0..thickness).map(|_| {
+                    let cur = v;
+                    v = v.wrapping_add(*stride);
+                    cur
+                }));
+            }
+            ThickValue::Segments(segs) => {
+                for s in segs {
+                    let take = (s.len as usize).min(thickness - out.len());
+                    let mut v = s.base;
+                    out.extend((0..take).map(|_| {
+                        let cur = v;
+                        v = v.wrapping_add(s.stride);
+                        cur
+                    }));
+                    if out.len() == thickness {
+                        break;
+                    }
+                }
+                out.resize(thickness, 0);
+            }
         }
     }
 
@@ -93,12 +284,27 @@ impl ThickValue {
                     None
                 }
             }
+            // Nonzero stride: uniform only degenerately.
+            ThickValue::Affine { base, .. } => (thickness <= 1).then_some(*base),
+            ThickValue::Segments(_) => {
+                let first = self.get(0);
+                (1..thickness)
+                    .all(|i| self.get(i) == first)
+                    .then_some(first)
+            }
         }
     }
 
     /// Sets thread `i`'s value, promoting to per-thread storage if it
-    /// breaks uniformity. `thickness` is the flow's current thickness
-    /// (needed for promotion).
+    /// breaks the compressed form. `thickness` is the flow's current
+    /// thickness (needed for promotion).
+    ///
+    /// Compressed forms (`Uniform`, `Affine`, `Segments`) stay compressed
+    /// when the written value equals what lane `i` already reads —
+    /// including at the thickness boundaries (`i == thickness - 1`,
+    /// `thickness == 1`) — and otherwise decay to a `PerThread` vector of
+    /// length `max(thickness, i + 1)` with the write applied, exactly the
+    /// state a never-compressed register would be in.
     pub fn set(&mut self, i: usize, v: Word, thickness: usize) {
         match self {
             ThickValue::Uniform(u) if *u == v => {}
@@ -113,26 +319,332 @@ impl ThickValue {
                 }
                 vs[i] = v;
             }
+            ThickValue::Affine { .. } | ThickValue::Segments(_) => {
+                if self.get(i) == v {
+                    return;
+                }
+                let mut vs = self.materialize(thickness.max(i + 1));
+                vs[i] = v;
+                *self = ThickValue::PerThread(vs);
+            }
         }
     }
 
     /// Re-compresses to uniform storage when all of the first `thickness`
     /// entries agree. Returns whether the value is now uniform.
     pub fn normalize(&mut self, thickness: usize) -> bool {
-        if let ThickValue::PerThread(vs) = self {
-            let first = vs.first().copied().unwrap_or(0);
-            let all_same = (0..thickness).all(|i| vs.get(i).copied().unwrap_or(0) == first);
-            if all_same {
-                *self = ThickValue::Uniform(first);
+        match self {
+            ThickValue::Uniform(_) => {}
+            ThickValue::PerThread(vs) => {
+                let first = vs.first().copied().unwrap_or(0);
+                let all_same = (0..thickness).all(|i| vs.get(i).copied().unwrap_or(0) == first);
+                if all_same {
+                    *self = ThickValue::Uniform(first);
+                }
+            }
+            ThickValue::Affine { .. } | ThickValue::Segments(_) => {
+                if let Some(v) = self.uniform_over(thickness) {
+                    *self = ThickValue::Uniform(v);
+                }
             }
         }
         self.is_uniform()
+    }
+
+    /// Decays compressed affine forms to explicit lanes at the given
+    /// thickness. `Uniform` and `PerThread` values are left untouched.
+    ///
+    /// This is the semantic guard for thickness changes: an `Affine`
+    /// value extends its progression to every lane index, whereas the
+    /// per-thread vector it stands in for would read 0 beyond the old
+    /// thickness. Decaying at the *old* thickness before the change keeps
+    /// both behaviours observably identical.
+    pub fn decay_compressed(&mut self, thickness: usize) {
+        if matches!(self, ThickValue::Affine { .. } | ThickValue::Segments(_)) {
+            *self = ThickValue::PerThread(self.materialize(thickness.max(1)));
+        }
     }
 }
 
 impl Default for ThickValue {
     fn default() -> ThickValue {
         ThickValue::zero()
+    }
+}
+
+/// Restores the canonical form of a segment list in place: single-lane
+/// segments get stride 0, adjacent segments continuing one progression
+/// merge, empty segments vanish.
+fn merge_segs(segs: &mut Vec<Seg>) {
+    let mut out = 0usize;
+    for i in 0..segs.len() {
+        let mut s = segs[i];
+        if s.len == 0 {
+            continue;
+        }
+        if s.len == 1 {
+            s.stride = 0;
+        }
+        if out > 0 {
+            let prev = segs[out - 1];
+            let cont = prev.get(prev.len as usize); // extrapolated next lane
+            let merged = if prev.len == 1 && s.base == prev.base.wrapping_add(s.stride) {
+                // A single-lane segment is the head of any progression.
+                Some(Seg {
+                    len: prev.len + s.len,
+                    base: prev.base,
+                    stride: s.stride,
+                })
+            } else if s.base == cont && (s.stride == prev.stride || s.len == 1) {
+                Some(Seg {
+                    len: prev.len + s.len,
+                    base: prev.base,
+                    stride: prev.stride,
+                })
+            } else {
+                None
+            };
+            if let Some(m) = merged {
+                segs[out - 1] = m;
+                continue;
+            }
+        }
+        segs[out] = s;
+        out += 1;
+    }
+    segs.truncate(out);
+}
+
+/// The result of a closed-form ALU evaluation over a run of lanes: at
+/// most three affine runs covering the lanes in order (a comparison of an
+/// affine value against a bound yields zeros, a crossover, and ones; all
+/// purely affine results are a single run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AffineRuns {
+    runs: [Seg; 3],
+    n: usize,
+}
+
+impl AffineRuns {
+    fn one(len: usize, base: Word, stride: Word) -> AffineRuns {
+        let mut r = AffineRuns::default();
+        r.push(len, base, stride);
+        r
+    }
+
+    fn push(&mut self, len: usize, base: Word, stride: Word) {
+        if len == 0 {
+            return;
+        }
+        let stride = if len == 1 { 0 } else { stride };
+        if self.n > 0 {
+            let prev = &mut self.runs[self.n - 1];
+            let cont = prev.get(prev.len as usize);
+            if base == cont && (stride == prev.stride || len == 1 || prev.len == 1) {
+                if prev.len == 1 {
+                    prev.stride = stride;
+                }
+                prev.len += len as u32;
+                return;
+            }
+        }
+        self.runs[self.n] = Seg {
+            len: len as u32,
+            base,
+            stride,
+        };
+        self.n += 1;
+    }
+
+    /// The runs, in lane order.
+    #[inline]
+    pub fn runs(&self) -> &[Seg] {
+        &self.runs[..self.n]
+    }
+
+    /// Value of lane `k` (relative to the run list's first lane).
+    pub fn get(&self, k: usize) -> Word {
+        let mut k = k;
+        for s in self.runs() {
+            if k < s.len as usize {
+                return s.get(k);
+            }
+            k -= s.len as usize;
+        }
+        0
+    }
+}
+
+/// Whether the exact (unwrapped) progression `base + stride·k` stays
+/// within `Word` range for all `k in [0, len)` — i.e. wrapping per-lane
+/// evaluation agrees with exact integer arithmetic over the run.
+#[inline]
+fn progression_exact(base: Word, stride: Word, len: usize) -> bool {
+    if len == 0 {
+        return true;
+    }
+    let last = base as i128 + stride as i128 * (len - 1) as i128;
+    last >= Word::MIN as i128 && last <= Word::MAX as i128
+}
+
+/// Lane-ordered region lengths `(a, b, c)` of the sign of the exact
+/// affine `d(k) = db + ds·k` over `k in [0, len)`, together with the sign
+/// of each region: returns `[(len, ordering)]` where ordering is the
+/// comparison of `d(k)` against 0. `ds` may be any sign.
+fn sign_regions(db: i128, ds: i128, len: usize) -> [(usize, core::cmp::Ordering); 3] {
+    use core::cmp::Ordering::*;
+    let n = len as i128;
+    if ds == 0 {
+        return [(len, db.cmp(&0)), (0, Equal), (0, Equal)];
+    }
+    // Reflect a decreasing progression so we can always count an
+    // increasing one, then un-reflect the region order.
+    let (b, s, flip) = if ds > 0 {
+        (db, ds, false)
+    } else {
+        (db + ds * (n - 1), -ds, true)
+    };
+    // d(k) < 0  ⟺  k < -b/s ; d(k) ≤ 0  ⟺  k ≤ -b/s.
+    let clamp = |x: i128| x.clamp(0, n) as usize;
+    let n_lt = clamp((-b).div_euclid(s) + ((-b).rem_euclid(s) != 0) as i128);
+    let n_le = clamp((-b).div_euclid(s) + 1);
+    let (lt, eq, gt) = (n_lt, n_le - n_lt, len - n_le);
+    if flip {
+        [(gt, Greater), (eq, Equal), (lt, Less)]
+    } else {
+        [(lt, Less), (eq, Equal), (gt, Greater)]
+    }
+}
+
+/// Closed-form evaluation of `op` over a run of `len` lanes whose
+/// operands are arithmetic progressions: operand lane `k` reads
+/// `base + stride·k` (wrapping). Returns the result as at most three
+/// affine runs, or `None` when the op escapes the affine form (the
+/// caller falls back to per-lane evaluation). The result is bit-exact
+/// with per-lane [`AluOp::eval`] — comparisons and min/max, which are
+/// not modular, are only folded when both progressions stay in exact
+/// range ([`progression_exact`]).
+pub fn affine_alu(
+    op: AluOp,
+    (ab, astride): (Word, Word),
+    (bb, bstride): (Word, Word),
+    len: usize,
+) -> Option<AffineRuns> {
+    use core::cmp::Ordering;
+    if len == 0 {
+        return Some(AffineRuns::default());
+    }
+    // Unaries and modular-linear ops first: these are exact under
+    // wrapping for any strides (addition and constant multiplication are
+    // ring homomorphisms mod 2^64).
+    match op {
+        AluOp::Mov => return Some(AffineRuns::one(len, ab, astride)),
+        AluOp::Neg => {
+            return Some(AffineRuns::one(
+                len,
+                ab.wrapping_neg(),
+                astride.wrapping_neg(),
+            ))
+        }
+        AluOp::Not => {
+            // !x = -x - 1, lane-wise.
+            return Some(AffineRuns::one(len, !ab, astride.wrapping_neg()));
+        }
+        AluOp::Add => {
+            return Some(AffineRuns::one(
+                len,
+                ab.wrapping_add(bb),
+                astride.wrapping_add(bstride),
+            ))
+        }
+        AluOp::Sub => {
+            return Some(AffineRuns::one(
+                len,
+                ab.wrapping_sub(bb),
+                astride.wrapping_sub(bstride),
+            ))
+        }
+        AluOp::Mul if bstride == 0 => {
+            return Some(AffineRuns::one(
+                len,
+                ab.wrapping_mul(bb),
+                astride.wrapping_mul(bb),
+            ))
+        }
+        AluOp::Mul if astride == 0 => {
+            return Some(AffineRuns::one(
+                len,
+                bb.wrapping_mul(ab),
+                bstride.wrapping_mul(ab),
+            ))
+        }
+        _ => {}
+    }
+    // Everything below needs uniform-or-exact operands; fold both-uniform
+    // through the scalar ALU for any remaining op.
+    if astride == 0 && bstride == 0 {
+        return Some(AffineRuns::one(len, op.eval(ab, bb), 0));
+    }
+    match op {
+        AluOp::Shl if bstride == 0 => {
+            // x << k multiplies by 2^k mod 2^64: still modular-linear.
+            Some(AffineRuns::one(
+                len,
+                ab.wrapping_shl(shamt(bb)),
+                astride.wrapping_shl(shamt(bb)),
+            ))
+        }
+        AluOp::Slt
+        | AluOp::Sle
+        | AluOp::Seq
+        | AluOp::Sne
+        | AluOp::Sgt
+        | AluOp::Sge
+        | AluOp::Min
+        | AluOp::Max => {
+            if !progression_exact(ab, astride, len) || !progression_exact(bb, bstride, len) {
+                return None;
+            }
+            // Sign of d(k) = a(k) - b(k), exactly (operands unwrapped, so
+            // the i128 difference is the true difference).
+            let db = ab as i128 - bb as i128;
+            let ds = astride as i128 - bstride as i128;
+            let mut out = AffineRuns::default();
+            let mut at = 0usize;
+            for (rlen, ord) in sign_regions(db, ds, len) {
+                if rlen == 0 {
+                    continue;
+                }
+                match op {
+                    AluOp::Min => {
+                        // d ≤ 0 → a, else b (ties read identically).
+                        let take_a = ord != Ordering::Greater;
+                        let (vb, vs) = if take_a { (ab, astride) } else { (bb, bstride) };
+                        out.push(rlen, vb.wrapping_add(vs.wrapping_mul(at as Word)), vs);
+                    }
+                    AluOp::Max => {
+                        let take_a = ord != Ordering::Less;
+                        let (vb, vs) = if take_a { (ab, astride) } else { (bb, bstride) };
+                        out.push(rlen, vb.wrapping_add(vs.wrapping_mul(at as Word)), vs);
+                    }
+                    _ => {
+                        let truthy = match op {
+                            AluOp::Slt => ord == Ordering::Less,
+                            AluOp::Sle => ord != Ordering::Greater,
+                            AluOp::Seq => ord == Ordering::Equal,
+                            AluOp::Sne => ord != Ordering::Equal,
+                            AluOp::Sgt => ord == Ordering::Greater,
+                            AluOp::Sge => ord != Ordering::Less,
+                            _ => unreachable!(),
+                        };
+                        out.push(rlen, truthy as Word, 0);
+                    }
+                }
+                at += rlen;
+            }
+            Some(out)
+        }
+        _ => None,
     }
 }
 
@@ -237,6 +749,87 @@ impl ThickRegs {
                 }
                 vs[base..end].copy_from_slice(values);
             }
+            cur @ (ThickValue::Affine { .. } | ThickValue::Segments(_)) => {
+                // Per-lane `set` on a compressed value is a no-op until
+                // the first disagreeing lane, then decays to lanes of
+                // length `max(thickness, lane + 1)` and extends from
+                // there.
+                let Some(p) = values
+                    .iter()
+                    .enumerate()
+                    .position(|(k, &x)| x != cur.get(base + k))
+                else {
+                    return;
+                };
+                let first = base + p;
+                let mut vs = cur.materialize(thickness.max(first + 1));
+                if vs.len() < end {
+                    vs.resize(end, 0);
+                }
+                vs[first..end].copy_from_slice(&values[p..]);
+                *cur = ThickValue::PerThread(vs);
+            }
+        }
+    }
+
+    /// Writes the arithmetic progression `vbase + k·vstride` (wrapping)
+    /// to the `count` lanes starting at `base` of register `r` — the
+    /// value-level equivalent of [`write_lanes`](ThickRegs::write_lanes)
+    /// for a run the caller holds in compressed form. Lanes below
+    /// `max(thickness, base + count)` read exactly what the per-lane
+    /// replay produces; lanes beyond may read the extended progression
+    /// where the replay's vector would read 0, which is unobservable
+    /// because thickness changes decay compressed registers first. The
+    /// stored representation is kept compressed (`Uniform`, `Affine` or
+    /// `Segments`) whenever the register was compressed, decaying
+    /// per-lane only when it already held explicit lanes.
+    pub fn write_affine(
+        &mut self,
+        r: tcf_isa::reg::Reg,
+        base: usize,
+        count: usize,
+        vbase: Word,
+        vstride: Word,
+        thickness: usize,
+    ) {
+        if r.is_zero() || count == 0 {
+            return;
+        }
+        let end = base + count;
+        let run = Seg {
+            len: count as u32,
+            base: vbase,
+            stride: if count == 1 { 0 } else { vstride },
+        };
+        let reg = &mut self.regs[r.index()];
+        match reg {
+            ThickValue::PerThread(vs) => {
+                if vs.len() < end {
+                    vs.resize(end, 0);
+                }
+                let mut v = vbase;
+                for slot in &mut vs[base..end] {
+                    *slot = v;
+                    v = v.wrapping_add(vstride);
+                }
+            }
+            _ => {
+                // Whole-register overwrite: the common shape (every slice
+                // of an instruction writing one progression) stays
+                // allocation-free.
+                if base == 0 && end >= thickness {
+                    *reg = ThickValue::affine(vbase, vstride);
+                    return;
+                }
+                // Splice the run into the compressed value: keep what is
+                // below `base` and above `end`, canonicalize, collapse.
+                let total = thickness.max(end);
+                let mut segs: Vec<Seg> = Vec::with_capacity(4);
+                reg.append_range_segs(0, base, &mut segs);
+                segs.push(run);
+                reg.append_range_segs(end, total, &mut segs);
+                *reg = ThickValue::from_segs(segs, thickness);
+            }
         }
     }
 
@@ -246,9 +839,19 @@ impl ThickRegs {
     /// under a new thickness).
     pub fn collapse_to_flowwise(&mut self) {
         for r in &mut self.regs {
-            if let ThickValue::PerThread(vs) = r {
-                *r = ThickValue::Uniform(vs.first().copied().unwrap_or(0));
+            if !r.is_uniform() {
+                *r = ThickValue::Uniform(r.get(0));
             }
+        }
+    }
+
+    /// Decays every compressed affine register to explicit lanes at the
+    /// given thickness (see [`ThickValue::decay_compressed`]). Called
+    /// before a thickness change so the unbounded affine forms cannot
+    /// leak values past the old thickness.
+    pub fn decay_compressed(&mut self, thickness: usize) {
+        for r in &mut self.regs {
+            r.decay_compressed(thickness);
         }
     }
 
@@ -432,5 +1035,368 @@ mod tests {
         assert_eq!(f.read(r(3), 0), 1);
         assert_eq!(f.read(r(3), 2), 9);
         assert_eq!(f.read(r(3), 5), 1);
+    }
+
+    #[test]
+    fn affine_reads_progression() {
+        let v = ThickValue::affine(10, 3);
+        assert_eq!(v.get(0), 10);
+        assert_eq!(v.get(4), 22);
+        assert!(!v.is_uniform());
+        assert_eq!(v.as_uniform(), None);
+        // Stride 0 canonicalizes to Uniform.
+        assert_eq!(ThickValue::affine(7, 0), ThickValue::Uniform(7));
+        // Wrapping lanes.
+        let w = ThickValue::affine(Word::MAX, 1);
+        assert_eq!(w.get(1), Word::MIN);
+    }
+
+    #[test]
+    fn segments_read_piecewise_and_zero_beyond() {
+        let v = ThickValue::Segments(vec![
+            Seg {
+                len: 2,
+                base: 5,
+                stride: 0,
+            },
+            Seg {
+                len: 3,
+                base: 100,
+                stride: -2,
+            },
+        ]);
+        assert_eq!(
+            (0..7).map(|i| v.get(i)).collect::<Vec<_>>(),
+            vec![5, 5, 100, 98, 96, 0, 0]
+        );
+        assert_eq!(v.materialize(7), vec![5, 5, 100, 98, 96, 0, 0]);
+    }
+
+    #[test]
+    fn affine_set_agreeing_value_keeps_compression() {
+        // Satellite regression: `set` on Affine must stay compressed when
+        // the written value matches the progression — including at both
+        // thickness boundaries.
+        for (i, t) in [(0usize, 1usize), (3, 4), (0, 4), (2, 4), (7, 4)] {
+            let mut v = ThickValue::affine(10, 3);
+            v.set(i, 10 + 3 * i as Word, t);
+            assert_eq!(
+                v,
+                ThickValue::affine(10, 3),
+                "agreeing set at i={i} t={t} must not decay"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_set_decays_exactly_like_per_thread_promotion() {
+        // Disagreeing `set` must land in the same PerThread state a
+        // never-compressed register would be in: length
+        // max(thickness, i+1), progression values, write applied.
+        let cases = [(0usize, 1usize), (0, 4), (2, 4), (3, 4), (5, 4), (0, 0)];
+        for (i, t) in cases {
+            let mut v = ThickValue::affine(10, 3);
+            v.set(i, -1, t);
+            let mut want: Vec<Word> = (0..t.max(i + 1) as Word).map(|k| 10 + 3 * k).collect();
+            want[i] = -1;
+            assert_eq!(v, ThickValue::PerThread(want), "set at i={i} t={t}");
+        }
+        // Thickness-1 boundary: a single-lane affine write decays to a
+        // one-element vector, not an empty or progression-extended one.
+        let mut v = ThickValue::affine(4, 9);
+        v.set(0, 0, 1);
+        assert_eq!(v, ThickValue::PerThread(vec![0]));
+        // index == thickness - 1 boundary.
+        let mut v = ThickValue::affine(0, 1);
+        v.set(3, 99, 4);
+        assert_eq!(v, ThickValue::PerThread(vec![0, 1, 2, 99]));
+    }
+
+    #[test]
+    fn segments_set_boundaries_match_per_thread_promotion() {
+        let seg = || {
+            ThickValue::Segments(vec![
+                Seg {
+                    len: 2,
+                    base: 1,
+                    stride: 0,
+                },
+                Seg {
+                    len: 2,
+                    base: 8,
+                    stride: 1,
+                },
+            ])
+        };
+        // Agreeing writes keep the segments.
+        let mut v = seg();
+        v.set(3, 9, 4);
+        assert_eq!(v, seg());
+        // Beyond-total lanes read 0; writing 0 there stays compressed.
+        let mut v = seg();
+        v.set(5, 0, 4);
+        assert_eq!(v, seg());
+        // Disagreeing write at the last lane decays at max(t, i+1).
+        let mut v = seg();
+        v.set(3, -7, 4);
+        assert_eq!(v, ThickValue::PerThread(vec![1, 1, 8, -7]));
+        // Disagreeing write past the thickness extends with the
+        // materialized reads (zeros past the total).
+        let mut v = seg();
+        v.set(5, 2, 4);
+        assert_eq!(v, ThickValue::PerThread(vec![1, 1, 8, 9, 0, 2]));
+    }
+
+    #[test]
+    fn normalize_and_uniform_over_handle_compressed_forms() {
+        let mut v = ThickValue::affine(6, 5);
+        assert!(!v.normalize(3));
+        assert!(v.normalize(1));
+        assert_eq!(v, ThickValue::Uniform(6));
+        let mut v = ThickValue::Segments(vec![
+            Seg {
+                len: 1,
+                base: 4,
+                stride: 0,
+            },
+            Seg {
+                len: 2,
+                base: 4,
+                stride: 3,
+            },
+        ]);
+        assert_eq!(v.uniform_over(2), Some(4));
+        assert_eq!(v.uniform_over(3), None);
+        assert!(v.normalize(2));
+        assert_eq!(v, ThickValue::Uniform(4));
+    }
+
+    #[test]
+    fn decay_compressed_freezes_the_old_thickness_view() {
+        let mut v = ThickValue::affine(0, 2);
+        v.decay_compressed(3);
+        assert_eq!(v, ThickValue::PerThread(vec![0, 2, 4]));
+        // After decay, lanes past the old thickness read 0 — the same
+        // view a per-thread register has across a thickness increase.
+        assert_eq!(v.get(5), 0);
+        // Uniform and PerThread are untouched.
+        let mut u = ThickValue::Uniform(9);
+        u.decay_compressed(4);
+        assert_eq!(u, ThickValue::Uniform(9));
+    }
+
+    #[test]
+    fn affine_over_extracts_progressions() {
+        assert_eq!(ThickValue::Uniform(3).affine_over(5, 10), Some((3, 0)));
+        assert_eq!(ThickValue::affine(10, 3).affine_over(2, 4), Some((16, 3)));
+        let segs = ThickValue::Segments(vec![
+            Seg {
+                len: 4,
+                base: 0,
+                stride: 2,
+            },
+            Seg {
+                len: 4,
+                base: 50,
+                stride: 0,
+            },
+        ]);
+        assert_eq!(segs.affine_over(1, 3), Some((2, 2)));
+        assert_eq!(segs.affine_over(4, 4), Some((50, 0)));
+        assert_eq!(segs.affine_over(2, 4), None); // straddles pieces
+        assert_eq!(segs.affine_over(8, 3), Some((0, 0))); // zero tail
+        assert_eq!(ThickValue::PerThread(vec![0, 1, 2]).affine_over(0, 3), None);
+    }
+
+    #[test]
+    fn write_affine_matches_per_lane_replay() {
+        // write_affine must leave every lane reading exactly what the
+        // ascending per-lane replay produces, for every starting
+        // representation — and keep compressed starts compressed.
+        let starts = [
+            ThickValue::Uniform(7),
+            ThickValue::affine(0, 1),
+            ThickValue::affine(-5, 3),
+            ThickValue::Segments(vec![
+                Seg {
+                    len: 3,
+                    base: 2,
+                    stride: 4,
+                },
+                Seg {
+                    len: 3,
+                    base: 0,
+                    stride: 0,
+                },
+            ]),
+            ThickValue::PerThread(vec![9, 8, 7]),
+        ];
+        let runs = [
+            (0usize, 6usize, 0 as Word, 1 as Word), // whole overwrite
+            (0, 3, 0, 1),                           // prefix
+            (3, 3, 3, 1),                           // suffix continuing lane ids
+            (2, 2, 50, 0),                          // interior constant
+            (5, 4, -2, -2),                         // crossing the end
+            (1, 1, 77, 5),                          // single lane
+            (0, 0, 1, 1),                           // empty run
+        ];
+        for start in &starts {
+            for &(base, count, vb, vs) in &runs {
+                for t in [1usize, 4, 6] {
+                    let mut bulk = ThickRegs::new(2);
+                    bulk.write_value(r(1), start.clone());
+                    let mut lanes = ThickRegs::new(2);
+                    lanes.write_value(r(1), start.clone());
+                    bulk.write_affine(r(1), base, count, vb, vs, t);
+                    for k in 0..count {
+                        lanes.write(r(1), base + k, vb.wrapping_add(vs * k as Word), t);
+                    }
+                    // Lanes beyond max(thickness, end) are unobservable
+                    // (thickness growth decays compressed registers), so
+                    // equivalence is checked below that line.
+                    let top = t.max(base + count);
+                    for i in 0..top {
+                        assert_eq!(
+                            bulk.value(r(1)).get(i),
+                            lanes.value(r(1)).get(i),
+                            "lane {i}: start={start:?} run=({base},{count},{vb},{vs}) t={t}"
+                        );
+                    }
+                    if !matches!(start, ThickValue::PerThread(_)) {
+                        assert!(
+                            !matches!(bulk.value(r(1)), ThickValue::PerThread(_)),
+                            "compressed start decayed: start={start:?} run=({base},{count},{vb},{vs}) t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_affine_slices_reassemble_to_affine() {
+        // Four fragment slices writing consecutive pieces of one
+        // progression must merge back into a single Affine value — the
+        // shape the parallel engine's per-slice merge produces.
+        let mut f = ThickRegs::new(2);
+        f.write_value(r(1), ThickValue::Uniform(0));
+        for slice in 0..4usize {
+            let lo = slice * 256;
+            f.write_affine(r(1), lo, 256, lo as Word * 3, 3, 1024);
+        }
+        assert_eq!(f.value(r(1)), &ThickValue::affine(0, 3));
+    }
+
+    #[test]
+    fn write_lanes_decays_compressed_forms_like_per_lane_sets() {
+        let starts = [
+            ThickValue::affine(0, 2),
+            ThickValue::Segments(vec![
+                Seg {
+                    len: 2,
+                    base: 3,
+                    stride: 0,
+                },
+                Seg {
+                    len: 2,
+                    base: 10,
+                    stride: 1,
+                },
+            ]),
+        ];
+        let runs: [(usize, &[Word]); 4] = [
+            (0, &[0, 2, 4]), // agrees with affine start
+            (1, &[2, 9]),    // disagrees mid-run
+            (5, &[1]),       // beyond current coverage
+            (0, &[]),        // empty
+        ];
+        for start in &starts {
+            for &(base, values) in &runs {
+                for t in [1usize, 4, 6] {
+                    let mut bulk = ThickRegs::new(2);
+                    bulk.write_value(r(1), start.clone());
+                    let mut lanes = ThickRegs::new(2);
+                    lanes.write_value(r(1), start.clone());
+                    bulk.write_lanes(r(1), base, values, t);
+                    for (j, &v) in values.iter().enumerate() {
+                        lanes.write(r(1), base + j, v, t);
+                    }
+                    assert_eq!(
+                        bulk.value(r(1)),
+                        lanes.value(r(1)),
+                        "start={start:?} base={base} values={values:?} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_alu_matches_scalar_eval() {
+        // Every closed-form result must agree lane for lane with the
+        // scalar ALU on materialized operands, across all 22 ops and a
+        // grid of operand progressions (including wrapping ones).
+        let opnds: [(Word, Word); 8] = [
+            (0, 1),
+            (5, 0),
+            (-3, 2),
+            (100, -7),
+            (0, 0),
+            (Word::MAX - 4, 3), // wraps within 8 lanes
+            (Word::MIN + 2, -1),
+            (2, 63),
+        ];
+        let len = 8usize;
+        for op in AluOp::ALL {
+            for a in opnds {
+                for b in opnds {
+                    let Some(runs) = affine_alu(op, a, b, len) else {
+                        continue;
+                    };
+                    let total: usize = runs.runs().iter().map(|s| s.len as usize).sum();
+                    assert_eq!(total, len, "{op:?} a={a:?} b={b:?} covers all lanes");
+                    for k in 0..len {
+                        let av = a.0.wrapping_add(a.1.wrapping_mul(k as Word));
+                        let bv = b.0.wrapping_add(b.1.wrapping_mul(k as Word));
+                        assert_eq!(
+                            runs.get(k),
+                            op.eval(av, bv),
+                            "{op:?} lane {k} a={a:?} b={b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_alu_folds_the_hot_shapes() {
+        // The shapes the benchmark loop leans on must stay closed (not
+        // fall back to per-lane evaluation).
+        assert!(affine_alu(AluOp::Add, (0, 1), (1 << 14, 0), 1024).is_some());
+        assert!(affine_alu(AluOp::Add, (0, 3), (0, 1), 1024).is_some());
+        assert!(affine_alu(AluOp::Mul, (0, 1), (8, 0), 1024).is_some());
+        assert!(affine_alu(AluOp::Slt, (0, 1), (512, 0), 1024).is_some());
+        // And the comparison splits into the documented ≤3 runs.
+        let runs = affine_alu(AluOp::Slt, (0, 1), (512, 0), 1024).unwrap();
+        assert_eq!(
+            runs.runs(),
+            &[
+                Seg {
+                    len: 512,
+                    base: 1,
+                    stride: 0
+                },
+                Seg {
+                    len: 512,
+                    base: 0,
+                    stride: 0
+                }
+            ]
+        );
+        // Non-affine algebra escapes: quadratic products, data shifts.
+        assert!(affine_alu(AluOp::Mul, (0, 1), (0, 2), 8).is_none());
+        assert!(affine_alu(AluOp::And, (0, 1), (3, 0), 8).is_none());
+        assert!(affine_alu(AluOp::Shr, (0, 4), (1, 0), 8).is_none());
     }
 }

@@ -27,7 +27,7 @@
 
 use proptest::prelude::*;
 
-use tcf_core::{Allocation, TcfMachine, Variant};
+use tcf_core::{affine_alu, Allocation, Seg, TcfMachine, ThickValue, Variant};
 use tcf_isa::instr::{Instr, MemSpace, MultiKind, Operand};
 use tcf_isa::op::AluOp;
 use tcf_isa::program::Program;
@@ -285,6 +285,97 @@ proptest! {
         for k in 0..=steps {
             if let Err(e) = check_step(&program, k) {
                 return Err(TestCaseError::fail(format!("{e}\nprogram:\n{program}")));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Affine / segment arithmetic against the materialized-lane reference
+// ---------------------------------------------------------------------------
+
+/// A compressed thick value: uniform, affine, or a short segment run.
+/// Strides and bases mix small magnitudes (where comparison folding is in
+/// exact range and must engage) with near-extreme ones (where the
+/// `progression_exact` guard must either refuse or still match per-lane
+/// wrapping exactly).
+fn arb_compressed() -> impl Strategy<Value = ThickValue> {
+    let word = prop_oneof![
+        -1000i64..1000,
+        prop::sample::select(&[i64::MIN, i64::MIN + 7, -1, 0, 1, i64::MAX - 7, i64::MAX][..]),
+    ];
+    let stride = prop_oneof![
+        -6i64..6,
+        prop::sample::select(&[i64::MIN, -(1i64 << 40), 1i64 << 40, i64::MAX][..]),
+    ];
+    prop_oneof![
+        word.clone().prop_map(ThickValue::Uniform),
+        (word.clone(), stride.clone())
+            .prop_map(|(base, stride)| ThickValue::Affine { base, stride }),
+        prop::collection::vec((1u32..9, word, stride), 1..4).prop_map(|segs| {
+            ThickValue::Segments(
+                segs.into_iter()
+                    .map(|(len, base, stride)| Seg { len, base, stride })
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `affine_over` never lies: whenever a compressed value reports the
+    /// lane range `[lo, lo+len)` as a progression, every lane of the
+    /// progression equals the per-lane `get` the representation defines.
+    #[test]
+    fn affine_over_matches_lane_reads(
+        v in arb_compressed(),
+        lo in 0usize..20,
+        len in 0usize..40,
+    ) {
+        if let Some((base, stride)) = v.affine_over(lo, len) {
+            for k in 0..len {
+                let expect = v.get(lo + k);
+                let got = base.wrapping_add(stride.wrapping_mul(k as Word));
+                prop_assert_eq!(
+                    got, expect,
+                    "affine_over({}, {}) diverged at lane {} of {:?}",
+                    lo, len, lo + k, v
+                );
+            }
+        }
+    }
+
+    /// Closed-form ALU folding is bit-exact with the per-lane reference
+    /// for EVERY ALU op: wherever `affine_alu` answers, each lane of the
+    /// produced runs equals `op.eval` of the materialized operand lanes.
+    /// (Where it declines — e.g. comparisons whose operands escape exact
+    /// range — the engine falls back to per-lane evaluation, so declining
+    /// is always safe.)
+    #[test]
+    fn affine_alu_matches_materialized_lanes(
+        a in arb_compressed(),
+        b in arb_compressed(),
+        lo in 0usize..12,
+        len in 1usize..48,
+    ) {
+        let (ap, bp) = match (a.affine_over(lo, len), b.affine_over(lo, len)) {
+            (Some(ap), Some(bp)) => (ap, bp),
+            _ => return Ok(()),
+        };
+        for &op in AluOp::ALL.iter() {
+            if let Some(runs) = affine_alu(op, ap, bp, len) {
+                let total: usize = runs.runs().iter().map(|s| s.len as usize).sum();
+                prop_assert_eq!(total, len, "{:?} runs cover {} of {} lanes", op, total, len);
+                for k in 0..len {
+                    let expect = op.eval(a.get(lo + k), b.get(lo + k));
+                    prop_assert_eq!(
+                        runs.get(k), expect,
+                        "{:?} diverged at lane {}: operands {:?} / {:?} over [{}, {}+{})",
+                        op, lo + k, a, b, lo, lo, len
+                    );
+                }
             }
         }
     }

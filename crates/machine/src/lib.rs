@@ -36,7 +36,7 @@ pub mod tcf_buffer;
 pub mod trace;
 
 pub use config::MachineConfig;
-pub use pipeline::{GroupPipeline, IssueUnit, StepOutcome};
+pub use pipeline::{GroupPipeline, IssueUnit, StepOutcome, UnitSeq};
 pub use stats::MachineStats;
 pub use tcf_buffer::{FlowDesc, FlowMode, TcfBuffer};
 pub use trace::{FlowTag, Trace, TraceEvent, UnitKind};

@@ -100,6 +100,107 @@ impl IssueUnit {
     }
 }
 
+/// A run-length–compressed span of issue units.
+///
+/// Thick instructions issue one unit per lane with a completely regular
+/// shape (consecutive thread ranks, and — for memory references under
+/// low-order interleaving — module nodes in arithmetic progression).
+/// Encoding the span instead of materializing one `IssueUnit` per lane
+/// lets the pipeline advance its issue cadence in closed form, turning
+/// the per-step timing cost of a `T`-thick compute instruction from
+/// `O(T)` into `O(1)`. Network-bound spans (`SharedRun`) still walk the
+/// router once per message — link and module occupancy is genuinely
+/// per-message state — but skip the per-unit dispatch.
+///
+/// Every span expands to exactly the unit sequence the uncompressed path
+/// would have produced; `run_step_seq` falls back to per-unit expansion
+/// whenever tracing is enabled so event streams stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitSeq {
+    /// A single unit, exactly as in the uncompressed path.
+    One(IssueUnit),
+    /// `count` compute units of `flow` on threads `thread0 ..
+    /// thread0 + count`.
+    ComputeRun {
+        /// Flow tag shared by the whole run.
+        flow: FlowTag,
+        /// Thread rank of the first lane.
+        thread0: usize,
+        /// Number of lanes.
+        count: usize,
+    },
+    /// `count` shared-memory units of `flow` on threads `thread0 ..`;
+    /// lane `k` targets module node `(node0 + k·node_step) mod nodes`.
+    SharedRun {
+        /// Flow tag shared by the whole run.
+        flow: FlowTag,
+        /// Thread rank of the first lane.
+        thread0: usize,
+        /// Number of lanes.
+        count: usize,
+        /// Module node of the first lane.
+        node0: usize,
+        /// Node increment between consecutive lanes (already reduced
+        /// modulo `nodes`).
+        node_step: usize,
+        /// Module/node count of the machine.
+        nodes: usize,
+    },
+    /// `count` local-memory units of `flow` on threads `thread0 ..`.
+    LocalRun {
+        /// Flow tag shared by the whole run.
+        flow: FlowTag,
+        /// Thread rank of the first lane.
+        thread0: usize,
+        /// Number of lanes.
+        count: usize,
+    },
+}
+
+impl From<IssueUnit> for UnitSeq {
+    fn from(u: IssueUnit) -> UnitSeq {
+        UnitSeq::One(u)
+    }
+}
+
+impl UnitSeq {
+    /// Number of issue units this span stands for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match *self {
+            UnitSeq::One(_) => 1,
+            UnitSeq::ComputeRun { count, .. }
+            | UnitSeq::SharedRun { count, .. }
+            | UnitSeq::LocalRun { count, .. } => count,
+        }
+    }
+
+    /// Whether the span is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k`-th unit of the span, as the uncompressed path would have
+    /// built it.
+    #[inline]
+    pub fn unit_at(&self, k: usize) -> IssueUnit {
+        match *self {
+            UnitSeq::One(u) => u,
+            UnitSeq::ComputeRun { flow, thread0, .. } => IssueUnit::compute(flow, thread0 + k),
+            UnitSeq::SharedRun {
+                flow,
+                thread0,
+                node0,
+                node_step,
+                nodes,
+                ..
+            } => IssueUnit::shared_mem(flow, thread0 + k, (node0 + k * node_step) % nodes),
+            UnitSeq::LocalRun { flow, thread0, .. } => IssueUnit::local_mem(flow, thread0 + k),
+        }
+    }
+}
+
 /// Timing result of one group step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {
@@ -180,63 +281,192 @@ impl GroupPipeline {
         trace: &mut Trace,
         stats: &mut MachineStats,
     ) -> StepOutcome {
-        let mut t = start;
-        let mut last_reply = start;
         let width = if serialize_mem { 1 } else { self.ilp_width };
-        let mut issued_this_cycle = 0usize;
-
+        let mut st = IssueState::new(start);
         for u in units {
-            if issued_this_cycle >= width {
-                t += 1;
-                issued_this_cycle = 0;
-            }
-            trace.push(TraceEvent {
-                cycle: t,
-                group: self.group,
-                flow: u.flow,
-                thread: u.thread,
-                kind: u.kind,
-            });
-            stats.count_unit(u.kind);
-            issued_this_cycle += 1;
-            if u.kind == UnitKind::Bubble {
-                continue;
-            }
+            self.issue_one(&mut st, u, width, serialize_mem, net, trace, stats);
+        }
+        self.finish_step(st, start, units.is_empty(), units.len(), trace, stats)
+    }
 
-            let reply = match u.kind {
-                UnitKind::MemShared => {
-                    let node = u.mem_node.unwrap_or(self.group);
-                    let arrive = net.send(self.group, node, t);
-                    let served = net.service(node, arrive, self.module_latency);
-                    let back = net.send(node, self.group, served);
-                    stats.mem_roundtrip.record(back - t);
-                    Some(back)
+    /// [`run_step`](GroupPipeline::run_step) over a run-length–compressed
+    /// unit sequence.
+    ///
+    /// Produces the exact timing, statistics, network occupancy, and (when
+    /// tracing) event stream of `run_step` on the expanded sequence.
+    /// Compute and local-memory runs advance the issue cadence in closed
+    /// form when nothing observes the individual units; shared-memory runs
+    /// walk the router per message (occupancy is per-message state) but
+    /// skip the per-unit dispatch.
+    pub fn run_step_seq(
+        &self,
+        start: u64,
+        seqs: &[UnitSeq],
+        serialize_mem: bool,
+        net: &mut Network,
+        trace: &mut Trace,
+        stats: &mut MachineStats,
+    ) -> StepOutcome {
+        let width = if serialize_mem { 1 } else { self.ilp_width };
+        let mut st = IssueState::new(start);
+        let mut issued_total = 0usize;
+        let expand = trace.is_enabled();
+        for s in seqs {
+            issued_total += s.len();
+            match *s {
+                _ if expand => {
+                    for k in 0..s.len() {
+                        let u = s.unit_at(k);
+                        self.issue_one(&mut st, &u, width, serialize_mem, net, trace, stats);
+                    }
                 }
-                UnitKind::MemLocal => Some(t + self.local_latency),
-                _ => None,
-            };
-            if let Some(r) = reply {
-                last_reply = last_reply.max(r);
-                if serialize_mem {
-                    // The forwarding network makes the reply consumable in
-                    // the cycle it returns, so the next dependent issue may
-                    // happen at `r` (not `r + 1`).
-                    t = (t + 1).max(r);
-                    issued_this_cycle = 0;
+                UnitSeq::One(u) => {
+                    self.issue_one(&mut st, &u, width, serialize_mem, net, trace, stats);
+                }
+                UnitSeq::ComputeRun { count, .. } => {
+                    if count == 0 {
+                        continue;
+                    }
+                    st.advance_issue(count, width);
+                    stats.count_units(UnitKind::Compute, count as u64);
+                }
+                UnitSeq::LocalRun { count, .. } => {
+                    if count == 0 {
+                        continue;
+                    }
+                    if serialize_mem {
+                        // A serialized stream re-synchronizes on every
+                        // reply; replay per unit.
+                        for k in 0..count {
+                            let u = s.unit_at(k);
+                            self.issue_one(&mut st, &u, width, serialize_mem, net, trace, stats);
+                        }
+                    } else {
+                        // Replies are monotone in issue time, so only the
+                        // last lane's reply can extend the step.
+                        st.advance_issue(count, width);
+                        st.last_reply = st.last_reply.max(st.t + self.local_latency);
+                        stats.count_units(UnitKind::MemLocal, count as u64);
+                    }
+                }
+                UnitSeq::SharedRun {
+                    count,
+                    node0,
+                    node_step,
+                    nodes,
+                    ..
+                } => {
+                    if count == 0 {
+                        continue;
+                    }
+                    if serialize_mem {
+                        for k in 0..count {
+                            let u = s.unit_at(k);
+                            self.issue_one(&mut st, &u, width, serialize_mem, net, trace, stats);
+                        }
+                    } else {
+                        let mut node = node0;
+                        for _ in 0..count {
+                            if st.issued_this_cycle >= width {
+                                st.t += 1;
+                                st.issued_this_cycle = 0;
+                            }
+                            st.issued_this_cycle += 1;
+                            let arrive = net.send(self.group, node, st.t);
+                            let served = net.service(node, arrive, self.module_latency);
+                            let back = net.send(node, self.group, served);
+                            stats.mem_roundtrip.record(back - st.t);
+                            st.last_reply = st.last_reply.max(back);
+                            node += node_step;
+                            if node >= nodes {
+                                node -= nodes;
+                            }
+                        }
+                        stats.count_units(UnitKind::MemShared, count as u64);
+                    }
                 }
             }
         }
-        if issued_this_cycle > 0 {
-            t += 1;
+        self.finish_step(st, start, issued_total == 0, issued_total, trace, stats)
+    }
+
+    /// The per-unit issue body shared by the expanded and compressed
+    /// paths: cadence, trace, stats, and the memory round trip.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn issue_one(
+        &self,
+        st: &mut IssueState,
+        u: &IssueUnit,
+        width: usize,
+        serialize_mem: bool,
+        net: &mut Network,
+        trace: &mut Trace,
+        stats: &mut MachineStats,
+    ) {
+        if st.issued_this_cycle >= width {
+            st.t += 1;
+            st.issued_this_cycle = 0;
+        }
+        trace.push(TraceEvent {
+            cycle: st.t,
+            group: self.group,
+            flow: u.flow,
+            thread: u.thread,
+            kind: u.kind,
+        });
+        stats.count_unit(u.kind);
+        st.issued_this_cycle += 1;
+        if u.kind == UnitKind::Bubble {
+            return;
+        }
+
+        let reply = match u.kind {
+            UnitKind::MemShared => {
+                let node = u.mem_node.unwrap_or(self.group);
+                let arrive = net.send(self.group, node, st.t);
+                let served = net.service(node, arrive, self.module_latency);
+                let back = net.send(node, self.group, served);
+                stats.mem_roundtrip.record(back - st.t);
+                Some(back)
+            }
+            UnitKind::MemLocal => Some(st.t + self.local_latency),
+            _ => None,
+        };
+        if let Some(r) = reply {
+            st.last_reply = st.last_reply.max(r);
+            if serialize_mem {
+                // The forwarding network makes the reply consumable in
+                // the cycle it returns, so the next dependent issue may
+                // happen at `r` (not `r + 1`).
+                st.t = (st.t + 1).max(r);
+                st.issued_this_cycle = 0;
+            }
+        }
+    }
+
+    /// Step epilogue shared by both paths: final-cycle close-out, drain
+    /// bubbles, and the cycle-counter update.
+    fn finish_step(
+        &self,
+        mut st: IssueState,
+        start: u64,
+        empty: bool,
+        issued: usize,
+        trace: &mut Trace,
+        stats: &mut MachineStats,
+    ) -> StepOutcome {
+        if st.issued_this_cycle > 0 {
+            st.t += 1;
         }
 
         // The step ends when issue is done and every reply has returned.
-        let mut end = t.max(last_reply);
-        if units.is_empty() {
+        let mut end = st.t.max(st.last_reply);
+        if empty {
             end = start + 1;
         }
-        let drain = end - t.min(end);
-        for c in t..end {
+        let drain = end - st.t.min(end);
+        for c in st.t..end {
             trace.push(TraceEvent {
                 cycle: c,
                 group: self.group,
@@ -255,9 +485,42 @@ impl GroupPipeline {
         StepOutcome {
             start_cycle: start,
             end_cycle: end,
-            issued: units.len(),
+            issued,
             drain_bubbles: drain,
         }
+    }
+}
+
+/// Mutable issue-cadence state threaded through one `run_step`.
+#[derive(Debug, Clone, Copy)]
+struct IssueState {
+    t: u64,
+    last_reply: u64,
+    issued_this_cycle: usize,
+}
+
+impl IssueState {
+    fn new(start: u64) -> IssueState {
+        IssueState {
+            t: start,
+            last_reply: start,
+            issued_this_cycle: 0,
+        }
+    }
+
+    /// Advances the cadence past `count` back-to-back non-blocking units
+    /// in closed form: exactly what `count` iterations of the per-unit
+    /// `if issued >= width { t += 1; issued = 0 } … issued += 1` loop
+    /// would do. (`issued_this_cycle` never exceeds `width` between
+    /// units, so the pre-increment carry folds into one division.)
+    #[inline]
+    fn advance_issue(&mut self, count: usize, width: usize) {
+        // `issued_this_cycle ≤ width` here, so the lanes already issued in
+        // the current cycle never contribute a whole extra cycle
+        // themselves — the single division accounts for every carry.
+        let total = self.issued_this_cycle + count;
+        self.t += ((total - 1) / width) as u64;
+        self.issued_this_cycle = (total - 1) % width + 1;
     }
 }
 
@@ -406,6 +669,146 @@ mod tests {
         // Step counting belongs to the machine, not the pipeline.
         assert_eq!(s.steps, 0);
         assert_eq!(s.cycles, out2.end_cycle);
+    }
+
+    /// Expands a compressed sequence and checks the compressed path gives
+    /// the same timing, statistics, network state, and trace as the
+    /// uncompressed one.
+    fn assert_seq_matches_expanded(seqs: &[UnitSeq], serialize: bool, ilp: usize, recording: bool) {
+        let expanded: Vec<IssueUnit> = seqs
+            .iter()
+            .flat_map(|s| (0..s.len()).map(move |k| s.unit_at(k)))
+            .collect();
+        let p = GroupPipeline::with_ilp(0, 2, 1, ilp);
+        let mk_trace = || {
+            if recording {
+                Trace::recording()
+            } else {
+                Trace::disabled()
+            }
+        };
+
+        let mut n1 = net();
+        let mut t1 = mk_trace();
+        let mut s1 = MachineStats::default();
+        let out1 = p.run_step(7, &expanded, serialize, &mut n1, &mut t1, &mut s1);
+
+        let mut n2 = net();
+        let mut t2 = mk_trace();
+        let mut s2 = MachineStats::default();
+        let out2 = p.run_step_seq(7, seqs, serialize, &mut n2, &mut t2, &mut s2);
+
+        assert_eq!(out1, out2, "outcome diverged (serialize={serialize})");
+        assert_eq!(s1, s2, "stats diverged (serialize={serialize})");
+        assert_eq!(n1.stats(), n2.stats(), "net stats diverged");
+        assert_eq!(t1.events(), t2.events(), "trace diverged");
+    }
+
+    #[test]
+    fn compressed_runs_match_expanded_units() {
+        let cases: Vec<Vec<UnitSeq>> = vec![
+            vec![],
+            vec![UnitSeq::ComputeRun {
+                flow: 1,
+                thread0: 0,
+                count: 17,
+            }],
+            vec![
+                UnitSeq::One(IssueUnit::fetch(1)),
+                UnitSeq::ComputeRun {
+                    flow: 1,
+                    thread0: 4,
+                    count: 5,
+                },
+                UnitSeq::LocalRun {
+                    flow: 1,
+                    thread0: 4,
+                    count: 3,
+                },
+                UnitSeq::One(IssueUnit::overhead(2)),
+            ],
+            vec![
+                UnitSeq::One(IssueUnit::fetch(3)),
+                UnitSeq::SharedRun {
+                    flow: 3,
+                    thread0: 0,
+                    count: 13,
+                    node0: 2,
+                    node_step: 1,
+                    nodes: 4,
+                },
+                UnitSeq::ComputeRun {
+                    flow: 3,
+                    thread0: 0,
+                    count: 13,
+                },
+            ],
+            vec![
+                UnitSeq::SharedRun {
+                    flow: 5,
+                    thread0: 8,
+                    count: 9,
+                    node0: 0,
+                    node_step: 3,
+                    nodes: 4,
+                },
+                UnitSeq::SharedRun {
+                    flow: 6,
+                    thread0: 0,
+                    count: 6,
+                    node0: 1,
+                    node_step: 0,
+                    nodes: 4,
+                },
+            ],
+            vec![
+                UnitSeq::ComputeRun {
+                    flow: 9,
+                    thread0: 0,
+                    count: 0,
+                },
+                UnitSeq::One(IssueUnit::idle()),
+                UnitSeq::ComputeRun {
+                    flow: 9,
+                    thread0: 0,
+                    count: 1,
+                },
+            ],
+        ];
+        for seqs in &cases {
+            for serialize in [false, true] {
+                for ilp in [1, 4] {
+                    for recording in [false, true] {
+                        assert_seq_matches_expanded(seqs, serialize, ilp, recording);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_cadence_carries_partial_cycles() {
+        // A run that starts mid-cycle must fold the already-issued lanes
+        // into its carry arithmetic (ilp 4: 3 singles + run of 10 = 13
+        // units → 4 cycles).
+        let seqs = vec![
+            UnitSeq::One(IssueUnit::compute(1, 0)),
+            UnitSeq::One(IssueUnit::compute(1, 1)),
+            UnitSeq::One(IssueUnit::compute(1, 2)),
+            UnitSeq::ComputeRun {
+                flow: 1,
+                thread0: 3,
+                count: 10,
+            },
+        ];
+        assert_seq_matches_expanded(&seqs, false, 4, false);
+        let mut n = net();
+        let mut t = Trace::disabled();
+        let mut s = MachineStats::default();
+        let out = GroupPipeline::with_ilp(0, 2, 1, 4)
+            .run_step_seq(0, &seqs, false, &mut n, &mut t, &mut s);
+        assert_eq!(out.cycles(), 4);
+        assert_eq!(out.issued, 13);
     }
 
     #[test]

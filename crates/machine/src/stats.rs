@@ -51,6 +51,20 @@ impl MachineStats {
         }
     }
 
+    /// Records `n` issued units of the same kind (run-length counting
+    /// for compressed unit sequences).
+    #[inline]
+    pub fn count_units(&mut self, kind: UnitKind, n: u64) {
+        match kind {
+            UnitKind::Compute => self.compute_ops += n,
+            UnitKind::MemShared => self.shared_refs += n,
+            UnitKind::MemLocal => self.local_refs += n,
+            UnitKind::Fetch => self.fetches += n,
+            UnitKind::Bubble => self.bubbles += n,
+            UnitKind::FlowOverhead => self.overhead_cycles += n,
+        }
+    }
+
     /// Total operations issued (excluding bubbles and overhead).
     pub fn issued(&self) -> u64 {
         self.compute_ops + self.shared_refs + self.local_refs + self.fetches

@@ -38,5 +38,5 @@ pub use error::MemError;
 pub use hash::ModuleMap;
 pub use local::LocalMemory;
 pub use refs::{MemOp, MemRef, RefOrigin};
-pub use shared::{CrcwPolicy, ShardOutcome, SharedMemory, StepScratch};
+pub use shared::{BulkReplies, BulkView, CrcwPolicy, ShardOutcome, SharedMemory, StepScratch};
 pub use stats::StepStats;

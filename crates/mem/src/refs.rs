@@ -30,6 +30,15 @@ impl RefOrigin {
 }
 
 /// The operation a reference performs.
+///
+/// The strided variants are *bulk* references: one `MemRef` standing for
+/// `count` lane references whose addresses (and, for writes, values) form
+/// an arithmetic progression. Lane `k` of a bulk reference has address
+/// `base + k·stride` and global rank `origin.rank + k`; its semantics are
+/// *defined* as the expansion into `count` scalar references in lane
+/// order, and `SharedMemory::step_bulk_into` resolves it either through a
+/// dedicated O(modules) path (when the step's address sets are disjoint)
+/// or by literally expanding it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MemOp {
     /// Read a word; the reply carries the value before this step's writes.
@@ -41,24 +50,69 @@ pub enum MemOp {
     /// Multiprefix: contribute and receive the exclusive prefix (in rank
     /// order, seeded with the word's pre-step value).
     Prefix(MultiKind, Addr, Word),
+    /// Bulk read: lane `k` (of `count`) reads `base + k·stride`.
+    StridedRead {
+        /// Address of lane 0.
+        base: Addr,
+        /// Address increment between consecutive lanes.
+        stride: i64,
+        /// Number of lanes.
+        count: u32,
+    },
+    /// Bulk write: lane `k` (of `count`) writes value `vbase + k·vstride`
+    /// (wrapping word arithmetic) to address `base + k·stride`.
+    StridedWrite {
+        /// Address of lane 0.
+        base: Addr,
+        /// Address increment between consecutive lanes.
+        stride: i64,
+        /// Number of lanes.
+        count: u32,
+        /// Value written by lane 0.
+        vbase: Word,
+        /// Value increment between consecutive lanes (wrapping).
+        vstride: Word,
+    },
 }
 
 impl MemOp {
-    /// The address touched.
+    /// The address touched (lane 0's address for bulk references).
     #[inline]
     pub fn addr(&self) -> Addr {
         match *self {
             MemOp::Read(a)
             | MemOp::Write(a, _)
             | MemOp::Multi(_, a, _)
-            | MemOp::Prefix(_, a, _) => a,
+            | MemOp::Prefix(_, a, _)
+            | MemOp::StridedRead { base: a, .. }
+            | MemOp::StridedWrite { base: a, .. } => a,
         }
     }
 
-    /// Whether the issuing thread expects a reply value.
+    /// Whether the issuing thread expects a reply value. (A `StridedRead`
+    /// replies through the bulk-reply channel, not the per-reference
+    /// slot.)
     #[inline]
     pub fn wants_reply(&self) -> bool {
-        matches!(self, MemOp::Read(_) | MemOp::Prefix(..))
+        matches!(
+            self,
+            MemOp::Read(_) | MemOp::Prefix(..) | MemOp::StridedRead { .. }
+        )
+    }
+
+    /// Whether this is a bulk (strided) reference.
+    #[inline]
+    pub fn is_bulk(&self) -> bool {
+        matches!(self, MemOp::StridedRead { .. } | MemOp::StridedWrite { .. })
+    }
+
+    /// Number of lane references this operation stands for.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        match *self {
+            MemOp::StridedRead { count, .. } | MemOp::StridedWrite { count, .. } => count as usize,
+            _ => 1,
+        }
     }
 }
 

@@ -10,7 +10,7 @@ use tcf_isa::word::{Addr, Word};
 use crate::error::MemError;
 use crate::hash::ModuleMap;
 use crate::module::combine;
-use crate::refs::{MemOp, MemRef};
+use crate::refs::{MemOp, MemRef, RefOrigin};
 use crate::stats::StepStats;
 
 /// Concurrent-access policy of the shared memory.
@@ -85,6 +85,11 @@ pub struct StepScratch {
     staged: Vec<(Addr, Word)>,
     /// Per-address resolution arena.
     addr: AddrScratch,
+    /// Lane-expanded references of a bulk step that could not take the
+    /// disjoint fast path.
+    flat: Vec<MemRef>,
+    /// Reply slots of the lane-expanded step.
+    flat_replies: Vec<Option<Word>>,
 }
 
 /// Per-address scratch of [`StepScratch`]: plain-write and combining
@@ -151,6 +156,20 @@ impl SharedMemory {
     #[inline]
     pub fn module_of(&self, addr: Addr) -> usize {
         self.map.module_of(addr, self.modules)
+    }
+
+    /// Per-lane module increment of an address progression with the given
+    /// stride, when the module map preserves progressions: under low-order
+    /// interleaving lane `k` of a strided access hits module
+    /// `(module_of(base) + k·step) mod modules`. A hashed map scatters the
+    /// progression, so there is no step — callers fall back to per-lane
+    /// module lookups.
+    #[inline]
+    pub fn strided_node_step(&self, stride: i64) -> Option<usize> {
+        match self.map {
+            ModuleMap::Interleaved => Some(stride.rem_euclid(self.modules as i64) as usize),
+            ModuleMap::LinearHash { .. } => None,
+        }
     }
 
     /// Host read (no step semantics), for runtimes and tests.
@@ -222,6 +241,10 @@ impl SharedMemory {
         scratch: &mut StepScratch,
         replies: &mut Vec<Option<Word>>,
     ) -> Result<StepStats, MemError> {
+        debug_assert!(
+            refs.iter().all(|r| !r.op.is_bulk()),
+            "bulk references resolve through step_bulk_into"
+        );
         let mut stats = StepStats::new(self.modules);
         stats.refs = refs.len();
 
@@ -256,6 +279,28 @@ impl SharedMemory {
         scratch.replies.clear();
         scratch.staged.clear();
 
+        self.resolve_pairs(refs, scratch, &mut stats)?;
+        for &(i, v) in &scratch.replies {
+            replies[i] = Some(v);
+        }
+        for &(addr, value) in &scratch.staged {
+            self.words[addr] = value;
+        }
+
+        Ok(stats)
+    }
+
+    /// Resolves the sorted `(addr, index)` pairs in `scratch.pairs` into
+    /// `scratch.replies`/`scratch.staged`, accumulating `hot_addrs` and
+    /// `combined` into `stats` — the address-grouped core of
+    /// [`step_into`](SharedMemory::step_into), shared with the
+    /// scalar-subset resolution of the bulk path.
+    fn resolve_pairs(
+        &self,
+        refs: &[MemRef],
+        scratch: &mut StepScratch,
+        stats: &mut StepStats,
+    ) -> Result<(), MemError> {
         let mut start = 0;
         while start < scratch.pairs.len() {
             let addr = scratch.pairs[start].0;
@@ -279,14 +324,7 @@ impl SharedMemory {
             scratch.staged.push((addr, value));
             start = end;
         }
-        for &(i, v) in &scratch.replies {
-            replies[i] = Some(v);
-        }
-        for &(addr, value) in &scratch.staged {
-            self.words[addr] = value;
-        }
-
-        Ok(stats)
+        Ok(())
     }
 
     /// Resolves an address referenced exactly once — the overwhelmingly
@@ -312,6 +350,9 @@ impl SharedMemory {
                 let old = self.words[addr];
                 replies.push((i, old));
                 kind.combine(old, v)
+            }
+            MemOp::StridedRead { .. } | MemOp::StridedWrite { .. } => {
+                unreachable!("bulk references resolve through step_bulk_into")
             }
         }
     }
@@ -356,6 +397,9 @@ impl SharedMemory {
                 }
                 MemOp::Prefix(kind, _, v) => {
                     arena.combines[kind as usize].push((refs[i].origin.rank, v, Some(i)));
+                }
+                MemOp::StridedRead { .. } | MemOp::StridedWrite { .. } => {
+                    unreachable!("bulk references resolve through step_bulk_into")
                 }
             }
         }
@@ -449,6 +493,10 @@ impl SharedMemory {
         refs: &[MemRef],
         buckets: &mut Vec<Vec<usize>>,
     ) -> Result<StepStats, MemError> {
+        debug_assert!(
+            refs.iter().all(|r| !r.op.is_bulk()),
+            "bulk references resolve through the sequential step_bulk_into"
+        );
         let mut stats = StepStats::new(self.modules);
         stats.refs = refs.len();
         buckets.resize_with(self.modules, Vec::new);
@@ -530,6 +578,509 @@ impl SharedMemory {
                 self.words[addr] = value;
             }
         }
+    }
+
+    /// [`step`](SharedMemory::step) for reference lists that may contain
+    /// bulk (strided) references; the one-shot convenience wrapper around
+    /// [`step_bulk_into`](SharedMemory::step_bulk_into).
+    pub fn step_bulk(
+        &mut self,
+        refs: &[MemRef],
+    ) -> Result<(Vec<Option<Word>>, BulkReplies, StepStats), MemError> {
+        let mut scratch = StepScratch::default();
+        let mut replies = Vec::new();
+        let mut bulk = BulkReplies::default();
+        let stats = self.step_bulk_into(refs, &mut scratch, &mut replies, &mut bulk)?;
+        Ok((replies, bulk, stats))
+    }
+
+    /// [`step_into`](SharedMemory::step_into) accepting bulk (strided)
+    /// references.
+    ///
+    /// A bulk reference's semantics are its lane expansion (see
+    /// [`MemOp`]); this entry point resolves it without materializing the
+    /// lanes whenever the step's address sets are provably disjoint —
+    /// each bulk read gathers directly (compressing an affine value run
+    /// back to `base + k·stride` form when it detects one) and each bulk
+    /// write scatters its progression, for O(lanes) word traffic instead
+    /// of O(lanes · log lanes) sort-and-resolve work and no per-lane
+    /// `MemRef` materialization. Anything short of provable disjointness
+    /// (including a zero address stride) falls back to literal expansion,
+    /// so CRCW policies, combining and fault semantics cannot diverge
+    /// from the scalar path.
+    ///
+    /// Scalar replies land in `replies` (aligned by reference index, as
+    /// in `step_into`; bulk slots stay `None`); each `StridedRead`'s lane
+    /// values land in `bulk` keyed by its reference index.
+    pub fn step_bulk_into(
+        &mut self,
+        refs: &[MemRef],
+        scratch: &mut StepScratch,
+        replies: &mut Vec<Option<Word>>,
+        bulk: &mut BulkReplies,
+    ) -> Result<StepStats, MemError> {
+        bulk.clear();
+        if refs.iter().all(|r| !r.op.is_bulk()) {
+            return self.step_into(refs, scratch, replies);
+        }
+        if self.bulk_overlaps(refs) {
+            return self.step_bulk_expanded(refs, scratch, replies, bulk);
+        }
+
+        // Disjoint fast path. Bounds-check every lane in issue order
+        // first, so faults are reported before any mutation and agree
+        // with the expansion.
+        let mut stats = StepStats::new(self.modules);
+        for r in refs {
+            match r.op {
+                MemOp::StridedRead {
+                    base,
+                    stride,
+                    count,
+                }
+                | MemOp::StridedWrite {
+                    base,
+                    stride,
+                    count,
+                    ..
+                } => {
+                    if let Some(addr) = self.first_oob_lane(base, stride, count) {
+                        return Err(MemError::OutOfBounds {
+                            addr,
+                            size: self.words.len(),
+                        });
+                    }
+                    stats.refs += count as usize;
+                    self.count_strided_modules(base, stride, count, &mut stats);
+                }
+                op => {
+                    let addr = op.addr();
+                    if addr >= self.words.len() {
+                        return Err(MemError::OutOfBounds {
+                            addr,
+                            size: self.words.len(),
+                        });
+                    }
+                    stats.refs += 1;
+                    stats.per_module[self.module_of(addr)] += 1;
+                }
+            }
+        }
+
+        // Resolve the scalar subset through the ordinary grouped path
+        // (it may still fault on a policy violation, in which case
+        // nothing has been applied yet).
+        scratch.pairs.clear();
+        scratch.pairs.extend(
+            refs.iter()
+                .enumerate()
+                .filter(|(_, r)| !r.op.is_bulk())
+                .map(|(i, r)| (r.op.addr(), i)),
+        );
+        scratch.pairs.sort_unstable();
+        scratch.replies.clear();
+        scratch.staged.clear();
+        self.resolve_pairs(refs, scratch, &mut stats)?;
+
+        // Gather bulk reads against the pre-step state (scalar writes are
+        // still only staged), then apply scalar writes and scatter bulk
+        // writes — disjointness makes the write order immaterial.
+        for (i, r) in refs.iter().enumerate() {
+            if let MemOp::StridedRead {
+                base,
+                stride,
+                count,
+            } = r.op
+            {
+                bulk.push_gathered(
+                    i,
+                    (0..count as usize)
+                        .map(|k| self.words[(base as i64 + k as i64 * stride) as usize]),
+                );
+            }
+        }
+        replies.clear();
+        replies.resize(refs.len(), None);
+        for &(i, v) in &scratch.replies {
+            replies[i] = Some(v);
+        }
+        for &(addr, value) in &scratch.staged {
+            self.words[addr] = value;
+        }
+        for r in refs {
+            if let MemOp::StridedWrite {
+                base,
+                stride,
+                count,
+                vbase,
+                vstride,
+            } = r.op
+            {
+                for k in 0..count as usize {
+                    let addr = (base as i64 + k as i64 * stride) as usize;
+                    self.words[addr] = vbase.wrapping_add((k as Word).wrapping_mul(vstride));
+                }
+            }
+        }
+
+        Ok(stats)
+    }
+
+    /// The literal-expansion fallback of
+    /// [`step_bulk_into`](SharedMemory::step_bulk_into): replace every
+    /// bulk reference by its lanes in place (lane `k` gets rank
+    /// `origin.rank + k`), run the scalar step, and reassemble the bulk
+    /// replies. Trivially equivalent to the defined semantics.
+    fn step_bulk_expanded(
+        &mut self,
+        refs: &[MemRef],
+        scratch: &mut StepScratch,
+        replies: &mut Vec<Option<Word>>,
+        bulk: &mut BulkReplies,
+    ) -> Result<StepStats, MemError> {
+        let mut flat = std::mem::take(&mut scratch.flat);
+        let mut flat_replies = std::mem::take(&mut scratch.flat_replies);
+        flat.clear();
+        for r in refs {
+            match r.op {
+                MemOp::StridedRead {
+                    base,
+                    stride,
+                    count,
+                } => {
+                    flat.extend((0..count as usize).map(|k| {
+                        MemRef::new(
+                            RefOrigin::new(r.origin.group, r.origin.rank + k),
+                            MemOp::Read(Self::lane_addr(base, stride, k)),
+                        )
+                    }));
+                }
+                MemOp::StridedWrite {
+                    base,
+                    stride,
+                    count,
+                    vbase,
+                    vstride,
+                } => {
+                    flat.extend((0..count as usize).map(|k| {
+                        MemRef::new(
+                            RefOrigin::new(r.origin.group, r.origin.rank + k),
+                            MemOp::Write(
+                                Self::lane_addr(base, stride, k),
+                                vbase.wrapping_add((k as Word).wrapping_mul(vstride)),
+                            ),
+                        )
+                    }));
+                }
+                _ => flat.push(*r),
+            }
+        }
+        let result = self.step_into(&flat, scratch, &mut flat_replies);
+        scratch.flat = flat;
+        let stats = match result {
+            Ok(s) => s,
+            Err(e) => {
+                scratch.flat_replies = flat_replies;
+                return Err(e);
+            }
+        };
+        replies.clear();
+        replies.resize(refs.len(), None);
+        let mut pos = 0usize;
+        for (i, r) in refs.iter().enumerate() {
+            match r.op {
+                MemOp::StridedRead { count, .. } => {
+                    bulk.push_gathered(
+                        i,
+                        flat_replies[pos..pos + count as usize]
+                            .iter()
+                            .map(|v| v.expect("lane read always replies")),
+                    );
+                    pos += count as usize;
+                }
+                MemOp::StridedWrite { count, .. } => pos += count as usize,
+                _ => {
+                    replies[i] = flat_replies[pos];
+                    pos += 1;
+                }
+            }
+        }
+        scratch.flat_replies = flat_replies;
+        Ok(stats)
+    }
+
+    /// Address of lane `k` of a strided reference. Negative lane
+    /// addresses cannot arise from a bounds-checked reference; in the
+    /// unchecked expansion they saturate to an out-of-range sentinel so
+    /// the scalar step faults instead of wrapping.
+    #[inline]
+    fn lane_addr(base: Addr, stride: i64, k: usize) -> Addr {
+        let a = base as i128 + k as i128 * stride as i128;
+        if a < 0 {
+            usize::MAX
+        } else {
+            a.min(usize::MAX as i128) as usize
+        }
+    }
+
+    /// First out-of-bounds lane address of a strided reference, if any —
+    /// the lane-order first fault, computed without walking the lanes.
+    /// Negative lane addresses report the [`lane_addr`](Self::lane_addr)
+    /// sentinel.
+    fn first_oob_lane(&self, base: Addr, stride: i64, count: u32) -> Option<Addr> {
+        if count == 0 {
+            return None;
+        }
+        let size = self.words.len() as i128;
+        let first = base as i128;
+        let last = base as i128 + (count as i128 - 1) * stride as i128;
+        if first >= 0 && first < size && last >= 0 && last < size {
+            // The progression is monotone, so its extremes are at the
+            // ends; both in bounds ⇒ every lane in bounds.
+            return None;
+        }
+        // Walk-free first offender: a monotone progression leaves the
+        // window exactly once.
+        let k = if first >= size {
+            0
+        } else if stride > 0 {
+            // first lane with base + k·stride ≥ size
+            ((size - first) + stride as i128 - 1) / stride as i128
+        } else if stride < 0 {
+            // first lane with base + k·stride < 0
+            (first / (-stride as i128)) + 1
+        } else {
+            0
+        };
+        Some(Self::lane_addr(base, stride, k as usize))
+    }
+
+    /// Adds a strided reference's per-module load to `stats`, matching
+    /// the lane expansion. Under low-order interleaving the progression's
+    /// residues cycle with period `modules / gcd(stride, modules)`, so
+    /// the count folds into one pass over that cycle; a hashed map gets
+    /// the per-lane walk.
+    fn count_strided_modules(&self, base: Addr, stride: i64, count: u32, stats: &mut StepStats) {
+        let count = count as usize;
+        match self.map {
+            ModuleMap::Interleaved => {
+                let m = self.modules;
+                let s = stride.rem_euclid(m as i64) as usize;
+                let cycle = if s == 0 { 1 } else { m / gcd(s, m) };
+                let mut module = base % m;
+                for k in 0..cycle.min(count) {
+                    // Lanes k, k+cycle, k+2·cycle… all land on `module`.
+                    stats.per_module[module] += (count - k).div_ceil(cycle);
+                    module = (module + s) % m;
+                }
+            }
+            ModuleMap::LinearHash { .. } => {
+                for k in 0..count {
+                    let addr = (base as i64 + k as i64 * stride) as usize;
+                    stats.per_module[self.module_of(addr)] += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether any two references of the step can touch a common address,
+    /// treating bulk references as their lane progressions. Conservative:
+    /// `true` routes to the expansion path, so false positives cost only
+    /// speed, never correctness. Progressions are compared exactly when
+    /// they share a stride (the common case: slices of one thick access),
+    /// by address-interval intersection otherwise.
+    fn bulk_overlaps(&self, refs: &[MemRef]) -> bool {
+        // Normalized (lo, hi, step, aligned) progressions of the bulk
+        // refs, with `step > 0`; scalar refs use step 0.
+        fn norm(op: &MemOp) -> Option<(i128, i128, i128)> {
+            match *op {
+                MemOp::StridedRead {
+                    base,
+                    stride,
+                    count,
+                }
+                | MemOp::StridedWrite {
+                    base,
+                    stride,
+                    count,
+                    ..
+                } => {
+                    if count == 0 {
+                        return None;
+                    }
+                    if stride == 0 && count > 1 {
+                        // Self-overlapping: every lane hits `base`.
+                        return Some((base as i128, base as i128, -1));
+                    }
+                    let first = base as i128;
+                    let last = base as i128 + (count as i128 - 1) * stride as i128;
+                    Some((
+                        first.min(last),
+                        first.max(last),
+                        (stride as i128).abs().max(1),
+                    ))
+                }
+                op => Some((op.addr() as i128, op.addr() as i128, 1)),
+            }
+        }
+        let mut spans: [Option<(i128, i128, i128)>; 8] = [None; 8];
+        let mut n = 0usize;
+        for r in refs {
+            let Some(s) = norm(&r.op) else { continue };
+            if s.2 < 0 {
+                return true; // zero-stride bulk self-overlaps
+            }
+            for &prev in spans.iter().take(n).flatten() {
+                let (lo1, hi1, s1) = prev;
+                let (lo2, hi2, s2) = s;
+                if hi1 < lo2 || hi2 < lo1 {
+                    continue; // disjoint intervals
+                }
+                if s1 == s2 {
+                    // Same stride: progressions collide iff their bases
+                    // agree modulo the stride (given the intervals meet).
+                    if (lo1 - lo2).rem_euclid(s1) == 0 {
+                        return true;
+                    }
+                } else {
+                    return true; // different strides, intervals meet: assume the worst
+                }
+            }
+            if n == spans.len() {
+                return true; // too many spans to check cheaply: expand
+            }
+            spans[n] = Some(s);
+            n += 1;
+        }
+        false
+    }
+}
+
+/// Greatest common divisor (positive inputs).
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Reply data of one bulk step's `StridedRead` references.
+///
+/// Lane values are either recognized as an arithmetic progression
+/// (`Affine`) — which lets the machine write the destination register
+/// back in compressed form — or stored in a flat arena shared by the
+/// step's reads. Cleared and refilled by every
+/// [`SharedMemory::step_bulk_into`] call.
+#[derive(Debug, Default, Clone)]
+pub struct BulkReplies {
+    /// `(reference index, data)` per replying bulk reference, in
+    /// reference order.
+    entries: Vec<(usize, BulkData)>,
+    /// Value arena backing [`BulkData::Values`].
+    words: Vec<Word>,
+}
+
+/// The shape of one bulk read's lane values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BulkData {
+    /// Lane `k` read `base + k·stride` (wrapping word arithmetic).
+    Affine {
+        /// Lane 0's value.
+        base: Word,
+        /// Per-lane increment.
+        stride: Word,
+    },
+    /// Lane values live in the arena at `start .. start + len`.
+    Values {
+        /// Arena offset of lane 0.
+        start: usize,
+        /// Lane count.
+        len: usize,
+    },
+}
+
+/// A borrowed view of one bulk read's lane values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkView<'a> {
+    /// Lane `k` read `base + k·stride` (wrapping word arithmetic).
+    Affine {
+        /// Lane 0's value.
+        base: Word,
+        /// Per-lane increment.
+        stride: Word,
+    },
+    /// One value per lane.
+    Values(&'a [Word]),
+}
+
+impl BulkReplies {
+    /// Drops all entries and arena contents (capacity is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.words.clear();
+    }
+
+    /// The lane values of the bulk read at reference index `ref_idx`.
+    pub fn get(&self, ref_idx: usize) -> Option<BulkView<'_>> {
+        let &(_, data) = self.entries.iter().find(|&&(i, _)| i == ref_idx)?;
+        Some(match data {
+            BulkData::Affine { base, stride } => BulkView::Affine { base, stride },
+            BulkData::Values { start, len } => BulkView::Values(&self.words[start..start + len]),
+        })
+    }
+
+    /// Lane `k` of the bulk read at `ref_idx` (test/debug convenience).
+    pub fn lane(&self, ref_idx: usize, k: usize) -> Option<Word> {
+        match self.get(ref_idx)? {
+            BulkView::Affine { base, stride } => {
+                Some(base.wrapping_add((k as Word).wrapping_mul(stride)))
+            }
+            BulkView::Values(vals) => vals.get(k).copied(),
+        }
+    }
+
+    /// Records the gathered lane values of the read at `ref_idx`,
+    /// compressing them to affine form when they form an arithmetic
+    /// progression (so an affine value written by a strided sweep reads
+    /// back in the same compressed representation it was written from).
+    fn push_gathered(&mut self, ref_idx: usize, vals: impl Iterator<Item = Word>) {
+        let start = self.words.len();
+        self.words.extend(vals);
+        let lane = &self.words[start..];
+        let affine = match lane {
+            [] | [_] => true,
+            [first, second, rest @ ..] => {
+                let d = second.wrapping_sub(*first);
+                let mut prev = *second;
+                let mut ok = true;
+                for &w in rest {
+                    if w.wrapping_sub(prev) != d {
+                        ok = false;
+                        break;
+                    }
+                    prev = w;
+                }
+                ok
+            }
+        };
+        let data = if affine {
+            let base = lane.first().copied().unwrap_or(0);
+            let stride = if lane.len() >= 2 {
+                lane[1].wrapping_sub(base)
+            } else {
+                0
+            };
+            self.words.truncate(start);
+            BulkData::Affine { base, stride }
+        } else {
+            BulkData::Values {
+                start,
+                len: self.words.len() - start,
+            }
+        };
+        self.entries.push((ref_idx, data));
     }
 }
 
@@ -834,6 +1385,252 @@ mod tests {
             assert_eq!(stats.hot_addrs, 0);
             assert_eq!(stats.combined, 0);
         }
+    }
+
+    /// Expands bulk references into their defining lane references (the
+    /// reference semantics the bulk path must reproduce).
+    fn expand(refs: &[MemRef]) -> Vec<MemRef> {
+        let mut flat = Vec::new();
+        for r in refs {
+            match r.op {
+                MemOp::StridedRead {
+                    base,
+                    stride,
+                    count,
+                } => flat.extend((0..count as usize).map(|k| {
+                    MemRef::new(
+                        RefOrigin::new(r.origin.group, r.origin.rank + k),
+                        MemOp::Read((base as i64 + k as i64 * stride) as usize),
+                    )
+                })),
+                MemOp::StridedWrite {
+                    base,
+                    stride,
+                    count,
+                    vbase,
+                    vstride,
+                } => flat.extend((0..count as usize).map(|k| {
+                    MemRef::new(
+                        RefOrigin::new(r.origin.group, r.origin.rank + k),
+                        MemOp::Write(
+                            (base as i64 + k as i64 * stride) as usize,
+                            vbase.wrapping_add((k as Word).wrapping_mul(vstride)),
+                        ),
+                    )
+                })),
+                _ => flat.push(*r),
+            }
+        }
+        flat
+    }
+
+    /// Runs `refs` through the bulk step on one memory and the expansion
+    /// through the scalar step on another, asserting identical faults,
+    /// replies, statistics, and final memory.
+    fn assert_bulk_matches_expansion(policy: CrcwPolicy, refs: &[MemRef]) {
+        let mut a = sm(policy);
+        let mut b = sm(policy);
+        for addr in 0..64 {
+            a.poke(addr, addr as Word * 3 - 20).unwrap();
+            b.poke(addr, addr as Word * 3 - 20).unwrap();
+        }
+        let flat = expand(refs);
+        let bulk_result = a.step_bulk(refs);
+        let flat_result = b.step(&flat);
+        match (bulk_result, flat_result) {
+            (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+            (Ok((replies, bulk, s1)), Ok((flat_replies, s2))) => {
+                assert_eq!(s1, s2, "stats diverged");
+                let mut pos = 0usize;
+                for (i, r) in refs.iter().enumerate() {
+                    match r.op {
+                        MemOp::StridedRead { count, .. } => {
+                            for k in 0..count as usize {
+                                assert_eq!(
+                                    bulk.lane(i, k),
+                                    flat_replies[pos + k],
+                                    "lane {k} of bulk read {i}"
+                                );
+                            }
+                            pos += count as usize;
+                        }
+                        MemOp::StridedWrite { count, .. } => pos += count as usize,
+                        _ => {
+                            assert_eq!(replies[i], flat_replies[pos]);
+                            pos += 1;
+                        }
+                    }
+                }
+            }
+            (x, y) => panic!("fault behaviour diverged: {x:?} vs {y:?}"),
+        }
+        for addr in 0..64 {
+            assert_eq!(
+                a.peek(addr).unwrap(),
+                b.peek(addr).unwrap(),
+                "address {addr} diverged"
+            );
+        }
+    }
+
+    fn sread(rank: usize, base: Addr, stride: i64, count: u32) -> MemRef {
+        MemRef::new(
+            RefOrigin::new(0, rank),
+            MemOp::StridedRead {
+                base,
+                stride,
+                count,
+            },
+        )
+    }
+
+    fn swrite(
+        rank: usize,
+        base: Addr,
+        stride: i64,
+        count: u32,
+        vbase: Word,
+        vstride: Word,
+    ) -> MemRef {
+        MemRef::new(
+            RefOrigin::new(0, rank),
+            MemOp::StridedWrite {
+                base,
+                stride,
+                count,
+                vbase,
+                vstride,
+            },
+        )
+    }
+
+    #[test]
+    fn strided_write_then_read_roundtrips_affine() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        let (_, _, stats) = m.step_bulk(&[swrite(0, 4, 2, 16, 100, 7)]).unwrap();
+        assert_eq!(stats.refs, 16);
+        for k in 0..16 {
+            assert_eq!(m.peek(4 + 2 * k).unwrap(), 100 + 7 * k as Word);
+        }
+        let (replies, bulk, _) = m.step_bulk(&[sread(0, 4, 2, 16)]).unwrap();
+        assert_eq!(replies[0], None); // bulk replies bypass the scalar slot
+        assert_eq!(
+            bulk.get(0),
+            Some(BulkView::Affine {
+                base: 100,
+                stride: 7
+            }),
+            "an affine sweep must read back in compressed form"
+        );
+    }
+
+    #[test]
+    fn non_affine_gather_returns_values() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        m.poke(10, 5).unwrap();
+        m.poke(11, 6).unwrap();
+        m.poke(12, 99).unwrap();
+        let (_, bulk, _) = m.step_bulk(&[sread(0, 10, 1, 3)]).unwrap();
+        assert_eq!(bulk.get(0), Some(BulkView::Values(&[5, 6, 99])));
+    }
+
+    #[test]
+    fn bulk_fast_path_matches_expansion_when_disjoint() {
+        for policy in [
+            CrcwPolicy::Arbitrary,
+            CrcwPolicy::Priority,
+            CrcwPolicy::Common,
+            CrcwPolicy::Crew,
+            CrcwPolicy::Erew,
+        ] {
+            // One read sweep, one write sweep, and scalar traffic — all
+            // address-disjoint.
+            assert_bulk_matches_expansion(
+                policy,
+                &[
+                    sread(0, 0, 2, 8),
+                    swrite(8, 1, 2, 8, -4, 3),
+                    rref(16, 63),
+                    wref(17, 33, 7),
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_bulk_falls_back_to_expansion() {
+        // Zero-stride bulk write: every lane hits one address; the CRCW
+        // policy decides (Arbitrary: highest lane rank wins).
+        assert_bulk_matches_expansion(CrcwPolicy::Arbitrary, &[swrite(0, 9, 0, 5, 10, 1)]);
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        m.step_bulk(&[swrite(0, 9, 0, 5, 10, 1)]).unwrap();
+        assert_eq!(m.peek(9).unwrap(), 14);
+
+        // Bulk write crossing a scalar read and a scalar write.
+        for policy in [CrcwPolicy::Arbitrary, CrcwPolicy::Priority] {
+            assert_bulk_matches_expansion(
+                policy,
+                &[swrite(0, 0, 3, 10, 50, 5), rref(10, 6), wref(11, 9, -1)],
+            );
+        }
+        // Two overlapping sweeps with equal strides.
+        assert_bulk_matches_expansion(
+            CrcwPolicy::Arbitrary,
+            &[swrite(0, 0, 2, 10, 1, 1), swrite(10, 4, 2, 10, 2, 2)],
+        );
+        // EREW must fault on the collision exactly as the expansion does.
+        assert_bulk_matches_expansion(
+            CrcwPolicy::Erew,
+            &[swrite(0, 0, 2, 10, 1, 1), swrite(10, 4, 2, 10, 2, 2)],
+        );
+    }
+
+    #[test]
+    fn bulk_out_of_bounds_faults_atomically_with_first_lane() {
+        let mut m = sm(CrcwPolicy::Arbitrary);
+        // Lanes 0..10 at stride 7 from 22: lane 6 is the first ≥ 64.
+        let e = m
+            .step_bulk(&[swrite(0, 0, 1, 4, 9, 0), sread(4, 22, 7, 10)])
+            .unwrap_err();
+        assert!(matches!(e, MemError::OutOfBounds { addr: 64, .. }));
+        assert_eq!(m.peek(0).unwrap(), 0, "faulted step must not mutate");
+        // A two-lane sweep whose second lane crosses the boundary.
+        let e = m.step_bulk(&[sread(0, 63, 1, 2)]).unwrap_err();
+        assert!(matches!(e, MemError::OutOfBounds { addr: 64, .. }));
+    }
+
+    #[test]
+    fn bulk_module_stats_match_expansion() {
+        // Strides that are coprime with, divide, and share factors with
+        // the module count, plus descending progressions.
+        for (base, stride, count) in [
+            (0usize, 1i64, 13u32),
+            (5, 3, 9),
+            (0, 4, 10),
+            (2, 6, 7),
+            (63, -2, 20),
+            (8, 0, 1),
+        ] {
+            let refs = [sread(0, base, stride, count)];
+            let mut a = sm(CrcwPolicy::Arbitrary);
+            let mut b = sm(CrcwPolicy::Arbitrary);
+            let (_, _, s1) = a.step_bulk(&refs).unwrap();
+            let (_, s2) = b.step(&expand(&refs)).unwrap();
+            assert_eq!(s1.per_module, s2.per_module, "stride {stride}");
+            assert_eq!(s1.refs, s2.refs);
+        }
+    }
+
+    #[test]
+    fn step_bulk_without_bulk_refs_matches_step() {
+        let refs = [rref(0, 5), wref(1, 5, 70), wref(2, 9, 4)];
+        let mut a = sm(CrcwPolicy::Arbitrary);
+        let mut b = sm(CrcwPolicy::Arbitrary);
+        let (r1, bulk, s1) = a.step_bulk(&refs).unwrap();
+        let (r2, s2) = b.step(&refs).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        assert!(bulk.get(0).is_none());
     }
 
     #[test]

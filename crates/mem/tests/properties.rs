@@ -12,6 +12,159 @@ fn arb_kind() -> impl Strategy<Value = MultiKind> {
     prop::sample::select(&MultiKind::ALL[..])
 }
 
+const POLICIES: [CrcwPolicy; 5] = [
+    CrcwPolicy::Arbitrary,
+    CrcwPolicy::Priority,
+    CrcwPolicy::Common,
+    CrcwPolicy::Crew,
+    CrcwPolicy::Erew,
+];
+
+/// One generated reference of the bulk-equivalence property: scalar ops
+/// plus strided bulk reads/writes (possibly overlapping, possibly out of
+/// bounds — fault behaviour is part of the contract).
+#[derive(Debug, Clone)]
+enum GenRef {
+    Read(usize),
+    Write(usize, i32),
+    Multi(MultiKind, usize, i32),
+    Prefix(MultiKind, usize, i32),
+    StridedRead {
+        base: usize,
+        stride: i64,
+        count: u32,
+    },
+    StridedWrite {
+        base: usize,
+        stride: i64,
+        count: u32,
+        vbase: i32,
+        vstride: i32,
+    },
+}
+
+fn arb_gen_ref() -> impl Strategy<Value = GenRef> {
+    // Progressions stay on non-negative addresses (the emitting layer
+    // guarantees this; negative lane addresses have sentinel semantics
+    // covered by unit tests) but may leave the address space upward.
+    let strided = (0usize..SIZE + 8, 0i64..6, 1u32..24)
+        .prop_map(|(base, stride, count)| (base, stride, count));
+    prop_oneof![
+        (0usize..SIZE + 4).prop_map(GenRef::Read),
+        (0usize..SIZE + 4, any::<i32>()).prop_map(|(a, v)| GenRef::Write(a, v)),
+        (arb_kind(), 0usize..SIZE, any::<i32>()).prop_map(|(k, a, v)| GenRef::Multi(k, a, v)),
+        (arb_kind(), 0usize..SIZE, any::<i32>()).prop_map(|(k, a, v)| GenRef::Prefix(k, a, v)),
+        strided
+            .clone()
+            .prop_map(|(base, stride, count)| GenRef::StridedRead {
+                base,
+                stride,
+                count
+            }),
+        (strided, any::<i32>(), -4i32..5).prop_map(|((base, stride, count), vbase, vstride)| {
+            GenRef::StridedWrite {
+                base,
+                stride,
+                count,
+                vbase,
+                vstride,
+            }
+        }),
+    ]
+}
+
+/// Builds the `MemRef` list (each reference claims a rank block as wide
+/// as its lane count, the way the execution layer assigns ranks) and its
+/// scalar lane expansion.
+fn build_refs(gens: &[GenRef]) -> (Vec<MemRef>, Vec<MemRef>) {
+    let mut refs = Vec::new();
+    let mut flat = Vec::new();
+    let mut rank = 0usize;
+    for g in gens {
+        match *g {
+            GenRef::Read(a) => {
+                refs.push(MemRef::new(RefOrigin::new(0, rank), MemOp::Read(a)));
+                flat.push(*refs.last().unwrap());
+                rank += 1;
+            }
+            GenRef::Write(a, v) => {
+                refs.push(MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::Write(a, v as Word),
+                ));
+                flat.push(*refs.last().unwrap());
+                rank += 1;
+            }
+            GenRef::Multi(k, a, v) => {
+                refs.push(MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::Multi(k, a, v as Word),
+                ));
+                flat.push(*refs.last().unwrap());
+                rank += 1;
+            }
+            GenRef::Prefix(k, a, v) => {
+                refs.push(MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::Prefix(k, a, v as Word),
+                ));
+                flat.push(*refs.last().unwrap());
+                rank += 1;
+            }
+            GenRef::StridedRead {
+                base,
+                stride,
+                count,
+            } => {
+                refs.push(MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::StridedRead {
+                        base,
+                        stride,
+                        count,
+                    },
+                ));
+                flat.extend((0..count as usize).map(|k| {
+                    MemRef::new(
+                        RefOrigin::new(0, rank + k),
+                        MemOp::Read((base as i64 + k as i64 * stride) as usize),
+                    )
+                }));
+                rank += count as usize;
+            }
+            GenRef::StridedWrite {
+                base,
+                stride,
+                count,
+                vbase,
+                vstride,
+            } => {
+                refs.push(MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::StridedWrite {
+                        base,
+                        stride,
+                        count,
+                        vbase: vbase as Word,
+                        vstride: vstride as Word,
+                    },
+                ));
+                flat.extend((0..count as usize).map(|k| {
+                    MemRef::new(
+                        RefOrigin::new(0, rank + k),
+                        MemOp::Write(
+                            (base as i64 + k as i64 * stride) as usize,
+                            (vbase as Word).wrapping_add((k as Word).wrapping_mul(vstride as Word)),
+                        ),
+                    )
+                }));
+                rank += count as usize;
+            }
+        }
+    }
+    (refs, flat)
+}
+
 proptest! {
     /// A multiprefix over n participants leaves kind-combination of all
     /// contributions (seeded by the old value) in memory, and participant
@@ -189,6 +342,59 @@ proptest! {
 }
 
 proptest! {
+    /// Strided bulk references are bit-equivalent to their per-lane
+    /// expansion under every CRCW policy: same faults, same replies (bulk
+    /// lanes included), same statistics, same final memory — whether the
+    /// bulk step takes its disjoint fast path or the expansion fallback.
+    #[test]
+    fn bulk_step_matches_per_lane_expansion(
+        gens in prop::collection::vec(arb_gen_ref(), 0..8),
+        policy_idx in 0usize..POLICIES.len(),
+        map_seed in any::<u64>(),
+    ) {
+        let policy = POLICIES[policy_idx];
+        let map = if map_seed.is_multiple_of(2) {
+            ModuleMap::Interleaved
+        } else {
+            ModuleMap::linear(map_seed)
+        };
+        let (refs, flat) = build_refs(&gens);
+        let mut a = SharedMemory::new(SIZE, 4, map, policy);
+        let mut b = SharedMemory::new(SIZE, 4, map, policy);
+        for addr in 0..SIZE {
+            a.poke(addr, (addr as Word).wrapping_mul(5) - 11).unwrap();
+            b.poke(addr, (addr as Word).wrapping_mul(5) - 11).unwrap();
+        }
+        let bulk_result = a.step_bulk(&refs);
+        let flat_result = b.step(&flat);
+        match (bulk_result, flat_result) {
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (Ok((replies, bulk, s1)), Ok((flat_replies, s2))) => {
+                prop_assert_eq!(s1, s2);
+                let mut pos = 0usize;
+                for (i, r) in refs.iter().enumerate() {
+                    match r.op {
+                        MemOp::StridedRead { count, .. } => {
+                            for k in 0..count as usize {
+                                prop_assert_eq!(bulk.lane(i, k), flat_replies[pos + k]);
+                            }
+                            pos += count as usize;
+                        }
+                        MemOp::StridedWrite { count, .. } => pos += count as usize,
+                        _ => {
+                            prop_assert_eq!(replies[i], flat_replies[pos]);
+                            pos += 1;
+                        }
+                    }
+                }
+            }
+            (x, y) => prop_assert!(false, "fault behaviour diverged: {:?} vs {:?}", x, y),
+        }
+        for addr in 0..SIZE {
+            prop_assert_eq!(a.peek(addr).unwrap(), b.peek(addr).unwrap());
+        }
+    }
+
     /// Atomicity also under policy faults (not just bounds faults): a
     /// Common-policy conflict anywhere in the step leaves every address
     /// untouched.
