@@ -249,6 +249,8 @@ pub mod strategy {
         (0 A, 1 B, 2 C, 3 D)
         (0 A, 1 B, 2 C, 3 D, 4 E)
         (0 A, 1 B, 2 C, 3 D, 4 E, 5 G)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 G, 6 H)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 G, 6 H, 7 I)
     }
 
     /// String patterns used as strategies (`"\\PC{0,200}"`). The pattern

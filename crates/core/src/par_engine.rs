@@ -393,8 +393,9 @@ fn strided_addr(
 /// log, and (for shared-memory traffic) a single strided bulk reference.
 /// Returns `false` to fall back to the per-lane loop whenever the algebra
 /// escapes (per-thread operands, guarded comparisons out of exact range,
-/// wrapping/clamping addresses, hashed module maps, local memory,
-/// multioperations).
+/// wrapping/clamping addresses, hashed module maps on strided targets,
+/// local memory). Multioperations and multiprefixes with affine base and
+/// contribution operands compress to one [`MemOp::BulkMulti`] reference.
 ///
 /// Bit-identity with the per-lane path holds by construction: ALU folding
 /// goes through [`affine_alu`] (exact mod 2^64; comparisons only when
@@ -563,6 +564,76 @@ fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
                 MemOp::StridedWrite {
                     base: a0,
                     stride: astride,
+                    count: len as u32,
+                    vbase: vb,
+                    vstride,
+                },
+            ));
+            true
+        }
+        DecodedInst::MultiOp {
+            kind,
+            base,
+            off,
+            rs,
+        }
+        | DecodedInst::MultiPrefix {
+            kind,
+            base,
+            off,
+            rs,
+            ..
+        } => {
+            use tcf_isa::word::to_addr;
+            let rd = match ctx.instr {
+                DecodedInst::MultiPrefix { rd, .. } => Some(rd),
+                _ => None,
+            };
+            let (ab, astride) = match affine_reg(base) {
+                Some(x) => x,
+                None => return false,
+            };
+            let (vb, vstride) = match affine_reg(rs) {
+                Some(x) => x,
+                None => return false,
+            };
+            let (a0, node_step) = if astride == 0 {
+                // Uniform base: every lane targets one word, and the
+                // per-lane wrap/clamp applies identically to each lane —
+                // no exactness guard needed, and the single module works
+                // under any map (node step 0).
+                (to_addr(ab.wrapping_add(off)), 0)
+            } else {
+                match strided_addr(ctx, ab, off, astride, len) {
+                    Some(x) => x,
+                    None => return false,
+                }
+            };
+            out.units.push(UnitSeq::SharedRun {
+                flow: fid,
+                thread0: lo,
+                count: len,
+                node0: ctx.shared.module_of(a0),
+                node_step,
+                nodes: ctx.shared.modules(),
+            });
+            if let Some(rd) = rd {
+                out.wbs.push((
+                    rd,
+                    WbTarget::Lanes {
+                        base: lo,
+                        count: len,
+                    },
+                    out.refs.len(),
+                ));
+            }
+            out.refs.push(MemRef::new(
+                RefOrigin::new(ctx.group, flow.rank_base + lo),
+                MemOp::BulkMulti {
+                    kind,
+                    prefix: rd.is_some(),
+                    base: a0,
+                    astride,
                     count: len as u32,
                     vbase: vb,
                     vstride,
@@ -757,6 +828,125 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
     }
 }
 
+/// Tries to merge a fragment's sole `BulkMulti` reference into the run at
+/// the tail of `refs`. A thick multioperation compresses per slice, so
+/// with `g` fragment groups it arrives as `g` rank-adjacent `BulkMulti`
+/// references to the same word (or one affine target progression) — the
+/// slice boundary is an engine artifact, not a semantic split, and left
+/// unmerged the same-address spans trip the bulk overlap check and expand
+/// to per-lane resolution. Merging requires exact continuation in rank,
+/// address, contribution value and (for prefixes) the destination lane
+/// window of the same flow's writeback; the merged run expands to
+/// precisely the union of the two runs' lanes in the same rank order, so
+/// semantics are untouched. Returns `false` (the caller appends normally)
+/// whenever anything does not line up.
+fn coalesce_bulk_multi(
+    refs: &mut [MemRef],
+    wbs: &mut [Writeback],
+    out: &FragOut,
+    flow: u32,
+) -> bool {
+    use tcf_mem::MemOp;
+
+    if out.refs.len() != 1 {
+        return false;
+    }
+    let new = out.refs[0];
+    let MemOp::BulkMulti {
+        kind,
+        prefix,
+        base,
+        astride,
+        count,
+        vbase,
+        vstride,
+    } = new.op
+    else {
+        return false;
+    };
+    let Some(last) = refs.last() else {
+        return false;
+    };
+    let MemOp::BulkMulti {
+        kind: lkind,
+        prefix: lprefix,
+        base: lbase,
+        astride: lastride,
+        count: lcount,
+        vbase: lvbase,
+        vstride: lvstride,
+    } = last.op
+    else {
+        return false;
+    };
+    if kind != lkind
+        || prefix != lprefix
+        || astride != lastride
+        || vstride != lvstride
+        || new.origin.rank != last.origin.rank + lcount as usize
+        || base as i128 != lbase as i128 + lcount as i128 * astride as i128
+        || vbase != lvbase.wrapping_add((lcount as Word).wrapping_mul(vstride))
+    {
+        return false;
+    }
+    let merged_wb = if prefix {
+        // The continuation must extend the previous slice's reply window
+        // (same flow, same destination, adjacent lanes).
+        if out.wbs.len() != 1 {
+            return false;
+        }
+        let (rd, target, ri) = out.wbs[0];
+        let WbTarget::Lanes {
+            base: nwb,
+            count: nwc,
+        } = target
+        else {
+            return false;
+        };
+        let Some(wlast) = wbs.last() else {
+            return false;
+        };
+        let WbTarget::Lanes {
+            base: owb,
+            count: owc,
+        } = wlast.target
+        else {
+            return false;
+        };
+        if ri != 0
+            || wlast.flow != flow
+            || wlast.rd != rd
+            || wlast.ref_idx != refs.len() - 1
+            || owb + owc != nwb
+            || nwc != count as usize
+        {
+            return false;
+        }
+        Some(WbTarget::Lanes {
+            base: owb,
+            count: owc + nwc,
+        })
+    } else {
+        if !out.wbs.is_empty() {
+            return false;
+        }
+        None
+    };
+    if let Some(target) = merged_wb {
+        wbs.last_mut().expect("checked above").target = target;
+    }
+    refs.last_mut().expect("checked above").op = MemOp::BulkMulti {
+        kind,
+        prefix,
+        base: lbase,
+        astride,
+        count: lcount + count,
+        vbase: lvbase,
+        vstride,
+    };
+    true
+}
+
 // ---------------------------------------------------------------------------
 // Coordinator-side orchestration
 // ---------------------------------------------------------------------------
@@ -875,14 +1065,16 @@ impl TcfMachine {
             }
             let base = refs.len();
             units[out.frag.group].extend_from_slice(&out.units);
-            refs.extend_from_slice(&out.refs);
-            for &(rd, target, ri) in &out.wbs {
-                wbs.push(Writeback {
-                    flow: flow.id,
-                    rd,
-                    target,
-                    ref_idx: base + ri,
-                });
+            if !coalesce_bulk_multi(refs, wbs, out, flow.id) {
+                refs.extend_from_slice(&out.refs);
+                for &(rd, target, ri) in &out.wbs {
+                    wbs.push(Writeback {
+                        flow: flow.id,
+                        rd,
+                        target,
+                        ref_idx: base + ri,
+                    });
+                }
             }
             // §3.3 operand storage: if this fragment's per-thread register
             // footprint exceeds the cached register file, the operands
@@ -1010,6 +1202,110 @@ impl TcfMachine {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn coalesce_bulk_multi_merges_exact_continuations() {
+        use crate::exec_sync::{WbTarget, Writeback};
+        use tcf_isa::instr::MultiKind;
+        use tcf_isa::reg::r;
+        use tcf_mem::{MemOp, MemRef, RefOrigin};
+
+        fn bm(rank: usize, count: u32, vbase: Word, prefix: bool) -> MemRef {
+            MemRef::new(
+                RefOrigin::new(0, rank),
+                MemOp::BulkMulti {
+                    kind: MultiKind::Add,
+                    prefix,
+                    base: 64,
+                    astride: 0,
+                    count,
+                    vbase,
+                    vstride: 1,
+                },
+            )
+        }
+        fn cont(out: &mut FragOut, r: MemRef) {
+            out.refs.clear();
+            out.wbs.clear();
+            out.refs.push(r);
+        }
+
+        let mut out = FragOut::empty();
+        let mut no_wbs: Vec<Writeback> = Vec::new();
+
+        // A rank- and value-exact continuation merges into one run.
+        let mut refs = vec![bm(0, 256, 0, false)];
+        cont(&mut out, bm(256, 256, 256, false));
+        assert!(coalesce_bulk_multi(&mut refs, &mut no_wbs, &out, 7));
+        assert_eq!(refs.len(), 1);
+        let MemOp::BulkMulti { count, vbase, .. } = refs[0].op else {
+            panic!("not a bulk multi");
+        };
+        assert_eq!((count, vbase), (512, 0));
+
+        // A rank gap (not the next slice) refuses.
+        let mut refs = vec![bm(0, 256, 0, false)];
+        cont(&mut out, bm(300, 256, 256, false));
+        assert!(!coalesce_bulk_multi(&mut refs, &mut no_wbs, &out, 7));
+
+        // A broken value progression refuses.
+        let mut refs = vec![bm(0, 256, 0, false)];
+        cont(&mut out, bm(256, 256, 999, false));
+        assert!(!coalesce_bulk_multi(&mut refs, &mut no_wbs, &out, 7));
+
+        // Prefix runs merge their reply windows too.
+        let mut refs = vec![bm(0, 256, 0, true)];
+        let mut wbs = vec![Writeback {
+            flow: 7,
+            rd: r(2),
+            target: WbTarget::Lanes {
+                base: 0,
+                count: 256,
+            },
+            ref_idx: 0,
+        }];
+        cont(&mut out, bm(256, 256, 256, true));
+        out.wbs.push((
+            r(2),
+            WbTarget::Lanes {
+                base: 256,
+                count: 256,
+            },
+            0,
+        ));
+        assert!(coalesce_bulk_multi(&mut refs, &mut wbs, &out, 7));
+        let MemOp::BulkMulti { count, .. } = refs[0].op else {
+            panic!("not a bulk multi");
+        };
+        assert_eq!(count, 512);
+        assert_eq!(wbs.len(), 1);
+        let WbTarget::Lanes { base, count } = wbs[0].target else {
+            panic!("not a lane window");
+        };
+        assert_eq!((base, count), (0, 512));
+
+        // A prefix continuation from another flow's writeback refuses.
+        let mut refs = vec![bm(0, 256, 0, true)];
+        let mut wbs = vec![Writeback {
+            flow: 8,
+            rd: r(2),
+            target: WbTarget::Lanes {
+                base: 0,
+                count: 256,
+            },
+            ref_idx: 0,
+        }];
+        cont(&mut out, bm(256, 256, 256, true));
+        out.wbs.push((
+            r(2),
+            WbTarget::Lanes {
+                base: 256,
+                count: 256,
+            },
+            0,
+        ));
+        assert!(!coalesce_bulk_multi(&mut refs, &mut wbs, &out, 7));
+    }
 
     #[test]
     fn engine_spec_parsing() {

@@ -1186,6 +1186,87 @@ mod tests {
     }
 
     #[test]
+    fn decay_compressed_at_the_thickness_edges() {
+        // Thickness 0 clamps to one materialized lane: a flow with no
+        // implicit threads still holds well-formed per-thread state.
+        let mut v = ThickValue::affine(5, 3);
+        v.decay_compressed(0);
+        assert_eq!(v, ThickValue::PerThread(vec![5]));
+
+        // Thickness 1 freezes exactly the first lane; later lanes read 0
+        // like any short per-thread vector.
+        let mut v = ThickValue::affine(5, 3);
+        v.decay_compressed(1);
+        assert_eq!(v, ThickValue::PerThread(vec![5]));
+        assert_eq!(v.get(4), 0);
+
+        let mut s = ThickValue::Segments(vec![
+            Seg {
+                len: 2,
+                base: 7,
+                stride: 1,
+            },
+            Seg {
+                len: 2,
+                base: 100,
+                stride: 0,
+            },
+        ]);
+        s.decay_compressed(1);
+        assert_eq!(s, ThickValue::PerThread(vec![7]));
+    }
+
+    #[test]
+    fn regs_decay_compressed_pins_the_materialized_view() {
+        // Every compressed register decays to exactly its materialized
+        // lanes at the decay thickness; uniform and per-thread registers
+        // are untouched (unlike `materialize_all`, which forces
+        // everything per-thread).
+        let thickness = 4;
+        let mut regs = ThickRegs::new(5);
+        regs.write_affine(r(1), 0, thickness, 10, 2, thickness); // affine
+        regs.write(r(2), 2, 9, thickness); // per-thread
+        regs.write_uniform(r(3), 6);
+        regs.write_value(
+            r(4),
+            ThickValue::Segments(vec![
+                Seg {
+                    len: 2,
+                    base: 1,
+                    stride: 1,
+                },
+                Seg {
+                    len: 2,
+                    base: 50,
+                    stride: -3,
+                },
+            ]),
+        );
+        let mut reference = regs.clone();
+        reference.materialize_all(thickness);
+
+        regs.decay_compressed(thickness);
+        for reg in [r(1), r(2), r(3), r(4)] {
+            for lane in 0..thickness {
+                assert_eq!(
+                    regs.read(reg, lane),
+                    reference.read(reg, lane),
+                    "reg {reg:?} lane {lane}"
+                );
+            }
+        }
+        // The formerly compressed registers read 0 past the decay
+        // thickness, exactly like the materialized vectors.
+        for reg in [r(1), r(4)] {
+            for lane in thickness..thickness + 2 {
+                assert_eq!(regs.read(reg, lane), 0, "reg {reg:?} lane {lane}");
+            }
+        }
+        // Affine and segment registers decayed; uniform stayed uniform.
+        assert_eq!(regs.per_thread_count(), 3);
+    }
+
+    #[test]
     fn affine_over_extracts_progressions() {
         assert_eq!(ThickValue::Uniform(3).affine_over(5, 10), Some((3, 0)));
         assert_eq!(ThickValue::affine(10, 3).affine_over(2, 4), Some((16, 3)));

@@ -19,7 +19,7 @@
 
 use proptest::prelude::*;
 
-use tcf_core::{Allocation, TcfMachine, Variant};
+use tcf_core::{Allocation, Engine, TcfMachine, Variant};
 use tcf_isa::instr::{Instr, MemSpace, MultiKind, Operand};
 use tcf_isa::op::AluOp;
 use tcf_isa::program::Program;
@@ -252,6 +252,23 @@ fn run(variant: Variant, alloc: Allocation, program: Program) -> Vec<Word> {
     m.peek_range(0, MEM_WINDOW).unwrap()
 }
 
+/// Runs under an explicit execution engine and returns everything the
+/// parallel engine promises to keep bit-identical: memory, machine
+/// statistics, and memory-step statistics.
+fn run_engine(engine: Engine, program: Program) -> (Vec<Word>, String) {
+    let mut m = TcfMachine::with_allocation(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        program,
+        Allocation::Horizontal,
+    );
+    m.set_engine(engine);
+    m.run(200_000).expect("program halts");
+    let mem = m.peek_range(0, MEM_WINDOW).unwrap();
+    let stats = format!("{:?} {:?}", m.stats(), m.mem_stats());
+    (mem, stats)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -283,6 +300,22 @@ proptest! {
         }
     }
 
+    /// The parallel engine is a pure scheduling choice too: for any
+    /// well-formed program — multioperations and multiprefixes included,
+    /// so both the bulk-combining fast path and its per-lane expansion
+    /// are crossed — seq and par:4 leave bit-identical memory and
+    /// statistics.
+    #[test]
+    fn parallel_engine_is_bit_identical(
+        segments in prop::collection::vec(arb_segment(), 1..16)
+    ) {
+        let program = lower(&segments);
+        let (seq_mem, seq_stats) = run_engine(Engine::Sequential, program.clone());
+        let (par_mem, par_stats) = run_engine(Engine::Parallel { workers: 4 }, program);
+        prop_assert_eq!(&seq_mem, &par_mem, "par:4 memory diverged");
+        prop_assert_eq!(&seq_stats, &par_stats, "par:4 statistics diverged");
+    }
+
     /// Thickness changes preserve flow-wise register state.
     #[test]
     fn thickness_changes_keep_uniform_registers(k1 in 1usize..64, k2 in 1usize..64, v in -1000i64..1000) {
@@ -294,6 +327,25 @@ proptest! {
         ]);
         let mem = run(Variant::SingleInstruction, Allocation::Horizontal, program);
         prop_assert_eq!(mem[10], v);
+    }
+}
+
+#[test]
+fn thickness_preserving_setthick_keeps_lane_state() {
+    // SetThick to the *same* thickness still decays compressed registers
+    // (the old-thickness pin), which must be observably the identity:
+    // per-lane data written before the no-op change reads back unchanged
+    // after it.
+    let k = 5usize;
+    let program = lower(&[
+        Segment::SetThick(k),
+        Segment::ThickInit(1), // r1 = 3*tid + 1, an affine register
+        Segment::SetThick(k),  // thickness-preserving
+        Segment::ThickStore { base: 2000, src: 1 },
+    ]);
+    let mem = run(Variant::SingleInstruction, Allocation::Horizontal, program);
+    for t in 0..k {
+        assert_eq!(mem[2000 + t], 3 * t as Word + 1, "lane {t}");
     }
 }
 

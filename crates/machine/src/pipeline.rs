@@ -364,6 +364,30 @@ impl GroupPipeline {
                             let u = s.unit_at(k);
                             self.issue_one(&mut st, &u, width, serialize_mem, net, trace, stats);
                         }
+                    } else if let (0, Some(fwd), Some(rev)) = (
+                        node_step,
+                        net.route_to(self.group, node0),
+                        net.route_to(node0, self.group),
+                    ) {
+                        // Every lane targets the same module (the
+                        // bulk-multioperation shape): both routes repeat
+                        // per message, so walk precomputed link ids
+                        // instead of re-deriving the path hop by hop.
+                        // `send_on` reserves links and records statistics
+                        // exactly as `send` would.
+                        for _ in 0..count {
+                            if st.issued_this_cycle >= width {
+                                st.t += 1;
+                                st.issued_this_cycle = 0;
+                            }
+                            st.issued_this_cycle += 1;
+                            let arrive = net.send_on(&fwd, st.t);
+                            let served = net.service(node0, arrive, self.module_latency);
+                            let back = net.send_on(&rev, served);
+                            stats.mem_roundtrip.record(back - st.t);
+                            st.last_reply = st.last_reply.max(back);
+                        }
+                        stats.count_units(UnitKind::MemShared, count as u64);
                     } else {
                         let mut node = node0;
                         for _ in 0..count {

@@ -73,6 +73,29 @@ pub enum MemOp {
         /// Value increment between consecutive lanes (wrapping).
         vstride: Word,
     },
+    /// Bulk multioperation / multiprefix: lane `k` (of `count`)
+    /// contributes value `vbase + k·vstride` (wrapping) to address
+    /// `base + k·astride` with global rank `origin.rank + k`. With
+    /// `astride == 0` every lane combines into the same word — the
+    /// compressed form of a thick flow's `Mu*`/`Mp*` on one target.
+    /// When `prefix` is set each lane receives its exclusive rank-order
+    /// prefix through the bulk-reply channel.
+    BulkMulti {
+        /// Combine operator.
+        kind: MultiKind,
+        /// Whether lanes receive exclusive prefixes (multiprefix).
+        prefix: bool,
+        /// Address of lane 0.
+        base: Addr,
+        /// Address increment between consecutive lanes (0 = one word).
+        astride: i64,
+        /// Number of lanes.
+        count: u32,
+        /// Contribution of lane 0.
+        vbase: Word,
+        /// Contribution increment between consecutive lanes (wrapping).
+        vstride: Word,
+    },
 }
 
 impl MemOp {
@@ -85,32 +108,39 @@ impl MemOp {
             | MemOp::Multi(_, a, _)
             | MemOp::Prefix(_, a, _)
             | MemOp::StridedRead { base: a, .. }
-            | MemOp::StridedWrite { base: a, .. } => a,
+            | MemOp::StridedWrite { base: a, .. }
+            | MemOp::BulkMulti { base: a, .. } => a,
         }
     }
 
     /// Whether the issuing thread expects a reply value. (A `StridedRead`
-    /// replies through the bulk-reply channel, not the per-reference
-    /// slot.)
+    /// or prefixing `BulkMulti` replies through the bulk-reply channel,
+    /// not the per-reference slot.)
     #[inline]
     pub fn wants_reply(&self) -> bool {
-        matches!(
-            self,
-            MemOp::Read(_) | MemOp::Prefix(..) | MemOp::StridedRead { .. }
-        )
+        match *self {
+            MemOp::Read(_) | MemOp::Prefix(..) | MemOp::StridedRead { .. } => true,
+            MemOp::BulkMulti { prefix, .. } => prefix,
+            _ => false,
+        }
     }
 
     /// Whether this is a bulk (strided) reference.
     #[inline]
     pub fn is_bulk(&self) -> bool {
-        matches!(self, MemOp::StridedRead { .. } | MemOp::StridedWrite { .. })
+        matches!(
+            self,
+            MemOp::StridedRead { .. } | MemOp::StridedWrite { .. } | MemOp::BulkMulti { .. }
+        )
     }
 
     /// Number of lane references this operation stands for.
     #[inline]
     pub fn lanes(&self) -> usize {
         match *self {
-            MemOp::StridedRead { count, .. } | MemOp::StridedWrite { count, .. } => count as usize,
+            MemOp::StridedRead { count, .. }
+            | MemOp::StridedWrite { count, .. }
+            | MemOp::BulkMulti { count, .. } => count as usize,
             _ => 1,
         }
     }

@@ -103,6 +103,63 @@ struct AddrScratch {
     combines: [Vec<(usize, Word, Option<usize>)>; 6],
     /// Rank-ordered contribution values handed to the combiner.
     values: Vec<Word>,
+    /// Rank-indexed slot map of the dense scatter (`u32::MAX` = empty).
+    slots: Vec<u32>,
+    /// Scatter output, swapped with the combine buffer being ordered.
+    sorted: Vec<(usize, Word, Option<usize>)>,
+}
+
+/// Orders combine entries by rank. Ranks within one combining step are
+/// lane ids and in practice unique and near-contiguous, so a dense
+/// rank-bucket scatter replaces the former `O(n log n)`
+/// `sort_by_key(rank)`: place each entry at `rank - min` in a slot map,
+/// then read the slots back in order. Falls back to the stable sort when
+/// ranks collide (two flows contributing under the same rank) or span too
+/// wide a range for a cheap slot fill — the fallback preserves the exact
+/// pre-scatter semantics (issue order among equal ranks).
+fn order_by_rank(
+    entries: &mut Vec<(usize, Word, Option<usize>)>,
+    slots: &mut Vec<u32>,
+    sorted: &mut Vec<(usize, Word, Option<usize>)>,
+) {
+    let n = entries.len();
+    if n <= 1 {
+        return;
+    }
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for &(rank, _, _) in entries.iter() {
+        lo = lo.min(rank);
+        hi = hi.max(rank);
+    }
+    let range = hi - lo + 1;
+    // `range < n` implies a duplicate; a huge sparse range would make the
+    // slot fill itself the cost.
+    if range >= n && range <= 4 * n + 1024 {
+        slots.clear();
+        slots.resize(range, u32::MAX);
+        let mut unique = true;
+        for (j, &(rank, _, _)) in entries.iter().enumerate() {
+            let s = rank - lo;
+            if slots[s] != u32::MAX {
+                unique = false;
+                break;
+            }
+            slots[s] = j as u32;
+        }
+        if unique {
+            sorted.clear();
+            sorted.extend(
+                slots
+                    .iter()
+                    .filter(|&&j| j != u32::MAX)
+                    .map(|&j| entries[j as usize]),
+            );
+            std::mem::swap(entries, sorted);
+            return;
+        }
+    }
+    entries.sort_by_key(|&(rank, _, _)| rank);
 }
 
 /// The step-synchronous shared memory of one machine.
@@ -351,7 +408,7 @@ impl SharedMemory {
                 replies.push((i, old));
                 kind.combine(old, v)
             }
-            MemOp::StridedRead { .. } | MemOp::StridedWrite { .. } => {
+            MemOp::StridedRead { .. } | MemOp::StridedWrite { .. } | MemOp::BulkMulti { .. } => {
                 unreachable!("bulk references resolve through step_bulk_into")
             }
         }
@@ -398,7 +455,9 @@ impl SharedMemory {
                 MemOp::Prefix(kind, _, v) => {
                     arena.combines[kind as usize].push((refs[i].origin.rank, v, Some(i)));
                 }
-                MemOp::StridedRead { .. } | MemOp::StridedWrite { .. } => {
+                MemOp::StridedRead { .. }
+                | MemOp::StridedWrite { .. }
+                | MemOp::BulkMulti { .. } => {
                     unreachable!("bulk references resolve through step_bulk_into")
                 }
             }
@@ -433,15 +492,32 @@ impl SharedMemory {
             CrcwPolicy::Arbitrary | CrcwPolicy::Priority => {}
         }
 
-        // Resolve plain writes. The stable sort keeps issue order among
-        // equal ranks, matching the pre-arena resolution exactly.
+        // Resolve plain writes. Only one extreme-rank contender survives,
+        // so a linear scan replaces the former stable sort: `Arbitrary`
+        // takes the highest rank (`>=` so the later contender wins rank
+        // ties, as `.last()` after a stable sort did), everything else
+        // the lowest (strict `<` keeps the earliest tied contender, as
+        // `.first()` did).
         let mut value = old;
-        if !arena.plain_writes.is_empty() {
-            arena.plain_writes.sort_by_key(|&(rank, _)| rank);
-            value = match self.policy {
-                CrcwPolicy::Arbitrary => arena.plain_writes.last().unwrap().1,
-                _ => arena.plain_writes.first().unwrap().1,
-            };
+        if let Some(&first) = arena.plain_writes.first() {
+            let mut best = first;
+            match self.policy {
+                CrcwPolicy::Arbitrary => {
+                    for &(rank, v) in &arena.plain_writes[1..] {
+                        if rank >= best.0 {
+                            best = (rank, v);
+                        }
+                    }
+                }
+                _ => {
+                    for &(rank, v) in &arena.plain_writes[1..] {
+                        if rank < best.0 {
+                            best = (rank, v);
+                        }
+                    }
+                }
+            }
+            value = best.1;
         }
 
         // Apply combinations in `MultiKind` declaration order (== the
@@ -452,7 +528,15 @@ impl SharedMemory {
                 continue;
             }
             let kind = MultiKind::ALL[k];
-            arena.combines[k].sort_by_key(|&(rank, _, _)| rank);
+            {
+                let AddrScratch {
+                    combines,
+                    slots,
+                    sorted,
+                    ..
+                } = arena;
+                order_by_rank(&mut combines[k], slots, sorted);
+            }
             combined += arena.combines[k].len().saturating_sub(1);
             arena.values.clear();
             arena
@@ -653,6 +737,27 @@ impl SharedMemory {
                     stats.refs += count as usize;
                     self.count_strided_modules(base, stride, count, &mut stats);
                 }
+                MemOp::BulkMulti {
+                    base,
+                    astride,
+                    count,
+                    ..
+                } => {
+                    if let Some(addr) = self.first_oob_lane(base, astride, count) {
+                        return Err(MemError::OutOfBounds {
+                            addr,
+                            size: self.words.len(),
+                        });
+                    }
+                    stats.refs += count as usize;
+                    self.count_strided_modules(base, astride, count, &mut stats);
+                    if astride == 0 && count >= 2 {
+                        // The expansion would resolve `count` contributions
+                        // at one address through the combine arena.
+                        stats.hot_addrs += 1;
+                        stats.combined += count as usize - 1;
+                    }
+                }
                 op => {
                     let addr = op.addr();
                     if addr >= self.words.len() {
@@ -684,19 +789,38 @@ impl SharedMemory {
 
         // Gather bulk reads against the pre-step state (scalar writes are
         // still only staged), then apply scalar writes and scatter bulk
-        // writes — disjointness makes the write order immaterial.
+        // writes — disjointness makes the write order immaterial. Bulk
+        // multioperations resolve in this same pass: disjointness proves
+        // no other reference of the step touches their addresses, so the
+        // read-combine-write (and its prefix replies, pushed in reference
+        // order like the reads) cannot be observed out of order.
         for (i, r) in refs.iter().enumerate() {
-            if let MemOp::StridedRead {
-                base,
-                stride,
-                count,
-            } = r.op
-            {
-                bulk.push_gathered(
-                    i,
-                    (0..count as usize)
-                        .map(|k| self.words[(base as i64 + k as i64 * stride) as usize]),
-                );
+            match r.op {
+                MemOp::StridedRead {
+                    base,
+                    stride,
+                    count,
+                } => {
+                    bulk.push_gathered(
+                        i,
+                        (0..count as usize)
+                            .map(|k| self.words[(base as i64 + k as i64 * stride) as usize]),
+                    );
+                }
+                MemOp::BulkMulti {
+                    kind,
+                    prefix,
+                    base,
+                    astride,
+                    count,
+                    vbase,
+                    vstride,
+                } => {
+                    self.resolve_bulk_multi(
+                        i, kind, prefix, base, astride, count, vbase, vstride, bulk,
+                    );
+                }
+                _ => {}
             }
         }
         replies.clear();
@@ -724,6 +848,104 @@ impl SharedMemory {
         }
 
         Ok(stats)
+    }
+
+    /// Resolves one disjoint-path `BulkMulti`: lane `k` contributes
+    /// `vbase + k·vstride` to `base + k·astride`, with rank order equal
+    /// to lane order by construction. With `astride == 0` the whole run
+    /// combines into one word: `Add` folds by the arithmetic-series sum
+    /// in O(1) (exact mod 2^64), `Max`/`Min` take the progression's
+    /// endpoint extremes when it provably does not wrap, the bitwise
+    /// kinds collapse for uniform contributions, and anything else folds
+    /// the `count` values directly — still without materializing per-lane
+    /// `MemRef`s or touching the combine arena. Prefix replies are the
+    /// running combine in lane (= rank) order, pushed through the same
+    /// compressing reply arena as bulk reads. Only called from the
+    /// disjoint fast path, where no other reference of the step can touch
+    /// this reference's addresses.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_bulk_multi(
+        &mut self,
+        ref_idx: usize,
+        kind: MultiKind,
+        prefix: bool,
+        base: Addr,
+        astride: i64,
+        count: u32,
+        vbase: Word,
+        vstride: Word,
+        bulk: &mut BulkReplies,
+    ) {
+        let count = count as usize;
+        if count == 0 {
+            if prefix {
+                bulk.push_gathered(ref_idx, std::iter::empty());
+            }
+            return;
+        }
+        let contrib = |k: usize| vbase.wrapping_add((k as Word).wrapping_mul(vstride));
+        if astride != 0 {
+            // Distinct addresses: every lane is its combine's sole
+            // participant, so its exclusive prefix is the word's old
+            // value (the combine seed).
+            if prefix {
+                bulk.push_gathered(
+                    ref_idx,
+                    (0..count).map(|k| self.words[(base as i64 + k as i64 * astride) as usize]),
+                );
+            }
+            for k in 0..count {
+                let addr = (base as i64 + k as i64 * astride) as usize;
+                self.words[addr] = kind.combine(self.words[addr], contrib(k));
+            }
+            return;
+        }
+        let old = self.words[base];
+        if prefix {
+            let mut acc = old;
+            bulk.push_gathered(
+                ref_idx,
+                (0..count).map(|k| {
+                    let p = acc;
+                    acc = kind.combine(acc, contrib(k));
+                    p
+                }),
+            );
+            self.words[base] = acc;
+            return;
+        }
+        let new = match kind {
+            MultiKind::Add => {
+                // Σ_k (vbase + k·vstride) = count·vbase + vstride·T(count−1),
+                // with the triangular number taken mod 2^64 — wrapping
+                // addition is associative and commutative, so the series
+                // sum equals the lane-order fold exactly.
+                let tri = ((count as u128 * (count as u128 - 1)) / 2) as u64 as i64;
+                old.wrapping_add((count as Word).wrapping_mul(vbase))
+                    .wrapping_add(vstride.wrapping_mul(tri))
+            }
+            MultiKind::Max | MultiKind::Min if progression_fits(vbase, vstride, count) => {
+                // No wrap ⇒ the progression is monotone, so its extremes
+                // sit at the endpoints.
+                let last = contrib(count - 1);
+                if kind == MultiKind::Max {
+                    old.max(vbase.max(last))
+                } else {
+                    old.min(vbase.min(last))
+                }
+            }
+            MultiKind::And if vstride == 0 => old & vbase,
+            MultiKind::Or if vstride == 0 => old | vbase,
+            MultiKind::Xor if vstride == 0 => {
+                if count % 2 == 1 {
+                    old ^ vbase
+                } else {
+                    old
+                }
+            }
+            _ => (0..count).fold(old, |acc, k| kind.combine(acc, contrib(k))),
+        };
+        self.words[base] = new;
     }
 
     /// The literal-expansion fallback of
@@ -772,6 +994,28 @@ impl SharedMemory {
                         )
                     }));
                 }
+                MemOp::BulkMulti {
+                    kind,
+                    prefix,
+                    base,
+                    astride,
+                    count,
+                    vbase,
+                    vstride,
+                } => {
+                    flat.extend((0..count as usize).map(|k| {
+                        let addr = Self::lane_addr(base, astride, k);
+                        let v = vbase.wrapping_add((k as Word).wrapping_mul(vstride));
+                        MemRef::new(
+                            RefOrigin::new(r.origin.group, r.origin.rank + k),
+                            if prefix {
+                                MemOp::Prefix(kind, addr, v)
+                            } else {
+                                MemOp::Multi(kind, addr, v)
+                            },
+                        )
+                    }));
+                }
                 _ => flat.push(*r),
             }
         }
@@ -799,6 +1043,17 @@ impl SharedMemory {
                     pos += count as usize;
                 }
                 MemOp::StridedWrite { count, .. } => pos += count as usize,
+                MemOp::BulkMulti { prefix, count, .. } => {
+                    if prefix {
+                        bulk.push_gathered(
+                            i,
+                            flat_replies[pos..pos + count as usize]
+                                .iter()
+                                .map(|v| v.expect("lane prefix always replies")),
+                        );
+                    }
+                    pos += count as usize;
+                }
                 _ => {
                     replies[i] = flat_replies[pos];
                     pos += 1;
@@ -920,6 +1175,25 @@ impl SharedMemory {
                         (stride as i128).abs().max(1),
                     ))
                 }
+                MemOp::BulkMulti {
+                    base,
+                    astride,
+                    count,
+                    ..
+                } => {
+                    if count == 0 {
+                        return None;
+                    }
+                    if astride == 0 {
+                        // Every lane combining into one word is the
+                        // reference's purpose, not a self-conflict: it
+                        // occupies a single-address span.
+                        return Some((base as i128, base as i128, 1));
+                    }
+                    let first = base as i128;
+                    let last = base as i128 + (count as i128 - 1) * astride as i128;
+                    Some((first.min(last), first.max(last), (astride as i128).abs()))
+                }
                 op => Some((op.addr() as i128, op.addr() as i128, 1)),
             }
         }
@@ -954,6 +1228,15 @@ impl SharedMemory {
         }
         false
     }
+}
+
+/// Whether `vbase + k·vstride` stays within `i64` for every `k < count`
+/// when computed exactly — the progression never wraps and is therefore
+/// monotone with its extremes at the endpoints. (Intermediate terms lie
+/// between the first and last, so checking the last term suffices.)
+fn progression_fits(vbase: Word, vstride: Word, count: usize) -> bool {
+    let last = vbase as i128 + (count as i128 - 1) * vstride as i128;
+    (i64::MIN as i128..=i64::MAX as i128).contains(&last)
 }
 
 /// Greatest common divisor (positive inputs).
@@ -1095,6 +1378,37 @@ mod tests {
 
     fn rref(rank: usize, addr: Addr) -> MemRef {
         MemRef::new(RefOrigin::new(0, rank), MemOp::Read(addr))
+    }
+
+    /// The rank-bucket scatter must reproduce the stable sort it replaced
+    /// across its regimes: dense unique ranks, gappy ranks, duplicate
+    /// ranks (fallback), and ranges too sparse to scatter (fallback).
+    #[test]
+    fn order_by_rank_matches_stable_sort() {
+        let cases: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![7],
+            vec![3, 1, 2, 0],            // dense unique, shuffled
+            vec![10, 2, 6, 4],           // gappy unique
+            vec![5, 1, 5, 3],            // duplicate -> fallback
+            vec![100_000, 3, 50_000, 7], // sparse -> fallback
+            (0..500).rev().collect(),    // larger dense run
+        ];
+        let mut slots = Vec::new();
+        let mut sorted = Vec::new();
+        for ranks in cases {
+            // Payload tags each entry with its issue position so tie
+            // handling is observable.
+            let mut scattered: Vec<(usize, Word, Option<usize>)> = ranks
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| (r, j as Word, Some(j)))
+                .collect();
+            let mut reference = scattered.clone();
+            reference.sort_by_key(|&(rank, _, _)| rank);
+            order_by_rank(&mut scattered, &mut slots, &mut sorted);
+            assert_eq!(scattered, reference, "ranks {ranks:?}");
+        }
     }
 
     fn wref(rank: usize, addr: Addr, v: Word) -> MemRef {

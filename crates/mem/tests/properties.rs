@@ -41,6 +41,15 @@ enum GenRef {
         vbase: i32,
         vstride: i32,
     },
+    BulkMulti {
+        kind: MultiKind,
+        prefix: bool,
+        base: usize,
+        astride: i64,
+        count: u32,
+        vbase: i32,
+        vstride: i32,
+    },
 }
 
 fn arb_gen_ref() -> impl Strategy<Value = GenRef> {
@@ -70,6 +79,29 @@ fn arb_gen_ref() -> impl Strategy<Value = GenRef> {
                 vstride,
             }
         }),
+        // Bulk multioperations: `astride == 0` (the combining-run shape
+        // the closed forms target) is weighted heavily, but strided
+        // targets and both reply modes are exercised too.
+        (
+            arb_kind(),
+            any::<bool>(),
+            0usize..SIZE + 8,
+            prop_oneof![Just(0i64), Just(0i64), Just(0i64), 1i64..4],
+            1u32..24,
+            any::<i32>(),
+            -4i32..5,
+        )
+            .prop_map(|(kind, prefix, base, astride, count, vbase, vstride)| {
+                GenRef::BulkMulti {
+                    kind,
+                    prefix,
+                    base,
+                    astride,
+                    count,
+                    vbase,
+                    vstride,
+                }
+            },),
     ]
 }
 
@@ -156,6 +188,41 @@ fn build_refs(gens: &[GenRef]) -> (Vec<MemRef>, Vec<MemRef>) {
                             (base as i64 + k as i64 * stride) as usize,
                             (vbase as Word).wrapping_add((k as Word).wrapping_mul(vstride as Word)),
                         ),
+                    )
+                }));
+                rank += count as usize;
+            }
+            GenRef::BulkMulti {
+                kind,
+                prefix,
+                base,
+                astride,
+                count,
+                vbase,
+                vstride,
+            } => {
+                refs.push(MemRef::new(
+                    RefOrigin::new(0, rank),
+                    MemOp::BulkMulti {
+                        kind,
+                        prefix,
+                        base,
+                        astride,
+                        count,
+                        vbase: vbase as Word,
+                        vstride: vstride as Word,
+                    },
+                ));
+                flat.extend((0..count as usize).map(|k| {
+                    let a = (base as i64 + k as i64 * astride) as usize;
+                    let v = (vbase as Word).wrapping_add((k as Word).wrapping_mul(vstride as Word));
+                    MemRef::new(
+                        RefOrigin::new(0, rank + k),
+                        if prefix {
+                            MemOp::Prefix(kind, a, v)
+                        } else {
+                            MemOp::Multi(kind, a, v)
+                        },
                     )
                 }));
                 rank += count as usize;
@@ -381,6 +448,14 @@ proptest! {
                             pos += count as usize;
                         }
                         MemOp::StridedWrite { count, .. } => pos += count as usize,
+                        MemOp::BulkMulti { prefix, count, .. } => {
+                            if prefix {
+                                for k in 0..count as usize {
+                                    prop_assert_eq!(bulk.lane(i, k), flat_replies[pos + k]);
+                                }
+                            }
+                            pos += count as usize;
+                        }
                         _ => {
                             prop_assert_eq!(replies[i], flat_replies[pos]);
                             pos += 1;

@@ -23,6 +23,6 @@ pub mod router;
 pub mod stats;
 pub mod topology;
 
-pub use router::Network;
+pub use router::{Network, Route};
 pub use stats::NetStats;
 pub use topology::Topology;

@@ -31,6 +31,33 @@ pub struct Network {
     stats: NetStats,
 }
 
+/// Longest path a precomputed [`Route`] can hold. Generous for the model's
+/// topologies (a 256-node ring has diameter 128, but machines that large
+/// are not simulated hop-exact); [`Network::route_to`] declines longer
+/// paths rather than truncating them.
+const MAX_ROUTE_HOPS: usize = 16;
+
+/// A precomputed unidirectional route: the dense directed-link ids from a
+/// source to a destination in traversal order, plus the contention-free
+/// one-way latency. Built once per lane run by
+/// [`Network::route_to`], then replayed per message by
+/// [`Network::send_on`].
+#[derive(Debug, Clone, Copy)]
+pub struct Route {
+    links: [u32; MAX_ROUTE_HOPS],
+    hops: usize,
+    /// Contention-free one-way latency (distance × hop latency).
+    base: u64,
+}
+
+impl Route {
+    /// Hop count of the route (0 for a same-node pair).
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+}
+
 impl Network {
     /// Creates a network over `topology` charging `hop_latency` cycles per
     /// hop (must be ≥ 1).
@@ -125,6 +152,56 @@ impl Network {
         let deliveries: Vec<u64> = msgs.iter().map(|&(s, d)| self.send(s, d, now)).collect();
         let done = deliveries.iter().copied().max().unwrap_or(now);
         (deliveries, done)
+    }
+
+    /// Precomputes the deterministic route `src -> dst` for repeated
+    /// [`send_on`](Network::send_on) calls over the same pair — the
+    /// bulk-multioperation shape, where a whole lane run targets one
+    /// module. Returns `None` when the path exceeds the fixed-size handle
+    /// (callers fall back to per-message [`send`](Network::send)).
+    pub fn route_to(&self, src: usize, dst: usize) -> Option<Route> {
+        let mut links = [0u32; MAX_ROUTE_HOPS];
+        let mut hops = 0usize;
+        let mut prev = src;
+        while prev != dst {
+            if hops == MAX_ROUTE_HOPS {
+                return None;
+            }
+            let next = self.topology.next_hop(prev, dst);
+            links[hops] = self.topology.link_id(prev, next) as u32;
+            hops += 1;
+            prev = next;
+        }
+        Some(Route {
+            links,
+            hops,
+            base: self.base_latency(src, dst),
+        })
+    }
+
+    /// Routes one message along a precomputed [`Route`]: identical link
+    /// reservations, delivery cycle, and statistics to
+    /// [`send`](Network::send) over the same pair, minus the per-hop
+    /// topology arithmetic.
+    pub fn send_on(&mut self, route: &Route, now: u64) -> u64 {
+        self.stats.messages += 1;
+        if route.hops == 0 {
+            self.stats.local_deliveries += 1;
+            return now;
+        }
+        self.stats.hops += route.hops;
+        let mut t = now;
+        for &link in &route.links[..route.hops] {
+            let slot = &mut self.link_free[link as usize];
+            let enter = t.max(*slot);
+            *slot = enter + 1;
+            t = enter + self.hop_latency;
+        }
+        let queued = t - (now + route.base);
+        self.stats.queue_cycles += queued;
+        self.stats.max_queue_cycles = self.stats.max_queue_cycles.max(queued);
+        self.stats.queue.record(queued);
+        t
     }
 
     /// Traffic statistics since construction or the last [`reset`].
@@ -338,6 +415,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn send_on_matches_send_exactly() {
+        let topologies = [
+            Topology::Ring { nodes: 8 },
+            Topology::Mesh2D {
+                width: 4,
+                height: 4,
+            },
+            Topology::Crossbar { nodes: 8 },
+        ];
+        for topology in topologies {
+            let n = topology.nodes();
+            let mut by_pair = Network::new(topology, 3);
+            let mut by_route = Network::new(topology, 3);
+            for src in 0..n {
+                for dst in 0..n {
+                    let route = by_route.route_to(src, dst).expect("short path");
+                    assert_eq!(route.hops(), topology.distance(src, dst));
+                    // Repeated messages exercise both the uncontended and
+                    // the link-queued cases.
+                    for i in 0..4u64 {
+                        assert_eq!(
+                            by_pair.send(src, dst, i / 2),
+                            by_route.send_on(&route, i / 2),
+                            "{topology:?}: delivery diverged for {src}->{dst}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(by_pair.stats(), by_route.stats());
+            for from in 0..n {
+                for to in 0..n {
+                    if topology.distance(from, to) == 1 {
+                        assert_eq!(
+                            by_pair.link_busy_until(from, to),
+                            by_route.link_busy_until(from, to)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_to_declines_paths_longer_than_the_handle() {
+        let net = Network::new(Topology::Ring { nodes: 64 }, 1);
+        // Diameter 32 exceeds the 16-hop handle.
+        assert!(net.route_to(0, 32).is_none());
+        assert!(net.route_to(0, 16).is_some());
     }
 
     #[test]
