@@ -12,6 +12,8 @@ use std::time::Instant;
 use tcf_bench::workloads;
 use tcf_core::{TcfMachine, Variant};
 use tcf_machine::MachineConfig;
+use tcf_obs::stream::{drain_ndjson, header_line};
+use tcf_obs::StreamCursor;
 
 const SIZE: usize = 256;
 
@@ -72,6 +74,25 @@ fn bench_obs(c: &mut Criterion) {
             m.set_trace_ring(4096);
             m.set_observing_ring(4096);
             black_box(run(m))
+        })
+    });
+    g.bench_function("streaming", |b| {
+        // Recording plus a live subscriber: a cursor drain serializes
+        // everything new as NDJSON after every machine step.
+        b.iter(|| {
+            let mut m = machine();
+            m.set_tracing(true);
+            m.set_observing(true);
+            let mut cursor = StreamCursor::default();
+            let mut doc = header_line();
+            loop {
+                let more = m.step().unwrap();
+                drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+                if !more {
+                    break;
+                }
+            }
+            black_box(doc.len())
         })
     });
     g.finish();

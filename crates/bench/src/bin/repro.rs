@@ -19,6 +19,11 @@
 //! repro ... --trace-out trace.json
 //!                      # additionally write a Chrome trace_event file
 //!                      # (open in Perfetto / chrome://tracing)
+//! repro ... --stream events.ndjson
+//!                      # additionally stream the demo run's events
+//!                      # incrementally (per machine step, cursor-based)
+//!                      # as tcf-obs-stream/v1 NDJSON; the file replays
+//!                      # through the batch exporters byte-identically
 //! repro ... --force    # overwrite existing output files (repro refuses
 //!                      # to clobber them otherwise)
 //! ```
@@ -45,6 +50,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let mut stream_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--stream") {
+        if i + 1 >= args.len() {
+            eprintln!("--stream needs a file argument");
+            return ExitCode::FAILURE;
+        }
+        stream_out = Some(args.remove(i + 1));
         args.remove(i);
     }
     let mut bench_out = String::from("BENCH_hotpath.json");
@@ -144,6 +158,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote Chrome trace ({} bytes) to {path}", json.len());
+    }
+    if let Some(path) = stream_out {
+        let ndjson = tcf_bench::trace_export::stream_demo(&config);
+        if let Err(e) = write_output(&path, &ndjson, force) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        let lines = ndjson.lines().count();
+        println!(
+            "streamed {lines} NDJSON lines ({} bytes) to {path}",
+            ndjson.len()
+        );
     }
     ExitCode::SUCCESS
 }

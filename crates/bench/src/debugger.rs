@@ -136,6 +136,7 @@ impl Debugger {
                 );
             }
             "util" | "u" => self.show_util(out),
+            "top" | "t" => self.show_top(out),
             "hist" => self.show_hists(out),
             "events" | "e" => {
                 let n = arg1.unwrap_or(10).max(0) as usize;
@@ -146,7 +147,7 @@ impl Debugger {
                 let _ = writeln!(
                     out,
                     "commands: step [n] | run [n] | break <pc> | flows | regs <flow> | \
-                     mem <addr> <len> | thick | stats | util | hist | events [n] | \
+                     mem <addr> <len> | thick | stats | util | top | hist | events [n] | \
                      list | help | quit"
                 );
             }
@@ -288,6 +289,62 @@ impl Debugger {
             out,
             "machine: utilization {:.2}",
             self.machine.stats().utilization()
+        );
+    }
+
+    /// `top`-style live counters view: per-worker lane shares with ASCII
+    /// utilization bars, compression/decay taxonomy, coalescing and
+    /// bulk-resolution hit rates, and the streaming sink's drop counts —
+    /// everything the live telemetry pipeline exports, at a glance.
+    fn show_top(&self, out: &mut String) {
+        let ec = self.machine.engine_counters();
+        let _ = writeln!(
+            out,
+            "engine: {} thick instrs, {} slices ({} compressed, {} per-lane)",
+            ec.thick_instrs, ec.slices, ec.compressed_slices, ec.per_lane_slices
+        );
+        let total = ec.total_lanes();
+        for (w, ppm) in ec.worker_utilization_ppm().iter().enumerate() {
+            let pct = *ppm as f64 / 10_000.0;
+            let bar_len = (pct / 5.0).round() as usize;
+            let _ = writeln!(
+                out,
+                "worker {w}: [{:<20}] {pct:>5.1}%  {} lanes, {} slices",
+                "#".repeat(bar_len.min(20)),
+                ec.worker_lanes[w],
+                ec.worker_slices[w],
+            );
+        }
+        if total == 0 {
+            let _ = writeln!(out, "workers: no thick lanes executed yet");
+        }
+        let td = self.machine.thick_decay();
+        let _ = writeln!(
+            out,
+            "decay: {} total (setthick {}, lane_write {}, mem_reply {})",
+            td.total(),
+            td.setthick,
+            td.lane_write,
+            td.mem_reply
+        );
+        let _ = writeln!(
+            out,
+            "coalesce: {} hits, {} misses; absorbed {} events",
+            ec.coalesce_hits, ec.coalesce_misses, ec.absorbed_events
+        );
+        let bs = self.machine.bulk_stats();
+        let _ = writeln!(
+            out,
+            "bulk: {} fast, {} expanded ({} lanes)",
+            bs.fast, bs.expanded, bs.expanded_lanes
+        );
+        let _ = writeln!(
+            out,
+            "obs: {} trace events ({} dropped), {} flow events ({} dropped)",
+            self.machine.trace().events().len(),
+            self.machine.trace().dropped(),
+            self.machine.obs().events().len(),
+            self.machine.obs().dropped(),
         );
     }
 
@@ -435,6 +492,19 @@ mod tests {
         assert!(out.contains("count"), "{out}");
         assert!(out.contains("thickness_change"), "{out}");
         assert!(out.contains("step_end"), "{out}");
+    }
+
+    #[test]
+    fn top_shows_live_engine_counters() {
+        let mut d = dbg(PROG);
+        let out = d.run_script("run\ntop\n");
+        assert!(out.contains("engine:"), "{out}");
+        assert!(out.contains("thick instrs"), "{out}");
+        assert!(out.contains("worker 0: ["), "{out}");
+        assert!(out.contains("decay:"), "{out}");
+        assert!(out.contains("coalesce:"), "{out}");
+        assert!(out.contains("bulk:"), "{out}");
+        assert!(out.contains("dropped"), "{out}");
     }
 
     #[test]

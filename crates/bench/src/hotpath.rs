@@ -27,6 +27,8 @@ use std::time::Instant;
 
 use tcf_core::{TcfMachine, Variant};
 use tcf_isa::program::Program;
+use tcf_obs::stream::{drain_ndjson, header_line};
+use tcf_obs::StreamCursor;
 use tcf_pram::RunSummary;
 
 use crate::workloads;
@@ -205,23 +207,127 @@ pub fn measure(w: Workload, repeats: usize) -> Measurement {
     }
 }
 
+/// Observability configuration for the `obs_overhead_*` probes, which
+/// re-run [`Workload::ThickPram`] under each mode to price the telemetry
+/// pipeline (docs/OBSERVABILITY.md "Measured overhead"). CI gates the
+/// `Off` mode at ≤5% below the plain `thick_pram_flow` rate: recording
+/// hooks that are compiled in but disabled must stay (nearly) free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsMode {
+    /// Sinks disabled (the default): hooks early-return.
+    Off,
+    /// Cycle trace and flow-event recording on, batch export afterwards.
+    Record,
+    /// Recording on plus a live streaming subscriber: every machine step
+    /// is followed by a cursor drain appending `tcf-obs-stream/v1`
+    /// NDJSON, as `repro --stream` does.
+    Stream,
+}
+
+impl ObsMode {
+    /// Every mode, in report order.
+    pub const ALL: [ObsMode; 3] = [ObsMode::Off, ObsMode::Record, ObsMode::Stream];
+
+    /// Stable identifier used in `BENCH_hotpath.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsMode::Off => "obs_overhead_off",
+            ObsMode::Record => "obs_overhead_record",
+            ObsMode::Stream => "obs_overhead_stream",
+        }
+    }
+
+    fn build(self, program: &Program) -> TcfMachine {
+        let mut m = Workload::ThickPram.build(program);
+        if self != ObsMode::Off {
+            m.set_tracing(true);
+            m.set_observing(true);
+        }
+        m
+    }
+
+    /// Runs the machine to completion under this mode; the streamed NDJSON
+    /// document is produced (and discarded) inside the timed region, like
+    /// a real subscriber would consume it.
+    fn run(self, m: &mut TcfMachine) -> (u64, u64) {
+        match self {
+            ObsMode::Stream => {
+                let mut cursor = StreamCursor::default();
+                let mut doc = header_line();
+                loop {
+                    let more = m.step().expect("workload halts");
+                    drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+                    if !more {
+                        break;
+                    }
+                }
+                std::hint::black_box(doc.len());
+            }
+            ObsMode::Off | ObsMode::Record => {
+                m.run(10_000_000).expect("workload halts");
+            }
+        }
+        (m.steps_executed(), m.stats().issued())
+    }
+}
+
+/// Measures the observability-overhead probe for one mode, with the same
+/// calibrated-batch harness as [`measure`].
+pub fn measure_obs(mode: ObsMode, repeats: usize) -> Measurement {
+    let program = Workload::ThickPram.program();
+    let (steps, instrs, iters) = {
+        let mut m = mode.build(&program);
+        let start = Instant::now();
+        let (steps, instrs) = mode.run(&mut m);
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        (
+            steps,
+            instrs,
+            (MIN_SAMPLE_SECS / once).ceil().max(1.0) as usize,
+        )
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let mut total = 0.0;
+        for _ in 0..iters {
+            let mut m = mode.build(&program);
+            let start = Instant::now();
+            mode.run(&mut m);
+            total += start.elapsed().as_secs_f64();
+        }
+        best = best.min(total / iters as f64);
+    }
+    Measurement {
+        steps,
+        instrs,
+        elapsed_sec: best.max(f64::MIN_POSITIVE),
+    }
+}
+
 /// Renders the `BENCH_hotpath.json` document (`tcf-bench-hotpath/v1`):
-/// steps/sec and instrs/sec for every workload in [`Workload::ALL`].
+/// steps/sec and instrs/sec for every workload in [`Workload::ALL`],
+/// plus the [`ObsMode`] overhead probes.
 pub fn bench_json(repeats: usize) -> String {
+    let mut entries: Vec<(&'static str, Measurement)> = Vec::new();
+    for w in Workload::ALL {
+        entries.push((w.name(), measure(w, repeats)));
+    }
+    for mode in ObsMode::ALL {
+        entries.push((mode.name(), measure_obs(mode, repeats)));
+    }
     let mut out = String::from("{\n  \"schema\": \"tcf-bench-hotpath/v1\",\n  \"workloads\": {\n");
-    for (i, w) in Workload::ALL.iter().enumerate() {
-        let m = measure(*w, repeats);
+    for (i, (name, m)) in entries.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": {{\n      \"steps\": {},\n      \"instrs\": {},\n      \
              \"elapsed_sec\": {:.6},\n      \"steps_per_sec\": {:.1},\n      \
              \"instrs_per_sec\": {:.1}\n    }}{}\n",
-            w.name(),
+            name,
             m.steps,
             m.instrs,
             m.elapsed_sec,
             m.steps_per_sec(),
             m.instrs_per_sec(),
-            if i + 1 < Workload::ALL.len() { "," } else { "" }
+            if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     out.push_str("  }\n}\n");
@@ -297,7 +403,29 @@ mod tests {
         for w in Workload::ALL {
             assert!(json.contains(w.name()), "missing {}", w.name());
         }
+        for mode in ObsMode::ALL {
+            assert!(json.contains(mode.name()), "missing {}", mode.name());
+        }
         assert!(json.contains("steps_per_sec"));
         assert!(json.contains("instrs_per_sec"));
+    }
+
+    #[test]
+    fn obs_modes_execute_the_same_simulation() {
+        let program = Workload::ThickPram.program();
+        let mut counts = Vec::new();
+        for mode in ObsMode::ALL {
+            let mut m = mode.build(&program);
+            let (steps, instrs) = mode.run(&mut m);
+            assert!(steps > 0 && instrs > 0, "{} ran nothing", mode.name());
+            counts.push((steps, instrs));
+            // The simulation result is identical no matter what the
+            // telemetry pipeline observes.
+            assert_eq!(m.peek(workloads::A_BASE + 513).unwrap(), 24 * 513);
+            // Recording modes actually captured events; Off stayed empty.
+            let recorded = !m.obs().events().is_empty();
+            assert_eq!(recorded, mode != ObsMode::Off, "{}", mode.name());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     }
 }

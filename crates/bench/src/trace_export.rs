@@ -16,8 +16,10 @@ use tcf_core::{TcfMachine, Variant};
 use tcf_isa::word::Word;
 use tcf_lang::compile;
 use tcf_machine::MachineConfig;
-use tcf_obs::chrome::chrome_trace;
+use tcf_obs::chrome::chrome_trace_with_workers;
 use tcf_obs::json::metrics_json;
+use tcf_obs::stream::{drain_ndjson, header_line};
+use tcf_obs::{MetricValue, StreamCursor};
 
 use crate::workloads::{A_BASE, B_BASE, C_BASE};
 
@@ -61,11 +63,39 @@ pub fn demo_machine(config: &MachineConfig) -> TcfMachine {
     m
 }
 
-/// Runs the demo and returns the Chrome `trace_event` JSON document.
+/// Runs the demo and returns the Chrome `trace_event` JSON document,
+/// including ring-truncation notices and the per-worker utilization
+/// track.
 pub fn chrome_trace_demo(config: &MachineConfig) -> String {
     let mut m = demo_machine(config);
     m.run(1_000_000).expect("demo runs to completion");
-    chrome_trace(&m.trace().events(), &m.obs().events())
+    chrome_trace_with_workers(
+        &m.trace().events(),
+        &m.obs().events(),
+        m.trace().dropped(),
+        m.obs().dropped(),
+        &m.engine_counters().worker_lanes,
+    )
+}
+
+/// Runs the demo with a live streaming subscriber attached: after every
+/// machine step, everything new in both event buffers is drained through
+/// a [`StreamCursor`] and appended as `tcf-obs-stream/v1` NDJSON — the
+/// incremental pump behind `repro --stream`. The resulting document
+/// replays through the batch exporters to byte-identical artifacts (the
+/// round-trip test below pins this).
+pub fn stream_demo(config: &MachineConfig) -> String {
+    let mut m = demo_machine(config);
+    let mut cursor = StreamCursor::default();
+    let mut doc = header_line();
+    loop {
+        let more = m.step().expect("demo runs to completion");
+        drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+        if !more {
+            break;
+        }
+    }
+    doc
 }
 
 /// Runs the demo and returns the stable-schema metrics JSON dump
@@ -75,6 +105,14 @@ pub fn metrics_demo(config: &MachineConfig) -> String {
     let mut m = demo_machine(config);
     m.run(1_000_000).expect("demo runs to completion");
     let mut reg = m.metrics();
+    // Graft the engine-dependent per-worker series on: `metrics()` keeps
+    // them out so its output stays engine-independent, but the CLI dump
+    // explicitly reports the engine that ran.
+    for (name, v) in m.engine_metrics().iter() {
+        if let MetricValue::Counter(c) = v {
+            reg.set_counter(name, *c);
+        }
+    }
     let replayed = tcf_obs::MetricsRegistry::replay(&m.trace().events(), &m.obs().events());
     reg.snapshots_mut()
         .extend(replayed.snapshots().iter().cloned());
@@ -95,6 +133,60 @@ mod tests {
                 json.contains(&format!("\"name\":\"{name}\"")),
                 "missing {name} span in {json}"
             );
+        }
+    }
+
+    #[test]
+    fn streamed_demo_replays_to_identical_artifacts() {
+        use tcf_obs::chrome::chrome_trace_with_drops;
+        use tcf_obs::stream::parse_stream;
+        use tcf_obs::MetricsRegistry;
+
+        let config = MachineConfig::small();
+        let doc = stream_demo(&config);
+        let re = parse_stream(&doc).expect("stream parses");
+        assert_eq!(re.trace_dropped + re.events_dropped, 0, "unbounded sinks");
+
+        let mut m = demo_machine(&config);
+        m.run(1_000_000).unwrap();
+        assert_eq!(re.trace, m.trace().events(), "trace stream diverged");
+        assert_eq!(re.events, m.obs().events(), "flow stream diverged");
+        // Replaying the streamed document through the batch exporters is
+        // byte-identical to exporting the non-streamed run directly.
+        assert_eq!(
+            chrome_trace_with_drops(&re.trace, &re.events, re.trace_dropped, re.events_dropped),
+            chrome_trace_with_drops(
+                &m.trace().events(),
+                &m.obs().events(),
+                m.trace().dropped(),
+                m.obs().dropped()
+            )
+        );
+        assert_eq!(
+            metrics_json(&MetricsRegistry::replay(&re.trace, &re.events)),
+            metrics_json(&MetricsRegistry::replay(
+                &m.trace().events(),
+                &m.obs().events()
+            ))
+        );
+    }
+
+    #[test]
+    fn demo_metrics_report_the_new_counters() {
+        let json = metrics_demo(&MachineConfig::small());
+        for key in [
+            "thick.decay_setthick",
+            "thick.decay_lane_write",
+            "thick.decay_mem_reply",
+            "engine.compressed_slices",
+            "engine.coalesce_hits",
+            "engine.worker0.lanes",
+            "engine.worker0.utilization_ppm",
+            "mem.bulk_fast",
+            "net.route_sends",
+            "obs.trace_dropped",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }
     }
 

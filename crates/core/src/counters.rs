@@ -1,0 +1,140 @@
+//! Compression and engine counters — the low-overhead telemetry the
+//! `repro metrics` command and the exporters surface.
+//!
+//! Two groups:
+//!
+//! * [`ThickDecayCounters`] — **why** compressed thick values
+//!   (`Affine`/`Segments`) decayed to explicit per-thread lanes. Each
+//!   field is one reason of the taxonomy (see
+//!   `docs/OBSERVABILITY.md`); together they explain where a workload
+//!   loses its stride compression.
+//! * [`EngineCounters`] — what the thick-execution engine did: how many
+//!   slices ran closed-form vs per-lane, how often rank-adjacent bulk
+//!   references coalesced, how many observability events the merge
+//!   absorbed, and how lanes were distributed over workers.
+//!
+//! Both structs are plain saturating-free `u64` adders updated on paths
+//! that already branch (a decay, a slice merge), so the recording cost
+//! is a handful of increments per *instruction*, not per lane — they
+//! stay within the observability overhead budget and are
+//! engine-independent (identical under `seq` and `par:N`), except for
+//! the per-worker series which is virtual (rank-derived) and therefore
+//! also engine-independent.
+
+/// Why compressed (`Affine`/`Segments`) thick registers decayed to
+/// explicit per-thread lanes. One counter per reason in the taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThickDecayCounters {
+    /// Decays forced by a thickness change (`setthick`): compressed forms
+    /// extend past the old thickness and must be pinned first.
+    pub setthick: u64,
+    /// Decays caused by a per-lane register write disagreeing with the
+    /// compressed progression (the merge's `write_lanes` replay).
+    pub lane_write: u64,
+    /// Decays caused by a shared-memory reply landing lane-wise in a
+    /// compressed register (phase-3 write-back).
+    pub mem_reply: u64,
+}
+
+impl ThickDecayCounters {
+    /// Total decays across every reason.
+    pub fn total(&self) -> u64 {
+        self.setthick + self.lane_write + self.mem_reply
+    }
+}
+
+/// What the thick-execution engine did, counted at slice/merge
+/// granularity (never per lane).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Thick instructions executed (one per flow per step that took the
+    /// thick path).
+    pub thick_instrs: u64,
+    /// Fragment slices executed (a thick instruction spans one slice per
+    /// fragment chunk).
+    pub slices: u64,
+    /// Slices fully handled by the closed-form compressed executor.
+    pub compressed_slices: u64,
+    /// Slices that fell back to the general per-lane executor.
+    pub per_lane_slices: u64,
+    /// Rank-adjacent bulk references merged by `coalesce_bulk_multi`.
+    pub coalesce_hits: u64,
+    /// Bulk references that stayed separate (shape or adjacency mismatch).
+    pub coalesce_misses: u64,
+    /// Observability events absorbed from fragment outputs into the main
+    /// sink during the merge.
+    pub absorbed_events: u64,
+    /// Lanes assigned per engine worker (virtual round-robin rank: slice
+    /// `i` of a batch belongs to worker `i mod workers`), so the series
+    /// is identical whichever engine actually ran. Length = worker count
+    /// (1 for the sequential engine).
+    pub worker_lanes: Vec<u64>,
+    /// Slices assigned per engine worker (same virtual ranking).
+    pub worker_slices: Vec<u64>,
+}
+
+impl EngineCounters {
+    /// Total lanes executed across all workers.
+    pub fn total_lanes(&self) -> u64 {
+        self.worker_lanes.iter().sum()
+    }
+
+    /// Ensures the per-worker series cover `workers` entries.
+    pub fn ensure_workers(&mut self, workers: usize) {
+        if self.worker_lanes.len() < workers {
+            self.worker_lanes.resize(workers, 0);
+            self.worker_slices.resize(workers, 0);
+        }
+    }
+
+    /// Per-worker busy share (lanes on the worker / total lanes), in
+    /// parts-per-thousand for allocation-free integer export. Empty when
+    /// nothing ran.
+    pub fn worker_utilization_ppm(&self) -> Vec<u64> {
+        let total = self.total_lanes();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.worker_lanes
+            .iter()
+            .map(|&l| l * 1_000_000 / total)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_total_sums_reasons() {
+        let c = ThickDecayCounters {
+            setthick: 2,
+            lane_write: 3,
+            mem_reply: 5,
+        };
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn worker_utilization_is_lane_share() {
+        let mut e = EngineCounters::default();
+        e.ensure_workers(2);
+        e.worker_lanes[0] = 3;
+        e.worker_lanes[1] = 1;
+        assert_eq!(e.total_lanes(), 4);
+        assert_eq!(e.worker_utilization_ppm(), vec![750_000, 250_000]);
+        assert!(EngineCounters::default()
+            .worker_utilization_ppm()
+            .is_empty());
+    }
+
+    #[test]
+    fn ensure_workers_never_shrinks() {
+        let mut e = EngineCounters::default();
+        e.ensure_workers(4);
+        e.ensure_workers(2);
+        assert_eq!(e.worker_lanes.len(), 4);
+        assert_eq!(e.worker_slices.len(), 4);
+    }
+}

@@ -179,7 +179,11 @@ impl TcfMachine {
                             } => flow
                                 .regs
                                 .write_affine(wb.rd, base, count, vbase, vstride, t),
-                            BulkView::Values(vals) => flow.regs.write_lanes(wb.rd, base, vals, t),
+                            BulkView::Values(vals) => {
+                                if flow.regs.write_lanes(wb.rd, base, vals, t) {
+                                    self.thick_decay.mem_reply += 1;
+                                }
+                            }
                         }
                     }
                 }
@@ -513,7 +517,7 @@ impl TcfMachine {
                 // the OLD thickness before it changes, so lanes exposed
                 // by a later grow read 0 exactly as per-thread storage
                 // would.
-                flow.regs.decay_compressed(flow.thickness);
+                self.thick_decay.setthick += flow.regs.decay_compressed(flow.thickness);
                 flow.thickness = v as usize;
                 flow.fragments =
                     self.allocation

@@ -41,6 +41,7 @@
 //!
 //! [`TcfBuffer`]: tcf_machine::TcfBuffer
 
+pub mod counters;
 mod decoded;
 pub mod error;
 pub mod exec_async;
@@ -53,6 +54,7 @@ pub mod sched;
 pub mod thick;
 pub mod variant;
 
+pub use counters::{EngineCounters, ThickDecayCounters};
 pub use error::{TcfError, TcfFault};
 pub use flow::{Flow, FlowStatus, Fragment};
 pub use machine::{TcfMachine, DEFAULT_STEP_BUDGET};

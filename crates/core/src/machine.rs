@@ -38,6 +38,7 @@ use tcf_net::{NetStats, Network};
 use tcf_obs::{FlowEvent, MetricsRegistry, ObsSink};
 use tcf_pram::RunSummary;
 
+use crate::counters::{EngineCounters, ThickDecayCounters};
 use crate::decoded::DecodedProgram;
 use crate::error::{TcfError, TcfFault};
 use crate::exec_sync::StepBufs;
@@ -75,6 +76,10 @@ pub struct TcfMachine {
     pub(crate) obs: ObsSink,
     pub(crate) stats: MachineStats,
     pub(crate) mem_stats: StepStats,
+    /// Why compressed thick registers decayed (reason taxonomy).
+    pub(crate) thick_decay: ThickDecayCounters,
+    /// Thick-execution engine counters (slices, coalescing, workers).
+    pub(crate) engine_counters: EngineCounters,
     pub(crate) clock: u64,
     pub(crate) steps: u64,
     pub(crate) engine: Engine,
@@ -167,6 +172,8 @@ impl TcfMachine {
             obs: ObsSink::disabled(),
             stats: MachineStats::default(),
             mem_stats: StepStats::default(),
+            thick_decay: ThickDecayCounters::default(),
+            engine_counters: EngineCounters::default(),
             clock: 0,
             steps: 0,
             engine: Engine::Sequential,
@@ -412,6 +419,22 @@ impl TcfMachine {
         &self.mem_stats
     }
 
+    /// Compressed-register decay counters, by reason.
+    pub fn thick_decay(&self) -> &ThickDecayCounters {
+        &self.thick_decay
+    }
+
+    /// Bulk-resolution path statistics (fast closed-form vs expanded).
+    pub fn bulk_stats(&self) -> &tcf_mem::BulkPathStats {
+        self.shared.bulk_stats()
+    }
+
+    /// Thick-execution engine counters (slices, coalescing, per-worker
+    /// lane distribution).
+    pub fn engine_counters(&self) -> &EngineCounters {
+        &self.engine_counters
+    }
+
     /// All of the machine's measurements as one named-series registry
     /// (machine, memory, network and TCF-buffer metrics plus the latency
     /// histograms). See `docs/OBSERVABILITY.md` for the naming scheme.
@@ -431,6 +454,50 @@ impl TcfMachine {
         reg.set_counter("buffer.misses", misses);
         reg.set_counter("buffer.overhead_cycles", overhead);
         reg.set_histogram("buffer.reload", reload);
+        reg.set_counter("thick.decay_setthick", self.thick_decay.setthick);
+        reg.set_counter("thick.decay_lane_write", self.thick_decay.lane_write);
+        reg.set_counter("thick.decay_mem_reply", self.thick_decay.mem_reply);
+        reg.set_counter("thick.decay_total", self.thick_decay.total());
+        let e = &self.engine_counters;
+        reg.set_counter("engine.thick_instrs", e.thick_instrs);
+        reg.set_counter("engine.slices", e.slices);
+        reg.set_counter("engine.compressed_slices", e.compressed_slices);
+        reg.set_counter("engine.per_lane_slices", e.per_lane_slices);
+        reg.set_counter("engine.coalesce_hits", e.coalesce_hits);
+        reg.set_counter("engine.coalesce_misses", e.coalesce_misses);
+        reg.set_counter("engine.absorbed_events", e.absorbed_events);
+        let bulk = self.shared.bulk_stats();
+        reg.set_counter("mem.bulk_fast", bulk.fast);
+        reg.set_counter("mem.bulk_expanded", bulk.expanded);
+        reg.set_counter("mem.bulk_expanded_lanes", bulk.expanded_lanes);
+        reg.set_counter("obs.trace_dropped", self.trace.dropped());
+        reg.set_counter("obs.events_dropped", self.obs.dropped());
+        reg
+    }
+
+    /// Engine-*dependent* measurements kept out of [`metrics`]: the
+    /// per-worker lane/slice distribution and utilization. The artifact
+    /// determinism guarantee (bit-identical `metrics()` under `seq` and
+    /// `par:N`) cannot cover series whose length is the worker count, so
+    /// these live in their own registry, merged only where the caller
+    /// explicitly wants the engine view (`repro metrics`, the Chrome
+    /// worker track).
+    ///
+    /// [`metrics`]: TcfMachine::metrics
+    pub fn engine_metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let e = &self.engine_counters;
+        reg.set_counter("engine.workers", e.worker_lanes.len() as u64);
+        reg.set_counter("engine.total_lanes", e.total_lanes());
+        let util = e.worker_utilization_ppm();
+        for (w, (&lanes, &slices)) in e.worker_lanes.iter().zip(&e.worker_slices).enumerate() {
+            reg.set_counter(&format!("engine.worker{w}.lanes"), lanes);
+            reg.set_counter(&format!("engine.worker{w}.slices"), slices);
+            reg.set_counter(
+                &format!("engine.worker{w}.utilization_ppm"),
+                util.get(w).copied().unwrap_or(0),
+            );
+        }
         reg
     }
 

@@ -302,6 +302,9 @@ pub(crate) struct FragOut {
     pub obs: ObsSink,
     /// First fault; lanes after it did not execute.
     pub fault: Option<TcfError>,
+    /// Whether the slice executed on the closed-form compressed path
+    /// (feeds the `engine.compressed_slices` counter).
+    pub compressed: bool,
 }
 
 impl FragOut {
@@ -319,6 +322,7 @@ impl FragOut {
             local_undo: Vec::new(),
             obs: ObsSink::disabled(),
             fault: None,
+            compressed: false,
         }
     }
 
@@ -340,6 +344,7 @@ impl FragOut {
             ObsSink::disabled()
         };
         self.fault = None;
+        self.compressed = false;
     }
 
     /// Appends one lane's register write, extending the current run when
@@ -663,6 +668,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
     use crate::machine::special_value;
 
     if exec_thick_compressed(ctx, out) {
+        out.compressed = true;
         return;
     }
 
@@ -1020,6 +1026,28 @@ impl TcfMachine {
                 pool.run(tasks);
             }
         }
+        // Engine counters, at slice granularity. The worker assignment is
+        // *virtual* (slice `i` → worker `i mod workers`), matching how the
+        // pool hands out tasks, so the lane distribution is a property of
+        // the slicing, not of runtime scheduling — deterministic across
+        // runs and engines of the same worker count.
+        let workers = match self.engine {
+            Engine::Parallel { workers } => workers.max(1),
+            Engine::Sequential => 1,
+        };
+        self.engine_counters.thick_instrs += 1;
+        self.engine_counters.slices += outs.len() as u64;
+        self.engine_counters.ensure_workers(workers);
+        for (i, out) in outs.iter().enumerate() {
+            if out.compressed {
+                self.engine_counters.compressed_slices += 1;
+            } else {
+                self.engine_counters.per_lane_slices += 1;
+            }
+            let w = i % workers;
+            self.engine_counters.worker_lanes[w] += out.range.len() as u64;
+            self.engine_counters.worker_slices[w] += 1;
+        }
     }
 
     /// Merges fragment outputs in fragment order: register-write replay,
@@ -1052,12 +1080,17 @@ impl TcfMachine {
             // or compressed (`reg_affine`), never both, so replay order
             // between the two logs is immaterial.
             for (rd, base, range) in &out.reg_runs {
-                flow.regs
-                    .write_lanes(*rd, *base, &out.reg_values[range.clone()], t);
+                if flow
+                    .regs
+                    .write_lanes(*rd, *base, &out.reg_values[range.clone()], t)
+                {
+                    self.thick_decay.lane_write += 1;
+                }
             }
             for &(rd, base, count, vbase, vstride) in &out.reg_affine {
                 flow.regs.write_affine(rd, base, count, vbase, vstride, t);
             }
+            self.engine_counters.absorbed_events += out.obs.len() as u64;
             self.obs.absorb(&out.obs);
             if out.fault.is_some() {
                 fault = out.fault.take();
@@ -1065,7 +1098,16 @@ impl TcfMachine {
             }
             let base = refs.len();
             units[out.frag.group].extend_from_slice(&out.units);
-            if !coalesce_bulk_multi(refs, wbs, out, flow.id) {
+            // Coalescing is only ever attempted for the compressed path's
+            // single-BulkMulti shape; count its hit/miss rate there.
+            let coalescable =
+                out.refs.len() == 1 && matches!(out.refs[0].op, tcf_mem::MemOp::BulkMulti { .. });
+            if coalesce_bulk_multi(refs, wbs, out, flow.id) {
+                self.engine_counters.coalesce_hits += 1;
+            } else {
+                if coalescable {
+                    self.engine_counters.coalesce_misses += 1;
+                }
                 refs.extend_from_slice(&out.refs);
                 for &(rd, target, ri) in &out.wbs {
                     wbs.push(Writeback {

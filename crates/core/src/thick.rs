@@ -358,11 +358,15 @@ impl ThickValue {
     /// value extends its progression to every lane index, whereas the
     /// per-thread vector it stands in for would read 0 beyond the old
     /// thickness. Decaying at the *old* thickness before the change keeps
-    /// both behaviours observably identical.
-    pub fn decay_compressed(&mut self, thickness: usize) {
+    /// both behaviours observably identical. Returns whether a compressed
+    /// form was actually materialized (the decay-reason counters sum
+    /// these).
+    pub fn decay_compressed(&mut self, thickness: usize) -> bool {
         if matches!(self, ThickValue::Affine { .. } | ThickValue::Segments(_)) {
             *self = ThickValue::PerThread(self.materialize(thickness.max(1)));
+            return true;
         }
+        false
     }
 }
 
@@ -718,15 +722,18 @@ impl ThickRegs {
     /// stays uniform when every lane agrees with it, and promotes with a
     /// single bulk copy otherwise. The thick-execution merge replays
     /// register runs through here.
+    ///
+    /// Returns whether a *compressed* (`Affine`/`Segments`) value decayed
+    /// to explicit lanes — the `lane_write` decay reason.
     pub fn write_lanes(
         &mut self,
         r: tcf_isa::reg::Reg,
         base: usize,
         values: &[Word],
         thickness: usize,
-    ) {
+    ) -> bool {
         if r.is_zero() || values.is_empty() {
-            return;
+            return false;
         }
         let end = base + values.len();
         match &mut self.regs[r.index()] {
@@ -736,18 +743,20 @@ impl ThickRegs {
                 // the first disagreeing lane, then promotes to length
                 // `max(thickness, lane + 1)` and extends lane by lane.
                 let Some(p) = values.iter().position(|&x| x != u) else {
-                    return;
+                    return false;
                 };
                 let first = base + p;
                 let mut vs = vec![u; thickness.max(first + 1).max(end)];
                 vs[first..end].copy_from_slice(&values[p..]);
                 self.regs[r.index()] = ThickValue::PerThread(vs);
+                false
             }
             ThickValue::PerThread(vs) => {
                 if vs.len() < end {
                     vs.resize(end, 0);
                 }
                 vs[base..end].copy_from_slice(values);
+                false
             }
             cur @ (ThickValue::Affine { .. } | ThickValue::Segments(_)) => {
                 // Per-lane `set` on a compressed value is a no-op until
@@ -759,7 +768,7 @@ impl ThickRegs {
                     .enumerate()
                     .position(|(k, &x)| x != cur.get(base + k))
                 else {
-                    return;
+                    return false;
                 };
                 let first = base + p;
                 let mut vs = cur.materialize(thickness.max(first + 1));
@@ -768,6 +777,7 @@ impl ThickRegs {
                 }
                 vs[first..end].copy_from_slice(&values[p..]);
                 *cur = ThickValue::PerThread(vs);
+                true
             }
         }
     }
@@ -848,11 +858,16 @@ impl ThickRegs {
     /// Decays every compressed affine register to explicit lanes at the
     /// given thickness (see [`ThickValue::decay_compressed`]). Called
     /// before a thickness change so the unbounded affine forms cannot
-    /// leak values past the old thickness.
-    pub fn decay_compressed(&mut self, thickness: usize) {
+    /// leak values past the old thickness. Returns how many registers
+    /// actually decayed (feeds the `setthick` decay-reason counter).
+    pub fn decay_compressed(&mut self, thickness: usize) -> u64 {
+        let mut n = 0u64;
         for r in &mut self.regs {
-            r.decay_compressed(thickness);
+            if r.decay_compressed(thickness) {
+                n += 1;
+            }
         }
+        n
     }
 
     /// Number of registers currently needing per-thread storage (used by

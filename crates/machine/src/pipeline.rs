@@ -724,7 +724,15 @@ mod tests {
 
         assert_eq!(out1, out2, "outcome diverged (serialize={serialize})");
         assert_eq!(s1, s2, "stats diverged (serialize={serialize})");
-        assert_eq!(n1.stats(), n2.stats(), "net stats diverged");
+        // `route_sends` counts which send API delivered a message, not
+        // what was delivered — the compressed path reuses route handles
+        // where the expanded path resolves per message, so it is the one
+        // NetStats field allowed to differ between the two.
+        let mut net1 = n1.stats().clone();
+        let mut net2 = n2.stats().clone();
+        net1.route_sends = 0;
+        net2.route_sends = 0;
+        assert_eq!(net1, net2, "net stats diverged");
         assert_eq!(t1.events(), t2.events(), "trace diverged");
     }
 

@@ -38,5 +38,7 @@ pub use error::MemError;
 pub use hash::ModuleMap;
 pub use local::LocalMemory;
 pub use refs::{MemOp, MemRef, RefOrigin};
-pub use shared::{BulkReplies, BulkView, CrcwPolicy, ShardOutcome, SharedMemory, StepScratch};
+pub use shared::{
+    BulkPathStats, BulkReplies, BulkView, CrcwPolicy, ShardOutcome, SharedMemory, StepScratch,
+};
 pub use stats::StepStats;

@@ -134,6 +134,17 @@ impl MemOp {
         )
     }
 
+    /// Number of lanes a bulk reference expands to (1 for scalar ops).
+    #[inline]
+    pub fn bulk_count(&self) -> u32 {
+        match *self {
+            MemOp::StridedRead { count, .. }
+            | MemOp::StridedWrite { count, .. }
+            | MemOp::BulkMulti { count, .. } => count,
+            _ => 1,
+        }
+    }
+
     /// Number of lane references this operation stands for.
     #[inline]
     pub fn lanes(&self) -> usize {

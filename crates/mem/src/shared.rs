@@ -57,6 +57,23 @@ pub struct ShardOutcome {
     pub combined: usize,
 }
 
+/// How bulk (strided) references were resolved so far: through the
+/// disjoint closed-form path or through literal lane expansion. These are
+/// memory-lifetime counters (not per-step [`StepStats`]) so the
+/// fast-vs-expansion equivalence tests, which compare per-step stats
+/// across the two paths, stay meaningful.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BulkPathStats {
+    /// Bulk references resolved by the disjoint fast path (no lane
+    /// materialization).
+    pub fast: u64,
+    /// Bulk references that fell back to literal lane expansion
+    /// (conflict-driven: overlapping address sets or a zero stride).
+    pub expanded: u64,
+    /// Total lanes materialized by those expansions.
+    pub expanded_lanes: u64,
+}
+
 /// Reusable buffers for the shared-memory step: the sort-based
 /// address-grouping pairs plus per-address resolution arenas.
 ///
@@ -182,6 +199,7 @@ pub struct SharedMemory {
     modules: usize,
     map: ModuleMap,
     policy: CrcwPolicy,
+    bulk_stats: BulkPathStats,
 }
 
 impl SharedMemory {
@@ -194,7 +212,14 @@ impl SharedMemory {
             modules,
             map,
             policy,
+            bulk_stats: BulkPathStats::default(),
         }
+    }
+
+    /// Bulk-resolution counters so far (fast-path vs conflict-driven
+    /// expansion).
+    pub fn bulk_stats(&self) -> &BulkPathStats {
+        &self.bulk_stats
     }
 
     /// Size of the address space in words.
@@ -708,8 +733,13 @@ impl SharedMemory {
             return self.step_into(refs, scratch, replies);
         }
         if self.bulk_overlaps(refs) {
+            for r in refs.iter().filter(|r| r.op.is_bulk()) {
+                self.bulk_stats.expanded += 1;
+                self.bulk_stats.expanded_lanes += r.op.bulk_count() as u64;
+            }
             return self.step_bulk_expanded(refs, scratch, replies, bulk);
         }
+        self.bulk_stats.fast += refs.iter().filter(|r| r.op.is_bulk()).count() as u64;
 
         // Disjoint fast path. Bounds-check every lane in issue order
         // first, so faults are reported before any mutation and agree

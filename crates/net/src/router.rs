@@ -185,6 +185,7 @@ impl Network {
     /// topology arithmetic.
     pub fn send_on(&mut self, route: &Route, now: u64) -> u64 {
         self.stats.messages += 1;
+        self.stats.route_sends += 1;
         if route.hops == 0 {
             self.stats.local_deliveries += 1;
             return now;
@@ -446,7 +447,12 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(by_pair.stats(), by_route.stats());
+            // `send_on` additionally counts its route-handle reuse; every
+            // timing/congestion statistic must still agree exactly.
+            let mut route_stats = by_route.stats().clone();
+            assert_eq!(route_stats.route_sends, n * n * 4);
+            route_stats.route_sends = 0;
+            assert_eq!(by_pair.stats(), &route_stats);
             for from in 0..n {
                 for to in 0..n {
                     if topology.distance(from, to) == 1 {

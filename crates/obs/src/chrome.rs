@@ -80,8 +80,52 @@ fn push_meta(
 /// Renders a trace and a flow-event stream as a Chrome `trace_event` JSON
 /// document (`{"traceEvents": [...]}`).
 pub fn chrome_trace(trace: &[TraceEvent], events: &[TimedEvent]) -> String {
+    chrome_trace_with_drops(trace, events, 0, 0)
+}
+
+/// [`chrome_trace`], declaring how many events each ring buffer evicted
+/// before export. Nonzero counts surface as global instant events named
+/// `truncated: N trace events dropped` / `… flow events dropped` at the
+/// start of the timeline, so a clipped recording is visibly clipped in
+/// Perfetto rather than silently short. With both counts 0 the output is
+/// byte-identical to [`chrome_trace`].
+pub fn chrome_trace_with_drops(
+    trace: &[TraceEvent],
+    events: &[TimedEvent],
+    trace_dropped: u64,
+    events_dropped: u64,
+) -> String {
+    chrome_trace_with_workers(trace, events, trace_dropped, events_dropped, &[])
+}
+
+/// [`chrome_trace_with_drops`] plus a **pid 2 — "workers"** process: one
+/// track per engine worker carrying a single `busy` span whose length is
+/// the lanes the worker executed, with the lane share in the track name —
+/// the per-worker utilization view. With `worker_lanes` empty the output
+/// is byte-identical to [`chrome_trace_with_drops`].
+pub fn chrome_trace_with_workers(
+    trace: &[TraceEvent],
+    events: &[TimedEvent],
+    trace_dropped: u64,
+    events_dropped: u64,
+    worker_lanes: &[u64],
+) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
+
+    for (dropped, what) in [(trace_dropped, "trace"), (events_dropped, "flow")] {
+        if dropped > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":0,\"s\":\"g\",\
+                 \"name\":\"truncated: {dropped} {what} events dropped\"}}"
+            );
+        }
+    }
 
     // --- pid 0: per-group issue tracks -------------------------------
     let mut groups: BTreeMap<usize, Vec<&TraceEvent>> = BTreeMap::new();
@@ -243,6 +287,41 @@ pub fn chrome_trace(trace: &[TraceEvent], events: &[TimedEvent]) -> String {
         push_span(&mut out, &mut first, s);
     }
 
+    // --- pid 2: per-worker utilization tracks -------------------------
+    if !worker_lanes.is_empty() {
+        let total: u64 = worker_lanes.iter().sum();
+        push_meta(&mut out, &mut first, 2, None, "process_name", "workers");
+        for (w, &lanes) in worker_lanes.iter().enumerate() {
+            let share = if total == 0 {
+                0.0
+            } else {
+                lanes as f64 * 100.0 / total as f64
+            };
+            push_meta(
+                &mut out,
+                &mut first,
+                2,
+                Some(w as u64),
+                "thread_name",
+                &format!("worker {w} ({share:.1}% of lanes)"),
+            );
+            if lanes > 0 {
+                push_span(
+                    &mut out,
+                    &mut first,
+                    &Span {
+                        pid: 2,
+                        tid: w as u64,
+                        ts: 0,
+                        dur: lanes,
+                        name: "busy",
+                        args: vec![("lanes", lanes.to_string())],
+                    },
+                );
+            }
+        }
+    }
+
     out.push_str("]}");
     out
 }
@@ -336,6 +415,34 @@ mod tests {
         assert!(json.contains("\"ts\":2,\"dur\":7,\"name\":\"wait\""));
         assert!(json.contains("\"name\":\"flow 1\""));
         assert!(json.contains("\"name\":\"flow 2\""));
+    }
+
+    #[test]
+    fn drop_counts_surface_as_instant_events() {
+        let json = chrome_trace_with_drops(&[], &[], 12, 0);
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("\"name\":\"truncated: 12 trace events dropped\""));
+        assert!(!json.contains("flow events dropped"));
+        // Zero drops emit nothing extra — byte-identical to chrome_trace.
+        assert_eq!(
+            chrome_trace_with_drops(&[], &[], 0, 0),
+            chrome_trace(&[], &[])
+        );
+    }
+
+    #[test]
+    fn worker_track_reports_lane_shares() {
+        let json = chrome_trace_with_workers(&[], &[], 0, 0, &[30, 10, 0]);
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("\"name\":\"workers\""));
+        assert!(json.contains("worker 0 (75.0% of lanes)"));
+        assert!(json.contains("worker 2 (0.0% of lanes)"));
+        assert!(json.contains("\"pid\":2,\"tid\":0,\"ts\":0,\"dur\":30,\"name\":\"busy\""));
+        // No workers: byte-identical to the plain exporter.
+        assert_eq!(
+            chrome_trace_with_workers(&[], &[], 0, 0, &[]),
+            chrome_trace(&[], &[])
+        );
     }
 
     #[test]

@@ -29,6 +29,15 @@ impl Mode {
             Mode::Numa => "numa",
         }
     }
+
+    /// Inverse of [`as_str`](Self::as_str), for stream re-readers.
+    pub fn from_name(name: &str) -> Option<Mode> {
+        match name {
+            "pram" => Some(Mode::Pram),
+            "numa" => Some(Mode::Numa),
+            _ => None,
+        }
+    }
 }
 
 /// A flow-lifecycle event, without timing (see [`TimedEvent`]).

@@ -14,6 +14,10 @@
 //! * [`ObsSink`] — the emission point: a concrete struct whose
 //!   [`emit`](ObsSink::emit) compiles to a branch on one bool when
 //!   disabled, so instrumentation costs nothing in benchmark runs.
+//! * [`stream`] — cursor-based incremental drains over the sinks
+//!   (monotonic sequence numbers, drop-aware resume) and the
+//!   `tcf-obs-stream/v1` NDJSON wire format for live subscribers
+//!   (`repro --stream`, `tdbg top`).
 //! * [`LatencyHistogram`] — fixed log2-bucket, allocation-free histograms
 //!   for shared-memory round trips, network queueing and buffer reloads.
 //! * [`MetricsRegistry`] — named, typed series unifying the per-subsystem
@@ -34,11 +38,13 @@ pub mod json;
 pub mod registry;
 pub mod ring;
 pub mod sink;
+pub mod stream;
 pub mod trace;
 
 pub use event::{FlowEvent, Mode, TimedEvent};
 pub use hist::LatencyHistogram;
 pub use registry::{MetricValue, MetricsRegistry, StepSnapshot};
-pub use ring::RingBuffer;
+pub use ring::{Drained, RingBuffer};
 pub use sink::ObsSink;
+pub use stream::{StreamCursor, StreamReassembly, STREAM_SCHEMA};
 pub use trace::{FlowTag, Trace, TraceEvent, UnitKind};

@@ -5,10 +5,32 @@
 //! fixed capacity: once full, the oldest entries are dropped (and counted),
 //! keeping memory constant while the most recent window stays inspectable —
 //! the mode `tdbg` and long sweeps use.
+//!
+//! Every entry also carries an implicit monotonic **sequence number**: the
+//! first entry ever pushed is seq 0, and eviction never renumbers. A
+//! streaming subscriber holds a cursor (the next seq it wants) and calls
+//! [`RingBuffer::drain_from`] to pick up everything that arrived since —
+//! including, when it fell behind a bounded buffer, an exact count of the
+//! entries it missed ([`Drained::missed`]). This is the substrate of the
+//! incremental NDJSON export (`crate::stream`).
 
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
+
+/// Result of one cursor drain: the entries with sequence numbers in
+/// `[cursor, next_seq)` that were still retained, the advanced cursor, and
+/// how many requested entries had already been evicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drained<T> {
+    /// The drained entries, oldest first.
+    pub items: Vec<T>,
+    /// The cursor to pass to the next drain (= the buffer's `next_seq`).
+    pub cursor: u64,
+    /// Entries in `[old cursor, next_seq)` that were evicted before this
+    /// drain could see them (0 when the subscriber kept up).
+    pub missed: u64,
+}
 
 /// FIFO buffer with optional capacity; overflow drops the oldest entry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,6 +38,8 @@ pub struct RingBuffer<T> {
     items: VecDeque<T>,
     capacity: Option<usize>,
     dropped: u64,
+    /// Total entries ever pushed; the next entry's sequence number.
+    pushed: u64,
 }
 
 // Manual impl: the derive would needlessly require `T: Default`.
@@ -32,6 +56,7 @@ impl<T> RingBuffer<T> {
             items: VecDeque::new(),
             capacity: None,
             dropped: 0,
+            pushed: 0,
         }
     }
 
@@ -42,6 +67,7 @@ impl<T> RingBuffer<T> {
             items: VecDeque::with_capacity(capacity),
             capacity: Some(capacity),
             dropped: 0,
+            pushed: 0,
         }
     }
 
@@ -54,6 +80,20 @@ impl<T> RingBuffer<T> {
             }
         }
         self.items.push_back(item);
+        self.pushed += 1;
+    }
+
+    /// Sequence number the *next* pushed entry will get (= total entries
+    /// ever pushed). A subscriber that wants only future entries starts
+    /// its cursor here.
+    pub fn next_seq(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Sequence number of the oldest entry still retained (= `next_seq`
+    /// when the buffer is empty). Everything before it is gone for good.
+    pub fn first_seq(&self) -> u64 {
+        self.pushed - self.items.len() as u64
     }
 
     /// Entries currently held, oldest first.
@@ -92,6 +132,26 @@ impl<T: Clone> RingBuffer<T> {
     pub fn snapshot(&self) -> Vec<T> {
         self.items.iter().cloned().collect()
     }
+
+    /// Drains every entry with sequence number ≥ `cursor`, non-destructively
+    /// (the buffer keeps its window; the *subscriber* owns the cursor).
+    ///
+    /// When `cursor` has fallen behind `first_seq` — the bounded buffer
+    /// evicted entries the subscriber never saw — the gap is reported in
+    /// [`Drained::missed`] and the drain resumes at the oldest retained
+    /// entry. Concatenating the `items` of successive drains therefore
+    /// reconstructs the exact push sequence whenever `missed` stays 0
+    /// (the cursor/drain property test in `tests/` pins this down).
+    pub fn drain_from(&self, cursor: u64) -> Drained<T> {
+        let first = self.first_seq();
+        let missed = first.saturating_sub(cursor);
+        let skip = cursor.saturating_sub(first) as usize;
+        Drained {
+            items: self.items.iter().skip(skip).cloned().collect(),
+            cursor: self.pushed,
+            missed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +188,56 @@ mod tests {
         r.clear();
         assert!(r.is_empty());
         assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_survive_eviction() {
+        let mut r = RingBuffer::bounded(2);
+        assert_eq!((r.first_seq(), r.next_seq()), (0, 0));
+        for i in 0..5 {
+            r.push(i);
+        }
+        // Entries 0..=2 were evicted; 3 and 4 remain as seqs 3 and 4.
+        assert_eq!((r.first_seq(), r.next_seq()), (3, 5));
+        r.clear();
+        assert_eq!((r.first_seq(), r.next_seq()), (5, 5));
+    }
+
+    #[test]
+    fn drain_from_is_incremental() {
+        let mut r = RingBuffer::unbounded();
+        r.push(10);
+        r.push(11);
+        let d = r.drain_from(0);
+        assert_eq!((d.items.clone(), d.cursor, d.missed), (vec![10, 11], 2, 0));
+        r.push(12);
+        let d = r.drain_from(d.cursor);
+        assert_eq!((d.items.clone(), d.cursor, d.missed), (vec![12], 3, 0));
+        // Nothing new: empty drain, cursor stands still.
+        let d = r.drain_from(d.cursor);
+        assert!(d.items.is_empty());
+        assert_eq!((d.cursor, d.missed), (3, 0));
+    }
+
+    #[test]
+    fn drain_from_reports_missed_entries() {
+        let mut r = RingBuffer::bounded(2);
+        for i in 0..6 {
+            r.push(i);
+        }
+        // Cursor 1 wants seqs 1..6, but only 4 and 5 survive: 3 missed.
+        let d = r.drain_from(1);
+        assert_eq!((d.items.clone(), d.cursor, d.missed), (vec![4, 5], 6, 3));
+    }
+
+    #[test]
+    fn drain_from_mid_window_skips_seen_entries() {
+        let mut r = RingBuffer::bounded(4);
+        for i in 0..6 {
+            r.push(i);
+        }
+        // Window holds seqs 2..6; a cursor inside it drains the tail only.
+        let d = r.drain_from(4);
+        assert_eq!((d.items.clone(), d.cursor, d.missed), (vec![4, 5], 6, 0));
     }
 }

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::event::{FlowEvent, TimedEvent};
-use crate::ring::RingBuffer;
+use crate::ring::{Drained, RingBuffer};
 
 /// Collects [`FlowEvent`]s stamped with step/cycle, or discards them when
 /// disabled.
@@ -90,6 +90,20 @@ impl ObsSink {
     /// Events evicted by ring-buffer overflow (0 in unbounded mode).
     pub fn dropped(&self) -> u64 {
         self.events.dropped()
+    }
+
+    /// Sequence number the next recorded event will get — the starting
+    /// cursor for a subscriber that wants only future events.
+    pub fn next_seq(&self) -> u64 {
+        self.events.next_seq()
+    }
+
+    /// Incremental drain for streaming subscribers: every event with
+    /// sequence number ≥ `cursor`, plus the advanced cursor and the count
+    /// of events evicted before the subscriber saw them (drop-aware
+    /// resume; see [`RingBuffer::drain_from`]).
+    pub fn drain_from(&self, cursor: u64) -> Drained<TimedEvent> {
+        self.events.drain_from(cursor)
     }
 
     /// Ring capacity (`None` = unbounded).

@@ -1,0 +1,458 @@
+//! Incremental NDJSON event streaming.
+//!
+//! Turns the batch sinks into a live telemetry wire: a subscriber holds a
+//! [`StreamCursor`] into the trace and flow-event buffers and periodically
+//! appends everything new as newline-delimited JSON (`tcf-obs-stream/v1`).
+//! The format round-trips: [`parse_stream`] reconstructs the exact
+//! `TraceEvent`/`TimedEvent` sequences, so a streamed run replayed through
+//! the batch exporters (`crate::chrome`, `MetricsRegistry::replay`) is
+//! byte-identical to a non-streamed run's artifacts — the contract
+//! `repro --stream` and its round-trip test hold.
+//!
+//! One JSON object per line; the first line is the schema header. Line
+//! shapes (all keys fixed, values plain JSON):
+//!
+//! ```text
+//! {"schema":"tcf-obs-stream/v1"}
+//! {"t":"trace","cycle":4,"group":0,"flow":1,"thread":null,"kind":"compute"}
+//! {"t":"flow","step":1,"cycle":7,"event":"split","flow":1,"arms":2}
+//! {"t":"drop","stream":"trace","missed":128}
+//! ```
+//!
+//! `drop` lines make ring-buffer truncation explicit on the wire: a
+//! subscriber that fell behind a bounded sink learns exactly how many
+//! events it lost (drop-aware resume), instead of silently re-syncing.
+//! Like the rest of the crate, encoding and parsing are hand-rolled — the
+//! workspace deliberately has no JSON dependency.
+
+use std::fmt::Write as _;
+
+use crate::event::{FlowEvent, Mode, TimedEvent};
+use crate::sink::ObsSink;
+use crate::trace::{Trace, TraceEvent, UnitKind};
+
+/// Schema identifier of the NDJSON stream, following the
+/// `tcf-bench-hotpath/v1` / `tcf-metrics/v1` convention.
+pub const STREAM_SCHEMA: &str = "tcf-obs-stream/v1";
+
+/// A subscriber's position in both event buffers. Start at
+/// [`StreamCursor::default`] to stream from the beginning of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCursor {
+    /// Next trace-event sequence number wanted.
+    pub trace: u64,
+    /// Next flow-event sequence number wanted.
+    pub events: u64,
+}
+
+/// The schema header — the first line of every stream.
+pub fn header_line() -> String {
+    format!("{{\"schema\":\"{STREAM_SCHEMA}\"}}\n")
+}
+
+fn opt_json(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Encodes one trace event as an NDJSON line (newline included).
+pub fn trace_line(e: &TraceEvent) -> String {
+    format!(
+        "{{\"t\":\"trace\",\"cycle\":{},\"group\":{},\"flow\":{},\"thread\":{},\"kind\":\"{}\"}}\n",
+        e.cycle,
+        e.group,
+        opt_json(e.flow.map(u64::from)),
+        opt_json(e.thread.map(|t| t as u64)),
+        e.kind.as_str()
+    )
+}
+
+/// Encodes one timed flow event as an NDJSON line (newline included).
+pub fn flow_line(e: &TimedEvent) -> String {
+    let mut out = format!(
+        "{{\"t\":\"flow\",\"step\":{},\"cycle\":{},\"event\":\"{}\"",
+        e.step,
+        e.cycle,
+        e.event.name()
+    );
+    match e.event {
+        FlowEvent::FlowSpawned {
+            flow,
+            parent,
+            thickness,
+        } => {
+            let _ = write!(
+                out,
+                ",\"flow\":{flow},\"parent\":{},\"thickness\":{thickness}",
+                opt_json(parent.map(u64::from))
+            );
+        }
+        FlowEvent::Split { flow, arms } => {
+            let _ = write!(out, ",\"flow\":{flow},\"arms\":{arms}");
+        }
+        FlowEvent::Join { flow, parent } => {
+            let _ = write!(
+                out,
+                ",\"flow\":{flow},\"parent\":{}",
+                opt_json(parent.map(u64::from))
+            );
+        }
+        FlowEvent::ModeSwitch { flow, mode } => {
+            let _ = write!(out, ",\"flow\":{flow},\"mode\":\"{}\"", mode.as_str());
+        }
+        FlowEvent::ThicknessChange { flow, from, to } => {
+            let _ = write!(out, ",\"flow\":{flow},\"from\":{from},\"to\":{to}");
+        }
+        FlowEvent::BufferReload { flow, group, cost } => {
+            let _ = write!(out, ",\"flow\":{flow},\"group\":{group},\"cost\":{cost}");
+        }
+        FlowEvent::WaitBegin { flow, pending } => {
+            let _ = write!(out, ",\"flow\":{flow},\"pending\":{pending}");
+        }
+        FlowEvent::WaitEnd { flow }
+        | FlowEvent::FlowHalted { flow }
+        | FlowEvent::Fetch { flow } => {
+            let _ = write!(out, ",\"flow\":{flow}");
+        }
+        FlowEvent::Spill { flow, group } => {
+            let _ = write!(out, ",\"flow\":{flow},\"group\":{group}");
+        }
+        FlowEvent::StepEnd { step, cycle } => {
+            let _ = write!(out, ",\"end_step\":{step},\"end_cycle\":{cycle}");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Encodes a truncation notice: `missed` events of `stream`
+/// (`"trace"`/`"flow"`) were evicted before the subscriber drained them.
+pub fn drop_line(stream: &str, missed: u64) -> String {
+    format!("{{\"t\":\"drop\",\"stream\":\"{stream}\",\"missed\":{missed}}}\n")
+}
+
+/// Appends everything new in both buffers since `cursor` to `out` as
+/// NDJSON lines (trace events first, then flow events, each stream in
+/// order), advancing the cursor. Evictions the subscriber missed surface
+/// as `drop` lines. This is the per-step pump of `repro --stream`.
+pub fn drain_ndjson(trace: &Trace, obs: &ObsSink, cursor: &mut StreamCursor, out: &mut String) {
+    let d = trace.drain_from(cursor.trace);
+    if d.missed > 0 {
+        out.push_str(&drop_line("trace", d.missed));
+    }
+    for e in &d.items {
+        out.push_str(&trace_line(e));
+    }
+    cursor.trace = d.cursor;
+
+    let d = obs.drain_from(cursor.events);
+    if d.missed > 0 {
+        out.push_str(&drop_line("flow", d.missed));
+    }
+    for e in &d.items {
+        out.push_str(&flow_line(e));
+    }
+    cursor.events = d.cursor;
+}
+
+/// Both event streams reassembled from an NDJSON document, plus the drop
+/// totals its `drop` lines reported.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamReassembly {
+    /// Trace events, in stream order.
+    pub trace: Vec<TraceEvent>,
+    /// Flow events, in stream order.
+    pub events: Vec<TimedEvent>,
+    /// Trace events the stream declared dropped.
+    pub trace_dropped: u64,
+    /// Flow events the stream declared dropped.
+    pub events_dropped: u64,
+}
+
+/// Extracts the raw text of `"key":<value>` from one NDJSON line.
+/// Values in this schema are numbers, `null`, or bare identifier strings
+/// (event/kind/mode names — never escaped), so a scan suffices.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(&rest[..end])
+    }
+}
+
+fn u64_field(line: &str, key: &str) -> Result<u64, String> {
+    raw_field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("missing or bad \"{key}\" in: {line}"))
+}
+
+fn usize_field(line: &str, key: &str) -> Result<usize, String> {
+    raw_field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("missing or bad \"{key}\" in: {line}"))
+}
+
+fn opt_u32_field(line: &str, key: &str) -> Result<Option<u32>, String> {
+    match raw_field(line, key) {
+        None => Err(format!("missing \"{key}\" in: {line}")),
+        Some("null") => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad \"{key}\" in: {line}")),
+    }
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    raw_field(line, key).ok_or_else(|| format!("missing \"{key}\" in: {line}"))
+}
+
+fn parse_flow_event(line: &str) -> Result<FlowEvent, String> {
+    let name = str_field(line, "event")?;
+    let flow = |key: &str| opt_u32_field(line, key);
+    let req_flow = || flow("flow")?.ok_or_else(|| format!("null \"flow\" in: {line}"));
+    Ok(match name {
+        "flow_spawned" => FlowEvent::FlowSpawned {
+            flow: req_flow()?,
+            parent: flow("parent")?,
+            thickness: usize_field(line, "thickness")?,
+        },
+        "split" => FlowEvent::Split {
+            flow: req_flow()?,
+            arms: usize_field(line, "arms")?,
+        },
+        "join" => FlowEvent::Join {
+            flow: req_flow()?,
+            parent: flow("parent")?,
+        },
+        "mode_switch" => FlowEvent::ModeSwitch {
+            flow: req_flow()?,
+            mode: Mode::from_name(str_field(line, "mode")?)
+                .ok_or_else(|| format!("bad \"mode\" in: {line}"))?,
+        },
+        "thickness_change" => FlowEvent::ThicknessChange {
+            flow: req_flow()?,
+            from: usize_field(line, "from")?,
+            to: usize_field(line, "to")?,
+        },
+        "buffer_reload" => FlowEvent::BufferReload {
+            flow: req_flow()?,
+            group: usize_field(line, "group")?,
+            cost: u64_field(line, "cost")?,
+        },
+        "wait_begin" => FlowEvent::WaitBegin {
+            flow: req_flow()?,
+            pending: usize_field(line, "pending")?,
+        },
+        "wait_end" => FlowEvent::WaitEnd { flow: req_flow()? },
+        "flow_halted" => FlowEvent::FlowHalted { flow: req_flow()? },
+        "fetch" => FlowEvent::Fetch { flow: req_flow()? },
+        "spill" => FlowEvent::Spill {
+            flow: req_flow()?,
+            group: usize_field(line, "group")?,
+        },
+        "step_end" => FlowEvent::StepEnd {
+            step: u64_field(line, "end_step")?,
+            cycle: u64_field(line, "end_cycle")?,
+        },
+        other => return Err(format!("unknown event \"{other}\" in: {line}")),
+    })
+}
+
+/// Parses a `tcf-obs-stream/v1` NDJSON document back into its event
+/// streams. The first non-empty line must be the schema header; unknown
+/// line types or malformed fields are errors (the writer and reader are
+/// the same schema version by construction).
+pub fn parse_stream(s: &str) -> Result<StreamReassembly, String> {
+    let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+    match lines.next() {
+        Some(header) if raw_field(header, "schema") == Some(STREAM_SCHEMA) => {}
+        Some(header) => return Err(format!("bad stream header: {header}")),
+        None => return Err("empty stream".to_string()),
+    }
+    let mut out = StreamReassembly::default();
+    for line in lines {
+        match str_field(line, "t")? {
+            "trace" => out.trace.push(TraceEvent {
+                cycle: u64_field(line, "cycle")?,
+                group: usize_field(line, "group")?,
+                flow: opt_u32_field(line, "flow")?,
+                thread: opt_u32_field(line, "thread")?.map(|t| t as usize),
+                kind: UnitKind::from_name(str_field(line, "kind")?)
+                    .ok_or_else(|| format!("bad \"kind\" in: {line}"))?,
+            }),
+            "flow" => out.events.push(TimedEvent {
+                step: u64_field(line, "step")?,
+                cycle: u64_field(line, "cycle")?,
+                event: parse_flow_event(line)?,
+            }),
+            "drop" => {
+                let missed = u64_field(line, "missed")?;
+                match str_field(line, "stream")? {
+                    "trace" => out.trace_dropped += missed,
+                    "flow" => out.events_dropped += missed,
+                    other => return Err(format!("unknown drop stream \"{other}\" in: {line}")),
+                }
+            }
+            other => return Err(format!("unknown line type \"{other}\" in: {line}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use crate::trace::FlowTag;
+
+    fn all_flow_events() -> Vec<FlowEvent> {
+        vec![
+            FlowEvent::FlowSpawned {
+                flow: 1,
+                parent: None,
+                thickness: 16,
+            },
+            FlowEvent::FlowSpawned {
+                flow: 2,
+                parent: Some(1),
+                thickness: 8,
+            },
+            FlowEvent::Split { flow: 1, arms: 2 },
+            FlowEvent::Join {
+                flow: 2,
+                parent: Some(1),
+            },
+            FlowEvent::ModeSwitch {
+                flow: 2,
+                mode: Mode::Numa,
+            },
+            FlowEvent::ThicknessChange {
+                flow: 1,
+                from: 16,
+                to: 4,
+            },
+            FlowEvent::BufferReload {
+                flow: 1,
+                group: 3,
+                cost: 9,
+            },
+            FlowEvent::WaitBegin {
+                flow: 1,
+                pending: 2,
+            },
+            FlowEvent::WaitEnd { flow: 1 },
+            FlowEvent::FlowHalted { flow: 2 },
+            FlowEvent::Fetch { flow: 1 },
+            FlowEvent::Spill { flow: 1, group: 0 },
+            FlowEvent::StepEnd { step: 3, cycle: 40 },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for (i, event) in all_flow_events().into_iter().enumerate() {
+            let ev = TimedEvent {
+                step: i as u64,
+                cycle: 2 * i as u64,
+                event,
+            };
+            let line = flow_line(&ev);
+            validate_json(line.trim()).expect("line is valid JSON");
+            let doc = format!("{}{}", header_line(), line);
+            let re = parse_stream(&doc).expect("parses");
+            assert_eq!(re.events, vec![ev], "event {i} diverged");
+        }
+    }
+
+    #[test]
+    fn trace_events_round_trip() {
+        let evs = vec![
+            TraceEvent {
+                cycle: 0,
+                group: 0,
+                flow: Some(1 as FlowTag),
+                thread: Some(3),
+                kind: UnitKind::Compute,
+            },
+            TraceEvent {
+                cycle: 1,
+                group: 2,
+                flow: None,
+                thread: None,
+                kind: UnitKind::Bubble,
+            },
+        ];
+        let mut doc = header_line();
+        for e in &evs {
+            let line = trace_line(e);
+            validate_json(line.trim()).expect("line is valid JSON");
+            doc.push_str(&line);
+        }
+        let re = parse_stream(&doc).expect("parses");
+        assert_eq!(re.trace, evs);
+        assert!(re.events.is_empty());
+    }
+
+    #[test]
+    fn incremental_drains_match_batch_export() {
+        let mut trace = Trace::recording();
+        let mut obs = ObsSink::recording();
+        let mut cursor = StreamCursor::default();
+        let mut doc = header_line();
+        for step in 0..4u64 {
+            for c in 0..3u64 {
+                trace.push(TraceEvent {
+                    cycle: step * 3 + c,
+                    group: 0,
+                    flow: Some(1),
+                    thread: None,
+                    kind: UnitKind::Compute,
+                });
+            }
+            obs.emit(
+                step + 1,
+                (step + 1) * 3,
+                FlowEvent::StepEnd {
+                    step: step + 1,
+                    cycle: (step + 1) * 3,
+                },
+            );
+            drain_ndjson(&trace, &obs, &mut cursor, &mut doc);
+        }
+        let re = parse_stream(&doc).expect("parses");
+        assert_eq!(re.trace, trace.events());
+        assert_eq!(re.events, obs.events());
+        assert_eq!(re.trace_dropped + re.events_dropped, 0);
+    }
+
+    #[test]
+    fn drops_surface_as_drop_lines() {
+        let trace = Trace::recording();
+        let mut obs = ObsSink::ring(2);
+        let mut cursor = StreamCursor::default();
+        for i in 0..7 {
+            obs.emit(1, i, FlowEvent::Fetch { flow: 1 });
+        }
+        let mut doc = header_line();
+        drain_ndjson(&trace, &obs, &mut cursor, &mut doc);
+        let re = parse_stream(&doc).expect("parses");
+        assert_eq!(re.events_dropped, 5);
+        assert_eq!(re.events.len(), 2);
+        assert_eq!(cursor.events, obs.next_seq());
+    }
+
+    #[test]
+    fn parser_rejects_foreign_documents() {
+        assert!(parse_stream("").is_err());
+        assert!(parse_stream("{\"schema\":\"something-else/v9\"}\n").is_err());
+        let doc = format!("{}{}", header_line(), "{\"t\":\"mystery\"}\n");
+        assert!(parse_stream(&doc).is_err());
+    }
+}

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use serde::{Deserialize, Serialize};
 
 use crate::gantt;
-use crate::ring::RingBuffer;
+use crate::ring::{Drained, RingBuffer};
 
 /// Identifier of a flow (TCF) or, in baseline models, of a thread bunch.
 pub type FlowTag = u32;
@@ -71,6 +71,19 @@ impl UnitKind {
     /// utilization figures.
     pub fn is_issue(self) -> bool {
         !matches!(self, UnitKind::Bubble | UnitKind::FlowOverhead)
+    }
+
+    /// Inverse of [`as_str`](Self::as_str), for stream re-readers.
+    pub fn from_name(name: &str) -> Option<UnitKind> {
+        Some(match name {
+            "compute" => UnitKind::Compute,
+            "shared" => UnitKind::MemShared,
+            "local" => UnitKind::MemLocal,
+            "fetch" => UnitKind::Fetch,
+            "bubble" => UnitKind::Bubble,
+            "overhead" => UnitKind::FlowOverhead,
+            _ => return None,
+        })
     }
 }
 
@@ -149,6 +162,20 @@ impl Trace {
         self.events.dropped()
     }
 
+    /// Sequence number the next recorded event will get — the starting
+    /// cursor for a subscriber that wants only future events.
+    pub fn next_seq(&self) -> u64 {
+        self.events.next_seq()
+    }
+
+    /// Incremental drain for streaming subscribers: every event with
+    /// sequence number ≥ `cursor`, plus the advanced cursor and the count
+    /// of events evicted before the subscriber saw them (drop-aware
+    /// resume; see [`RingBuffer::drain_from`]).
+    pub fn drain_from(&self, cursor: u64) -> Drained<TraceEvent> {
+        self.events.drain_from(cursor)
+    }
+
     /// Ring capacity (`None` = unbounded).
     pub fn capacity(&self) -> Option<usize> {
         self.events.capacity()
@@ -193,7 +220,16 @@ impl Trace {
     /// Figures 6–12.
     pub fn gantt(&self, group: usize) -> String {
         let events = self.events();
-        gantt::render(&events, group)
+        let mut out = String::new();
+        if self.dropped() > 0 {
+            let _ = writeln!(
+                out,
+                "!! truncated: ring dropped {} oldest trace events",
+                self.dropped()
+            );
+        }
+        out.push_str(&gantt::render(&events, group));
+        out
     }
 
     /// Clears all events.
@@ -294,6 +330,30 @@ mod tests {
     fn gantt_empty_group() {
         let t = Trace::recording();
         assert!(t.gantt(3).contains("no events"));
+    }
+
+    #[test]
+    fn gantt_warns_when_ring_truncated() {
+        let mut t = Trace::ring(1);
+        t.push(ev(0, Some(1), UnitKind::Compute));
+        t.push(ev(1, Some(1), UnitKind::Compute));
+        let g = t.gantt(0);
+        assert!(g.starts_with("!! truncated: ring dropped 1 oldest trace events"));
+        // An untruncated trace renders without the warning.
+        assert!(Trace::recording().gantt(0).starts_with("group 0"));
+    }
+
+    #[test]
+    fn drain_from_resumes_after_drops() {
+        let mut t = Trace::ring(2);
+        for c in 0..5 {
+            t.push(ev(c, Some(1), UnitKind::Compute));
+        }
+        let d = t.drain_from(0);
+        assert_eq!(d.missed, 3);
+        assert_eq!(d.items.len(), 2);
+        assert_eq!(d.items[0].cycle, 3);
+        assert_eq!(d.cursor, t.next_seq());
     }
 
     #[test]

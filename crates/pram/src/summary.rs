@@ -85,6 +85,7 @@ pub fn summary_metrics(
     reg.set_counter("net.queue_cycles", network.queue_cycles);
     reg.set_counter("net.max_queue_cycles", network.max_queue_cycles);
     reg.set_counter("net.local_deliveries", network.local_deliveries as u64);
+    reg.set_counter("net.route_sends", network.route_sends as u64);
     reg.set_gauge("net.mean_hops", network.mean_hops());
     reg.set_gauge("net.mean_queue_cycles", network.mean_queue_cycles());
     reg.set_histogram("net.queue", network.queue);

@@ -10,6 +10,8 @@ use tcf::machine::MachineConfig;
 use tcf_bench::workloads;
 use tcf_obs::chrome::chrome_trace;
 use tcf_obs::json::metrics_json;
+use tcf_obs::stream::{drain_ndjson, header_line, parse_stream};
+use tcf_obs::StreamCursor;
 
 fn artifacts(engine: Engine) -> (String, String) {
     let mut m = TcfMachine::new(
@@ -50,6 +52,91 @@ fn parallel_artifacts_match_sequential_bytes() {
         assert_eq!(
             metrics_seq, metrics_par,
             "metrics diverged under par:{workers}"
+        );
+    }
+}
+
+/// How the telemetry pipeline observes a run in [`observed_run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Obs {
+    /// Sinks disabled — the hooks early-return.
+    Disabled,
+    /// Recording on, exported in one batch after the run.
+    Recording,
+    /// Recording on plus a per-step streaming drain; the exported
+    /// artifacts are rebuilt from the parsed NDJSON document.
+    Streaming,
+}
+
+/// Runs the scan workload under one engine/observability pairing and
+/// returns (results bytes, exported artifacts). Results — the output
+/// array plus step/cycle counts — exist for every mode; artifacts only
+/// when events were recorded.
+fn observed_run(engine: Engine, obs: Obs) -> (Vec<i64>, Option<(String, String)>) {
+    let mut m = TcfMachine::new(
+        MachineConfig::small(),
+        Variant::SingleInstruction,
+        workloads::tcf_scan(96),
+    );
+    m.set_engine(engine);
+    if obs != Obs::Disabled {
+        m.set_tracing(true);
+        m.set_observing(true);
+    }
+    workloads::init_arrays_tcf(&mut m, 96);
+    let artifacts = match obs {
+        Obs::Streaming => {
+            let mut cursor = StreamCursor::default();
+            let mut doc = header_line();
+            loop {
+                let more = m.step().expect("workload halts");
+                drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+                if !more {
+                    break;
+                }
+            }
+            let re = parse_stream(&doc).expect("stream parses");
+            Some((
+                chrome_trace(&re.trace, &re.events),
+                metrics_json(&tcf_obs::MetricsRegistry::replay(&re.trace, &re.events)),
+            ))
+        }
+        Obs::Recording | Obs::Disabled => {
+            m.run(50_000).expect("workload halts");
+            (obs == Obs::Recording).then(|| {
+                (
+                    chrome_trace(&m.trace().events(), &m.obs().events()),
+                    metrics_json(&tcf_obs::MetricsRegistry::replay(
+                        &m.trace().events(),
+                        &m.obs().events(),
+                    )),
+                )
+            })
+        }
+    };
+    let mut results = m.peek_range(workloads::C_BASE, 96).expect("output array");
+    results.push(m.steps_executed() as i64);
+    results.push(m.cycles() as i64);
+    (results, artifacts)
+}
+
+/// The telemetry pipeline is a pure observer: disabled, recording and
+/// streaming sinks all leave the simulation byte-identical, and the
+/// streamed artifacts replay to the same bytes the batch export
+/// produces — under both engines.
+#[test]
+fn observability_modes_never_perturb_results_or_artifacts() {
+    for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+        let (res_off, none) = observed_run(engine, Obs::Disabled);
+        assert!(none.is_none(), "disabled sinks recorded events");
+        let (res_rec, rec) = observed_run(engine, Obs::Recording);
+        let (res_str, streamed) = observed_run(engine, Obs::Streaming);
+        assert_eq!(res_off, res_rec, "recording perturbed {engine:?}");
+        assert_eq!(res_off, res_str, "streaming perturbed {engine:?}");
+        assert_eq!(
+            rec.expect("recording artifacts"),
+            streamed.expect("streamed artifacts"),
+            "streamed artifacts diverged from batch export under {engine:?}"
         );
     }
 }
