@@ -12,7 +12,7 @@ use std::time::Instant;
 use tcf_bench::workloads;
 use tcf_core::{TcfMachine, Variant};
 use tcf_machine::MachineConfig;
-use tcf_obs::stream::{drain_ndjson, header_line};
+use tcf_obs::stream::{drain_ndjson, header_line, DRAIN_INTERVAL_STEPS};
 use tcf_obs::StreamCursor;
 
 const SIZE: usize = 256;
@@ -78,20 +78,26 @@ fn bench_obs(c: &mut Criterion) {
     });
     g.bench_function("streaming", |b| {
         // Recording plus a live subscriber: a cursor drain serializes
-        // everything new as NDJSON after every machine step.
+        // everything new as NDJSON every DRAIN_INTERVAL_STEPS machine
+        // steps, plus a final catch-up drain.
         b.iter(|| {
             let mut m = machine();
             m.set_tracing(true);
             m.set_observing(true);
             let mut cursor = StreamCursor::default();
             let mut doc = header_line();
+            let mut steps = 0u64;
             loop {
                 let more = m.step().unwrap();
-                drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+                steps += 1;
+                if steps.is_multiple_of(DRAIN_INTERVAL_STEPS) {
+                    drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+                }
                 if !more {
                     break;
                 }
             }
+            drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
             black_box(doc.len())
         })
     });

@@ -1,8 +1,9 @@
 //! Hot-path step-rate bench: wall-clock throughput of the cycle-level
-//! step loop on the three steady-state workloads (thick PRAM flow, thin
-//! NUMA flow, mixed multitasking). `repro bench-json` exports the same
-//! probes as machine-readable `BENCH_hotpath.json`; docs/PERFORMANCE.md
-//! explains how to read both.
+//! step loop on every steady-state workload in [`Workload::ALL`] (thick
+//! PRAM flow, thin NUMA flow, mixed multitasking, broadcast stride
+//! sweep, lane-id reduction, branchy divergence). `repro bench-json`
+//! exports the same probes as machine-readable `BENCH_hotpath.json`;
+//! docs/PERFORMANCE.md explains how to read both.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

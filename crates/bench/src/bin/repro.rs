@@ -21,8 +21,8 @@
 //!                      # (open in Perfetto / chrome://tracing)
 //! repro ... --stream events.ndjson
 //!                      # additionally stream the demo run's events
-//!                      # incrementally (per machine step, cursor-based)
-//!                      # as tcf-obs-stream/v1 NDJSON; the file replays
+//!                      # incrementally (batched cursor drains) as
+//!                      # tcf-obs-stream/v2 NDJSON; the file replays
 //!                      # through the batch exporters byte-identically
 //! repro ... --force    # overwrite existing output files (repro refuses
 //!                      # to clobber them otherwise)

@@ -1,7 +1,7 @@
 //! Hot-path throughput probes: the fixed workload set measured by the
 //! `step_rate` criterion bench and exported by `repro bench-json`.
 //!
-//! Five workloads cover the simulator's steady states (see
+//! Six workloads cover the simulator's steady states (see
 //! `docs/PERFORMANCE.md`):
 //!
 //! * **thick_pram_flow** — one flow of thickness 1024 looping over a
@@ -18,6 +18,10 @@
 //! * **lane_id_reduction** — a thick flow folding its lane ids into a
 //!   multiprefix accumulator: stresses the bulk multioperation path
 //!   (closed-form combining) seeded from a compressed lane-id read.
+//! * **branchy_divergence** — a `Sel`-heavy parity recurrence whose first
+//!   instruction (`and` on the lane ids) escapes the affine algebra, so
+//!   every register decays to explicit lanes: stresses the per-lane
+//!   fallback (the structure-of-arrays SIMD kernels of `tcf_core::lanes`).
 //!
 //! All run on the small machine (`P = 4`, `T_p = 16`) so a probe
 //! completes in milliseconds; throughput is reported as simulated machine
@@ -27,13 +31,13 @@ use std::time::Instant;
 
 use tcf_core::{TcfMachine, Variant};
 use tcf_isa::program::Program;
-use tcf_obs::stream::{drain_ndjson, header_line};
+use tcf_obs::stream::{drain_ndjson, header_line, DRAIN_INTERVAL_STEPS};
 use tcf_obs::StreamCursor;
 use tcf_pram::RunSummary;
 
 use crate::workloads;
 
-/// One of the three measured workloads.
+/// One of the measured workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// Thick PRAM-mode flow (thickness 1024 array loop).
@@ -46,16 +50,19 @@ pub enum Workload {
     BroadcastStride,
     /// Lane-id multiprefix reduction (thickness 1024).
     LaneIdReduction,
+    /// Sel-heavy parity recurrence on decayed lanes (thickness 1024).
+    BranchyDivergence,
 }
 
 impl Workload {
     /// Every workload, in report order.
-    pub const ALL: [Workload; 5] = [
+    pub const ALL: [Workload; 6] = [
         Workload::ThickPram,
         Workload::ThinNuma,
         Workload::MixedMultitasking,
         Workload::BroadcastStride,
         Workload::LaneIdReduction,
+        Workload::BranchyDivergence,
     ];
 
     /// Stable identifier used in bench output and `BENCH_hotpath.json`.
@@ -66,6 +73,7 @@ impl Workload {
             Workload::MixedMultitasking => "mixed_multitasking",
             Workload::BroadcastStride => "broadcast_stride_sweep",
             Workload::LaneIdReduction => "lane_id_reduction",
+            Workload::BranchyDivergence => "branchy_divergence",
         }
     }
 
@@ -117,6 +125,35 @@ impl Workload {
                 workloads::C_BASE
             ))
             .expect("workload compiles"),
+            // tce has no per-lane ternary, so this one is built directly:
+            // a parity-driven select/accumulate recurrence. The opening
+            // `and` of the affine lane ids falls outside the affine
+            // closure algebra, decaying every derived register to explicit
+            // lanes — from then on the loop body (two `sel`s and three
+            // lane-wise ALU ops per iteration) runs entirely on the
+            // per-lane fallback path.
+            Workload::BranchyDivergence => {
+                use tcf_isa::reg::{r, SpecialReg};
+                use tcf_isa::{AluOp, ProgramBuilder};
+                let mut b = ProgramBuilder::new();
+                b.setthick(1024);
+                b.mfs(r(1), SpecialReg::Tid); // r1 = lane id
+                b.alu(AluOp::And, r(2), r(1), 1); // r2 = parity (decays)
+                b.ldi(r(3), 0); // r3 = accumulator
+                b.ldi(r(4), 0); // r4 = loop counter (uniform)
+                b.label("loop");
+                b.sel(r(6), r(2), r(1), r(3)); // odd parity: take id, else acc
+                b.alu(AluOp::Add, r(3), r(3), r(6));
+                b.alu(AluOp::Xor, r(2), r(2), 1); // flip parity
+                b.alu(AluOp::Sub, r(5), r(3), r(1));
+                b.sel(r(3), r(2), r(5), r(3)); // new-odd lanes: acc -= id
+                b.alu(AluOp::Add, r(4), r(4), 1);
+                b.alu(AluOp::Slt, r(7), r(4), 16);
+                b.bnez(r(7), "loop");
+                b.st(r(3), r(1), workloads::C_BASE as tcf_isa::Word);
+                b.halt();
+                b.build().expect("workload assembles")
+            }
         }
     }
 
@@ -218,9 +255,9 @@ pub enum ObsMode {
     Off,
     /// Cycle trace and flow-event recording on, batch export afterwards.
     Record,
-    /// Recording on plus a live streaming subscriber: every machine step
-    /// is followed by a cursor drain appending `tcf-obs-stream/v1`
-    /// NDJSON, as `repro --stream` does.
+    /// Recording on plus a live streaming subscriber: a cursor drain
+    /// appends `tcf-obs-stream/v2` NDJSON every `DRAIN_INTERVAL_STEPS`
+    /// machine steps (plus a final catch-up), as `repro --stream` does.
     Stream,
 }
 
@@ -254,13 +291,18 @@ impl ObsMode {
             ObsMode::Stream => {
                 let mut cursor = StreamCursor::default();
                 let mut doc = header_line();
+                let mut steps = 0u64;
                 loop {
                     let more = m.step().expect("workload halts");
-                    drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+                    steps += 1;
+                    if steps.is_multiple_of(DRAIN_INTERVAL_STEPS) {
+                        drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+                    }
                     if !more {
                         break;
                     }
                 }
+                drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
                 std::hint::black_box(doc.len());
             }
             ObsMode::Off | ObsMode::Record => {
@@ -395,6 +437,27 @@ mod tests {
             );
         }
         assert_eq!(m.peek(64).unwrap(), 8 * round);
+    }
+
+    #[test]
+    fn branchy_divergence_computes_the_recurrence() {
+        let w = Workload::BranchyDivergence;
+        let program = w.program();
+        let mut m = w.build(&program);
+        w.run(&mut m);
+        // Mirror of the parity recurrence the program runs per lane.
+        for j in [0usize, 1, 2, 513, 1022, 1023] {
+            let id = j as i64;
+            let (mut par, mut acc) = (id & 1, 0i64);
+            for _ in 0..16 {
+                acc += if par != 0 { id } else { acc };
+                par ^= 1;
+                if par != 0 {
+                    acc -= id;
+                }
+            }
+            assert_eq!(m.peek(workloads::C_BASE + j).unwrap(), acc, "lane {j}");
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use tcf_lang::compile;
 use tcf_machine::MachineConfig;
 use tcf_obs::chrome::chrome_trace_with_workers;
 use tcf_obs::json::metrics_json;
-use tcf_obs::stream::{drain_ndjson, header_line};
+use tcf_obs::stream::{drain_ndjson, header_line, DRAIN_INTERVAL_STEPS};
 use tcf_obs::{MetricValue, StreamCursor};
 
 use crate::workloads::{A_BASE, B_BASE, C_BASE};
@@ -78,23 +78,31 @@ pub fn chrome_trace_demo(config: &MachineConfig) -> String {
     )
 }
 
-/// Runs the demo with a live streaming subscriber attached: after every
-/// machine step, everything new in both event buffers is drained through
-/// a [`StreamCursor`] and appended as `tcf-obs-stream/v1` NDJSON — the
+/// Runs the demo with a live streaming subscriber attached: every
+/// [`DRAIN_INTERVAL_STEPS`] machine steps (and once after the run),
+/// everything new in both event buffers is drained through a
+/// [`StreamCursor`] and appended as `tcf-obs-stream/v2` NDJSON — the
 /// incremental pump behind `repro --stream`. The resulting document
 /// replays through the batch exporters to byte-identical artifacts (the
-/// round-trip test below pins this).
+/// round-trip test below pins this); the drain interval only changes how
+/// the lines are interleaved between the two streams, never the per-stream
+/// sequences the replay reads.
 pub fn stream_demo(config: &MachineConfig) -> String {
     let mut m = demo_machine(config);
     let mut cursor = StreamCursor::default();
     let mut doc = header_line();
+    let mut steps = 0u64;
     loop {
         let more = m.step().expect("demo runs to completion");
-        drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+        steps += 1;
+        if steps.is_multiple_of(DRAIN_INTERVAL_STEPS) {
+            drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
+        }
         if !more {
             break;
         }
     }
+    drain_ndjson(m.trace(), m.obs(), &mut cursor, &mut doc);
     doc
 }
 

@@ -20,47 +20,79 @@ use crate::error::{TcfError, TcfFault};
 use crate::flow::{Flow, FlowStatus};
 use crate::machine::TcfMachine;
 
+/// Pooled per-quantum buffers of [`TcfMachine::step_async`], kept on the
+/// machine so steady-state quanta allocate nothing — the same discipline
+/// as the synchronous engine's `StepBufs` (docs/PERFORMANCE.md).
+#[derive(Default)]
+pub(crate) struct AsyncBufs {
+    units: Vec<Vec<UnitSeq>>,
+    numa_units: Vec<Vec<UnitSeq>>,
+    /// Threads runnable at the start of the quantum, per group.
+    per_group: Vec<Vec<u32>>,
+    /// Round-robin worklist of the current pass, and the survivors that
+    /// roll into the next pass (swapped instead of reallocated).
+    runnable: Vec<u32>,
+    still: Vec<u32>,
+}
+
 impl TcfMachine {
-    /// One asynchronous scheduling quantum.
+    /// One asynchronous scheduling quantum. The quantum buffers are taken
+    /// out of the machine for the duration (and put back even on a
+    /// faulting quantum) so the scheduling loop can borrow them
+    /// independently of `self`.
     pub(crate) fn step_async(&mut self) -> Result<(), TcfError> {
+        let mut bufs = std::mem::take(&mut self.async_bufs);
+        let r = self.step_async_inner(&mut bufs);
+        self.async_bufs = bufs;
+        r
+    }
+
+    fn step_async_inner(&mut self, bufs: &mut AsyncBufs) -> Result<(), TcfError> {
         let ngroups = self.config.groups;
         let quantum = self.config.threads_per_group;
-        let mut units: Vec<Vec<UnitSeq>> = vec![Vec::new(); ngroups];
-        let numa_units: Vec<Vec<UnitSeq>> = vec![Vec::new(); ngroups];
-
+        bufs.units.resize_with(ngroups, Vec::new);
+        bufs.numa_units.resize_with(ngroups, Vec::new);
+        bufs.per_group.resize_with(ngroups, Vec::new);
+        for v in bufs.units.iter_mut().chain(&mut bufs.numa_units) {
+            v.clear();
+        }
         // Threads runnable at the start of the quantum; spawns become
         // runnable next quantum.
-        let mut per_group: Vec<Vec<u32>> = vec![Vec::new(); ngroups];
+        for v in &mut bufs.per_group {
+            v.clear();
+        }
         for (id, f) in self.flows.iter() {
             if f.is_running() {
-                per_group[f.home_group()].push(id);
+                bufs.per_group[f.home_group()].push(id);
             }
         }
 
-        for (g, group_threads) in per_group.iter().enumerate() {
+        for g in 0..ngroups {
             let mut budget = quantum;
-            let mut runnable = group_threads.clone();
-            while budget > 0 && !runnable.is_empty() {
-                let mut still = Vec::with_capacity(runnable.len());
-                for id in runnable {
+            bufs.runnable.clear();
+            bufs.runnable.extend_from_slice(&bufs.per_group[g]);
+            while budget > 0 && !bufs.runnable.is_empty() {
+                bufs.still.clear();
+                for i in 0..bufs.runnable.len() {
+                    let id = bufs.runnable[i];
                     if budget == 0 {
-                        still.push(id);
+                        bufs.still.push(id);
                         continue;
                     }
                     if !self.flows[&id].is_running() {
                         continue;
                     }
-                    self.exec_async_instr(id, g, &mut units)?;
+                    self.exec_async_instr(id, g, &mut bufs.units)?;
                     budget -= 1;
                     if self.flows[&id].is_running() {
-                        still.push(id);
+                        bufs.still.push(id);
                     }
                 }
-                runnable = still;
+                std::mem::swap(&mut bufs.runnable, &mut bufs.still);
             }
         }
 
-        self.apply_timing(&units, &numa_units);
+        self.apply_timing(&bufs.units, &bufs.numa_units);
         Ok(())
     }
 
@@ -238,8 +270,9 @@ impl TcfMachine {
                     for i in 0..n {
                         let cid = self.alloc_id();
                         let mut child = Flow::new(cid, 1, entry, flow.regs.len());
-                        child.regs = flow.regs.clone();
-                        child.regs.collapse_to_flowwise();
+                        // Flow-wise inheritance without first cloning the
+                        // parent's per-thread lane storage.
+                        child.regs = flow.regs.clone_flowwise();
                         child.parent = Some(flow.id);
                         child.tid_offset = i;
                         // Spawned threads are distributed round-robin over

@@ -249,19 +249,24 @@ impl TcfMachine {
         flow.thickness = 1;
         flow.fragments = self.allocation.fragments(flow.id, 1, self.config.groups);
         if matches!(self.variant, Variant::ConfigurableSingleOperation) {
-            let ids: Vec<u32> = self
-                .flows
-                .iter()
-                .filter(|(_, f)| matches!(f.status, FlowStatus::Absorbed { leader } if leader == flow.id))
-                .map(|(id, _)| id)
-                .collect();
-            for sid in ids {
+            // The absorbed-id scan reuses the machine's pooled scratch —
+            // bunch exits in a loop stop allocating after the first.
+            let mut ids = std::mem::take(&mut self.numa_ids_buf);
+            ids.clear();
+            ids.extend(
+                self.flows
+                    .iter()
+                    .filter(|(_, f)| matches!(f.status, FlowStatus::Absorbed { leader } if leader == flow.id))
+                    .map(|(id, _)| id),
+            );
+            for &sid in &ids {
                 let sibling = self.flows.get_mut(&sid).expect("absorbed sibling exists");
                 sibling.regs = flow.regs.clone();
                 sibling.call_stack = flow.call_stack.clone();
                 sibling.pc = flow.pc;
                 sibling.status = FlowStatus::Running;
             }
+            self.numa_ids_buf = ids;
         }
     }
 

@@ -1,0 +1,311 @@
+//! Structure-of-arrays lane kernels for the per-lane fallback path.
+//!
+//! When a thick value decays out of the compressed (Affine/Segments)
+//! representation, the executors fall back to evaluating every lane of the
+//! slice. This module provides that fallback as *chunked* kernels over dense
+//! `&[Word]` lane planes: operands are gathered once into contiguous buffers
+//! ([`LanePlanes`], pooled and reused across steps), then evaluated
+//! [`LANE_CHUNK`] lanes at a time through fixed-width inner loops the
+//! compiler can autovectorize, with a scalar tail for the remainder.
+//!
+//! Bit-identity contract: every kernel computes exactly
+//! `out[k] = f(a[k], b[k])` with the same `f` the scalar interpreter uses
+//! ([`AluOp::eval`], the `Sel` cond-nonzero blend), in lane order, with no
+//! reassociation — chunking an elementwise map cannot change results. Each
+//! kernel is pinned against its `*_scalar_ref` oracle by the property suites
+//! in `tests/scalarization.rs`.
+
+use tcf_isa::{AluOp, Word};
+
+/// Lanes evaluated per inner-loop iteration of the chunked kernels.
+///
+/// Eight 64-bit lanes = one 512-bit vector, or two 256-bit halves on AVX2;
+/// the fixed-size `[Word; LANE_CHUNK]` bodies below compile to branch-free
+/// straight-line code either way.
+pub const LANE_CHUNK: usize = 8;
+
+/// Pooled structure-of-arrays operand scratch for one execution slice.
+///
+/// Three planes cover the widest instruction (`Sel` reads cond/true/false);
+/// ALU uses `a`/`b`. The vectors keep their capacity across steps — a slice
+/// of the same thickness allocates nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct LanePlanes {
+    /// First operand plane (ALU `ra`, `Sel` cond).
+    pub a: Vec<Word>,
+    /// Second operand plane (ALU `rb`, `Sel` true-value).
+    pub b: Vec<Word>,
+    /// Third operand plane (`Sel` false-value).
+    pub c: Vec<Word>,
+}
+
+/// Borrows `buf` as a writable plane of exactly `len` lanes, growing the
+/// allocation only when a wider slice arrives. Contents are unspecified on
+/// return — callers must overwrite every lane (e.g. via
+/// [`crate::thick::ThickValue::fill_lanes`]).
+#[inline]
+pub fn prep(buf: &mut Vec<Word>, len: usize) -> &mut [Word] {
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    &mut buf[..len]
+}
+
+/// Chunked elementwise map: `out[k] = f(a[k], b[k])`.
+///
+/// The monomorphized closure is applied over `LANE_CHUNK`-wide fixed-size
+/// array views (no bounds checks in the hot loop), then a scalar tail.
+#[inline(always)]
+fn map2(a: &[Word], b: &[Word], out: &mut [Word], f: impl Fn(Word, Word) -> Word + Copy) {
+    let n = out.len();
+    debug_assert_eq!(a.len(), n);
+    debug_assert_eq!(b.len(), n);
+    let mut ac = a.chunks_exact(LANE_CHUNK);
+    let mut bc = b.chunks_exact(LANE_CHUNK);
+    let mut oc = out.chunks_exact_mut(LANE_CHUNK);
+    for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        let x: &[Word; LANE_CHUNK] = x.try_into().unwrap();
+        let y: &[Word; LANE_CHUNK] = y.try_into().unwrap();
+        let o: &mut [Word; LANE_CHUNK] = o.try_into().unwrap();
+        for k in 0..LANE_CHUNK {
+            o[k] = f(x[k], y[k]);
+        }
+    }
+    for ((o, &x), &y) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *o = f(x, y);
+    }
+}
+
+/// Vectorized per-lane ALU: `out[k] = op.eval(a[k], b[k])`.
+///
+/// The operation dispatch is hoisted out of the lane loop — one match, then
+/// a monomorphized chunked kernel per op. Division and shifts go through the
+/// same `div_w`/`rem_w`/`shamt` helpers as [`AluOp::eval`], so lane values
+/// are bit-identical to the scalar interpreter by construction.
+pub fn alu_lanes(op: AluOp, a: &[Word], b: &[Word], out: &mut [Word]) {
+    use tcf_isa::word::{div_w, rem_w, shamt};
+    match op {
+        AluOp::Add => map2(a, b, out, |x, y| x.wrapping_add(y)),
+        AluOp::Sub => map2(a, b, out, |x, y| x.wrapping_sub(y)),
+        AluOp::Mul => map2(a, b, out, |x, y| x.wrapping_mul(y)),
+        AluOp::Div => map2(a, b, out, div_w),
+        AluOp::Mod => map2(a, b, out, rem_w),
+        AluOp::And => map2(a, b, out, |x, y| x & y),
+        AluOp::Or => map2(a, b, out, |x, y| x | y),
+        AluOp::Xor => map2(a, b, out, |x, y| x ^ y),
+        AluOp::Shl => map2(a, b, out, |x, y| x.wrapping_shl(shamt(y))),
+        AluOp::Shr => map2(a, b, out, |x, y| {
+            ((x as u64).wrapping_shr(shamt(y))) as Word
+        }),
+        AluOp::Sar => map2(a, b, out, |x, y| x.wrapping_shr(shamt(y))),
+        AluOp::Slt => map2(a, b, out, |x, y| (x < y) as Word),
+        AluOp::Sle => map2(a, b, out, |x, y| (x <= y) as Word),
+        AluOp::Seq => map2(a, b, out, |x, y| (x == y) as Word),
+        AluOp::Sne => map2(a, b, out, |x, y| (x != y) as Word),
+        AluOp::Sgt => map2(a, b, out, |x, y| (x > y) as Word),
+        AluOp::Sge => map2(a, b, out, |x, y| (x >= y) as Word),
+        AluOp::Min => map2(a, b, out, |x, y| x.min(y)),
+        AluOp::Max => map2(a, b, out, |x, y| x.max(y)),
+        AluOp::Mov => map2(a, b, out, |x, _| x),
+        AluOp::Not => map2(a, b, out, |x, _| !x),
+        AluOp::Neg => map2(a, b, out, |x, _| x.wrapping_neg()),
+    }
+}
+
+/// Scalar reference for [`alu_lanes`]: the interpreter's own [`AluOp::eval`]
+/// applied lane by lane. Property-suite oracle only — not a hot path.
+pub fn alu_lanes_scalar_ref(op: AluOp, a: &[Word], b: &[Word], out: &mut [Word]) {
+    for k in 0..out.len() {
+        out[k] = op.eval(a[k], b[k]);
+    }
+}
+
+/// Vectorized `Sel` blend: `out[k] = if cond[k] != 0 { t[k] } else { f[k] }`,
+/// computed branch-free through a full-width lane mask.
+pub fn select_lanes(cond: &[Word], t: &[Word], f: &[Word], out: &mut [Word]) {
+    let n = out.len();
+    debug_assert_eq!(cond.len(), n);
+    debug_assert_eq!(t.len(), n);
+    debug_assert_eq!(f.len(), n);
+    let mut cc = cond.chunks_exact(LANE_CHUNK);
+    let mut tc = t.chunks_exact(LANE_CHUNK);
+    let mut fc = f.chunks_exact(LANE_CHUNK);
+    let mut oc = out.chunks_exact_mut(LANE_CHUNK);
+    for (((o, c), tv), fv) in (&mut oc).zip(&mut cc).zip(&mut tc).zip(&mut fc) {
+        let c: &[Word; LANE_CHUNK] = c.try_into().unwrap();
+        let tv: &[Word; LANE_CHUNK] = tv.try_into().unwrap();
+        let fv: &[Word; LANE_CHUNK] = fv.try_into().unwrap();
+        let o: &mut [Word; LANE_CHUNK] = o.try_into().unwrap();
+        for k in 0..LANE_CHUNK {
+            let m = -((c[k] != 0) as Word); // all-ones where cond holds
+            o[k] = (tv[k] & m) | (fv[k] & !m);
+        }
+    }
+    for (((o, &c), &tv), &fv) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(cc.remainder())
+        .zip(tc.remainder())
+        .zip(fc.remainder())
+    {
+        *o = if c != 0 { tv } else { fv };
+    }
+}
+
+/// Scalar reference for [`select_lanes`].
+pub fn select_lanes_scalar_ref(cond: &[Word], t: &[Word], f: &[Word], out: &mut [Word]) {
+    for k in 0..out.len() {
+        out[k] = if cond[k] != 0 { t[k] } else { f[k] };
+    }
+}
+
+/// Fills `out[k] = base + k * stride` (wrapping), chunked: per-chunk the
+/// eight offsets `[0, s, .., 7s]` are added to a running base that advances
+/// by `8s`, avoiding the serial add-chain of the naive loop.
+pub fn fill_affine(out: &mut [Word], base: Word, stride: Word) {
+    let mut offs = [0 as Word; LANE_CHUNK];
+    for k in 1..LANE_CHUNK {
+        offs[k] = offs[k - 1].wrapping_add(stride);
+    }
+    let step = stride.wrapping_mul(LANE_CHUNK as Word);
+    let mut b = base;
+    let mut oc = out.chunks_exact_mut(LANE_CHUNK);
+    for o in &mut oc {
+        let o: &mut [Word; LANE_CHUNK] = o.try_into().unwrap();
+        for k in 0..LANE_CHUNK {
+            o[k] = b.wrapping_add(offs[k]);
+        }
+        b = b.wrapping_add(step);
+    }
+    for (k, o) in oc.into_remainder().iter_mut().enumerate() {
+        *o = b.wrapping_add(offs[k]);
+    }
+}
+
+/// First index where `vals[k] != v`, chunked: each chunk ORs its eight lane
+/// XORs into one accumulator and only rescans on a nonzero hit.
+pub fn first_mismatch_uniform(vals: &[Word], v: Word) -> Option<usize> {
+    let mut i = 0;
+    while i + LANE_CHUNK <= vals.len() {
+        let c: &[Word; LANE_CHUNK] = vals[i..i + LANE_CHUNK].try_into().unwrap();
+        let mut acc = 0;
+        for &x in c {
+            acc |= x ^ v;
+        }
+        if acc != 0 {
+            for (k, &x) in c.iter().enumerate() {
+                if x != v {
+                    return Some(i + k);
+                }
+            }
+        }
+        i += LANE_CHUNK;
+    }
+    while i < vals.len() {
+        if vals[i] != v {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// First index where `vals[k] != base + k * stride` (wrapping), chunked like
+/// [`first_mismatch_uniform`] with the progression generated in-register.
+pub fn first_mismatch_affine(vals: &[Word], base: Word, stride: Word) -> Option<usize> {
+    let mut offs = [0 as Word; LANE_CHUNK];
+    for k in 1..LANE_CHUNK {
+        offs[k] = offs[k - 1].wrapping_add(stride);
+    }
+    let step = stride.wrapping_mul(LANE_CHUNK as Word);
+    let mut b = base;
+    let mut i = 0;
+    while i + LANE_CHUNK <= vals.len() {
+        let c: &[Word; LANE_CHUNK] = vals[i..i + LANE_CHUNK].try_into().unwrap();
+        let mut acc = 0;
+        for k in 0..LANE_CHUNK {
+            acc |= c[k] ^ b.wrapping_add(offs[k]);
+        }
+        if acc != 0 {
+            for k in 0..LANE_CHUNK {
+                if c[k] != b.wrapping_add(offs[k]) {
+                    return Some(i + k);
+                }
+            }
+        }
+        b = b.wrapping_add(step);
+        i += LANE_CHUNK;
+    }
+    let mut expect = b;
+    while i < vals.len() {
+        if vals[i] != expect {
+            return Some(i);
+        }
+        expect = expect.wrapping_add(stride);
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_affine_matches_progression() {
+        for len in [0usize, 1, 7, 8, 9, 16, 23] {
+            let mut out = vec![0; len];
+            fill_affine(&mut out, 5, -3);
+            for (k, &v) in out.iter().enumerate() {
+                assert_eq!(v, 5i64.wrapping_add((-3i64).wrapping_mul(k as i64)));
+            }
+        }
+    }
+
+    #[test]
+    fn mismatch_scans_find_first_divergence() {
+        for len in [0usize, 1, 7, 8, 9, 17] {
+            for hit in 0..len {
+                let mut vals = vec![42; len];
+                vals[hit] = 41;
+                assert_eq!(first_mismatch_uniform(&vals, 42), Some(hit), "len={len}");
+                let mut prog: Vec<Word> = (0..len as i64).map(|k| 9 + 2 * k).collect();
+                prog[hit] ^= 1;
+                assert_eq!(first_mismatch_affine(&prog, 9, 2), Some(hit), "len={len}");
+            }
+            assert_eq!(first_mismatch_uniform(&vec![42; len], 42), None);
+            let prog: Vec<Word> = (0..len as i64).map(|k| 9 + 2 * k).collect();
+            assert_eq!(first_mismatch_affine(&prog, 9, 2), None);
+        }
+    }
+
+    #[test]
+    fn alu_kernels_match_eval_on_tails() {
+        let a: Vec<Word> = (0..21).map(|k| k * 7 - 40).collect();
+        let b: Vec<Word> = (0..21).map(|k| 13 - k * 5).collect();
+        for op in AluOp::ALL {
+            let mut got = vec![0; a.len()];
+            let mut want = vec![0; a.len()];
+            alu_lanes(op, &a, &b, &mut got);
+            alu_lanes_scalar_ref(op, &a, &b, &mut want);
+            assert_eq!(got, want, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn select_kernel_blends() {
+        let cond: Vec<Word> = (0..19).map(|k| k % 3).collect();
+        let t: Vec<Word> = (0..19).map(|k| 100 + k).collect();
+        let f: Vec<Word> = (0..19).map(|k| -k).collect();
+        let mut got = vec![0; 19];
+        let mut want = vec![0; 19];
+        select_lanes(&cond, &t, &f, &mut got);
+        select_lanes_scalar_ref(&cond, &t, &f, &mut want);
+        assert_eq!(got, want);
+    }
+}

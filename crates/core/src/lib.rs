@@ -48,6 +48,7 @@ pub mod exec_async;
 pub mod exec_numa;
 pub mod exec_sync;
 pub mod flow;
+pub mod lanes;
 pub mod machine;
 pub mod par_engine;
 pub mod sched;

@@ -41,6 +41,7 @@ use tcf_pram::RunSummary;
 use crate::counters::{EngineCounters, ThickDecayCounters};
 use crate::decoded::DecodedProgram;
 use crate::error::{TcfError, TcfFault};
+use crate::exec_async::AsyncBufs;
 use crate::exec_sync::StepBufs;
 use crate::flow::{ExecMode, Flow, FlowStatus, FlowTable, Fragment};
 use crate::par_engine::{global_pool, Engine, FragOut, WorkerPool};
@@ -97,6 +98,10 @@ pub struct TcfMachine {
     pub(crate) mem_bulk: BulkReplies,
     /// Reusable per-step buffers of the synchronous engine.
     pub(crate) step_bufs: StepBufs,
+    /// Reusable per-quantum buffers of the asynchronous engine.
+    pub(crate) async_bufs: AsyncBufs,
+    /// Reusable absorbed-id scratch of NUMA bunch exit.
+    pub(crate) numa_ids_buf: Vec<u32>,
     /// Reusable fragment-output pool of thick execution.
     pub(crate) frag_pool: Vec<FragOut>,
     /// Reusable slice list of thick execution.
@@ -184,6 +189,8 @@ impl TcfMachine {
             mem_replies: Vec::new(),
             mem_bulk: BulkReplies::default(),
             step_bufs: StepBufs::default(),
+            async_bufs: AsyncBufs::default(),
+            numa_ids_buf: Vec::new(),
             frag_pool: Vec::new(),
             slice_buf: Vec::new(),
             config,

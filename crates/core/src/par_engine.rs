@@ -51,6 +51,7 @@ use crate::decoded::DecodedInst;
 use crate::error::TcfError;
 use crate::exec_sync::{WbTarget, Writeback};
 use crate::flow::{Flow, Fragment};
+use crate::lanes::{self, LanePlanes};
 use crate::machine::TcfMachine;
 use crate::thick::affine_alu;
 
@@ -305,6 +306,10 @@ pub(crate) struct FragOut {
     /// Whether the slice executed on the closed-form compressed path
     /// (feeds the `engine.compressed_slices` counter).
     pub compressed: bool,
+    /// Pooled structure-of-arrays operand planes for the vectorized
+    /// per-lane fallback ([`exec_thick_vector`]); capacity survives
+    /// `reset`, so steady-state slices gather operands allocation-free.
+    pub planes: LanePlanes,
 }
 
 impl FragOut {
@@ -323,6 +328,7 @@ impl FragOut {
             obs: ObsSink::disabled(),
             fault: None,
             compressed: false,
+            planes: LanePlanes::default(),
         }
     }
 
@@ -671,6 +677,9 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
         out.compressed = true;
         return;
     }
+    if exec_thick_vector(ctx, out) {
+        return;
+    }
 
     let flow = ctx.flow;
     let group = ctx.group;
@@ -832,6 +841,68 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
             }
         }
     }
+}
+
+/// Vectorized per-lane fallback for the pure compute instructions (`Alu`,
+/// `Sel`) once the compressed path has declined — the structure-of-arrays
+/// kernels of [`crate::lanes`]. Operands are gathered into the slice's
+/// pooled [`LanePlanes`] via [`ThickValue::fill_lanes`] (bit-identical to
+/// per-lane `regs.read`), evaluated by one chunked kernel directly into
+/// `reg_values`, and logged as a single register run plus one
+/// [`UnitSeq::ComputeRun`]. Both encodings are exactly what the scalar
+/// loop's ascending per-lane `log_reg`/`IssueUnit::compute` pushes replay
+/// to: `write_lanes` sees the same `(rd, base, values)` run, and
+/// `ComputeRun` expands to the same per-lane units for timing, stats and
+/// traces (the PR 4 run-length contract). Memory instructions keep the
+/// scalar loop — their per-lane addresses, undo logs and first-fault stop
+/// are inherently lane-serial.
+///
+/// [`ThickValue::fill_lanes`]: crate::thick::ThickValue::fill_lanes
+fn exec_thick_vector(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
+    use tcf_isa::instr::Operand;
+
+    let flow = ctx.flow;
+    let lo = out.range.start;
+    let len = out.range.len();
+    if len == 0 {
+        return false;
+    }
+    let rd = match ctx.instr {
+        DecodedInst::Alu { op, rd, ra, rb } => {
+            let a = lanes::prep(&mut out.planes.a, len);
+            flow.regs.value(ra).fill_lanes(lo, a);
+            let b = lanes::prep(&mut out.planes.b, len);
+            match rb {
+                Operand::Reg(r) => flow.regs.value(r).fill_lanes(lo, b),
+                Operand::Imm(w) => b.fill(w),
+            }
+            out.reg_values.resize(len, 0);
+            lanes::alu_lanes(op, a, b, &mut out.reg_values);
+            rd
+        }
+        DecodedInst::Sel { rd, cond, rt, rf } => {
+            let c = lanes::prep(&mut out.planes.a, len);
+            flow.regs.value(cond).fill_lanes(lo, c);
+            let t = lanes::prep(&mut out.planes.b, len);
+            flow.regs.value(rt).fill_lanes(lo, t);
+            let f = lanes::prep(&mut out.planes.c, len);
+            match rf {
+                Operand::Reg(r) => flow.regs.value(r).fill_lanes(lo, f),
+                Operand::Imm(w) => f.fill(w),
+            }
+            out.reg_values.resize(len, 0);
+            lanes::select_lanes(c, t, f, &mut out.reg_values);
+            rd
+        }
+        _ => return false,
+    };
+    out.reg_runs.push((rd, lo, 0..len));
+    out.units.push(UnitSeq::ComputeRun {
+        flow: flow.id,
+        thread0: lo,
+        count: len,
+    });
+    true
 }
 
 /// Tries to merge a fragment's sole `BulkMulti` reference into the run at

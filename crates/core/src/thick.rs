@@ -26,6 +26,8 @@ use serde::{Deserialize, Serialize};
 use tcf_isa::op::AluOp;
 use tcf_isa::word::{shamt, Word};
 
+use crate::lanes;
+
 /// One piece of a [`ThickValue::Segments`] value: `len` lanes reading
 /// `base + stride·k` (wrapping), `k` relative to the segment start.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,6 +180,93 @@ impl ThickValue {
                 }
                 0
             }
+        }
+    }
+
+    /// Gathers lanes `[lo, lo + out.len())` into the dense plane `out` —
+    /// exactly `out[k] = self.get(lo + k)`, but bulk per representation:
+    /// a fill for `Uniform`, a `memcpy` plus zero tail for `PerThread`,
+    /// the chunked progression kernel for `Affine`, and a segment walk of
+    /// progression fills for `Segments`. This is the structure-of-arrays
+    /// operand gather of the per-lane fallback path (`crate::lanes`).
+    pub fn fill_lanes(&self, lo: usize, out: &mut [Word]) {
+        match self {
+            ThickValue::Uniform(v) => out.fill(*v),
+            ThickValue::PerThread(vs) => {
+                // `lo` may sit past the materialized end (all-zero lanes).
+                let start = lo.min(vs.len());
+                let avail = (vs.len() - start).min(out.len());
+                out[..avail].copy_from_slice(&vs[start..start + avail]);
+                out[avail..].fill(0);
+            }
+            ThickValue::Affine { base, stride } => lanes::fill_affine(
+                out,
+                base.wrapping_add(stride.wrapping_mul(lo as Word)),
+                *stride,
+            ),
+            ThickValue::Segments(segs) => {
+                let hi = lo + out.len();
+                let mut start = 0usize;
+                let mut done = 0usize;
+                for s in segs {
+                    let plen = s.len as usize;
+                    let a = lo.max(start);
+                    let b = hi.min(start + plen);
+                    if a < b {
+                        lanes::fill_affine(&mut out[a - lo..b - lo], s.get(a - start), s.stride);
+                        done = b - lo;
+                    }
+                    start += plen;
+                    if start >= hi {
+                        break;
+                    }
+                }
+                out[done..].fill(0);
+            }
+        }
+    }
+
+    /// First `k` where `values[k] != self.get(lo + k)` — the bulk
+    /// mismatch scan [`ThickRegs::write_lanes`] uses to decide whether a
+    /// lane run leaves the stored representation untouched. Chunked per
+    /// representation (`crate::lanes`); `PerThread` compares directly.
+    pub fn first_mismatch(&self, lo: usize, values: &[Word]) -> Option<usize> {
+        match self {
+            ThickValue::Uniform(v) => lanes::first_mismatch_uniform(values, *v),
+            ThickValue::Affine { base, stride } => lanes::first_mismatch_affine(
+                values,
+                base.wrapping_add(stride.wrapping_mul(lo as Word)),
+                *stride,
+            ),
+            ThickValue::Segments(segs) => {
+                let hi = lo + values.len();
+                let mut start = 0usize;
+                let mut done = 0usize;
+                for s in segs {
+                    let plen = s.len as usize;
+                    let a = lo.max(start);
+                    let b = hi.min(start + plen);
+                    if a < b {
+                        if let Some(p) = lanes::first_mismatch_affine(
+                            &values[a - lo..b - lo],
+                            s.get(a - start),
+                            s.stride,
+                        ) {
+                            return Some(a - lo + p);
+                        }
+                        done = b - lo;
+                    }
+                    start += plen;
+                    if start >= hi {
+                        break;
+                    }
+                }
+                lanes::first_mismatch_uniform(&values[done..], 0).map(|p| done + p)
+            }
+            ThickValue::PerThread(_) => values
+                .iter()
+                .enumerate()
+                .find_map(|(k, &x)| (x != self.get(lo + k)).then_some(k)),
         }
     }
 
@@ -742,7 +831,7 @@ impl ThickRegs {
                 // Per-lane `set` leaves a uniform register untouched until
                 // the first disagreeing lane, then promotes to length
                 // `max(thickness, lane + 1)` and extends lane by lane.
-                let Some(p) = values.iter().position(|&x| x != u) else {
+                let Some(p) = lanes::first_mismatch_uniform(values, u) else {
                     return false;
                 };
                 let first = base + p;
@@ -763,11 +852,7 @@ impl ThickRegs {
                 // the first disagreeing lane, then decays to lanes of
                 // length `max(thickness, lane + 1)` and extends from
                 // there.
-                let Some(p) = values
-                    .iter()
-                    .enumerate()
-                    .position(|(k, &x)| x != cur.get(base + k))
-                else {
+                let Some(p) = cur.first_mismatch(base, values) else {
                     return false;
                 };
                 let first = base + p;
@@ -840,6 +925,21 @@ impl ThickRegs {
                 reg.append_range_segs(end, total, &mut segs);
                 *reg = ThickValue::from_segs(segs, thickness);
             }
+        }
+    }
+
+    /// The flow-wise (thread 0) view as a fresh register file — exactly
+    /// what cloning and then
+    /// [`collapse_to_flowwise`](ThickRegs::collapse_to_flowwise) produces,
+    /// but built uniform-by-uniform so the parent's per-thread lane
+    /// vectors are never cloned just to be thrown away.
+    pub fn clone_flowwise(&self) -> ThickRegs {
+        ThickRegs {
+            regs: self
+                .regs
+                .iter()
+                .map(|v| ThickValue::Uniform(v.get(0)))
+                .collect(),
         }
     }
 

@@ -27,7 +27,8 @@
 
 use proptest::prelude::*;
 
-use tcf_core::{affine_alu, Allocation, Seg, TcfMachine, ThickValue, Variant};
+use tcf_core::lanes;
+use tcf_core::{affine_alu, Allocation, Seg, TcfMachine, ThickRegs, ThickValue, Variant};
 use tcf_isa::instr::{Instr, MemSpace, MultiKind, Operand};
 use tcf_isa::op::AluOp;
 use tcf_isa::program::Program;
@@ -322,6 +323,25 @@ fn arb_compressed() -> impl Strategy<Value = ThickValue> {
     ]
 }
 
+/// One lane's worth of data: small magnitudes plus the wrapping extremes
+/// the SIMD kernels must reproduce bit-for-bit.
+fn arb_lane_word() -> impl Strategy<Value = Word> {
+    prop_oneof![
+        -1000i64..1000,
+        prop::sample::select(&[i64::MIN, i64::MIN + 7, -1, 0, 1, i64::MAX - 7, i64::MAX][..]),
+    ]
+}
+
+/// Every `ThickValue` representation: the compressed forms plus an
+/// explicit `PerThread` vector (whose implicit-zero tail beyond the
+/// materialized length is part of the `get` contract).
+fn arb_thick() -> impl Strategy<Value = ThickValue> {
+    prop_oneof![
+        arb_compressed(),
+        prop::collection::vec(arb_lane_word(), 0..24).prop_map(ThickValue::PerThread),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -345,6 +365,129 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The chunked SIMD ALU kernel is bit-exact with the scalar per-lane
+    /// reference for EVERY op, at every length — including 0, 1, and the
+    /// non-multiple-of-[`lanes::LANE_CHUNK`] tails the remainder loop
+    /// covers.
+    #[test]
+    fn alu_lanes_matches_scalar_reference(
+        a in prop::collection::vec(arb_lane_word(), 0..40),
+        seed in any::<i64>(),
+    ) {
+        // Same length as `a`, derived values (mix of agreeing lanes,
+        // zeros for the shift/division edge cases, and sign flips).
+        let b: Vec<Word> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| match i % 4 {
+                0 => x,
+                1 => 0,
+                2 => x.wrapping_mul(-1),
+                _ => x.wrapping_add(seed),
+            })
+            .collect();
+        let mut simd = vec![0; a.len()];
+        let mut scalar = vec![0; a.len()];
+        for &op in AluOp::ALL.iter() {
+            lanes::alu_lanes(op, &a, &b, &mut simd);
+            lanes::alu_lanes_scalar_ref(op, &a, &b, &mut scalar);
+            prop_assert_eq!(
+                &simd, &scalar,
+                "{:?} diverged over {} lanes", op, a.len()
+            );
+        }
+    }
+
+    /// The branchless lane-mask `Sel` blend is bit-exact with the scalar
+    /// reference, for every mix of zero / non-zero conditions and every
+    /// tail length.
+    #[test]
+    fn select_lanes_matches_scalar_reference(
+        lanes_in in prop::collection::vec(
+            (arb_lane_word(), arb_lane_word(), arb_lane_word()),
+            0..40
+        ),
+    ) {
+        let cond: Vec<Word> = lanes_in.iter().map(|l| l.0 % 3).collect();
+        let t: Vec<Word> = lanes_in.iter().map(|l| l.1).collect();
+        let f: Vec<Word> = lanes_in.iter().map(|l| l.2).collect();
+        let mut simd = vec![0; cond.len()];
+        let mut scalar = vec![0; cond.len()];
+        lanes::select_lanes(&cond, &t, &f, &mut simd);
+        lanes::select_lanes_scalar_ref(&cond, &t, &f, &mut scalar);
+        prop_assert_eq!(simd, scalar);
+    }
+
+    /// `ThickValue::fill_lanes` gathers exactly what per-lane `get` reads
+    /// for every representation — Uniform, Affine, Segments, and
+    /// PerThread including its implicit-zero tail.
+    #[test]
+    fn fill_lanes_matches_lane_reads(
+        v in arb_thick(),
+        lo in 0usize..20,
+        len in 0usize..40,
+    ) {
+        let mut out = vec![i64::MIN + 3; len]; // poison: every lane must be overwritten
+        v.fill_lanes(lo, &mut out);
+        for (k, &got) in out.iter().enumerate() {
+            prop_assert_eq!(
+                got, v.get(lo + k),
+                "fill_lanes({}, len {}) diverged at lane {} of {:?}",
+                lo, len, lo + k, v
+            );
+        }
+    }
+
+    /// `ThickValue::first_mismatch` agrees with the naive scan for every
+    /// representation, both on agreement (None) and at the exact first
+    /// disagreeing lane.
+    #[test]
+    fn first_mismatch_matches_naive_scan(
+        v in arb_thick(),
+        lo in 0usize..20,
+        len in 0usize..40,
+        flip in (any::<bool>(), 0usize..40, any::<i64>()),
+    ) {
+        let mut values = vec![0; len];
+        v.fill_lanes(lo, &mut values);
+        let (do_flip, at, delta) = flip;
+        if do_flip && at < len {
+            values[at] = values[at].wrapping_add(delta);
+        }
+        let expect = (0..len).find(|&k| values[k] != v.get(lo + k));
+        prop_assert_eq!(
+            v.first_mismatch(lo, &values), expect,
+            "first_mismatch({}, {:?}) diverged for {:?}", lo, values, v
+        );
+    }
+
+    /// `ThickRegs::write_lanes` is exactly one per-lane `write` per lane
+    /// in ascending order — representation decisions included — for every
+    /// starting representation and at the thickness 0/1 edges.
+    #[test]
+    fn write_lanes_replays_per_lane_writes(
+        start in arb_thick(),
+        base in 0usize..12,
+        values in prop::collection::vec(arb_lane_word(), 0..24),
+        thickness in 0usize..24,
+    ) {
+        let reg = r(1);
+        let mut bulk = ThickRegs::new(8);
+        bulk.write_value(reg, start.clone());
+        let mut lane_by_lane = ThickRegs::new(8);
+        lane_by_lane.write_value(reg, start.clone());
+
+        bulk.write_lanes(reg, base, &values, thickness);
+        for (k, &v) in values.iter().enumerate() {
+            lane_by_lane.write(reg, base + k, v, thickness);
+        }
+        prop_assert_eq!(
+            bulk.value(reg), lane_by_lane.value(reg),
+            "write_lanes(base {}, {:?}, thickness {}) diverged from replay starting at {:?}",
+            base, values, thickness, start
+        );
     }
 
     /// Closed-form ALU folding is bit-exact with the per-lane reference

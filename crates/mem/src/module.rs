@@ -27,27 +27,137 @@ pub struct CombineOutcome {
 /// `contributions` must already be sorted by thread rank; the prefix
 /// returned to participant `i` is the combination of the word's old value
 /// with contributions `0..i` (exclusive prefix seeded by memory).
+///
+/// The prefix chain is inherently sequential, but when no prefixes are
+/// wanted the total is just a reduction over an associative, commutative
+/// operator (every [`MultiKind`] is both), so it runs through the chunked
+/// [`fold_words`] kernel instead.
 pub fn combine(
     kind: MultiKind,
     old: Word,
     contributions: &[Word],
     want_prefixes: bool,
 ) -> CombineOutcome {
+    if !want_prefixes {
+        return CombineOutcome {
+            new_value: fold_words(kind, old, contributions),
+            prefixes: Vec::new(),
+        };
+    }
     let mut acc = old;
-    let mut prefixes = if want_prefixes {
-        Vec::with_capacity(contributions.len())
-    } else {
-        Vec::new()
-    };
+    let mut prefixes = Vec::with_capacity(contributions.len());
     for &c in contributions {
-        if want_prefixes {
-            prefixes.push(acc);
-        }
+        prefixes.push(acc);
         acc = kind.combine(acc, c);
     }
     CombineOutcome {
         new_value: acc,
         prefixes,
+    }
+}
+
+/// Lanes reduced per inner-loop iteration of the chunked folds (mirrors
+/// `tcf_core::lanes::LANE_CHUNK`: eight 64-bit lanes per vector).
+const FOLD_CHUNK: usize = 8;
+
+/// Chunked reduction: combines `seed` with every word of `xs` under
+/// `kind`. Eight identity-seeded accumulators consume eight lanes per
+/// iteration, then fold into the seed, then the scalar tail. Every
+/// [`MultiKind`] is associative and commutative with a true identity
+/// ([`MultiKind::identity`]), so the regrouped reduction is *bit-exact*
+/// against the sequential left fold — pinned by the property suite in
+/// `tests/properties.rs`.
+pub fn fold_words(kind: MultiKind, seed: Word, xs: &[Word]) -> Word {
+    #[inline(always)]
+    fn chunked(seed: Word, xs: &[Word], id: Word, f: impl Fn(Word, Word) -> Word + Copy) -> Word {
+        let mut acc = [id; FOLD_CHUNK];
+        let mut it = xs.chunks_exact(FOLD_CHUNK);
+        for c in &mut it {
+            let c: &[Word; FOLD_CHUNK] = c.try_into().unwrap();
+            for k in 0..FOLD_CHUNK {
+                acc[k] = f(acc[k], c[k]);
+            }
+        }
+        let mut r = seed;
+        for a in acc {
+            r = f(r, a);
+        }
+        for &x in it.remainder() {
+            r = f(r, x);
+        }
+        r
+    }
+    if xs.len() < FOLD_CHUNK {
+        return xs.iter().fold(seed, |a, &b| kind.combine(a, b));
+    }
+    let id = kind.identity();
+    match kind {
+        MultiKind::Add => chunked(seed, xs, id, |a, b| a.wrapping_add(b)),
+        MultiKind::And => chunked(seed, xs, id, |a, b| a & b),
+        MultiKind::Or => chunked(seed, xs, id, |a, b| a | b),
+        MultiKind::Xor => chunked(seed, xs, id, |a, b| a ^ b),
+        MultiKind::Max => chunked(seed, xs, id, |a, b| a.max(b)),
+        MultiKind::Min => chunked(seed, xs, id, |a, b| a.min(b)),
+    }
+}
+
+/// [`fold_words`] over the arithmetic progression
+/// `vbase + k·vstride (wrapping), k in 0..count` without materializing it:
+/// progression chunks are generated into a stack array eight lanes at a
+/// time and reduced by the same chunked kernels. This is the generic
+/// fallback of `resolve_bulk_multi` for value runs with no closed form.
+pub fn fold_progression(
+    kind: MultiKind,
+    seed: Word,
+    vbase: Word,
+    vstride: Word,
+    count: usize,
+) -> Word {
+    #[inline(always)]
+    fn chunked(
+        seed: Word,
+        vbase: Word,
+        vstride: Word,
+        count: usize,
+        id: Word,
+        f: impl Fn(Word, Word) -> Word + Copy,
+    ) -> Word {
+        let mut offs = [0 as Word; FOLD_CHUNK];
+        for k in 1..FOLD_CHUNK {
+            offs[k] = offs[k - 1].wrapping_add(vstride);
+        }
+        let step = vstride.wrapping_mul(FOLD_CHUNK as Word);
+        let mut acc = [id; FOLD_CHUNK];
+        let mut b = vbase;
+        let full = count / FOLD_CHUNK * FOLD_CHUNK;
+        for _ in 0..count / FOLD_CHUNK {
+            for k in 0..FOLD_CHUNK {
+                acc[k] = f(acc[k], b.wrapping_add(offs[k]));
+            }
+            b = b.wrapping_add(step);
+        }
+        let mut r = seed;
+        for a in acc {
+            r = f(r, a);
+        }
+        for &o in offs.iter().take(count - full) {
+            r = f(r, b.wrapping_add(o));
+        }
+        r
+    }
+    if count < FOLD_CHUNK {
+        return (0..count).fold(seed, |a, k| {
+            kind.combine(a, vbase.wrapping_add(vstride.wrapping_mul(k as Word)))
+        });
+    }
+    let id = kind.identity();
+    match kind {
+        MultiKind::Add => chunked(seed, vbase, vstride, count, id, |a, b| a.wrapping_add(b)),
+        MultiKind::And => chunked(seed, vbase, vstride, count, id, |a, b| a & b),
+        MultiKind::Or => chunked(seed, vbase, vstride, count, id, |a, b| a | b),
+        MultiKind::Xor => chunked(seed, vbase, vstride, count, id, |a, b| a ^ b),
+        MultiKind::Max => chunked(seed, vbase, vstride, count, id, |a, b| a.max(b)),
+        MultiKind::Min => chunked(seed, vbase, vstride, count, id, |a, b| a.min(b)),
     }
 }
 

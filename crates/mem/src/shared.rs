@@ -973,7 +973,9 @@ impl SharedMemory {
                     old
                 }
             }
-            _ => (0..count).fold(old, |acc, k| kind.combine(acc, contrib(k))),
+            // No closed form: chunked progression reduction (exact —
+            // every kind is associative and commutative).
+            _ => crate::module::fold_progression(kind, old, vbase, vstride, count),
         };
         self.words[base] = new;
     }

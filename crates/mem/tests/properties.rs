@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use tcf_isa::instr::MultiKind;
 use tcf_isa::word::Word;
+use tcf_mem::module::{fold_progression, fold_words};
 use tcf_mem::{CrcwPolicy, MemOp, MemRef, ModuleMap, RefOrigin, SharedMemory};
 
 const SIZE: usize = 128;
@@ -404,6 +405,69 @@ proptest! {
         prop_assert!(m.step(&refs).is_err());
         for a in 0..32 {
             prop_assert_eq!(m.peek(a).unwrap(), 0);
+        }
+    }
+}
+
+/// One combining contribution: small magnitudes plus the wrapping
+/// extremes (where `Add`'s regrouped chunk sums wrap differently lane by
+/// lane but must still agree in total).
+fn arb_fold_word() -> impl Strategy<Value = Word> {
+    prop_oneof![
+        -1000i64..1000,
+        prop::sample::select(&[i64::MIN, i64::MIN + 7, -1, 0, 1, i64::MAX - 7, i64::MAX][..]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The chunked [`fold_words`] kernel is bit-exact with the sequential
+    /// left fold for every [`MultiKind`] — including the empty slice,
+    /// single words, and every non-multiple-of-8 tail. Regrouping is
+    /// sound because each kind is associative and commutative with a true
+    /// identity; this pins that no kind with weaker structure slips in.
+    #[test]
+    fn fold_words_matches_sequential_fold(
+        seed in arb_fold_word(),
+        xs in prop::collection::vec(arb_fold_word(), 0..40),
+    ) {
+        for &kind in MultiKind::ALL.iter() {
+            let expect = xs.iter().fold(seed, |a, &b| kind.combine(a, b));
+            prop_assert_eq!(
+                fold_words(kind, seed, &xs), expect,
+                "{:?} diverged over {} words", kind, xs.len()
+            );
+            // The identity really is an identity under the kernel too.
+            prop_assert_eq!(
+                fold_words(kind, kind.identity(), &xs),
+                xs.iter().fold(kind.identity(), |a, &b| kind.combine(a, b))
+            );
+        }
+    }
+
+    /// [`fold_progression`] equals [`fold_words`] of the materialized
+    /// progression (and hence the sequential fold) for every kind, count
+    /// and wrapping stride — zero counts and sub-chunk counts included.
+    #[test]
+    fn fold_progression_matches_materialized_fold(
+        seed in arb_fold_word(),
+        vbase in arb_fold_word(),
+        vstride in prop_oneof![
+            -6i64..6,
+            prop::sample::select(&[i64::MIN, -(1i64 << 40), 1i64 << 40, i64::MAX][..]),
+        ],
+        count in 0usize..40,
+    ) {
+        let lanes: Vec<Word> = (0..count)
+            .map(|k| vbase.wrapping_add(vstride.wrapping_mul(k as Word)))
+            .collect();
+        for &kind in MultiKind::ALL.iter() {
+            let expect = lanes.iter().fold(seed, |a, &b| kind.combine(a, b));
+            prop_assert_eq!(
+                fold_progression(kind, seed, vbase, vstride, count), expect,
+                "{:?} diverged: base {} stride {} count {}", kind, vbase, vstride, count
+            );
         }
     }
 }

@@ -16,7 +16,7 @@
 //!   disabled, so instrumentation costs nothing in benchmark runs.
 //! * [`stream`] — cursor-based incremental drains over the sinks
 //!   (monotonic sequence numbers, drop-aware resume) and the
-//!   `tcf-obs-stream/v1` NDJSON wire format for live subscribers
+//!   `tcf-obs-stream/v2` NDJSON wire format for live subscribers
 //!   (`repro --stream`, `tdbg top`).
 //! * [`LatencyHistogram`] — fixed log2-bucket, allocation-free histograms
 //!   for shared-memory round trips, network queueing and buffer reloads.

@@ -143,14 +143,24 @@ impl<T: Clone> RingBuffer<T> {
     /// reconstructs the exact push sequence whenever `missed` stays 0
     /// (the cursor/drain property test in `tests/` pins this down).
     pub fn drain_from(&self, cursor: u64) -> Drained<T> {
+        let (items, cursor, missed) = self.view_from(cursor);
+        Drained {
+            items: items.cloned().collect(),
+            cursor,
+            missed,
+        }
+    }
+}
+
+impl<T> RingBuffer<T> {
+    /// The borrowing form of [`drain_from`](RingBuffer::drain_from):
+    /// `(retained entries ≥ cursor, next cursor, missed)` with no clone
+    /// and no allocation — what the streaming NDJSON encoder walks.
+    pub fn view_from(&self, cursor: u64) -> (impl Iterator<Item = &T> + '_, u64, u64) {
         let first = self.first_seq();
         let missed = first.saturating_sub(cursor);
         let skip = cursor.saturating_sub(first) as usize;
-        Drained {
-            items: self.items.iter().skip(skip).cloned().collect(),
-            cursor: self.pushed,
-            missed,
-        }
+        (self.items.iter().skip(skip), self.pushed, missed)
     }
 }
 

@@ -106,6 +106,12 @@ impl ObsSink {
         self.events.drain_from(cursor)
     }
 
+    /// Borrowing [`drain_from`](ObsSink::drain_from): `(events ≥ cursor,
+    /// next cursor, missed)` without cloning into a vector.
+    pub fn view_from(&self, cursor: u64) -> (impl Iterator<Item = &TimedEvent> + '_, u64, u64) {
+        self.events.view_from(cursor)
+    }
+
     /// Ring capacity (`None` = unbounded).
     pub fn capacity(&self) -> Option<usize> {
         self.events.capacity()

@@ -2,7 +2,7 @@
 //!
 //! Turns the batch sinks into a live telemetry wire: a subscriber holds a
 //! [`StreamCursor`] into the trace and flow-event buffers and periodically
-//! appends everything new as newline-delimited JSON (`tcf-obs-stream/v1`).
+//! appends everything new as newline-delimited JSON (`tcf-obs-stream/v2`).
 //! The format round-trips: [`parse_stream`] reconstructs the exact
 //! `TraceEvent`/`TimedEvent` sequences, so a streamed run replayed through
 //! the batch exporters (`crate::chrome`, `MetricsRegistry::replay`) is
@@ -13,11 +13,26 @@
 //! shapes (all keys fixed, values plain JSON):
 //!
 //! ```text
-//! {"schema":"tcf-obs-stream/v1"}
+//! {"schema":"tcf-obs-stream/v2"}
 //! {"t":"trace","cycle":4,"group":0,"flow":1,"thread":null,"kind":"compute"}
+//! {"t":"trun","cycle":4,"group":0,"flow":1,"thread0":0,"count":256,"first":2,"width":4,"kind":"compute"}
+//! {"t":"brun","cycle":9,"group":0,"count":12,"kind":"bubble"}
 //! {"t":"flow","step":1,"cycle":7,"event":"split","flow":1,"arms":2}
 //! {"t":"drop","stream":"trace","missed":128}
 //! ```
+//!
+//! `trun` and `brun` are run-length–compressed trace lines (new in v2):
+//! a traced thick step expands each compute run to one unit per lane
+//! (the PR 4 run-length contract), so the wire would otherwise carry ~1k
+//! near-identical `trace` lines per machine step — the dominant cost of
+//! the `obs_overhead_stream` bench. A `trun` covers `count` consecutive
+//! events sharing group/flow/kind, with threads `thread0..thread0+count`
+//! and the issue cadence's cycle shape: `first` events on `cycle`, then
+//! `width` per following cycle. A `brun` covers `count` flow-less events
+//! (drain bubbles) one cycle apart. [`parse_stream`] re-expands both to
+//! the exact per-event sequence, so replay artifacts are unchanged; the
+//! writer emits a run only when the events match those shapes exactly,
+//! falling back to plain `trace` lines otherwise.
 //!
 //! `drop` lines make ring-buffer truncation explicit on the wire: a
 //! subscriber that fell behind a bounded sink learns exactly how many
@@ -25,15 +40,22 @@
 //! Like the rest of the crate, encoding and parsing are hand-rolled — the
 //! workspace deliberately has no JSON dependency.
 
-use std::fmt::Write as _;
-
 use crate::event::{FlowEvent, Mode, TimedEvent};
 use crate::sink::ObsSink;
 use crate::trace::{Trace, TraceEvent, UnitKind};
 
 /// Schema identifier of the NDJSON stream, following the
 /// `tcf-bench-hotpath/v1` / `tcf-metrics/v1` convention.
-pub const STREAM_SCHEMA: &str = "tcf-obs-stream/v1";
+pub const STREAM_SCHEMA: &str = "tcf-obs-stream/v2";
+
+/// How many machine steps a streaming pump should let pass between
+/// [`drain_ndjson`] calls. Draining every step costs a cursor walk per
+/// step for a handful of fresh events; batching amortizes that without
+/// changing the wire bytes (events are encoded exactly once either way,
+/// in the same order). Callers with bounded sinks should keep the
+/// interval well under `capacity / events_per_step` so nothing is
+/// evicted unseen.
+pub const DRAIN_INTERVAL_STEPS: u64 = 32;
 
 /// A subscriber's position in both event buffers. Start at
 /// [`StreamCursor::default`] to stream from the beginning of a run.
@@ -50,111 +72,379 @@ pub fn header_line() -> String {
     format!("{{\"schema\":\"{STREAM_SCHEMA}\"}}\n")
 }
 
-fn opt_json(v: Option<u64>) -> String {
-    match v {
-        Some(v) => v.to_string(),
-        None => "null".to_string(),
+/// Upper bound on one encoded NDJSON line: the longest line shape
+/// (`trun` with 20-digit stamps in every numeric field) stays under 250
+/// bytes; 256 leaves slack so a future field can't silently overflow
+/// (the staging buffer below panics on overflow rather than truncating).
+const LINE_CAP: usize = 256;
+
+/// One NDJSON line staged on the stack and flushed to the document with
+/// a single `push_str` — a hand-rolled `itoa` plus constant-fragment
+/// copies, so the per-event encoders never touch the `core::fmt`
+/// machinery (padding state, trait dispatch, per-`write!` error
+/// plumbing) and the document `String` sees one append per line instead
+/// of ~10. The streaming overhead bench (`obs_overhead_stream`) is why:
+/// a traced thick run encodes ~500 events per machine step, and the
+/// encoder has to keep pace with the simulation itself.
+struct LineBuf {
+    len: usize,
+    buf: [u8; LINE_CAP],
+}
+
+impl LineBuf {
+    #[inline]
+    fn new() -> LineBuf {
+        LineBuf {
+            len: 0,
+            buf: [0; LINE_CAP],
+        }
     }
+
+    /// Appends a constant fragment (key names, punctuation, enum names).
+    #[inline]
+    fn lit(&mut self, s: &str) {
+        self.buf[self.len..self.len + s.len()].copy_from_slice(s.as_bytes());
+        self.len += s.len();
+    }
+
+    /// Appends `v` in decimal.
+    #[inline]
+    fn num(&mut self, mut v: u64) {
+        let mut tmp = [0u8; 20];
+        let mut i = tmp.len();
+        loop {
+            i -= 1;
+            tmp[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        let n = tmp.len() - i;
+        self.buf[self.len..self.len + n].copy_from_slice(&tmp[i..]);
+        self.len += n;
+    }
+
+    /// Appends `v` in decimal, or the JSON literal `null`.
+    #[inline]
+    fn opt(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => self.num(v),
+            None => self.lit("null"),
+        }
+    }
+
+    /// Appends the staged line to the document.
+    #[inline]
+    fn flush(&self, out: &mut String) {
+        // Only ASCII fragments and digits ever go in, so this never fails.
+        out.push_str(std::str::from_utf8(&self.buf[..self.len]).unwrap());
+    }
+}
+
+/// Appends one trace event to `out` as an NDJSON line (newline included).
+pub fn write_trace_line(out: &mut String, e: &TraceEvent) {
+    let mut l = LineBuf::new();
+    l.lit("{\"t\":\"trace\",\"cycle\":");
+    l.num(e.cycle);
+    l.lit(",\"group\":");
+    l.num(e.group as u64);
+    l.lit(",\"flow\":");
+    l.opt(e.flow.map(u64::from));
+    l.lit(",\"thread\":");
+    l.opt(e.thread.map(|t| t as u64));
+    l.lit(",\"kind\":\"");
+    l.lit(e.kind.as_str());
+    l.lit("\"}\n");
+    l.flush(out);
 }
 
 /// Encodes one trace event as an NDJSON line (newline included).
 pub fn trace_line(e: &TraceEvent) -> String {
-    format!(
-        "{{\"t\":\"trace\",\"cycle\":{},\"group\":{},\"flow\":{},\"thread\":{},\"kind\":\"{}\"}}\n",
-        e.cycle,
-        e.group,
-        opt_json(e.flow.map(u64::from)),
-        opt_json(e.thread.map(|t| t as u64)),
-        e.kind.as_str()
-    )
+    let mut out = String::new();
+    write_trace_line(&mut out, e);
+    out
 }
 
-/// Encodes one timed flow event as an NDJSON line (newline included).
-pub fn flow_line(e: &TimedEvent) -> String {
-    let mut out = format!(
-        "{{\"t\":\"flow\",\"step\":{},\"cycle\":{},\"event\":\"{}\"",
-        e.step,
-        e.cycle,
-        e.event.name()
-    );
+/// Shortest run worth a `trun`/`brun` line: below this, plain `trace`
+/// lines are no longer on the wire than the run encoding.
+const MIN_RUN: usize = 3;
+
+/// Matches the longest prefix of `evs` that a single `trun` line can
+/// carry: constant group/flow/kind, threads ascending by one, and the
+/// issue cadence's cycle shape — some events on the first cycle, then a
+/// constant number per following cycle (the last cycle may be partial).
+/// Returns `(count, first, width)`, or `None` when the prefix is shorter
+/// than [`MIN_RUN`].
+fn unit_run(evs: &[&TraceEvent]) -> Option<(usize, usize, usize)> {
+    let e0 = evs[0];
+    let (flow, t0) = (e0.flow?, e0.thread?);
+    let mut first: Option<usize> = None;
+    let mut width: Option<usize> = None;
+    let mut cycle = e0.cycle;
+    let mut in_cycle = 1usize;
+    let mut n = 1usize;
+    for e in &evs[1..] {
+        if e.group != e0.group
+            || e.kind != e0.kind
+            || e.flow != Some(flow)
+            || e.thread != Some(t0 + n)
+        {
+            break;
+        }
+        if e.cycle == cycle {
+            // A middle/final cycle never holds more than `width` events.
+            if width == Some(in_cycle) {
+                break;
+            }
+            in_cycle += 1;
+        } else if e.cycle == cycle + 1 {
+            match (first, width) {
+                (None, _) => first = Some(in_cycle),
+                (Some(_), None) => width = Some(in_cycle),
+                (Some(_), Some(w)) if in_cycle == w => {}
+                // A short middle cycle can only be the run's last; end
+                // the run there and let the next line start fresh.
+                _ => break,
+            }
+            cycle = e.cycle;
+            in_cycle = 1;
+        } else {
+            break;
+        }
+        n += 1;
+    }
+    if n < MIN_RUN {
+        return None;
+    }
+    let first = first.unwrap_or(n);
+    let width = width.unwrap_or_else(|| (n - first).max(1));
+    Some((n, first, width))
+}
+
+/// Matches the longest prefix of `evs` that a single `brun` line can
+/// carry: flow-less, thread-less events (drain bubbles) with constant
+/// group/kind, one cycle apart. Returns the count, or `None` when the
+/// prefix is shorter than [`MIN_RUN`].
+fn gap_run(evs: &[&TraceEvent]) -> Option<usize> {
+    let e0 = evs[0];
+    if e0.flow.is_some() || e0.thread.is_some() {
+        return None;
+    }
+    let mut n = 1usize;
+    for e in &evs[1..] {
+        if e.group != e0.group
+            || e.kind != e0.kind
+            || e.flow.is_some()
+            || e.thread.is_some()
+            || e.cycle != e0.cycle + n as u64
+        {
+            break;
+        }
+        n += 1;
+    }
+    (n >= MIN_RUN).then_some(n)
+}
+
+fn write_trace_run_line(
+    out: &mut String,
+    e: &TraceEvent,
+    count: usize,
+    first: usize,
+    width: usize,
+) {
+    let mut l = LineBuf::new();
+    l.lit("{\"t\":\"trun\",\"cycle\":");
+    l.num(e.cycle);
+    l.lit(",\"group\":");
+    l.num(e.group as u64);
+    l.lit(",\"flow\":");
+    l.num(u64::from(e.flow.expect("trun events carry a flow")));
+    l.lit(",\"thread0\":");
+    l.num(e.thread.expect("trun events carry a thread") as u64);
+    l.lit(",\"count\":");
+    l.num(count as u64);
+    l.lit(",\"first\":");
+    l.num(first as u64);
+    l.lit(",\"width\":");
+    l.num(width as u64);
+    l.lit(",\"kind\":\"");
+    l.lit(e.kind.as_str());
+    l.lit("\"}\n");
+    l.flush(out);
+}
+
+fn write_gap_run_line(out: &mut String, e: &TraceEvent, count: usize) {
+    let mut l = LineBuf::new();
+    l.lit("{\"t\":\"brun\",\"cycle\":");
+    l.num(e.cycle);
+    l.lit(",\"group\":");
+    l.num(e.group as u64);
+    l.lit(",\"count\":");
+    l.num(count as u64);
+    l.lit(",\"kind\":\"");
+    l.lit(e.kind.as_str());
+    l.lit("\"}\n");
+    l.flush(out);
+}
+
+/// Encodes a batch of trace events, run-compressing where the shapes
+/// allow and falling back to per-event `trace` lines elsewhere. The
+/// emitted lines parse back to exactly `evs`.
+fn write_trace_items<'a>(out: &mut String, items: impl Iterator<Item = &'a TraceEvent>) {
+    let evs: Vec<&TraceEvent> = items.collect();
+    let mut i = 0;
+    while i < evs.len() {
+        if let Some((n, first, width)) = unit_run(&evs[i..]) {
+            write_trace_run_line(out, evs[i], n, first, width);
+            i += n;
+        } else if let Some(n) = gap_run(&evs[i..]) {
+            write_gap_run_line(out, evs[i], n);
+            i += n;
+        } else {
+            write_trace_line(out, evs[i]);
+            i += 1;
+        }
+    }
+}
+
+impl LineBuf {
+    #[inline]
+    fn flow_field(&mut self, flow: u32) {
+        self.lit(",\"flow\":");
+        self.num(u64::from(flow));
+    }
+}
+
+/// Appends one timed flow event to `out` as an NDJSON line (newline
+/// included).
+pub fn write_flow_line(out: &mut String, e: &TimedEvent) {
+    let mut l = LineBuf::new();
+    l.lit("{\"t\":\"flow\",\"step\":");
+    l.num(e.step);
+    l.lit(",\"cycle\":");
+    l.num(e.cycle);
+    l.lit(",\"event\":\"");
+    l.lit(e.event.name());
+    l.lit("\"");
     match e.event {
         FlowEvent::FlowSpawned {
             flow,
             parent,
             thickness,
         } => {
-            let _ = write!(
-                out,
-                ",\"flow\":{flow},\"parent\":{},\"thickness\":{thickness}",
-                opt_json(parent.map(u64::from))
-            );
+            l.flow_field(flow);
+            l.lit(",\"parent\":");
+            l.opt(parent.map(u64::from));
+            l.lit(",\"thickness\":");
+            l.num(thickness as u64);
         }
         FlowEvent::Split { flow, arms } => {
-            let _ = write!(out, ",\"flow\":{flow},\"arms\":{arms}");
+            l.flow_field(flow);
+            l.lit(",\"arms\":");
+            l.num(arms as u64);
         }
         FlowEvent::Join { flow, parent } => {
-            let _ = write!(
-                out,
-                ",\"flow\":{flow},\"parent\":{}",
-                opt_json(parent.map(u64::from))
-            );
+            l.flow_field(flow);
+            l.lit(",\"parent\":");
+            l.opt(parent.map(u64::from));
         }
         FlowEvent::ModeSwitch { flow, mode } => {
-            let _ = write!(out, ",\"flow\":{flow},\"mode\":\"{}\"", mode.as_str());
+            l.flow_field(flow);
+            l.lit(",\"mode\":\"");
+            l.lit(mode.as_str());
+            l.lit("\"");
         }
         FlowEvent::ThicknessChange { flow, from, to } => {
-            let _ = write!(out, ",\"flow\":{flow},\"from\":{from},\"to\":{to}");
+            l.flow_field(flow);
+            l.lit(",\"from\":");
+            l.num(from as u64);
+            l.lit(",\"to\":");
+            l.num(to as u64);
         }
         FlowEvent::BufferReload { flow, group, cost } => {
-            let _ = write!(out, ",\"flow\":{flow},\"group\":{group},\"cost\":{cost}");
+            l.flow_field(flow);
+            l.lit(",\"group\":");
+            l.num(group as u64);
+            l.lit(",\"cost\":");
+            l.num(cost);
         }
         FlowEvent::WaitBegin { flow, pending } => {
-            let _ = write!(out, ",\"flow\":{flow},\"pending\":{pending}");
+            l.flow_field(flow);
+            l.lit(",\"pending\":");
+            l.num(pending as u64);
         }
         FlowEvent::WaitEnd { flow }
         | FlowEvent::FlowHalted { flow }
         | FlowEvent::Fetch { flow } => {
-            let _ = write!(out, ",\"flow\":{flow}");
+            l.flow_field(flow);
         }
         FlowEvent::Spill { flow, group } => {
-            let _ = write!(out, ",\"flow\":{flow},\"group\":{group}");
+            l.flow_field(flow);
+            l.lit(",\"group\":");
+            l.num(group as u64);
         }
         FlowEvent::StepEnd { step, cycle } => {
-            let _ = write!(out, ",\"end_step\":{step},\"end_cycle\":{cycle}");
+            l.lit(",\"end_step\":");
+            l.num(step);
+            l.lit(",\"end_cycle\":");
+            l.num(cycle);
         }
     }
-    out.push_str("}\n");
+    l.lit("}\n");
+    l.flush(out);
+}
+
+/// Encodes one timed flow event as an NDJSON line (newline included).
+pub fn flow_line(e: &TimedEvent) -> String {
+    let mut out = String::new();
+    write_flow_line(&mut out, e);
     out
+}
+
+/// Appends a truncation notice to `out`: `missed` events of `stream`
+/// (`"trace"`/`"flow"`) were evicted before the subscriber drained them.
+pub fn write_drop_line(out: &mut String, stream: &str, missed: u64) {
+    let mut l = LineBuf::new();
+    l.lit("{\"t\":\"drop\",\"stream\":\"");
+    l.lit(stream);
+    l.lit("\",\"missed\":");
+    l.num(missed);
+    l.lit("}\n");
+    l.flush(out);
 }
 
 /// Encodes a truncation notice: `missed` events of `stream`
 /// (`"trace"`/`"flow"`) were evicted before the subscriber drained them.
 pub fn drop_line(stream: &str, missed: u64) -> String {
-    format!("{{\"t\":\"drop\",\"stream\":\"{stream}\",\"missed\":{missed}}}\n")
+    let mut out = String::new();
+    write_drop_line(&mut out, stream, missed);
+    out
 }
 
 /// Appends everything new in both buffers since `cursor` to `out` as
 /// NDJSON lines (trace events first, then flow events, each stream in
 /// order), advancing the cursor. Evictions the subscriber missed surface
-/// as `drop` lines. This is the per-step pump of `repro --stream`.
+/// as `drop` lines. This is the pump of `repro --stream`, called every
+/// [`DRAIN_INTERVAL_STEPS`] steps (plus once after the run); events are
+/// walked by reference ([`Trace::view_from`]) and encoded straight into
+/// `out`, so the pump allocates nothing beyond `out`'s own growth.
 pub fn drain_ndjson(trace: &Trace, obs: &ObsSink, cursor: &mut StreamCursor, out: &mut String) {
-    let d = trace.drain_from(cursor.trace);
-    if d.missed > 0 {
-        out.push_str(&drop_line("trace", d.missed));
+    let (items, next, missed) = trace.view_from(cursor.trace);
+    if missed > 0 {
+        write_drop_line(out, "trace", missed);
     }
-    for e in &d.items {
-        out.push_str(&trace_line(e));
-    }
-    cursor.trace = d.cursor;
+    write_trace_items(out, items);
+    cursor.trace = next;
 
-    let d = obs.drain_from(cursor.events);
-    if d.missed > 0 {
-        out.push_str(&drop_line("flow", d.missed));
+    let (items, next, missed) = obs.view_from(cursor.events);
+    if missed > 0 {
+        write_drop_line(out, "flow", missed);
     }
-    for e in &d.items {
-        out.push_str(&flow_line(e));
+    for e in items {
+        write_flow_line(out, e);
     }
-    cursor.events = d.cursor;
+    cursor.events = next;
 }
 
 /// Both event streams reassembled from an NDJSON document, plus the drop
@@ -287,6 +577,51 @@ pub fn parse_stream(s: &str) -> Result<StreamReassembly, String> {
                 kind: UnitKind::from_name(str_field(line, "kind")?)
                     .ok_or_else(|| format!("bad \"kind\" in: {line}"))?,
             }),
+            "trun" => {
+                let cycle = u64_field(line, "cycle")?;
+                let group = usize_field(line, "group")?;
+                let flow = opt_u32_field(line, "flow")?
+                    .ok_or_else(|| format!("null \"flow\" in: {line}"))?;
+                let thread0 = usize_field(line, "thread0")?;
+                let count = usize_field(line, "count")?;
+                let first = usize_field(line, "first")?;
+                let width = usize_field(line, "width")?;
+                let kind = UnitKind::from_name(str_field(line, "kind")?)
+                    .ok_or_else(|| format!("bad \"kind\" in: {line}"))?;
+                if width == 0 {
+                    return Err(format!("zero \"width\" in: {line}"));
+                }
+                for i in 0..count {
+                    let c = if i < first {
+                        cycle
+                    } else {
+                        cycle + 1 + ((i - first) / width) as u64
+                    };
+                    out.trace.push(TraceEvent {
+                        cycle: c,
+                        group,
+                        flow: Some(flow),
+                        thread: Some(thread0 + i),
+                        kind,
+                    });
+                }
+            }
+            "brun" => {
+                let cycle = u64_field(line, "cycle")?;
+                let group = usize_field(line, "group")?;
+                let count = usize_field(line, "count")?;
+                let kind = UnitKind::from_name(str_field(line, "kind")?)
+                    .ok_or_else(|| format!("bad \"kind\" in: {line}"))?;
+                for i in 0..count {
+                    out.trace.push(TraceEvent {
+                        cycle: cycle + i as u64,
+                        group,
+                        flow: None,
+                        thread: None,
+                        kind,
+                    });
+                }
+            }
             "flow" => out.events.push(TimedEvent {
                 step: u64_field(line, "step")?,
                 cycle: u64_field(line, "cycle")?,
@@ -446,6 +781,128 @@ mod tests {
         assert_eq!(re.events_dropped, 5);
         assert_eq!(re.events.len(), 2);
         assert_eq!(cursor.events, obs.next_seq());
+    }
+
+    /// Encodes `evs` through the run-compressing batch writer and parses
+    /// the document back, asserting exact reconstruction.
+    fn batch_round_trips(evs: &[TraceEvent]) -> String {
+        let mut doc = header_line();
+        write_trace_items(&mut doc, evs.iter());
+        for line in doc.lines().skip(1) {
+            validate_json(line).expect("line is valid JSON");
+        }
+        let re = parse_stream(&doc).expect("parses");
+        assert_eq!(re.trace, evs, "run compression diverged");
+        doc
+    }
+
+    /// The per-unit expansion of a compute run, as `issue_one` produces
+    /// it: `phase` units fit on the first cycle, then `width` per cycle.
+    fn cadence(
+        cycle0: u64,
+        flow: u32,
+        count: usize,
+        phase: usize,
+        width: usize,
+    ) -> Vec<TraceEvent> {
+        (0..count)
+            .map(|i| TraceEvent {
+                cycle: if i < phase {
+                    cycle0
+                } else {
+                    cycle0 + 1 + ((i - phase) / width) as u64
+                },
+                group: 1,
+                flow: Some(flow),
+                thread: Some(7 + i),
+                kind: UnitKind::Compute,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cadence_runs_compress_and_round_trip() {
+        for (count, phase, width) in [
+            (256, 2, 4),
+            (5, 5, 1),  // single cycle
+            (9, 2, 7),  // two cycles, second partial
+            (3, 1, 1),  // minimum run length
+            (17, 4, 4), // phase == width, partial tail
+        ] {
+            let evs = cadence(10, 3, count, phase, width);
+            let doc = batch_round_trips(&evs);
+            assert_eq!(
+                doc.lines().count(),
+                2,
+                "{count}/{phase}/{width} should be one trun line, got:\n{doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn bubble_runs_compress_and_round_trip() {
+        let evs: Vec<TraceEvent> = (0..12)
+            .map(|i| TraceEvent {
+                cycle: 40 + i,
+                group: 2,
+                flow: None,
+                thread: None,
+                kind: UnitKind::Bubble,
+            })
+            .collect();
+        let doc = batch_round_trips(&evs);
+        assert_eq!(doc.lines().count(), 2, "one brun line:\n{doc}");
+    }
+
+    #[test]
+    fn irregular_sequences_fall_back_to_plain_lines() {
+        // Thread gaps, flow changes, cycle jumps, and sub-MIN_RUN runs:
+        // everything must still reconstruct exactly.
+        let mut evs = cadence(0, 1, 2, 1, 1); // too short for a run
+        evs.push(TraceEvent {
+            cycle: 9,
+            group: 1,
+            flow: Some(1),
+            thread: Some(100), // thread gap
+            kind: UnitKind::Compute,
+        });
+        evs.extend(cadence(9, 2, 6, 3, 3)); // flow switch mid-stream
+        evs.push(TraceEvent {
+            cycle: 30, // cycle jump > 1
+            group: 1,
+            flow: Some(2),
+            thread: Some(13),
+            kind: UnitKind::MemLocal,
+        });
+        evs.push(TraceEvent {
+            cycle: 31,
+            group: 1,
+            flow: None,
+            thread: None,
+            kind: UnitKind::Bubble, // lone bubble
+        });
+        batch_round_trips(&evs);
+    }
+
+    #[test]
+    fn adjacent_runs_split_at_shape_breaks() {
+        // Two back-to-back cadence runs of the same flow: the second
+        // starts a new thread base, so the writer must end the first run
+        // exactly at the boundary.
+        let mut evs = cadence(0, 1, 8, 4, 4);
+        evs.extend(cadence(2, 1, 8, 4, 4));
+        batch_round_trips(&evs);
+    }
+
+    #[test]
+    fn line_buf_digits_match_display_at_the_edges() {
+        for v in [0u64, 1, 9, 10, 99, 100, 12345, u64::MAX - 1, u64::MAX] {
+            let mut l = LineBuf::new();
+            l.num(v);
+            let mut s = String::new();
+            l.flush(&mut s);
+            assert_eq!(s, v.to_string());
+        }
     }
 
     #[test]

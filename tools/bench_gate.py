@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Hot-path bench regression gate (CI `bench-smoke` legs).
+
+Compares a fresh `repro bench-json` run against the committed
+`BENCH_hotpath.json` reference on both steps/sec and instrs/sec for every
+workload, and enforces the observability overhead budgets on the fresh
+run alone (docs/OBSERVABILITY.md "Measured overhead"):
+
+* a drop of more than 20% below the committed rate prints a ::warning;
+* more than 35% below on either metric FAILS the job;
+* disabled sinks (`obs_overhead_off`) must stay within 5% of the plain
+  hot path (`thick_pram_flow`);
+* live streaming (`obs_overhead_stream`) must stay within 5x of disabled
+  sinks — the batched-drain + run-compressed wire budget.
+
+Usage: bench_gate.py FRESH_JSON [COMMITTED_JSON]
+
+Both bench-smoke legs (portable codegen and `-C target-cpu=native`) run
+this same gate: rates are compared fresh-vs-committed per leg, so the
+committed portable reference only has to be beaten up to the gate margin,
+which native codegen comfortably clears.
+"""
+
+import json
+import sys
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    fresh = json.load(open(sys.argv[1]))
+    assert fresh["schema"] == "tcf-bench-hotpath/v1", fresh.get("schema")
+    committed_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_hotpath.json"
+    committed = json.load(open(committed_path))
+    missing = set(committed["workloads"]) - set(fresh["workloads"])
+    assert not missing, f"workloads dropped from bench-json: {missing}"
+    failed = False
+    for w, entry in fresh["workloads"].items():
+        ref = committed["workloads"].get(w)
+        for metric in ("steps_per_sec", "instrs_per_sec"):
+            assert entry[metric] > 0, (w, entry)
+            if ref is None:
+                continue  # new workload, no reference yet
+            ratio = entry[metric] / ref[metric]
+            line = (
+                f"{w} {metric}: {entry[metric]:.0f} "
+                f"vs committed {ref[metric]:.0f} ({ratio:.2f}x)"
+            )
+            if ratio < 0.65:
+                print(f"::error title=bench regression::{line}")
+                failed = True
+            elif ratio < 0.8:
+                print(f"::warning title=bench regression::{line}")
+            else:
+                print(line)
+    if failed:
+        sys.exit("bench regression beyond the 35% hard gate")
+
+    # Observability budgets: every rate comes from the same fresh run, so
+    # machine speed cancels out of the ratios.
+    base = fresh["workloads"]["thick_pram_flow"]["steps_per_sec"]
+    off = fresh["workloads"]["obs_overhead_off"]["steps_per_sec"]
+    ratio = off / base
+    line = (
+        f"obs_overhead_off: {off:.0f} steps/s vs thick_pram_flow "
+        f"{base:.0f} ({ratio:.2f}x)"
+    )
+    if ratio < 0.95:
+        print(f"::error title=obs overhead budget::{line}")
+        sys.exit("disabled-sink observability overhead exceeds 5%")
+    print(line)
+
+    stream = fresh["workloads"]["obs_overhead_stream"]["steps_per_sec"]
+    ratio = off / stream
+    line = (
+        f"obs_overhead_stream: {stream:.0f} steps/s vs obs_overhead_off "
+        f"{off:.0f} ({ratio:.2f}x slower)"
+    )
+    if ratio > 5.0:
+        print(f"::error title=stream overhead budget::{line}")
+        sys.exit("live-stream observability overhead exceeds 5x disabled sinks")
+    print(line)
+    print(f"{committed_path} ok")
+
+
+if __name__ == "__main__":
+    main()
