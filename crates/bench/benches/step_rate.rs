@@ -1,7 +1,8 @@
 //! Hot-path step-rate bench: wall-clock throughput of the cycle-level
 //! step loop on every steady-state workload in [`Workload::ALL`] (thick
 //! PRAM flow, thin NUMA flow, mixed multitasking, broadcast stride
-//! sweep, lane-id reduction, branchy divergence). `repro bench-json`
+//! sweep, lane-id reduction, branchy divergence, masked divergent
+//! compressed). `repro bench-json`
 //! exports the same probes as machine-readable `BENCH_hotpath.json`;
 //! docs/PERFORMANCE.md explains how to read both.
 

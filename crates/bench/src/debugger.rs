@@ -321,11 +321,17 @@ impl Debugger {
         let td = self.machine.thick_decay();
         let _ = writeln!(
             out,
-            "decay: {} total (setthick {}, lane_write {}, mem_reply {})",
+            "decay: {} total (setthick {}, lane_write {}, mem_reply {}, mask_runs {})",
             td.total(),
             td.setthick,
             td.lane_write,
-            td.mem_reply
+            td.mem_reply,
+            td.mask_runs
+        );
+        let _ = writeln!(
+            out,
+            "mask: {} hits, {} misses",
+            ec.mask_hits, ec.mask_misses
         );
         let _ = writeln!(
             out,
@@ -502,6 +508,8 @@ mod tests {
         assert!(out.contains("thick instrs"), "{out}");
         assert!(out.contains("worker 0: ["), "{out}");
         assert!(out.contains("decay:"), "{out}");
+        assert!(out.contains("mask_runs"), "{out}");
+        assert!(out.contains("mask:"), "{out}");
         assert!(out.contains("coalesce:"), "{out}");
         assert!(out.contains("bulk:"), "{out}");
         assert!(out.contains("dropped"), "{out}");

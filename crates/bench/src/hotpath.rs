@@ -1,7 +1,7 @@
 //! Hot-path throughput probes: the fixed workload set measured by the
 //! `step_rate` criterion bench and exported by `repro bench-json`.
 //!
-//! Six workloads cover the simulator's steady states (see
+//! Seven workloads cover the simulator's steady states (see
 //! `docs/PERFORMANCE.md`):
 //!
 //! * **thick_pram_flow** — one flow of thickness 1024 looping over a
@@ -22,6 +22,16 @@
 //!   instruction (`and` on the lane ids) escapes the affine algebra, so
 //!   every register decays to explicit lanes: stresses the per-lane
 //!   fallback (the structure-of-arrays SIMD kernels of `tcf_core::lanes`).
+//! * **divergent_compressed** — a `Sel`-heavy threshold recurrence at
+//!   thickness 10^6 whose per-iteration cut point moves through the lane
+//!   range (never aligned to a fragment boundary), so every step is
+//!   genuinely divergent yet stays compressed under run-length lane
+//!   masks: stresses the masked/piecewise closed-form path (mask
+//!   classification, masked `Sel`, piecewise ALU, and the rank-ordered
+//!   masked multioperation chain). Per-step cost is O(#mask runs), not
+//!   O(thickness) — `bench_json` re-measures it at 100× the thickness
+//!   (10^8 lanes) as `divergent_compressed_100x`, and `tools/bench_gate.py`
+//!   asserts the two step rates stay within 2×.
 //!
 //! All run on the small machine (`P = 4`, `T_p = 16`) so a probe
 //! completes in milliseconds; throughput is reported as simulated machine
@@ -52,17 +62,60 @@ pub enum Workload {
     LaneIdReduction,
     /// Sel-heavy parity recurrence on decayed lanes (thickness 1024).
     BranchyDivergence,
+    /// Sel-heavy threshold recurrence under lane masks (thickness 10^6).
+    DivergentCompressed,
+}
+
+/// Thickness of the [`Workload::DivergentCompressed`] probe. The
+/// `divergent_compressed_100x` scaling probe runs the same program at
+/// 100× this (10^8 lanes, still below `tcf_core`'s `MAX_THICKNESS`).
+pub const DIVERGENT_THICKNESS: usize = 1_000_000;
+
+/// Builds the divergent-compressed recurrence at an arbitrary thickness
+/// `n` — the body of [`Workload::DivergentCompressed`] and its 100×
+/// scaling probe. Sixteen iterations; iteration `i` compares the affine
+/// lane ids against the moving cut `i·(n/24 + 7) + n/3 + 11` (coprime-ish
+/// steps, so the cut never lands on a fragment boundary), folds the
+/// masked `Sel` rejoin into a `Segments` accumulator (one extra run per
+/// iteration, bounded well below `MASK_RUN_BUDGET`), and contributes
+/// every lane to one shared sum word — a rank-ordered chain of
+/// zero-astride bulk multioperations that shared memory combines in
+/// closed form. No instruction in the loop costs more than O(#mask runs).
+pub fn divergent_program(n: usize) -> Program {
+    use tcf_isa::instr::MultiKind;
+    use tcf_isa::reg::{r, Reg, SpecialReg};
+    use tcf_isa::{AluOp, ProgramBuilder, Word};
+    let cut_step = (n / 24 + 7) as Word;
+    let cut_base = (n / 3 + 11) as Word;
+    let mut b = ProgramBuilder::new();
+    b.setthick(n as Word);
+    b.mfs(r(1), SpecialReg::Tid); // r1 = lane id (affine, stays affine)
+    b.ldi(r(3), 0); // r3 = accumulator (grows one run per iteration)
+    b.ldi(r(4), 0); // r4 = loop counter (uniform)
+    b.label("loop");
+    b.alu(AluOp::Mul, r(7), r(4), cut_step);
+    b.alu(AluOp::Add, r(7), r(7), cut_base); // r7 = this iteration's cut
+    b.alu(AluOp::Slt, r(2), r(1), r(7)); // r2 = lane mask (2 runs)
+    b.sel(r(6), r(2), r(1), r(3)); // masked select: id below the cut
+    b.alu(AluOp::Add, r(3), r(3), r(6)); // piecewise fold of the rejoin
+    b.multiop(MultiKind::Add, Reg::ZERO, 64, r(3)); // sum @ 64, closed form
+    b.alu(AluOp::Add, r(4), r(4), 1);
+    b.alu(AluOp::Slt, r(8), r(4), 16);
+    b.bnez(r(8), "loop");
+    b.halt();
+    b.build().expect("workload assembles")
 }
 
 impl Workload {
     /// Every workload, in report order.
-    pub const ALL: [Workload; 6] = [
+    pub const ALL: [Workload; 7] = [
         Workload::ThickPram,
         Workload::ThinNuma,
         Workload::MixedMultitasking,
         Workload::BroadcastStride,
         Workload::LaneIdReduction,
         Workload::BranchyDivergence,
+        Workload::DivergentCompressed,
     ];
 
     /// Stable identifier used in bench output and `BENCH_hotpath.json`.
@@ -74,6 +127,7 @@ impl Workload {
             Workload::BroadcastStride => "broadcast_stride_sweep",
             Workload::LaneIdReduction => "lane_id_reduction",
             Workload::BranchyDivergence => "branchy_divergence",
+            Workload::DivergentCompressed => "divergent_compressed",
         }
     }
 
@@ -154,6 +208,7 @@ impl Workload {
                 b.halt();
                 b.build().expect("workload assembles")
             }
+            Workload::DivergentCompressed => divergent_program(DIVERGENT_THICKNESS),
         }
     }
 
@@ -217,10 +272,31 @@ const MIN_SAMPLE_SECS: f64 = 0.05;
 /// are per run, not per batch.
 pub fn measure(w: Workload, repeats: usize) -> Measurement {
     let program = w.program();
+    measure_with(&|| w.build(&program), repeats)
+}
+
+/// Measures an arbitrary single-flow program on the small machine with
+/// the same harness as [`measure`] — used for the
+/// `divergent_compressed_100x` thickness-scaling probe, which re-runs
+/// [`divergent_program`] at 100× [`DIVERGENT_THICKNESS`].
+pub fn measure_program(program: &Program, repeats: usize) -> Measurement {
+    measure_with(
+        &|| {
+            TcfMachine::new(
+                crate::small_config(),
+                Variant::SingleInstruction,
+                program.clone(),
+            )
+        },
+        repeats,
+    )
+}
+
+fn measure_with(build: &dyn Fn() -> TcfMachine, repeats: usize) -> Measurement {
     let (summary, iters) = {
-        let mut m = w.build(&program);
+        let mut m = build();
         let start = Instant::now();
-        let summary = w.run(&mut m);
+        let summary = m.run(10_000_000).expect("workload halts");
         let once = start.elapsed().as_secs_f64().max(1e-9);
         (summary, (MIN_SAMPLE_SECS / once).ceil().max(1.0) as usize)
     };
@@ -230,9 +306,9 @@ pub fn measure(w: Workload, repeats: usize) -> Measurement {
         // stay outside the per-run timers.
         let mut total = 0.0;
         for _ in 0..iters {
-            let mut m = w.build(&program);
+            let mut m = build();
             let start = Instant::now();
-            w.run(&mut m);
+            m.run(10_000_000).expect("workload halts");
             total += start.elapsed().as_secs_f64();
         }
         best = best.min(total / iters as f64);
@@ -354,6 +430,15 @@ pub fn bench_json(repeats: usize) -> String {
     for w in Workload::ALL {
         entries.push((w.name(), measure(w, repeats)));
     }
+    // Thickness-scaling probe: the divergent-compressed recurrence again
+    // at 100× the thickness. Per-step cost is O(#mask runs), so the step
+    // rate must stay flat — `tools/bench_gate.py` asserts it lands within
+    // 2× of the baseline `divergent_compressed` rate.
+    let program_100x = divergent_program(100 * DIVERGENT_THICKNESS);
+    entries.push((
+        "divergent_compressed_100x",
+        measure_program(&program_100x, repeats),
+    ));
     for mode in ObsMode::ALL {
         entries.push((mode.name(), measure_obs(mode, repeats)));
     }
@@ -460,12 +545,91 @@ mod tests {
         }
     }
 
+    /// Per-lane mirror of the divergent-compressed recurrence: lane `j`
+    /// below iteration `i`'s cut takes its id, every lane folds into the
+    /// accumulator, and every iteration contributes all accumulators to
+    /// the shared sum (wrapping word arithmetic throughout).
+    fn divergent_mirror(n: usize) -> i64 {
+        let cut_step = (n / 24 + 7) as i64;
+        let cut_base = (n / 3 + 11) as i64;
+        let mut sum = 0i64;
+        for j in 0..n {
+            let id = j as i64;
+            let mut acc = 0i64;
+            for i in 0..16 {
+                let cut = (i as i64).wrapping_mul(cut_step).wrapping_add(cut_base);
+                let pick = if id < cut { id } else { acc };
+                acc = acc.wrapping_add(pick);
+                sum = sum.wrapping_add(acc);
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn divergent_compressed_computes_the_recurrence() {
+        // Small instance first (cheap to mirror), then the full workload.
+        for n in [4096usize, DIVERGENT_THICKNESS] {
+            let program = divergent_program(n);
+            let mut m = TcfMachine::new(crate::small_config(), Variant::SingleInstruction, program);
+            m.run(10_000_000).expect("workload halts");
+            assert_eq!(m.peek(64).unwrap(), divergent_mirror(n), "thickness {n}");
+        }
+    }
+
+    #[test]
+    fn divergent_compressed_stays_compressed() {
+        let w = Workload::DivergentCompressed;
+        let program = w.program();
+        let mut m = w.build(&program);
+        w.run(&mut m);
+        // The whole run must stay on the masked/piecewise closed-form
+        // path: divergence is absorbed by lane masks (mask hits, zero
+        // decays of any kind), never by materializing 10^6 lanes.
+        let decay = m.thick_decay();
+        assert_eq!(decay.total(), 0, "workload decayed: {decay:?}");
+        assert!(
+            m.engine_counters().mask_hits > 0,
+            "workload never took the masked path: {:?}",
+            m.engine_counters()
+        );
+        assert_eq!(
+            m.engine_counters().mask_misses,
+            0,
+            "workload fell off the masked path: {:?}",
+            m.engine_counters()
+        );
+    }
+
+    /// The O(#runs) claim, measured: stepping the recurrence at 64× the
+    /// thickness must not cost anywhere near 64× the time. A loose 8×
+    /// envelope keeps the assertion robust on noisy CI hosts — the real
+    /// ratio is near 1, and a per-lane regression would show up as ~64×.
+    #[test]
+    fn divergent_compressed_step_cost_is_flat_in_thickness() {
+        let time_run = |n: usize| {
+            let program = divergent_program(n);
+            let mut m = TcfMachine::new(crate::small_config(), Variant::SingleInstruction, program);
+            let start = std::time::Instant::now();
+            m.run(10_000_000).expect("workload halts");
+            start.elapsed().as_secs_f64()
+        };
+        time_run(1 << 14); // warmup
+        let base = time_run(1 << 14).max(1e-6);
+        let scaled = time_run(1 << 20);
+        assert!(
+            scaled < 8.0 * base,
+            "64x thickness cost {scaled:.6}s vs {base:.6}s at baseline — not flat"
+        );
+    }
+
     #[test]
     fn bench_json_contains_all_workloads() {
         let json = bench_json(1);
         for w in Workload::ALL {
             assert!(json.contains(w.name()), "missing {}", w.name());
         }
+        assert!(json.contains("divergent_compressed_100x"));
         for mode in ObsMode::ALL {
             assert!(json.contains(mode.name()), "missing {}", mode.name());
         }

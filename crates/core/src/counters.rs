@@ -34,12 +34,18 @@ pub struct ThickDecayCounters {
     /// Decays caused by a shared-memory reply landing lane-wise in a
     /// compressed register (phase-3 write-back).
     pub mem_reply: u64,
+    /// Slices whose masked / piecewise closed-form execution was abandoned
+    /// because the mask or operand run count exceeded
+    /// [`MASK_RUN_BUDGET`](crate::thick::MASK_RUN_BUDGET) — the value had
+    /// effectively lost its run structure, so execution decayed to the SoA
+    /// lane planes.
+    pub mask_runs: u64,
 }
 
 impl ThickDecayCounters {
     /// Total decays across every reason.
     pub fn total(&self) -> u64 {
-        self.setthick + self.lane_write + self.mem_reply
+        self.setthick + self.lane_write + self.mem_reply + self.mask_runs
     }
 }
 
@@ -57,6 +63,16 @@ pub struct EngineCounters {
     pub compressed_slices: u64,
     /// Slices that fell back to the general per-lane executor.
     pub per_lane_slices: u64,
+    /// Slices that stayed closed-form *through divergence*: a run-length
+    /// lane mask or a piecewise operand split kept a `Sel`, comparison,
+    /// masked store or strided reference compressed where it previously
+    /// decayed to per-lane execution.
+    pub mask_hits: u64,
+    /// Slices that attempted masked / piecewise execution but fell back
+    /// to the per-lane path (explicit-lane operands, inexact progressions,
+    /// unguardable addresses, or the run budget — the budget subset is
+    /// also counted as `decay_mask_runs`).
+    pub mask_misses: u64,
     /// Rank-adjacent bulk references merged by `coalesce_bulk_multi`.
     pub coalesce_hits: u64,
     /// Bulk references that stayed separate (shape or adjacency mismatch).
@@ -112,8 +128,9 @@ mod tests {
             setthick: 2,
             lane_write: 3,
             mem_reply: 5,
+            mask_runs: 7,
         };
-        assert_eq!(c.total(), 10);
+        assert_eq!(c.total(), 17);
     }
 
     #[test]

@@ -261,7 +261,13 @@ impl TcfMachine {
             );
             for &sid in &ids {
                 let sibling = self.flows.get_mut(&sid).expect("absorbed sibling exists");
-                sibling.regs = flow.regs.clone();
+                // NUMA execution is flow-wise (registers collapsed on
+                // entry), so the sibling restarts from lane-0 views only —
+                // no per-thread lane vectors are ever copied here, keeping
+                // bunch exits O(registers) like the masked compressed path
+                // keeps divergent thick steps O(runs). The sibling's first
+                // thick step re-enters the same compressed pipeline.
+                sibling.regs = flow.regs.clone_flowwise();
                 sibling.call_stack = flow.call_stack.clone();
                 sibling.pc = flow.pc;
                 sibling.status = FlowStatus::Running;

@@ -17,6 +17,8 @@
 
 use tcf_isa::{AluOp, Word};
 
+use crate::thick::MaskRun;
+
 /// Lanes evaluated per inner-loop iteration of the chunked kernels.
 ///
 /// Eight 64-bit lanes = one 512-bit vector, or two 256-bit halves on AVX2;
@@ -164,6 +166,33 @@ pub fn select_lanes_scalar_ref(cond: &[Word], t: &[Word], f: &[Word], out: &mut 
     }
 }
 
+/// Run-masked `Sel` blend: the condition arrives as a run-length
+/// [`MaskRun`] classification instead of a per-lane plane, so each run is
+/// one `copy_from_slice` of the chosen branch — O(#runs) dispatches over
+/// memcpy-speed bodies, never touching a condition lane. The runs must
+/// tile `[0, out.len())` in order (the [`LaneMask`] contract).
+///
+/// [`LaneMask`]: crate::thick::LaneMask
+pub fn select_lanes_mask(runs: &[MaskRun], t: &[Word], f: &[Word], out: &mut [Word]) {
+    let n = out.len();
+    debug_assert_eq!(t.len(), n);
+    debug_assert_eq!(f.len(), n);
+    for r in runs {
+        let src = if r.set { t } else { f };
+        out[r.start..r.start + r.len].copy_from_slice(&src[r.start..r.start + r.len]);
+    }
+}
+
+/// Scalar reference for [`select_lanes_mask`]: expand the runs to a lane
+/// plane and blend lane by lane.
+pub fn select_lanes_mask_scalar_ref(runs: &[MaskRun], t: &[Word], f: &[Word], out: &mut [Word]) {
+    for r in runs {
+        for k in r.start..r.start + r.len {
+            out[k] = if r.set { t[k] } else { f[k] };
+        }
+    }
+}
+
 /// Fills `out[k] = base + k * stride` (wrapping), chunked: per-chunk the
 /// eight offsets `[0, s, .., 7s]` are added to a running base that advances
 /// by `8s`, avoiding the serial add-chain of the naive loop.
@@ -307,5 +336,77 @@ mod tests {
         select_lanes(&cond, &t, &f, &mut got);
         select_lanes_scalar_ref(&cond, &t, &f, &mut want);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn masked_select_matches_lane_blend() {
+        let n = 19usize;
+        let t: Vec<Word> = (0..n as i64).map(|k| 100 + k).collect();
+        let f: Vec<Word> = (0..n as i64).map(|k| -k).collect();
+        // Runs tiling [0, n): set/clear alternation with uneven lengths,
+        // plus the all-set and all-clear edges.
+        let cases: Vec<Vec<MaskRun>> = vec![
+            vec![MaskRun {
+                start: 0,
+                len: n,
+                set: true,
+            }],
+            vec![MaskRun {
+                start: 0,
+                len: n,
+                set: false,
+            }],
+            vec![
+                MaskRun {
+                    start: 0,
+                    len: 3,
+                    set: false,
+                },
+                MaskRun {
+                    start: 3,
+                    len: 9,
+                    set: true,
+                },
+                MaskRun {
+                    start: 12,
+                    len: 7,
+                    set: false,
+                },
+            ],
+            vec![
+                MaskRun {
+                    start: 0,
+                    len: 1,
+                    set: true,
+                },
+                MaskRun {
+                    start: 1,
+                    len: 17,
+                    set: false,
+                },
+                MaskRun {
+                    start: 18,
+                    len: 1,
+                    set: true,
+                },
+            ],
+        ];
+        for runs in &cases {
+            let cond: Vec<Word> = {
+                let mut c = vec![0; n];
+                for r in runs {
+                    c[r.start..r.start + r.len].fill(r.set as Word);
+                }
+                c
+            };
+            let mut got = vec![0; n];
+            let mut ref_runs = vec![0; n];
+            let mut ref_lanes = vec![0; n];
+            select_lanes_mask(runs, &t, &f, &mut got);
+            select_lanes_mask_scalar_ref(runs, &t, &f, &mut ref_runs);
+            select_lanes_scalar_ref(&cond, &t, &f, &mut ref_lanes);
+            assert_eq!(got, ref_runs);
+            assert_eq!(got, ref_lanes);
+        }
     }
 }

@@ -61,5 +61,8 @@ pub use flow::{Flow, FlowStatus, Fragment};
 pub use machine::{TcfMachine, DEFAULT_STEP_BUDGET};
 pub use par_engine::Engine;
 pub use sched::Allocation;
-pub use thick::{affine_alu, AffineRuns, Seg, ThickRegs, ThickValue};
+pub use thick::{
+    affine_alu, AffineRuns, LaneMask, MaskError, MaskRun, Seg, ThickRegs, ThickValue,
+    MASK_RUN_BUDGET,
+};
 pub use variant::Variant;

@@ -52,8 +52,11 @@ use crate::variant::Variant;
 pub const DEFAULT_STEP_BUDGET: u64 = 1_000_000;
 
 /// Hard ceiling on a flow's thickness, protecting the host simulator from
-/// runaway `setthick` values. Far above anything the experiments need.
-pub const MAX_THICKNESS: usize = 1 << 24;
+/// runaway `setthick` values. Compressed (`Affine`/`Segments`) execution
+/// never materializes lanes, so thickness-10^8 workloads that stay on the
+/// masked closed-form path are cheap — the ceiling only bounds what a
+/// *decay* to per-thread lanes could be asked to allocate.
+pub const MAX_THICKNESS: usize = 1 << 27;
 
 /// A machine executing the extended PRAM-NUMA model under a chosen
 /// [`Variant`].
@@ -464,12 +467,15 @@ impl TcfMachine {
         reg.set_counter("thick.decay_setthick", self.thick_decay.setthick);
         reg.set_counter("thick.decay_lane_write", self.thick_decay.lane_write);
         reg.set_counter("thick.decay_mem_reply", self.thick_decay.mem_reply);
+        reg.set_counter("thick.decay_mask_runs", self.thick_decay.mask_runs);
         reg.set_counter("thick.decay_total", self.thick_decay.total());
         let e = &self.engine_counters;
         reg.set_counter("engine.thick_instrs", e.thick_instrs);
         reg.set_counter("engine.slices", e.slices);
         reg.set_counter("engine.compressed_slices", e.compressed_slices);
         reg.set_counter("engine.per_lane_slices", e.per_lane_slices);
+        reg.set_counter("engine.mask_hits", e.mask_hits);
+        reg.set_counter("engine.mask_misses", e.mask_misses);
         reg.set_counter("engine.coalesce_hits", e.coalesce_hits);
         reg.set_counter("engine.coalesce_misses", e.coalesce_misses);
         reg.set_counter("engine.absorbed_events", e.absorbed_events);

@@ -53,7 +53,7 @@ use crate::exec_sync::{WbTarget, Writeback};
 use crate::flow::{Flow, Fragment};
 use crate::lanes::{self, LanePlanes};
 use crate::machine::TcfMachine;
-use crate::thick::affine_alu;
+use crate::thick::{affine_alu, LaneMask, MaskError, Seg, MASK_RUN_BUDGET};
 
 /// Which execution engine a machine steps with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -306,10 +306,31 @@ pub(crate) struct FragOut {
     /// Whether the slice executed on the closed-form compressed path
     /// (feeds the `engine.compressed_slices` counter).
     pub compressed: bool,
+    /// Whether the slice stayed closed-form *through divergence* — a lane
+    /// mask or piecewise operand split was used (feeds `engine.mask_hits`).
+    pub mask_hit: bool,
+    /// Whether a masked / piecewise attempt fell back to the per-lane path
+    /// (feeds `engine.mask_misses`).
+    pub mask_miss: bool,
+    /// Whether the fallback was specifically the mask-run budget — the
+    /// `decay_mask_runs` reason of the decay taxonomy.
+    pub mask_decay: bool,
     /// Pooled structure-of-arrays operand planes for the vectorized
     /// per-lane fallback ([`exec_thick_vector`]); capacity survives
     /// `reset`, so steady-state slices gather operands allocation-free.
     pub planes: LanePlanes,
+    /// Pooled run-length scratch of the masked compressed path; capacity
+    /// survives `reset`.
+    pub scratch: MaskScratch,
+}
+
+/// Pooled buffers of the masked compressed executor: the condition's lane
+/// mask and two piece lists for operand splitting.
+#[derive(Debug, Default)]
+pub(crate) struct MaskScratch {
+    pub mask: LaneMask,
+    pub a: Vec<Seg>,
+    pub b: Vec<Seg>,
 }
 
 impl FragOut {
@@ -328,7 +349,11 @@ impl FragOut {
             obs: ObsSink::disabled(),
             fault: None,
             compressed: false,
+            mask_hit: false,
+            mask_miss: false,
+            mask_decay: false,
             planes: LanePlanes::default(),
+            scratch: MaskScratch::default(),
         }
     }
 
@@ -351,6 +376,9 @@ impl FragOut {
         };
         self.fault = None;
         self.compressed = false;
+        self.mask_hit = false;
+        self.mask_miss = false;
+        self.mask_decay = false;
     }
 
     /// Appends one lane's register write, extending the current run when
@@ -397,22 +425,145 @@ fn strided_addr(
     Some((w0 as Addr, node_step))
 }
 
+/// Walks two piece lists covering the same lane count in lockstep,
+/// calling `f(start, len, a_run, b_run)` once per maximal sub-run over
+/// which both lists are single progressions — the union of the two run
+/// boundary sets. Aborts (returning `false`) as soon as `f` does.
+fn each_piece_pair(
+    a: &[Seg],
+    b: &[Seg],
+    mut f: impl FnMut(usize, usize, (Word, Word), (Word, Word)) -> bool,
+) -> bool {
+    let (mut ai, mut aoff) = (0usize, 0usize);
+    let (mut bi, mut boff) = (0usize, 0usize);
+    let mut at = 0usize;
+    while ai < a.len() && bi < b.len() {
+        let ra = a[ai].len as usize - aoff;
+        let rb = b[bi].len as usize - boff;
+        let n = ra.min(rb);
+        let ar = (a[ai].get(aoff), a[ai].stride);
+        let br = (b[bi].get(boff), b[bi].stride);
+        if !f(at, n, ar, br) {
+            return false;
+        }
+        at += n;
+        aoff += n;
+        boff += n;
+        if aoff == a[ai].len as usize {
+            ai += 1;
+            aoff = 0;
+        }
+        if boff == b[bi].len as usize {
+            bi += 1;
+            boff = 0;
+        }
+    }
+    true
+}
+
+/// Truncates a fragment output's accumulating logs back to the given
+/// marks — the masked compressed path emits runs as it walks the mask and
+/// must unwind them completely when a later run escapes the closed form
+/// (the per-lane fallback re-executes the whole slice).
+fn unwind(out: &mut FragOut, marks: (usize, usize, usize, usize)) {
+    let (units, refs, wbs, affine) = marks;
+    out.units.truncate(units);
+    out.refs.truncate(refs);
+    out.wbs.truncate(wbs);
+    out.reg_affine.truncate(affine);
+}
+
+/// Emits the closed-form stores of lanes `[sub_lo, sub_lo + n)` — one
+/// [`UnitSeq::SharedRun`] plus one `StridedWrite` per sub-run of the union
+/// split of the base and value registers' run boundaries. `Err(Lanes)`
+/// when either register holds explicit lanes or an address progression
+/// escapes the [`strided_addr`] guard; `Err(Budget)` past the run budget.
+#[allow(clippy::too_many_arguments)]
+fn emit_strided_store(
+    ctx: &ThickCtx<'_>,
+    out: &mut FragOut,
+    a: &mut Vec<Seg>,
+    b: &mut Vec<Seg>,
+    base: Reg,
+    off: Word,
+    rs: Reg,
+    sub_lo: usize,
+    n: usize,
+) -> Result<(), MaskError> {
+    use tcf_mem::{MemOp, RefOrigin};
+
+    let flow = ctx.flow;
+    a.clear();
+    b.clear();
+    if !flow.regs.value(base).piece_runs(sub_lo, n, a)
+        || !flow.regs.value(rs).piece_runs(sub_lo, n, b)
+    {
+        return Err(MaskError::Lanes);
+    }
+    if a.len().max(b.len()) > MASK_RUN_BUDGET {
+        return Err(MaskError::Budget);
+    }
+    let ok = each_piece_pair(a, b, |start, m, (ab, astride), (vb, vstride)| {
+        let Some((a0, node_step)) = strided_addr(ctx, ab, off, astride, m) else {
+            return false;
+        };
+        out.units.push(UnitSeq::SharedRun {
+            flow: flow.id,
+            thread0: sub_lo + start,
+            count: m,
+            node0: ctx.shared.module_of(a0),
+            node_step,
+            nodes: ctx.shared.modules(),
+        });
+        out.refs.push(MemRef::new(
+            RefOrigin::new(ctx.group, flow.rank_base + sub_lo + start),
+            MemOp::StridedWrite {
+                base: a0,
+                stride: astride,
+                count: m as u32,
+                vbase: vb,
+                vstride,
+            },
+        ));
+        true
+    });
+    if ok {
+        Ok(())
+    } else {
+        Err(MaskError::Lanes)
+    }
+}
+
 /// Attempts to execute the whole slice in closed form: when every operand
 /// the instruction reads is stride-compressed (uniform, affine or a
 /// segment run) over the slice's lanes, the per-lane loop collapses to
-/// O(1) affine algebra — one [`UnitSeq`] span, an affine register-write
-/// log, and (for shared-memory traffic) a single strided bulk reference.
-/// Returns `false` to fall back to the per-lane loop whenever the algebra
-/// escapes (per-thread operands, guarded comparisons out of exact range,
-/// wrapping/clamping addresses, hashed module maps on strided targets,
-/// local memory). Multioperations and multiprefixes with affine base and
-/// contribution operands compress to one [`MemOp::BulkMulti`] reference.
+/// O(#runs) affine algebra — run-length [`UnitSeq`] spans, an affine
+/// register-write log, and (for shared-memory traffic) strided bulk
+/// references. Divergence no longer forces a fallback: a non-uniform
+/// `Sel`/`StMasked` condition classifies into a run-length [`LaneMask`]
+/// and each run executes its branch closed-form, while operands whose
+/// range straddles `Segments` boundaries split at the union of their run
+/// boundaries ([`each_piece_pair`]) — so comparisons over compressed
+/// operands produce masks (segment runs) instead of decaying. Returns
+/// `false` to fall back to the per-lane loop only when the algebra
+/// genuinely escapes (per-thread operands, guarded comparisons out of
+/// exact range, wrapping/clamping addresses, hashed module maps on
+/// strided targets, local memory) or when the run count exceeds
+/// [`MASK_RUN_BUDGET`] (the `decay_mask_runs` taxonomy reason, flagged on
+/// `out.mask_decay`). Multioperations and multiprefixes with piecewise
+/// base and contribution operands compress to one [`MemOp::BulkMulti`]
+/// reference per sub-run.
 ///
 /// Bit-identity with the per-lane path holds by construction: ALU folding
 /// goes through [`affine_alu`] (exact mod 2^64; comparisons only when
-/// both progressions are provably exact), and strided addresses are only
-/// emitted under the [`strided_addr`] guard.
-fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
+/// both progressions are provably exact), mask classification only
+/// happens on exact progressions, strided addresses are only emitted
+/// under the [`strided_addr`] guard, and every run-length unit/reference
+/// sequence expands to exactly the per-lane sequence in lane order.
+///
+/// [`LaneMask`]: crate::thick::LaneMask
+/// [`MASK_RUN_BUDGET`]: crate::thick::MASK_RUN_BUDGET
+fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut, scratch: &mut MaskScratch) -> bool {
     use tcf_isa::instr::{MemSpace, Operand};
     use tcf_isa::reg::SpecialReg;
     use tcf_mem::{MemOp, RefOrigin};
@@ -436,20 +587,76 @@ fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
     };
     match ctx.instr {
         DecodedInst::Alu { op, rd, ra, rb } => {
-            let (a, b) = match (affine_reg(ra), affine_opnd(rb)) {
-                (Some(a), Some(b)) => (a, b),
-                _ => return false,
-            };
-            let runs = match affine_alu(op, a, b, len) {
-                Some(r) => r,
-                None => return false,
-            };
-            let mut base = lo;
-            for s in runs.runs() {
-                out.reg_affine
-                    .push((rd, base, s.len as usize, s.base, s.stride));
-                base += s.len as usize;
+            // Single-run fast path: both operands are one progression over
+            // the whole slice.
+            if let (Some(a), Some(b)) = (affine_reg(ra), affine_opnd(rb)) {
+                let runs = match affine_alu(op, a, b, len) {
+                    Some(r) => r,
+                    None => return false,
+                };
+                let mut base = lo;
+                for s in runs.runs() {
+                    out.reg_affine
+                        .push((rd, base, s.len as usize, s.base, s.stride));
+                    base += s.len as usize;
+                }
+                out.units.push(compute_run);
+                return true;
             }
+            // Piecewise path: split at the union of both operands' run
+            // boundaries and fold each sub-run. This keeps comparison
+            // results over `Segments` operands compressed — they become
+            // runs (masks) instead of decaying to lanes.
+            scratch.a.clear();
+            scratch.b.clear();
+            if !flow.regs.value(ra).piece_runs(lo, len, &mut scratch.a) {
+                out.mask_miss = true;
+                return false;
+            }
+            let ok = match rb {
+                Operand::Reg(r) => flow.regs.value(r).piece_runs(lo, len, &mut scratch.b),
+                Operand::Imm(w) => {
+                    scratch.b.push(Seg {
+                        len: len as u32,
+                        base: w,
+                        stride: 0,
+                    });
+                    true
+                }
+            };
+            if !ok {
+                out.mask_miss = true;
+                return false;
+            }
+            if scratch.a.len().max(scratch.b.len()) > MASK_RUN_BUDGET {
+                out.mask_decay = true;
+                out.mask_miss = true;
+                return false;
+            }
+            let marks = (
+                out.units.len(),
+                out.refs.len(),
+                out.wbs.len(),
+                out.reg_affine.len(),
+            );
+            let ok = each_piece_pair(&scratch.a, &scratch.b, |start, n, ar, br| {
+                let Some(runs) = affine_alu(op, ar, br, n) else {
+                    return false;
+                };
+                let mut base = lo + start;
+                for s in runs.runs() {
+                    out.reg_affine
+                        .push((rd, base, s.len as usize, s.base, s.stride));
+                    base += s.len as usize;
+                }
+                true
+            });
+            if !ok {
+                unwind(out, marks);
+                out.mask_miss = true;
+                return false;
+            }
+            out.mask_hit = true;
             out.units.push(compute_run);
             true
         }
@@ -468,20 +675,87 @@ fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
         DecodedInst::Sel { rd, cond, rt, rf } => {
             // Uniform condition over the slice: every lane takes the
             // same branch, so the result is the chosen operand's run.
-            let c = match affine_reg(cond) {
-                Some((v, 0)) => v,
-                _ => return false,
-            };
-            let chosen = if c != 0 {
-                affine_reg(rt)
-            } else {
-                affine_opnd(rf)
-            };
-            let (vb, vs) = match chosen {
-                Some(x) => x,
-                None => return false,
-            };
-            out.reg_affine.push((rd, lo, len, vb, vs));
+            if let Some((c, 0)) = affine_reg(cond) {
+                let chosen = if c != 0 {
+                    affine_reg(rt)
+                } else {
+                    affine_opnd(rf)
+                };
+                if let Some((vb, vs)) = chosen {
+                    out.reg_affine.push((rd, lo, len, vb, vs));
+                    out.units.push(compute_run);
+                    return true;
+                }
+            }
+            // Masked path: classify the condition's truthiness into a
+            // run-length lane mask and let each run take its branch's
+            // pieces. A uniform condition with a piecewise chosen operand
+            // lands here too — the mask is then a single run.
+            match scratch
+                .mask
+                .rebuild(flow.regs.value(cond), lo, len, MASK_RUN_BUDGET)
+            {
+                Ok(()) => {}
+                Err(MaskError::Budget) => {
+                    out.mask_decay = true;
+                    out.mask_miss = true;
+                    return false;
+                }
+                Err(MaskError::Lanes) => {
+                    out.mask_miss = true;
+                    return false;
+                }
+            }
+            let marks = (
+                out.units.len(),
+                out.refs.len(),
+                out.wbs.len(),
+                out.reg_affine.len(),
+            );
+            let mut emitted = 0usize;
+            for run in scratch.mask.runs() {
+                scratch.a.clear();
+                let ok = if run.set {
+                    flow.regs
+                        .value(rt)
+                        .piece_runs(lo + run.start, run.len, &mut scratch.a)
+                } else {
+                    match rf {
+                        Operand::Reg(r) => {
+                            flow.regs
+                                .value(r)
+                                .piece_runs(lo + run.start, run.len, &mut scratch.a)
+                        }
+                        Operand::Imm(w) => {
+                            scratch.a.push(Seg {
+                                len: run.len as u32,
+                                base: w,
+                                stride: 0,
+                            });
+                            true
+                        }
+                    }
+                };
+                if !ok {
+                    unwind(out, marks);
+                    out.mask_miss = true;
+                    return false;
+                }
+                emitted += scratch.a.len();
+                if emitted > MASK_RUN_BUDGET {
+                    unwind(out, marks);
+                    out.mask_decay = true;
+                    out.mask_miss = true;
+                    return false;
+                }
+                let mut base = lo + run.start;
+                for s in &scratch.a {
+                    out.reg_affine
+                        .push((rd, base, s.len as usize, s.base, s.stride));
+                    base += s.len as usize;
+                }
+            }
+            out.mask_hit = true;
             out.units.push(compute_run);
             true
         }
@@ -491,38 +765,85 @@ fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
             off,
             space: MemSpace::Shared,
         } => {
-            let (ab, astride) = match affine_reg(base) {
-                Some(x) => x,
-                None => return false,
-            };
-            let (a0, node_step) = match strided_addr(ctx, ab, off, astride, len) {
-                Some(x) => x,
-                None => return false,
-            };
-            out.units.push(UnitSeq::SharedRun {
-                flow: fid,
-                thread0: lo,
-                count: len,
-                node0: ctx.shared.module_of(a0),
-                node_step,
-                nodes: ctx.shared.modules(),
-            });
-            out.wbs.push((
-                rd,
-                WbTarget::Lanes {
-                    base: lo,
+            if let Some((ab, astride)) = affine_reg(base) {
+                let (a0, node_step) = match strided_addr(ctx, ab, off, astride, len) {
+                    Some(x) => x,
+                    None => return false,
+                };
+                out.units.push(UnitSeq::SharedRun {
+                    flow: fid,
+                    thread0: lo,
                     count: len,
-                },
+                    node0: ctx.shared.module_of(a0),
+                    node_step,
+                    nodes: ctx.shared.modules(),
+                });
+                out.wbs.push((
+                    rd,
+                    WbTarget::Lanes {
+                        base: lo,
+                        count: len,
+                    },
+                    out.refs.len(),
+                ));
+                out.refs.push(MemRef::new(
+                    RefOrigin::new(ctx.group, flow.rank_base + lo),
+                    MemOp::StridedRead {
+                        base: a0,
+                        stride: astride,
+                        count: len as u32,
+                    },
+                ));
+                return true;
+            }
+            // Piecewise base: one strided read per address-progression
+            // run, each with its own lane-window writeback — the replies
+            // still land closed-form via `BulkView`.
+            scratch.a.clear();
+            if !flow.regs.value(base).piece_runs(lo, len, &mut scratch.a) {
+                out.mask_miss = true;
+                return false;
+            }
+            if scratch.a.len() > MASK_RUN_BUDGET {
+                out.mask_decay = true;
+                out.mask_miss = true;
+                return false;
+            }
+            let marks = (
+                out.units.len(),
                 out.refs.len(),
-            ));
-            out.refs.push(MemRef::new(
-                RefOrigin::new(ctx.group, flow.rank_base + lo),
-                MemOp::StridedRead {
-                    base: a0,
-                    stride: astride,
-                    count: len as u32,
-                },
-            ));
+                out.wbs.len(),
+                out.reg_affine.len(),
+            );
+            let mut at = lo;
+            for s in &scratch.a {
+                let m = s.len as usize;
+                let Some((a0, node_step)) = strided_addr(ctx, s.base, off, s.stride, m) else {
+                    unwind(out, marks);
+                    out.mask_miss = true;
+                    return false;
+                };
+                out.units.push(UnitSeq::SharedRun {
+                    flow: fid,
+                    thread0: at,
+                    count: m,
+                    node0: ctx.shared.module_of(a0),
+                    node_step,
+                    nodes: ctx.shared.modules(),
+                });
+                out.wbs
+                    .push((rd, WbTarget::Lanes { base: at, count: m }, out.refs.len()));
+                out.refs.push(MemRef::new(
+                    RefOrigin::new(ctx.group, flow.rank_base + at),
+                    MemOp::StridedRead {
+                        base: a0,
+                        stride: s.stride,
+                        count: m as u32,
+                    },
+                ));
+                at += m;
+            }
+            out.mask_hit = true;
             true
         }
         DecodedInst::St {
@@ -538,6 +859,11 @@ fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
             space: MemSpace::Shared,
             ..
         } => {
+            // Resolve the store mask. `St` and a uniformly-selected
+            // `StMasked` store every lane; a divergent `StMasked`
+            // condition classifies into truthiness runs so the write
+            // splits at run boundaries instead of materializing lanes.
+            let mut masked = false;
             if let DecodedInst::StMasked { cond, .. } = ctx.instr {
                 match affine_reg(cond) {
                     // Uniformly masked out: every lane still burns its
@@ -547,40 +873,109 @@ fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
                         return true;
                     }
                     Some((_, 0)) => {} // uniformly selected: plain store
-                    _ => return false,
+                    _ => {
+                        match scratch
+                            .mask
+                            .rebuild(flow.regs.value(cond), lo, len, MASK_RUN_BUDGET)
+                        {
+                            Ok(()) => masked = true,
+                            Err(MaskError::Budget) => {
+                                out.mask_decay = true;
+                                out.mask_miss = true;
+                                return false;
+                            }
+                            Err(MaskError::Lanes) => {
+                                out.mask_miss = true;
+                                return false;
+                            }
+                        }
+                    }
                 }
             }
-            let (ab, astride) = match affine_reg(base) {
-                Some(x) => x,
-                None => return false,
-            };
-            let (vb, vstride) = match affine_reg(rs) {
-                Some(x) => x,
-                None => return false,
-            };
-            let (a0, node_step) = match strided_addr(ctx, ab, off, astride, len) {
-                Some(x) => x,
-                None => return false,
-            };
-            out.units.push(UnitSeq::SharedRun {
-                flow: fid,
-                thread0: lo,
-                count: len,
-                node0: ctx.shared.module_of(a0),
-                node_step,
-                nodes: ctx.shared.modules(),
-            });
-            out.refs.push(MemRef::new(
-                RefOrigin::new(ctx.group, flow.rank_base + lo),
-                MemOp::StridedWrite {
-                    base: a0,
-                    stride: astride,
-                    count: len as u32,
-                    vbase: vb,
-                    vstride,
-                },
-            ));
-            true
+            let marks = (
+                out.units.len(),
+                out.refs.len(),
+                out.wbs.len(),
+                out.reg_affine.len(),
+            );
+            if masked {
+                // Emitting runs in lane order — set runs become strided
+                // writes, clear runs burn their issue slots as compute
+                // units — expands to exactly the per-lane sequence.
+                let mask = std::mem::take(&mut scratch.mask);
+                let mut res = Ok(());
+                for run in mask.runs() {
+                    if !run.set {
+                        out.units.push(UnitSeq::ComputeRun {
+                            flow: fid,
+                            thread0: lo + run.start,
+                            count: run.len,
+                        });
+                        continue;
+                    }
+                    res = emit_strided_store(
+                        ctx,
+                        out,
+                        &mut scratch.a,
+                        &mut scratch.b,
+                        base,
+                        off,
+                        rs,
+                        lo + run.start,
+                        run.len,
+                    );
+                    if res.is_err() {
+                        break;
+                    }
+                    if out.refs.len() - marks.1 > MASK_RUN_BUDGET {
+                        res = Err(MaskError::Budget);
+                        break;
+                    }
+                }
+                scratch.mask = mask;
+                match res {
+                    Ok(()) => {
+                        out.mask_hit = true;
+                        return true;
+                    }
+                    Err(e) => {
+                        unwind(out, marks);
+                        if matches!(e, MaskError::Budget) {
+                            out.mask_decay = true;
+                        }
+                        out.mask_miss = true;
+                        return false;
+                    }
+                }
+            }
+            match emit_strided_store(
+                ctx,
+                out,
+                &mut scratch.a,
+                &mut scratch.b,
+                base,
+                off,
+                rs,
+                lo,
+                len,
+            ) {
+                Ok(()) => {
+                    // A single strided ref is the pre-mask fast path; more
+                    // than one means a piecewise operand stayed closed-form.
+                    if out.refs.len() - marks.1 > 1 {
+                        out.mask_hit = true;
+                    }
+                    true
+                }
+                Err(e) => {
+                    unwind(out, marks);
+                    if matches!(e, MaskError::Budget) {
+                        out.mask_decay = true;
+                        out.mask_miss = true;
+                    }
+                    false
+                }
+            }
         }
         DecodedInst::MultiOp {
             kind,
@@ -600,56 +995,87 @@ fn exec_thick_compressed(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
                 DecodedInst::MultiPrefix { rd, .. } => Some(rd),
                 _ => None,
             };
-            let (ab, astride) = match affine_reg(base) {
-                Some(x) => x,
-                None => return false,
-            };
-            let (vb, vstride) = match affine_reg(rs) {
-                Some(x) => x,
-                None => return false,
-            };
-            let (a0, node_step) = if astride == 0 {
-                // Uniform base: every lane targets one word, and the
-                // per-lane wrap/clamp applies identically to each lane —
-                // no exactness guard needed, and the single module works
-                // under any map (node step 0).
-                (to_addr(ab.wrapping_add(off)), 0)
-            } else {
-                match strided_addr(ctx, ab, off, astride, len) {
-                    Some(x) => x,
-                    None => return false,
-                }
-            };
-            out.units.push(UnitSeq::SharedRun {
-                flow: fid,
-                thread0: lo,
-                count: len,
-                node0: ctx.shared.module_of(a0),
-                node_step,
-                nodes: ctx.shared.modules(),
-            });
-            if let Some(rd) = rd {
-                out.wbs.push((
-                    rd,
-                    WbTarget::Lanes {
-                        base: lo,
-                        count: len,
-                    },
-                    out.refs.len(),
-                ));
+            // Gather both operands as run lists; the single-progression
+            // case is just a one-piece walk.
+            scratch.a.clear();
+            scratch.b.clear();
+            if !flow.regs.value(base).piece_runs(lo, len, &mut scratch.a)
+                || !flow.regs.value(rs).piece_runs(lo, len, &mut scratch.b)
+            {
+                out.mask_miss = true;
+                return false;
             }
-            out.refs.push(MemRef::new(
-                RefOrigin::new(ctx.group, flow.rank_base + lo),
-                MemOp::BulkMulti {
-                    kind,
-                    prefix: rd.is_some(),
-                    base: a0,
-                    astride,
-                    count: len as u32,
-                    vbase: vb,
-                    vstride,
+            if scratch.a.len().max(scratch.b.len()) > MASK_RUN_BUDGET {
+                out.mask_decay = true;
+                out.mask_miss = true;
+                return false;
+            }
+            let piecewise = scratch.a.len() > 1 || scratch.b.len() > 1;
+            let marks = (
+                out.units.len(),
+                out.refs.len(),
+                out.wbs.len(),
+                out.reg_affine.len(),
+            );
+            let ok = each_piece_pair(
+                &scratch.a,
+                &scratch.b,
+                |start, m, (ab, astride), (vb, vstride)| {
+                    let (a0, node_step) = if astride == 0 {
+                        // Uniform base: every lane targets one word, and the
+                        // per-lane wrap/clamp applies identically to each lane —
+                        // no exactness guard needed, and the single module works
+                        // under any map (node step 0).
+                        (to_addr(ab.wrapping_add(off)), 0)
+                    } else {
+                        match strided_addr(ctx, ab, off, astride, m) {
+                            Some(x) => x,
+                            None => return false,
+                        }
+                    };
+                    out.units.push(UnitSeq::SharedRun {
+                        flow: fid,
+                        thread0: lo + start,
+                        count: m,
+                        node0: ctx.shared.module_of(a0),
+                        node_step,
+                        nodes: ctx.shared.modules(),
+                    });
+                    if let Some(rd) = rd {
+                        out.wbs.push((
+                            rd,
+                            WbTarget::Lanes {
+                                base: lo + start,
+                                count: m,
+                            },
+                            out.refs.len(),
+                        ));
+                    }
+                    out.refs.push(MemRef::new(
+                        RefOrigin::new(ctx.group, flow.rank_base + lo + start),
+                        MemOp::BulkMulti {
+                            kind,
+                            prefix: rd.is_some(),
+                            base: a0,
+                            astride,
+                            count: m as u32,
+                            vbase: vb,
+                            vstride,
+                        },
+                    ));
+                    true
                 },
-            ));
+            );
+            if !ok {
+                unwind(out, marks);
+                if piecewise {
+                    out.mask_miss = true;
+                }
+                return false;
+            }
+            if piecewise {
+                out.mask_hit = true;
+            }
             true
         }
         _ => false,
@@ -673,11 +1099,18 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
     use crate::error::TcfFault;
     use crate::machine::special_value;
 
-    if exec_thick_compressed(ctx, out) {
+    // The scratch is swapped out of `out` so the executors can borrow the
+    // fragment output mutably while reusing the pooled mask/run buffers.
+    let mut scratch = std::mem::take(&mut out.scratch);
+    let compressed = exec_thick_compressed(ctx, out, &mut scratch);
+    if compressed {
+        out.scratch = scratch;
         out.compressed = true;
         return;
     }
-    if exec_thick_vector(ctx, out) {
+    let vector = exec_thick_vector(ctx, out, &mut scratch);
+    out.scratch = scratch;
+    if vector {
         return;
     }
 
@@ -858,7 +1291,7 @@ pub(crate) fn exec_thick_lanes(ctx: &ThickCtx<'_>, local: &mut LocalMemory, out:
 /// are inherently lane-serial.
 ///
 /// [`ThickValue::fill_lanes`]: crate::thick::ThickValue::fill_lanes
-fn exec_thick_vector(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
+fn exec_thick_vector(ctx: &ThickCtx<'_>, out: &mut FragOut, scratch: &mut MaskScratch) -> bool {
     use tcf_isa::instr::Operand;
 
     let flow = ctx.flow;
@@ -881,8 +1314,6 @@ fn exec_thick_vector(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
             rd
         }
         DecodedInst::Sel { rd, cond, rt, rf } => {
-            let c = lanes::prep(&mut out.planes.a, len);
-            flow.regs.value(cond).fill_lanes(lo, c);
             let t = lanes::prep(&mut out.planes.b, len);
             flow.regs.value(rt).fill_lanes(lo, t);
             let f = lanes::prep(&mut out.planes.c, len);
@@ -891,7 +1322,17 @@ fn exec_thick_vector(ctx: &ThickCtx<'_>, out: &mut FragOut) -> bool {
                 Operand::Imm(w) => f.fill(w),
             }
             out.reg_values.resize(len, 0);
-            lanes::select_lanes(c, t, f, &mut out.reg_values);
+            // A condition with run structure blends run-wise through the
+            // masked kernel (no per-lane condition plane); explicit lanes
+            // fall back to the branchless per-lane blend.
+            let cv = flow.regs.value(cond);
+            if scratch.mask.rebuild(cv, lo, len, usize::MAX).is_ok() {
+                lanes::select_lanes_mask(scratch.mask.runs(), t, f, &mut out.reg_values);
+            } else {
+                let c = lanes::prep(&mut out.planes.a, len);
+                cv.fill_lanes(lo, c);
+                lanes::select_lanes(c, t, f, &mut out.reg_values);
+            }
             rd
         }
         _ => return false,
@@ -1114,6 +1555,15 @@ impl TcfMachine {
                 self.engine_counters.compressed_slices += 1;
             } else {
                 self.engine_counters.per_lane_slices += 1;
+            }
+            if out.mask_hit {
+                self.engine_counters.mask_hits += 1;
+            }
+            if out.mask_miss {
+                self.engine_counters.mask_misses += 1;
+            }
+            if out.mask_decay {
+                self.thick_decay.mask_runs += 1;
             }
             let w = i % workers;
             self.engine_counters.worker_lanes[w] += out.range.len() as u64;

@@ -28,6 +28,16 @@ use tcf_isa::word::{shamt, Word};
 
 use crate::lanes;
 
+/// Maximum number of affine runs a masked / piecewise closed-form slice
+/// may work with before execution decays to the SoA lane planes. Divergent
+/// control flow expressed through `Sel` and comparisons produces a handful
+/// of runs (a comparison of exact progressions yields at most three); a
+/// run count past this budget means the value has effectively lost its
+/// structure and O(#runs) closed-form execution would no longer beat the
+/// vectorized per-lane kernels. Decays for this reason are counted as
+/// `decay_mask_runs` in the taxonomy.
+pub const MASK_RUN_BUDGET: usize = 32;
+
 /// One piece of a [`ThickValue::Segments`] value: `len` lanes reading
 /// `base + stride·k` (wrapping), `k` relative to the segment start.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -312,6 +322,35 @@ impl ThickValue {
         }
     }
 
+    /// Appends the affine pieces of lanes `[lo, lo + len)` to `out`, in
+    /// lane order, covering the range exactly (the tail beyond a
+    /// `Segments` value's covered lanes appears as a zero piece). Returns
+    /// `false` — leaving `out` untouched — for `PerThread` values, whose
+    /// piecewise structure would cost O(len) to discover. This is the
+    /// splitting primitive of masked execution: where
+    /// [`affine_over`](ThickValue::affine_over) answers `None` because the
+    /// range straddles segment boundaries, the pieces let the caller run
+    /// the closed-form algebra per run instead of decaying to lanes.
+    pub fn piece_runs(&self, lo: usize, len: usize, out: &mut Vec<Seg>) -> bool {
+        if matches!(self, ThickValue::PerThread(_)) {
+            return false;
+        }
+        self.append_range_segs(lo, lo + len, out);
+        true
+    }
+
+    /// Number of affine runs of the stored representation: 1 for
+    /// `Uniform`/`Affine`, the segment count for `Segments`, and 0 for
+    /// `PerThread` (no run structure). Feeds the mask-run budget check and
+    /// the run-growth regression tests.
+    pub fn run_count(&self) -> usize {
+        match self {
+            ThickValue::Uniform(_) | ThickValue::Affine { .. } => 1,
+            ThickValue::Segments(segs) => segs.len(),
+            ThickValue::PerThread(_) => 0,
+        }
+    }
+
     /// Materializes the value as a per-thread vector of length `thickness`.
     pub fn materialize(&self, thickness: usize) -> Vec<Word> {
         let mut out = Vec::new();
@@ -481,7 +520,18 @@ fn merge_segs(segs: &mut Vec<Seg>) {
         if out > 0 {
             let prev = segs[out - 1];
             let cont = prev.get(prev.len as usize); // extrapolated next lane
-            let merged = if prev.len == 1 && s.base == prev.base.wrapping_add(s.stride) {
+            let merged = if prev.len == 1 && s.len == 1 {
+                // Two adjacent single-lane segments always form a two-lane
+                // progression. Masked write-backs splice runs at mask
+                // boundaries and leave single-lane fringes behind; without
+                // this rule a rejoin could grow the run count one fringe
+                // at a time.
+                Some(Seg {
+                    len: 2,
+                    base: prev.base,
+                    stride: s.base.wrapping_sub(prev.base),
+                })
+            } else if prev.len == 1 && s.base == prev.base.wrapping_add(s.stride) {
                 // A single-lane segment is the head of any progression.
                 Some(Seg {
                     len: prev.len + s.len,
@@ -506,6 +556,139 @@ fn merge_segs(segs: &mut Vec<Seg>) {
         out += 1;
     }
     segs.truncate(out);
+}
+
+/// One run of a [`LaneMask`]: `len` consecutive lanes starting at `start`
+/// (relative to the mask's queried range), all selected (`set`) or all
+/// masked out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskRun {
+    /// First lane of the run, relative to the range the mask was built
+    /// over.
+    pub start: usize,
+    /// Number of lanes in the run (≥ 1).
+    pub len: usize,
+    /// Whether the run's lanes are selected (condition read nonzero).
+    pub set: bool,
+}
+
+/// Why a [`LaneMask`] could not be built from a condition value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskError {
+    /// The condition holds explicit lanes (`PerThread`) or a wrapping
+    /// progression whose zero set cannot be classified in O(1) — run
+    /// structure would cost O(len) to discover.
+    Lanes,
+    /// The condition's run structure exceeds the caller's budget
+    /// (`decay_mask_runs` in the decay taxonomy).
+    Budget,
+}
+
+/// A run-length lane mask: the truthiness (nonzero-ness) of a compressed
+/// condition value over a lane range, as sorted alternating runs of set
+/// and clear lanes. This is what lets `Sel`, masked stores and strided
+/// references execute divergent control flow in O(#runs) instead of
+/// decaying to O(thickness) lane planes: each run of the mask is
+/// homogeneous, so the closed-form affine algebra applies per run.
+///
+/// The struct is a reusable buffer ([`rebuild`](LaneMask::rebuild) clears
+/// and refills it), pooled by the execution engine's fragment outputs so
+/// steady-state masked slices allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct LaneMask {
+    runs: Vec<MaskRun>,
+    /// Scratch for the condition's affine pieces.
+    segs: Vec<Seg>,
+}
+
+impl LaneMask {
+    /// Rebuilds the mask as the truthiness runs of `v` over lanes
+    /// `[lo, lo + len)`. Uniform and segment pieces classify wholesale; a
+    /// non-uniform piece classifies only when its progression is exact
+    /// ([`progression_exact`]) — an exact progression passes through zero
+    /// at most once, splitting the piece into at most three runs. Adjacent
+    /// same-truthiness runs merge, so the result is alternating. Fails
+    /// with [`MaskError::Lanes`] on `PerThread` or inexact-progression
+    /// conditions and [`MaskError::Budget`] when more than `budget` runs
+    /// accumulate.
+    pub fn rebuild(
+        &mut self,
+        v: &ThickValue,
+        lo: usize,
+        len: usize,
+        budget: usize,
+    ) -> Result<(), MaskError> {
+        self.runs.clear();
+        self.segs.clear();
+        if len == 0 {
+            return Ok(());
+        }
+        if !v.piece_runs(lo, len, &mut self.segs) {
+            return Err(MaskError::Lanes);
+        }
+        fn push(runs: &mut Vec<MaskRun>, start: usize, len: usize, set: bool) {
+            if len == 0 {
+                return;
+            }
+            if let Some(last) = runs.last_mut() {
+                if last.set == set {
+                    last.len += len;
+                    return;
+                }
+            }
+            runs.push(MaskRun { start, len, set });
+        }
+        let LaneMask { runs, segs } = self;
+        let mut start = 0usize;
+        for s in segs.iter() {
+            let plen = s.len as usize;
+            if s.stride == 0 || plen == 1 {
+                push(runs, start, plen, s.base != 0);
+            } else {
+                if !progression_exact(s.base, s.stride, plen) {
+                    return Err(MaskError::Lanes);
+                }
+                // Exact ⇒ the progression hits zero at most once, at
+                // k = −base/stride when that divides evenly.
+                let (b, st) = (s.base as i128, s.stride as i128);
+                let zero = if (-b).rem_euclid(st.abs()) == 0 {
+                    let k = (-b).div_euclid(st);
+                    (k >= 0 && (k as usize) < plen).then_some(k as usize)
+                } else {
+                    None
+                };
+                match zero {
+                    Some(k) => {
+                        push(runs, start, k, true);
+                        push(runs, start + k, 1, false);
+                        push(runs, start + k + 1, plen - k - 1, true);
+                    }
+                    None => push(runs, start, plen, true),
+                }
+            }
+            start += plen;
+            if runs.len() > budget {
+                return Err(MaskError::Budget);
+            }
+        }
+        Ok(())
+    }
+
+    /// The mask's runs, in lane order, alternating set/clear.
+    #[inline]
+    pub fn runs(&self) -> &[MaskRun] {
+        &self.runs
+    }
+
+    /// Whether every lane is selected.
+    pub fn all_set(&self) -> bool {
+        self.runs.iter().all(|r| r.set)
+    }
+
+    /// Whether every lane is masked out.
+    pub fn all_clear(&self) -> bool {
+        self.runs.iter().all(|r| !r.set)
+    }
 }
 
 /// The result of a closed-form ALU evaluation over a run of lanes: at
@@ -993,6 +1176,234 @@ impl ThickRegs {
 mod tests {
     use super::*;
     use tcf_isa::reg::r;
+
+    /// Expands a mask to per-lane booleans via the runs.
+    fn mask_lanes(m: &LaneMask, len: usize) -> Vec<bool> {
+        let mut out = vec![false; len];
+        let mut covered = 0;
+        for r in m.runs() {
+            out[r.start..r.start + r.len].fill(r.set);
+            covered += r.len;
+        }
+        assert_eq!(covered, len, "runs must tile the slice");
+        out
+    }
+
+    #[test]
+    fn lane_mask_matches_truthiness_per_lane() {
+        let vals: Vec<(&str, ThickValue)> = vec![
+            ("uniform-true", ThickValue::Uniform(3)),
+            ("uniform-false", ThickValue::Uniform(0)),
+            (
+                "affine-crossing",
+                ThickValue::Affine {
+                    base: -6,
+                    stride: 2,
+                },
+            ),
+            (
+                "affine-offset",
+                ThickValue::Affine {
+                    base: -5,
+                    stride: 2,
+                },
+            ),
+            (
+                "affine-neg",
+                ThickValue::Affine {
+                    base: 9,
+                    stride: -3,
+                },
+            ),
+            (
+                "segments",
+                // Lanes [1, 1, 0, 0, 0, 7, 8, 9, 0, 2].
+                ThickValue::Segments(vec![
+                    Seg {
+                        len: 2,
+                        base: 1,
+                        stride: 0,
+                    },
+                    Seg {
+                        len: 3,
+                        base: 0,
+                        stride: 0,
+                    },
+                    Seg {
+                        len: 3,
+                        base: 7,
+                        stride: 1,
+                    },
+                    Seg {
+                        len: 1,
+                        base: 0,
+                        stride: 0,
+                    },
+                    Seg {
+                        len: 1,
+                        base: 2,
+                        stride: 0,
+                    },
+                ]),
+            ),
+        ];
+        for (name, v) in &vals {
+            for (lo, len) in [(0usize, 10usize), (0, 1), (3, 5), (9, 1), (0, 0)] {
+                let mut m = LaneMask::default();
+                m.rebuild(v, lo, len, usize::MAX)
+                    .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+                let got = mask_lanes(&m, len);
+                let want: Vec<bool> = (lo..lo + len).map(|k| v.get(k) != 0).collect();
+                assert_eq!(got, want, "{name} lo={lo} len={len}");
+                // Alternation: adjacent runs never share truthiness.
+                for w in m.runs().windows(2) {
+                    assert_ne!(w[0].set, w[1].set, "{name}: runs must alternate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_mask_rejects_lanes_and_budget() {
+        let mut m = LaneMask::default();
+        assert_eq!(
+            m.rebuild(&ThickValue::PerThread(vec![1, 0, 1]), 0, 3, usize::MAX),
+            Err(MaskError::Lanes)
+        );
+        // 0,1,0,1,... segments — every lane its own run, blows a budget of 3.
+        let v = ThickValue::Segments(
+            (0..8)
+                .flat_map(|_| {
+                    [
+                        Seg {
+                            len: 1,
+                            base: 0,
+                            stride: 0,
+                        },
+                        Seg {
+                            len: 1,
+                            base: 1,
+                            stride: 0,
+                        },
+                    ]
+                })
+                .collect(),
+        );
+        assert_eq!(m.rebuild(&v, 0, 16, 3), Err(MaskError::Budget));
+        assert!(m.rebuild(&v, 0, 16, 16).is_ok());
+    }
+
+    #[test]
+    fn piece_runs_and_run_count_cover_representations() {
+        let mut buf = Vec::new();
+        assert!(ThickValue::Uniform(5).piece_runs(2, 4, &mut buf));
+        assert_eq!(
+            buf,
+            vec![Seg {
+                len: 4,
+                base: 5,
+                stride: 0
+            }]
+        );
+        buf.clear();
+        assert!(ThickValue::Affine {
+            base: 10,
+            stride: 3
+        }
+        .piece_runs(1, 3, &mut buf));
+        assert_eq!(
+            buf,
+            vec![Seg {
+                len: 3,
+                base: 13,
+                stride: 3
+            }]
+        );
+        buf.clear();
+        let segs = ThickValue::Segments(vec![
+            Seg {
+                len: 3,
+                base: 7,
+                stride: 0,
+            },
+            Seg {
+                len: 3,
+                base: 1,
+                stride: 1,
+            },
+        ]);
+        assert!(segs.piece_runs(0, 6, &mut buf));
+        let total: usize = buf.iter().map(|s| s.len as usize).sum();
+        assert_eq!(total, 6);
+        buf.clear();
+        assert!(!ThickValue::PerThread(vec![1, 2]).piece_runs(0, 2, &mut buf));
+        assert_eq!(ThickValue::Uniform(0).run_count(), 1);
+        assert_eq!(ThickValue::Affine { base: 0, stride: 1 }.run_count(), 1);
+        assert!(segs.run_count() >= 2);
+        assert_eq!(ThickValue::PerThread(vec![1]).run_count(), 0);
+    }
+
+    #[test]
+    fn merge_segs_coalesces_single_lane_rejoins() {
+        // Repeated branch-rejoin writebacks produce adjacent single-lane
+        // segments that together form a progression; canonicalization must
+        // fold them so run-count doesn't grow monotonically.
+        let v = ThickValue::from_segs(
+            vec![
+                Seg {
+                    len: 1,
+                    base: 10,
+                    stride: 0,
+                },
+                Seg {
+                    len: 1,
+                    base: 12,
+                    stride: 0,
+                },
+                Seg {
+                    len: 1,
+                    base: 14,
+                    stride: 0,
+                },
+                Seg {
+                    len: 1,
+                    base: 16,
+                    stride: 0,
+                },
+            ],
+            4,
+        );
+        assert_eq!(v.run_count(), 1);
+        assert_eq!(
+            v,
+            ThickValue::Affine {
+                base: 10,
+                stride: 2
+            }
+        );
+        // Uniform rejoin: equal single lanes collapse too.
+        let u = ThickValue::from_segs(
+            vec![
+                Seg {
+                    len: 1,
+                    base: 5,
+                    stride: 0,
+                },
+                Seg {
+                    len: 1,
+                    base: 5,
+                    stride: 0,
+                },
+                Seg {
+                    len: 2,
+                    base: 5,
+                    stride: 0,
+                },
+            ],
+            4,
+        );
+        assert_eq!(u, ThickValue::Uniform(5));
+    }
 
     #[test]
     fn uniform_reads_everywhere() {

@@ -28,7 +28,7 @@
 use proptest::prelude::*;
 
 use tcf_core::lanes;
-use tcf_core::{affine_alu, Allocation, Seg, TcfMachine, ThickRegs, ThickValue, Variant};
+use tcf_core::{affine_alu, Allocation, Engine, Seg, TcfMachine, ThickRegs, ThickValue, Variant};
 use tcf_isa::instr::{Instr, MemSpace, MultiKind, Operand};
 use tcf_isa::op::AluOp;
 use tcf_isa::program::Program;
@@ -521,5 +521,181 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Masked execution against the materialized-lane reference
+// ---------------------------------------------------------------------------
+
+/// A divergence kernel that drives every stage of the lane-mask pipeline
+/// at thickness `t`: an affine lane id (`Mfs Tid`) splits at `cut` into a
+/// run-length mask (`Slt` — a piecewise comparison over compressed
+/// operands), a masked `Sel` rejoins the branches into a `Segments`
+/// value, a further ALU op folds piecewise over the rejoin, a masked
+/// store (`StMasked`) writes only the true-branch lanes by splitting the
+/// address progression at mask-run boundaries, and a plain store of the
+/// segmented value exercises the piecewise strided writeback.
+fn masked_program(op: AluOp, t: usize, cut: Word, sel_imm: Word) -> Program {
+    let instrs = vec![
+        Instr::SetThick {
+            src: Operand::Imm(t as Word),
+        },
+        Instr::Mfs {
+            rd: r(1),
+            sr: SpecialReg::Tid,
+        },
+        Instr::Alu {
+            op: AluOp::Slt,
+            rd: r(2),
+            ra: r(1),
+            rb: Operand::Imm(cut),
+        },
+        Instr::Sel {
+            rd: r(3),
+            cond: r(2),
+            rt: r(1),
+            rf: Operand::Imm(sel_imm),
+        },
+        Instr::Alu {
+            op,
+            rd: r(4),
+            ra: r(3),
+            rb: Operand::Imm(3),
+        },
+        Instr::StMasked {
+            cond: r(2),
+            rs: r(4),
+            base: r(1),
+            off: 64,
+            space: MemSpace::Shared,
+        },
+        Instr::St {
+            rs: r(4),
+            base: r(1),
+            off: 512,
+            space: MemSpace::Shared,
+        },
+        Instr::Halt,
+    ];
+    Program::new(instrs, Default::default(), vec![]).unwrap()
+}
+
+/// [`check_step`] with an explicit engine on both machines, so the masked
+/// compressed path is compared against the per-lane reference under both
+/// the sequential and the deterministic parallel engine regardless of the
+/// ambient `TCF_ENGINE`.
+fn check_step_with(program: &Program, k: u64, engine: Engine) -> Result<(), String> {
+    let mut fast = machine(program.clone());
+    fast.set_engine(engine);
+    step_n(&mut fast, k);
+    let mut general = machine(program.clone());
+    general.set_engine(engine);
+    step_n(&mut general, k);
+    general.materialize_all_registers();
+    let a = fast.step().expect("masked step faulted");
+    let b = general.step().expect("materialized step faulted");
+    if a != b {
+        return Err(format!("halt status diverged at step {k}: {a} vs {b}"));
+    }
+    let ma = fast.peek_range(0, MEM_WINDOW).unwrap();
+    let mb = general.peek_range(0, MEM_WINDOW).unwrap();
+    for (addr, (x, y)) in ma.iter().zip(&mb).enumerate() {
+        if x != y {
+            return Err(format!(
+                "step {k} diverged at mem[{addr}]: masked={x} materialized={y}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Masked/piecewise compressed execution never changes a step's
+    /// memory effects: for EVERY ALU op the divergence kernel's steps —
+    /// mask classification, masked `Sel`, piecewise ALU over the rejoined
+    /// `Segments`, masked and piecewise strided stores — match the same
+    /// steps with every register force-materialized into lanes, under
+    /// both engines. `cut` sweeps past both ends of the lane range so the
+    /// all-set and all-clear mask edges are covered alongside genuine
+    /// divergence, including cuts that do not align with slice
+    /// boundaries.
+    #[test]
+    fn masked_execution_matches_materialized_lanes(
+        t in 2usize..48,
+        cut in -2i64..50,
+        sel_imm in arb_lane_word(),
+    ) {
+        for &op in AluOp::ALL.iter() {
+            let program = masked_program(op, t, cut, sel_imm);
+            let mut probe = machine(program.clone());
+            let mut steps = 0u64;
+            while probe.step().expect("program halts") {
+                steps += 1;
+                prop_assert!(steps < MAX_STEPS, "program did not halt");
+            }
+            for k in 0..=steps {
+                for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+                    if let Err(e) = check_step_with(&program, k, engine) {
+                        return Err(TestCaseError::fail(format!(
+                            "{op:?} under {engine:?}: {e}\nprogram:\n{program}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Masked writebacks that tile a register with complementary mask runs
+/// must re-coalesce: once the runs rejoin into one arithmetic
+/// progression, the stored representation is a single run again, not a
+/// run list that grows with every divergent step. This is the value-level
+/// guarantee behind the O(#runs) claim — without re-coalescing, run count
+/// (and with it per-step cost) would grow linearly in steps executed.
+#[test]
+fn rejoin_writebacks_recoalesce_runs() {
+    let t = 64usize;
+    let reg = r(1);
+
+    // Block-granular rejoin: even 4-lane runs first, then the odd ones,
+    // all writing windows of the same progression `2·lane`.
+    let mut regs = ThickRegs::new(8);
+    regs.write_value(reg, ThickValue::Uniform(0));
+    for round in 0..10 {
+        for start in (0..t).step_by(8) {
+            regs.write_affine(reg, start, 4, (2 * start) as Word + round, 2, t);
+        }
+        for start in (4..t).step_by(8) {
+            regs.write_affine(reg, start, 4, (2 * start) as Word + round, 2, t);
+        }
+        assert_eq!(
+            regs.value(reg).run_count(),
+            1,
+            "block rejoin failed to re-coalesce in round {round}: {:?}",
+            regs.value(reg)
+        );
+    }
+
+    // Single-lane rejoin: every even lane, then every odd lane, each a
+    // one-lane write of `3·lane + round` — the adjacent single-run merge
+    // must recover the stride-3 progression.
+    let mut regs = ThickRegs::new(8);
+    regs.write_value(reg, ThickValue::Uniform(0));
+    for round in 0..4 {
+        for k in (0..t).step_by(2) {
+            regs.write_affine(reg, k, 1, (3 * k) as Word + round, 0, t);
+        }
+        for k in (1..t).step_by(2) {
+            regs.write_affine(reg, k, 1, (3 * k) as Word + round, 0, t);
+        }
+        assert_eq!(
+            regs.value(reg).run_count(),
+            1,
+            "single-lane rejoin grew the run list in round {round}: {:?}",
+            regs.value(reg)
+        );
     }
 }

@@ -108,9 +108,10 @@ impl IssueUnit {
 /// Encoding the span instead of materializing one `IssueUnit` per lane
 /// lets the pipeline advance its issue cadence in closed form, turning
 /// the per-step timing cost of a `T`-thick compute instruction from
-/// `O(T)` into `O(1)`. Network-bound spans (`SharedRun`) still walk the
-/// router once per message — link and module occupancy is genuinely
-/// per-message state — but skip the per-unit dispatch.
+/// `O(T)` into `O(1)`. Network-bound spans (`SharedRun`) targeting one
+/// module walk the router for message 0 and replay the rest in closed
+/// form; spans rotating across modules still walk the router per
+/// message, but skip the per-unit dispatch.
 ///
 /// Every span expands to exactly the unit sequence the uncompressed path
 /// would have produced; `run_step_seq` falls back to per-unit expansion
@@ -295,9 +296,11 @@ impl GroupPipeline {
     /// Produces the exact timing, statistics, network occupancy, and (when
     /// tracing) event stream of `run_step` on the expanded sequence.
     /// Compute and local-memory runs advance the issue cadence in closed
-    /// form when nothing observes the individual units; shared-memory runs
-    /// walk the router per message (occupancy is per-message state) but
-    /// skip the per-unit dispatch.
+    /// form when nothing observes the individual units. Same-module
+    /// shared-memory runs walk the router for message 0 only and replay
+    /// the remaining messages in closed form
+    /// ([`Network::replay_roundtrip_tail`]); runs that rotate across
+    /// modules still walk the router per message.
     pub fn run_step_seq(
         &self,
         start: u64,
@@ -371,22 +374,39 @@ impl GroupPipeline {
                     ) {
                         // Every lane targets the same module (the
                         // bulk-multioperation shape): both routes repeat
-                        // per message, so walk precomputed link ids
-                        // instead of re-deriving the path hop by hop.
-                        // `send_on` reserves links and records statistics
-                        // exactly as `send` would.
-                        for _ in 0..count {
-                            if st.issued_this_cycle >= width {
-                                st.t += 1;
-                                st.issued_this_cycle = 0;
-                            }
-                            st.issued_this_cycle += 1;
-                            let arrive = net.send_on(&fwd, st.t);
-                            let served = net.service(node0, arrive, self.module_latency);
-                            let back = net.send_on(&rev, served);
-                            stats.mem_roundtrip.record(back - st.t);
-                            st.last_reply = st.last_reply.max(back);
+                        // per message. Message 0 walks the router exactly;
+                        // every later message trails it by exactly one
+                        // cycle (each directed link and the module are
+                        // rate-1 FIFO servers fed at most one message per
+                        // cycle by the issue cadence), so the tail
+                        // collapses to closed-form occupancy shifts and
+                        // cadence-ramp statistics — O(log T) per run
+                        // instead of O(T).
+                        if st.issued_this_cycle >= width {
+                            st.t += 1;
+                            st.issued_this_cycle = 0;
                         }
+                        st.issued_this_cycle += 1;
+                        let s0 = st.t;
+                        let arrive = net.send_on(&fwd, s0);
+                        let served = net.service(node0, arrive, self.module_latency);
+                        let back = net.send_on(&rev, served);
+                        stats.mem_roundtrip.record(back - s0);
+                        let tail = (count - 1) as u64;
+                        if tail > 0 {
+                            let c = (st.issued_this_cycle - 1) as u64;
+                            let w = width as u64;
+                            net.replay_roundtrip_tail(
+                                &fwd, &rev, node0, tail, s0, arrive, served, back, c, w,
+                            );
+                            // Round trips of the tail: back_k − s_k with
+                            // back_k = back + k and s_k on the cadence.
+                            stats
+                                .mem_roundtrip
+                                .record_ramp(back - s0, c, w, 1, tail + 1);
+                            st.advance_issue(count - 1, width);
+                        }
+                        st.last_reply = st.last_reply.max(back + tail);
                         stats.count_units(UnitKind::MemShared, count as u64);
                     } else {
                         let mut node = node0;
@@ -490,16 +510,18 @@ impl GroupPipeline {
             end = start + 1;
         }
         let drain = end - st.t.min(end);
-        for c in st.t..end {
-            trace.push(TraceEvent {
-                cycle: c,
-                group: self.group,
-                flow: None,
-                thread: None,
-                kind: UnitKind::Bubble,
-            });
-            stats.count_unit(UnitKind::Bubble);
+        if trace.is_enabled() {
+            for c in st.t..end {
+                trace.push(TraceEvent {
+                    cycle: c,
+                    group: self.group,
+                    flow: None,
+                    thread: None,
+                    kind: UnitKind::Bubble,
+                });
+            }
         }
+        stats.count_units(UnitKind::Bubble, drain);
         // `stats.steps` is owned by the machine driving the pipeline: a
         // machine step may span several `run_step` calls (one per group,
         // plus a serialized NUMA sub-step), so per-call counting here
@@ -805,6 +827,42 @@ mod tests {
                     thread0: 0,
                     count: 1,
                 },
+            ],
+            // Mid-cycle start into a large same-module run, then a second
+            // run to the same module against warmed link/module occupancy
+            // — the closed-form tail replay must match per message.
+            vec![
+                UnitSeq::One(IssueUnit::compute(7, 0)),
+                UnitSeq::One(IssueUnit::compute(7, 1)),
+                UnitSeq::SharedRun {
+                    flow: 7,
+                    thread0: 0,
+                    count: 100,
+                    node0: 3,
+                    node_step: 0,
+                    nodes: 4,
+                },
+                UnitSeq::SharedRun {
+                    flow: 7,
+                    thread0: 100,
+                    count: 23,
+                    node0: 3,
+                    node_step: 0,
+                    nodes: 4,
+                },
+            ],
+            // Same-module run to the group's own node: both routes are
+            // zero-hop, only the module serializes.
+            vec![
+                UnitSeq::SharedRun {
+                    flow: 8,
+                    thread0: 0,
+                    count: 41,
+                    node0: 0,
+                    node_step: 0,
+                    nodes: 4,
+                },
+                UnitSeq::One(IssueUnit::shared_mem(8, 41, 0)),
             ],
         ];
         for seqs in &cases {

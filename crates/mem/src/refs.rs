@@ -171,6 +171,32 @@ impl MemRef {
     pub fn new(origin: RefOrigin, op: MemOp) -> MemRef {
         MemRef { origin, op }
     }
+
+    /// The chain key of a zero-astride bulk multioperation: references
+    /// with equal keys combine into the same word under the same operator
+    /// and reply kind, so a *rank-ordered* sequence of them — the shape a
+    /// masked thick multioperation splits into at mask-run boundaries —
+    /// resolves in closed form one reference at a time, each reading its
+    /// predecessor's result, exactly like the rank-ordered per-lane
+    /// expansion. Returns the key plus the reference's half-open global
+    /// rank window `[rank, rank + count)`.
+    pub fn multi_chain_key(&self) -> Option<((Addr, MultiKind, bool), usize, usize)> {
+        match self.op {
+            MemOp::BulkMulti {
+                kind,
+                prefix,
+                base,
+                astride: 0,
+                count,
+                ..
+            } => Some((
+                (base, kind, prefix),
+                self.origin.rank,
+                self.origin.rank + count as usize,
+            )),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -745,6 +745,10 @@ impl SharedMemory {
         // first, so faults are reported before any mutation and agree
         // with the expansion.
         let mut stats = StepStats::new(self.modules);
+        // Zero-astride multioperation targets, grouped after the scan:
+        // a rank-ordered chain of same-word references must count its hot
+        // address once with `total - 1` combines, matching the expansion.
+        let mut hot: Vec<(Addr, usize)> = Vec::new();
         for r in refs {
             match r.op {
                 MemOp::StridedRead {
@@ -781,11 +785,8 @@ impl SharedMemory {
                     }
                     stats.refs += count as usize;
                     self.count_strided_modules(base, astride, count, &mut stats);
-                    if astride == 0 && count >= 2 {
-                        // The expansion would resolve `count` contributions
-                        // at one address through the combine arena.
-                        stats.hot_addrs += 1;
-                        stats.combined += count as usize - 1;
+                    if astride == 0 && count >= 1 {
+                        hot.push((base, count as usize));
                     }
                 }
                 op => {
@@ -799,6 +800,23 @@ impl SharedMemory {
                     stats.refs += 1;
                     stats.per_module[self.module_of(addr)] += 1;
                 }
+            }
+        }
+        // The expansion resolves all contributions to one word through the
+        // combine arena, whether they arrive as one `BulkMulti` or as a
+        // rank-ordered chain of them.
+        hot.sort_unstable();
+        let mut k = 0usize;
+        while k < hot.len() {
+            let base = hot[k].0;
+            let mut total = 0usize;
+            while k < hot.len() && hot[k].0 == base {
+                total += hot[k].1;
+                k += 1;
+            }
+            if total >= 2 {
+                stats.hot_addrs += 1;
+                stats.combined += total - 1;
             }
         }
 
@@ -1229,33 +1247,53 @@ impl SharedMemory {
                 op => Some((op.addr() as i128, op.addr() as i128, 1)),
             }
         }
-        let mut spans: [Option<(i128, i128, i128)>; 8] = [None; 8];
+        type Chain = ((Addr, tcf_isa::instr::MultiKind, bool), usize, usize);
+        type Span = ((i128, i128, i128), Option<Chain>);
+        // A masked thick multioperation splits into up to one chained
+        // same-word reference per mask run, so the cheap pairwise check
+        // must hold a full run-budget chain plus the step's other bulk
+        // refs before giving up and expanding.
+        let mut spans: [Option<Span>; 48] = [None; 48];
         let mut n = 0usize;
         for r in refs {
             let Some(s) = norm(&r.op) else { continue };
             if s.2 < 0 {
                 return true; // zero-stride bulk self-overlaps
             }
-            for &prev in spans.iter().take(n).flatten() {
+            let chain = r.multi_chain_key();
+            for &(prev, pchain) in spans.iter().take(n).flatten() {
                 let (lo1, hi1, s1) = prev;
                 let (lo2, hi2, s2) = s;
                 if hi1 < lo2 || hi2 < lo1 {
                     continue; // disjoint intervals
                 }
-                if s1 == s2 {
+                let collide = if s1 == s2 {
                     // Same stride: progressions collide iff their bases
                     // agree modulo the stride (given the intervals meet).
-                    if (lo1 - lo2).rem_euclid(s1) == 0 {
-                        return true;
-                    }
+                    (lo1 - lo2).rem_euclid(s1) == 0
                 } else {
-                    return true; // different strides, intervals meet: assume the worst
+                    true // different strides, intervals meet: assume the worst
+                };
+                if collide {
+                    // Exception: a rank-ordered chain of same-word bulk
+                    // multioperations (equal address/operator/reply kind,
+                    // later reference's rank window strictly after the
+                    // earlier's) combines associatively in reference
+                    // order — exactly the rank-ordered expansion — so the
+                    // disjoint fast path resolves it sequentially. This
+                    // is what a masked thick multioperation splits into.
+                    if let (Some((pk, _, pend)), Some((ck, clo, _))) = (pchain, chain) {
+                        if pk == ck && clo >= pend {
+                            continue;
+                        }
+                    }
+                    return true;
                 }
             }
             if n == spans.len() {
                 return true; // too many spans to check cheaply: expand
             }
-            spans[n] = Some(s);
+            spans[n] = Some((s, chain));
             n += 1;
         }
         false

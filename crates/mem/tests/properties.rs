@@ -560,3 +560,205 @@ proptest! {
         }
     }
 }
+
+/// Splits `total` lanes into the run lengths a lane mask would produce
+/// from the given cut points (deduplicated, sorted, clamped).
+fn runs_from_cuts(total: usize, cuts: &[usize]) -> Vec<(usize, usize)> {
+    let mut points: Vec<usize> = cuts.iter().map(|&c| c % (total + 1)).collect();
+    points.push(0);
+    points.push(total);
+    points.sort_unstable();
+    points.dedup();
+    points
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| (w[0], w[1] - w[0]))
+        .collect()
+}
+
+proptest! {
+    /// A masked thick multioperation splits into a *rank-ordered chain* of
+    /// same-word `BulkMulti` references at mask-run boundaries. The chain
+    /// must stay bit-equivalent to the per-lane expansion — replies,
+    /// per-step stats, final memory — for every kind, reply mode and CRCW
+    /// policy, and must resolve on the closed-form fast path (the whole
+    /// point of splitting at run boundaries instead of materializing).
+    #[test]
+    fn masked_multiop_chain_matches_expansion(
+        kind in arb_kind(),
+        prefix in any::<bool>(),
+        base in 0usize..SIZE,
+        total in 1usize..40,
+        cuts in prop::collection::vec(0usize..40, 0..6),
+        vbase in any::<i32>(),
+        vstride in -4i32..5,
+        policy_idx in 0usize..POLICIES.len(),
+    ) {
+        let policy = POLICIES[policy_idx];
+        let runs = runs_from_cuts(total, &cuts);
+        let lane_val =
+            |k: usize| (vbase as Word).wrapping_add((k as Word).wrapping_mul(vstride as Word));
+        let chain: Vec<MemRef> = runs
+            .iter()
+            .map(|&(start, len)| {
+                MemRef::new(
+                    RefOrigin::new(0, start),
+                    MemOp::BulkMulti {
+                        kind,
+                        prefix,
+                        base,
+                        astride: 0,
+                        count: len as u32,
+                        vbase: lane_val(start),
+                        vstride: vstride as Word,
+                    },
+                )
+            })
+            .collect();
+        let flat: Vec<MemRef> = (0..total)
+            .map(|k| {
+                MemRef::new(
+                    RefOrigin::new(0, k),
+                    if prefix {
+                        MemOp::Prefix(kind, base, lane_val(k))
+                    } else {
+                        MemOp::Multi(kind, base, lane_val(k))
+                    },
+                )
+            })
+            .collect();
+        let mut a = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, policy);
+        let mut b = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, policy);
+        for addr in 0..SIZE {
+            a.poke(addr, (addr as Word).wrapping_mul(3) + 2).unwrap();
+            b.poke(addr, (addr as Word).wrapping_mul(3) + 2).unwrap();
+        }
+        let (_, bulk, s1) = a.step_bulk(&chain).unwrap();
+        let (flat_replies, s2) = b.step(&flat).unwrap();
+        prop_assert_eq!(s1, s2, "per-step stats diverged");
+        prop_assert_eq!(
+            a.bulk_stats().expanded, 0,
+            "rank-ordered chain fell off the closed-form path"
+        );
+        prop_assert_eq!(a.bulk_stats().fast, chain.len() as u64);
+        if prefix {
+            for (i, &(start, len)) in runs.iter().enumerate() {
+                for k in 0..len {
+                    prop_assert_eq!(bulk.lane(i, k), flat_replies[start + k]);
+                }
+            }
+        }
+        for addr in 0..SIZE {
+            prop_assert_eq!(a.peek(addr).unwrap(), b.peek(addr).unwrap());
+        }
+    }
+
+    /// A masked strided reference (one address progression split at
+    /// mask-run boundaries into sub-progressions) is bit-equivalent to the
+    /// unsplit reference and to the per-lane expansion.
+    #[test]
+    fn masked_strided_split_matches_unsplit(
+        base in 0usize..32,
+        stride in 1i64..4,
+        total in 1usize..32,
+        cuts in prop::collection::vec(0usize..32, 0..5),
+        vbase in any::<i32>(),
+        vstride in -4i32..5,
+    ) {
+        // base < 32, stride < 4, total <= 31 keeps every lane address
+        // under 32 + 31*3 < SIZE — in bounds by construction.
+        let runs = runs_from_cuts(total, &cuts);
+        let lane_addr = |k: usize| (base as i64 + k as i64 * stride) as usize;
+        let lane_val =
+            |k: usize| (vbase as Word).wrapping_add((k as Word).wrapping_mul(vstride as Word));
+        let split: Vec<MemRef> = runs
+            .iter()
+            .map(|&(start, len)| {
+                MemRef::new(
+                    RefOrigin::new(0, start),
+                    MemOp::StridedWrite {
+                        base: lane_addr(start),
+                        stride,
+                        count: len as u32,
+                        vbase: lane_val(start),
+                        vstride: vstride as Word,
+                    },
+                )
+            })
+            .collect();
+        let whole = vec![MemRef::new(
+            RefOrigin::new(0, 0),
+            MemOp::StridedWrite {
+                base,
+                stride,
+                count: total as u32,
+                vbase: vbase as Word,
+                vstride: vstride as Word,
+            },
+        )];
+        let mut a = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+        let mut b = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+        a.step_bulk(&split).unwrap();
+        b.step_bulk(&whole).unwrap();
+        prop_assert_eq!(a.bulk_stats().expanded, 0, "disjoint sub-progressions expanded");
+        for addr in 0..SIZE {
+            prop_assert_eq!(a.peek(addr).unwrap(), b.peek(addr).unwrap());
+        }
+    }
+}
+
+/// A chain whose references arrive rank-*misordered* must not take the
+/// closed-form path (sequential resolution would combine in the wrong
+/// order for non-commutative observers — prefix replies), and must still
+/// match the per-lane expansion bit-for-bit through the fallback.
+#[test]
+fn misordered_multiop_chain_expands_and_matches() {
+    let chain = vec![
+        MemRef::new(
+            RefOrigin::new(0, 4),
+            MemOp::BulkMulti {
+                kind: MultiKind::Add,
+                prefix: true,
+                base: 9,
+                astride: 0,
+                count: 3,
+                vbase: 100,
+                vstride: 1,
+            },
+        ),
+        MemRef::new(
+            RefOrigin::new(0, 0),
+            MemOp::BulkMulti {
+                kind: MultiKind::Add,
+                prefix: true,
+                base: 9,
+                astride: 0,
+                count: 4,
+                vbase: 5,
+                vstride: 2,
+            },
+        ),
+    ];
+    let flat = vec![
+        MemRef::new(RefOrigin::new(0, 4), MemOp::Prefix(MultiKind::Add, 9, 100)),
+        MemRef::new(RefOrigin::new(0, 5), MemOp::Prefix(MultiKind::Add, 9, 101)),
+        MemRef::new(RefOrigin::new(0, 6), MemOp::Prefix(MultiKind::Add, 9, 102)),
+        MemRef::new(RefOrigin::new(0, 0), MemOp::Prefix(MultiKind::Add, 9, 5)),
+        MemRef::new(RefOrigin::new(0, 1), MemOp::Prefix(MultiKind::Add, 9, 7)),
+        MemRef::new(RefOrigin::new(0, 2), MemOp::Prefix(MultiKind::Add, 9, 9)),
+        MemRef::new(RefOrigin::new(0, 3), MemOp::Prefix(MultiKind::Add, 9, 11)),
+    ];
+    let mut a = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+    let mut b = SharedMemory::new(SIZE, 4, ModuleMap::Interleaved, CrcwPolicy::Arbitrary);
+    a.poke(9, 1000).unwrap();
+    b.poke(9, 1000).unwrap();
+    let (_, bulk, s1) = a.step_bulk(&chain).unwrap();
+    let (flat_replies, s2) = b.step(&flat).unwrap();
+    assert_eq!(s1, s2);
+    assert_eq!(a.bulk_stats().expanded, 2, "misordered chain must expand");
+    for (k, &reply) in flat_replies.iter().enumerate() {
+        let (chain_idx, lane) = if k < 3 { (0, k) } else { (1, k - 3) };
+        assert_eq!(bulk.lane(chain_idx, lane), reply);
+    }
+    assert_eq!(a.peek(9).unwrap(), b.peek(9).unwrap());
+}

@@ -205,6 +205,74 @@ impl Network {
         t
     }
 
+    /// Replays messages `1..=tail` of a same-route round-trip run in
+    /// closed form, after the caller has walked message 0 exactly
+    /// (fwd [`send_on`](Network::send_on) → [`service`](Network::service)
+    /// → rev [`send_on`](Network::send_on)).
+    ///
+    /// Every directed link and the module are rate-1 FIFO servers, and
+    /// the issue cadence `s_k = s0 + ⌊(c + k)/width⌋` never advances
+    /// faster than one message per cycle, so message `k`'s whole
+    /// trajectory is message 0's shifted by exactly `k` cycles: each
+    /// touched resource's next-free slot moves by `tail`, deliveries are
+    /// `back0 + k`, and the per-message queueing delays are cadence
+    /// ramps (forward leg) or constant (return leg — the module emits
+    /// exactly one reply per cycle). Field for field identical to
+    /// issuing the `tail` messages one by one, at O(log tail) cost.
+    ///
+    /// `(arrive0, served0, back0)` is message 0's trajectory as returned
+    /// by the three calls above; `s0` is its issue cycle and `c < width`
+    /// the number of messages the caller had already issued in cycle
+    /// `s0` before it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_roundtrip_tail(
+        &mut self,
+        fwd: &Route,
+        rev: &Route,
+        node: usize,
+        tail: u64,
+        s0: u64,
+        arrive0: u64,
+        served0: u64,
+        back0: u64,
+        c: u64,
+        width: u64,
+    ) {
+        if tail == 0 {
+            return;
+        }
+        // Occupancy: every server's next-free slot advances one cycle per
+        // trailing message.
+        for &link in fwd.links[..fwd.hops].iter().chain(&rev.links[..rev.hops]) {
+            self.link_free[link as usize] += tail;
+        }
+        self.service_free[node] += tail;
+        // Statistics, exactly as per-message `send_on` calls would have
+        // accumulated them (the histogram is order-independent, so the
+        // interleaving of forward and return samples does not matter).
+        self.stats.messages += 2 * tail as usize;
+        self.stats.route_sends += 2 * tail as usize;
+        if fwd.hops == 0 {
+            self.stats.local_deliveries += tail as usize;
+        } else {
+            self.stats.hops += fwd.hops * tail as usize;
+            // queued_k = arrive_k − (s_k + base) ramps with the cadence.
+            let q0 = arrive0 - (s0 + fwd.base);
+            let (sum, last) = self.stats.queue.record_ramp(q0, c, width, 1, tail + 1);
+            self.stats.queue_cycles += sum;
+            self.stats.max_queue_cycles = self.stats.max_queue_cycles.max(last);
+        }
+        if rev.hops == 0 {
+            self.stats.local_deliveries += tail as usize;
+        } else {
+            self.stats.hops += rev.hops * tail as usize;
+            let q0 = back0 - (served0 + rev.base);
+            let (sum, last) = self.stats.queue.record_ramp(q0, 0, 1, 1, tail + 1);
+            self.stats.queue_cycles += sum;
+            self.stats.max_queue_cycles = self.stats.max_queue_cycles.max(last);
+        }
+    }
+
     /// Traffic statistics since construction or the last [`reset`].
     ///
     /// [`reset`]: Network::reset
@@ -460,6 +528,92 @@ mod tests {
                             by_pair.link_busy_until(from, to),
                             by_route.link_busy_until(from, to)
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_roundtrip_tail_matches_per_message_loop() {
+        let topologies = [
+            Topology::Ring { nodes: 8 },
+            Topology::Mesh2D {
+                width: 4,
+                height: 4,
+            },
+            Topology::Crossbar { nodes: 8 },
+        ];
+        for topology in topologies {
+            // (group, node) pairs: remote, fully local, and reversed-remote.
+            for &(group, node) in &[(0usize, 5usize), (3, 3), (2, 0)] {
+                for &width in &[1usize, 4] {
+                    for initial_issued in [0, width - 1] {
+                        for &count in &[1u64, 2, 7, 64] {
+                            for &warm in &[false, true] {
+                                let mut looped = Network::new(topology, 2);
+                                let mut bulk = Network::new(topology, 2);
+                                if warm {
+                                    // Pre-load links and the module so the
+                                    // run starts against congestion.
+                                    for i in 0..6 {
+                                        looped.send(i % 8, node, 0);
+                                        bulk.send(i % 8, node, 0);
+                                        looped.service(node, 0, 3);
+                                        bulk.service(node, 0, 3);
+                                    }
+                                }
+                                let fwd = looped.route_to(group, node).unwrap();
+                                let rev = looped.route_to(node, group).unwrap();
+                                // Per-message reference, pipeline cadence.
+                                let (mut t, mut issued) = (10u64, initial_issued);
+                                let mut last_back = 0u64;
+                                for _ in 0..count {
+                                    if issued >= width {
+                                        t += 1;
+                                        issued = 0;
+                                    }
+                                    issued += 1;
+                                    let arrive = looped.send_on(&fwd, t);
+                                    let served = looped.service(node, arrive, 3);
+                                    last_back = looped.send_on(&rev, served);
+                                }
+                                // Closed form: message 0 exact, tail bulk.
+                                let (mut t, mut issued) = (10u64, initial_issued);
+                                if issued >= width {
+                                    t += 1;
+                                    issued = 0;
+                                }
+                                issued += 1;
+                                let s0 = t;
+                                let arrive0 = bulk.send_on(&fwd, s0);
+                                let served0 = bulk.service(node, arrive0, 3);
+                                let back0 = bulk.send_on(&rev, served0);
+                                bulk.replay_roundtrip_tail(
+                                    &fwd,
+                                    &rev,
+                                    node,
+                                    count - 1,
+                                    s0,
+                                    arrive0,
+                                    served0,
+                                    back0,
+                                    (issued - 1) as u64,
+                                    width as u64,
+                                );
+                                let ctx = format!(
+                                    "{topology:?} {group}->{node} width {width} \
+                                     phase {initial_issued} count {count} warm {warm}"
+                                );
+                                assert_eq!(back0 + (count - 1), last_back, "{ctx}: delivery");
+                                assert_eq!(looped.stats(), bulk.stats(), "{ctx}: stats");
+                                assert_eq!(looped.link_free, bulk.link_free, "{ctx}: links");
+                                assert_eq!(
+                                    looped.service_free, bulk.service_free,
+                                    "{ctx}: modules"
+                                );
+                            }
+                        }
                     }
                 }
             }

@@ -128,6 +128,72 @@ impl LatencyHistogram {
         self.percentile(0.95)
     }
 
+    /// Records the non-decreasing run `v_k = base + k − ⌊(c + k)/width⌋`
+    /// for `k` in `[k_from, k_to)` — the closed-form shape of per-message
+    /// latencies through a rate-1 pipeline fed `width` messages per cycle,
+    /// where `c < width` is the in-cycle phase of message 0. (`width == 1`
+    /// gives the constant run `v_k = base`.) Exactly equivalent to
+    /// `record`-ing every `v_k` individually, at a cost of one binary
+    /// search per touched log2 bucket instead of one update per sample.
+    ///
+    /// Returns `(sum, last)`: the total of the recorded values and the
+    /// final (largest) one, for callers that mirror the histogram into
+    /// side counters.
+    pub fn record_ramp(
+        &mut self,
+        base: u64,
+        c: u64,
+        width: u64,
+        k_from: u64,
+        k_to: u64,
+    ) -> (u64, u64) {
+        assert!(width >= 1 && c < width, "cadence phase must be below width");
+        if k_from >= k_to {
+            return (0, 0);
+        }
+        // `k ≥ ⌊(c + k)/width⌋` for every `c < width`, so `v` never
+        // underflows and is non-decreasing (increments of 0 or 1).
+        let v = |k: u64| base + (k - (c + k) / width);
+        let n = k_to - k_from;
+        self.count += n;
+        // Σ v_k = n·base + Σ k − Σ ⌊(c+k)/width⌋ over the k range; the
+        // divisor sum telescopes through F(M) = Σ_{m<M} ⌊m/width⌋.
+        let f = |m: u64| -> u128 {
+            let q = (m / width) as u128;
+            let r = (m % width) as u128;
+            (width as u128) * q * q.saturating_sub(1) / 2 + r * q
+        };
+        let sum_k = (k_from as u128 + k_to as u128 - 1) * n as u128 / 2;
+        let total = n as u128 * base as u128 + sum_k - (f(c + k_to) - f(c + k_from));
+        debug_assert!(total <= u64::MAX as u128);
+        let total = total as u64;
+        self.sum = self.sum.saturating_add(total);
+        let last = v(k_to - 1);
+        if last > self.max {
+            self.max = last;
+        }
+        // `v` is non-decreasing, so the samples landing in one bucket form
+        // a k-interval; split the range at bucket upper bounds.
+        let mut k = k_from;
+        while k < k_to {
+            let b = bucket_of(v(k));
+            let hi = bucket_upper(b);
+            // First k' with v(k') > hi (v is monotone).
+            let (mut lo_s, mut hi_s) = (k + 1, k_to);
+            while lo_s < hi_s {
+                let mid = lo_s + (hi_s - lo_s) / 2;
+                if v(mid) > hi {
+                    hi_s = mid;
+                } else {
+                    lo_s = mid + 1;
+                }
+            }
+            self.buckets[b] += lo_s - k;
+            k = lo_s;
+        }
+        (total, last)
+    }
+
     /// Adds all of `other`'s samples into `self`.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -258,6 +324,38 @@ mod tests {
         h.record(6); // bucket 3 [4,7]; clamped to max 6
         assert_eq!(h.p50(), 6);
         assert_eq!(h.p95(), 6);
+    }
+
+    #[test]
+    fn record_ramp_matches_per_sample_record() {
+        // Sweep cadence shapes (width, phase), bases around bucket
+        // boundaries, and ranges that straddle several buckets; the bulk
+        // path must be bit-identical to the per-sample loop.
+        for &width in &[1u64, 2, 3, 4, 7, 16] {
+            for c in 0..width {
+                for &base in &[0u64, 1, 3, 7, 100, (1 << 20) - 2] {
+                    for &(k_from, k_to) in &[(0u64, 1u64), (0, 5), (1, 97), (3, 3), (0, 1000)] {
+                        let mut bulk = LatencyHistogram::new();
+                        bulk.record(base + 12345); // pre-existing state
+                        let mut loopy = bulk;
+                        let (sum, last) = bulk.record_ramp(base, c, width, k_from, k_to);
+                        let mut expect_sum = 0u64;
+                        let mut expect_last = 0u64;
+                        for k in k_from..k_to {
+                            let v = base + k - (c + k) / width;
+                            loopy.record(v);
+                            expect_sum += v;
+                            expect_last = v;
+                        }
+                        assert_eq!(
+                            bulk, loopy,
+                            "width {width} c {c} base {base} range {k_from}..{k_to}"
+                        );
+                        assert_eq!((sum, last), (expect_sum, expect_last));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@ run alone (docs/OBSERVABILITY.md "Measured overhead"):
 * disabled sinks (`obs_overhead_off`) must stay within 5% of the plain
   hot path (`thick_pram_flow`);
 * live streaming (`obs_overhead_stream`) must stay within 5x of disabled
-  sinks — the batched-drain + run-compressed wire budget.
+  sinks — the batched-drain + run-compressed wire budget;
+* `divergent_compressed_100x` must hold at least half the steps/sec of
+  `divergent_compressed` — per-step cost of a divergent-but-compressed
+  flow stays flat in thickness (the lane-mask scaling gate).
 
 Usage: bench_gate.py FRESH_JSON [COMMITTED_JSON]
 
@@ -79,6 +82,37 @@ def main() -> None:
     if ratio > 5.0:
         print(f"::error title=stream overhead budget::{line}")
         sys.exit("live-stream observability overhead exceeds 5x disabled sinks")
+    print(line)
+
+    # Lane-mask scaling: a divergent-but-compressed step costs O(#mask
+    # runs), not O(thickness), so the same workload at 100x thickness must
+    # sustain a comparable step rate (docs/PERFORMANCE.md "Lane masks").
+    div = fresh["workloads"]["divergent_compressed"]["steps_per_sec"]
+    div100 = fresh["workloads"]["divergent_compressed_100x"]["steps_per_sec"]
+    ratio = div100 / div
+    line = (
+        f"divergent_compressed_100x: {div100:.0f} steps/s vs "
+        f"divergent_compressed {div:.0f} at 100x thickness ({ratio:.2f}x)"
+    )
+    if ratio < 0.5:
+        print(f"::error title=lane-mask scaling::{line}")
+        sys.exit("divergent_compressed step cost is not flat in thickness")
+    print(line)
+
+    # And the absolute win over the per-lane fallback: thickness-weighted
+    # instruction throughput (lane-ops/sec) of the masked compressed path
+    # must beat the SoA per-lane path by >= 10x even though it runs at
+    # ~1000x the thickness.
+    lanes = fresh["workloads"]["divergent_compressed"]["instrs_per_sec"]
+    perlane = fresh["workloads"]["branchy_divergence"]["instrs_per_sec"]
+    ratio = lanes / perlane
+    line = (
+        f"divergent_compressed lane throughput: {lanes:.3g} lane-instrs/s vs "
+        f"branchy_divergence {perlane:.3g} ({ratio:.0f}x)"
+    )
+    if ratio < 10.0:
+        print(f"::error title=lane-mask throughput::{line}")
+        sys.exit("masked compressed path is not >= 10x the per-lane path")
     print(line)
     print(f"{committed_path} ok")
 
