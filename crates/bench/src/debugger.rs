@@ -321,12 +321,16 @@ impl Debugger {
         let td = self.machine.thick_decay();
         let _ = writeln!(
             out,
-            "decay: {} total (setthick {}, lane_write {}, mem_reply {}, mask_runs {})",
+            "decay: {} total (setthick {}, lane_write {}, mem_reply {}, mask_runs {}, \
+             fault {}, balanced_resume {}, async_slice {})",
             td.total(),
             td.setthick,
             td.lane_write,
             td.mem_reply,
-            td.mask_runs
+            td.mask_runs,
+            td.fault,
+            td.balanced_resume,
+            td.async_slice
         );
         let _ = writeln!(
             out,
@@ -509,6 +513,8 @@ mod tests {
         assert!(out.contains("worker 0: ["), "{out}");
         assert!(out.contains("decay:"), "{out}");
         assert!(out.contains("mask_runs"), "{out}");
+        assert!(out.contains("balanced_resume"), "{out}");
+        assert!(out.contains("async_slice"), "{out}");
         assert!(out.contains("mask:"), "{out}");
         assert!(out.contains("coalesce:"), "{out}");
         assert!(out.contains("bulk:"), "{out}");

@@ -33,6 +33,15 @@
 //!   (10^8 lanes) as `divergent_compressed_100x`, and `tools/bench_gate.py`
 //!   asserts the two step rates stay within 2×.
 //!
+//! On top of the workload set, the [`VariantProbe`] family re-expresses
+//! the divergent recurrence in every other execution variant's natural
+//! idiom — `divergent_balanced` (bounded resume), `divergent_async`
+//! (`spawn` block flows), `divergent_numa` (a `1/slots` bunch stream),
+//! `divergent_fixed` (machine-fixed vector width) and `divergent_spmd`
+//! (`SingleOperation` unit flows) — each at a baseline and a `_100x`
+//! size, so the gate can pin the flat-cost-in-thickness claim on all six
+//! variants, not just `SingleInstruction`.
+//!
 //! All run on the small machine (`P = 4`, `T_p = 16`) so a probe
 //! completes in milliseconds; throughput is reported as simulated machine
 //! steps and issued units ("instrs") per host second.
@@ -41,6 +50,7 @@ use std::time::Instant;
 
 use tcf_core::{TcfMachine, Variant};
 use tcf_isa::program::Program;
+use tcf_machine::MachineConfig;
 use tcf_obs::stream::{drain_ndjson, header_line, DRAIN_INTERVAL_STEPS};
 use tcf_obs::StreamCursor;
 use tcf_pram::RunSummary;
@@ -82,13 +92,25 @@ pub const DIVERGENT_THICKNESS: usize = 1_000_000;
 /// zero-astride bulk multioperations that shared memory combines in
 /// closed form. No instruction in the loop costs more than O(#mask runs).
 pub fn divergent_program(n: usize) -> Program {
-    use tcf_isa::instr::MultiKind;
-    use tcf_isa::reg::{r, Reg, SpecialReg};
-    use tcf_isa::{AluOp, ProgramBuilder, Word};
-    let cut_step = (n / 24 + 7) as Word;
-    let cut_base = (n / 3 + 11) as Word;
+    use tcf_isa::{ProgramBuilder, Word};
     let mut b = ProgramBuilder::new();
     b.setthick(n as Word);
+    emit_divergent_body(&mut b, n);
+    b.halt();
+    b.build().expect("workload assembles")
+}
+
+/// The recurrence shared by every `divergent_*` probe leg: sixteen
+/// iterations of moving-cut `Slt`/`Sel`/fold plus one shared-sum
+/// multioperation per iteration (see [`divergent_program`]). The caller
+/// provides the thickness (`setthick`, the variant's fixed width, a
+/// `spawn`, or the SPMD thread count) and the epilogue (`halt`/`sjoin`).
+fn emit_divergent_body(b: &mut tcf_isa::ProgramBuilder, n: usize) {
+    use tcf_isa::instr::MultiKind;
+    use tcf_isa::reg::{r, Reg, SpecialReg};
+    use tcf_isa::{AluOp, Word};
+    let cut_step = (n / 24 + 7) as Word;
+    let cut_base = (n / 3 + 11) as Word;
     b.mfs(r(1), SpecialReg::Tid); // r1 = lane id (affine, stays affine)
     b.ldi(r(3), 0); // r3 = accumulator (grows one run per iteration)
     b.ldi(r(4), 0); // r4 = loop counter (uniform)
@@ -102,6 +124,61 @@ pub fn divergent_program(n: usize) -> Program {
     b.alu(AluOp::Add, r(4), r(4), 1);
     b.alu(AluOp::Slt, r(8), r(4), 16);
     b.bnez(r(8), "loop");
+}
+
+/// The divergent recurrence without a `setthick` prologue, for the
+/// variants whose thickness is fixed by the machine rather than the
+/// program: `FixedThickness { width: n }` (one vector flow) and
+/// `SingleOperation` (`n` SPMD unit flows reading their rank as `tid`).
+pub fn divergent_program_preset(n: usize) -> Program {
+    use tcf_isa::ProgramBuilder;
+    let mut b = ProgramBuilder::new();
+    emit_divergent_body(&mut b, n);
+    b.halt();
+    b.build().expect("workload assembles")
+}
+
+/// Spawn-based divergent kernel of the Multi-instruction probe legs: the
+/// initial flow spawns `n` asynchronous threads that each run the
+/// recurrence on their spawn index and `sjoin`. The spawn materializes at
+/// most one compressed *block flow* per group (lanes `g, g+G, …` sharing
+/// one pc and affine `tid`), so spawning 10^8 threads is O(groups); the
+/// quantum scheduler then splits windows of at most `T_p` lanes off each
+/// block per pass, keeping per-step cost flat in `n`.
+pub fn divergent_async_program(n: usize) -> Program {
+    use tcf_isa::{ProgramBuilder, Word};
+    let mut b = ProgramBuilder::new();
+    b.spawn(n as Word, "task");
+    b.halt();
+    b.label("task");
+    emit_divergent_body(&mut b, n);
+    b.sjoin();
+    b.build().expect("workload assembles")
+}
+
+/// NUMA-stream probe: a `1/slots` bunch spinning a counter for `iters`
+/// iterations (3 instructions each), so each synchronous step carries
+/// `slots` sequential instructions of the stream. Every instruction in
+/// the loop is a compute unit, so a whole step reaches the timing layer
+/// as one coalesced `ComputeRun` span per bunch — O(1) timing work per
+/// step no matter how many slots it carries. Run under
+/// `ConfigurableSingleOperation`, whose per-group bunching absorbs the
+/// group's SPMD siblings into one leader stream per group (bunch length
+/// = group size); the scaling probe stretches `iters`, not the machine,
+/// so the pair measures steady-state stream throughput on identical
+/// hardware.
+pub fn divergent_numa_program(slots: usize, iters: usize) -> Program {
+    use tcf_isa::reg::r;
+    use tcf_isa::{AluOp, ProgramBuilder, Word};
+    let iters = iters.max(4) as Word;
+    let mut b = ProgramBuilder::new();
+    b.numa(slots as Word);
+    b.ldi(r(1), 0);
+    b.label("loop");
+    b.alu(AluOp::Add, r(1), r(1), 1);
+    b.alu(AluOp::Slt, r(2), r(1), iters);
+    b.bnez(r(2), "loop");
+    b.endnuma();
     b.halt();
     b.build().expect("workload assembles")
 }
@@ -293,12 +370,26 @@ pub fn measure_program(program: &Program, repeats: usize) -> Measurement {
 }
 
 fn measure_with(build: &dyn Fn() -> TcfMachine, repeats: usize) -> Measurement {
-    let (summary, iters) = {
+    measure_runs(build, &|m| run_capped(m, None), repeats)
+}
+
+/// The calibrated-batch harness shared by every probe: one warmup run
+/// calibrates how many executions one sample needs to span
+/// [`MIN_SAMPLE_SECS`], then `repeats` batched samples run and the
+/// fastest mean per-run time is kept (see [`measure`]). The `run`
+/// closure executes one freshly built machine and reports its
+/// (steps, issued-units) counts.
+fn measure_runs(
+    build: &dyn Fn() -> TcfMachine,
+    run: &dyn Fn(&mut TcfMachine) -> (u64, u64),
+    repeats: usize,
+) -> Measurement {
+    let ((steps, instrs), iters) = {
         let mut m = build();
         let start = Instant::now();
-        let summary = m.run(10_000_000).expect("workload halts");
+        let counts = run(&mut m);
         let once = start.elapsed().as_secs_f64().max(1e-9);
-        (summary, (MIN_SAMPLE_SECS / once).ceil().max(1.0) as usize)
+        (counts, (MIN_SAMPLE_SECS / once).ceil().max(1.0) as usize)
     };
     let mut best = f64::INFINITY;
     for _ in 0..repeats.max(1) {
@@ -308,15 +399,188 @@ fn measure_with(build: &dyn Fn() -> TcfMachine, repeats: usize) -> Measurement {
         for _ in 0..iters {
             let mut m = build();
             let start = Instant::now();
-            m.run(10_000_000).expect("workload halts");
+            run(&mut m);
             total += start.elapsed().as_secs_f64();
         }
         best = best.min(total / iters as f64);
     }
     Measurement {
-        steps: summary.steps,
-        instrs: summary.machine.issued(),
+        steps,
+        instrs,
         elapsed_sec: best.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Runs a probe machine to completion — or to `cap` steps for the legs
+/// whose full runs are unaffordable, where hitting the step budget is the
+/// expected outcome (the sample measures steady-state throughput), not an
+/// error.
+fn run_capped(m: &mut TcfMachine, cap: Option<u64>) -> (u64, u64) {
+    use tcf_core::TcfFault;
+    match m.run(cap.unwrap_or(10_000_000)) {
+        Ok(s) => (s.steps, s.machine.issued()),
+        Err(e) if cap.is_some() && matches!(e.fault, TcfFault::StepBudgetExhausted { .. }) => {
+            (m.steps_executed(), m.stats().issued())
+        }
+        Err(e) => panic!("probe faulted: {e:?}"),
+    }
+}
+
+/// One family of the per-variant `divergent_*` scaling legs: the same
+/// divergent recurrence expressed in each remaining execution variant's
+/// natural idiom (the `SingleInstruction` legs are `divergent_compressed`
+/// and its `_100x` twin above). Each family is measured at a baseline
+/// size and at 100× it; `tools/bench_gate.py` asserts every pair's rate
+/// stays within 2×, pinning the flat-cost-in-thickness claim on all six
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantProbe {
+    /// `Balanced { bound: 64 }` on the `setthick` recurrence. The step
+    /// cap keeps both legs inside the same partially executed thick
+    /// instruction, which each step resumes at its stored next-operation
+    /// boundary without decaying to lanes — per-step cost is O(bound),
+    /// independent of thickness. Step-capped (a full 10^8-lane run walks
+    /// every lane); rate compared as steps/sec.
+    Balanced,
+    /// `MultiInstruction`: `spawn n` threads materialize as O(groups)
+    /// compressed block flows (affine `tid`, shared pc), and the quantum
+    /// scheduler splits at most `T_p`-lane windows off each block per
+    /// step — per-step cost is O(P·T_p), independent of `n`. Step-capped;
+    /// rate compared as steps/sec.
+    Async,
+    /// `ConfigurableSingleOperation` entering a `numa` stream of `n`
+    /// total sequential instructions (one bunch per group, bunch length =
+    /// group size = 16). The scaling leg stretches the stream 100×, not
+    /// the machine: per-step the leaders carry the same 16-instruction
+    /// slices, reaching the timing layer as coalesced `ComputeRun` spans,
+    /// so per-instruction cost must not grow with stream length. Runs to
+    /// completion; compared as instrs/sec.
+    Numa,
+    /// `FixedThickness { width: n }`: the machine-fixed vector width runs
+    /// the recurrence with no `setthick` prologue; per-step cost is
+    /// O(#mask runs). Runs to completion; compared as steps/sec.
+    Fixed,
+    /// `SingleOperation`: the recurrence as `n` SPMD unit flows reading
+    /// their rank as `tid`. Thickness here *is* the machine size `P·T_p`
+    /// (the baseline variant materializes every thread — the limitation
+    /// the compressed variants remove), so sizes stay small (10^3 and
+    /// 10^5) and the pair is compared as instrs/sec.
+    Spmd,
+}
+
+impl VariantProbe {
+    /// Every probe family, in report order.
+    pub const ALL: [VariantProbe; 5] = [
+        VariantProbe::Balanced,
+        VariantProbe::Async,
+        VariantProbe::Numa,
+        VariantProbe::Fixed,
+        VariantProbe::Spmd,
+    ];
+
+    /// Stable `BENCH_hotpath.json` key of the baseline leg.
+    pub fn name(self) -> &'static str {
+        match self {
+            VariantProbe::Balanced => "divergent_balanced",
+            VariantProbe::Async => "divergent_async",
+            VariantProbe::Numa => "divergent_numa",
+            VariantProbe::Fixed => "divergent_fixed",
+            VariantProbe::Spmd => "divergent_spmd",
+        }
+    }
+
+    /// Stable `BENCH_hotpath.json` key of the 100×-size leg.
+    pub fn name_100x(self) -> &'static str {
+        match self {
+            VariantProbe::Balanced => "divergent_balanced_100x",
+            VariantProbe::Async => "divergent_async_100x",
+            VariantProbe::Numa => "divergent_numa_100x",
+            VariantProbe::Fixed => "divergent_fixed_100x",
+            VariantProbe::Spmd => "divergent_spmd_100x",
+        }
+    }
+
+    /// Baseline problem size (thickness / spawn count / bunch length /
+    /// SPMD thread count); the `_100x` leg runs 100× this.
+    pub fn base_size(self) -> usize {
+        match self {
+            // SingleOperation materializes one unit flow per hardware
+            // thread, so its size is the machine size — kept small by
+            // design (the limitation the compressed variants remove;
+            // docs/PERFORMANCE.md).
+            VariantProbe::Spmd => 1_000,
+            // Total sequential instructions in the bunch streams; the
+            // machine stays the small one.
+            VariantProbe::Numa => 10_000,
+            _ => DIVERGENT_THICKNESS,
+        }
+    }
+
+    /// Step cap for the legs whose full runs are unaffordable (Balanced
+    /// retires `bound` lanes per processor per step; async retires
+    /// `P·T_p` spawned lanes per step — running 10^8 lanes dry would take
+    /// ~10^6 steps). Both legs of a pair use the same cap, so their step
+    /// rates are directly comparable.
+    fn cap(self) -> Option<u64> {
+        match self {
+            VariantProbe::Balanced => Some(4_000),
+            VariantProbe::Async => Some(2_000),
+            _ => None,
+        }
+    }
+
+    fn variant(self, n: usize) -> Variant {
+        match self {
+            VariantProbe::Balanced => Variant::Balanced { bound: 64 },
+            VariantProbe::Async => Variant::MultiInstruction,
+            VariantProbe::Numa => Variant::ConfigurableSingleOperation,
+            VariantProbe::Fixed => Variant::FixedThickness { width: n },
+            VariantProbe::Spmd => Variant::SingleOperation,
+        }
+    }
+
+    fn config(self, n: usize) -> MachineConfig {
+        let mut c = crate::small_config();
+        if self == VariantProbe::Spmd {
+            // SingleOperation's thickness IS the machine size: one unit
+            // flow per hardware thread, `tid` = rank.
+            c.threads_per_group = n / c.groups;
+        }
+        c
+    }
+
+    fn program(self, n: usize) -> Program {
+        match self {
+            VariantProbe::Balanced => divergent_program(n),
+            VariantProbe::Async => divergent_async_program(n),
+            // One bunch per group (bunch length = T_p), streams totalling
+            // ~n instructions: 4 leaders x 3 instructions per iteration.
+            VariantProbe::Numa => {
+                let c = crate::small_config();
+                divergent_numa_program(c.threads_per_group, n / (3 * c.groups))
+            }
+            VariantProbe::Fixed | VariantProbe::Spmd => divergent_program_preset(n),
+        }
+    }
+
+    /// Builds the machine for one leg (`scale` is 1 or 100).
+    pub fn build(self, scale: usize) -> TcfMachine {
+        let n = self.base_size() * scale;
+        TcfMachine::new(self.config(n), self.variant(n), self.program(n))
+    }
+
+    /// Measures one leg with the calibrated-batch harness, honoring the
+    /// family's step cap.
+    pub fn measure(self, scale: usize, repeats: usize) -> Measurement {
+        let n = self.base_size() * scale;
+        let program = self.program(n);
+        let variant = self.variant(n);
+        let config = self.config(n);
+        measure_runs(
+            &|| TcfMachine::new(config.clone(), variant, program.clone()),
+            &|m| run_capped(m, self.cap()),
+            repeats,
+        )
     }
 }
 
@@ -439,6 +703,15 @@ pub fn bench_json(repeats: usize) -> String {
         "divergent_compressed_100x",
         measure_program(&program_100x, repeats),
     ));
+    // The same recurrence in every remaining variant's idiom, each at a
+    // baseline and a 100× size — together with the two entries above,
+    // one flat-cost pair per execution variant. The gate compares
+    // steps/sec for the thick-instruction legs and instrs/sec for the
+    // SPMD-shaped ones (see [`VariantProbe`]).
+    for probe in VariantProbe::ALL {
+        entries.push((probe.name(), probe.measure(1, repeats)));
+        entries.push((probe.name_100x(), probe.measure(100, repeats)));
+    }
     for mode in ObsMode::ALL {
         entries.push((mode.name(), measure_obs(mode, repeats)));
     }
@@ -623,6 +896,101 @@ mod tests {
         );
     }
 
+    /// Bit-exactness of the per-variant probe programs against the
+    /// per-lane mirror, at mirrorable sizes: the fixed-width vector leg,
+    /// the SPMD leg (thickness = machine size) and the spawn-based async
+    /// leg all fold the same per-thread recurrence into the shared sum.
+    #[test]
+    fn variant_probe_programs_compute_the_recurrence() {
+        let n = 4096;
+        let mut m = TcfMachine::new(
+            crate::small_config(),
+            Variant::FixedThickness { width: n },
+            divergent_program_preset(n),
+        );
+        m.run(10_000_000).expect("fixed probe halts");
+        assert_eq!(m.peek(64).unwrap(), divergent_mirror(n), "fixed");
+
+        // SingleOperation: one unit flow per hardware thread (64 on the
+        // small machine), each reading its rank as `tid`.
+        let n = 64;
+        let mut m = TcfMachine::new(
+            crate::small_config(),
+            Variant::SingleOperation,
+            divergent_program_preset(n),
+        );
+        m.run(10_000_000).expect("spmd probe halts");
+        assert_eq!(m.peek(64).unwrap(), divergent_mirror(n), "spmd");
+
+        // MultiInstruction: 64 spawned threads whose `tid`s are exactly
+        // the spawn indices 0..64 (distributed round-robin over groups).
+        let mut m = TcfMachine::new(
+            crate::small_config(),
+            Variant::MultiInstruction,
+            divergent_async_program(n),
+        );
+        m.run(10_000_000).expect("async probe halts");
+        assert_eq!(m.peek(64).unwrap(), divergent_mirror(n), "async");
+    }
+
+    /// The Balanced leg never decays: each step resumes the partially
+    /// executed thick instruction at its `bound` boundary on the
+    /// compressed representation.
+    #[test]
+    fn balanced_probe_resumes_without_decay() {
+        let mut m = VariantProbe::Balanced.build(1);
+        let (steps, instrs) = run_capped(&mut m, Some(500));
+        assert_eq!(steps, 500, "cap not honored");
+        assert!(instrs > 0);
+        let decay = m.thick_decay();
+        assert_eq!(decay.total(), 0, "balanced run decayed: {decay:?}");
+    }
+
+    /// Spawning 10^6 asynchronous threads materializes O(groups) block
+    /// flows plus at most a few split-off windows in flight — never 10^6
+    /// unit flows.
+    #[test]
+    fn async_probe_spawn_stays_block_compressed() {
+        let mut m = VariantProbe::Async.build(1);
+        let (steps, _) = run_capped(&mut m, Some(200));
+        assert_eq!(steps, 200, "cap not honored");
+        let live = m.live_flows();
+        assert!(live < 64, "spawn materialized {live} flows");
+    }
+
+    /// The NUMA leg streams 16 sequential instructions per bunch leader
+    /// per synchronous step: the baseline's ~10^4 total instructions
+    /// finish in ~160 steps (2500 per leader / 16 per step), not one
+    /// step per instruction.
+    #[test]
+    fn numa_probe_streams_with_full_bunches() {
+        let mut m = VariantProbe::Numa.build(1);
+        let s = m.run(10_000_000).expect("numa probe halts");
+        assert!(s.halted, "numa probe did not halt");
+        assert!(
+            (100..400).contains(&s.steps),
+            "bunch stream took {} steps",
+            s.steps
+        );
+        assert!(
+            s.machine.issued() > 8_000,
+            "bunch stream too short: {} units",
+            s.machine.issued()
+        );
+    }
+
+    /// Full-run legs halt; step-capped legs reach their cap — every leg
+    /// produces nonzero throughput numbers at baseline size.
+    #[test]
+    fn variant_probes_measure_cleanly() {
+        for probe in VariantProbe::ALL {
+            let mut m = probe.build(1);
+            let (steps, instrs) = run_capped(&mut m, probe.cap().map(|_| 100));
+            assert!(steps > 0, "{} ran no steps", probe.name());
+            assert!(instrs > 0, "{} issued nothing", probe.name());
+        }
+    }
+
     #[test]
     fn bench_json_contains_all_workloads() {
         let json = bench_json(1);
@@ -630,6 +998,14 @@ mod tests {
             assert!(json.contains(w.name()), "missing {}", w.name());
         }
         assert!(json.contains("divergent_compressed_100x"));
+        for probe in VariantProbe::ALL {
+            assert!(json.contains(probe.name()), "missing {}", probe.name());
+            assert!(
+                json.contains(probe.name_100x()),
+                "missing {}",
+                probe.name_100x()
+            );
+        }
         for mode in ObsMode::ALL {
             assert!(json.contains(mode.name()), "missing {}", mode.name());
         }

@@ -186,6 +186,9 @@ mod tests {
             "thick.decay_setthick",
             "thick.decay_lane_write",
             "thick.decay_mem_reply",
+            "thick.decay_fault",
+            "thick.decay_balanced_resume",
+            "thick.decay_async_slice",
             "engine.compressed_slices",
             "engine.coalesce_hits",
             "engine.worker0.lanes",

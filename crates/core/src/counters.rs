@@ -40,12 +40,35 @@ pub struct ThickDecayCounters {
     /// effectively lost its run structure, so execution decayed to the SoA
     /// lane planes.
     pub mask_runs: u64,
+    /// Decays caused by a fault frontier: a faulting instruction stopped
+    /// mid-thickness, so the partial lane writes of the already-executed
+    /// prefix disagreed with the compressed progression when the merge
+    /// replayed them (would have been `lane_write` on a completed
+    /// instruction).
+    pub fault: u64,
+    /// Decays on a *partial* (resumed) Balanced instruction: the
+    /// bound-split merge replayed a sub-instruction lane run into a
+    /// compressed register and the splice had to materialize. A
+    /// fully-compressed Balanced resume never increments this — the run
+    /// splits in O(1) at the bound boundary.
+    pub balanced_resume: u64,
+    /// Decays inside an asynchronous (MultiInstruction) block slice: the
+    /// per-lane fallback of the block executor materialized a compressed
+    /// register, or a block had to shatter into unit flows (nested
+    /// `spawn`).
+    pub async_slice: u64,
 }
 
 impl ThickDecayCounters {
     /// Total decays across every reason.
     pub fn total(&self) -> u64 {
-        self.setthick + self.lane_write + self.mem_reply + self.mask_runs
+        self.setthick
+            + self.lane_write
+            + self.mem_reply
+            + self.mask_runs
+            + self.fault
+            + self.balanced_resume
+            + self.async_slice
     }
 }
 
@@ -129,8 +152,11 @@ mod tests {
             lane_write: 3,
             mem_reply: 5,
             mask_runs: 7,
+            fault: 11,
+            balanced_resume: 13,
+            async_slice: 17,
         };
-        assert_eq!(c.total(), 17);
+        assert_eq!(c.total(), 58);
     }
 
     #[test]

@@ -9,16 +9,40 @@
 //! `spawn`/`sjoin` boundaries, which is the variant's coarser granularity
 //! the paper points out. A multiprefix degenerates to the XMT `ps`
 //! (atomic fetch-and-op) primitive.
+//!
+//! ## Spawn blocks: compressed thick slices
+//!
+//! `spawn n` does **not** materialize `n` unit flows. It creates at most
+//! one *block flow* per group — lanes `g, g + G, g + 2G, …` of the spawn,
+//! sharing one pc, one compressed register file (`tid` is the affine
+//! progression `tid_offset + e·tid_stride`), and one flow-table slot — so
+//! a `spawn 10^8` costs O(G), not O(n). The quantum scheduler accounts a
+//! block's single-instruction execution as `thickness` budget units in
+//! closed form; when the remaining budget is smaller than the block, the
+//! block splits at the budget boundary in O(#register runs)
+//! ([`ThickRegs::slice_lanes`]): the front window executes, the tail
+//! keeps the old pc and waits its turn — exactly the starvation order the
+//! per-thread round-robin produced. Executing windows are therefore never
+//! wider than the quantum, so the per-lane memory loops inside a window
+//! stay O(T_p) per quantum regardless of the logical spawn width.
+//!
+//! Divergence (a non-uniform branch) splits a block into contiguous
+//! same-target runs; a block forced onto the per-lane fallback that
+//! materializes a compressed register counts the `decay_async_slice`
+//! taxonomy reason, as does a block shattering into unit flows on a
+//! nested `spawn`.
 
 use tcf_isa::instr::{MemSpace, Operand};
-use tcf_isa::word::to_addr;
+use tcf_isa::reg::SpecialReg;
+use tcf_isa::word::{to_addr, Word};
 use tcf_machine::{IssueUnit, UnitSeq};
 use tcf_obs::FlowEvent;
 
 use crate::decoded::DecodedInst;
 use crate::error::{TcfError, TcfFault};
-use crate::flow::{Flow, FlowStatus};
+use crate::flow::{Flow, FlowStatus, Fragment};
 use crate::machine::TcfMachine;
+use crate::thick::{affine_alu, ThickValue};
 
 /// Pooled per-quantum buffers of [`TcfMachine::step_async`], kept on the
 /// machine so steady-state quanta allocate nothing — the same discipline
@@ -33,6 +57,20 @@ pub(crate) struct AsyncBufs {
     /// roll into the next pass (swapped instead of reallocated).
     runnable: Vec<u32>,
     still: Vec<u32>,
+    scratch: AsyncScratch,
+}
+
+/// Per-instruction scratch of the block executor (pooled; a window is at
+/// most one quantum wide, so these stay small).
+#[derive(Default)]
+pub(crate) struct AsyncScratch {
+    /// Per-lane results of a fallback slice, replayed via `write_lanes`.
+    vals: Vec<Word>,
+    /// Contiguous same-outcome runs of a divergent branch.
+    runs: Vec<(usize, bool)>,
+    /// Flows split off during the instruction, scheduled into the pass
+    /// rotation right after their block.
+    pending: Vec<u32>,
 }
 
 impl TcfMachine {
@@ -79,14 +117,26 @@ impl TcfMachine {
                         bufs.still.push(id);
                         continue;
                     }
-                    if !self.flows[&id].is_running() {
-                        continue;
+                    let width = match self.flows.get(&id) {
+                        Some(f) if f.is_running() => f.thickness,
+                        _ => continue,
+                    };
+                    if width > budget {
+                        // Budget boundary inside the block: the front
+                        // window executes this pass, the tail keeps the
+                        // old pc under a fresh (higher) id and is
+                        // snapshotted next quantum — the same lanes the
+                        // per-thread round-robin would have starved.
+                        self.split_async_block(id, budget, g)?;
                     }
-                    self.exec_async_instr(id, g, &mut bufs.units)?;
-                    budget -= 1;
-                    if self.flows[&id].is_running() {
-                        bufs.still.push(id);
-                    }
+                    let lanes = self.exec_async_instr(
+                        id,
+                        g,
+                        &mut bufs.units,
+                        &mut bufs.still,
+                        &mut bufs.scratch,
+                    )?;
+                    budget -= lanes.min(budget);
                 }
                 std::mem::swap(&mut bufs.runnable, &mut bufs.still);
             }
@@ -96,21 +146,496 @@ impl TcfMachine {
         Ok(())
     }
 
-    /// Executes exactly one instruction of virtual thread `id` on group
-    /// `g`, with direct (asynchronous) memory access.
+    /// Splits the running block `id` so its first `keep` lanes stay under
+    /// `id` and the rest continue as a fresh flow at the same pc. Costs
+    /// O(#register runs), not O(thickness).
+    fn split_async_block(&mut self, id: u32, keep: usize, g: usize) -> Result<(), TcfError> {
+        let tid = self.alloc_id();
+        let mut flow = self.flows.remove(&id).expect("flow exists");
+        let tail_len = flow.thickness - keep;
+        let mut tail = Flow::new(tid, tail_len, flow.pc, flow.regs.len());
+        tail.regs = flow.regs.slice_lanes(keep, tail_len);
+        tail.call_stack = flow.call_stack.clone();
+        tail.parent = flow.parent;
+        tail.tid_offset = flow.tid_offset + keep * flow.tid_stride;
+        tail.tid_stride = flow.tid_stride;
+        tail.fragments = vec![Fragment::new(g, 0, tail_len)];
+        flow.thickness = keep;
+        flow.fragments = vec![Fragment::new(g, 0, keep)];
+        self.flows.insert(id, flow);
+        self.flows.insert(tid, tail);
+        self.obs.emit(
+            self.steps,
+            self.clock,
+            FlowEvent::FlowSpawned {
+                flow: tid,
+                parent: Some(id),
+                thickness: tail_len,
+            },
+        );
+        Ok(())
+    }
+
+    /// Executes exactly one instruction of flow `id` (all of its lanes) on
+    /// group `g`, with direct (asynchronous) memory access. Returns how
+    /// many lanes executed — the flow's budget charge. Flows split off by
+    /// a divergent branch are appended to `follow` right after `id`, so
+    /// the pass rotation matches the per-thread order.
     fn exec_async_instr(
         &mut self,
         id: u32,
         g: usize,
         units: &mut [Vec<UnitSeq>],
-    ) -> Result<(), TcfError> {
+        follow: &mut Vec<u32>,
+        scratch: &mut AsyncScratch,
+    ) -> Result<usize, TcfError> {
         let mut flow = self.flows.remove(&id).expect("flow exists");
-        let result = self.async_instr_inner(&mut flow, g, units);
+        scratch.pending.clear();
+        let result = self.async_instr_inner(&mut flow, g, units, scratch);
+        let running = flow.is_running();
         self.flows.insert(id, flow);
-        result
+        let lanes = result?;
+        if running {
+            follow.push(id);
+        }
+        follow.append(&mut scratch.pending);
+        Ok(lanes)
     }
 
     fn async_instr_inner(
+        &mut self,
+        flow: &mut Flow,
+        g: usize,
+        units: &mut [Vec<UnitSeq>],
+        scratch: &mut AsyncScratch,
+    ) -> Result<usize, TcfError> {
+        if flow.thickness > 1 {
+            // A block cannot execute `spawn` collectively (every lane
+            // waits on its own children): shatter it into unit flows
+            // first. Lane 0 spawns now; the rest re-join the rotation.
+            if let Some(DecodedInst::Spawn { .. }) = self.decoded.fetch(flow.pc) {
+                self.shatter_async_block(flow, g, scratch);
+                self.thick_decay.async_slice += 1;
+            }
+        }
+        if flow.thickness == 1 {
+            self.async_unit_instr(flow, g, units).map(|()| 1)
+        } else {
+            self.async_block_instr(flow, g, units, scratch)
+        }
+    }
+
+    /// Breaks a block into unit flows at the current pc. The first lane
+    /// stays on `flow`; the rest are appended to the pass rotation.
+    fn shatter_async_block(&mut self, flow: &mut Flow, g: usize, scratch: &mut AsyncScratch) {
+        for e in 1..flow.thickness {
+            let sid = self.alloc_id();
+            let mut sib = Flow::new(sid, 1, flow.pc, flow.regs.len());
+            sib.regs = flow.regs.slice_lanes(e, 1);
+            sib.call_stack = flow.call_stack.clone();
+            sib.parent = flow.parent;
+            sib.tid_offset = flow.tid_offset + e * flow.tid_stride;
+            sib.fragments = vec![Fragment::new(g, 0, 1)];
+            self.flows.insert(sid, sib);
+            self.obs.emit(
+                self.steps,
+                self.clock,
+                FlowEvent::FlowSpawned {
+                    flow: sid,
+                    parent: flow.parent,
+                    thickness: 1,
+                },
+            );
+            scratch.pending.push(sid);
+        }
+        flow.thickness = 1;
+        flow.fragments = vec![Fragment::new(g, 0, 1)];
+    }
+
+    /// One instruction of a multi-lane spawn block: compressed
+    /// (affine/uniform) execution where the operands allow it, bounded
+    /// per-lane fallback otherwise — the window is never wider than the
+    /// scheduling quantum, so the fallback is O(T_p), not O(spawn width).
+    fn async_block_instr(
+        &mut self,
+        flow: &mut Flow,
+        g: usize,
+        units: &mut [Vec<UnitSeq>],
+        scratch: &mut AsyncScratch,
+    ) -> Result<usize, TcfError> {
+        let pc = flow.pc;
+        let n = flow.thickness;
+        let instr = match self.decoded.fetch(pc) {
+            Some(i) => i,
+            None => return Err(self.flow_err(flow.id, TcfFault::PcOutOfRange { pc })),
+        };
+        // One fetch serves the whole block — the shared-pc compression.
+        self.stats.fetches += 1;
+        self.obs
+            .emit(self.steps, self.clock, FlowEvent::Fetch { flow: flow.id });
+        self.engine_counters.slices += 1;
+        let mut next_pc = pc + 1;
+        let mut pushed = false;
+
+        match instr {
+            DecodedInst::Alu { op, rd, ra, rb } => {
+                let a = flow.regs.value(ra).affine_over(0, n);
+                let b = match rb {
+                    Operand::Reg(r) => flow.regs.value(r).affine_over(0, n),
+                    Operand::Imm(w) => Some((w, 0)),
+                };
+                let folded = match (a, b) {
+                    (Some(a), Some(b)) => affine_alu(op, a, b, n),
+                    _ => None,
+                };
+                if let Some(runs) = folded {
+                    let mut off = 0usize;
+                    for s in runs.runs() {
+                        flow.regs
+                            .write_affine(rd, off, s.len as usize, s.base, s.stride, n);
+                        off += s.len as usize;
+                    }
+                    self.engine_counters.compressed_slices += 1;
+                } else {
+                    scratch.vals.clear();
+                    for e in 0..n {
+                        let av = flow.regs.read(ra, e);
+                        let bv = match rb {
+                            Operand::Reg(r) => flow.regs.read(r, e),
+                            Operand::Imm(w) => w,
+                        };
+                        scratch.vals.push(op.eval(av, bv));
+                    }
+                    self.block_write_lanes(flow, rd, scratch);
+                }
+            }
+            DecodedInst::Ldi { rd, imm } => {
+                flow.regs.write_uniform(rd, imm);
+                self.engine_counters.compressed_slices += 1;
+            }
+            DecodedInst::Mfs { rd, sr } => {
+                let v = match sr {
+                    SpecialReg::Tid => {
+                        ThickValue::affine(flow.tid_offset as Word, flow.tid_stride as Word)
+                    }
+                    SpecialReg::Gid => ThickValue::affine(flow.rank_base as Word, 1),
+                    // Every spawned XMT thread is unit-thick, however wide
+                    // the block carrying it.
+                    SpecialReg::Thickness => ThickValue::Uniform(1),
+                    other => ThickValue::Uniform(crate::machine::special_value(
+                        flow,
+                        0,
+                        other,
+                        &self.config,
+                    )),
+                };
+                flow.regs.write_value(rd, v);
+                self.engine_counters.compressed_slices += 1;
+            }
+            DecodedInst::Sel { rd, cond, rt, rf } => match flow.regs.value(cond).uniform_over(n) {
+                Some(c) => {
+                    let v = if c != 0 {
+                        flow.regs.value(rt).clone()
+                    } else {
+                        match rf {
+                            Operand::Reg(r) => flow.regs.value(r).clone(),
+                            Operand::Imm(w) => ThickValue::Uniform(w),
+                        }
+                    };
+                    flow.regs.write_value(rd, v);
+                    self.engine_counters.compressed_slices += 1;
+                }
+                None => {
+                    scratch.vals.clear();
+                    for e in 0..n {
+                        let v = if flow.regs.read(cond, e) != 0 {
+                            flow.regs.read(rt, e)
+                        } else {
+                            match rf {
+                                Operand::Reg(r) => flow.regs.read(r, e),
+                                Operand::Imm(w) => w,
+                            }
+                        };
+                        scratch.vals.push(v);
+                    }
+                    self.block_write_lanes(flow, rd, scratch);
+                }
+            },
+            DecodedInst::Ld {
+                rd,
+                base,
+                off,
+                space,
+            } => {
+                scratch.vals.clear();
+                for e in 0..n {
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    let v = match space {
+                        MemSpace::Shared => {
+                            units[g].push(
+                                IssueUnit::shared_mem(flow.id, e, self.shared.module_of(addr))
+                                    .into(),
+                            );
+                            self.shared
+                                .peek(addr)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?
+                        }
+                        MemSpace::Local => {
+                            units[g].push(IssueUnit::local_mem(flow.id, e).into());
+                            self.locals[g]
+                                .read(addr)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?
+                        }
+                    };
+                    scratch.vals.push(v);
+                }
+                self.block_write_lanes(flow, rd, scratch);
+                pushed = true;
+            }
+            DecodedInst::St {
+                rs,
+                base,
+                off,
+                space,
+            }
+            | DecodedInst::StMasked {
+                rs,
+                base,
+                off,
+                space,
+                ..
+            } => {
+                for e in 0..n {
+                    if let DecodedInst::StMasked { cond, .. } = instr {
+                        if flow.regs.read(cond, e) == 0 {
+                            units[g].push(IssueUnit::compute(flow.id, e).into());
+                            continue;
+                        }
+                    }
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    let v = flow.regs.read(rs, e);
+                    match space {
+                        MemSpace::Shared => {
+                            units[g].push(
+                                IssueUnit::shared_mem(flow.id, e, self.shared.module_of(addr))
+                                    .into(),
+                            );
+                            self.shared
+                                .poke(addr, v)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                        }
+                        MemSpace::Local => {
+                            units[g].push(IssueUnit::local_mem(flow.id, e).into());
+                            self.locals[g]
+                                .write(addr, v)
+                                .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                        }
+                    }
+                }
+                self.engine_counters.per_lane_slices += 1;
+                pushed = true;
+            }
+            DecodedInst::MultiOp {
+                kind,
+                base,
+                off,
+                rs,
+            }
+            | DecodedInst::MultiPrefix {
+                kind,
+                base,
+                off,
+                rs,
+                ..
+            } => {
+                // XMT `ps`: atomic fetch-and-op, lane by lane in rank
+                // order.
+                scratch.vals.clear();
+                for e in 0..n {
+                    let addr = to_addr(flow.regs.read(base, e).wrapping_add(off));
+                    let v = flow.regs.read(rs, e);
+                    units[g].push(
+                        IssueUnit::shared_mem(flow.id, e, self.shared.module_of(addr)).into(),
+                    );
+                    let old = self
+                        .shared
+                        .peek(addr)
+                        .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                    self.shared
+                        .poke(addr, kind.combine(old, v))
+                        .map_err(|e| self.flow_err(flow.id, e.into()))?;
+                    scratch.vals.push(old);
+                }
+                if let DecodedInst::MultiPrefix { rd, .. } = instr {
+                    self.block_write_lanes(flow, rd, scratch);
+                } else {
+                    self.engine_counters.per_lane_slices += 1;
+                }
+                pushed = true;
+            }
+            DecodedInst::Jmp { target } => next_pc = self.abs(flow.id, target)?,
+            DecodedInst::Br { cond, rs, target } => {
+                let taken_pc = self.abs(flow.id, target)?;
+                match flow.regs.value(rs).uniform_over(n) {
+                    Some(v) => {
+                        if cond.holds(v) {
+                            next_pc = taken_pc;
+                        }
+                        self.engine_counters.compressed_slices += 1;
+                    }
+                    None => {
+                        // Divergent branch: split the block into
+                        // contiguous same-outcome runs. Compressed
+                        // condition values yield their runs without
+                        // materializing; explicit lanes force the scan.
+                        if flow.regs.value(rs).run_count() > 0 {
+                            self.engine_counters.mask_hits += 1;
+                        } else {
+                            self.engine_counters.mask_misses += 1;
+                        }
+                        scratch.runs.clear();
+                        let mut e = 0usize;
+                        while e < n {
+                            let t0 = cond.holds(flow.regs.read(rs, e));
+                            let mut j = e + 1;
+                            while j < n && cond.holds(flow.regs.read(rs, j)) == t0 {
+                                j += 1;
+                            }
+                            scratch.runs.push((j - e, t0));
+                            e = j;
+                        }
+                        let (front_len, front_taken) = scratch.runs[0];
+                        let mut off = front_len;
+                        for k in 1..scratch.runs.len() {
+                            let (len, taken) = scratch.runs[k];
+                            let sid = self.alloc_id();
+                            let mut sib = Flow::new(
+                                sid,
+                                len,
+                                if taken { taken_pc } else { pc + 1 },
+                                flow.regs.len(),
+                            );
+                            sib.regs = flow.regs.slice_lanes(off, len);
+                            sib.call_stack = flow.call_stack.clone();
+                            sib.parent = flow.parent;
+                            sib.tid_offset = flow.tid_offset + off * flow.tid_stride;
+                            sib.tid_stride = flow.tid_stride;
+                            sib.fragments = vec![Fragment::new(g, 0, len)];
+                            self.flows.insert(sid, sib);
+                            self.obs.emit(
+                                self.steps,
+                                self.clock,
+                                FlowEvent::FlowSpawned {
+                                    flow: sid,
+                                    parent: flow.parent,
+                                    thickness: len,
+                                },
+                            );
+                            scratch.pending.push(sid);
+                            off += len;
+                        }
+                        flow.thickness = front_len;
+                        flow.fragments = vec![Fragment::new(g, 0, front_len)];
+                        if front_taken {
+                            next_pc = taken_pc;
+                        }
+                    }
+                }
+            }
+            DecodedInst::Call { target } => {
+                let dst = self.abs(flow.id, target)?;
+                flow.call_stack.push(pc + 1);
+                next_pc = dst;
+            }
+            DecodedInst::Ret => match flow.call_stack.pop() {
+                Some(ra) => next_pc = ra,
+                None => return Err(self.flow_err(flow.id, TcfFault::EmptyCallStack)),
+            },
+            DecodedInst::SJoin => {
+                // The whole block joins at once: one bulk notification
+                // covers all `n` threads.
+                let parent = flow
+                    .parent
+                    .ok_or_else(|| self.flow_err(flow.id, TcfFault::StrayJoin))?;
+                flow.status = FlowStatus::Halted;
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::Join {
+                        flow: flow.id,
+                        parent: Some(parent),
+                    },
+                );
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::FlowHalted { flow: flow.id },
+                );
+                self.notify_join_many(parent, n)?;
+            }
+            DecodedInst::Sync | DecodedInst::Nop => {}
+            DecodedInst::Halt => {
+                flow.status = FlowStatus::Halted;
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::FlowHalted { flow: flow.id },
+                );
+            }
+            DecodedInst::Spawn { .. } => {
+                unreachable!("blocks shatter before executing spawn")
+            }
+            DecodedInst::SetThick { .. }
+            | DecodedInst::Numa { .. }
+            | DecodedInst::EndNuma
+            | DecodedInst::Split { .. }
+            | DecodedInst::Join => {
+                // Cold fault path: render the source instruction.
+                return Err(self.flow_err(
+                    flow.id,
+                    TcfFault::UnsupportedByVariant {
+                        instr: self
+                            .program
+                            .fetch(pc)
+                            .map(|i| i.to_string())
+                            .unwrap_or_default(),
+                        variant: self.variant.name(),
+                    },
+                ));
+            }
+        }
+
+        flow.pc = next_pc;
+        if !pushed {
+            units[g].push(UnitSeq::ComputeRun {
+                flow: flow.id,
+                thread0: 0,
+                count: n,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Replays a fallback slice's per-lane results into `rd`, counting a
+    /// materialized compressed register under the `async_slice` decay
+    /// reason.
+    fn block_write_lanes(
+        &mut self,
+        flow: &mut Flow,
+        rd: tcf_isa::reg::Reg,
+        scratch: &mut AsyncScratch,
+    ) {
+        let n = flow.thickness;
+        if flow.regs.write_lanes(rd, 0, &scratch.vals[..n], n) {
+            self.thick_decay.async_slice += 1;
+        }
+        self.engine_counters.per_lane_slices += 1;
+    }
+
+    /// Executes exactly one instruction of unit-thick flow `flow` on
+    /// group `g` — the scalar path every pre-spawn (and post-shatter)
+    /// async flow takes.
+    fn async_unit_instr(
         &mut self,
         flow: &mut Flow,
         g: usize,
@@ -267,18 +792,23 @@ impl TcfMachine {
                 if n == 0 {
                     // Nothing to wait for; fall through.
                 } else {
-                    for i in 0..n {
+                    // One block flow per group carries the spawn's lanes
+                    // `g, g + G, g + 2G, …` — O(G) flows for any `n`,
+                    // with `tid` as a compressed affine progression. The
+                    // round-robin group mapping matches the per-thread
+                    // XMT dynamic scheduling exactly.
+                    let groups = self.config.groups;
+                    for g2 in 0..groups.min(n) {
+                        let len = (n - g2).div_ceil(groups);
                         let cid = self.alloc_id();
-                        let mut child = Flow::new(cid, 1, entry, flow.regs.len());
+                        let mut child = Flow::new(cid, len, entry, flow.regs.len());
                         // Flow-wise inheritance without first cloning the
                         // parent's per-thread lane storage.
                         child.regs = flow.regs.clone_flowwise();
                         child.parent = Some(flow.id);
-                        child.tid_offset = i;
-                        // Spawned threads are distributed round-robin over
-                        // the groups (XMT dynamic scheduling).
-                        child.fragments =
-                            vec![crate::flow::Fragment::new(i % self.config.groups, 0, 1)];
+                        child.tid_offset = g2;
+                        child.tid_stride = groups;
+                        child.fragments = vec![Fragment::new(g2, 0, len)];
                         self.flows.insert(cid, child);
                         self.obs.emit(
                             self.steps,
@@ -286,7 +816,7 @@ impl TcfMachine {
                             FlowEvent::FlowSpawned {
                                 flow: cid,
                                 parent: Some(flow.id),
-                                thickness: 1,
+                                thickness: len,
                             },
                         );
                     }
@@ -362,5 +892,79 @@ impl TcfMachine {
         flow.pc = next_pc;
         units[g].push(unit.into());
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tcf_isa::op::AluOp;
+    use tcf_isa::reg::{r, SpecialReg};
+    use tcf_isa::ProgramBuilder;
+    use tcf_machine::MachineConfig;
+
+    use crate::machine::TcfMachine;
+    use crate::variant::Variant;
+
+    fn machine(program: tcf_isa::program::Program) -> TcfMachine {
+        TcfMachine::new(MachineConfig::small(), Variant::MultiInstruction, program)
+    }
+
+    /// A huge spawn never materializes one unit flow per thread: the
+    /// scheduler holds one block flow per group plus the windows split
+    /// off within the current quantum, and retires exactly `P * T_p`
+    /// lanes per step.
+    #[test]
+    fn huge_spawn_stays_block_compressed() {
+        let n = 100_000usize;
+        let mut b = ProgramBuilder::new();
+        b.spawn(n as tcf_isa::Word, "task");
+        b.halt();
+        b.label("task");
+        b.sjoin();
+        let mut m = machine(b.build().unwrap());
+
+        for _ in 0..50 {
+            m.step().expect("spawn steps");
+        }
+        let live = m.live_flows();
+        assert!(live <= 16, "spawn materialized {live} flows");
+
+        let s = m.run(10_000_000).expect("spawn drains");
+        assert!(s.halted);
+        assert_eq!(m.live_flows(), 0);
+        // 64 lanes (4 groups x T_p = 16) retire per step, so a full drain
+        // of 10^5 spawned threads needs ~1,563 steps — per-step work is
+        // bounded by the machine size, not the spawn count.
+        assert!(
+            (1_500..1_800).contains(&s.steps),
+            "unexpected drain length: {} steps",
+            s.steps
+        );
+    }
+
+    /// A windowed per-lane write that lands on a compressed (affine)
+    /// register is billed to the `async_slice` decay reason; uniform
+    /// promotions stay free, exactly like the synchronous engines.
+    #[test]
+    fn affine_overwrite_in_a_block_counts_async_slice() {
+        let mut b = ProgramBuilder::new();
+        b.spawn(64, "task");
+        b.halt();
+        b.label("task");
+        b.mfs(r(1), SpecialReg::Tid); // affine across the block
+        b.ldi(r(3), 5);
+        b.alu(AluOp::Slt, r(2), r(1), 32); // non-uniform mask (2 runs)
+        b.sel(r(1), r(2), r(1), r(3)); // per-lane write onto affine r1
+        b.sjoin();
+        let mut m = machine(b.build().unwrap());
+        let s = m.run(10_000_000).expect("spawn drains");
+        assert!(s.halted);
+        assert!(
+            m.thick_decay().async_slice > 0,
+            "affine overwrite was not billed: {:?}",
+            m.thick_decay()
+        );
+        // The decay taxonomy stays exhaustive: nothing else decayed.
+        assert_eq!(m.thick_decay().total(), m.thick_decay().async_slice);
     }
 }

@@ -12,7 +12,7 @@
 
 use tcf_isa::instr::{MemSpace, Operand};
 use tcf_isa::word::to_addr;
-use tcf_machine::{IssueUnit, UnitSeq};
+use tcf_machine::{IssueUnit, UnitKind, UnitSeq};
 use tcf_obs::{FlowEvent, Mode};
 
 use crate::decoded::DecodedInst;
@@ -52,8 +52,17 @@ impl TcfMachine {
             }
         };
         let home = flow.home_group();
+        // Consecutive same-kind units of the bunch coalesce into
+        // run-length spans (thread rank = slot index), so a long
+        // compute-only or local-only stretch of a `1/T` stream reaches the
+        // timing layer as O(#kind changes) spans instead of `T` units —
+        // the closed-form `ComputeRun`/serialized-`LocalRun` arms of
+        // [`GroupPipeline::run_step_seq`] then replay each span in O(1).
+        // Shared references stay `One`: a serialized remote round trip
+        // must walk the router per message.
+        let mut run: Option<UnitSeq> = None;
 
-        for _ in 0..slots {
+        for slot in 0..slots {
             let pc = flow.pc;
             // `Copy` fetch from the pre-decoded program: no per-slot clone.
             let instr = match self.decoded.fetch(pc) {
@@ -204,6 +213,9 @@ impl TcfMachine {
                             mode: Mode::Pram,
                         },
                     );
+                    if let Some(prev) = run.take() {
+                        units[home].push(prev);
+                    }
                     units[home].push(IssueUnit::overhead(flow.id).into());
                     return Ok(());
                 }
@@ -215,6 +227,9 @@ impl TcfMachine {
                         self.clock,
                         FlowEvent::FlowHalted { flow: flow.id },
                     );
+                    if let Some(prev) = run.take() {
+                        units[home].push(prev);
+                    }
                     units[home].push(unit.into());
                     return Ok(());
                 }
@@ -236,7 +251,39 @@ impl TcfMachine {
             }
 
             flow.pc = next_pc;
-            units[home].push(unit.into());
+            match (unit.kind, &mut run) {
+                (UnitKind::Compute, Some(UnitSeq::ComputeRun { count, .. })) => *count += 1,
+                (UnitKind::MemLocal, Some(UnitSeq::LocalRun { count, .. })) => *count += 1,
+                (UnitKind::Compute, r) => {
+                    if let Some(prev) = r.take() {
+                        units[home].push(prev);
+                    }
+                    *r = Some(UnitSeq::ComputeRun {
+                        flow: flow.id,
+                        thread0: slot,
+                        count: 1,
+                    });
+                }
+                (UnitKind::MemLocal, r) => {
+                    if let Some(prev) = r.take() {
+                        units[home].push(prev);
+                    }
+                    *r = Some(UnitSeq::LocalRun {
+                        flow: flow.id,
+                        thread0: slot,
+                        count: 1,
+                    });
+                }
+                (_, r) => {
+                    if let Some(prev) = r.take() {
+                        units[home].push(prev);
+                    }
+                    units[home].push(unit.into());
+                }
+            }
+        }
+        if let Some(prev) = run.take() {
+            units[home].push(prev);
         }
         Ok(())
     }

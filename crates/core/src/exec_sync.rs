@@ -664,6 +664,13 @@ impl TcfMachine {
 
     /// Decrements a parent's pending-join count, waking it at zero.
     pub(crate) fn notify_join(&mut self, parent: u32) -> Result<(), TcfError> {
+        self.notify_join_many(parent, 1)
+    }
+
+    /// Decrements a parent's pending-join count by `count` arrivals at
+    /// once — how an async spawn *block* of `count` threads reports its
+    /// collective `sjoin` in O(1) — waking the parent at zero.
+    pub(crate) fn notify_join_many(&mut self, parent: u32, count: usize) -> Result<(), TcfError> {
         let step = self.steps;
         let missing = move |what: String| TcfError {
             fault: TcfFault::Internal { what },
@@ -676,18 +683,18 @@ impl TcfMachine {
             .ok_or_else(|| missing(format!("join to missing parent {parent}")))?;
         let mut woke = false;
         match p.status {
-            FlowStatus::WaitingJoin { pending } if pending > 1 => {
+            FlowStatus::WaitingJoin { pending } if pending > count => {
                 p.status = FlowStatus::WaitingJoin {
-                    pending: pending - 1,
+                    pending: pending - count,
                 };
             }
             FlowStatus::WaitingJoin { .. } => {
                 p.status = FlowStatus::Running;
                 woke = true;
             }
-            FlowStatus::WaitingSpawn { pending } if pending > 1 => {
+            FlowStatus::WaitingSpawn { pending } if pending > count => {
                 p.status = FlowStatus::WaitingSpawn {
-                    pending: pending - 1,
+                    pending: pending - count,
                 };
             }
             FlowStatus::WaitingSpawn { .. } => {

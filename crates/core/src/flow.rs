@@ -102,6 +102,11 @@ pub struct Flow {
     /// thread-based variants; the spawn index for Multi-instruction
     /// spawned threads.
     pub tid_offset: usize,
+    /// Per-lane step of the `tid` special register: lane `e` reads
+    /// `tid_offset + e·tid_stride`. 1 for ordinary flows; the group count
+    /// for Multi-instruction spawn *blocks*, whose lanes are the spawned
+    /// threads `g, g + G, g + 2G, …` scheduled onto one group.
+    pub tid_stride: usize,
 }
 
 impl Flow {
@@ -120,6 +125,7 @@ impl Flow {
             next_op: 0,
             rank_base: (id as usize) << 32,
             tid_offset: 0,
+            tid_stride: 1,
         }
     }
 

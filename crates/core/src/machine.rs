@@ -468,6 +468,12 @@ impl TcfMachine {
         reg.set_counter("thick.decay_lane_write", self.thick_decay.lane_write);
         reg.set_counter("thick.decay_mem_reply", self.thick_decay.mem_reply);
         reg.set_counter("thick.decay_mask_runs", self.thick_decay.mask_runs);
+        reg.set_counter("thick.decay_fault", self.thick_decay.fault);
+        reg.set_counter(
+            "thick.decay_balanced_resume",
+            self.thick_decay.balanced_resume,
+        );
+        reg.set_counter("thick.decay_async_slice", self.thick_decay.async_slice);
         reg.set_counter("thick.decay_total", self.thick_decay.total());
         let e = &self.engine_counters;
         reg.set_counter("engine.thick_instrs", e.thick_instrs);
@@ -730,7 +736,7 @@ impl TcfMachine {
 /// lanes against a read-only flow and configuration.
 pub(crate) fn special_value(flow: &Flow, e: usize, sr: SpecialReg, config: &MachineConfig) -> Word {
     match sr {
-        SpecialReg::Tid => (flow.tid_offset + e) as Word,
+        SpecialReg::Tid => (flow.tid_offset + e * flow.tid_stride) as Word,
         SpecialReg::Gid => (flow.rank_base + e) as Word,
         SpecialReg::Thickness => match flow.mode {
             ExecMode::Pram => flow.thickness as Word,

@@ -1587,6 +1587,12 @@ impl TcfMachine {
     ) -> Result<(), TcfError> {
         let t = flow.thickness;
         let cap = self.config.reg_cache_words;
+        // A merge covering fewer lanes than the thickness is a *partial*
+        // instruction — a Balanced bound-split slice resumed via
+        // `next_op`. Its lane writes splice a window into the register,
+        // so a decay here is the price of resuming, not of the values:
+        // attribute it to the `balanced_resume` taxonomy reason.
+        let partial = outs.iter().map(|o| o.range.len()).sum::<usize>() < t;
         let mut fault: Option<TcfError> = None;
         for out in outs.iter_mut() {
             if fault.is_some() {
@@ -1605,7 +1611,17 @@ impl TcfMachine {
                     .regs
                     .write_lanes(*rd, *base, &out.reg_values[range.clone()], t)
                 {
-                    self.thick_decay.lane_write += 1;
+                    // A faulting fragment's replay writes only the
+                    // executed prefix — the fault frontier — so its decay
+                    // belongs to the `fault` reason (highest priority),
+                    // then `balanced_resume`, then the generic lane write.
+                    if out.fault.is_some() {
+                        self.thick_decay.fault += 1;
+                    } else if partial {
+                        self.thick_decay.balanced_resume += 1;
+                    } else {
+                        self.thick_decay.lane_write += 1;
+                    }
                 }
             }
             for &(rd, base, count, vbase, vstride) in &out.reg_affine {
@@ -1649,17 +1665,19 @@ impl TcfMachine {
                     thread0: out.range.start,
                     count: out.range.len(),
                 });
-                for _ in out.range.clone() {
-                    self.stats.spill_refs += 1;
-                    self.obs.emit(
-                        self.steps,
-                        self.clock,
-                        FlowEvent::Spill {
-                            flow: flow.id,
-                            group: out.frag.group,
-                        },
-                    );
-                }
+                // One run-compressed spill event covers the fragment's
+                // lanes: a T-thick spilling step emits O(fragments)
+                // events and timing spans, never O(T) of either.
+                self.stats.spill_refs += out.range.len() as u64;
+                self.obs.emit(
+                    self.steps,
+                    self.clock,
+                    FlowEvent::Spill {
+                        flow: flow.id,
+                        group: out.frag.group,
+                        lanes: out.range.len(),
+                    },
+                );
             }
         }
         match fault {

@@ -339,6 +339,34 @@ impl ThickValue {
         true
     }
 
+    /// The lane range `[lo, lo + len)` re-based as a fresh value of
+    /// thickness `len` — lane `k` of the result reads `self.get(lo + k)`.
+    /// Compressed representations stay compressed (O(#runs), and a range
+    /// inside one run collapses back to `Affine`/`Uniform`); `PerThread`
+    /// copies the covered lanes (O(len)). This is the flow-splitting
+    /// primitive: carving a sub-block out of a thick flow costs the run
+    /// structure, not the thickness.
+    pub fn slice_range(&self, lo: usize, len: usize) -> ThickValue {
+        match self {
+            ThickValue::Uniform(v) => ThickValue::Uniform(*v),
+            ThickValue::PerThread(vs) => {
+                let mut out = vec![0; len];
+                let start = lo.min(vs.len());
+                let avail = (vs.len() - start).min(len);
+                out[..avail].copy_from_slice(&vs[start..start + avail]);
+                ThickValue::PerThread(out)
+            }
+            ThickValue::Affine { base, stride } => {
+                ThickValue::affine(base.wrapping_add(stride.wrapping_mul(lo as Word)), *stride)
+            }
+            ThickValue::Segments(_) => {
+                let mut segs = Vec::new();
+                self.append_range_segs(lo, lo + len, &mut segs);
+                ThickValue::from_segs(segs, len)
+            }
+        }
+    }
+
     /// Number of affine runs of the stored representation: 1 for
     /// `Uniform`/`Affine`, the segment count for `Segments`, and 0 for
     /// `PerThread` (no run structure). Feeds the mask-run budget check and
@@ -1108,6 +1136,18 @@ impl ThickRegs {
                 reg.append_range_segs(end, total, &mut segs);
                 *reg = ThickValue::from_segs(segs, thickness);
             }
+        }
+    }
+
+    /// The lane range `[lo, lo + len)` of every register as a fresh
+    /// register file of thickness `len` (see
+    /// [`ThickValue::slice_range`]). Splitting a flow into sub-blocks —
+    /// the Balanced bound boundary, an async budget boundary, a branch
+    /// divergence frontier — costs O(#runs) per register, never
+    /// O(thickness), unless a register already holds explicit lanes.
+    pub fn slice_lanes(&self, lo: usize, len: usize) -> ThickRegs {
+        ThickRegs {
+            regs: self.regs.iter().map(|v| v.slice_range(lo, len)).collect(),
         }
     }
 

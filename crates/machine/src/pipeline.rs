@@ -339,11 +339,24 @@ impl GroupPipeline {
                     }
                     if serialize_mem {
                         // A serialized stream re-synchronizes on every
-                        // reply; replay per unit.
-                        for k in 0..count {
-                            let u = s.unit_at(k);
-                            self.issue_one(&mut st, &u, width, serialize_mem, net, trace, stats);
+                        // reply, so the cadence is strictly periodic: each
+                        // local reference advances the clock by
+                        // `max(1, local_latency)` and resets the issue
+                        // slot — the whole run collapses to closed form.
+                        // This is the NUMA bunch shape: `T` consecutive
+                        // local references of a sequential stream cost
+                        // O(1) timing work instead of O(T).
+                        if st.issued_this_cycle >= width {
+                            st.t += 1;
+                            st.issued_this_cycle = 0;
                         }
+                        let period = self.local_latency.max(1);
+                        st.last_reply = st
+                            .last_reply
+                            .max(st.t + (count as u64 - 1) * period + self.local_latency);
+                        st.t += count as u64 * period;
+                        st.issued_this_cycle = 0;
+                        stats.count_units(UnitKind::MemLocal, count as u64);
                     } else {
                         // Replies are monotone in issue time, so only the
                         // last lane's reply can extend the step.
@@ -863,6 +876,29 @@ mod tests {
                     nodes: 4,
                 },
                 UnitSeq::One(IssueUnit::shared_mem(8, 41, 0)),
+            ],
+            // Long local run entered mid-cycle, then more locals — the
+            // serialized closed form (NUMA bunch shape) must carry the
+            // cadence exactly like the per-unit replay.
+            vec![
+                UnitSeq::One(IssueUnit::fetch(4)),
+                UnitSeq::One(IssueUnit::compute(4, 0)),
+                UnitSeq::LocalRun {
+                    flow: 4,
+                    thread0: 1,
+                    count: 57,
+                },
+                UnitSeq::One(IssueUnit::local_mem(4, 58)),
+                UnitSeq::LocalRun {
+                    flow: 4,
+                    thread0: 59,
+                    count: 1,
+                },
+                UnitSeq::ComputeRun {
+                    flow: 4,
+                    thread0: 60,
+                    count: 4,
+                },
             ],
         ];
         for seqs in &cases {

@@ -113,12 +113,17 @@ pub enum FlowEvent {
         /// The fetching flow.
         flow: FlowTag,
     },
-    /// A register-cache spill forced an extra local-memory reference.
+    /// A register-cache spill forced extra local-memory references — one
+    /// per lane of the spilling fragment, reported as a single
+    /// run-compressed event so a `T`-thick spilling step emits O(1)
+    /// events, not O(T).
     Spill {
         /// The spilling flow.
         flow: FlowTag,
-        /// Processor/group that issued the spill reference.
+        /// Processor/group that issued the spill references.
         group: usize,
+        /// Lanes (= extra local references) covered by this event.
+        lanes: usize,
     },
     /// A machine step completed (used for per-step metric snapshots).
     StepEnd {

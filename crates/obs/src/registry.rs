@@ -203,7 +203,9 @@ impl MetricsRegistry {
         for ev in events {
             match ev.event {
                 FlowEvent::Fetch { .. } => reg.add_counter("machine.fetches", 1),
-                FlowEvent::Spill { .. } => reg.add_counter("machine.spill_refs", 1),
+                FlowEvent::Spill { lanes, .. } => {
+                    reg.add_counter("machine.spill_refs", lanes as u64)
+                }
                 FlowEvent::StepEnd { step, cycle } => {
                     drain_trace_until(&mut reg, Some(cycle));
                     reg.set_counter("machine.steps", step);
@@ -271,7 +273,15 @@ mod tests {
         ];
         let events = vec![
             timed(0, 0, FlowEvent::Fetch { flow: 1 }),
-            timed(0, 3, FlowEvent::Spill { flow: 1, group: 0 }),
+            timed(
+                0,
+                3,
+                FlowEvent::Spill {
+                    flow: 1,
+                    group: 0,
+                    lanes: 3,
+                },
+            ),
             timed(1, 5, FlowEvent::StepEnd { step: 1, cycle: 5 }),
         ];
         let r = MetricsRegistry::replay(&trace, &events);
@@ -281,7 +291,8 @@ mod tests {
         assert_eq!(r.counter("machine.bubbles"), Some(1));
         assert_eq!(r.counter("machine.overhead_cycles"), Some(1));
         assert_eq!(r.counter("machine.fetches"), Some(1));
-        assert_eq!(r.counter("machine.spill_refs"), Some(1));
+        // One run-compressed spill event carrying 3 lanes = 3 references.
+        assert_eq!(r.counter("machine.spill_refs"), Some(3));
         assert_eq!(r.counter("machine.steps"), Some(1));
         assert_eq!(r.counter("machine.cycles"), Some(5));
     }

@@ -379,10 +379,12 @@ pub fn write_flow_line(out: &mut String, e: &TimedEvent) {
         | FlowEvent::Fetch { flow } => {
             l.flow_field(flow);
         }
-        FlowEvent::Spill { flow, group } => {
+        FlowEvent::Spill { flow, group, lanes } => {
             l.flow_field(flow);
             l.lit(",\"group\":");
             l.num(group as u64);
+            l.lit(",\"lanes\":");
+            l.num(lanes as u64);
         }
         FlowEvent::StepEnd { step, cycle } => {
             l.lit(",\"end_step\":");
@@ -546,6 +548,7 @@ fn parse_flow_event(line: &str) -> Result<FlowEvent, String> {
         "spill" => FlowEvent::Spill {
             flow: req_flow()?,
             group: usize_field(line, "group")?,
+            lanes: usize_field(line, "lanes")?,
         },
         "step_end" => FlowEvent::StepEnd {
             step: u64_field(line, "end_step")?,
@@ -685,7 +688,11 @@ mod tests {
             FlowEvent::WaitEnd { flow: 1 },
             FlowEvent::FlowHalted { flow: 2 },
             FlowEvent::Fetch { flow: 1 },
-            FlowEvent::Spill { flow: 1, group: 0 },
+            FlowEvent::Spill {
+                flow: 1,
+                group: 0,
+                lanes: 7,
+            },
             FlowEvent::StepEnd { step: 3, cycle: 40 },
         ]
     }

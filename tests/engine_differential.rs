@@ -418,19 +418,121 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Random thick programs observe identical machines under every
-    /// engine. Only the thick-flow variants are swept here — the paper
-    /// workloads test already covers all six per workload.
+    /// engine. The thick-flow variants are swept here — `Balanced` across
+    /// its boundary bounds (1 = one operation per processor per step,
+    /// 64 = a whole instruction per step on the small machine), and
+    /// `FixedThickness` at widths off the `LANE_CHUNK` (= 8) grid so
+    /// partially filled SIMD chunks shard identically. The paper
+    /// workloads test above covers all six variants per workload.
     #[test]
     fn random_programs_match_across_engines(
         segments in prop::collection::vec(arb_segment(), 1..14)
     ) {
         let program = lower(&segments);
-        for variant in [Variant::SingleInstruction, Variant::Balanced { bound: 3 }] {
+        for variant in [
+            Variant::SingleInstruction,
+            Variant::Balanced { bound: 1 },
+            Variant::Balanced { bound: 3 },
+            Variant::Balanced { bound: 64 },
+        ] {
             let reference = observe(variant, &program, Engine::Sequential, |_| {});
-            for &w in &[2usize, 7] {
+            for &w in &[2usize, 4] {
                 let par = observe(variant, &program, Engine::Parallel { workers: w }, |_| {});
                 prop_assert_eq!(&reference, &par, "{:?} diverged under par:{}", variant, w);
             }
+        }
+        // `FixedThickness` rejects `setthick`, so sweep it over the same
+        // segment list minus thickness changes; widths 13 and 50 are not
+        // multiples of LANE_CHUNK, leaving a ragged trailing chunk in
+        // every per-lane kernel.
+        let preset: Vec<Segment> = segments
+            .iter()
+            .filter(|s| !matches!(s, Segment::SetThick(_)))
+            .cloned()
+            .collect();
+        let program = lower(&preset);
+        for width in [13usize, 50] {
+            let variant = Variant::FixedThickness { width };
+            let reference = observe(variant, &program, Engine::Sequential, |_| {});
+            for &w in &[2usize, 4] {
+                let par = observe(variant, &program, Engine::Parallel { workers: w }, |_| {});
+                prop_assert_eq!(&reference, &par, "{:?} diverged under par:{}", variant, w);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decay-taxonomy accounting
+// ---------------------------------------------------------------------------
+
+/// Every thick-register decay is billed to exactly one taxonomy reason:
+/// across a differential run the per-reason counters exported by
+/// `metrics()` must sum to `thick.decay_total`, on both engines. A new
+/// decay site that bumps the total without (or with a double) reason
+/// attribution breaks this identity.
+#[test]
+fn decay_taxonomy_sums_to_total() {
+    // `and` on the affine lane ids escapes the affine algebra and lands
+    // per-lane on a compressed register (`lane_write`, or
+    // `balanced_resume` when a bound makes the write partial); the later
+    // `setthick` then decays the still-affine r3 (`setthick`).
+    let program = Program::new(
+        vec![
+            Instr::SetThick {
+                src: Operand::Imm(40),
+            },
+            Instr::Mfs {
+                rd: r(1),
+                sr: SpecialReg::Tid,
+            },
+            Instr::Alu {
+                op: AluOp::And,
+                rd: r(1),
+                ra: r(1),
+                rb: Operand::Imm(1),
+            },
+            Instr::Mfs {
+                rd: r(3),
+                sr: SpecialReg::Tid,
+            },
+            Instr::SetThick {
+                src: Operand::Imm(20),
+            },
+            Instr::Halt,
+        ],
+        Default::default(),
+        vec![],
+    )
+    .unwrap();
+    const REASONS: [&str; 7] = [
+        "thick.decay_setthick",
+        "thick.decay_lane_write",
+        "thick.decay_mem_reply",
+        "thick.decay_mask_runs",
+        "thick.decay_fault",
+        "thick.decay_balanced_resume",
+        "thick.decay_async_slice",
+    ];
+    for variant in [Variant::SingleInstruction, Variant::Balanced { bound: 3 }] {
+        for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+            let mut m = TcfMachine::new(MachineConfig::small(), variant, program.clone());
+            m.set_engine(engine);
+            m.run(50_000).unwrap();
+            let reg = m.metrics();
+            let total = reg.counter("thick.decay_total").unwrap();
+            let by_reason: u64 = REASONS
+                .iter()
+                .map(|k| reg.counter(k).unwrap_or_else(|| panic!("missing {k}")))
+                .sum();
+            assert_eq!(
+                total, by_reason,
+                "{variant:?} / {engine:?}: decay reasons don't sum to the total"
+            );
+            assert!(
+                total > 0,
+                "{variant:?} / {engine:?}: workload never decayed"
+            );
         }
     }
 }

@@ -6,15 +6,19 @@ Compares a fresh `repro bench-json` run against the committed
 workload, and enforces the observability overhead budgets on the fresh
 run alone (docs/OBSERVABILITY.md "Measured overhead"):
 
+* a committed workload key missing from the fresh run FAILS the job —
+  a probe that silently disappears would otherwise dodge every gate;
 * a drop of more than 20% below the committed rate prints a ::warning;
 * more than 35% below on either metric FAILS the job;
 * disabled sinks (`obs_overhead_off`) must stay within 5% of the plain
   hot path (`thick_pram_flow`);
 * live streaming (`obs_overhead_stream`) must stay within 5x of disabled
   sinks — the batched-drain + run-compressed wire budget;
-* `divergent_compressed_100x` must hold at least half the steps/sec of
-  `divergent_compressed` — per-step cost of a divergent-but-compressed
-  flow stays flat in thickness (the lane-mask scaling gate).
+* every `divergent_*_100x` leg must hold at least half the rate of its
+  baseline leg — per-step (or per-instruction, for the SPMD-shaped
+  variants) cost of a divergent-but-compressed flow stays flat in
+  thickness on all six execution variants (docs/PERFORMANCE.md
+  "Compression across variants").
 
 Usage: bench_gate.py FRESH_JSON [COMMITTED_JSON]
 
@@ -22,26 +26,56 @@ Both bench-smoke legs (portable codegen and `-C target-cpu=native`) run
 this same gate: rates are compared fresh-vs-committed per leg, so the
 committed portable reference only has to be beaten up to the gate margin,
 which native codegen comfortably clears.
+
+Unit-tested by tools/test_bench_gate.py (run in the CI `tests` job).
 """
 
 import json
 import sys
 
 
-def main() -> None:
-    if len(sys.argv) < 2:
-        sys.exit(__doc__)
-    fresh = json.load(open(sys.argv[1]))
-    assert fresh["schema"] == "tcf-bench-hotpath/v1", fresh.get("schema")
-    committed_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_hotpath.json"
-    committed = json.load(open(committed_path))
-    missing = set(committed["workloads"]) - set(fresh["workloads"])
-    assert not missing, f"workloads dropped from bench-json: {missing}"
+class GateFailure(Exception):
+    """A hard gate violation; the message is the exit diagnostic."""
+
+
+# The per-variant thickness-scaling pairs: (baseline leg, 100x leg,
+# compared metric). The thick-instruction variants are compared on step
+# rate (same per-step work at both sizes if compression holds); the
+# SPMD-shaped variants materialize one unit flow per thread, so their
+# honest flat metric is per-instruction throughput.
+VARIANT_SCALING = [
+    ("divergent_compressed", "divergent_compressed_100x", "steps_per_sec"),
+    ("divergent_balanced", "divergent_balanced_100x", "steps_per_sec"),
+    ("divergent_async", "divergent_async_100x", "steps_per_sec"),
+    ("divergent_fixed", "divergent_fixed_100x", "steps_per_sec"),
+    ("divergent_numa", "divergent_numa_100x", "instrs_per_sec"),
+    ("divergent_spmd", "divergent_spmd_100x", "instrs_per_sec"),
+]
+
+
+def run_gate(fresh: dict, committed: dict) -> list:
+    """Applies every gate; returns the report lines, raises GateFailure on
+    the first hard violation."""
+    lines = []
+    if fresh.get("schema") != "tcf-bench-hotpath/v1":
+        raise GateFailure(f"unexpected fresh schema: {fresh.get('schema')!r}")
+
+    # Key-drop gate: every committed workload must still be measured.
+    missing = sorted(set(committed["workloads"]) - set(fresh["workloads"]))
+    if missing:
+        raise GateFailure(
+            "committed workloads missing from the fresh bench-json run: "
+            + ", ".join(missing)
+            + " — a dropped probe dodges every regression gate; if the "
+            "removal is intentional, regenerate BENCH_hotpath.json"
+        )
+
     failed = False
     for w, entry in fresh["workloads"].items():
         ref = committed["workloads"].get(w)
         for metric in ("steps_per_sec", "instrs_per_sec"):
-            assert entry[metric] > 0, (w, entry)
+            if entry[metric] <= 0:
+                raise GateFailure(f"{w} reports non-positive {metric}")
             if ref is None:
                 continue  # new workload, no reference yet
             ratio = entry[metric] / ref[metric]
@@ -50,14 +84,16 @@ def main() -> None:
                 f"vs committed {ref[metric]:.0f} ({ratio:.2f}x)"
             )
             if ratio < 0.65:
-                print(f"::error title=bench regression::{line}")
+                lines.append(f"::error title=bench regression::{line}")
                 failed = True
             elif ratio < 0.8:
-                print(f"::warning title=bench regression::{line}")
+                lines.append(f"::warning title=bench regression::{line}")
             else:
-                print(line)
+                lines.append(line)
     if failed:
-        sys.exit("bench regression beyond the 35% hard gate")
+        raise GateFailure(
+            "bench regression beyond the 35% hard gate\n" + "\n".join(lines)
+        )
 
     # Observability budgets: every rate comes from the same fresh run, so
     # machine speed cancels out of the ratios.
@@ -69,9 +105,10 @@ def main() -> None:
         f"{base:.0f} ({ratio:.2f}x)"
     )
     if ratio < 0.95:
-        print(f"::error title=obs overhead budget::{line}")
-        sys.exit("disabled-sink observability overhead exceeds 5%")
-    print(line)
+        raise GateFailure(
+            f"disabled-sink observability overhead exceeds 5%: {line}"
+        )
+    lines.append(line)
 
     stream = fresh["workloads"]["obs_overhead_stream"]["steps_per_sec"]
     ratio = off / stream
@@ -80,24 +117,29 @@ def main() -> None:
         f"{off:.0f} ({ratio:.2f}x slower)"
     )
     if ratio > 5.0:
-        print(f"::error title=stream overhead budget::{line}")
-        sys.exit("live-stream observability overhead exceeds 5x disabled sinks")
-    print(line)
+        raise GateFailure(
+            f"live-stream observability overhead exceeds 5x disabled sinks: {line}"
+        )
+    lines.append(line)
 
-    # Lane-mask scaling: a divergent-but-compressed step costs O(#mask
-    # runs), not O(thickness), so the same workload at 100x thickness must
-    # sustain a comparable step rate (docs/PERFORMANCE.md "Lane masks").
-    div = fresh["workloads"]["divergent_compressed"]["steps_per_sec"]
-    div100 = fresh["workloads"]["divergent_compressed_100x"]["steps_per_sec"]
-    ratio = div100 / div
-    line = (
-        f"divergent_compressed_100x: {div100:.0f} steps/s vs "
-        f"divergent_compressed {div:.0f} at 100x thickness ({ratio:.2f}x)"
-    )
-    if ratio < 0.5:
-        print(f"::error title=lane-mask scaling::{line}")
-        sys.exit("divergent_compressed step cost is not flat in thickness")
-    print(line)
+    # Compression across variants: a divergent-but-compressed step costs
+    # O(#mask runs) / O(bound) / O(P*T_p), not O(thickness), so the same
+    # recurrence at 100x the size must sustain a comparable rate on every
+    # execution variant (docs/PERFORMANCE.md "Compression across
+    # variants").
+    for base_key, scaled_key, metric in VARIANT_SCALING:
+        b = fresh["workloads"][base_key][metric]
+        s = fresh["workloads"][scaled_key][metric]
+        ratio = s / b
+        line = (
+            f"{scaled_key}: {s:.0f} {metric} vs "
+            f"{base_key} {b:.0f} at 100x size ({ratio:.2f}x)"
+        )
+        if ratio < 0.5:
+            raise GateFailure(
+                f"{base_key} cost is not flat in thickness: {line}"
+            )
+        lines.append(line)
 
     # And the absolute win over the per-lane fallback: thickness-weighted
     # instruction throughput (lane-ops/sec) of the masked compressed path
@@ -111,9 +153,25 @@ def main() -> None:
         f"branchy_divergence {perlane:.3g} ({ratio:.0f}x)"
     )
     if ratio < 10.0:
-        print(f"::error title=lane-mask throughput::{line}")
-        sys.exit("masked compressed path is not >= 10x the per-lane path")
-    print(line)
+        raise GateFailure(
+            f"masked compressed path is not >= 10x the per-lane path: {line}"
+        )
+    lines.append(line)
+    return lines
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    fresh = json.load(open(sys.argv[1]))
+    committed_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_hotpath.json"
+    committed = json.load(open(committed_path))
+    try:
+        lines = run_gate(fresh, committed)
+    except GateFailure as e:
+        print(f"::error title=bench gate::{e}")
+        sys.exit(str(e))
+    print("\n".join(lines))
     print(f"{committed_path} ok")
 
 

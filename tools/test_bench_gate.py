@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench regression gate itself (tools/bench_gate.py).
+
+The gate guards CI; these tests guard the gate — in particular that a
+workload key silently disappearing from a fresh run hard-fails instead of
+being skipped, and that each per-variant scaling pair is actually
+enforced.
+
+Run: python3 tools/test_bench_gate.py
+"""
+
+import copy
+import unittest
+
+import bench_gate
+from bench_gate import GateFailure, VARIANT_SCALING, run_gate
+
+BASE_WORKLOADS = [
+    "thick_pram_flow",
+    "thin_numa_flow",
+    "mixed_multitasking",
+    "broadcast_stride_sweep",
+    "lane_id_reduction",
+    "branchy_divergence",
+    "obs_overhead_off",
+    "obs_overhead_record",
+    "obs_overhead_stream",
+]
+
+
+def entry(steps=1_000_000.0, instrs=2_000_000.0):
+    return {
+        "steps": 100,
+        "instrs": 200,
+        "elapsed_sec": 0.001,
+        "steps_per_sec": steps,
+        "instrs_per_sec": instrs,
+    }
+
+
+def healthy_doc():
+    """A doc that passes every gate when compared against itself."""
+    workloads = {name: entry() for name in BASE_WORKLOADS}
+    # The compressed path must beat branchy_divergence >= 10x on
+    # instrs/sec.
+    workloads["branchy_divergence"] = entry(steps=1_000_000.0, instrs=100_000.0)
+    for base, scaled, _metric in VARIANT_SCALING:
+        workloads[base] = entry()
+        workloads[scaled] = entry()
+    return {"schema": "tcf-bench-hotpath/v1", "workloads": workloads}
+
+
+class GateTests(unittest.TestCase):
+    def test_healthy_doc_passes(self):
+        doc = healthy_doc()
+        lines = run_gate(doc, copy.deepcopy(doc))
+        self.assertTrue(any("ok" not in l for l in lines))  # report emitted
+        self.assertTrue(any("divergent_spmd_100x" in l for l in lines))
+
+    def test_bad_schema_fails(self):
+        doc = healthy_doc()
+        bad = copy.deepcopy(doc)
+        bad["schema"] = "tcf-bench-hotpath/v0"
+        with self.assertRaisesRegex(GateFailure, "schema"):
+            run_gate(bad, doc)
+
+    def test_dropped_workload_key_hard_fails(self):
+        committed = healthy_doc()
+        fresh = copy.deepcopy(committed)
+        del fresh["workloads"]["divergent_balanced_100x"]
+        with self.assertRaisesRegex(GateFailure, "divergent_balanced_100x"):
+            run_gate(fresh, committed)
+
+    def test_new_fresh_workload_is_allowed(self):
+        committed = healthy_doc()
+        fresh = copy.deepcopy(committed)
+        fresh["workloads"]["brand_new_probe"] = entry()
+        run_gate(fresh, committed)  # no reference yet: measured, not gated
+
+    def test_regression_beyond_hard_gate_fails(self):
+        committed = healthy_doc()
+        fresh = copy.deepcopy(committed)
+        fresh["workloads"]["thin_numa_flow"] = entry(
+            steps=500_000.0, instrs=1_000_000.0
+        )  # 0.5x < 0.65 hard gate
+        with self.assertRaisesRegex(GateFailure, "35% hard gate"):
+            run_gate(fresh, committed)
+
+    def test_warning_band_regression_passes(self):
+        committed = healthy_doc()
+        fresh = copy.deepcopy(committed)
+        fresh["workloads"]["thin_numa_flow"] = entry(
+            steps=750_000.0, instrs=1_500_000.0
+        )  # 0.75x: warn, don't fail
+        lines = run_gate(fresh, committed)
+        self.assertTrue(any("::warning" in l for l in lines))
+
+    def test_each_variant_scaling_pair_is_enforced(self):
+        for base, scaled, metric in VARIANT_SCALING:
+            # Degrade the committed reference identically so the
+            # fresh-vs-committed regression gate stays quiet and the
+            # flatness gate is what trips.
+            committed = healthy_doc()
+            committed["workloads"][scaled][metric] = (
+                committed["workloads"][base][metric] * 0.4
+            )
+            fresh = copy.deepcopy(committed)
+            with self.assertRaisesRegex(GateFailure, "not flat in thickness"):
+                run_gate(fresh, committed)
+
+    def test_obs_overhead_budget_enforced(self):
+        committed = healthy_doc()
+        fresh = copy.deepcopy(committed)
+        fresh["workloads"]["obs_overhead_off"] = entry(
+            steps=900_000.0, instrs=1_800_000.0
+        )  # 0.9x of thick_pram_flow < the 5% budget
+        with self.assertRaisesRegex(GateFailure, "overhead exceeds 5%"):
+            run_gate(fresh, committed)
+
+    def test_nonpositive_rate_fails(self):
+        committed = healthy_doc()
+        fresh = copy.deepcopy(committed)
+        fresh["workloads"]["thin_numa_flow"] = entry(steps=0.0)
+        with self.assertRaisesRegex(GateFailure, "non-positive"):
+            run_gate(fresh, committed)
+
+
+if __name__ == "__main__":
+    unittest.main()
